@@ -1,0 +1,427 @@
+//! The `Array` container: a schema plus its stored (non-empty) chunks.
+
+use std::collections::BTreeMap;
+
+use crate::batch::CellBatch;
+use crate::chunk::Chunk;
+use crate::error::{ArrayError, Result};
+use crate::schema::ArraySchema;
+use crate::value::Value;
+
+/// A materialized array: schema plus sparse chunk storage.
+///
+/// Chunks are keyed by their linear chunk id; only chunks with at least one
+/// occupied cell are stored (paper §2.1: "The database engine only stores
+/// occupied cells, making it efficient for sparse arrays").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array {
+    /// The array's logical schema.
+    pub schema: ArraySchema,
+    chunks: BTreeMap<u64, Chunk>,
+}
+
+impl Array {
+    /// An empty array with the given schema.
+    pub fn new(schema: ArraySchema) -> Self {
+        Array {
+            schema,
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// Build an array from an iterator of `(coord, values)` cells.
+    pub fn from_cells<I>(schema: ArraySchema, cells: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Vec<i64>, Vec<Value>)>,
+    {
+        let mut array = Array::new(schema);
+        for (coord, values) in cells {
+            array.insert(&coord, &values)?;
+        }
+        array.sort_chunks();
+        Ok(array)
+    }
+
+    /// Insert one cell, routing it to its chunk.
+    ///
+    /// Chunks are left potentially unsorted; call [`sort_chunks`]
+    /// (or build via [`from_cells`], which sorts) before operations that
+    /// require C-order.
+    ///
+    /// [`sort_chunks`]: Self::sort_chunks
+    /// [`from_cells`]: Self::from_cells
+    pub fn insert(&mut self, coord: &[i64], values: &[Value]) -> Result<()> {
+        let pos = self.schema.chunk_pos_of(coord)?;
+        let id = self.schema.linear_chunk_id(&pos);
+        let chunk = self
+            .chunks
+            .entry(id)
+            .or_insert_with(|| Chunk::new(&self.schema, pos));
+        chunk.push(coord, values)
+    }
+
+    /// Bulk-load a batch of cells, building chunks column-wise.
+    ///
+    /// Much faster than per-cell [`insert`](Self::insert) for large
+    /// batches: rows are grouped by chunk id and copied column-at-a-time.
+    /// Chunks are left unsorted; call [`sort_chunks`](Self::sort_chunks)
+    /// if C-order is needed.
+    pub fn from_batch(schema: ArraySchema, batch: &CellBatch) -> Result<Self> {
+        let n = batch.len();
+        if batch.ndims() != schema.ndims() {
+            return Err(ArrayError::ArityMismatch {
+                expected: schema.ndims(),
+                actual: batch.ndims(),
+            });
+        }
+        // Linear chunk id per row.
+        let mut ids: Vec<(u64, u32)> = Vec::with_capacity(n);
+        for row in 0..n {
+            let mut id = 0u64;
+            for (d, dim) in schema.dims.iter().enumerate() {
+                let idx = dim.chunk_index(batch.coords[d][row])?;
+                id = id * dim.chunk_count() + idx;
+            }
+            ids.push((id, row as u32));
+        }
+        ids.sort_unstable();
+        let mut array = Array::new(schema);
+        let mut start = 0usize;
+        while start < n {
+            let id = ids[start].0;
+            let mut end = start + 1;
+            while end < n && ids[end].0 == id {
+                end += 1;
+            }
+            let indices: Vec<usize> = ids[start..end].iter().map(|&(_, r)| r as usize).collect();
+            let cells = batch.take(&indices);
+            let pos = array.schema.chunk_pos_from_id(id);
+            let sorted = cells.is_sorted_c_order();
+            array.chunks.insert(
+                id,
+                Chunk {
+                    pos,
+                    cells,
+                    sorted,
+                },
+            );
+            start = end;
+        }
+        Ok(array)
+    }
+
+    /// Sort the cells of every chunk into C-order.
+    pub fn sort_chunks(&mut self) {
+        for chunk in self.chunks.values_mut() {
+            chunk.sort();
+        }
+    }
+
+    /// Whether every stored chunk is flagged sorted.
+    pub fn all_sorted(&self) -> bool {
+        self.chunks.values().all(|c| c.sorted)
+    }
+
+    /// Total occupied cells across all chunks.
+    pub fn cell_count(&self) -> usize {
+        self.chunks.values().map(Chunk::cell_count).sum()
+    }
+
+    /// Number of stored (non-empty) chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Approximate stored bytes.
+    pub fn byte_size(&self) -> usize {
+        self.chunks.values().map(Chunk::byte_size).sum()
+    }
+
+    /// The chunk with linear id `id`, if stored.
+    pub fn chunk(&self, id: u64) -> Option<&Chunk> {
+        self.chunks.get(&id)
+    }
+
+    /// Iterate over `(linear_id, chunk)` pairs in id order.
+    pub fn chunks(&self) -> impl Iterator<Item = (u64, &Chunk)> {
+        self.chunks.iter().map(|(&id, c)| (id, c))
+    }
+
+    /// Consume the array, yielding its chunks in id order.
+    pub fn into_chunks(self) -> impl Iterator<Item = (u64, Chunk)> {
+        self.chunks.into_iter()
+    }
+
+    /// Insert a whole chunk (e.g. received from another node). Cells must
+    /// belong to the chunk's region; merged into any existing chunk at the
+    /// same position.
+    pub fn insert_chunk(&mut self, chunk: Chunk) -> Result<()> {
+        chunk.validate(&self.schema)?;
+        let id = self.schema.linear_chunk_id(&chunk.pos);
+        match self.chunks.get_mut(&id) {
+            None => {
+                self.chunks.insert(id, chunk);
+            }
+            Some(existing) => {
+                existing.cells.append(chunk.cells)?;
+                existing.sorted = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up the attribute values at `coord`, if the cell is occupied.
+    ///
+    /// Linear scan within the target chunk (binary search when sorted).
+    pub fn get(&self, coord: &[i64]) -> Result<Option<Vec<Value>>> {
+        let pos = self.schema.chunk_pos_of(coord)?;
+        let id = self.schema.linear_chunk_id(&pos);
+        let Some(chunk) = self.chunks.get(&id) else {
+            return Ok(None);
+        };
+        let n = chunk.cells.len();
+        let matches = |i: usize| -> bool {
+            chunk
+                .cells
+                .coords
+                .iter()
+                .zip(coord)
+                .all(|(col, &c)| col[i] == c)
+        };
+        if chunk.sorted {
+            // Binary search on C-order.
+            let mut lo = 0usize;
+            let mut hi = n;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let cmp = Self::cmp_coord_at(&chunk.cells, mid, coord);
+                match cmp {
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                    std::cmp::Ordering::Equal => {
+                        return Ok(Some(
+                            (0..chunk.cells.nattrs())
+                                .map(|a| chunk.cells.value(mid, a))
+                                .collect(),
+                        ))
+                    }
+                }
+            }
+            Ok(None)
+        } else {
+            for i in 0..n {
+                if matches(i) {
+                    return Ok(Some(
+                        (0..chunk.cells.nattrs())
+                            .map(|a| chunk.cells.value(i, a))
+                            .collect(),
+                    ));
+                }
+            }
+            Ok(None)
+        }
+    }
+
+    fn cmp_coord_at(cells: &CellBatch, i: usize, coord: &[i64]) -> std::cmp::Ordering {
+        for (col, &c) in cells.coords.iter().zip(coord) {
+            match col[i].cmp(&c) {
+                std::cmp::Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Iterate over every occupied cell as `(coord, values)`.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (Vec<i64>, Vec<Value>)> + '_ {
+        self.chunks.values().flat_map(|c| c.cells.iter_cells())
+    }
+
+    /// Gather all cells into one batch (chunking discarded).
+    pub fn to_batch(&self) -> CellBatch {
+        let attr_types: Vec<_> = self.schema.attrs.iter().map(|a| a.dtype).collect();
+        let mut batch =
+            CellBatch::with_capacity(self.schema.ndims(), &attr_types, self.cell_count());
+        for chunk in self.chunks.values() {
+            batch
+                .append(chunk.cells.clone())
+                .expect("chunk batches share the array schema");
+        }
+        batch
+    }
+
+    /// Validate every chunk against the schema and check that no cell
+    /// coordinate appears twice (arrays are functions from coordinates to
+    /// attribute tuples).
+    pub fn validate(&self) -> Result<()> {
+        self.schema.validate()?;
+        for (id, chunk) in &self.chunks {
+            chunk.validate(&self.schema)?;
+            if self.schema.linear_chunk_id(&chunk.pos) != *id {
+                return Err(ArrayError::SchemaMismatch(format!(
+                    "chunk stored under id {id} but its position maps to {}",
+                    self.schema.linear_chunk_id(&chunk.pos)
+                )));
+            }
+            // Duplicate-coordinate check within the chunk.
+            let mut seen: Vec<Vec<i64>> = (0..chunk.cells.len())
+                .map(|i| chunk.cells.coord(i))
+                .collect();
+            seen.sort_unstable();
+            for w in seen.windows(2) {
+                if w[0] == w[1] {
+                    return Err(ArrayError::CellCollision {
+                        coord: format!("{:?}", w[0]),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-chunk cell counts keyed by linear chunk id — the basic statistic
+    /// behind skew measurement and physical planning.
+    pub fn chunk_histogram(&self) -> BTreeMap<u64, usize> {
+        self.chunks
+            .iter()
+            .map(|(&id, c)| (id, c.cell_count()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_array() -> Array {
+        // Paper Figure 1: A<v1:int, v2:float>[i=1,6,3, j=1,6,3] with
+        // occupied cells in the first and last logical chunks only.
+        let schema = ArraySchema::parse("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap();
+        let cells = vec![
+            (vec![1, 2], vec![Value::Int(3), Value::Float(1.1)]),
+            (vec![1, 3], vec![Value::Int(1), Value::Float(4.7)]),
+            (vec![2, 1], vec![Value::Int(1), Value::Float(0.2)]),
+            (vec![2, 2], vec![Value::Int(7), Value::Float(1.3)]),
+            (vec![3, 1], vec![Value::Int(4), Value::Float(1.9)]),
+            (vec![3, 2], vec![Value::Int(0), Value::Float(0.4)]),
+            (vec![3, 3], vec![Value::Int(0), Value::Float(7.5)]),
+            // last chunk
+            (vec![4, 4], vec![Value::Int(6), Value::Float(1.4)]),
+            (vec![5, 5], vec![Value::Int(3), Value::Float(1.4)]),
+            (vec![6, 6], vec![Value::Int(5), Value::Float(8.7)]),
+        ];
+        Array::from_cells(schema, cells).unwrap()
+    }
+
+    #[test]
+    fn figure1_stores_two_chunks() {
+        let a = figure1_array();
+        assert_eq!(a.chunk_count(), 2);
+        assert_eq!(a.cell_count(), 10);
+        a.validate().unwrap();
+        // First chunk serializes v1 as (3,1,1,7,4,0,0).
+        let first = a.chunk(0).unwrap();
+        let v1: Vec<i64> = (0..first.cell_count())
+            .map(|i| first.cells.value(i, 0).as_int().unwrap())
+            .collect();
+        assert_eq!(v1, vec![3, 1, 1, 7, 4, 0, 0]);
+    }
+
+    #[test]
+    fn get_occupied_and_empty_cells() {
+        let a = figure1_array();
+        assert_eq!(
+            a.get(&[2, 2]).unwrap(),
+            Some(vec![Value::Int(7), Value::Float(1.3)])
+        );
+        assert_eq!(a.get(&[1, 1]).unwrap(), None); // empty cell
+        assert_eq!(a.get(&[4, 1]).unwrap(), None); // unstored chunk
+        assert!(a.get(&[7, 1]).is_err()); // out of bounds
+    }
+
+    #[test]
+    fn insert_routes_to_correct_chunk() {
+        let schema = ArraySchema::parse("A<v:int>[i=1,6,3, j=1,6,3]").unwrap();
+        let mut a = Array::new(schema);
+        a.insert(&[4, 2], &[Value::Int(9)]).unwrap();
+        // (4,2) → chunk grid (1,0) → linear id 1*2+0 = 2
+        assert!(a.chunk(2).is_some());
+        assert_eq!(a.chunk_count(), 1);
+    }
+
+    #[test]
+    fn insert_chunk_merges_and_unsorts() {
+        let a = figure1_array();
+        let schema = a.schema.clone();
+        let mut b = Array::new(schema.clone());
+        for (id, chunk) in a.clone().into_chunks() {
+            let _ = id;
+            b.insert_chunk(chunk).unwrap();
+        }
+        assert_eq!(b.cell_count(), a.cell_count());
+        // Merging a second copy into the same positions unsorts chunks and
+        // creates coordinate collisions that validate() must catch.
+        for (_, chunk) in a.into_chunks() {
+            b.insert_chunk(chunk).unwrap();
+        }
+        assert!(!b.all_sorted());
+        assert!(matches!(
+            b.validate(),
+            Err(ArrayError::CellCollision { .. })
+        ));
+    }
+
+    #[test]
+    fn to_batch_collects_all_cells() {
+        let a = figure1_array();
+        let batch = a.to_batch();
+        assert_eq!(batch.len(), a.cell_count());
+        batch.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn chunk_histogram_reports_occupancy() {
+        let a = figure1_array();
+        let hist = a.chunk_histogram();
+        assert_eq!(hist.get(&0), Some(&7));
+        assert_eq!(hist.get(&3), Some(&3));
+        assert_eq!(hist.len(), 2);
+    }
+
+    #[test]
+    fn from_batch_matches_per_cell_inserts() {
+        let a = figure1_array();
+        let batch = a.to_batch();
+        let bulk = Array::from_batch(a.schema.clone(), &batch).unwrap();
+        assert_eq!(bulk.cell_count(), a.cell_count());
+        assert_eq!(bulk.chunk_count(), a.chunk_count());
+        let mut x: Vec<_> = bulk.iter_cells().collect();
+        let mut y: Vec<_> = a.iter_cells().collect();
+        x.sort();
+        y.sort();
+        assert_eq!(x, y);
+        bulk.validate().unwrap();
+    }
+
+    #[test]
+    fn from_batch_rejects_bad_coords() {
+        let schema = ArraySchema::parse("A<v:int>[i=1,10,5]").unwrap();
+        let mut batch = crate::batch::CellBatch::new(1, &[crate::value::DataType::Int64]);
+        batch.push(&[99], &[Value::Int(1)]).unwrap();
+        assert!(Array::from_batch(schema.clone(), &batch).is_err());
+        let empty = crate::batch::CellBatch::new(2, &[crate::value::DataType::Int64]);
+        assert!(Array::from_batch(schema, &empty).is_err()); // arity
+    }
+
+    #[test]
+    fn get_on_unsorted_chunk_falls_back_to_scan() {
+        let schema = ArraySchema::parse("A<v:int>[i=1,10,10]").unwrap();
+        let mut a = Array::new(schema);
+        a.insert(&[5], &[Value::Int(50)]).unwrap();
+        a.insert(&[2], &[Value::Int(20)]).unwrap(); // unsorted now
+        assert!(!a.all_sorted());
+        assert_eq!(a.get(&[2]).unwrap(), Some(vec![Value::Int(20)]));
+        assert_eq!(a.get(&[5]).unwrap(), Some(vec![Value::Int(50)]));
+        assert_eq!(a.get(&[3]).unwrap(), None);
+    }
+}

@@ -1,0 +1,552 @@
+//! Columnar cell batches: the universal container for sets of cells.
+//!
+//! Chunks (paper §2.1) are vertically partitioned — every attribute is
+//! stored in its own column, and coordinates are stored column-per-
+//! dimension. `CellBatch` implements that layout for an arbitrary set of
+//! cells; [`crate::chunk::Chunk`] wraps a batch with a chunk-grid position,
+//! and join slices / hash buckets in the join framework reuse the same
+//! type for their cell payloads.
+
+use std::cmp::Ordering;
+
+use crate::error::{ArrayError, Result};
+use crate::value::{DataType, Value};
+
+/// A typed column of attribute values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Strings.
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int(Vec::new()),
+            DataType::Float64 => Column::Float(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+        }
+    }
+
+    /// An empty column with pre-reserved capacity.
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int(Vec::with_capacity(cap)),
+            DataType::Float64 => Column::Float(Vec::with_capacity(cap)),
+            DataType::Bool => Column::Bool(Vec::with_capacity(cap)),
+            DataType::Str => Column::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The column's element type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int64,
+            Column::Float(_) => DataType::Float64,
+            Column::Bool(_) => DataType::Bool,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of values in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one value, coercing ints to floats where the column is float.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v.push(x),
+            (Column::Float(v), Value::Float(x)) => v.push(x),
+            (Column::Float(v), Value::Int(x)) => v.push(x as f64),
+            (Column::Bool(v), Value::Bool(x)) => v.push(x),
+            (Column::Str(v), Value::Str(x)) => v.push(x),
+            (col, value) => {
+                return Err(ArrayError::TypeMismatch {
+                    expected: col.dtype().name().into(),
+                    actual: value.data_type().name().into(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the value at `i` (panics on out-of-bounds, like slice indexing).
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::Float(v[i]),
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// Compare the values at positions `a` and `b` without materializing.
+    pub fn cmp_at(&self, a: usize, b: usize) -> Ordering {
+        match self {
+            Column::Int(v) => v[a].cmp(&v[b]),
+            Column::Float(v) => v[a].total_cmp(&v[b]),
+            Column::Bool(v) => v[a].cmp(&v[b]),
+            Column::Str(v) => v[a].cmp(&v[b]),
+        }
+    }
+
+    /// Move all values of `other` onto the end of `self`.
+    pub fn append(&mut self, other: &mut Column) -> Result<()> {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.append(b),
+            (Column::Float(a), Column::Float(b)) => a.append(b),
+            (Column::Bool(a), Column::Bool(b)) => a.append(b),
+            (Column::Str(a), Column::Str(b)) => a.append(b),
+            (a, b) => {
+                return Err(ArrayError::TypeMismatch {
+                    expected: a.dtype().name().into(),
+                    actual: b.dtype().name().into(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a new column containing `self[indices[0]], self[indices[1]], …`.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Approximate heap bytes used by the column payload.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * 8,
+            Column::Float(v) => v.len() * 8,
+            Column::Bool(v) => v.len(),
+            Column::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+}
+
+/// A columnar batch of cells: coordinate columns plus attribute columns.
+///
+/// All columns have identical length (one entry per occupied cell). The
+/// batch knows nothing about chunking or schemas beyond its column count;
+/// callers pair it with an [`crate::schema::ArraySchema`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellBatch {
+    /// One `i64` coordinate column per dimension.
+    pub coords: Vec<Vec<i64>>,
+    /// One typed column per attribute.
+    pub attrs: Vec<Column>,
+}
+
+impl CellBatch {
+    /// An empty batch with `ndims` coordinate columns and the given
+    /// attribute types.
+    pub fn new(ndims: usize, attr_types: &[DataType]) -> Self {
+        CellBatch {
+            coords: vec![Vec::new(); ndims],
+            attrs: attr_types.iter().map(|&t| Column::new(t)).collect(),
+        }
+    }
+
+    /// An empty batch with pre-reserved capacity in every column.
+    pub fn with_capacity(ndims: usize, attr_types: &[DataType], cap: usize) -> Self {
+        CellBatch {
+            coords: vec![Vec::with_capacity(cap); ndims],
+            attrs: attr_types
+                .iter()
+                .map(|&t| Column::with_capacity(t, cap))
+                .collect(),
+        }
+    }
+
+    /// Number of dimensions (coordinate columns).
+    pub fn ndims(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of attribute columns.
+    pub fn nattrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of cells in the batch.
+    pub fn len(&self) -> usize {
+        self.coords.first().map_or_else(
+            || self.attrs.first().map_or(0, Column::len),
+            Vec::len,
+        )
+    }
+
+    /// Whether the batch holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one cell given its coordinates and attribute values.
+    pub fn push(&mut self, coord: &[i64], values: &[Value]) -> Result<()> {
+        if coord.len() != self.coords.len() {
+            return Err(ArrayError::ArityMismatch {
+                expected: self.coords.len(),
+                actual: coord.len(),
+            });
+        }
+        if values.len() != self.attrs.len() {
+            return Err(ArrayError::ArityMismatch {
+                expected: self.attrs.len(),
+                actual: values.len(),
+            });
+        }
+        for (col, &c) in self.coords.iter_mut().zip(coord) {
+            col.push(c);
+        }
+        for (col, v) in self.attrs.iter_mut().zip(values) {
+            col.push(v.clone())?;
+        }
+        Ok(())
+    }
+
+    /// The coordinate of cell `i` as an owned vector.
+    pub fn coord(&self, i: usize) -> Vec<i64> {
+        self.coords.iter().map(|c| c[i]).collect()
+    }
+
+    /// The value of attribute column `a` at cell `i`.
+    pub fn value(&self, i: usize, a: usize) -> Value {
+        self.attrs[a].get(i)
+    }
+
+    /// Move every cell of `other` onto the end of `self`.
+    ///
+    /// Column counts and types must match.
+    pub fn append(&mut self, mut other: CellBatch) -> Result<()> {
+        if other.ndims() != self.ndims() || other.nattrs() != self.nattrs() {
+            return Err(ArrayError::SchemaMismatch(format!(
+                "cannot append batch with {} dims / {} attrs to one with {} dims / {} attrs",
+                other.ndims(),
+                other.nattrs(),
+                self.ndims(),
+                self.nattrs()
+            )));
+        }
+        for (a, b) in self.coords.iter_mut().zip(&mut other.coords) {
+            a.append(b);
+        }
+        for (a, b) in self.attrs.iter_mut().zip(&mut other.attrs) {
+            a.append(b)?;
+        }
+        Ok(())
+    }
+
+    /// Compare the coordinates of cells `a` and `b` in C-style (row-major,
+    /// first dimension outermost) order.
+    pub fn cmp_coords(&self, a: usize, b: usize) -> Ordering {
+        for col in &self.coords {
+            match col[a].cmp(&col[b]) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Whether the cells are in C-style coordinate order.
+    pub fn is_sorted_c_order(&self) -> bool {
+        (1..self.len()).all(|i| self.cmp_coords(i - 1, i) != Ordering::Greater)
+    }
+
+    /// Sort the cells into C-style coordinate order.
+    ///
+    /// Implements the sort invoked by `redim`/`sort` operators
+    /// (paper Table 1); stable so attribute order among coordinate ties
+    /// is deterministic.
+    pub fn sort_c_order(&mut self) {
+        if self.is_sorted_c_order() {
+            return;
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.sort_by(|&a, &b| self.cmp_coords(a, b));
+        self.apply_permutation(&indices);
+    }
+
+    /// Reorder the batch so row `i` of the result is old row `perm[i]`.
+    pub fn apply_permutation(&mut self, perm: &[usize]) {
+        debug_assert_eq!(perm.len(), self.len());
+        for col in &mut self.coords {
+            let new: Vec<i64> = perm.iter().map(|&i| col[i]).collect();
+            *col = new;
+        }
+        for col in &mut self.attrs {
+            *col = col.take(perm);
+        }
+    }
+
+    /// A new batch containing only the rows at `indices` (in that order).
+    pub fn take(&self, indices: &[usize]) -> CellBatch {
+        CellBatch {
+            coords: self
+                .coords
+                .iter()
+                .map(|c| indices.iter().map(|&i| c[i]).collect())
+                .collect(),
+            attrs: self.attrs.iter().map(|c| c.take(indices)).collect(),
+        }
+    }
+
+    /// Compare rows `a` and `b` lexicographically by the given attribute
+    /// columns (used to order dimension-less join units by key).
+    pub fn cmp_by_attr_columns(&self, cols: &[usize], a: usize, b: usize) -> Ordering {
+        for &c in cols {
+            match self.attrs[c].cmp_at(a, b) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Whether rows are sorted by the given attribute columns.
+    pub fn is_sorted_by_attr_columns(&self, cols: &[usize]) -> bool {
+        (1..self.len()).all(|i| self.cmp_by_attr_columns(cols, i - 1, i) != Ordering::Greater)
+    }
+
+    /// Stable-sort rows by the given attribute columns.
+    pub fn sort_by_attr_columns(&mut self, cols: &[usize]) {
+        if self.is_sorted_by_attr_columns(cols) {
+            return;
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.sort_by(|&a, &b| self.cmp_by_attr_columns(cols, a, b));
+        self.apply_permutation(&indices);
+    }
+
+    /// Approximate heap bytes held by the batch.
+    pub fn byte_size(&self) -> usize {
+        self.coords.iter().map(|c| c.len() * 8).sum::<usize>()
+            + self.attrs.iter().map(Column::byte_size).sum::<usize>()
+    }
+
+    /// Iterate over `(coord, values)` pairs. Intended for tests and small
+    /// result sets; hot paths should index columns directly.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (Vec<i64>, Vec<Value>)> + '_ {
+        (0..self.len()).map(move |i| {
+            (
+                self.coord(i),
+                (0..self.nattrs()).map(|a| self.value(i, a)).collect(),
+            )
+        })
+    }
+
+    /// Internal consistency check: every column has the same length.
+    pub fn check_consistent(&self) -> Result<()> {
+        let n = self.len();
+        for (d, c) in self.coords.iter().enumerate() {
+            if c.len() != n {
+                return Err(ArrayError::SchemaMismatch(format!(
+                    "coordinate column {d} has length {} but batch length is {n}",
+                    c.len()
+                )));
+            }
+        }
+        for (a, c) in self.attrs.iter().enumerate() {
+            if c.len() != n {
+                return Err(ArrayError::SchemaMismatch(format!(
+                    "attribute column {a} has length {} but batch length is {n}",
+                    c.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> CellBatch {
+        let mut b = CellBatch::new(2, &[DataType::Int64, DataType::Float64]);
+        b.push(&[2, 1], &[Value::Int(10), Value::Float(0.5)]).unwrap();
+        b.push(&[1, 2], &[Value::Int(20), Value::Float(1.5)]).unwrap();
+        b.push(&[1, 1], &[Value::Int(30), Value::Float(2.5)]).unwrap();
+        b
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let b = sample_batch();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.coord(0), vec![2, 1]);
+        assert_eq!(b.value(1, 0), Value::Int(20));
+        assert_eq!(b.value(2, 1), Value::Float(2.5));
+        b.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn push_arity_and_type_checks() {
+        let mut b = CellBatch::new(2, &[DataType::Int64]);
+        assert!(b.push(&[1], &[Value::Int(1)]).is_err());
+        assert!(b.push(&[1, 2], &[]).is_err());
+        assert!(b.push(&[1, 2], &[Value::Str("x".into())]).is_err());
+        // Int coerces into float columns.
+        let mut f = CellBatch::new(1, &[DataType::Float64]);
+        f.push(&[1], &[Value::Int(3)]).unwrap();
+        assert_eq!(f.value(0, 0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn c_order_sort() {
+        let mut b = sample_batch();
+        assert!(!b.is_sorted_c_order());
+        b.sort_c_order();
+        assert!(b.is_sorted_c_order());
+        assert_eq!(b.coord(0), vec![1, 1]);
+        assert_eq!(b.coord(1), vec![1, 2]);
+        assert_eq!(b.coord(2), vec![2, 1]);
+        // Attribute values moved with their cells.
+        assert_eq!(b.value(0, 0), Value::Int(30));
+        assert_eq!(b.value(2, 0), Value::Int(10));
+    }
+
+    #[test]
+    fn sort_is_idempotent() {
+        let mut b = sample_batch();
+        b.sort_c_order();
+        let snapshot = b.clone();
+        b.sort_c_order();
+        assert_eq!(b, snapshot);
+    }
+
+    #[test]
+    fn figure1_serialization_order() {
+        // Paper Figure 1: the first chunk of A serializes v1 as
+        // (3,1,1,7,4,0,0) in C-style order. Occupied cells of chunk (i,j in
+        // 1..=3): (1,2)=3, (1,3)=1, (2,1)=1, (2,2)=7, (3,1)=4, (3,2)=0, (3,3)=0
+        let mut b = CellBatch::new(2, &[DataType::Int64]);
+        // Insert shuffled.
+        for (i, j, v) in [
+            (3, 2, 0),
+            (1, 2, 3),
+            (2, 1, 1),
+            (3, 3, 0),
+            (1, 3, 1),
+            (3, 1, 4),
+            (2, 2, 7),
+        ] {
+            b.push(&[i, j], &[Value::Int(v)]).unwrap();
+        }
+        b.sort_c_order();
+        let serialized: Vec<i64> = (0..b.len())
+            .map(|i| b.value(i, 0).as_int().unwrap())
+            .collect();
+        assert_eq!(serialized, vec![3, 1, 1, 7, 4, 0, 0]);
+    }
+
+    #[test]
+    fn append_merges_batches() {
+        let mut a = sample_batch();
+        let b = sample_batch();
+        a.append(b).unwrap();
+        assert_eq!(a.len(), 6);
+        a.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn append_rejects_mismatched_shapes() {
+        let mut a = sample_batch();
+        let b = CellBatch::new(1, &[DataType::Int64]);
+        assert!(a.append(b).is_err());
+        let c = CellBatch::new(2, &[DataType::Str, DataType::Float64]);
+        assert!(a.append(c).is_err());
+    }
+
+    #[test]
+    fn take_selects_rows() {
+        let b = sample_batch();
+        let t = b.take(&[2, 0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.coord(0), vec![1, 1]);
+        assert_eq!(t.coord(1), vec![2, 1]);
+        assert_eq!(t.value(0, 0), Value::Int(30));
+    }
+
+    #[test]
+    fn empty_batch_properties() {
+        let b = CellBatch::new(3, &[]);
+        assert!(b.is_empty());
+        assert!(b.is_sorted_c_order());
+        assert_eq!(b.byte_size(), 0);
+        b.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn dimensionless_batch_len_comes_from_attrs() {
+        // Hash buckets are dimension-less (paper §4: hash produces
+        // "unordered buckets"); length must still be tracked.
+        let mut b = CellBatch::new(0, &[DataType::Int64]);
+        b.push(&[], &[Value::Int(1)]).unwrap();
+        b.push(&[], &[Value::Int(2)]).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn sort_by_attr_columns_orders_keys() {
+        let mut b = CellBatch::new(0, &[DataType::Int64, DataType::Int64]);
+        for (k, v) in [(3, 30), (1, 10), (2, 20), (1, 11)] {
+            b.push(&[], &[Value::Int(k), Value::Int(v)]).unwrap();
+        }
+        assert!(!b.is_sorted_by_attr_columns(&[0]));
+        b.sort_by_attr_columns(&[0]);
+        assert!(b.is_sorted_by_attr_columns(&[0]));
+        let keys: Vec<i64> = (0..4).map(|i| b.value(i, 0).as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 1, 2, 3]);
+        // Stability: 10 precedes 11 (original order among equal keys).
+        assert_eq!(b.value(0, 1), Value::Int(10));
+        assert_eq!(b.value(1, 1), Value::Int(11));
+    }
+
+    #[test]
+    fn cmp_by_attr_columns_multi_key() {
+        let mut b = CellBatch::new(0, &[DataType::Int64, DataType::Int64]);
+        b.push(&[], &[Value::Int(1), Value::Int(5)]).unwrap();
+        b.push(&[], &[Value::Int(1), Value::Int(3)]).unwrap();
+        assert_eq!(b.cmp_by_attr_columns(&[0], 0, 1), Ordering::Equal);
+        assert_eq!(b.cmp_by_attr_columns(&[0, 1], 0, 1), Ordering::Greater);
+    }
+
+    #[test]
+    fn column_cmp_at() {
+        let c = Column::Float(vec![1.0, f64::NAN, 0.5]);
+        assert_eq!(c.cmp_at(0, 2), Ordering::Greater);
+        assert_eq!(c.cmp_at(1, 1), Ordering::Equal);
+        assert_eq!(c.cmp_at(0, 1), Ordering::Less); // NaN sorts last
+    }
+
+    #[test]
+    fn byte_size_estimates() {
+        let b = sample_batch();
+        // 2 coord cols * 3 cells * 8 + int col 24 + float col 24
+        assert_eq!(b.byte_size(), 48 + 24 + 24);
+    }
+}

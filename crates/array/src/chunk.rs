@@ -1,0 +1,168 @@
+//! Multidimensional chunks: the unit of storage, I/O and network transfer.
+//!
+//! A chunk covers a fixed hyper-rectangle of the array's dimension space
+//! (paper §2.1). Only occupied cells are stored, so a chunk's physical size
+//! is proportional to its occupancy — the source of *storage skew*.
+
+use crate::batch::CellBatch;
+use crate::error::{ArrayError, Result};
+use crate::schema::ArraySchema;
+use crate::value::Value;
+
+/// One stored chunk of an array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Per-dimension chunk indices locating this chunk in the chunk grid.
+    pub pos: Vec<u64>,
+    /// The occupied cells, stored columnar (vertically partitioned).
+    pub cells: CellBatch,
+    /// Whether `cells` is in C-style coordinate order. Freshly `rechunk`ed
+    /// chunks are unsorted; `redim`/`sort` produce ordered chunks.
+    pub sorted: bool,
+}
+
+impl Chunk {
+    /// An empty chunk at grid position `pos` for the given schema.
+    pub fn new(schema: &ArraySchema, pos: Vec<u64>) -> Self {
+        let attr_types: Vec<_> = schema.attrs.iter().map(|a| a.dtype).collect();
+        Chunk {
+            pos,
+            cells: CellBatch::new(schema.ndims(), &attr_types),
+            sorted: true, // an empty chunk is trivially sorted
+        }
+    }
+
+    /// Number of occupied cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the chunk stores no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Approximate stored size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.cells.byte_size()
+    }
+
+    /// Append a cell. Marks the chunk unsorted unless the new cell extends
+    /// the existing C-order.
+    pub fn push(&mut self, coord: &[i64], values: &[Value]) -> Result<()> {
+        let n = self.cells.len();
+        self.cells.push(coord, values)?;
+        if self.sorted && n > 0
+            && self.cells.cmp_coords(n - 1, n) == std::cmp::Ordering::Greater {
+                self.sorted = false;
+            }
+        Ok(())
+    }
+
+    /// Sort the chunk's cells into C-order if they are not already.
+    pub fn sort(&mut self) {
+        if !self.sorted {
+            self.cells.sort_c_order();
+            self.sorted = true;
+        }
+    }
+
+    /// Verify that every stored cell lies inside this chunk's region of
+    /// `schema`'s dimension space, and that the sorted flag is truthful.
+    pub fn validate(&self, schema: &ArraySchema) -> Result<()> {
+        if self.pos.len() != schema.ndims() {
+            return Err(ArrayError::SchemaMismatch(format!(
+                "chunk position has {} dims, schema has {}",
+                self.pos.len(),
+                schema.ndims()
+            )));
+        }
+        self.cells.check_consistent()?;
+        for i in 0..self.cells.len() {
+            for (d, dim) in schema.dims.iter().enumerate() {
+                let c = self.cells.coords[d][i];
+                let lo = dim.chunk_start(self.pos[d]);
+                let hi = dim.chunk_end(self.pos[d]);
+                if c < lo || c > hi {
+                    return Err(ArrayError::CoordOutOfBounds {
+                        dimension: dim.name.clone(),
+                        value: c,
+                        range: (lo, hi),
+                    });
+                }
+            }
+        }
+        if self.sorted && !self.cells.is_sorted_c_order() {
+            return Err(ArrayError::SchemaMismatch(
+                "chunk flagged sorted but cells are out of order".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn schema() -> ArraySchema {
+        ArraySchema::parse("A<v:int>[i=1,6,3, j=1,6,3]").unwrap()
+    }
+
+    #[test]
+    fn new_chunk_is_empty_and_sorted() {
+        let c = Chunk::new(&schema(), vec![0, 0]);
+        assert!(c.is_empty());
+        assert!(c.sorted);
+        c.validate(&schema()).unwrap();
+    }
+
+    #[test]
+    fn push_in_order_keeps_sorted_flag() {
+        let mut c = Chunk::new(&schema(), vec![0, 0]);
+        c.push(&[1, 1], &[Value::Int(1)]).unwrap();
+        c.push(&[1, 2], &[Value::Int(2)]).unwrap();
+        c.push(&[2, 1], &[Value::Int(3)]).unwrap();
+        assert!(c.sorted);
+    }
+
+    #[test]
+    fn push_out_of_order_clears_sorted_flag() {
+        let mut c = Chunk::new(&schema(), vec![0, 0]);
+        c.push(&[2, 1], &[Value::Int(1)]).unwrap();
+        c.push(&[1, 1], &[Value::Int(2)]).unwrap();
+        assert!(!c.sorted);
+        c.sort();
+        assert!(c.sorted);
+        assert_eq!(c.cells.coord(0), vec![1, 1]);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_region_cells() {
+        let mut c = Chunk::new(&schema(), vec![0, 0]);
+        // (5,5) belongs to chunk (1,1), not (0,0).
+        c.push(&[5, 5], &[Value::Int(1)]).unwrap();
+        assert!(c.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_lying_sorted_flag() {
+        let mut c = Chunk::new(&schema(), vec![0, 0]);
+        c.push(&[2, 1], &[Value::Int(1)]).unwrap();
+        c.push(&[1, 1], &[Value::Int(2)]).unwrap();
+        c.sorted = true; // lie
+        assert!(c.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn byte_size_proportional_to_occupancy() {
+        let mut a = Chunk::new(&schema(), vec![0, 0]);
+        let mut b = Chunk::new(&schema(), vec![0, 0]);
+        a.push(&[1, 1], &[Value::Int(1)]).unwrap();
+        for j in 1..=3 {
+            b.push(&[1, j], &[Value::Int(1)]).unwrap();
+        }
+        assert_eq!(b.byte_size(), 3 * a.byte_size());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for the array storage engine.
+
+use std::fmt;
+
+/// Errors produced by array-engine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// A schema failed validation (duplicate names, empty dimension, ...).
+    InvalidSchema(String),
+    /// A coordinate fell outside the dimension space of the target schema.
+    CoordOutOfBounds {
+        /// The offending dimension name.
+        dimension: String,
+        /// The coordinate value along that dimension.
+        value: i64,
+        /// Inclusive dimension range.
+        range: (i64, i64),
+    },
+    /// A named dimension was not found in the schema.
+    NoSuchDimension(String),
+    /// A named attribute was not found in the schema.
+    NoSuchAttribute(String),
+    /// A value had the wrong type for the column it was written to.
+    TypeMismatch {
+        /// What the schema expects.
+        expected: String,
+        /// What the caller supplied.
+        actual: String,
+    },
+    /// A cell write had the wrong number of coordinates or attribute values.
+    ArityMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Supplied number of elements.
+        actual: usize,
+    },
+    /// An operator received inputs whose schemas are incompatible.
+    SchemaMismatch(String),
+    /// A schema literal failed to parse.
+    Parse(String),
+    /// An expression could not be evaluated.
+    Eval(String),
+    /// Two occupied cells landed on the same coordinates during a
+    /// redimension whose policy forbids collisions.
+    CellCollision {
+        /// Human-readable rendering of the colliding coordinate.
+        coord: String,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            ArrayError::CoordOutOfBounds {
+                dimension,
+                value,
+                range,
+            } => write!(
+                f,
+                "coordinate {value} out of bounds for dimension `{dimension}` (range {}..={})",
+                range.0, range.1
+            ),
+            ArrayError::NoSuchDimension(name) => write!(f, "no such dimension: `{name}`"),
+            ArrayError::NoSuchAttribute(name) => write!(f, "no such attribute: `{name}`"),
+            ArrayError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            ArrayError::ArityMismatch { expected, actual } => {
+                write!(f, "arity mismatch: expected {expected} elements, got {actual}")
+            }
+            ArrayError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            ArrayError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ArrayError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            ArrayError::CellCollision { coord } => {
+                write!(f, "cell collision at coordinate {coord}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ArrayError>;

@@ -1,0 +1,460 @@
+//! Scalar expressions over cells.
+//!
+//! Used by `filter` predicates (e.g. `v1 > 5`, paper §2.2) and by SELECT
+//! lists that compute derived attributes (e.g. the normalized difference
+//! vegetation index `(b2 - b1) / (b2 + b1)`, paper §6.3.2).
+
+use std::fmt;
+
+use crate::batch::CellBatch;
+use crate::error::{ArrayError, Result};
+use crate::schema::ArraySchema;
+use crate::value::{DataType, Value};
+
+/// Binary operators available in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (always float-valued).
+    Div,
+    /// Modulo (integers only).
+    Mod,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+impl BinOp {
+    fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a dimension or attribute by name; resolved against the
+    /// schema at bind time.
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    /// Shorthand for a float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Literal(Value::Float(v))
+    }
+
+    /// Build a binary expression.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Names of all columns the expression references.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => out.push(name.clone()),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Neg(inner) | Expr::Not(inner) => inner.collect_columns(out),
+        }
+    }
+
+    /// Bind column names against `schema`, producing an evaluable form.
+    pub fn bind(&self, schema: &ArraySchema) -> Result<BoundExpr> {
+        match self {
+            Expr::Column(name) => {
+                if let Ok(d) = schema.dim_index(name) {
+                    Ok(BoundExpr::Dim(d))
+                } else if let Ok(a) = schema.attr_index(name) {
+                    Ok(BoundExpr::Attr(a, schema.attrs[a].dtype))
+                } else {
+                    Err(ArrayError::NoSuchAttribute(name.clone()))
+                }
+            }
+            Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+            Expr::Binary { op, left, right } => Ok(BoundExpr::Binary {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            }),
+            Expr::Neg(inner) => Ok(BoundExpr::Neg(Box::new(inner.bind(schema)?))),
+            Expr::Not(inner) => Ok(BoundExpr::Not(Box::new(inner.bind(schema)?))),
+        }
+    }
+
+    /// Static result type of the expression under `schema`.
+    pub fn result_type(&self, schema: &ArraySchema) -> Result<DataType> {
+        self.bind(schema)?.result_type()
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => f.write_str(name),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+        }
+    }
+}
+
+/// An expression with column references resolved to indices.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Dimension coordinate at index.
+    Dim(usize),
+    /// Attribute column at index, with its type.
+    Attr(usize, DataType),
+    /// Literal.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Numeric negation.
+    Neg(Box<BoundExpr>),
+    /// Logical not.
+    Not(Box<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Evaluate against cell `row` of `batch`.
+    pub fn eval(&self, batch: &CellBatch, row: usize) -> Result<Value> {
+        match self {
+            BoundExpr::Dim(d) => Ok(Value::Int(batch.coords[*d][row])),
+            BoundExpr::Attr(a, _) => Ok(batch.attrs[*a].get(row)),
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::Binary { op, left, right } => {
+                let l = left.eval(batch, row)?;
+                let r = right.eval(batch, row)?;
+                eval_binary(*op, &l, &r)
+            }
+            BoundExpr::Neg(inner) => match inner.eval(batch, row)? {
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Float(v) => Ok(Value::Float(-v)),
+                other => Err(ArrayError::Eval(format!("cannot negate {other}"))),
+            },
+            BoundExpr::Not(inner) => match inner.eval(batch, row)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(ArrayError::Eval(format!("NOT of non-boolean {other}"))),
+            },
+        }
+    }
+
+    /// Static result type.
+    pub fn result_type(&self) -> Result<DataType> {
+        match self {
+            BoundExpr::Dim(_) => Ok(DataType::Int64),
+            BoundExpr::Attr(_, t) => Ok(*t),
+            BoundExpr::Literal(v) => Ok(v.data_type()),
+            BoundExpr::Binary { op, left, right } => {
+                let l = left.result_type()?;
+                let r = right.result_type()?;
+                match op {
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        Ok(DataType::Bool)
+                    }
+                    BinOp::And | BinOp::Or => Ok(DataType::Bool),
+                    BinOp::Div => Ok(DataType::Float64),
+                    BinOp::Mod => Ok(DataType::Int64),
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                        if l == DataType::Float64 || r == DataType::Float64 {
+                            Ok(DataType::Float64)
+                        } else {
+                            Ok(DataType::Int64)
+                        }
+                    }
+                }
+            }
+            BoundExpr::Neg(inner) => inner.result_type(),
+            BoundExpr::Not(_) => Ok(DataType::Bool),
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            let (a, b) = match (l.as_bool(), r.as_bool()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(ArrayError::Eval(format!(
+                        "{} applied to non-booleans {l}, {r}",
+                        op.symbol()
+                    )))
+                }
+            };
+            Ok(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = compare_values(l, r)?;
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                Ne => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                let v = match op {
+                    Add => a.wrapping_add(*b),
+                    Sub => a.wrapping_sub(*b),
+                    Mul => a.wrapping_mul(*b),
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(v))
+            }
+            _ => {
+                let (a, b) = numeric_pair(l, r, op)?;
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Float(v))
+            }
+        },
+        Div => {
+            let (a, b) = numeric_pair(l, r, op)?;
+            Ok(Value::Float(a / b))
+        }
+        Mod => match (l, r) {
+            (Value::Int(a), Value::Int(b)) if *b != 0 => Ok(Value::Int(a.rem_euclid(*b))),
+            (Value::Int(_), Value::Int(0)) => Err(ArrayError::Eval("modulo by zero".into())),
+            _ => Err(ArrayError::Eval(format!(
+                "% applied to non-integers {l}, {r}"
+            ))),
+        },
+    }
+}
+
+/// Numeric-aware comparison used by predicates: `Int(2)` equals
+/// `Float(2.0)` here, unlike the total `Ord` on [`Value`].
+pub fn compare_values(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+        (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+        (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+        _ => {
+            let (a, b) = match (l.as_float(), r.as_float()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(ArrayError::Eval(format!(
+                        "cannot compare {l} with {r}"
+                    )))
+                }
+            };
+            Ok(a.total_cmp(&b))
+        }
+    }
+}
+
+fn numeric_pair(l: &Value, r: &Value, op: BinOp) -> Result<(f64, f64)> {
+    match (l.as_float(), r.as_float()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(ArrayError::Eval(format!(
+            "{} applied to non-numeric values {l}, {r}",
+            op.symbol()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> ArraySchema {
+        ArraySchema::parse("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap()
+    }
+
+    fn batch() -> CellBatch {
+        let mut b = CellBatch::new(2, &[DataType::Int64, DataType::Float64]);
+        b.push(&[1, 2], &[Value::Int(3), Value::Float(1.1)]).unwrap();
+        b.push(&[2, 2], &[Value::Int(7), Value::Float(1.3)]).unwrap();
+        b
+    }
+
+    #[test]
+    fn filter_predicate_from_paper() {
+        // SELECT * FROM A WHERE v1 > 5 (paper §2.2)
+        let e = Expr::binary(BinOp::Gt, Expr::col("v1"), Expr::int(5));
+        let bound = e.bind(&schema()).unwrap();
+        let b = batch();
+        assert_eq!(bound.eval(&b, 0).unwrap(), Value::Bool(false));
+        assert_eq!(bound.eval(&b, 1).unwrap(), Value::Bool(true));
+        assert_eq!(bound.result_type().unwrap(), DataType::Bool);
+    }
+
+    #[test]
+    fn dimension_references_evaluate_to_coords() {
+        let e = Expr::binary(BinOp::Add, Expr::col("i"), Expr::col("j"));
+        let bound = e.bind(&schema()).unwrap();
+        assert_eq!(bound.eval(&batch(), 0).unwrap(), Value::Int(3));
+        assert_eq!(bound.eval(&batch(), 1).unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn ndvi_expression() {
+        // (v2 - v1) / (v2 + v1), mixed int/float arithmetic.
+        let e = Expr::binary(
+            BinOp::Div,
+            Expr::binary(BinOp::Sub, Expr::col("v2"), Expr::col("v1")),
+            Expr::binary(BinOp::Add, Expr::col("v2"), Expr::col("v1")),
+        );
+        let bound = e.bind(&schema()).unwrap();
+        let v = bound.eval(&batch(), 0).unwrap().as_float().unwrap();
+        assert!((v - (1.1 - 3.0) / (1.1 + 3.0)).abs() < 1e-12);
+        assert_eq!(bound.result_type().unwrap(), DataType::Float64);
+    }
+
+    #[test]
+    fn unknown_column_fails_at_bind() {
+        let e = Expr::col("nope");
+        assert!(e.bind(&schema()).is_err());
+    }
+
+    #[test]
+    fn logical_ops_and_not() {
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::binary(BinOp::Ge, Expr::col("v1"), Expr::int(3)),
+            Expr::Not(Box::new(Expr::binary(
+                BinOp::Eq,
+                Expr::col("i"),
+                Expr::int(2),
+            ))),
+        );
+        let bound = e.bind(&schema()).unwrap();
+        assert_eq!(bound.eval(&batch(), 0).unwrap(), Value::Bool(true));
+        assert_eq!(bound.eval(&batch(), 1).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn type_errors_surface_as_eval_errors() {
+        let e = Expr::binary(BinOp::Add, Expr::col("v1"), Expr::Literal(Value::Bool(true)));
+        let bound = e.bind(&schema()).unwrap();
+        assert!(bound.eval(&batch(), 0).is_err());
+    }
+
+    #[test]
+    fn modulo_semantics() {
+        let e = Expr::binary(BinOp::Mod, Expr::col("v1"), Expr::int(4));
+        let bound = e.bind(&schema()).unwrap();
+        assert_eq!(bound.eval(&batch(), 1).unwrap(), Value::Int(3));
+        let zero = Expr::binary(BinOp::Mod, Expr::col("v1"), Expr::int(0));
+        assert!(zero.bind(&schema()).unwrap().eval(&batch(), 0).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_deduplicated() {
+        let e = Expr::binary(
+            BinOp::Mul,
+            Expr::binary(BinOp::Add, Expr::col("v1"), Expr::col("v1")),
+            Expr::col("j"),
+        );
+        assert_eq!(e.referenced_columns(), vec!["j".to_string(), "v1".to_string()]);
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(
+            compare_values(&Value::Int(2), &Value::Float(2.0)).unwrap(),
+            std::cmp::Ordering::Equal
+        );
+        assert!(compare_values(&Value::Int(2), &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn display_renders_infix() {
+        let e = Expr::binary(BinOp::Gt, Expr::col("v1"), Expr::int(5));
+        assert_eq!(e.to_string(), "(v1 > 5)");
+    }
+}

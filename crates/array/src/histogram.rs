@@ -1,0 +1,157 @@
+//! Value-distribution histograms for schema inference.
+//!
+//! When a join predicate turns an attribute into a dimension of the join
+//! schema, the optimizer "infers the dimension shape by referencing
+//! statistics in the database engine about the source data … translating a
+//! histogram of the source data's value distribution into a set of ranges
+//! and chunking intervals" (paper §4). This module provides that
+//! histogram and the range/chunk-interval inference.
+
+use crate::batch::CellBatch;
+use crate::error::{ArrayError, Result};
+use crate::value::Value;
+
+/// An equi-width histogram over the (numeric) values of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Total number of observed values.
+    pub count: u64,
+    /// Per-bucket counts over `[min, max]` split evenly.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build a histogram with `nbuckets` buckets from an iterator of values.
+    pub fn build<I>(values: I, nbuckets: usize) -> Result<Self>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let nums: Vec<f64> = values
+            .into_iter()
+            .map(|v| {
+                v.as_float().ok_or_else(|| {
+                    ArrayError::Eval(format!("histogram over non-numeric value {v}"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        if nums.is_empty() {
+            return Err(ArrayError::Eval("histogram over empty input".into()));
+        }
+        let nbuckets = nbuckets.max(1);
+        let min = nums.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = nums.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut buckets = vec![0u64; nbuckets];
+        let width = (max - min) / nbuckets as f64;
+        for &v in &nums {
+            let idx = if width == 0.0 {
+                0
+            } else {
+                (((v - min) / width) as usize).min(nbuckets - 1)
+            };
+            buckets[idx] += 1;
+        }
+        Ok(Histogram {
+            min,
+            max,
+            count: nums.len() as u64,
+            buckets,
+        })
+    }
+
+    /// Build from one attribute column of a batch.
+    pub fn of_column(batch: &CellBatch, attr: usize, nbuckets: usize) -> Result<Self> {
+        Histogram::build((0..batch.len()).map(|i| batch.value(i, attr)), nbuckets)
+    }
+
+    /// Infer a `(start, end, chunk_interval)` dimension shape such that an
+    /// *average-density* chunk holds about `target_cells_per_chunk` cells.
+    ///
+    /// The range is the observed `[min, max]` of the values (rounded
+    /// outward to integers); the chunk interval divides the extent so that
+    /// `count / num_chunks ≈ target_cells_per_chunk` under uniform density.
+    pub fn infer_dimension(&self, target_cells_per_chunk: u64) -> (i64, i64, u64) {
+        let start = self.min.floor() as i64;
+        let end = self.max.ceil() as i64;
+        let extent = (end - start).max(0) as u64 + 1;
+        let target = target_cells_per_chunk.max(1);
+        let num_chunks = (self.count.div_ceil(target)).max(1);
+        let interval = extent.div_ceil(num_chunks).max(1);
+        (start, end, interval)
+    }
+
+    /// The Zipf-style skew of the bucket counts: fraction of values that
+    /// fall in the heaviest `frac` of buckets. Used in tests and stats
+    /// reporting (e.g. AIS's "85% of data in 5% of the chunks").
+    pub fn concentration(&self, frac: f64) -> f64 {
+        let mut sorted = self.buckets.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let k = ((sorted.len() as f64 * frac).ceil() as usize).clamp(1, sorted.len());
+        let top: u64 = sorted[..k].iter().sum();
+        top as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_histogram_is_flat() {
+        let h = Histogram::build((0..1000).map(Value::Int), 10).unwrap();
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 999.0);
+        for &b in &h.buckets {
+            assert_eq!(b, 100);
+        }
+    }
+
+    #[test]
+    fn skewed_histogram_concentrates() {
+        // 90% of values in one spot.
+        let values = (0..900)
+            .map(|_| Value::Int(5))
+            .chain((0..100).map(|i| Value::Int(i * 10)));
+        let h = Histogram::build(values, 10).unwrap();
+        assert!(h.concentration(0.1) >= 0.9);
+    }
+
+    #[test]
+    fn constant_column_single_bucket() {
+        let h = Histogram::build((0..10).map(|_| Value::Int(7)), 4).unwrap();
+        assert_eq!(h.min, 7.0);
+        assert_eq!(h.max, 7.0);
+        assert_eq!(h.buckets[0], 10);
+    }
+
+    #[test]
+    fn empty_and_non_numeric_inputs_error() {
+        assert!(Histogram::build(std::iter::empty::<Value>(), 4).is_err());
+        assert!(Histogram::build([Value::Str("x".into())], 4).is_err());
+    }
+
+    #[test]
+    fn infer_dimension_targets_chunk_occupancy() {
+        let h = Histogram::build((1..=10_000).map(Value::Int), 16).unwrap();
+        let (start, end, interval) = h.infer_dimension(1000);
+        assert_eq!(start, 1);
+        assert_eq!(end, 10_000);
+        // 10000 cells / 1000 per chunk = 10 chunks over extent 10000.
+        assert_eq!(interval, 1000);
+        // All cells fit in the inferred space.
+        let extent = (end - start + 1) as u64;
+        assert!(extent.div_ceil(interval) >= 10);
+    }
+
+    #[test]
+    fn infer_dimension_handles_tiny_inputs() {
+        let h = Histogram::build([Value::Int(5)], 4).unwrap();
+        let (start, end, interval) = h.infer_dimension(1_000_000);
+        assert_eq!((start, end), (5, 5));
+        assert!(interval >= 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # sj-array: a chunked multidimensional array storage engine
+//!
+//! This crate implements the Array Data Model (ADM) substrate of
+//! *Skew-Aware Join Optimization for Array Databases* (SIGMOD 2015, §2):
+//! a SciDB-like storage engine where
+//!
+//! * every array has named, ordered **dimensions** (contiguous integer
+//!   ranges with a chunk interval) and typed **attributes**;
+//! * cells are clustered into multidimensional **chunks**, sorted
+//!   C-style within each chunk, and **vertically partitioned** (one
+//!   column per attribute);
+//! * only occupied cells are stored, so chunk sizes mirror data skew.
+//!
+//! On top of the storage model it provides the schema-alignment operators
+//! the paper's logical join planner composes (Table 1): [`ops::redim`],
+//! [`ops::rechunk`], [`ops::hash_partition`], [`ops::sort`], [`ops::scan`],
+//! plus general [`ops::filter`]/[`ops::apply`]/[`ops::project`], scalar
+//! [`expr`]essions, and the value-distribution [`histogram`]s used for
+//! dimension-shape inference.
+//!
+//! ```
+//! use sj_array::{Array, ArraySchema, Value};
+//!
+//! let schema = ArraySchema::parse("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap();
+//! let array = Array::from_cells(schema, vec![
+//!     (vec![1, 2], vec![Value::Int(3), Value::Float(1.1)]),
+//!     (vec![5, 5], vec![Value::Int(3), Value::Float(1.4)]),
+//! ]).unwrap();
+//! assert_eq!(array.chunk_count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod array;
+mod batch;
+mod chunk;
+mod error;
+mod histogram;
+mod schema;
+mod value;
+
+pub mod expr;
+pub mod ops;
+
+pub use array::Array;
+pub use batch::{CellBatch, Column};
+pub use chunk::Chunk;
+pub use error::{ArrayError, Result};
+pub use expr::{BinOp, Expr};
+pub use histogram::Histogram;
+pub use schema::{ArraySchema, AttributeDef, DimensionDef};
+pub use value::{DataType, Value};

@@ -1,0 +1,164 @@
+//! `filter`, `apply`, and `project`: cell-level operators.
+
+use crate::array::Array;
+use crate::error::{ArrayError, Result};
+use crate::expr::Expr;
+use crate::schema::{ArraySchema, AttributeDef};
+use crate::value::Value;
+
+/// Keep only the cells for which `predicate` evaluates to `true`.
+///
+/// This is the AFL `filter(A, v1 > 5)` from paper §2.2. The output schema
+/// equals the input schema.
+pub fn filter(array: &Array, predicate: &Expr) -> Result<Array> {
+    let bound = predicate.bind(&array.schema)?;
+    let mut out = Array::new(array.schema.clone());
+    let mut values: Vec<Value> = Vec::with_capacity(array.schema.nattrs());
+    for (_, chunk) in array.chunks() {
+        let cells = &chunk.cells;
+        for row in 0..cells.len() {
+            match bound.eval(cells, row)? {
+                Value::Bool(true) => {
+                    values.clear();
+                    for a in 0..cells.nattrs() {
+                        values.push(cells.attrs[a].get(row));
+                    }
+                    let coord = cells.coord(row);
+                    out.insert(&coord, &values)?;
+                }
+                Value::Bool(false) => {}
+                other => {
+                    return Err(ArrayError::Eval(format!(
+                        "filter predicate evaluated to non-boolean {other}"
+                    )))
+                }
+            }
+        }
+    }
+    out.sort_chunks();
+    Ok(out)
+}
+
+/// Compute new attributes from expressions, keeping the dimension space.
+///
+/// Each `(name, expr)` pair adds an attribute; the output schema has
+/// exactly those attributes (the paper's SELECT lists compute derived
+/// values such as `Band2.reflectance - Band1.reflectance`).
+pub fn apply(array: &Array, outputs: &[(String, Expr)]) -> Result<Array> {
+    let mut attrs = Vec::with_capacity(outputs.len());
+    let mut bound = Vec::with_capacity(outputs.len());
+    for (name, expr) in outputs {
+        let dtype = expr.result_type(&array.schema)?;
+        attrs.push(AttributeDef::new(name.clone(), dtype));
+        bound.push(expr.bind(&array.schema)?);
+    }
+    let schema = ArraySchema::new(array.schema.name.clone(), array.schema.dims.clone(), attrs)?;
+    let mut out = Array::new(schema);
+    let mut values: Vec<Value> = Vec::with_capacity(outputs.len());
+    for (_, chunk) in array.chunks() {
+        let cells = &chunk.cells;
+        for row in 0..cells.len() {
+            values.clear();
+            for b in &bound {
+                values.push(b.eval(cells, row)?);
+            }
+            let coord = cells.coord(row);
+            out.insert(&coord, &values)?;
+        }
+    }
+    out.sort_chunks();
+    Ok(out)
+}
+
+/// Keep only the named attributes (vertical projection).
+///
+/// Array chunks are vertically partitioned precisely so joins can move
+/// "only the necessary attributes" (paper §2.1); `project` models that
+/// attribute subsetting.
+pub fn project(array: &Array, attr_names: &[&str]) -> Result<Array> {
+    let exprs: Vec<(String, Expr)> = attr_names
+        .iter()
+        .map(|&n| (n.to_string(), Expr::col(n)))
+        .collect();
+    // Validate that each name is an attribute, not a dimension.
+    for &n in attr_names {
+        if !array.schema.has_attr(n) {
+            return Err(ArrayError::NoSuchAttribute(n.to_string()));
+        }
+    }
+    apply(array, &exprs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn sample() -> Array {
+        let schema = ArraySchema::parse("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap();
+        Array::from_cells(
+            schema,
+            vec![
+                (vec![1, 2], vec![Value::Int(3), Value::Float(1.1)]),
+                (vec![2, 2], vec![Value::Int(7), Value::Float(1.3)]),
+                (vec![5, 5], vec![Value::Int(9), Value::Float(2.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_v1_gt_5() {
+        // SELECT * FROM A WHERE v1 > 5
+        let a = sample();
+        let out = filter(&a, &Expr::binary(BinOp::Gt, Expr::col("v1"), Expr::int(5))).unwrap();
+        assert_eq!(out.cell_count(), 2);
+        assert!(out.get(&[1, 2]).unwrap().is_none());
+        assert!(out.get(&[2, 2]).unwrap().is_some());
+        assert_eq!(out.schema, a.schema);
+    }
+
+    #[test]
+    fn filter_rejects_non_boolean_predicate() {
+        let a = sample();
+        assert!(filter(&a, &Expr::col("v1")).is_err());
+    }
+
+    #[test]
+    fn apply_computes_derived_attribute() {
+        let a = sample();
+        let out = apply(
+            &a,
+            &[(
+                "ratio".into(),
+                Expr::binary(BinOp::Div, Expr::col("v2"), Expr::col("v1")),
+            )],
+        )
+        .unwrap();
+        assert_eq!(out.schema.nattrs(), 1);
+        assert_eq!(out.schema.attrs[0].name, "ratio");
+        let v = out.get(&[2, 2]).unwrap().unwrap()[0].as_float().unwrap();
+        assert!((v - 1.3 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_subsets_attributes() {
+        let a = sample();
+        let out = project(&a, &["v2"]).unwrap();
+        assert_eq!(out.schema.nattrs(), 1);
+        assert_eq!(out.cell_count(), 3);
+        assert_eq!(
+            out.get(&[1, 2]).unwrap(),
+            Some(vec![Value::Float(1.1)])
+        );
+        // Projection shrinks stored bytes (vertical partitioning payoff).
+        assert!(out.byte_size() < a.byte_size());
+    }
+
+    #[test]
+    fn project_rejects_dimension_names() {
+        let a = sample();
+        assert!(project(&a, &["i"]).is_err());
+        assert!(project(&a, &["missing"]).is_err());
+    }
+}

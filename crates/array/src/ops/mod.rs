@@ -1,0 +1,87 @@
+//! Array operators.
+//!
+//! These are the schema-alignment and access operators the logical join
+//! planner composes (paper §4, Table 1):
+//!
+//! | operator  | effect                                    | output            |
+//! |-----------|-------------------------------------------|-------------------|
+//! | `redim`   | attrs↔dims conversion + per-chunk sort    | ordered chunks    |
+//! | `hash`    | hash cells into buckets by key columns    | unordered buckets |
+//! | `rechunk` | re-tile to new chunk intervals, no sort   | unordered chunks  |
+//! | `sort`    | sort chunk cells into C-order             | ordered chunks    |
+//! | `scan`    | pass-through access                       | ordered chunks    |
+//!
+//! plus the general-purpose `filter`, `apply`, and `project`.
+
+mod filter;
+mod hashop;
+mod redim;
+mod sortop;
+mod window;
+
+pub use filter::{apply, filter, project};
+pub use hashop::{hash_key, hash_partition, BucketSet};
+pub use redim::{rechunk, redim, RedimPolicy};
+pub use sortop::{scan, sort};
+pub use window::{aggregate, between, AggFn};
+
+use crate::error::{ArrayError, Result};
+use crate::schema::ArraySchema;
+
+/// A reference to one column of an array: either a dimension or an
+/// attribute, by position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnRef {
+    /// Dimension at index.
+    Dim(usize),
+    /// Attribute at index.
+    Attr(usize),
+}
+
+impl ColumnRef {
+    /// Resolve a name against a schema, preferring dimensions.
+    pub fn resolve(schema: &ArraySchema, name: &str) -> Result<ColumnRef> {
+        if let Ok(d) = schema.dim_index(name) {
+            Ok(ColumnRef::Dim(d))
+        } else if let Ok(a) = schema.attr_index(name) {
+            Ok(ColumnRef::Attr(a))
+        } else {
+            Err(ArrayError::NoSuchAttribute(name.to_string()))
+        }
+    }
+
+    /// The column's name under `schema`.
+    pub fn name<'s>(&self, schema: &'s ArraySchema) -> &'s str {
+        match self {
+            ColumnRef::Dim(d) => &schema.dims[*d].name,
+            ColumnRef::Attr(a) => &schema.attrs[*a].name,
+        }
+    }
+
+    /// Whether this reference points at a dimension.
+    pub fn is_dim(&self) -> bool {
+        matches!(self, ColumnRef::Dim(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_dimensions() {
+        let s = ArraySchema::parse("A<v:int>[i=1,6,3]").unwrap();
+        assert_eq!(ColumnRef::resolve(&s, "i").unwrap(), ColumnRef::Dim(0));
+        assert_eq!(ColumnRef::resolve(&s, "v").unwrap(), ColumnRef::Attr(0));
+        assert!(ColumnRef::resolve(&s, "w").is_err());
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let s = ArraySchema::parse("A<v:int>[i=1,6,3]").unwrap();
+        assert_eq!(ColumnRef::Dim(0).name(&s), "i");
+        assert_eq!(ColumnRef::Attr(0).name(&s), "v");
+        assert!(ColumnRef::Dim(0).is_dim());
+        assert!(!ColumnRef::Attr(0).is_dim());
+    }
+}

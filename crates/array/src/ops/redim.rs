@@ -1,0 +1,255 @@
+//! `redim` and `rechunk`: re-organizing an array to a new schema.
+//!
+//! `redim` "converts one or more attributes of array α into dimensions,
+//! producing ordered chunks as its output" (paper §4). It iterates over the
+//! cells, uses a slice function to assign each cell into a new chunk
+//! (O(n)), then sorts each chunk (n/c · log(n/c) per chunk).
+//!
+//! `rechunk` performs the same cell-to-chunk assignment but skips the sort,
+//! producing unordered chunks — profitable when the join is selective and
+//! it is cheaper to sort the (fewer) output cells instead (paper §4).
+
+use crate::array::Array;
+use crate::error::{ArrayError, Result};
+use crate::schema::ArraySchema;
+use crate::value::Value;
+
+/// How `redim`/`rechunk` treat cells that do not fit the target schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedimPolicy {
+    /// Error on the first out-of-bounds coordinate. Duplicate target
+    /// coordinates are permitted (needed when an attribute with repeated
+    /// values becomes a dimension, e.g. while building join units).
+    #[default]
+    Strict,
+    /// Silently drop out-of-bounds cells; duplicates permitted.
+    DropOutOfBounds,
+}
+
+/// Per-column source plan for building the target from the source schema.
+struct Mapping {
+    /// For each target dimension: where its coordinate comes from.
+    dim_sources: Vec<Source>,
+    /// For each target attribute: where its value comes from.
+    attr_sources: Vec<Source>,
+}
+
+enum Source {
+    Dim(usize),
+    Attr(usize),
+}
+
+fn build_mapping(source: &ArraySchema, target: &ArraySchema) -> Result<Mapping> {
+    let resolve = |name: &str| -> Result<Source> {
+        if let Ok(d) = source.dim_index(name) {
+            Ok(Source::Dim(d))
+        } else if let Ok(a) = source.attr_index(name) {
+            Ok(Source::Attr(a))
+        } else {
+            Err(ArrayError::SchemaMismatch(format!(
+                "target column `{name}` not found in source schema `{}`",
+                source.name
+            )))
+        }
+    };
+    Ok(Mapping {
+        dim_sources: target
+            .dims
+            .iter()
+            .map(|d| resolve(&d.name))
+            .collect::<Result<_>>()?,
+        attr_sources: target
+            .attrs
+            .iter()
+            .map(|a| resolve(&a.name))
+            .collect::<Result<_>>()?,
+    })
+}
+
+/// Redimension `array` to `target`, producing ordered chunks.
+///
+/// Every target dimension/attribute must share a name with a source
+/// dimension or attribute; attributes promoted to dimensions must hold
+/// integral values.
+pub fn redim(array: &Array, target: &ArraySchema, policy: RedimPolicy) -> Result<Array> {
+    let mut out = reassign(array, target, policy)?;
+    out.sort_chunks();
+    Ok(out)
+}
+
+/// Re-tile `array` to `target`'s chunk intervals without sorting.
+pub fn rechunk(array: &Array, target: &ArraySchema, policy: RedimPolicy) -> Result<Array> {
+    reassign(array, target, policy)
+}
+
+fn reassign(array: &Array, target: &ArraySchema, policy: RedimPolicy) -> Result<Array> {
+    let mapping = build_mapping(&array.schema, target)?;
+    let mut out = Array::new(target.clone());
+    let mut coord = vec![0i64; target.ndims()];
+    let mut values: Vec<Value> = Vec::with_capacity(target.nattrs());
+
+    for (_, chunk) in array.chunks() {
+        let cells = &chunk.cells;
+        'cells: for row in 0..cells.len() {
+            for (k, src) in mapping.dim_sources.iter().enumerate() {
+                let c = match src {
+                    Source::Dim(d) => cells.coords[*d][row],
+                    Source::Attr(a) => cells.attrs[*a].get(row).to_coord()?,
+                };
+                if !target.dims[k].contains(c) {
+                    match policy {
+                        RedimPolicy::Strict => {
+                            return Err(ArrayError::CoordOutOfBounds {
+                                dimension: target.dims[k].name.clone(),
+                                value: c,
+                                range: (target.dims[k].start, target.dims[k].end),
+                            })
+                        }
+                        RedimPolicy::DropOutOfBounds => continue 'cells,
+                    }
+                }
+                coord[k] = c;
+            }
+            values.clear();
+            for src in &mapping.attr_sources {
+                values.push(match src {
+                    Source::Dim(d) => Value::Int(cells.coords[*d][row]),
+                    Source::Attr(a) => cells.attrs[*a].get(row),
+                });
+            }
+            out.insert(&coord, &values)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    /// Paper §2.3.1 example: B<v1:int, v2:float, i:int>[j=1,6,3] is
+    /// redimensioned to <v1:int, v2:float>[i=1,6,3, j=1,6,3] so it can be
+    /// merge-joined with A.
+    fn source_b() -> Array {
+        let schema =
+            ArraySchema::parse("B<v1:int, v2:float, i:int>[j=1,6,3]").unwrap();
+        Array::from_cells(
+            schema,
+            vec![
+                (vec![1], vec![Value::Int(3), Value::Float(1.1), Value::Int(2)]),
+                (vec![4], vec![Value::Int(1), Value::Float(4.7), Value::Int(5)]),
+                (vec![6], vec![Value::Int(7), Value::Float(0.4), Value::Int(1)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn redim_promotes_attribute_to_dimension() {
+        let b = source_b();
+        let target =
+            ArraySchema::parse("B2<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap();
+        let out = redim(&b, &target, RedimPolicy::Strict).unwrap();
+        assert_eq!(out.cell_count(), 3);
+        assert!(out.all_sorted());
+        out.validate().unwrap();
+        // (i=2, j=1) holds the first cell's values.
+        assert_eq!(
+            out.get(&[2, 1]).unwrap(),
+            Some(vec![Value::Int(3), Value::Float(1.1)])
+        );
+        assert_eq!(
+            out.get(&[1, 6]).unwrap(),
+            Some(vec![Value::Int(7), Value::Float(0.4)])
+        );
+    }
+
+    #[test]
+    fn redim_demotes_dimension_to_attribute() {
+        let b = source_b();
+        // Flatten to a 1-cell-per-j array keyed by i, keeping j as attr.
+        let target = ArraySchema::parse("B3<j:int, v1:int>[i=1,6,1]").unwrap();
+        let out = redim(&b, &target, RedimPolicy::Strict).unwrap();
+        assert_eq!(out.cell_count(), 3);
+        assert_eq!(
+            out.get(&[5]).unwrap(),
+            Some(vec![Value::Int(4), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn redim_out_of_bounds_strict_errors_drop_drops() {
+        let b = source_b();
+        // i only ranges to 4 here, so the cell with i=5 is out of bounds.
+        let target =
+            ArraySchema::parse("B4<v1:int, v2:float>[i=1,4,2, j=1,6,3]").unwrap();
+        assert!(redim(&b, &target, RedimPolicy::Strict).is_err());
+        let out = redim(&b, &target, RedimPolicy::DropOutOfBounds).unwrap();
+        assert_eq!(out.cell_count(), 2);
+    }
+
+    #[test]
+    fn redim_rejects_unmapped_target_columns() {
+        let b = source_b();
+        let target = ArraySchema::parse("B5<zzz:int>[i=1,6,3]").unwrap();
+        assert!(redim(&b, &target, RedimPolicy::Strict).is_err());
+    }
+
+    #[test]
+    fn redim_rejects_non_integral_dimension_values() {
+        let schema = ArraySchema::parse("F<x:float>[k=1,3,3]").unwrap();
+        let f = Array::from_cells(
+            schema,
+            vec![(vec![1], vec![Value::Float(1.5)])],
+        )
+        .unwrap();
+        let target = ArraySchema::parse("F2<k:int>[x=1,10,5]").unwrap();
+        assert!(redim(&f, &target, RedimPolicy::Strict).is_err());
+    }
+
+    #[test]
+    fn rechunk_retiles_without_sorting() {
+        let schema = ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap();
+        // Insert descending so chunks would need sorting.
+        let cells: Vec<_> = (1..=100)
+            .rev()
+            .map(|i| (vec![i], vec![Value::Int(i)]))
+            .collect();
+        let mut a = Array::new(schema);
+        for (c, v) in cells {
+            a.insert(&c, &v).unwrap();
+        }
+        let target = ArraySchema::parse("A2<v:int>[i=1,100,25]").unwrap();
+        let out = rechunk(&a, &target, RedimPolicy::Strict).unwrap();
+        assert_eq!(out.cell_count(), 100);
+        assert_eq!(out.chunk_count(), 4);
+        assert!(!out.all_sorted());
+        // redim on the same input produces sorted chunks.
+        let sorted = redim(&a, &target, RedimPolicy::Strict).unwrap();
+        assert!(sorted.all_sorted());
+    }
+
+    #[test]
+    fn redim_allows_duplicate_coordinates_for_join_units() {
+        // Two cells share attribute value v=7; promoting v to a dimension
+        // puts both at coordinate 7 — allowed (join units are bags).
+        let schema = ArraySchema::parse("A<v:int, tag:int>[i=1,10,10]").unwrap();
+        let a = Array::from_cells(
+            schema,
+            vec![
+                (vec![1], vec![Value::Int(7), Value::Int(100)]),
+                (vec![2], vec![Value::Int(7), Value::Int(200)]),
+            ],
+        )
+        .unwrap();
+        let target = ArraySchema::parse("J<i:int, tag:int>[v=1,10,5]").unwrap();
+        let out = redim(&a, &target, RedimPolicy::Strict).unwrap();
+        assert_eq!(out.cell_count(), 2);
+        // Both landed in the same chunk at the same coordinate.
+        let (_, chunk) = out.chunks().next().unwrap();
+        assert_eq!(chunk.cell_count(), 2);
+        assert_eq!(chunk.cells.coord(0), vec![7]);
+        assert_eq!(chunk.cells.coord(1), vec![7]);
+    }
+}

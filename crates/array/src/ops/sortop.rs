@@ -1,0 +1,55 @@
+//! `sort` and `scan` operators.
+
+use crate::array::Array;
+
+/// Sort every chunk of `array` into C-order, returning the sorted array.
+///
+/// The logical planner inserts this after a hash/nested-loop join whose
+/// output chunks came from a `rechunk` (paper §4: "sort the output of a
+/// hash join that received its join units from a rechunk operator").
+pub fn sort(array: &Array) -> Array {
+    let mut out = array.clone();
+    out.sort_chunks();
+    out
+}
+
+/// `scan` is pass-through access to an already-organized array — "no
+/// additional cost compared to operators that reorganize the data"
+/// (paper Table 1). Provided for plan-symmetry; returns a clone.
+pub fn scan(array: &Array) -> Array {
+    array.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ArraySchema;
+    use crate::value::Value;
+
+    fn unsorted_array() -> Array {
+        let schema = ArraySchema::parse("A<v:int>[i=1,10,10]").unwrap();
+        let mut a = Array::new(schema);
+        for i in (1..=10).rev() {
+            a.insert(&[i], &[Value::Int(i)]).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn sort_orders_all_chunks() {
+        let a = unsorted_array();
+        assert!(!a.all_sorted());
+        let sorted = sort(&a);
+        assert!(sorted.all_sorted());
+        assert_eq!(sorted.cell_count(), 10);
+        // Original untouched.
+        assert!(!a.all_sorted());
+    }
+
+    #[test]
+    fn scan_is_identity() {
+        let a = unsorted_array();
+        let s = scan(&a);
+        assert_eq!(s, a);
+    }
+}

@@ -1,0 +1,242 @@
+//! `between` (spatial windowing) and `aggregate`: the remaining everyday
+//! ADM operators science workflows compose around joins.
+
+use crate::array::Array;
+use crate::error::{ArrayError, Result};
+use crate::value::Value;
+
+/// Keep only cells inside the inclusive hyper-rectangle
+/// `[low[d], high[d]]` per dimension — SciDB's `between`.
+///
+/// Bounds are clamped to the array's dimension ranges; the output keeps
+/// the input schema (chunks outside the window simply disappear, chunks
+/// straddling it shrink).
+pub fn between(array: &Array, low: &[i64], high: &[i64]) -> Result<Array> {
+    let ndims = array.schema.ndims();
+    if low.len() != ndims || high.len() != ndims {
+        return Err(ArrayError::ArityMismatch {
+            expected: ndims,
+            actual: low.len().min(high.len()),
+        });
+    }
+    for (d, dim) in array.schema.dims.iter().enumerate() {
+        if low[d] > high[d] {
+            return Err(ArrayError::InvalidSchema(format!(
+                "between window is empty on dimension `{}`: {} > {}",
+                dim.name, low[d], high[d]
+            )));
+        }
+    }
+    let mut out = Array::new(array.schema.clone());
+    let mut values: Vec<Value> = Vec::with_capacity(array.schema.nattrs());
+    for (_, chunk) in array.chunks() {
+        // Skip chunks entirely outside the window.
+        let outside = array.schema.dims.iter().enumerate().any(|(d, dim)| {
+            let c_lo = dim.chunk_start(chunk.pos[d]);
+            let c_hi = dim.chunk_end(chunk.pos[d]);
+            c_hi < low[d] || c_lo > high[d]
+        });
+        if outside {
+            continue;
+        }
+        let cells = &chunk.cells;
+        for row in 0..cells.len() {
+            let inside = (0..ndims).all(|d| {
+                let c = cells.coords[d][row];
+                c >= low[d] && c <= high[d]
+            });
+            if !inside {
+                continue;
+            }
+            values.clear();
+            for a in 0..cells.nattrs() {
+                values.push(cells.attrs[a].get(row));
+            }
+            let coord = cells.coord(row);
+            out.insert(&coord, &values)?;
+        }
+    }
+    out.sort_chunks();
+    Ok(out)
+}
+
+/// An aggregate function over one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Number of occupied cells (attribute-independent).
+    Count,
+    /// Sum of the attribute.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+impl AggFn {
+    /// Parse an aggregate name (`count`, `sum`, `avg`, `min`, `max`).
+    pub fn parse(name: &str) -> Result<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Ok(AggFn::Count),
+            "sum" => Ok(AggFn::Sum),
+            "avg" | "mean" => Ok(AggFn::Avg),
+            "min" => Ok(AggFn::Min),
+            "max" => Ok(AggFn::Max),
+            other => Err(ArrayError::Parse(format!("unknown aggregate `{other}`"))),
+        }
+    }
+}
+
+/// Compute a whole-array aggregate over the named attribute.
+///
+/// Returns `Value::Int` for `Count`, `Value::Float` for `Sum`/`Avg`, and
+/// the attribute's own type for `Min`/`Max`. Aggregating an empty array
+/// yields `Count = 0` and an error for the others.
+pub fn aggregate(array: &Array, func: AggFn, attr: &str) -> Result<Value> {
+    if func == AggFn::Count {
+        return Ok(Value::Int(array.cell_count() as i64));
+    }
+    let idx = array.schema.attr_index(attr)?;
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    for (_, chunk) in array.chunks() {
+        let col = &chunk.cells.attrs[idx];
+        for row in 0..col.len() {
+            let v = col.get(row);
+            match func {
+                AggFn::Sum | AggFn::Avg => {
+                    sum += v.as_float().ok_or_else(|| {
+                        ArrayError::Eval(format!("cannot sum non-numeric value {v}"))
+                    })?;
+                    count += 1;
+                }
+                AggFn::Min => {
+                    min = Some(match min.take() {
+                        None => v,
+                        Some(m) => {
+                            if crate::expr::compare_values(&v, &m)?
+                                == std::cmp::Ordering::Less
+                            {
+                                v
+                            } else {
+                                m
+                            }
+                        }
+                    });
+                }
+                AggFn::Max => {
+                    max = Some(match max.take() {
+                        None => v,
+                        Some(m) => {
+                            if crate::expr::compare_values(&v, &m)?
+                                == std::cmp::Ordering::Greater
+                            {
+                                v
+                            } else {
+                                m
+                            }
+                        }
+                    });
+                }
+                AggFn::Count => unreachable!(),
+            }
+        }
+    }
+    match func {
+        AggFn::Sum => Ok(Value::Float(sum)),
+        AggFn::Avg => {
+            if count == 0 {
+                Err(ArrayError::Eval("avg of an empty array".into()))
+            } else {
+                Ok(Value::Float(sum / count as f64))
+            }
+        }
+        AggFn::Min => min.ok_or_else(|| ArrayError::Eval("min of an empty array".into())),
+        AggFn::Max => max.ok_or_else(|| ArrayError::Eval("max of an empty array".into())),
+        AggFn::Count => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ArraySchema;
+
+    fn grid() -> Array {
+        let schema = ArraySchema::parse("G<v:int>[i=1,8,4, j=1,8,4]").unwrap();
+        Array::from_cells(
+            schema,
+            (1..=8i64)
+                .flat_map(|i| (1..=8i64).map(move |j| (vec![i, j], vec![Value::Int(i * 10 + j)]))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn between_selects_window() {
+        let g = grid();
+        let w = between(&g, &[2, 3], &[4, 5]).unwrap();
+        assert_eq!(w.cell_count(), 9);
+        assert!(w.get(&[2, 3]).unwrap().is_some());
+        assert!(w.get(&[1, 3]).unwrap().is_none());
+        assert!(w.get(&[5, 5]).unwrap().is_none());
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn between_whole_array_is_identity() {
+        let g = grid();
+        let w = between(&g, &[1, 1], &[8, 8]).unwrap();
+        assert_eq!(w.cell_count(), g.cell_count());
+    }
+
+    #[test]
+    fn between_rejects_bad_windows() {
+        let g = grid();
+        assert!(between(&g, &[3], &[4, 5]).is_err());
+        assert!(between(&g, &[5, 5], &[4, 4]).is_err());
+    }
+
+    #[test]
+    fn between_skips_disjoint_chunks() {
+        let g = grid();
+        // Window entirely in the first chunk.
+        let w = between(&g, &[1, 1], &[2, 2]).unwrap();
+        assert_eq!(w.cell_count(), 4);
+        assert_eq!(w.chunk_count(), 1);
+    }
+
+    #[test]
+    fn aggregates() {
+        let g = grid();
+        assert_eq!(aggregate(&g, AggFn::Count, "v").unwrap(), Value::Int(64));
+        assert_eq!(aggregate(&g, AggFn::Min, "v").unwrap(), Value::Int(11));
+        assert_eq!(aggregate(&g, AggFn::Max, "v").unwrap(), Value::Int(88));
+        let sum = aggregate(&g, AggFn::Sum, "v").unwrap().as_float().unwrap();
+        let expect: i64 = (1..=8).flat_map(|i| (1..=8).map(move |j| i * 10 + j)).sum();
+        assert_eq!(sum, expect as f64);
+        let avg = aggregate(&g, AggFn::Avg, "v").unwrap().as_float().unwrap();
+        assert!((avg - expect as f64 / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_empty_and_errors() {
+        let empty = Array::new(ArraySchema::parse("E<v:int>[i=1,4,2]").unwrap());
+        assert_eq!(aggregate(&empty, AggFn::Count, "v").unwrap(), Value::Int(0));
+        assert!(aggregate(&empty, AggFn::Avg, "v").is_err());
+        assert!(aggregate(&empty, AggFn::Min, "v").is_err());
+        let g = grid();
+        assert!(aggregate(&g, AggFn::Sum, "missing").is_err());
+    }
+
+    #[test]
+    fn agg_fn_parsing() {
+        assert_eq!(AggFn::parse("SUM").unwrap(), AggFn::Sum);
+        assert_eq!(AggFn::parse("count").unwrap(), AggFn::Count);
+        assert!(AggFn::parse("median").is_err());
+    }
+}

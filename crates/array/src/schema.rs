@@ -1,0 +1,582 @@
+//! Array schemas: dimensions, attributes, and chunking (paper §2.1).
+//!
+//! Every array adheres to a logical schema of named, ordered dimensions and
+//! typed attributes. Each dimension covers a contiguous integer range and
+//! carries a *chunk interval* — the granularity at which the engine tiles
+//! the dimension. Schemas can be written in the paper's literal syntax,
+//! e.g. `A<v1:int, v2:float>[i=1,6,3, j=1,6,3]`.
+
+use std::fmt;
+
+use crate::error::{ArrayError, Result};
+use crate::value::DataType;
+
+/// One named dimension of an array.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DimensionDef {
+    /// Dimension name (e.g. `i`).
+    pub name: String,
+    /// Inclusive lower bound of the coordinate range.
+    pub start: i64,
+    /// Inclusive upper bound of the coordinate range.
+    pub end: i64,
+    /// Number of logical cells per chunk along this dimension.
+    pub chunk_interval: u64,
+}
+
+impl DimensionDef {
+    /// Create a dimension, validating its bounds.
+    pub fn new(name: impl Into<String>, start: i64, end: i64, chunk_interval: u64) -> Result<Self> {
+        let name = name.into();
+        if end < start {
+            return Err(ArrayError::InvalidSchema(format!(
+                "dimension `{name}` has end {end} < start {start}"
+            )));
+        }
+        if chunk_interval == 0 {
+            return Err(ArrayError::InvalidSchema(format!(
+                "dimension `{name}` has zero chunk interval"
+            )));
+        }
+        Ok(DimensionDef {
+            name,
+            start,
+            end,
+            chunk_interval,
+        })
+    }
+
+    /// Number of potential coordinate values along this dimension.
+    pub fn extent(&self) -> u64 {
+        (self.end - self.start) as u64 + 1
+    }
+
+    /// Number of logical chunks along this dimension.
+    pub fn chunk_count(&self) -> u64 {
+        self.extent().div_ceil(self.chunk_interval)
+    }
+
+    /// Whether `coord` lies within this dimension's range.
+    pub fn contains(&self, coord: i64) -> bool {
+        coord >= self.start && coord <= self.end
+    }
+
+    /// Index of the chunk that holds `coord` along this dimension.
+    pub fn chunk_index(&self, coord: i64) -> Result<u64> {
+        if !self.contains(coord) {
+            return Err(ArrayError::CoordOutOfBounds {
+                dimension: self.name.clone(),
+                value: coord,
+                range: (self.start, self.end),
+            });
+        }
+        Ok((coord - self.start) as u64 / self.chunk_interval)
+    }
+
+    /// Lowest coordinate covered by chunk `index` along this dimension.
+    pub fn chunk_start(&self, index: u64) -> i64 {
+        self.start + (index * self.chunk_interval) as i64
+    }
+
+    /// Highest coordinate covered by chunk `index` (clamped to the range).
+    pub fn chunk_end(&self, index: u64) -> i64 {
+        (self.chunk_start(index) + self.chunk_interval as i64 - 1).min(self.end)
+    }
+}
+
+impl fmt::Display for DimensionDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={},{},{}",
+            self.name, self.start, self.end, self.chunk_interval
+        )
+    }
+}
+
+/// One named, typed attribute of an array.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttributeDef {
+    /// Attribute name (e.g. `v1`).
+    pub name: String,
+    /// Scalar type of the attribute's values.
+    pub dtype: DataType,
+}
+
+impl AttributeDef {
+    /// Create an attribute definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        AttributeDef {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+impl fmt::Display for AttributeDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.dtype)
+    }
+}
+
+/// The logical schema of an array: `name<attrs>[dims]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySchema {
+    /// Array name.
+    pub name: String,
+    /// Ordered dimensions (outermost first; cells sort C-style on these).
+    pub dims: Vec<DimensionDef>,
+    /// Attributes stored in each occupied cell.
+    pub attrs: Vec<AttributeDef>,
+}
+
+impl ArraySchema {
+    /// Build and validate a schema.
+    pub fn new(
+        name: impl Into<String>,
+        dims: Vec<DimensionDef>,
+        attrs: Vec<AttributeDef>,
+    ) -> Result<Self> {
+        let schema = ArraySchema {
+            name: name.into(),
+            dims,
+            attrs,
+        };
+        schema.validate()?;
+        Ok(schema)
+    }
+
+    /// Check structural invariants: at least one dimension, unique names,
+    /// no name shared between a dimension and an attribute.
+    pub fn validate(&self) -> Result<()> {
+        if self.dims.is_empty() {
+            return Err(ArrayError::InvalidSchema(format!(
+                "array `{}` must have at least one dimension",
+                self.name
+            )));
+        }
+        let mut names: Vec<&str> = Vec::with_capacity(self.dims.len() + self.attrs.len());
+        for d in &self.dims {
+            names.push(&d.name);
+        }
+        for a in &self.attrs {
+            names.push(&a.name);
+        }
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ArrayError::InvalidSchema(format!(
+                    "duplicate dimension/attribute name `{}` in array `{}`",
+                    pair[0], self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of attributes.
+    pub fn nattrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of the dimension named `name`.
+    pub fn dim_index(&self, name: &str) -> Result<usize> {
+        self.dims
+            .iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| ArrayError::NoSuchDimension(name.to_string()))
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| ArrayError::NoSuchAttribute(name.to_string()))
+    }
+
+    /// Whether `name` refers to a dimension of this schema.
+    pub fn has_dim(&self, name: &str) -> bool {
+        self.dims.iter().any(|d| d.name == name)
+    }
+
+    /// Whether `name` refers to an attribute of this schema.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a.name == name)
+    }
+
+    /// Per-dimension chunk counts — the shape of the chunk grid.
+    pub fn chunk_grid(&self) -> Vec<u64> {
+        self.dims.iter().map(|d| d.chunk_count()).collect()
+    }
+
+    /// Total number of logical chunks (product of the grid shape).
+    pub fn total_chunks(&self) -> u64 {
+        self.dims.iter().map(|d| d.chunk_count()).product()
+    }
+
+    /// Total number of logical cells (product of the extents).
+    pub fn logical_cells(&self) -> u64 {
+        self.dims.iter().map(|d| d.extent()).product()
+    }
+
+    /// Map a cell coordinate to its per-dimension chunk indices.
+    pub fn chunk_pos_of(&self, coord: &[i64]) -> Result<Vec<u64>> {
+        if coord.len() != self.dims.len() {
+            return Err(ArrayError::ArityMismatch {
+                expected: self.dims.len(),
+                actual: coord.len(),
+            });
+        }
+        self.dims
+            .iter()
+            .zip(coord)
+            .map(|(d, &c)| d.chunk_index(c))
+            .collect()
+    }
+
+    /// Linearize per-dimension chunk indices to a single chunk id
+    /// (row-major over the chunk grid, matching C-style cell order).
+    pub fn linear_chunk_id(&self, pos: &[u64]) -> u64 {
+        let mut id = 0u64;
+        for (d, &p) in self.dims.iter().zip(pos) {
+            id = id * d.chunk_count() + p;
+        }
+        id
+    }
+
+    /// Inverse of [`linear_chunk_id`](Self::linear_chunk_id).
+    pub fn chunk_pos_from_id(&self, mut id: u64) -> Vec<u64> {
+        let mut pos = vec![0u64; self.dims.len()];
+        for (i, d) in self.dims.iter().enumerate().rev() {
+            let count = d.chunk_count();
+            pos[i] = id % count;
+            id /= count;
+        }
+        pos
+    }
+
+    /// Approximate per-cell stored size in bytes: one coordinate word per
+    /// dimension plus the attribute payloads. Used for transfer costing.
+    pub fn cell_bytes(&self) -> usize {
+        8 * self.dims.len() + self.attrs.iter().map(|a| a.dtype.byte_width()).sum::<usize>()
+    }
+
+    /// Whether two schemas have identical dimension spaces (names may
+    /// differ; ranges and chunk intervals must match). This is the paper's
+    /// precondition for the array merge join (§2.3.1).
+    pub fn same_shape(&self, other: &ArraySchema) -> bool {
+        self.dims.len() == other.dims.len()
+            && self.dims.iter().zip(&other.dims).all(|(a, b)| {
+                a.start == b.start && a.end == b.end && a.chunk_interval == b.chunk_interval
+            })
+    }
+
+    /// Parse a schema literal in the paper's syntax:
+    /// `A<v1:int, v2:float>[i=1,6,3, j=1,6,3]`.
+    ///
+    /// Each dimension is written `name=start,end,chunk_interval`. The
+    /// attribute list may be empty (`A<>[...]` or `A[...]`).
+    pub fn parse(text: &str) -> Result<Self> {
+        parse::schema(text)
+    }
+}
+
+impl fmt::Display for ArraySchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ">[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+mod parse {
+    //! Minimal recursive-descent parser for schema literals.
+
+    use super::*;
+
+    struct Cursor<'a> {
+        text: &'a str,
+        pos: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        fn new(text: &'a str) -> Self {
+            Cursor { text, pos: 0 }
+        }
+
+        fn skip_ws(&mut self) {
+            while self
+                .text[self.pos..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Option<char> {
+            self.skip_ws();
+            self.text[self.pos..].chars().next()
+        }
+
+        fn eat(&mut self, expected: char) -> Result<()> {
+            match self.peek() {
+                Some(c) if c == expected => {
+                    self.pos += c.len_utf8();
+                    Ok(())
+                }
+                other => Err(ArrayError::Parse(format!(
+                    "expected `{expected}` at byte {} of schema literal, found {:?}",
+                    self.pos, other
+                ))),
+            }
+        }
+
+        fn try_eat(&mut self, expected: char) -> bool {
+            if self.peek() == Some(expected) {
+                self.pos += expected.len_utf8();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn ident(&mut self) -> Result<String> {
+            self.skip_ws();
+            let rest = &self.text[self.pos..];
+            let len = rest
+                .char_indices()
+                .take_while(|(i, c)| {
+                    c.is_alphanumeric() || *c == '_' || (*i > 0 && *c == '.')
+                })
+                .map(|(i, c)| i + c.len_utf8())
+                .last()
+                .unwrap_or(0);
+            if len == 0 {
+                return Err(ArrayError::Parse(format!(
+                    "expected identifier at byte {} of schema literal",
+                    self.pos
+                )));
+            }
+            let id = rest[..len].to_string();
+            self.pos += len;
+            Ok(id)
+        }
+
+        fn int(&mut self) -> Result<i64> {
+            self.skip_ws();
+            let rest = &self.text[self.pos..];
+            let mut len = 0;
+            for (i, c) in rest.char_indices() {
+                if c == '-' && i == 0 || c.is_ascii_digit() {
+                    len = i + c.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            if len == 0 {
+                return Err(ArrayError::Parse(format!(
+                    "expected integer at byte {} of schema literal",
+                    self.pos
+                )));
+            }
+            let n: i64 = rest[..len]
+                .parse()
+                .map_err(|e| ArrayError::Parse(format!("bad integer: {e}")))?;
+            self.pos += len;
+            Ok(n)
+        }
+
+        fn at_end(&mut self) -> bool {
+            self.skip_ws();
+            self.pos >= self.text.len()
+        }
+    }
+
+    pub(super) fn schema(text: &str) -> Result<ArraySchema> {
+        let mut c = Cursor::new(text);
+        let name = c.ident()?;
+        let mut attrs = Vec::new();
+        if c.try_eat('<')
+            && !c.try_eat('>') {
+                loop {
+                    let attr_name = c.ident()?;
+                    c.eat(':')?;
+                    let dtype = DataType::parse(&c.ident()?)?;
+                    attrs.push(AttributeDef::new(attr_name, dtype));
+                    if !c.try_eat(',') {
+                        break;
+                    }
+                }
+                c.eat('>')?;
+            }
+        c.eat('[')?;
+        let mut dims = Vec::new();
+        if !c.try_eat(']') {
+            loop {
+                let dim_name = c.ident()?;
+                c.eat('=')?;
+                let start = c.int()?;
+                c.eat(',')?;
+                let end = c.int()?;
+                c.eat(',')?;
+                let interval = c.int()?;
+                if interval <= 0 {
+                    return Err(ArrayError::Parse(format!(
+                        "dimension `{dim_name}` has non-positive chunk interval {interval}"
+                    )));
+                }
+                dims.push(DimensionDef::new(dim_name, start, end, interval as u64)?);
+                if !c.try_eat(',') {
+                    break;
+                }
+            }
+            c.eat(']')?;
+        }
+        // Optional trailing semicolon, as in the paper's listings.
+        c.try_eat(';');
+        if !c.at_end() {
+            return Err(ArrayError::Parse(format!(
+                "trailing input at byte {} of schema literal",
+                c.pos
+            )));
+        }
+        ArraySchema::new(name, dims, attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_schema() -> ArraySchema {
+        // The paper's Figure 1 example.
+        ArraySchema::parse("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap()
+    }
+
+    #[test]
+    fn parse_figure1_example() {
+        let s = figure1_schema();
+        assert_eq!(s.name, "A");
+        assert_eq!(s.ndims(), 2);
+        assert_eq!(s.nattrs(), 2);
+        assert_eq!(s.dims[0].name, "i");
+        assert_eq!(s.dims[0].extent(), 6);
+        assert_eq!(s.dims[0].chunk_count(), 2);
+        assert_eq!(s.attrs[1].dtype, DataType::Float64);
+        assert_eq!(s.total_chunks(), 4);
+        assert_eq!(s.logical_cells(), 36);
+    }
+
+    #[test]
+    fn parse_trailing_semicolon_and_empty_attrs() {
+        let s = ArraySchema::parse("B<w:int>[j=1,128,4];").unwrap();
+        assert_eq!(s.name, "B");
+        let t = ArraySchema::parse("T<>[k=0,9,5]").unwrap();
+        assert_eq!(t.nattrs(), 0);
+        assert_eq!(t.dims[0].chunk_count(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ArraySchema::parse("A<v:blob>[i=1,6,3]").is_err());
+        assert!(ArraySchema::parse("A<v:int>[i=1,6]").is_err());
+        assert!(ArraySchema::parse("A<v:int>[i=1,6,0]").is_err());
+        assert!(ArraySchema::parse("A<v:int>[i=1,6,3] extra").is_err());
+        assert!(ArraySchema::parse("[i=1,6,3]").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(ArraySchema::parse("A<i:int>[i=1,6,3]").is_err());
+        assert!(ArraySchema::parse("A<v:int, v:float>[i=1,6,3]").is_err());
+    }
+
+    #[test]
+    fn dimension_chunk_math() {
+        let d = DimensionDef::new("i", 1, 10, 4).unwrap();
+        assert_eq!(d.extent(), 10);
+        assert_eq!(d.chunk_count(), 3);
+        assert_eq!(d.chunk_index(1).unwrap(), 0);
+        assert_eq!(d.chunk_index(4).unwrap(), 0);
+        assert_eq!(d.chunk_index(5).unwrap(), 1);
+        assert_eq!(d.chunk_index(10).unwrap(), 2);
+        assert!(d.chunk_index(0).is_err());
+        assert!(d.chunk_index(11).is_err());
+        assert_eq!(d.chunk_start(1), 5);
+        assert_eq!(d.chunk_end(2), 10); // clamped: full interval would be 12
+    }
+
+    #[test]
+    fn negative_dimension_ranges() {
+        let d = DimensionDef::new("lat", -90, 90, 4).unwrap();
+        assert_eq!(d.extent(), 181);
+        assert_eq!(d.chunk_index(-90).unwrap(), 0);
+        assert_eq!(d.chunk_index(-87).unwrap(), 0);
+        assert_eq!(d.chunk_index(-86).unwrap(), 1);
+        assert_eq!(d.chunk_start(0), -90);
+    }
+
+    #[test]
+    fn chunk_id_roundtrip() {
+        let s = figure1_schema();
+        for id in 0..s.total_chunks() {
+            let pos = s.chunk_pos_from_id(id);
+            assert_eq!(s.linear_chunk_id(&pos), id);
+        }
+    }
+
+    #[test]
+    fn chunk_pos_of_cells() {
+        let s = figure1_schema();
+        assert_eq!(s.chunk_pos_of(&[1, 1]).unwrap(), vec![0, 0]);
+        assert_eq!(s.chunk_pos_of(&[3, 4]).unwrap(), vec![0, 1]);
+        assert_eq!(s.chunk_pos_of(&[6, 6]).unwrap(), vec![1, 1]);
+        assert!(s.chunk_pos_of(&[7, 1]).is_err());
+        assert!(s.chunk_pos_of(&[1]).is_err());
+    }
+
+    #[test]
+    fn same_shape_ignores_names() {
+        let a = ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[j=1,100,10]").unwrap();
+        let c = ArraySchema::parse("C<w:int>[j=1,100,20]").unwrap();
+        assert!(a.same_shape(&b));
+        assert!(!a.same_shape(&c));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let s = figure1_schema();
+        let rendered = s.to_string();
+        let reparsed = ArraySchema::parse(&rendered).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn cell_bytes_accounts_for_dims_and_attrs() {
+        let s = figure1_schema();
+        // 2 dims * 8 + int(8) + float(8)
+        assert_eq!(s.cell_bytes(), 32);
+    }
+}

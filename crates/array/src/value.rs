@@ -1,0 +1,332 @@
+//! Scalar values and data types stored in array cells.
+//!
+//! The Array Data Model (paper §2.1) gives every attribute a scalar type.
+//! The paper's examples use `int` and `float`; we additionally support
+//! booleans and strings so that realistic science schemas (ship
+//! identifiers, quality flags) can be expressed.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{ArrayError, Result};
+
+/// The scalar type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`int` in the paper's schema syntax).
+    Int64,
+    /// 64-bit IEEE float (`float`).
+    Float64,
+    /// Boolean flag (`bool`).
+    Bool,
+    /// UTF-8 string (`string`).
+    Str,
+}
+
+impl DataType {
+    /// Parse a type name as written in schema literals.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "int" | "int64" | "int32" => Ok(DataType::Int64),
+            "float" | "double" | "float64" => Ok(DataType::Float64),
+            "bool" => Ok(DataType::Bool),
+            "string" | "str" => Ok(DataType::Str),
+            other => Err(ArrayError::Parse(format!("unknown data type `{other}`"))),
+        }
+    }
+
+    /// Canonical name used when rendering schemas.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int64 => "int",
+            DataType::Float64 => "float",
+            DataType::Bool => "bool",
+            DataType::Str => "string",
+        }
+    }
+
+    /// Approximate stored size of one value of this type, in bytes.
+    /// Used by the cost model to translate cell counts into transfer bytes.
+    pub fn byte_width(&self) -> usize {
+        match self {
+            DataType::Int64 | DataType::Float64 => 8,
+            DataType::Bool => 1,
+            DataType::Str => 16,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value.
+///
+/// `Value` provides a *total* order (floats via `f64::total_cmp`) and a
+/// consistent `Hash` (floats via bit pattern) so values can serve as join
+/// keys in hash joins and as sort keys in merge joins.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// The dynamic type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int64,
+            Value::Float(_) => DataType::Float64,
+            Value::Bool(_) => DataType::Bool,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Extract an integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a float, widening integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convert this value to a dimension coordinate.
+    ///
+    /// Dimensions are integer-valued (paper §2.1), so only integral values
+    /// (and floats that are exactly integral) can become coordinates. This
+    /// is the conversion used by `redim` when promoting an attribute to a
+    /// dimension.
+    pub fn to_coord(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Float(v) if v.fract() == 0.0 && v.is_finite() => Ok(*v as i64),
+            other => Err(ArrayError::TypeMismatch {
+                expected: "integer coordinate".into(),
+                actual: format!("{other}"),
+            }),
+        }
+    }
+
+    /// Numeric comparison rank used to order values of different types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Float(_) => 1,
+            Value::Bool(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            // Mixed numeric comparison: joins may compare int attributes
+            // with float attributes; compare numerically, then break the
+            // (rare) exact ties by type rank so the order stays total.
+            (Value::Int(a), Value::Float(b)) => {
+                (*a as f64).total_cmp(b).then(Ordering::Less)
+            }
+            (Value::Float(a), Value::Int(b)) => {
+                a.total_cmp(&(*b as f64)).then(Ordering::Greater)
+            }
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                state.write_u8(0);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                // Hash floats that are exactly integral the same way as the
+                // corresponding integer so `Int(2) == Float(2.0)` implies
+                // equal hashes (required for mixed-type hash joins).
+                if v.fract() == 0.0 && v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64
+                {
+                    state.write_u8(0);
+                    (*v as i64).hash(state);
+                } else {
+                    state.write_u8(1);
+                    v.to_bits().hash(state);
+                }
+            }
+            Value::Bool(v) => {
+                state.write_u8(2);
+                v.hash(state);
+            }
+            Value::Str(v) => {
+                state.write_u8(3);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn data_type_parse_roundtrip() {
+        for name in ["int", "float", "bool", "string"] {
+            let dt = DataType::parse(name).unwrap();
+            assert_eq!(dt.name(), name);
+        }
+        assert!(DataType::parse("blob").is_err());
+    }
+
+    #[test]
+    fn int_ordering() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert_eq!(Value::Int(5), Value::Int(5));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        let one = Value::Float(1.0);
+        // total_cmp places NaN above all finite values.
+        assert!(nan > one);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+        // Exact numeric ties are broken by type rank for a total order.
+        assert!(Value::Int(2) < Value::Float(2.0));
+    }
+
+    #[test]
+    fn integral_float_hashes_like_int() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Float(42.0)));
+        assert_ne!(hash_of(&Value::Float(42.5)), hash_of(&Value::Int(42)));
+    }
+
+    #[test]
+    fn to_coord_conversions() {
+        assert_eq!(Value::Int(7).to_coord().unwrap(), 7);
+        assert_eq!(Value::Float(7.0).to_coord().unwrap(), 7);
+        assert!(Value::Float(7.5).to_coord().is_err());
+        assert!(Value::Str("x".into()).to_coord().is_err());
+    }
+
+    #[test]
+    fn display_rendering() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(DataType::Int64.byte_width(), 8);
+        assert_eq!(DataType::Bool.byte_width(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 6: query duration vs. join selectivity for the three logical
+//! plans (Hash / Merge / NestedLoop).
+//!
+//! Paper §6.1 findings this bench regenerates:
+//! * all plans slow down as output cardinality grows;
+//! * hash join is fastest at selectivity < 1 (the sort is deferred to
+//!   the small output);
+//! * merge join edges ahead at selectivity ≥ 1 and wins decisively at
+//!   high selectivity (it front-loads the reordering);
+//! * nested loop is always the worst.
+
+use sj_bench::bench_params;
+use sj_cluster::{Cluster, Placement};
+use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
+use sj_workload::{selectivity_output_schema, selectivity_pair};
+
+const N: u64 = 60_000;
+const CHUNK: u64 = 4_000;
+const SELECTIVITIES: [f64; 5] = [0.01, 0.1, 1.0, 10.0, 100.0];
+
+fn main() {
+    let params = bench_params(16);
+    println!("Figure 6: query duration (ms) vs selectivity per logical plan");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "plan", 0.01, 0.1, 1.0, 10.0, 100.0
+    );
+
+    let mut series: Vec<(JoinAlgo, Vec<f64>)> =
+        [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop]
+            .into_iter()
+            .map(|a| (a, Vec::new()))
+            .collect();
+
+    for &sel in &SELECTIVITIES {
+        let (a, b) = selectivity_pair(N, CHUNK, sel, 42);
+        let out = selectivity_output_schema(N, CHUNK, sel);
+        let mut cluster = Cluster::new(1, sj_bench::bench_network());
+        cluster.load_array(a, &Placement::RoundRobin).unwrap();
+        cluster.load_array(b, &Placement::RoundRobin).unwrap();
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "w")]))
+            .into_schema(out)
+            .with_selectivity(sel);
+        for (algo, ys) in &mut series {
+            let config = ExecConfig {
+                planner: PlannerKind::MinBandwidth,
+                cost_params: params,
+                hash_buckets: Some(64),
+                forced_algo: Some(*algo),
+            };
+            // 3-run average, discarding one warm-up run.
+            let _ = execute_shuffle_join(&cluster, &query, &config).unwrap();
+            let mut avg = 0.0;
+            for _ in 0..3 {
+                let (_, m) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+                avg += (m.slice_map_seconds + m.alignment_seconds + m.comparison_seconds) * 1e3
+                    / 3.0;
+            }
+            ys.push(avg);
+        }
+    }
+
+    for (algo, ys) in &series {
+        print!("{:<12}", algo.name());
+        for y in ys {
+            print!(" {y:>10.1}");
+        }
+        println!();
+    }
+
+    // Shape assertions mirrored from the paper.
+    let hash = &series[0].1;
+    let merge = &series[1].1;
+    let nl = &series[2].1;
+    println!("\nshape checks:");
+    println!("  hash beats merge at sel 0.01: {}", hash[0] < merge[0]);
+    println!(
+        "  merge beats hash at sel >= 1: {}",
+        merge[2] <= hash[2] * 1.05 && merge[3] < hash[3] && merge[4] < hash[4]
+    );
+    // At selectivity 100 all plans converge on the giant output's cost
+    // ("All join deviates from the trend when the data produces an
+    // output 100 times larger than its sources", §6.1) — check NL is
+    // worst over the paper's trend region.
+    println!(
+        "  nested loop worst at sel <= 10: {}",
+        nl[..4].iter().zip(hash).all(|(n, h)| n > h)
+            && nl[..4].iter().zip(merge).all(|(n, m)| n > m)
+    );
+    println!(
+        "  merge-vs-hash gap at sel 100: {:.1}x (paper: up to 35x on its hardware)",
+        hash[4] / merge[4]
+    );
+}

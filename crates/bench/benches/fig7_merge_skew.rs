@@ -1,0 +1,62 @@
+//! Figure 7: merge join under varying Zipfian skew, across the five
+//! physical planners.
+//!
+//! Paper §6.2.1: two 2-D arrays on a chunk grid (the paper: 32×32 =
+//! 1024 join units over 100 GB; here 16×16 = 256 units at laptop scale);
+//! the D:D query `WHERE A.i = B.i AND A.j = B.j` runs as `merge(A, B)`
+//! with whole chunks as join units, sweeping spatial skew α from 0 to 2.
+//!
+//! Expected shapes: all planners comparable at α = 0; skew helps every
+//! skew-aware planner; MBH is the overall winner for merge joins (the
+//! plan space is simple — each unit has only two sensible homes); the
+//! ILP pays heavy planning time without better plans.
+
+use std::time::Duration;
+
+use sj_bench::{bench_params, cluster_with_pair, paper_planners, print_phase_table, run_join, PhaseRow};
+use sj_core::exec::JoinQuery;
+use sj_core::{JoinAlgo, JoinPredicate};
+use sj_workload::{skewed_pair, SkewedArrayConfig};
+
+const ALPHAS: [f64; 5] = [0.0, 0.5, 1.0, 1.5, 2.0];
+
+fn main() {
+    let params = bench_params(32);
+    println!("Figure 7: merge join duration by skew level and physical planner");
+    println!("(16x16 chunk grid -> 256 join units, 120k cells per array, 4 nodes)");
+
+    for &alpha in &ALPHAS {
+        let cfg = SkewedArrayConfig {
+            name: String::new(),
+            grid: 16,
+            chunk_interval: 64,
+            cells: 120_000,
+            spatial_alpha: alpha,
+            value_alpha: 0.0,
+            value_domain: 100_000,
+            seed: 42,
+        };
+        let (a, b) = skewed_pair(&cfg);
+        let cluster = cluster_with_pair(4, a, b);
+        let query = JoinQuery::new(
+            "A",
+            "B",
+            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+        )
+        .with_selectivity(0.0001);
+
+        let mut rows = Vec::new();
+        for planner in paper_planners(Duration::from_secs(2), 75) {
+            let m = run_join(
+                &cluster,
+                &query,
+                planner,
+                Some(JoinAlgo::Merge),
+                params,
+                None,
+            );
+            rows.push(PhaseRow::from_metrics(m.planner, &m));
+        }
+        print_phase_table(&format!("Zipfian alpha = {alpha}"), &rows);
+    }
+}

@@ -1,0 +1,172 @@
+//! Criterion micro-benchmarks for the engine's kernels: the three join
+//! algorithms, the schema-alignment operators, and the physical planners'
+//! planning latency (the "Query Plan" component of Figures 7–10).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sj_array::ops::{hash_partition, rechunk, redim, ColumnRef, RedimPolicy};
+use sj_array::{ArraySchema, CellBatch, DataType, Histogram, Value};
+use sj_core::algorithms::{run_join, Emitter, JoinAlgo};
+use sj_core::join_schema::{infer_join_schema, ColumnStats};
+use sj_core::physical::{plan_physical, CostParams, PlannerKind, SliceStats};
+use sj_core::predicate::{JoinPredicate, JoinSide};
+use sj_workload::{skewed_array, SkewedArrayConfig, Zipf};
+
+fn join_fixture() -> sj_core::JoinSchema {
+    let a = ArraySchema::parse("A<v:int>[i=1,1000000,100000]").unwrap();
+    let b = ArraySchema::parse("B<w:int>[j=1,1000000,100000]").unwrap();
+    let p = JoinPredicate::new(vec![("v", "w")]);
+    let mut stats = ColumnStats::new();
+    for (side, col) in [(JoinSide::Left, "v"), (JoinSide::Right, "w")] {
+        stats.insert(
+            side,
+            col,
+            Histogram::build((0..1000).map(Value::Int), 8).unwrap(),
+        );
+    }
+    infer_join_schema(&a, &b, &p, None, &stats).unwrap()
+}
+
+fn unit_batch(n: i64, dup_every: i64) -> CellBatch {
+    let mut b = CellBatch::new(0, &[DataType::Int64, DataType::Int64]);
+    for i in 0..n {
+        let key = (i * 48271 % n) / dup_every;
+        b.push(&[], &[Value::Int(i), Value::Int(key)]).unwrap();
+    }
+    b
+}
+
+fn bench_join_kernels(c: &mut Criterion) {
+    let js = join_fixture();
+    let mut group = c.benchmark_group("join_kernels");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &n in &[1_000i64, 10_000] {
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &n,
+                |bench, &n| {
+                    let left = unit_batch(n, 2);
+                    let right = unit_batch(n, 2);
+                    bench.iter(|| {
+                        let mut l = left.clone();
+                        let mut r = right.clone();
+                        let mut em = Emitter::new(&js);
+                        run_join(algo, &mut l, &[1], &mut r, &[1], &mut em).unwrap()
+                    });
+                },
+            );
+        }
+        // Nested loop only at the small size (quadratic).
+        if n <= 1_000 {
+            group.bench_with_input(
+                BenchmarkId::new("nestedLoopJoin", n),
+                &n,
+                |bench, &n| {
+                    let left = unit_batch(n, 2);
+                    let right = unit_batch(n, 2);
+                    bench.iter(|| {
+                        let mut l = left.clone();
+                        let mut r = right.clone();
+                        let mut em = Emitter::new(&js);
+                        run_join(JoinAlgo::NestedLoop, &mut l, &[1], &mut r, &[1], &mut em)
+                            .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_alignment_operators(c: &mut Criterion) {
+    let cfg = SkewedArrayConfig {
+        name: "A".into(),
+        grid: 8,
+        chunk_interval: 128,
+        cells: 50_000,
+        spatial_alpha: 0.5,
+        value_alpha: 0.0,
+        value_domain: 50_000,
+        seed: 1,
+    };
+    let array = skewed_array(&cfg);
+    let target = ArraySchema::parse(
+        "T<i:int, j:int, v2:int>[v1=0,49999,3200]",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("alignment_operators");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("redim_50k", |b| {
+        b.iter(|| redim(&array, &target, RedimPolicy::Strict).unwrap())
+    });
+    group.bench_function("rechunk_50k", |b| {
+        b.iter(|| rechunk(&array, &target, RedimPolicy::Strict).unwrap())
+    });
+    group.bench_function("hash_partition_50k", |b| {
+        b.iter(|| hash_partition(&array, &[ColumnRef::Attr(0)], 256).unwrap())
+    });
+    group.finish();
+}
+
+fn zipf_slice_stats(units: usize, nodes: usize, alpha: f64) -> SliceStats {
+    let z = Zipf::new(units, alpha);
+    let counts = z.proportional_counts(1_000_000);
+    let mut s = SliceStats::new(units, nodes);
+    for (i, &c) in counts.iter().enumerate() {
+        for j in 0..nodes {
+            // Deterministic uneven spread across nodes.
+            let share = c / nodes * (1 + (i + j) % 3);
+            s.left[i][j] = share as u64 / 2;
+            s.right[i][j] = share as u64 / 2;
+        }
+    }
+    s
+}
+
+fn bench_planner_latency(c: &mut Criterion) {
+    let params = CostParams::default();
+    let mut group = c.benchmark_group("planner_latency");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &units in &[256usize, 1024] {
+        let stats = zipf_slice_stats(units, 4, 1.0);
+        group.bench_with_input(BenchmarkId::new("mbh", units), &units, |b, _| {
+            b.iter(|| {
+                plan_physical(
+                    &PlannerKind::MinBandwidth,
+                    &stats,
+                    &params,
+                    JoinAlgo::Hash,
+                    JoinSide::Left,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tabu", units), &units, |b, _| {
+            b.iter(|| {
+                plan_physical(
+                    &PlannerKind::Tabu,
+                    &stats,
+                    &params,
+                    JoinAlgo::Hash,
+                    JoinSide::Left,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join_kernels,
+    bench_alignment_operators,
+    bench_planner_latency
+);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Shared harness utilities for the per-figure/table benchmarks.
+//!
+//! Every bench target regenerates one table or figure from the paper's
+//! evaluation (§6), printing the same rows/series the paper reports.
+//! Scales are laptop-sized; EXPERIMENTS.md records paper-vs-measured.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use sj_cluster::{Cluster, NetworkModel, Placement};
+use sj_core::exec::{
+    calibrate_cost_params, execute_shuffle_join, ExecConfig, JoinMetrics, JoinQuery,
+};
+use sj_core::physical::CostParams;
+use sj_core::{JoinAlgo, PlannerKind};
+
+/// The five physical planners of §6.2, in the paper's display order,
+/// with the given ILP time budget.
+pub fn paper_planners(ilp_budget: Duration, coarse_bins: usize) -> Vec<PlannerKind> {
+    vec![
+        PlannerKind::Baseline,
+        PlannerKind::Ilp { budget: ilp_budget },
+        PlannerKind::IlpCoarse {
+            budget: ilp_budget,
+            bins: coarse_bins,
+        },
+        PlannerKind::MinBandwidth,
+        PlannerKind::Tabu,
+    ]
+}
+
+/// Calibrated cost-model parameters for the benchmark network.
+pub fn bench_params(cell_bytes: usize) -> CostParams {
+    calibrate_cost_params(&bench_network(), cell_bytes)
+}
+
+/// The network profile used by all benchmarks (see
+/// [`NetworkModel::scaled_to_engine`]).
+pub fn bench_network() -> NetworkModel {
+    NetworkModel::scaled_to_engine()
+}
+
+/// Build a cluster with two arrays on decorrelated layouts (each array
+/// of a real engine is distributed independently).
+pub fn cluster_with_pair(
+    k: usize,
+    left: sj_array::Array,
+    right: sj_array::Array,
+) -> Cluster {
+    let mut cluster = Cluster::new(k, bench_network());
+    cluster
+        .load_array(left, &Placement::HashSalted(1))
+        .expect("load left");
+    cluster
+        .load_array(right, &Placement::HashSalted(2))
+        .expect("load right");
+    cluster
+}
+
+/// Run one configured join and return its metrics.
+pub fn run_join(
+    cluster: &Cluster,
+    query: &JoinQuery,
+    planner: PlannerKind,
+    algo: Option<JoinAlgo>,
+    params: CostParams,
+    hash_buckets: Option<usize>,
+) -> JoinMetrics {
+    let config = ExecConfig {
+        planner,
+        cost_params: params,
+        hash_buckets,
+        forced_algo: algo,
+    };
+    execute_shuffle_join(cluster, query, &config)
+        .expect("benchmark join failed")
+        .1
+}
+
+/// One row of a phase-breakdown table (the stacked bars of Figs 7–10).
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Row label (planner name, α value, node count, ...).
+    pub label: String,
+    /// "Query Plan" in ms.
+    pub plan_ms: f64,
+    /// "Data Align" in ms.
+    pub align_ms: f64,
+    /// "Cell Comp" in ms.
+    pub comp_ms: f64,
+}
+
+impl PhaseRow {
+    /// Build from join metrics.
+    pub fn from_metrics(label: impl Into<String>, m: &JoinMetrics) -> Self {
+        PhaseRow {
+            label: label.into(),
+            plan_ms: m.physical_planning.as_secs_f64() * 1e3,
+            align_ms: m.alignment_seconds * 1e3,
+            comp_ms: (m.slice_map_seconds + m.comparison_seconds) * 1e3,
+        }
+    }
+
+    /// Total duration in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.plan_ms + self.align_ms + self.comp_ms
+    }
+}
+
+/// Print a phase table under a heading.
+pub fn print_phase_table(title: &str, rows: &[PhaseRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "series", "plan (ms)", "align (ms)", "comp (ms)", "total (ms)"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            r.label,
+            r.plan_ms,
+            r.align_ms,
+            r.comp_ms,
+            r.total_ms()
+        );
+    }
+}
+
+/// Coefficient of determination of the least-squares line y ≈ a·x + b.
+pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 1.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return 1.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}
+
+/// r² of the power-law fit `y ≈ c·x^a` (linear fit in log-log space) —
+/// the paper's Figure 5 correlation.
+pub fn r_squared_loglog(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs.iter().map(|x| x.max(1e-12).ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.max(1e-12).ln()).collect();
+    r_squared(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_squared_perfect_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((r_squared(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_uncorrelated_is_low() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [5.0, 1.0, 4.0, 2.0, 6.0, 3.0];
+        assert!(r_squared(&xs, &ys) < 0.3);
+    }
+
+    #[test]
+    fn loglog_fits_power_laws() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(2.5)).collect();
+        assert!((r_squared_loglog(&xs, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_row_totals() {
+        let r = PhaseRow {
+            label: "x".into(),
+            plan_ms: 1.0,
+            align_ms: 2.0,
+            comp_ms: 3.0,
+        };
+        assert_eq!(r.total_ms(), 6.0);
+    }
+}

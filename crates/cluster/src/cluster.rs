@@ -1,0 +1,333 @@
+//! The shared-nothing cluster: nodes, storage, and the system catalog.
+//!
+//! "the array database is distributed using a shared-nothing architecture,
+//! where each node hosts one or more instances of the database. Each
+//! instance has a local data partition … The entire cluster shares access
+//! to a centralized system catalog that maintains information about the
+//! nodes, data distribution, and array schemas. A coordinator node manages
+//! the system catalog." (paper §2.1)
+
+use std::collections::{BTreeMap, HashMap};
+
+use sj_array::{Array, ArraySchema, Chunk};
+
+use crate::error::{ClusterError, Result};
+use crate::network::NetworkModel;
+use crate::placement::Placement;
+
+/// One database node: an id plus its local chunk storage, keyed by array
+/// name then linear chunk id.
+#[derive(Debug, Clone, Default)]
+pub struct Node {
+    /// Node id (0-based).
+    pub id: usize,
+    storage: HashMap<String, BTreeMap<u64, Chunk>>,
+}
+
+impl Node {
+    /// The chunks this node holds for `array`, in chunk-id order.
+    pub fn chunks_of(&self, array: &str) -> impl Iterator<Item = (u64, &Chunk)> {
+        self.storage
+            .get(array)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&id, c)| (id, c)))
+    }
+
+    /// Number of cells this node holds for `array`.
+    pub fn cell_count(&self, array: &str) -> usize {
+        self.storage
+            .get(array)
+            .map_or(0, |m| m.values().map(Chunk::cell_count).sum())
+    }
+
+    /// Stored bytes this node holds for `array`.
+    pub fn byte_size(&self, array: &str) -> usize {
+        self.storage
+            .get(array)
+            .map_or(0, |m| m.values().map(Chunk::byte_size).sum())
+    }
+}
+
+/// The coordinator's system catalog: schemas plus the chunk → node map
+/// for every loaded array.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    schemas: HashMap<String, ArraySchema>,
+    chunk_homes: HashMap<String, BTreeMap<u64, usize>>,
+}
+
+impl Catalog {
+    /// Schema of array `name`.
+    pub fn schema(&self, name: &str) -> Result<&ArraySchema> {
+        self.schemas
+            .get(name)
+            .ok_or_else(|| ClusterError::NoSuchArray(name.to_string()))
+    }
+
+    /// The chunk-id → node map for array `name`.
+    pub fn chunk_homes(&self, name: &str) -> Result<&BTreeMap<u64, usize>> {
+        self.chunk_homes
+            .get(name)
+            .ok_or_else(|| ClusterError::NoSuchArray(name.to_string()))
+    }
+
+    /// Names of all loaded arrays, sorted.
+    pub fn array_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.schemas.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// A simulated shared-nothing cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    catalog: Catalog,
+    /// The interconnect model used to time shuffles.
+    pub network: NetworkModel,
+}
+
+impl Cluster {
+    /// A cluster of `k` nodes over the given network.
+    pub fn new(k: usize, network: NetworkModel) -> Self {
+        assert!(k > 0, "cluster needs at least one node");
+        Cluster {
+            nodes: (0..k)
+                .map(|id| Node {
+                    id,
+                    storage: HashMap::new(),
+                })
+                .collect(),
+            catalog: Catalog::default(),
+            network,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node with id `id`.
+    pub fn node(&self, id: usize) -> Result<&Node> {
+        self.nodes.get(id).ok_or(ClusterError::NoSuchNode(id))
+    }
+
+    /// The system catalog (coordinator state).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Load an array, distributing its chunks per `placement`.
+    pub fn load_array(&mut self, array: Array, placement: &Placement) -> Result<()> {
+        let name = array.schema.name.clone();
+        if self.catalog.schemas.contains_key(&name) {
+            return Err(ClusterError::ArrayExists(name));
+        }
+        let total_chunks = array.schema.total_chunks();
+        let k = self.node_count();
+        let schema = array.schema.clone();
+        let mut homes = BTreeMap::new();
+        for (id, chunk) in array.into_chunks() {
+            let node = placement.node_for(id, total_chunks, k);
+            homes.insert(id, node);
+            self.nodes[node]
+                .storage
+                .entry(name.clone())
+                .or_default()
+                .insert(id, chunk);
+        }
+        self.catalog.schemas.insert(name.clone(), schema);
+        self.catalog.chunk_homes.insert(name, homes);
+        Ok(())
+    }
+
+    /// Remove an array from every node and the catalog.
+    pub fn drop_array(&mut self, name: &str) -> Result<()> {
+        if self.catalog.schemas.remove(name).is_none() {
+            return Err(ClusterError::NoSuchArray(name.to_string()));
+        }
+        self.catalog.chunk_homes.remove(name);
+        for node in &mut self.nodes {
+            node.storage.remove(name);
+        }
+        Ok(())
+    }
+
+    /// Access one stored chunk of `array` wherever it lives.
+    pub fn chunk(&self, array: &str, chunk_id: u64) -> Result<&Chunk> {
+        let homes = self.catalog.chunk_homes(array)?;
+        let &node = homes.get(&chunk_id).ok_or(ClusterError::MissingChunk {
+            array: array.to_string(),
+            chunk: chunk_id,
+        })?;
+        self.nodes[node]
+            .storage
+            .get(array)
+            .and_then(|m| m.get(&chunk_id))
+            .ok_or(ClusterError::MissingChunk {
+                array: array.to_string(),
+                chunk: chunk_id,
+            })
+    }
+
+    /// Reassemble the full array from all nodes (coordinator-side gather;
+    /// used by tests and result collection, not by distributed planning).
+    pub fn gather(&self, name: &str) -> Result<Array> {
+        let schema = self.catalog.schema(name)?.clone();
+        let mut array = Array::new(schema);
+        for node in &self.nodes {
+            if let Some(chunks) = node.storage.get(name) {
+                for chunk in chunks.values() {
+                    array.insert_chunk(chunk.clone())?;
+                }
+            }
+        }
+        Ok(array)
+    }
+
+    /// Per-node cell counts for `array` — the distribution statistic the
+    /// coordinator reports to the physical planner.
+    pub fn per_node_cells(&self, array: &str) -> Result<Vec<usize>> {
+        self.catalog.schema(array)?;
+        Ok(self.nodes.iter().map(|n| n.cell_count(array)).collect())
+    }
+
+    /// Move one chunk to a different node, updating the catalog.
+    pub fn move_chunk(&mut self, array: &str, chunk_id: u64, dst: usize) -> Result<()> {
+        if dst >= self.node_count() {
+            return Err(ClusterError::NoSuchNode(dst));
+        }
+        let homes =
+            self.catalog
+                .chunk_homes
+                .get_mut(array)
+                .ok_or_else(|| ClusterError::NoSuchArray(array.to_string()))?;
+        let src = *homes.get(&chunk_id).ok_or(ClusterError::MissingChunk {
+            array: array.to_string(),
+            chunk: chunk_id,
+        })?;
+        if src == dst {
+            return Ok(());
+        }
+        let chunk = self.nodes[src]
+            .storage
+            .get_mut(array)
+            .and_then(|m| m.remove(&chunk_id))
+            .ok_or(ClusterError::MissingChunk {
+                array: array.to_string(),
+                chunk: chunk_id,
+            })?;
+        self.nodes[dst]
+            .storage
+            .entry(array.to_string())
+            .or_default()
+            .insert(chunk_id, chunk);
+        homes.insert(chunk_id, dst);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_array::Value;
+
+    fn sample_array(name: &str) -> Array {
+        let schema = ArraySchema::parse(&format!("{name}<v:int>[i=1,80,10]")).unwrap();
+        Array::from_cells(schema, (1..=80).map(|i| (vec![i], vec![Value::Int(i)]))).unwrap()
+    }
+
+    #[test]
+    fn load_round_robin_distributes_chunks() {
+        let mut cluster = Cluster::new(4, NetworkModel::default());
+        cluster
+            .load_array(sample_array("A"), &Placement::RoundRobin)
+            .unwrap();
+        // 8 chunks over 4 nodes = 2 each, 10 cells per chunk.
+        let cells = cluster.per_node_cells("A").unwrap();
+        assert_eq!(cells, vec![20, 20, 20, 20]);
+        let homes = cluster.catalog().chunk_homes("A").unwrap();
+        assert_eq!(homes.len(), 8);
+        assert_eq!(homes[&5], 1);
+    }
+
+    #[test]
+    fn duplicate_load_rejected() {
+        let mut cluster = Cluster::new(2, NetworkModel::default());
+        cluster
+            .load_array(sample_array("A"), &Placement::RoundRobin)
+            .unwrap();
+        assert!(matches!(
+            cluster.load_array(sample_array("A"), &Placement::RoundRobin),
+            Err(ClusterError::ArrayExists(_))
+        ));
+    }
+
+    #[test]
+    fn gather_reassembles_everything() {
+        let a = sample_array("A");
+        let mut cluster = Cluster::new(3, NetworkModel::default());
+        cluster.load_array(a.clone(), &Placement::Hash).unwrap();
+        let g = cluster.gather("A").unwrap();
+        assert_eq!(g.cell_count(), a.cell_count());
+        assert_eq!(g.chunk_count(), a.chunk_count());
+        for i in [1i64, 40, 80] {
+            assert_eq!(g.get(&[i]).unwrap(), a.get(&[i]).unwrap());
+        }
+    }
+
+    #[test]
+    fn chunk_lookup_follows_catalog() {
+        let mut cluster = Cluster::new(4, NetworkModel::default());
+        cluster
+            .load_array(sample_array("A"), &Placement::RoundRobin)
+            .unwrap();
+        let c = cluster.chunk("A", 3).unwrap();
+        assert_eq!(c.cell_count(), 10);
+        assert!(cluster.chunk("A", 99).is_err());
+        assert!(cluster.chunk("B", 0).is_err());
+    }
+
+    #[test]
+    fn move_chunk_updates_catalog_and_storage() {
+        let mut cluster = Cluster::new(2, NetworkModel::default());
+        cluster
+            .load_array(sample_array("A"), &Placement::RoundRobin)
+            .unwrap();
+        let before = cluster.per_node_cells("A").unwrap();
+        cluster.move_chunk("A", 0, 1).unwrap();
+        let after = cluster.per_node_cells("A").unwrap();
+        assert_eq!(before.iter().sum::<usize>(), after.iter().sum::<usize>());
+        assert_eq!(after[1], before[1] + 10);
+        assert_eq!(*cluster.catalog().chunk_homes("A").unwrap().get(&0).unwrap(), 1);
+        // Moving to the same node is a no-op.
+        cluster.move_chunk("A", 0, 1).unwrap();
+        // Bad destination rejected.
+        assert!(cluster.move_chunk("A", 0, 7).is_err());
+    }
+
+    #[test]
+    fn drop_array_clears_all_state() {
+        let mut cluster = Cluster::new(2, NetworkModel::default());
+        cluster
+            .load_array(sample_array("A"), &Placement::Block)
+            .unwrap();
+        cluster.drop_array("A").unwrap();
+        assert!(cluster.gather("A").is_err());
+        assert!(cluster.drop_array("A").is_err());
+        assert_eq!(cluster.node(0).unwrap().cell_count("A"), 0);
+    }
+
+    #[test]
+    fn explicit_placement_creates_location_skew() {
+        // All chunks on node 0 — the hotspot scenario.
+        let map: HashMap<u64, usize> = (0..8).map(|c| (c, 0usize)).collect();
+        let mut cluster = Cluster::new(4, NetworkModel::default());
+        cluster
+            .load_array(sample_array("A"), &Placement::Explicit(map))
+            .unwrap();
+        assert_eq!(cluster.per_node_cells("A").unwrap(), vec![80, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the cluster simulator.
+
+use std::fmt;
+
+/// Errors produced by cluster operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Referenced a node id outside the cluster.
+    NoSuchNode(usize),
+    /// Referenced an array name not present in the catalog.
+    NoSuchArray(String),
+    /// An array with this name is already loaded.
+    ArrayExists(String),
+    /// A chunk id was not found where the catalog said it should be.
+    MissingChunk {
+        /// Array the chunk belongs to.
+        array: String,
+        /// Linear chunk id.
+        chunk: u64,
+    },
+    /// The underlying storage engine reported an error.
+    Storage(String),
+    /// A simulation invariant was violated (internal bug surface).
+    Simulation(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoSuchNode(id) => write!(f, "no such node: {id}"),
+            ClusterError::NoSuchArray(name) => write!(f, "no such array: `{name}`"),
+            ClusterError::ArrayExists(name) => write!(f, "array `{name}` already loaded"),
+            ClusterError::MissingChunk { array, chunk } => {
+                write!(f, "chunk {chunk} of array `{array}` missing from its node")
+            }
+            ClusterError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ClusterError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<sj_array::ArrayError> for ClusterError {
+    fn from(e: sj_array::ArrayError) -> Self {
+        ClusterError::Storage(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,27 @@
+//! # sj-cluster: a simulated shared-nothing array-database cluster
+//!
+//! The execution-environment substrate of *Skew-Aware Join Optimization
+//! for Array Databases* (SIGMOD 2015, §2.1, §3.4): nodes with local chunk
+//! partitions, a coordinator-managed system catalog, and a switched
+//! network whose data-alignment shuffles are timed by a discrete-event
+//! simulation of the paper's greedy per-host write-lock schedule.
+//!
+//! The simulation design keeps the two quantities the paper's physical
+//! planners trade off — the per-node network load and the per-node
+//! comparison load — faithful at laptop scale: cell comparison runs as
+//! real compute, while network time is derived from the actual bytes each
+//! slice transfer moves under the lock-based schedule.
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod error;
+mod network;
+mod placement;
+mod shuffle;
+
+pub use cluster::{Catalog, Cluster, Node};
+pub use error::{ClusterError, Result};
+pub use network::NetworkModel;
+pub use placement::Placement;
+pub use shuffle::{simulate_shuffle, ShuffleReport, Transfer};

@@ -1,0 +1,399 @@
+//! Discrete-event simulation of the data-alignment shuffle.
+//!
+//! Implements the paper's greedy lock-based shuffle schedule (§3.4): the
+//! coordinator keeps a write lock per host; a sender must hold the
+//! destination's write lock for the duration of a slice transfer. If a
+//! sender cannot acquire the lock for its next slice, it tries its other
+//! slices, and once it runs out of free destinations it polls until one
+//! frees up. Senders transmit one slice at a time; a host can send and
+//! receive simultaneously (full-duplex links into a switched fabric).
+//!
+//! The simulation yields the *makespan* of the alignment phase — the
+//! virtual time at which the last slice lands — plus per-node send and
+//! receive loads, which is exactly what the physical cost model
+//! approximates analytically (paper §5.1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::{ClusterError, Result};
+use crate::network::NetworkModel;
+
+/// One slice transfer to schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// The outcome of simulating one shuffle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShuffleReport {
+    /// Virtual seconds from shuffle start until the last transfer lands.
+    pub makespan: f64,
+    /// Bytes moved over the network (local transfers excluded).
+    pub network_bytes: u64,
+    /// Bytes that stayed local (src == dst).
+    pub local_bytes: u64,
+    /// Per-node total bytes sent over the network.
+    pub sent_bytes: Vec<u64>,
+    /// Per-node total bytes received over the network.
+    pub recv_bytes: Vec<u64>,
+    /// Number of network transfers performed.
+    pub network_transfers: usize,
+}
+
+impl ShuffleReport {
+    /// An empty report for a cluster of `k` nodes (no transfers).
+    pub fn empty(k: usize) -> Self {
+        ShuffleReport {
+            makespan: 0.0,
+            network_bytes: 0,
+            local_bytes: 0,
+            sent_bytes: vec![0; k],
+            recv_bytes: vec![0; k],
+            network_transfers: 0,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Completion {
+    finish: f64,
+    sender: usize,
+    dst: usize,
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on finish time (BinaryHeap is a max-heap): reverse.
+        other
+            .finish
+            .total_cmp(&self.finish)
+            .then_with(|| other.sender.cmp(&self.sender))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulate the data-alignment shuffle for `transfers` on a `k`-node
+/// cluster under `network`, using the greedy write-lock schedule.
+pub fn simulate_shuffle(
+    k: usize,
+    network: &NetworkModel,
+    transfers: &[Transfer],
+) -> Result<ShuffleReport> {
+    let mut report = ShuffleReport::empty(k);
+    // Per-sender queues of pending network transfers, in submission order.
+    let mut pending: Vec<Vec<Transfer>> = vec![Vec::new(); k];
+    for t in transfers {
+        if t.src >= k {
+            return Err(ClusterError::NoSuchNode(t.src));
+        }
+        if t.dst >= k {
+            return Err(ClusterError::NoSuchNode(t.dst));
+        }
+        if t.src == t.dst {
+            report.local_bytes += t.bytes;
+            continue;
+        }
+        report.network_bytes += t.bytes;
+        report.sent_bytes[t.src] += t.bytes;
+        report.recv_bytes[t.dst] += t.bytes;
+        report.network_transfers += 1;
+        pending[t.src].push(*t);
+    }
+    // Queues are drained front-to-back; reverse so pop-from-back walks
+    // the original order.
+    for q in &mut pending {
+        q.reverse();
+    }
+
+    let mut locked = vec![false; k];
+    let mut sender_busy = vec![false; k];
+    let mut events: BinaryHeap<Completion> = BinaryHeap::new();
+    let mut now = 0.0f64;
+
+    // Try to start one transfer for `sender`: the first pending slice
+    // whose destination lock is free (the greedy "try the next slice"
+    // rule from §3.4).
+    fn try_dispatch(
+        sender: usize,
+        now: f64,
+        pending: &mut [Vec<Transfer>],
+        locked: &mut [bool],
+        sender_busy: &mut [bool],
+        network: &NetworkModel,
+        events: &mut BinaryHeap<Completion>,
+    ) {
+        if sender_busy[sender] {
+            return;
+        }
+        let queue = &mut pending[sender];
+        // Scan from the back (front of the logical queue).
+        let Some(idx) = queue.iter().rposition(|t| !locked[t.dst]) else {
+            return;
+        };
+        let t = queue.remove(idx);
+        locked[t.dst] = true;
+        sender_busy[sender] = true;
+        events.push(Completion {
+            finish: now + network.transfer_time(t.bytes),
+            sender,
+            dst: t.dst,
+        });
+    }
+
+    for s in 0..k {
+        try_dispatch(
+            s,
+            now,
+            &mut pending,
+            &mut locked,
+            &mut sender_busy,
+            network,
+            &mut events,
+        );
+    }
+
+    while let Some(done) = events.pop() {
+        now = done.finish;
+        locked[done.dst] = false;
+        sender_busy[done.sender] = false;
+        // The freed lock (and freed sender) may unblock any idle sender;
+        // poll them in node order, completing sender first for fairness.
+        try_dispatch(
+            done.sender,
+            now,
+            &mut pending,
+            &mut locked,
+            &mut sender_busy,
+            network,
+            &mut events,
+        );
+        for s in 0..k {
+            try_dispatch(
+                s,
+                now,
+                &mut pending,
+                &mut locked,
+                &mut sender_busy,
+                network,
+                &mut events,
+            );
+        }
+    }
+
+    if pending.iter().any(|q| !q.is_empty()) {
+        return Err(ClusterError::Simulation(
+            "shuffle ended with undispatched transfers".into(),
+        ));
+    }
+    report.makespan = now;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        // 1 byte/sec, no latency: transfer time == byte count.
+        NetworkModel {
+            bandwidth_bytes_per_sec: 1.0,
+            latency_sec: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_shuffle_is_free() {
+        let r = simulate_shuffle(4, &net(), &[]).unwrap();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.network_bytes, 0);
+    }
+
+    #[test]
+    fn local_transfers_cost_nothing() {
+        let r = simulate_shuffle(
+            2,
+            &net(),
+            &[Transfer {
+                src: 0,
+                dst: 0,
+                bytes: 1_000,
+            }],
+        )
+        .unwrap();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.local_bytes, 1_000);
+        assert_eq!(r.network_transfers, 0);
+    }
+
+    #[test]
+    fn single_transfer_time() {
+        let r = simulate_shuffle(
+            2,
+            &net(),
+            &[Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 50,
+            }],
+        )
+        .unwrap();
+        assert!((r.makespan - 50.0).abs() < 1e-9);
+        assert_eq!(r.sent_bytes, vec![50, 0]);
+        assert_eq!(r.recv_bytes, vec![0, 50]);
+    }
+
+    #[test]
+    fn parallel_disjoint_transfers_overlap() {
+        // 0→1 and 2→3 can run simultaneously.
+        let r = simulate_shuffle(
+            4,
+            &net(),
+            &[
+                Transfer { src: 0, dst: 1, bytes: 100 },
+                Transfer { src: 2, dst: 3, bytes: 100 },
+            ],
+        )
+        .unwrap();
+        assert!((r.makespan - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receiver_lock_serializes_converging_transfers() {
+        // Two senders target node 2: second must wait for the lock.
+        let r = simulate_shuffle(
+            3,
+            &net(),
+            &[
+                Transfer { src: 0, dst: 2, bytes: 100 },
+                Transfer { src: 1, dst: 2, bytes: 100 },
+            ],
+        )
+        .unwrap();
+        assert!((r.makespan - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sender_serializes_its_own_transfers() {
+        // One sender, two receivers: sends go one at a time.
+        let r = simulate_shuffle(
+            3,
+            &net(),
+            &[
+                Transfer { src: 0, dst: 1, bytes: 100 },
+                Transfer { src: 0, dst: 2, bytes: 100 },
+            ],
+        )
+        .unwrap();
+        assert!((r.makespan - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_sender_skips_to_free_destination() {
+        // Sender 0 queues [→2 (long-blocked? no) ...] scenario:
+        // sender 1 grabs node 2 first is not deterministic; instead test
+        // that total work completes and makespan is within greedy bounds.
+        let transfers = [
+            Transfer { src: 0, dst: 2, bytes: 100 },
+            Transfer { src: 0, dst: 1, bytes: 50 },
+            Transfer { src: 1, dst: 2, bytes: 100 },
+        ];
+        let r = simulate_shuffle(3, &net(), &transfers).unwrap();
+        // Node 2 receives 200 bytes serially => makespan >= 200.
+        assert!(r.makespan >= 200.0 - 1e-9);
+        // Greedy overlap should keep it well under fully-serial (250).
+        assert!(r.makespan <= 250.0 + 1e-9);
+        assert_eq!(r.network_bytes, 250);
+    }
+
+    #[test]
+    fn full_duplex_send_and_receive_overlap() {
+        // 0→1 and 1→0 simultaneously: both done at t=100.
+        let r = simulate_shuffle(
+            2,
+            &net(),
+            &[
+                Transfer { src: 0, dst: 1, bytes: 100 },
+                Transfer { src: 1, dst: 0, bytes: 100 },
+            ],
+        )
+        .unwrap();
+        assert!((r.makespan - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_to_one_congestion_vs_all_to_all() {
+        // The paper's §2.3.2 observation: transmitting everything to one
+        // host creates congestion; spreading to all hosts is faster even
+        // when more bytes move.
+        let k = 4;
+        // All-to-one: nodes 1..3 each send 300 bytes to node 0.
+        let to_one: Vec<Transfer> = (1..k)
+            .map(|s| Transfer { src: s, dst: 0, bytes: 300 })
+            .collect();
+        let r1 = simulate_shuffle(k, &net(), &to_one).unwrap();
+        // All-to-all: every node sends 100 bytes to every other node
+        // (more total bytes: 12 * 100 = 1200 > 900).
+        let mut all: Vec<Transfer> = Vec::new();
+        for s in 0..k {
+            for d in 0..k {
+                if s != d {
+                    all.push(Transfer { src: s, dst: d, bytes: 100 });
+                }
+            }
+        }
+        let r2 = simulate_shuffle(k, &net(), &all).unwrap();
+        assert!(r2.network_bytes > r1.network_bytes);
+        assert!(
+            r2.makespan < r1.makespan,
+            "all-to-all ({}) should beat all-to-one ({})",
+            r2.makespan,
+            r1.makespan
+        );
+    }
+
+    #[test]
+    fn invalid_node_ids_rejected() {
+        assert!(simulate_shuffle(
+            2,
+            &net(),
+            &[Transfer { src: 0, dst: 5, bytes: 1 }]
+        )
+        .is_err());
+        assert!(simulate_shuffle(
+            2,
+            &net(),
+            &[Transfer { src: 9, dst: 0, bytes: 1 }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn makespan_at_least_max_node_load() {
+        // Analytical lower bound from the paper's cost model: the busiest
+        // link bounds the makespan.
+        let transfers = [
+            Transfer { src: 0, dst: 1, bytes: 500 },
+            Transfer { src: 0, dst: 2, bytes: 300 },
+            Transfer { src: 3, dst: 1, bytes: 400 },
+            Transfer { src: 2, dst: 3, bytes: 100 },
+        ];
+        let r = simulate_shuffle(4, &net(), &transfers).unwrap();
+        let max_send = *r.sent_bytes.iter().max().unwrap() as f64;
+        let max_recv = *r.recv_bytes.iter().max().unwrap() as f64;
+        assert!(r.makespan + 1e-9 >= max_send.max(max_recv));
+    }
+}

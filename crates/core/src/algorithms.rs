@@ -1,0 +1,474 @@
+//! Cell-comparison algorithms: hash, merge, and nested-loop join
+//! (paper §3.2).
+//!
+//! All three operate on one join unit at a time: two dimension-less cell
+//! batches (one per side, in their [`crate::unit::UnitLayout`]s), the key
+//! column indices, and an [`Emitter`] that maps matched pairs to output
+//! cells. Equality is numeric-aware (`Int(2)` matches `Float(2.0)`).
+
+use std::collections::HashMap;
+
+use sj_array::expr::compare_values;
+use sj_array::{CellBatch, Value};
+
+use crate::error::{JoinError, Result};
+use crate::join_schema::{EmitSpec, JoinSchema};
+use crate::predicate::JoinSide;
+
+/// The join algorithm chosen by the logical planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinAlgo {
+    /// Build a hash map over the smaller side, probe with the larger.
+    Hash,
+    /// Two-cursor merge over key-sorted inputs.
+    Merge,
+    /// Quadratic scan; never profitable but kept for completeness
+    /// (the paper demonstrates this analytically and empirically).
+    NestedLoop,
+}
+
+impl JoinAlgo {
+    /// Display name as used in plan rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinAlgo::Hash => "hashJoin",
+            JoinAlgo::Merge => "mergeJoin",
+            JoinAlgo::NestedLoop => "nestedLoopJoin",
+        }
+    }
+
+    /// Whether this algorithm requires key-sorted inputs.
+    pub fn requires_sorted(&self) -> bool {
+        matches!(self, JoinAlgo::Merge)
+    }
+}
+
+/// Accumulates output cells from matched row pairs.
+#[derive(Debug)]
+pub struct Emitter<'a> {
+    spec: &'a EmitSpec,
+    /// The emitted cells, in the output schema's shape (coordinates are
+    /// the output dimensions).
+    pub out: CellBatch,
+    coord_buf: Vec<i64>,
+    val_buf: Vec<Value>,
+}
+
+impl<'a> Emitter<'a> {
+    /// An emitter for the given join schema.
+    pub fn new(js: &'a JoinSchema) -> Self {
+        let attr_types: Vec<_> = js.output.attrs.iter().map(|a| a.dtype).collect();
+        Emitter {
+            spec: &js.emit,
+            out: CellBatch::new(js.output.ndims(), &attr_types),
+            coord_buf: vec![0; js.output.ndims()],
+            val_buf: Vec::with_capacity(js.output.nattrs()),
+        }
+    }
+
+    /// Emit the output cell for matched rows `(lrow, rrow)`.
+    pub fn emit(
+        &mut self,
+        left: &CellBatch,
+        lrow: usize,
+        right: &CellBatch,
+        rrow: usize,
+    ) -> Result<()> {
+        for (k, src) in self.spec.dims.iter().enumerate() {
+            let v = match src.side {
+                JoinSide::Left => left.attrs[src.column].get(lrow),
+                JoinSide::Right => right.attrs[src.column].get(rrow),
+            };
+            self.coord_buf[k] = v.to_coord().map_err(|e| {
+                JoinError::InvalidOutputSchema(format!(
+                    "output dimension {k} received a non-integral value: {e}"
+                ))
+            })?;
+        }
+        self.val_buf.clear();
+        for src in &self.spec.attrs {
+            self.val_buf.push(match src.side {
+                JoinSide::Left => left.attrs[src.column].get(lrow),
+                JoinSide::Right => right.attrs[src.column].get(rrow),
+            });
+        }
+        self.out.push(&self.coord_buf, &self.val_buf)?;
+        Ok(())
+    }
+
+    /// Number of cells emitted so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Normalize a key value so numerically-equal ints and floats compare and
+/// hash identically.
+fn normalize(v: Value) -> Value {
+    match v {
+        Value::Float(f) if f.fract() == 0.0 && f.is_finite() && f.abs() < 9.2e18 => {
+            Value::Int(f as i64)
+        }
+        other => other,
+    }
+}
+
+fn key_values(batch: &CellBatch, keys: &[usize], row: usize) -> Vec<Value> {
+    keys.iter().map(|&c| normalize(batch.attrs[c].get(row))).collect()
+}
+
+fn keys_equal(
+    a: &CellBatch,
+    akeys: &[usize],
+    arow: usize,
+    b: &CellBatch,
+    bkeys: &[usize],
+    brow: usize,
+) -> bool {
+    akeys.iter().zip(bkeys).all(|(&ac, &bc)| {
+        let av = a.attrs[ac].get(arow);
+        let bv = b.attrs[bc].get(brow);
+        matches!(compare_values(&av, &bv), Ok(std::cmp::Ordering::Equal))
+    })
+}
+
+/// Hash join over one join unit (paper §3.2): builds on the smaller side
+/// and probes with the larger. Operates on unsorted inputs; linear time.
+pub fn hash_join(
+    left: &CellBatch,
+    left_keys: &[usize],
+    right: &CellBatch,
+    right_keys: &[usize],
+    emitter: &mut Emitter<'_>,
+) -> Result<usize> {
+    // "This algorithm builds a hash map over the smaller side of the join."
+    let left_is_build = left.len() <= right.len();
+    let (build, bkeys, probe, pkeys) = if left_is_build {
+        (left, left_keys, right, right_keys)
+    } else {
+        (right, right_keys, left, left_keys)
+    };
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
+    for row in 0..build.len() {
+        table.entry(key_values(build, bkeys, row)).or_default().push(row);
+    }
+    let mut matches = 0usize;
+    for prow in 0..probe.len() {
+        let key = key_values(probe, pkeys, prow);
+        if let Some(rows) = table.get(&key) {
+            for &brow in rows {
+                let (lrow, rrow) = if left_is_build { (brow, prow) } else { (prow, brow) };
+                emitter.emit(left, lrow, right, rrow)?;
+                matches += 1;
+            }
+        }
+    }
+    Ok(matches)
+}
+
+/// Merge join over one join unit (paper §3.2): both inputs must be sorted
+/// on their key columns. Handles duplicate-key runs by emitting the cross
+/// product of each equal-key block.
+pub fn merge_join(
+    left: &CellBatch,
+    left_keys: &[usize],
+    right: &CellBatch,
+    right_keys: &[usize],
+    emitter: &mut Emitter<'_>,
+) -> Result<usize> {
+    debug_assert!(left.is_sorted_by_attr_columns(left_keys));
+    debug_assert!(right.is_sorted_by_attr_columns(right_keys));
+    let (nl, nr) = (left.len(), right.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut matches = 0usize;
+    while i < nl && j < nr {
+        let ord = cmp_cross(left, left_keys, i, right, right_keys, j)?;
+        match ord {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the extents of the equal-key runs on both sides.
+                let mut iend = i + 1;
+                while iend < nl
+                    && left.cmp_by_attr_columns(left_keys, i, iend) == std::cmp::Ordering::Equal
+                {
+                    iend += 1;
+                }
+                let mut jend = j + 1;
+                while jend < nr
+                    && right.cmp_by_attr_columns(right_keys, j, jend) == std::cmp::Ordering::Equal
+                {
+                    jend += 1;
+                }
+                for li in i..iend {
+                    for rj in j..jend {
+                        emitter.emit(left, li, right, rj)?;
+                        matches += 1;
+                    }
+                }
+                i = iend;
+                j = jend;
+            }
+        }
+    }
+    Ok(matches)
+}
+
+fn cmp_cross(
+    a: &CellBatch,
+    akeys: &[usize],
+    arow: usize,
+    b: &CellBatch,
+    bkeys: &[usize],
+    brow: usize,
+) -> Result<std::cmp::Ordering> {
+    for (&ac, &bc) in akeys.iter().zip(bkeys) {
+        let av = a.attrs[ac].get(arow);
+        let bv = b.attrs[bc].get(brow);
+        match compare_values(&av, &bv)
+            .map_err(|e| JoinError::InvalidPredicate(e.to_string()))?
+        {
+            std::cmp::Ordering::Equal => continue,
+            non_eq => return Ok(non_eq),
+        }
+    }
+    Ok(std::cmp::Ordering::Equal)
+}
+
+/// Nested-loop join over one join unit (paper §3.2): quadratic scan with
+/// no sort-order requirements.
+pub fn nested_loop_join(
+    left: &CellBatch,
+    left_keys: &[usize],
+    right: &CellBatch,
+    right_keys: &[usize],
+    emitter: &mut Emitter<'_>,
+) -> Result<usize> {
+    let mut matches = 0usize;
+    for lrow in 0..left.len() {
+        for rrow in 0..right.len() {
+            if keys_equal(left, left_keys, lrow, right, right_keys, rrow) {
+                emitter.emit(left, lrow, right, rrow)?;
+                matches += 1;
+            }
+        }
+    }
+    Ok(matches)
+}
+
+/// Dispatch on [`JoinAlgo`]. Sorts inputs first when the algorithm
+/// requires it and they are not already sorted.
+pub fn run_join(
+    algo: JoinAlgo,
+    left: &mut CellBatch,
+    left_keys: &[usize],
+    right: &mut CellBatch,
+    right_keys: &[usize],
+    emitter: &mut Emitter<'_>,
+) -> Result<usize> {
+    match algo {
+        JoinAlgo::Hash => hash_join(left, left_keys, right, right_keys, emitter),
+        JoinAlgo::NestedLoop => {
+            nested_loop_join(left, left_keys, right, right_keys, emitter)
+        }
+        JoinAlgo::Merge => {
+            left.sort_by_attr_columns(left_keys);
+            right.sort_by_attr_columns(right_keys);
+            merge_join(left, left_keys, right, right_keys, emitter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_schema::{infer_join_schema, ColumnStats};
+    use crate::predicate::JoinPredicate;
+    use sj_array::{ArraySchema, DataType};
+
+    /// A 1-D A:A join fixture: A<v:int>[i], B<w:int>[j], predicate v = w.
+    fn fixture() -> JoinSchema {
+        let a = ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[j=1,100,10]").unwrap();
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        let mut stats = ColumnStats::new();
+        stats.insert(
+            JoinSide::Left,
+            "v",
+            sj_array::Histogram::build((1..=100).map(Value::Int), 8).unwrap(),
+        );
+        stats.insert(
+            JoinSide::Right,
+            "w",
+            sj_array::Histogram::build((1..=100).map(Value::Int), 8).unwrap(),
+        );
+        infer_join_schema(&a, &b, &p, None, &stats).unwrap()
+    }
+
+    /// Left batch layout [i, v]; right batch layout [j, w].
+    fn batches(
+        left_rows: &[(i64, i64)],
+        right_rows: &[(i64, i64)],
+    ) -> (CellBatch, CellBatch) {
+        let mut l = CellBatch::new(0, &[DataType::Int64, DataType::Int64]);
+        for &(i, v) in left_rows {
+            l.push(&[], &[Value::Int(i), Value::Int(v)]).unwrap();
+        }
+        let mut r = CellBatch::new(0, &[DataType::Int64, DataType::Int64]);
+        for &(j, w) in right_rows {
+            r.push(&[], &[Value::Int(j), Value::Int(w)]).unwrap();
+        }
+        (l, r)
+    }
+
+    type Cells = Vec<(Vec<i64>, Vec<Value>)>;
+
+    fn run(
+        algo: JoinAlgo,
+        left_rows: &[(i64, i64)],
+        right_rows: &[(i64, i64)],
+    ) -> (usize, Cells) {
+        let js = fixture();
+        let (mut l, mut r) = batches(left_rows, right_rows);
+        let mut em = Emitter::new(&js);
+        let n = run_join(algo, &mut l, &[1], &mut r, &[1], &mut em).unwrap();
+        let mut cells: Vec<_> = em.out.iter_cells().collect();
+        cells.sort();
+        (n, cells)
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let left = [(1, 5), (2, 7), (3, 5), (4, 9)];
+        let right = [(10, 5), (11, 9), (12, 5), (13, 8)];
+        let (nh, ch) = run(JoinAlgo::Hash, &left, &right);
+        let (nm, cm) = run(JoinAlgo::Merge, &left, &right);
+        let (nn, cn) = run(JoinAlgo::NestedLoop, &left, &right);
+        // v=5 matches w=5 twice on each side → 2*2 = 4; v=9 ↔ w=9 → 1.
+        assert_eq!(nh, 5);
+        assert_eq!(nm, 5);
+        assert_eq!(nn, 5);
+        assert_eq!(ch, cm);
+        assert_eq!(cm, cn);
+    }
+
+    #[test]
+    fn no_matches_emits_nothing() {
+        let (n, cells) = run(JoinAlgo::Hash, &[(1, 5)], &[(2, 6)]);
+        assert_eq!(n, 0);
+        assert!(cells.is_empty());
+    }
+
+    #[test]
+    fn empty_sides_are_fine() {
+        let (n, _) = run(JoinAlgo::Merge, &[], &[(2, 6)]);
+        assert_eq!(n, 0);
+        let (n, _) = run(JoinAlgo::Hash, &[(1, 5)], &[]);
+        assert_eq!(n, 0);
+        let (n, _) = run(JoinAlgo::NestedLoop, &[], &[]);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn output_cells_carry_correct_values() {
+        // Default τ for v=w (Equation 3): dims [i, j] survive from both
+        // sides (only the right predicate column w is merged away); the
+        // sole attribute is v.
+        let js = fixture();
+        assert_eq!(js.output.dims[0].name, "i");
+        assert_eq!(js.output.dims[1].name, "j");
+        let (n, cells) = run(JoinAlgo::Hash, &[(3, 42)], &[(7, 42)]);
+        assert_eq!(n, 1);
+        let (coord, values) = &cells[0];
+        assert_eq!(coord, &vec![3, 7]); // left i, right j
+        assert_eq!(values[0], Value::Int(42));
+    }
+
+    #[test]
+    fn merge_join_duplicate_runs_cross_product() {
+        let left = [(1, 5), (2, 5), (3, 5)];
+        let right = [(9, 5), (8, 5)];
+        let (n, _) = run(JoinAlgo::Merge, &left, &right);
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn hash_join_builds_on_smaller_side_either_way() {
+        // Larger left, smaller right and vice versa must both work.
+        let big: Vec<(i64, i64)> = (1..=50).map(|i| (i, i % 10)).collect();
+        let small = [(1, 3), (2, 7)];
+        let (n1, c1) = run(JoinAlgo::Hash, &big, &small);
+        let (n2, c2) = run(JoinAlgo::NestedLoop, &big, &small);
+        assert_eq!(n1, n2);
+        assert_eq!(c1, c2);
+        assert_eq!(n1, 10); // 5 left cells with v=3 + 5 with v=7
+    }
+
+    #[test]
+    fn mixed_int_float_keys_match() {
+        let a = ArraySchema::parse("A<v:float>[i=1,100,10]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[j=1,100,10]").unwrap();
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        let mut stats = ColumnStats::new();
+        stats.insert(
+            JoinSide::Left,
+            "v",
+            sj_array::Histogram::build((1..=10).map(Value::Int), 4).unwrap(),
+        );
+        let js = infer_join_schema(&a, &b, &p, None, &stats).unwrap();
+        let mut l = CellBatch::new(0, &[DataType::Int64, DataType::Float64]);
+        l.push(&[], &[Value::Int(1), Value::Float(5.0)]).unwrap();
+        l.push(&[], &[Value::Int(2), Value::Float(5.5)]).unwrap();
+        let mut r = CellBatch::new(0, &[DataType::Int64, DataType::Int64]);
+        r.push(&[], &[Value::Int(9), Value::Int(5)]).unwrap();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
+            let mut em = Emitter::new(&js);
+            let n =
+                run_join(algo, &mut l.clone(), &[1], &mut r.clone(), &[1], &mut em).unwrap();
+            assert_eq!(n, 1, "algo {algo:?} missed the 5.0 == 5 match");
+        }
+    }
+
+    #[test]
+    fn multi_key_join() {
+        // Join on (v, i) vs (w, j) two-column keys.
+        let a = ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[j=1,100,10]").unwrap();
+        let p = JoinPredicate::new(vec![("v", "w"), ("i", "j")]);
+        let mut stats = ColumnStats::new();
+        for (side, col) in [(JoinSide::Left, "v"), (JoinSide::Right, "w")] {
+            stats.insert(
+                side,
+                col,
+                sj_array::Histogram::build((1..=10).map(Value::Int), 4).unwrap(),
+            );
+        }
+        let js = infer_join_schema(&a, &b, &p, None, &stats).unwrap();
+        let (mut l, mut r) = batches(
+            &[(1, 5), (2, 5), (3, 6)],
+            &[(1, 5), (2, 6), (3, 6)],
+        );
+        // keys: left (v=col1, i=col0), right (w=col1, j=col0)
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
+            let mut em = Emitter::new(&js);
+            let n = run_join(
+                algo,
+                &mut l,
+                &[1, 0],
+                &mut r,
+                &[1, 0],
+                &mut em,
+            )
+            .unwrap();
+            // Matches: (1,5)↔(1,5) and (3,6)↔(3,6).
+            assert_eq!(n, 2, "algo {algo:?}");
+        }
+        let _ = (&mut l, &mut r);
+    }
+}

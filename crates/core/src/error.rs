@@ -1,0 +1,56 @@
+//! Error types for the shuffle-join framework.
+
+use std::fmt;
+
+/// Errors produced by join planning and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// A predicate referenced a column missing from both schemas.
+    UnknownColumn(String),
+    /// The query's predicate list is empty or malformed.
+    InvalidPredicate(String),
+    /// No valid logical plan exists for the query.
+    NoValidPlan(String),
+    /// The requested output schema cannot be produced by this join.
+    InvalidOutputSchema(String),
+    /// The underlying array engine failed.
+    Storage(String),
+    /// The cluster layer failed.
+    Cluster(String),
+    /// The physical planner failed to produce an assignment.
+    Planning(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            JoinError::InvalidPredicate(msg) => write!(f, "invalid predicate: {msg}"),
+            JoinError::NoValidPlan(msg) => write!(f, "no valid logical plan: {msg}"),
+            JoinError::InvalidOutputSchema(msg) => write!(f, "invalid output schema: {msg}"),
+            JoinError::Storage(msg) => write!(f, "storage error: {msg}"),
+            JoinError::Cluster(msg) => write!(f, "cluster error: {msg}"),
+            JoinError::Planning(msg) => write!(f, "planning error: {msg}"),
+            JoinError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<sj_array::ArrayError> for JoinError {
+    fn from(e: sj_array::ArrayError) -> Self {
+        JoinError::Storage(e.to_string())
+    }
+}
+
+impl From<sj_cluster::ClusterError> for JoinError {
+    fn from(e: sj_cluster::ClusterError) -> Self {
+        JoinError::Cluster(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, JoinError>;

@@ -1,0 +1,539 @@
+//! Join schema inference (paper §4).
+//!
+//! Every join runs through an intermediate *join schema* `J = {D_J, A_J}`:
+//! its dimensions are derived from the predicate pairs (so cells that can
+//! match always land in the same join unit), and its attributes carry
+//! everything needed to evaluate the predicate and build the destination
+//! array. This module infers `J`, the default destination schema
+//! (Equation 3), and the emit mapping from the two sides' columns to the
+//! output's columns.
+
+use std::collections::HashMap;
+
+use sj_array::{ArraySchema, AttributeDef, DimensionDef, Histogram};
+
+use crate::error::{JoinError, Result};
+use crate::predicate::{JoinPredicate, JoinSide, PairKind};
+use crate::unit::UnitLayout;
+
+/// Value-distribution statistics for attribute columns, used to infer
+/// dimension shapes when a predicate attribute becomes a join dimension
+/// ("translating a histogram of the source data's value distribution into
+/// a set of ranges and chunking intervals", §4).
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    histograms: HashMap<(JoinSide, String), Histogram>,
+}
+
+impl ColumnStats {
+    /// An empty statistics set.
+    pub fn new() -> Self {
+        ColumnStats::default()
+    }
+
+    /// Record the histogram for one side's column.
+    pub fn insert(&mut self, side: JoinSide, column: impl Into<String>, hist: Histogram) {
+        self.histograms.insert((side, column.into()), hist);
+    }
+
+    /// Look up a histogram.
+    pub fn get(&self, side: JoinSide, column: &str) -> Option<&Histogram> {
+        self.histograms.get(&(side, column.to_string()))
+    }
+}
+
+/// Where an output column's value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmitSource {
+    /// Which operand supplies the value.
+    pub side: JoinSide,
+    /// Column index into that side's [`UnitLayout`].
+    pub column: usize,
+}
+
+/// The mapping from matched cell pairs to output cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitSpec {
+    /// One source per output dimension.
+    pub dims: Vec<EmitSource>,
+    /// One source per output attribute.
+    pub attrs: Vec<EmitSource>,
+}
+
+/// The inferred join schema plus everything the planner and executor
+/// need to group, compare, and emit cells.
+#[derive(Debug, Clone)]
+pub struct JoinSchema {
+    /// The grouping dimensions of `J` — one per predicate pair, with
+    /// inferred ranges and chunk intervals.
+    pub dims: Vec<DimensionDef>,
+    /// Column layout of left-side cells inside join units.
+    pub left_layout: UnitLayout,
+    /// Column layout of right-side cells inside join units.
+    pub right_layout: UnitLayout,
+    /// The destination schema τ.
+    pub output: ArraySchema,
+    /// How matched pairs map to output cells.
+    pub emit: EmitSpec,
+    /// The predicate's overall kind.
+    pub kind: PairKind,
+}
+
+impl JoinSchema {
+    /// Whether `side`'s source schema already has exactly `J`'s dimension
+    /// space as its own dimensions (same order, ranges, chunk intervals,
+    /// and the predicate columns are those dimensions) — the precondition
+    /// for `scan` alignment (no reorganization).
+    pub fn side_matches_j(&self, side: JoinSide, schema: &ArraySchema) -> bool {
+        let layout = match side {
+            JoinSide::Left => &self.left_layout,
+            JoinSide::Right => &self.right_layout,
+        };
+        if schema.ndims() != self.dims.len() || layout.key_cols.len() != self.dims.len() {
+            return false;
+        }
+        // Key column k must be source dimension k, with the same shape as
+        // J dimension k.
+        for (k, jd) in self.dims.iter().enumerate() {
+            if layout.key_cols[k] != k {
+                return false;
+            }
+            let sd = &schema.dims[k];
+            if sd.start != jd.start || sd.end != jd.end || sd.chunk_interval != jd.chunk_interval
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the output schema's dimension space equals `J`'s (same
+    /// count, ranges, intervals, in order). When true, join results are
+    /// already tiled for τ and only (at most) a sort is needed.
+    pub fn output_matches_j(&self) -> bool {
+        self.output.ndims() == self.dims.len()
+            && self
+                .output
+                .dims
+                .iter()
+                .zip(&self.dims)
+                .all(|(o, j)| {
+                    o.start == j.start
+                        && o.end == j.end
+                        && o.chunk_interval == j.chunk_interval
+                })
+    }
+}
+
+/// Target cells per inferred chunk when a histogram defines a dimension.
+/// Chosen so join units stay "of moderate size" (paper §3.3).
+const TARGET_CELLS_PER_CHUNK: u64 = 65_536;
+
+/// Infer the join schema for `left ⋈ right` under `predicate`.
+///
+/// `output` is the user-declared destination schema (`INTO τ<...>[...]`),
+/// or `None` for the default natural-join schema of Equation 3. `stats`
+/// supplies histograms for predicate attributes (required for A:A and
+/// A:D pairs where neither side contributes a dimension shape).
+pub fn infer_join_schema(
+    left: &ArraySchema,
+    right: &ArraySchema,
+    predicate: &JoinPredicate,
+    output: Option<ArraySchema>,
+    stats: &ColumnStats,
+) -> Result<JoinSchema> {
+    let kinds = predicate.classify(left, right)?;
+    let kind = predicate.overall_kind(left, right)?;
+
+    // --- Destination schema τ (needed as a dimension-shape candidate). ---
+    let output = match output {
+        Some(schema) => schema,
+        None => default_output_schema(left, right, predicate)?,
+    };
+
+    // --- J's dimensions: one per predicate pair. --------------------------
+    // "If d_j is a dimension in α, β, or τ, then the optimizer copies its
+    // chunk intervals from the largest one and takes the dimension range
+    // from the union" (§4); otherwise the shape comes from histograms.
+    let mut dims: Vec<DimensionDef> = Vec::with_capacity(predicate.pairs.len());
+    for (pair, pk) in predicate.pairs.iter().zip(&kinds) {
+        let mut candidates: Vec<&DimensionDef> = Vec::new();
+        if let Some(d) = left.dims.iter().find(|d| d.name == pair.left) {
+            candidates.push(d);
+        }
+        if let Some(d) = right.dims.iter().find(|d| d.name == pair.right) {
+            candidates.push(d);
+        }
+        if let Some(d) = output
+            .dims
+            .iter()
+            .find(|d| d.name == pair.left || d.name == pair.right)
+        {
+            candidates.push(d);
+        }
+        let def = if candidates.is_empty() {
+            debug_assert_eq!(*pk, PairKind::AttrAttr);
+            // Infer shape from value histograms of both attributes.
+            let lh = stats.get(JoinSide::Left, &pair.left);
+            let rh = stats.get(JoinSide::Right, &pair.right);
+            let (start, end, interval) = match (lh, rh) {
+                (Some(lh), Some(rh)) => {
+                    let (ls, le, li) = lh.infer_dimension(TARGET_CELLS_PER_CHUNK);
+                    let (rs, re, ri) = rh.infer_dimension(TARGET_CELLS_PER_CHUNK);
+                    (ls.min(rs), le.max(re), li.max(ri))
+                }
+                (Some(h), None) | (None, Some(h)) => h.infer_dimension(TARGET_CELLS_PER_CHUNK),
+                (None, None) => {
+                    return Err(JoinError::InvalidPredicate(format!(
+                        "predicate pair ({}, {}) joins two attributes but no \
+                         histogram statistics were provided",
+                        pair.left, pair.right
+                    )))
+                }
+            };
+            DimensionDef::new(pair.left.clone(), start, end, interval)?
+        } else {
+            let name = candidates[0].name.clone();
+            let start = candidates.iter().map(|d| d.start).min().unwrap();
+            let end = candidates.iter().map(|d| d.end).max().unwrap();
+            let interval = candidates.iter().map(|d| d.chunk_interval).max().unwrap();
+            DimensionDef::new(name, start, end, interval)?
+        };
+        dims.push(def);
+    }
+
+    // --- Per-side unit layouts. ------------------------------------------
+    let left_layout = UnitLayout::of_schema(left, &key_names(predicate, JoinSide::Left))?;
+    let right_layout = UnitLayout::of_schema(right, &key_names(predicate, JoinSide::Right))?;
+
+    // --- Emit mapping. -----------------------------------------------------
+    let emit = build_emit_spec(&output, left, right, &left_layout, &right_layout)?;
+
+    Ok(JoinSchema {
+        dims,
+        left_layout,
+        right_layout,
+        output,
+        emit,
+        kind,
+    })
+}
+
+fn key_names(predicate: &JoinPredicate, side: JoinSide) -> Vec<String> {
+    predicate
+        .pairs
+        .iter()
+        .map(|p| match side {
+            JoinSide::Left => p.left.clone(),
+            JoinSide::Right => p.right.clone(),
+        })
+        .collect()
+}
+
+/// The default destination schema of Equation 3:
+/// `D_τ = D_α ∪ D_β − (D_β ∩ D_P)`, `A_τ = A_α ∪ A_β − (A_β ∩ A_P)` —
+/// the right side's predicate columns are merged away, everything else
+/// survives. Colliding names from the right are qualified `B.name`.
+fn default_output_schema(
+    left: &ArraySchema,
+    right: &ArraySchema,
+    predicate: &JoinPredicate,
+) -> Result<ArraySchema> {
+    let right_pred: Vec<&str> = predicate.pairs.iter().map(|p| p.right.as_str()).collect();
+    let mut dims: Vec<DimensionDef> = left.dims.clone();
+    let mut attrs: Vec<AttributeDef> = left.attrs.clone();
+    let taken = |name: &str, dims: &[DimensionDef], attrs: &[AttributeDef]| {
+        dims.iter().any(|d| d.name == name) || attrs.iter().any(|a| a.name == name)
+    };
+    for d in &right.dims {
+        if right_pred.contains(&d.name.as_str()) {
+            continue;
+        }
+        let mut def = d.clone();
+        if taken(&def.name, &dims, &attrs) {
+            def.name = format!("{}.{}", right.name, def.name);
+        }
+        dims.push(def);
+    }
+    for a in &right.attrs {
+        if right_pred.contains(&a.name.as_str()) {
+            continue;
+        }
+        let mut def = a.clone();
+        if taken(&def.name, &dims, &attrs) {
+            def.name = format!("{}.{}", right.name, def.name);
+        }
+        attrs.push(def);
+    }
+    ArraySchema::new(format!("{}_{}", left.name, right.name), dims, attrs)
+        .map_err(|e| JoinError::InvalidOutputSchema(e.to_string()))
+}
+
+/// Resolve each output column to a `(side, column)` source. Qualified
+/// names (`A.v1`) bind to the named array; bare names search the left
+/// layout first, then the right.
+fn build_emit_spec(
+    output: &ArraySchema,
+    left: &ArraySchema,
+    right: &ArraySchema,
+    left_layout: &UnitLayout,
+    right_layout: &UnitLayout,
+) -> Result<EmitSpec> {
+    let resolve = |name: &str| -> Result<EmitSource> {
+        if let Some((array, col)) = name.split_once('.') {
+            let (side, layout) = if array == left.name {
+                (JoinSide::Left, left_layout)
+            } else if array == right.name {
+                (JoinSide::Right, right_layout)
+            } else {
+                return Err(JoinError::UnknownColumn(name.to_string()));
+            };
+            let column = layout
+                .column_index(col)
+                .ok_or_else(|| JoinError::UnknownColumn(name.to_string()))?;
+            return Ok(EmitSource { side, column });
+        }
+        if let Some(column) = left_layout.column_index(name) {
+            return Ok(EmitSource {
+                side: JoinSide::Left,
+                column,
+            });
+        }
+        if let Some(column) = right_layout.column_index(name) {
+            return Ok(EmitSource {
+                side: JoinSide::Right,
+                column,
+            });
+        }
+        Err(JoinError::UnknownColumn(name.to_string()))
+    };
+    Ok(EmitSpec {
+        dims: output
+            .dims
+            .iter()
+            .map(|d| resolve(&d.name))
+            .collect::<Result<_>>()?,
+        attrs: output
+            .attrs
+            .iter()
+            .map(|a| resolve(&a.name))
+            .collect::<Result<_>>()?,
+    })
+}
+
+/// Compute histograms for the predicate's attribute columns from live
+/// arrays — the "statistics in the database engine" of §4.
+pub fn stats_for_predicate(
+    left: &sj_array::Array,
+    right: &sj_array::Array,
+    predicate: &JoinPredicate,
+) -> Result<ColumnStats> {
+    let mut stats = ColumnStats::new();
+    for pair in &predicate.pairs {
+        for (side, array, col) in [
+            (JoinSide::Left, left, &pair.left),
+            (JoinSide::Right, right, &pair.right),
+        ] {
+            if array.schema.has_attr(col) && stats.get(side, col).is_none() {
+                let idx = array.schema.attr_index(col)?;
+                let values: Vec<sj_array::Value> = array
+                    .chunks()
+                    .flat_map(|(_, c)| (0..c.cells.len()).map(move |i| c.cells.value(i, idx)))
+                    .collect();
+                if !values.is_empty() {
+                    // Only numeric columns get histograms; strings join
+                    // via hash buckets which need no dimension shape.
+                    if let Ok(hist) = Histogram::build(values, 64) {
+                        stats.insert(side, col.clone(), hist);
+                    }
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_array::Value;
+
+    fn dd_case() -> (ArraySchema, ArraySchema, JoinPredicate) {
+        (
+            ArraySchema::parse("A<v1:int, v2:int>[i=1,64,8, j=1,64,8]").unwrap(),
+            ArraySchema::parse("B<w1:int, w2:int>[i=1,64,8, j=1,64,8]").unwrap(),
+            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+        )
+    }
+
+    #[test]
+    fn dd_join_schema_copies_dimension_space() {
+        let (a, b, p) = dd_case();
+        let js = infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).unwrap();
+        assert_eq!(js.kind, PairKind::DimDim);
+        assert_eq!(js.dims.len(), 2);
+        assert_eq!(js.dims[0].chunk_interval, 8);
+        assert!(js.side_matches_j(JoinSide::Left, &a));
+        assert!(js.side_matches_j(JoinSide::Right, &b));
+        // Default τ: A's dims + A's attrs + B's non-predicate attrs.
+        assert_eq!(js.output.ndims(), 2);
+        assert_eq!(js.output.nattrs(), 4);
+    }
+
+    #[test]
+    fn dd_union_of_mismatched_ranges() {
+        let a = ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[i=51,200,20]").unwrap();
+        let p = JoinPredicate::new(vec![("i", "i")]);
+        let js = infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).unwrap();
+        assert_eq!(js.dims[0].start, 1);
+        assert_eq!(js.dims[0].end, 200);
+        assert_eq!(js.dims[0].chunk_interval, 20); // max of candidates
+        // Neither side matches J exactly now.
+        assert!(!js.side_matches_j(JoinSide::Left, &a));
+        assert!(!js.side_matches_j(JoinSide::Right, &b));
+    }
+
+    #[test]
+    fn aa_join_infers_dimension_from_histograms() {
+        // Paper §6.1's A:A query shape.
+        let a = ArraySchema::parse("A<v:int>[i=1,1000,100]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[j=1,1000,100]").unwrap();
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        let mut stats = ColumnStats::new();
+        stats.insert(
+            JoinSide::Left,
+            "v",
+            Histogram::build((1..=500).map(Value::Int), 16).unwrap(),
+        );
+        stats.insert(
+            JoinSide::Right,
+            "w",
+            Histogram::build((200..=900).map(Value::Int), 16).unwrap(),
+        );
+        let js = infer_join_schema(&a, &b, &p, None, &stats).unwrap();
+        assert_eq!(js.kind, PairKind::AttrAttr);
+        assert_eq!(js.dims.len(), 1);
+        assert_eq!(js.dims[0].name, "v");
+        assert_eq!(js.dims[0].start, 1);
+        assert_eq!(js.dims[0].end, 900);
+        assert!(!js.side_matches_j(JoinSide::Left, &a));
+    }
+
+    #[test]
+    fn aa_without_stats_fails() {
+        let a = ArraySchema::parse("A<v:int>[i=1,10,5]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[j=1,10,5]").unwrap();
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        assert!(infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).is_err());
+    }
+
+    #[test]
+    fn mixed_pair_takes_dimension_shape_from_dim_side() {
+        // A.i (dim) = B.w (attr): J's dim copies A.i's shape (§4, A:D).
+        let a = ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[j=1,50,5]").unwrap();
+        let p = JoinPredicate::new(vec![("i", "w")]);
+        let js = infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).unwrap();
+        assert_eq!(js.kind, PairKind::Mixed);
+        assert_eq!(js.dims[0].name, "i");
+        assert_eq!(js.dims[0].chunk_interval, 10);
+        assert!(js.side_matches_j(JoinSide::Left, &a));
+        assert!(!js.side_matches_j(JoinSide::Right, &b));
+    }
+
+    #[test]
+    fn explicit_output_schema_with_qualified_names() {
+        // Paper §6.2.2: SELECT A.i, A.j, B.i, B.j INTO <...>[] — but an
+        // array needs ≥1 dimension, so bind i/j via qualified attrs.
+        let a = ArraySchema::parse("A<v1:int>[i=1,64,8, j=1,64,8]").unwrap();
+        let b = ArraySchema::parse("B<v1:int>[i=1,64,8, j=1,64,8]").unwrap();
+        let p = JoinPredicate::new(vec![("v1", "v1")]);
+        let out =
+            ArraySchema::parse("C<A.j:int, B.i:int, B.j:int>[A.i=1,64,8]").unwrap();
+        let mut stats = ColumnStats::new();
+        stats.insert(
+            JoinSide::Left,
+            "v1",
+            Histogram::build((1..=64).map(Value::Int), 8).unwrap(),
+        );
+        stats.insert(
+            JoinSide::Right,
+            "v1",
+            Histogram::build((1..=64).map(Value::Int), 8).unwrap(),
+        );
+        let js = infer_join_schema(&a, &b, &p, Some(out), &stats).unwrap();
+        // Output dim A.i resolves to the left layout's `i` column (index 0).
+        assert_eq!(js.emit.dims[0].side, JoinSide::Left);
+        assert_eq!(js.emit.dims[0].column, 0);
+        // B.i → right side column 0; B.j → right column 1.
+        assert_eq!(js.emit.attrs[1].side, JoinSide::Right);
+        assert_eq!(js.emit.attrs[1].column, 0);
+        assert_eq!(js.emit.attrs[2].column, 1);
+    }
+
+    #[test]
+    fn emit_spec_for_default_schema() {
+        let (a, b, p) = dd_case();
+        let js = infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).unwrap();
+        // dims i, j from the left.
+        assert!(js.emit.dims.iter().all(|e| e.side == JoinSide::Left));
+        // attrs: v1, v2 (left), w1, w2 (right).
+        assert_eq!(js.emit.attrs[0].side, JoinSide::Left);
+        assert_eq!(js.emit.attrs[2].side, JoinSide::Right);
+    }
+
+    #[test]
+    fn default_schema_qualifies_collisions() {
+        let a = ArraySchema::parse("A<v:int>[i=1,10,5]").unwrap();
+        let b = ArraySchema::parse("B<v:int>[j=1,10,5]").unwrap();
+        let p = JoinPredicate::new(vec![("i", "j")]);
+        let js = infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).unwrap();
+        // B.v collides with A's v → qualified.
+        let names: Vec<&str> = js.output.attrs.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["v", "B.v"]);
+    }
+
+    #[test]
+    fn unknown_output_column_rejected() {
+        let (a, b, p) = dd_case();
+        let out = ArraySchema::parse("C<zzz:int>[i=1,64,8]").unwrap();
+        assert!(infer_join_schema(&a, &b, &p, Some(out), &ColumnStats::new()).is_err());
+        let out2 = ArraySchema::parse("C<Z.v1:int>[i=1,64,8]").unwrap();
+        assert!(infer_join_schema(&a, &b, &p, Some(out2), &ColumnStats::new()).is_err());
+    }
+
+    #[test]
+    fn output_matches_j_detection() {
+        let (a, b, p) = dd_case();
+        let js = infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).unwrap();
+        assert!(js.output_matches_j());
+        let out = ArraySchema::parse("C<v1:int>[i=1,64,4]").unwrap(); // interval differs
+        let js2 = infer_join_schema(&a, &b, &p, Some(out), &ColumnStats::new()).unwrap();
+        assert!(!js2.output_matches_j());
+    }
+
+    #[test]
+    fn stats_for_predicate_builds_attr_histograms() {
+        let a = sj_array::Array::from_cells(
+            ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap(),
+            (1..=100).map(|i| (vec![i], vec![Value::Int(i * 2)])),
+        )
+        .unwrap();
+        let b = sj_array::Array::from_cells(
+            ArraySchema::parse("B<w:int>[j=1,100,10]").unwrap(),
+            (1..=100).map(|j| (vec![j], vec![Value::Int(j)])),
+        )
+        .unwrap();
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        let stats = stats_for_predicate(&a, &b, &p).unwrap();
+        let lh = stats.get(JoinSide::Left, "v").unwrap();
+        assert_eq!(lh.min, 2.0);
+        assert_eq!(lh.max, 200.0);
+        assert!(stats.get(JoinSide::Right, "w").is_some());
+        // Dimensions don't get histograms.
+        let p2 = JoinPredicate::new(vec![("i", "j")]);
+        let s2 = stats_for_predicate(&a, &b, &p2).unwrap();
+        assert!(s2.get(JoinSide::Left, "i").is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! # sj-core: the skew-aware shuffle-join optimization framework
+//!
+//! The primary contribution of *Skew-Aware Join Optimization for Array
+//! Databases* (SIGMOD 2015): a two-phase join optimizer for chunked array
+//! databases.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+mod error;
+pub mod join_schema;
+pub mod logical;
+pub mod predicate;
+pub mod unit;
+
+pub use algorithms::JoinAlgo;
+pub use error::{JoinError, Result};
+pub use join_schema::{infer_join_schema, ColumnStats, JoinSchema};
+pub use logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats};
+pub use predicate::{JoinPredicate, JoinSide, PairKind};
+pub use unit::JoinUnitSpec;
+
+pub mod physical;
+pub use physical::{CostParams, PhysicalPlan, PlannerKind, SliceStats};
+
+pub mod exec;
+pub use exec::{execute_shuffle_join, ExecConfig, JoinMetrics, JoinQuery};

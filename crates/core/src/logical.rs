@@ -1,0 +1,545 @@
+//! Logical join optimization (paper §4).
+//!
+//! The logical planner enumerates plans of the form
+//! `out-align( joinAlgo( α-align(α), β-align(β) ) )` via the dynamic
+//! programming loop of Algorithm 1, validates each combination, costs it
+//! with the analytical model of Table 1, and returns the cheapest.
+
+use std::fmt;
+
+use crate::algorithms::JoinAlgo;
+use crate::error::{JoinError, Result};
+use crate::join_schema::JoinSchema;
+use crate::predicate::JoinSide;
+use crate::unit::JoinUnitSpec;
+
+use sj_array::ArraySchema;
+
+/// Schema-alignment operator applied to a join input (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignOp {
+    /// Pass-through; valid only when the source already matches `J`.
+    Scan,
+    /// Re-tile to `J` and sort each chunk → ordered chunks.
+    Redim,
+    /// Re-tile to `J` without sorting → unordered chunks.
+    Rechunk,
+    /// Hash cells into buckets → unordered, dimension-less buckets.
+    Hash,
+}
+
+impl AlignOp {
+    fn name(&self) -> &'static str {
+        match self {
+            AlignOp::Scan => "scan",
+            AlignOp::Redim => "redim",
+            AlignOp::Rechunk => "rechunk",
+            AlignOp::Hash => "hash",
+        }
+    }
+
+    /// Whether the operator's output is ordered chunks.
+    pub fn ordered_output(&self) -> bool {
+        matches!(self, AlignOp::Scan | AlignOp::Redim)
+    }
+}
+
+/// Output-organization operator applied after cell comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutOp {
+    /// Results are already tiled and ordered for τ.
+    Scan,
+    /// Results share τ's tiling but need a per-chunk sort.
+    Sort,
+    /// Re-tile and sort results into τ.
+    Redim,
+}
+
+impl OutOp {
+    fn name(&self) -> &'static str {
+        match self {
+            OutOp::Scan => "scan",
+            OutOp::Sort => "sort",
+            OutOp::Redim => "redim",
+        }
+    }
+}
+
+/// Inputs to the logical cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct LogicalStats {
+    /// Cell count of the left input.
+    pub n_left: u64,
+    /// Stored chunk count of the left input.
+    pub c_left: u64,
+    /// Cell count of the right input.
+    pub n_right: u64,
+    /// Stored chunk count of the right input.
+    pub c_right: u64,
+    /// Estimated join selectivity: output cells ≈ `sel · (n_left + n_right)`
+    /// (the paper's definition, §6.1).
+    pub selectivity: f64,
+    /// Number of cluster nodes (the distributed model divides work by k).
+    pub nodes: usize,
+    /// Bucket count to use for hash-partitioned plans.
+    pub hash_buckets: usize,
+}
+
+impl LogicalStats {
+    /// Stats for two arrays on a `nodes`-node cluster with a selectivity
+    /// estimate. Bucket count defaults to a moderate-size heuristic
+    /// (paper §3.3: units of "tens of megabytes").
+    pub fn for_arrays(
+        left: &sj_array::Array,
+        right: &sj_array::Array,
+        selectivity: f64,
+        nodes: usize,
+    ) -> Self {
+        let n_left = left.cell_count() as u64;
+        let n_right = right.cell_count() as u64;
+        let buckets = ((n_left + n_right) / 65_536).clamp(16 * nodes as u64, 4096) as usize;
+        LogicalStats {
+            n_left,
+            c_left: left.chunk_count().max(1) as u64,
+            n_right,
+            c_right: right.chunk_count().max(1) as u64,
+            selectivity,
+            nodes: nodes.max(1),
+            hash_buckets: buckets,
+        }
+    }
+
+    fn n_out(&self) -> f64 {
+        self.selectivity * (self.n_left + self.n_right) as f64
+    }
+}
+
+/// Cost breakdown of a logical plan, in per-cell work units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCost {
+    /// Cost of aligning the left input.
+    pub left_align: f64,
+    /// Cost of aligning the right input.
+    pub right_align: f64,
+    /// Cell-comparison cost.
+    pub compare: f64,
+    /// Output-organization cost.
+    pub output: f64,
+}
+
+impl PlanCost {
+    /// Total plan cost.
+    pub fn total(&self) -> f64 {
+        self.left_align + self.right_align + self.compare + self.output
+    }
+}
+
+/// One logical join plan.
+#[derive(Debug, Clone)]
+pub struct LogicalPlan {
+    /// Alignment of the left input.
+    pub left_align: AlignOp,
+    /// Alignment of the right input.
+    pub right_align: AlignOp,
+    /// The join algorithm.
+    pub algo: JoinAlgo,
+    /// Output organization.
+    pub out: OutOp,
+    /// How cells group into join units under this plan.
+    pub unit_spec: JoinUnitSpec,
+    /// The analytical cost.
+    pub cost: PlanCost,
+}
+
+impl LogicalPlan {
+    /// Render the plan as an AFL operator workflow, e.g.
+    /// `redim(hashJoin(hash(A), hash(B)), C)`.
+    pub fn render_afl(&self, left: &str, right: &str, out: &str) -> String {
+        let a = match self.left_align {
+            AlignOp::Scan => left.to_string(),
+            op => format!("{}({left}, J)", op.name()),
+        };
+        let b = match self.right_align {
+            AlignOp::Scan => right.to_string(),
+            op => format!("{}({right}, J)", op.name()),
+        };
+        let join = format!("{}({a}, {b})", self.algo.name());
+        match self.out {
+            OutOp::Scan => join,
+            OutOp::Sort => format!("sort({join})"),
+            OutOp::Redim => format!("redim({join}, {out})"),
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} ⋈ {}] → {} (cost {:.3e})",
+            self.algo.name(),
+            self.left_align.name(),
+            self.right_align.name(),
+            self.out.name(),
+            self.cost.total()
+        )
+    }
+}
+
+fn nlog(n: f64, chunks: f64) -> f64 {
+    if n <= 1.0 {
+        return 0.0;
+    }
+    let per_chunk = (n / chunks.max(1.0)).max(2.0);
+    n * per_chunk.log2()
+}
+
+/// Cost of one alignment operator (Table 1), divided by `k` nodes.
+fn align_cost(op: AlignOp, n: f64, target_chunks: f64, k: f64) -> f64 {
+    match op {
+        AlignOp::Scan => 0.0,
+        AlignOp::Redim => (n + nlog(n, target_chunks)) / k,
+        AlignOp::Rechunk => n / k,
+        AlignOp::Hash => n / k,
+    }
+}
+
+/// Cell-comparison cost (§4): linear for hash/merge, quadratic for
+/// nested loop; divided by `k` nodes.
+fn compare_cost(algo: JoinAlgo, n_a: f64, n_b: f64, k: f64) -> f64 {
+    match algo {
+        JoinAlgo::Hash | JoinAlgo::Merge => (n_a + n_b) / k,
+        JoinAlgo::NestedLoop => {
+            // Per join unit the loop is |a_u|·|b_u|; summed over units it
+            // is ~ (n_a·n_b)/units when cells spread evenly. Model the
+            // partitioned quadratic cost, not the full cross product.
+            n_a * n_b / k
+        }
+    }
+}
+
+fn out_cost(op: OutOp, n_out: f64, out_chunks: f64, k: f64) -> f64 {
+    match op {
+        OutOp::Scan => 0.0,
+        OutOp::Sort => nlog(n_out, out_chunks) / k,
+        OutOp::Redim => (n_out + nlog(n_out, out_chunks)) / k,
+    }
+}
+
+/// Enumerate every *valid* logical plan for the query, costed
+/// (Algorithm 1's plan list before the `min`).
+pub fn enumerate_plans(
+    js: &JoinSchema,
+    left_schema: &ArraySchema,
+    right_schema: &ArraySchema,
+    stats: &LogicalStats,
+) -> Vec<LogicalPlan> {
+    let aligns = [AlignOp::Scan, AlignOp::Redim, AlignOp::Rechunk, AlignOp::Hash];
+    let algos = [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop];
+    let outs = [OutOp::Scan, OutOp::Sort, OutOp::Redim];
+    let k = stats.nodes as f64;
+    let left_matches = js.side_matches_j(JoinSide::Left, left_schema);
+    let right_matches = js.side_matches_j(JoinSide::Right, right_schema);
+    let out_matches_j = js.output_matches_j();
+    let chunk_units = JoinUnitSpec::Chunks { dims: js.dims.clone() };
+    let j_chunks = chunk_units.n_units() as f64;
+    let out_chunks = js.output.total_chunks() as f64;
+
+    let mut plans = Vec::new();
+    for &a in &aligns {
+        for &b in &aligns {
+            for &algo in &algos {
+                for &out in &outs {
+                    if !validate(
+                        a,
+                        b,
+                        algo,
+                        out,
+                        left_matches,
+                        right_matches,
+                        out_matches_j,
+                    ) {
+                        continue;
+                    }
+                    let unit_spec = if a == AlignOp::Hash {
+                        JoinUnitSpec::HashBuckets {
+                            n: stats.hash_buckets,
+                        }
+                    } else {
+                        chunk_units.clone()
+                    };
+                    let target_chunks = match unit_spec {
+                        JoinUnitSpec::HashBuckets { n } => n as f64,
+                        JoinUnitSpec::Chunks { .. } => j_chunks,
+                    };
+                    let cost = PlanCost {
+                        left_align: align_cost(a, stats.n_left as f64, target_chunks, k),
+                        right_align: align_cost(b, stats.n_right as f64, target_chunks, k),
+                        compare: compare_cost(
+                            algo,
+                            stats.n_left as f64,
+                            stats.n_right as f64,
+                            k,
+                        ),
+                        output: out_cost(out, stats.n_out(), out_chunks, k),
+                    };
+                    plans.push(LogicalPlan {
+                        left_align: a,
+                        right_align: b,
+                        algo,
+                        out,
+                        unit_spec,
+                        cost,
+                    });
+                }
+            }
+        }
+    }
+    plans
+}
+
+/// `validatePlan` from Algorithm 1.
+fn validate(
+    a: AlignOp,
+    b: AlignOp,
+    algo: JoinAlgo,
+    out: OutOp,
+    left_matches: bool,
+    right_matches: bool,
+    out_matches_j: bool,
+) -> bool {
+    // Scan is only access, not reorganization: the source must already
+    // be in J-space.
+    if a == AlignOp::Scan && !left_matches {
+        return false;
+    }
+    if b == AlignOp::Scan && !right_matches {
+        return false;
+    }
+    // Join units must be built the same way on both sides.
+    if (a == AlignOp::Hash) != (b == AlignOp::Hash) {
+        return false;
+    }
+    // Merge join requires ordered chunks on both inputs.
+    if algo == JoinAlgo::Merge && !(a.ordered_output() && b.ordered_output()) {
+        return false;
+    }
+    // Output validation: a scan after the join requires results already
+    // tiled AND ordered for τ — only a merge join over J = τ delivers
+    // that ("precluding a scan after a hash or nested loop join for
+    // destination schemas that have dimensions"). A bare sort suffices
+    // only when results are already tiled for τ, i.e. the join units were
+    // chunks of J = τ (hash buckets are not tiles).
+    let hash_units = a == AlignOp::Hash;
+    match out {
+        OutOp::Scan => out_matches_j && algo == JoinAlgo::Merge && !hash_units,
+        OutOp::Sort => out_matches_j && !hash_units,
+        OutOp::Redim => true,
+    }
+}
+
+/// Pick the cheapest valid plan (Algorithm 1's `min(planList)`).
+pub fn plan_join(
+    js: &JoinSchema,
+    left_schema: &ArraySchema,
+    right_schema: &ArraySchema,
+    stats: &LogicalStats,
+) -> Result<LogicalPlan> {
+    enumerate_plans(js, left_schema, right_schema, stats)
+        .into_iter()
+        .min_by(|p, q| p.cost.total().total_cmp(&q.cost.total()))
+        .ok_or_else(|| JoinError::NoValidPlan("empty plan list".into()))
+}
+
+/// The cheapest valid plan that uses a specific join algorithm — used by
+/// the evaluation harness to compare Merge / Hash / NestedLoop plans as
+/// in paper §6.1.
+pub fn plan_join_with_algo(
+    js: &JoinSchema,
+    left_schema: &ArraySchema,
+    right_schema: &ArraySchema,
+    stats: &LogicalStats,
+    algo: JoinAlgo,
+) -> Result<LogicalPlan> {
+    enumerate_plans(js, left_schema, right_schema, stats)
+        .into_iter()
+        .filter(|p| p.algo == algo)
+        .min_by(|p, q| p.cost.total().total_cmp(&q.cost.total()))
+        .ok_or_else(|| {
+            JoinError::NoValidPlan(format!("no valid plan uses {}", algo.name()))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_schema::{infer_join_schema, ColumnStats};
+    use crate::predicate::JoinPredicate;
+    use sj_array::{Histogram, Value};
+
+    /// D:D fixture: same-shaped 2-D arrays (the §6.2.1 merge query).
+    fn dd() -> (ArraySchema, ArraySchema, JoinSchema) {
+        let a = ArraySchema::parse("A<v1:int, v2:int>[i=1,64,8, j=1,64,8]").unwrap();
+        let b = ArraySchema::parse("B<v1:int, v2:int>[i=1,64,8, j=1,64,8]").unwrap();
+        let p = JoinPredicate::new(vec![("i", "i"), ("j", "j")]);
+        let js = infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).unwrap();
+        (a, b, js)
+    }
+
+    /// A:A fixture: the §6.1 logical-planning query, with the paper's
+    /// explicit destination `SELECT * INTO C<i,j>[v] FROM A, B WHERE
+    /// A.v = B.w` — the predicate attribute is the output's dimension.
+    fn aa() -> (ArraySchema, ArraySchema, JoinSchema) {
+        let a = ArraySchema::parse("A<v:int>[i=1,1024,64]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[j=1,1024,64]").unwrap();
+        let out = ArraySchema::parse("C<i:int, j:int>[v=1,1024,64]").unwrap();
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        let mut stats = ColumnStats::new();
+        for (side, col) in [(JoinSide::Left, "v"), (JoinSide::Right, "w")] {
+            stats.insert(
+                side,
+                col,
+                Histogram::build((1..=1024).map(Value::Int), 16).unwrap(),
+            );
+        }
+        let js = infer_join_schema(&a, &b, &p, Some(out), &stats).unwrap();
+        (a, b, js)
+    }
+
+    fn stats(n: u64, sel: f64) -> LogicalStats {
+        LogicalStats {
+            n_left: n,
+            c_left: 64,
+            n_right: n,
+            c_right: 64,
+            selectivity: sel,
+            nodes: 1,
+            hash_buckets: 64,
+        }
+    }
+
+    #[test]
+    fn dd_join_prefers_plain_merge_scan() {
+        // Identical shapes: the no-reorganization plan must win
+        // ("plans that do not call for reorganization … will be favored").
+        let (a, b, js) = dd();
+        let plan = plan_join(&js, &a, &b, &stats(100_000, 1.0)).unwrap();
+        assert_eq!(plan.algo, JoinAlgo::Merge);
+        assert_eq!(plan.left_align, AlignOp::Scan);
+        assert_eq!(plan.right_align, AlignOp::Scan);
+        assert_eq!(plan.out, OutOp::Scan);
+        assert_eq!(plan.cost.left_align, 0.0);
+        assert_eq!(plan.render_afl("A", "B", "C"), "mergeJoin(A, B)");
+    }
+
+    #[test]
+    fn aa_join_cannot_scan_align() {
+        let (a, b, js) = aa();
+        for plan in enumerate_plans(&js, &a, &b, &stats(100_000, 0.1)) {
+            assert_ne!(plan.left_align, AlignOp::Scan);
+            assert_ne!(plan.right_align, AlignOp::Scan);
+        }
+    }
+
+    #[test]
+    fn hash_aligns_must_pair() {
+        let (a, b, js) = aa();
+        for plan in enumerate_plans(&js, &a, &b, &stats(100_000, 0.1)) {
+            assert_eq!(
+                plan.left_align == AlignOp::Hash,
+                plan.right_align == AlignOp::Hash,
+                "mismatched units in {plan}"
+            );
+            if plan.algo == JoinAlgo::Merge {
+                assert!(plan.left_align.ordered_output());
+                assert!(plan.right_align.ordered_output());
+            }
+        }
+    }
+
+    #[test]
+    fn low_selectivity_prefers_hash_high_prefers_merge() {
+        // Paper Figure 6: hash wins at selectivity < 1 (defer the sort to
+        // the small output); merge wins at selectivity ≥ 1 (front-load
+        // sorting on the smaller inputs).
+        let (a, b, js) = aa();
+        let low = plan_join(&js, &a, &b, &stats(1_000_000, 0.01)).unwrap();
+        assert_eq!(low.algo, JoinAlgo::Hash, "low selectivity: {low}");
+        let high = plan_join(&js, &a, &b, &stats(1_000_000, 100.0)).unwrap();
+        assert_eq!(high.algo, JoinAlgo::Merge, "high selectivity: {high}");
+    }
+
+    #[test]
+    fn nested_loop_is_never_chosen() {
+        // Paper §6.1: "the nested loop join is never a profitable plan".
+        let (a, b, js) = aa();
+        for sel in [0.01, 0.1, 1.0, 10.0, 100.0] {
+            let plan = plan_join(&js, &a, &b, &stats(1_000_000, sel)).unwrap();
+            assert_ne!(plan.algo, JoinAlgo::NestedLoop, "sel {sel}: {plan}");
+        }
+    }
+
+    #[test]
+    fn nested_loop_cost_dominates() {
+        let (a, b, js) = aa();
+        let st = stats(1_000_000, 1.0);
+        let nl = plan_join_with_algo(&js, &a, &b, &st, JoinAlgo::NestedLoop).unwrap();
+        let h = plan_join_with_algo(&js, &a, &b, &st, JoinAlgo::Hash).unwrap();
+        assert!(nl.cost.total() > 100.0 * h.cost.total());
+    }
+
+    #[test]
+    fn distributed_cost_divides_by_k() {
+        let (a, b, js) = aa();
+        let mut s1 = stats(1_000_000, 1.0);
+        let mut s4 = s1;
+        s1.nodes = 1;
+        s4.nodes = 4;
+        let p1 = plan_join_with_algo(&js, &a, &b, &s1, JoinAlgo::Hash).unwrap();
+        let p4 = plan_join_with_algo(&js, &a, &b, &s4, JoinAlgo::Hash).unwrap();
+        assert!((p1.cost.total() / p4.cost.total() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn afl_rendering() {
+        let (a, b, js) = aa();
+        let st = stats(1_000_000, 0.01);
+        let h = plan_join_with_algo(&js, &a, &b, &st, JoinAlgo::Hash).unwrap();
+        let afl = h.render_afl("A", "B", "C");
+        assert!(afl.contains("hashJoin"), "{afl}");
+        let m = plan_join_with_algo(&js, &a, &b, &st, JoinAlgo::Merge).unwrap();
+        // With τ = J (the paper's INTO C[v]), the merge plan front-loads
+        // all reordering: no output step is needed.
+        assert_eq!(m.render_afl("A", "B", "C"), "mergeJoin(redim(A, J), redim(B, J))");
+    }
+
+    #[test]
+    fn every_enumerated_plan_is_valid() {
+        let (a, b, js) = aa();
+        let plans = enumerate_plans(&js, &a, &b, &stats(10_000, 1.0));
+        assert!(!plans.is_empty());
+        for p in &plans {
+            // Merge never consumes hash buckets.
+            if p.algo == JoinAlgo::Merge {
+                assert!(matches!(p.unit_spec, JoinUnitSpec::Chunks { .. }));
+            }
+            // Scan-out only after merge (outputs of hash/NL are unsorted).
+            if p.out == OutOp::Scan {
+                assert_eq!(p.algo, JoinAlgo::Merge);
+            }
+            assert!(p.cost.total().is_finite());
+        }
+    }
+
+    #[test]
+    fn dd_with_mismatched_chunking_requires_reorg() {
+        let a = ArraySchema::parse("A<v:int>[i=1,64,8]").unwrap();
+        let b = ArraySchema::parse("B<w:int>[i=1,64,16]").unwrap();
+        let p = JoinPredicate::new(vec![("i", "i")]);
+        let js = infer_join_schema(&a, &b, &p, None, &ColumnStats::new()).unwrap();
+        let plan = plan_join(&js, &a, &b, &stats(10_000, 1.0)).unwrap();
+        // At least one side must reorganize (J interval is 16: B matches,
+        // A does not).
+        assert_ne!(plan.left_align, AlignOp::Scan);
+    }
+}

@@ -1,0 +1,410 @@
+//! The analytical physical cost model (paper §5.1).
+//!
+//! A physical plan assigns every join unit to one node. Its estimated
+//! duration is
+//!
+//! ```text
+//! c = max(max_j send_j, max_j recv_j) · t  +  max_j Σ_{i → j} C_i
+//! ```
+//!
+//! where `send_j`/`recv_j` are the cells node `j` ships/collects during
+//! data alignment (Equations 5–6), and `C_i` is the per-unit comparison
+//! cost: `m·S_i` for merge joins, `b·t_i + p·u_i` for hash joins
+//! (build cost dominates probe cost). The parameters `(m, b, p, t)` are
+//! derived empirically (§5.1); [`CostParams::for_engine`] mirrors that.
+
+use crate::algorithms::JoinAlgo;
+use crate::error::{JoinError, Result};
+
+/// Empirical per-cell cost parameters, in (virtual) seconds per cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Merge-join cost per cell.
+    pub m: f64,
+    /// Hash-map build cost per cell ("much greater than … probing").
+    pub b: f64,
+    /// Hash-map probe cost per cell.
+    pub p: f64,
+    /// Network transfer cost per cell.
+    pub t: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        // Plausible magnitudes for the simulated engine: tens of
+        // nanoseconds of compute per cell, ~32-byte cells over a
+        // gigabit-class link. Calibrate with `for_engine` when accuracy
+        // against a specific configuration matters.
+        CostParams {
+            m: 25e-9,
+            b: 120e-9,
+            p: 40e-9,
+            t: 275e-9,
+        }
+    }
+}
+
+impl CostParams {
+    /// Parameters matched to a network model and cell width, keeping the
+    /// default compute constants.
+    pub fn for_engine(bandwidth_bytes_per_sec: f64, cell_bytes: usize) -> Self {
+        CostParams {
+            t: cell_bytes as f64 / bandwidth_bytes_per_sec,
+            ..CostParams::default()
+        }
+    }
+}
+
+/// Slice statistics reported to the coordinator after slice mapping:
+/// per-unit, per-node cell counts for each side of the join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceStats {
+    /// `left[i][j]` = left-side cells of join unit `i` stored on node `j`.
+    pub left: Vec<Vec<u64>>,
+    /// `right[i][j]` = right-side cells of unit `i` on node `j`.
+    pub right: Vec<Vec<u64>>,
+}
+
+impl SliceStats {
+    /// Build from per-node slice size reports.
+    pub fn new(n_units: usize, nodes: usize) -> Self {
+        SliceStats {
+            left: vec![vec![0; nodes]; n_units],
+            right: vec![vec![0; nodes]; n_units],
+        }
+    }
+
+    /// Number of join units.
+    pub fn n_units(&self) -> usize {
+        self.left.len()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.left.first().map_or(0, Vec::len)
+    }
+
+    /// `s_{i,j}`: total cells (both sides) of unit `i` on node `j`.
+    pub fn s(&self, i: usize, j: usize) -> u64 {
+        self.left[i][j] + self.right[i][j]
+    }
+
+    /// `S_i`: total cells of unit `i` across the cluster.
+    pub fn unit_total(&self, i: usize) -> u64 {
+        (0..self.nodes()).map(|j| self.s(i, j)).sum()
+    }
+
+    /// Left-side total of unit `i`.
+    pub fn left_total(&self, i: usize) -> u64 {
+        self.left[i].iter().sum()
+    }
+
+    /// Right-side total of unit `i`.
+    pub fn right_total(&self, i: usize) -> u64 {
+        self.right[i].iter().sum()
+    }
+
+    /// Total cells over all units and nodes.
+    pub fn total_cells(&self) -> u64 {
+        (0..self.n_units()).map(|i| self.unit_total(i)).sum()
+    }
+
+    /// The comparison cost `C_i` of unit `i` under `algo` (§5.1).
+    pub fn unit_cost(&self, params: &CostParams, algo: JoinAlgo, i: usize) -> f64 {
+        let l = self.left_total(i) as f64;
+        let r = self.right_total(i) as f64;
+        match algo {
+            JoinAlgo::Merge => params.m * (l + r),
+            JoinAlgo::Hash => {
+                // Build on the smaller side, probe with the larger.
+                let (t_i, u_i) = if l <= r { (l, r) } else { (r, l) };
+                params.b * t_i + params.p * u_i
+            }
+            // "The nested loop join is never profitable …
+            // hence we do not model it here" (§5.2).
+            JoinAlgo::NestedLoop => l * r * params.p,
+        }
+    }
+}
+
+/// A physical plan: `assignment[i]` is the node that processes unit `i`.
+pub type Assignment = Vec<usize>;
+
+/// Per-node load breakdown of a physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanLoads {
+    /// Cells each node sends during data alignment (Equation 5 per node).
+    pub send: Vec<f64>,
+    /// Cells each node receives (Equation 6 per node).
+    pub recv: Vec<f64>,
+    /// Cell-comparison cost per node (Equation 7 per node).
+    pub comp: Vec<f64>,
+}
+
+impl PlanLoads {
+    /// The total plan cost (Equation 8).
+    pub fn total(&self, params: &CostParams) -> f64 {
+        let max_send = self.send.iter().copied().fold(0.0, f64::max);
+        let max_recv = self.recv.iter().copied().fold(0.0, f64::max);
+        let max_comp = self.comp.iter().copied().fold(0.0, f64::max);
+        max_send.max(max_recv) * params.t + max_comp
+    }
+
+    /// Per-node cost used by Tabu's rebalancing loop: each node's own
+    /// alignment plus comparison load ("instead of taking the max, the
+    /// model considers a single j … at a time").
+    pub fn node_costs(&self, params: &CostParams) -> Vec<f64> {
+        (0..self.send.len())
+            .map(|j| self.send[j].max(self.recv[j]) * params.t + self.comp[j])
+            .collect()
+    }
+}
+
+/// Compute the per-node loads of `assignment` (Equations 5–7).
+#[allow(clippy::needless_range_loop)]
+pub fn plan_loads(
+    stats: &SliceStats,
+    params: &CostParams,
+    algo: JoinAlgo,
+    assignment: &Assignment,
+) -> Result<PlanLoads> {
+    let k = stats.nodes();
+    if assignment.len() != stats.n_units() {
+        return Err(JoinError::Planning(format!(
+            "assignment covers {} units but stats describe {}",
+            assignment.len(),
+            stats.n_units()
+        )));
+    }
+    let mut send = vec![0.0; k];
+    let mut recv = vec![0.0; k];
+    let mut comp = vec![0.0; k];
+    for (i, &dst) in assignment.iter().enumerate() {
+        if dst >= k {
+            return Err(JoinError::Planning(format!(
+                "unit {i} assigned to nonexistent node {dst}"
+            )));
+        }
+        let s_total = stats.unit_total(i);
+        let local = stats.s(i, dst);
+        recv[dst] += (s_total - local) as f64;
+        for j in 0..k {
+            if j != dst {
+                send[j] += stats.s(i, j) as f64;
+            }
+        }
+        comp[dst] += stats.unit_cost(params, algo, i);
+    }
+    Ok(PlanLoads { send, recv, comp })
+}
+
+/// The total analytical cost of an assignment (Equation 8).
+pub fn plan_cost(
+    stats: &SliceStats,
+    params: &CostParams,
+    algo: JoinAlgo,
+    assignment: &Assignment,
+) -> Result<f64> {
+    Ok(plan_loads(stats, params, algo, assignment)?.total(params))
+}
+
+/// Incrementally-updatable plan cost state. Used by the Tabu search,
+/// whose inner loop performs thousands of what-if evaluations.
+#[derive(Debug, Clone)]
+pub struct CostState {
+    /// Current assignment.
+    pub assignment: Assignment,
+    loads: PlanLoads,
+    unit_costs: Vec<f64>,
+}
+
+impl CostState {
+    /// Build the state for an initial assignment.
+    pub fn new(
+        stats: &SliceStats,
+        params: &CostParams,
+        algo: JoinAlgo,
+        assignment: Assignment,
+    ) -> Result<Self> {
+        let loads = plan_loads(stats, params, algo, &assignment)?;
+        let unit_costs = (0..stats.n_units())
+            .map(|i| stats.unit_cost(params, algo, i))
+            .collect();
+        Ok(CostState {
+            assignment,
+            loads,
+            unit_costs,
+        })
+    }
+
+    /// Total plan cost (Equation 8).
+    pub fn total(&self, params: &CostParams) -> f64 {
+        self.loads.total(params)
+    }
+
+    /// Per-node costs for rebalancing decisions.
+    pub fn node_costs(&self, params: &CostParams) -> Vec<f64> {
+        self.loads.node_costs(params)
+    }
+
+    /// Move unit `i` to node `dst`, updating loads in O(1).
+    pub fn reassign(&mut self, stats: &SliceStats, i: usize, dst: usize) {
+        let src = self.assignment[i];
+        if src == dst {
+            return;
+        }
+        let s_total = stats.unit_total(i) as f64;
+        let s_src = stats.s(i, src) as f64;
+        let s_dst = stats.s(i, dst) as f64;
+        // Node src no longer hosts the unit: it must now send its local
+        // slice, and stops receiving the remote remainder.
+        self.loads.send[src] += s_src;
+        self.loads.recv[src] -= s_total - s_src;
+        self.loads.comp[src] -= self.unit_costs[i];
+        // Node dst keeps its local slice (stops sending it) and receives
+        // the remainder.
+        self.loads.send[dst] -= s_dst;
+        self.loads.recv[dst] += s_total - s_dst;
+        self.loads.comp[dst] += self.unit_costs[i];
+        self.assignment[i] = dst;
+    }
+
+    /// The cost the plan would have if unit `i` moved to `dst`
+    /// (non-mutating what-if).
+    pub fn what_if(&mut self, stats: &SliceStats, params: &CostParams, i: usize, dst: usize) -> f64 {
+        let src = self.assignment[i];
+        self.reassign(stats, i, dst);
+        let cost = self.total(params);
+        self.reassign(stats, i, src);
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 units over 2 nodes:
+    /// unit 0: left 100 on node 0, right 10 on node 1
+    /// unit 1: left 20 on node 1, right 20 on node 1
+    fn stats() -> SliceStats {
+        let mut s = SliceStats::new(2, 2);
+        s.left[0][0] = 100;
+        s.right[0][1] = 10;
+        s.left[1][1] = 20;
+        s.right[1][1] = 20;
+        s
+    }
+
+    fn unit_params() -> CostParams {
+        CostParams {
+            m: 1.0,
+            b: 2.0,
+            p: 1.0,
+            t: 1.0,
+        }
+    }
+
+    #[test]
+    fn slice_stats_accessors() {
+        let s = stats();
+        assert_eq!(s.n_units(), 2);
+        assert_eq!(s.nodes(), 2);
+        assert_eq!(s.s(0, 0), 100);
+        assert_eq!(s.s(0, 1), 10);
+        assert_eq!(s.unit_total(0), 110);
+        assert_eq!(s.unit_total(1), 40);
+        assert_eq!(s.total_cells(), 150);
+        assert_eq!(s.left_total(0), 100);
+        assert_eq!(s.right_total(0), 10);
+    }
+
+    #[test]
+    fn unit_cost_merge_and_hash() {
+        let s = stats();
+        let p = unit_params();
+        assert_eq!(s.unit_cost(&p, JoinAlgo::Merge, 0), 110.0);
+        // Hash: build on the smaller side (10), probe with 100.
+        assert_eq!(s.unit_cost(&p, JoinAlgo::Hash, 0), 2.0 * 10.0 + 100.0);
+        // Equal sides: build 20, probe 20.
+        assert_eq!(s.unit_cost(&p, JoinAlgo::Hash, 1), 60.0);
+    }
+
+    #[test]
+    fn plan_loads_match_equations() {
+        let s = stats();
+        let p = unit_params();
+        // Assign unit 0 → node 0, unit 1 → node 1.
+        let loads = plan_loads(&s, &p, JoinAlgo::Merge, &vec![0, 1]).unwrap();
+        // Node 1 sends unit 0's right slice (10 cells); node 0 sends none.
+        assert_eq!(loads.send, vec![0.0, 10.0]);
+        // Node 0 receives 10; node 1 receives nothing (unit 1 is local).
+        assert_eq!(loads.recv, vec![10.0, 0.0]);
+        assert_eq!(loads.comp, vec![110.0, 40.0]);
+        // c = max(10,10)*t + max(110,40)
+        assert_eq!(loads.total(&p), 10.0 + 110.0);
+    }
+
+    #[test]
+    fn moving_everything_to_one_node_costs_more() {
+        let s = stats();
+        let p = unit_params();
+        let good = plan_cost(&s, &p, JoinAlgo::Merge, &vec![0, 1]).unwrap();
+        let bad = plan_cost(&s, &p, JoinAlgo::Merge, &vec![1, 1]).unwrap();
+        // Plan [1,1]: node 0 sends 100; node 1 receives 100; comp all on 1.
+        assert_eq!(bad, 100.0 + 150.0);
+        assert!(bad > good);
+    }
+
+    #[test]
+    fn invalid_assignments_rejected() {
+        let s = stats();
+        let p = unit_params();
+        assert!(plan_cost(&s, &p, JoinAlgo::Merge, &vec![0]).is_err());
+        assert!(plan_cost(&s, &p, JoinAlgo::Merge, &vec![0, 9]).is_err());
+    }
+
+    #[test]
+    fn cost_state_incremental_matches_full_recompute() {
+        let s = stats();
+        let p = unit_params();
+        let mut state = CostState::new(&s, &p, JoinAlgo::Hash, vec![0, 1]).unwrap();
+        for (i, dst) in [(0usize, 1usize), (1, 0), (0, 0), (1, 1), (0, 1)] {
+            state.reassign(&s, i, dst);
+            let expect = plan_cost(&s, &p, JoinAlgo::Hash, &state.assignment).unwrap();
+            assert!(
+                (state.total(&p) - expect).abs() < 1e-9,
+                "incremental drifted after moving {i}→{dst}"
+            );
+        }
+    }
+
+    #[test]
+    fn what_if_does_not_mutate() {
+        let s = stats();
+        let p = unit_params();
+        let mut state = CostState::new(&s, &p, JoinAlgo::Merge, vec![0, 1]).unwrap();
+        let before = state.total(&p);
+        let hypothetical = state.what_if(&s, &p, 0, 1);
+        assert_eq!(state.assignment, vec![0, 1]);
+        assert!((state.total(&p) - before).abs() < 1e-12);
+        assert!(hypothetical != before);
+    }
+
+    #[test]
+    fn node_costs_sum_alignment_and_comparison() {
+        let s = stats();
+        let p = unit_params();
+        let loads = plan_loads(&s, &p, JoinAlgo::Merge, &vec![0, 1]).unwrap();
+        let nc = loads.node_costs(&p);
+        assert_eq!(nc[0], 10.0 + 110.0); // recv 10 + comp 110
+        assert_eq!(nc[1], 10.0 + 40.0); // send 10 + comp 40
+    }
+
+    #[test]
+    fn cost_params_for_engine_uses_bandwidth() {
+        let p = CostParams::for_engine(1e6, 100);
+        assert!((p.t - 1e-4).abs() < 1e-12);
+        assert_eq!(p.m, CostParams::default().m);
+    }
+}

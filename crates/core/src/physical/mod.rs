@@ -1,0 +1,10 @@
+//! Physical join optimization (paper §5): the analytical cost model and
+//! the skew-aware shuffle planners that assign join units to nodes.
+
+mod cost;
+mod planners;
+
+pub use cost::{
+    plan_cost, plan_loads, Assignment, CostParams, CostState, PlanLoads, SliceStats,
+};
+pub use planners::{plan_physical, PhysicalPlan, PlannerKind};

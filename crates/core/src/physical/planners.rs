@@ -1,0 +1,688 @@
+//! The shuffle planners (paper §5.2): Baseline, Minimum Bandwidth
+//! Heuristic, Tabu search, ILP solver, and the Coarse ILP solver.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use sj_ilp::{Cmp, IlpSolver, LinExpr, Model, SolveStatus};
+
+use crate::algorithms::JoinAlgo;
+use crate::error::{JoinError, Result};
+use crate::physical::cost::{plan_cost, Assignment, CostParams, CostState, SliceStats};
+use crate::predicate::JoinSide;
+
+/// Which physical planner to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlannerKind {
+    /// The skew-agnostic baseline (§6.2): array-level decisions — move
+    /// the smaller array to the larger for merge joins; equal contiguous
+    /// bucket ranges per node for hash joins.
+    Baseline,
+    /// Greedy center-of-gravity placement (provably minimal transfer).
+    MinBandwidth,
+    /// Locally-optimal search seeded with MinBandwidth (Algorithm 2).
+    Tabu,
+    /// Branch & bound over the ILP formulation (Equations 10–12), with a
+    /// time budget; falls back to the MinBandwidth incumbent at expiry.
+    Ilp {
+        /// Solver wall-clock budget.
+        budget: Duration,
+    },
+    /// ILP over join units grouped by center of gravity into `bins` bins.
+    IlpCoarse {
+        /// Solver wall-clock budget.
+        budget: Duration,
+        /// Number of bins to pack join units into (the paper uses 75).
+        bins: usize,
+    },
+}
+
+impl PlannerKind {
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlannerKind::Baseline => "B",
+            PlannerKind::MinBandwidth => "MBH",
+            PlannerKind::Tabu => "Tabu",
+            PlannerKind::Ilp { .. } => "ILP",
+            PlannerKind::IlpCoarse { .. } => "ILP-C",
+        }
+    }
+}
+
+/// The result of physical planning.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// `assignment[i]` = node that processes join unit `i`.
+    pub assignment: Assignment,
+    /// Wall-clock time the planner took.
+    pub planning_time: Duration,
+    /// The plan's analytical cost (Equation 8).
+    pub est_cost: f64,
+    /// Planner that produced the plan.
+    pub planner: &'static str,
+    /// For ILP planners: how the solver terminated.
+    pub solver_status: Option<SolveStatus>,
+}
+
+/// Run `kind` on the reported slice statistics.
+///
+/// `larger_side` tells the baseline which input array is bigger (it
+/// plans at array granularity).
+pub fn plan_physical(
+    kind: &PlannerKind,
+    stats: &SliceStats,
+    params: &CostParams,
+    algo: JoinAlgo,
+    larger_side: JoinSide,
+) -> Result<PhysicalPlan> {
+    let start = Instant::now();
+    let (assignment, status) = match kind {
+        PlannerKind::Baseline => (baseline(stats, algo, larger_side), None),
+        PlannerKind::MinBandwidth => (min_bandwidth(stats), None),
+        PlannerKind::Tabu => (tabu(stats, params, algo)?, None),
+        PlannerKind::Ilp { budget } => {
+            let (a, s) = ilp(stats, params, algo, *budget)?;
+            (a, Some(s))
+        }
+        PlannerKind::IlpCoarse { budget, bins } => {
+            let (a, s) = ilp_coarse(stats, params, algo, *budget, *bins)?;
+            (a, Some(s))
+        }
+    };
+    let est_cost = plan_cost(stats, params, algo, &assignment)?;
+    Ok(PhysicalPlan {
+        assignment,
+        planning_time: start.elapsed(),
+        est_cost,
+        planner: kind.name(),
+        solver_status: status,
+    })
+}
+
+/// The skew-agnostic baseline (§6.2).
+fn baseline(stats: &SliceStats, algo: JoinAlgo, larger_side: JoinSide) -> Assignment {
+    let k = stats.nodes();
+    let n = stats.n_units();
+    match algo {
+        // "For merge joins, this approach simply moves the smaller array
+        // to the larger one": each unit is processed where the larger
+        // array stores that unit's cells.
+        JoinAlgo::Merge | JoinAlgo::NestedLoop => (0..n)
+            .map(|i| {
+                let side = match larger_side {
+                    JoinSide::Left => &stats.left[i],
+                    JoinSide::Right => &stats.right[i],
+                };
+                argmax_or(side, i % k)
+            })
+            .collect(),
+        // "For hash joins, the planner assigns an equal number of buckets
+        // to each node": the first ⌈b/k⌉ buckets to node 0, and so on.
+        JoinAlgo::Hash => {
+            let per = n.div_ceil(k).max(1);
+            (0..n).map(|i| (i / per).min(k - 1)).collect()
+        }
+    }
+}
+
+/// Minimum Bandwidth Heuristic (§5.2): each unit goes to its center of
+/// gravity, `argmax_j s_{i,j}` — provably minimal cells transmitted.
+fn min_bandwidth(stats: &SliceStats) -> Assignment {
+    let k = stats.nodes();
+    (0..stats.n_units())
+        .map(|i| {
+            let combined: Vec<u64> = (0..k).map(|j| stats.s(i, j)).collect();
+            argmax_or(&combined, i % k)
+        })
+        .collect()
+}
+
+fn argmax_or(values: &[u64], fallback: usize) -> usize {
+    // Strict improvement over the fallback's value: exact ties keep the
+    // round-robin fallback so uniformly-spread units don't all collapse
+    // onto node 0.
+    let mut best = fallback.min(values.len().saturating_sub(1));
+    let mut best_val = values.get(best).copied().unwrap_or(0);
+    for (j, &v) in values.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best = j;
+        }
+    }
+    best
+}
+
+/// Tabu search (Algorithm 2): start from the MinBandwidth plan, then
+/// repeatedly rebalance nodes whose cost exceeds the mean, forbidding
+/// repeat placements via a global tabu list of `(unit, node)` pairs.
+#[allow(clippy::needless_range_loop)]
+fn tabu(stats: &SliceStats, params: &CostParams, algo: JoinAlgo) -> Result<Assignment> {
+    let k = stats.nodes();
+    let init = min_bandwidth(stats);
+    let mut tabu_list: HashSet<(usize, usize)> = HashSet::new();
+    for (i, &j) in init.iter().enumerate() {
+        tabu_list.insert((i, j));
+    }
+    let mut state = CostState::new(stats, params, algo, init)?;
+    loop {
+        let prev = state.assignment.clone();
+        let node_costs = state.node_costs(params);
+        let mean = node_costs.iter().sum::<f64>() / k as f64;
+        for j in 0..k {
+            if node_costs[j] > mean {
+                rebalance_node(j, stats, params, &mut state, &mut tabu_list);
+            }
+        }
+        if state.assignment == prev {
+            return Ok(state.assignment);
+        }
+    }
+}
+
+/// `RebalanceNode` from Algorithm 2: what-if every unit on the node
+/// against every other node; accept moves that lower the whole plan's
+/// cost, recording them in the tabu list.
+fn rebalance_node(
+    node: usize,
+    stats: &SliceStats,
+    params: &CostParams,
+    state: &mut CostState,
+    tabu_list: &mut HashSet<(usize, usize)>,
+) {
+    let k = stats.nodes();
+    let units: Vec<usize> = (0..stats.n_units())
+        .filter(|&i| state.assignment[i] == node)
+        .collect();
+    for i in units {
+        let mut current = state.total(params);
+        for j in 0..k {
+            if j == node || tabu_list.contains(&(i, j)) || state.assignment[i] != node {
+                continue;
+            }
+            let candidate = state.what_if(stats, params, i, j);
+            if candidate < current - f64::EPSILON * current.abs() {
+                state.reassign(stats, i, j);
+                tabu_list.insert((i, j));
+                current = candidate;
+            }
+        }
+    }
+}
+
+/// Scale factor so ILP coefficients sit near 1 (numerical hygiene for
+/// the simplex).
+fn ilp_scale(stats: &SliceStats, params: &CostParams, algo: JoinAlgo) -> f64 {
+    let n = stats.n_units().max(1);
+    let mean_cost: f64 = (0..stats.n_units())
+        .map(|i| stats.unit_cost(params, algo, i) + stats.unit_total(i) as f64 * params.t)
+        .sum::<f64>()
+        / n as f64;
+    if mean_cost > 0.0 {
+        mean_cost
+    } else {
+        1.0
+    }
+}
+
+/// Build the integer program of §5.2 (Equations 4, 10, 11, 12) and run
+/// the branch & bound solver, warm-started with the MinBandwidth plan.
+/// Returns the incumbent assignment (MBH fallback if the solver found
+/// nothing within budget).
+fn ilp(
+    stats: &SliceStats,
+    params: &CostParams,
+    algo: JoinAlgo,
+    budget: Duration,
+) -> Result<(Assignment, SolveStatus)> {
+    solve_ilp_over(stats, params, algo, budget)
+}
+
+fn solve_ilp_over(
+    stats: &SliceStats,
+    params: &CostParams,
+    algo: JoinAlgo,
+    budget: Duration,
+) -> Result<(Assignment, SolveStatus)> {
+    let n = stats.n_units();
+    let k = stats.nodes();
+    let scale = ilp_scale(stats, params, algo);
+    let mut model = Model::minimize();
+    // x[i][j]: unit i assigned to node j.
+    let x: Vec<Vec<_>> = (0..n)
+        .map(|i| (0..k).map(|j| model.binary(format!("x{i}_{j}"))).collect::<Vec<_>>())
+        .collect();
+    // d: data-alignment time bound; g: cell-comparison time bound.
+    let d = model.continuous("d", 0.0, f64::INFINITY);
+    let g = model.continuous("g", 0.0, f64::INFINITY);
+
+    // Equation 4: each unit on exactly one node.
+    for xi in &x {
+        let expr = xi.iter().fold(LinExpr::new(), |e, &v| e.add(v, 1.0));
+        model.constrain(expr, Cmp::Eq, 1.0);
+    }
+    // Equation 10 (send): for node q,
+    //   d ≥ t · (Σ_i s_iq − Σ_i x_iq·s_iq)
+    for q in 0..k {
+        let stored_q: f64 = (0..n).map(|i| stats.s(i, q) as f64).sum();
+        let mut expr = LinExpr::new().add(d, 1.0);
+        for (i, xi) in x.iter().enumerate() {
+            expr = expr.add(xi[q], params.t * stats.s(i, q) as f64 / scale);
+        }
+        model.constrain(expr, Cmp::Ge, params.t * stored_q / scale);
+    }
+    // Equation 11 (receive): d ≥ t · Σ_i x_iq (S_i − s_iq).
+    for q in 0..k {
+        let mut expr = LinExpr::new().add(d, 1.0);
+        for (i, xi) in x.iter().enumerate() {
+            let remote = (stats.unit_total(i) - stats.s(i, q)) as f64;
+            expr = expr.add(xi[q], -params.t * remote / scale);
+        }
+        model.constrain(expr, Cmp::Ge, 0.0);
+    }
+    // Equation 12 (comparison): g ≥ Σ_i x_iq C_i.
+    for q in 0..k {
+        let mut expr = LinExpr::new().add(g, 1.0);
+        for (i, xi) in x.iter().enumerate() {
+            expr = expr.add(xi[q], -stats.unit_cost(params, algo, i) / scale);
+        }
+        model.constrain(expr, Cmp::Ge, 0.0);
+    }
+    model.set_objective(LinExpr::new().add(d, 1.0).add(g, 1.0));
+
+    // Warm start: the MinBandwidth plan.
+    let mbh = min_bandwidth(stats);
+    let mut warm = vec![0.0; model.num_vars()];
+    for (i, &j) in mbh.iter().enumerate() {
+        warm[x[i][j].index()] = 1.0;
+    }
+    {
+        let loads = crate::physical::cost::plan_loads(stats, params, algo, &mbh)?;
+        let max_align = loads
+            .send
+            .iter()
+            .chain(&loads.recv)
+            .copied()
+            .fold(0.0, f64::max);
+        warm[d.index()] = max_align * params.t / scale;
+        warm[g.index()] = loads.comp.iter().copied().fold(0.0, f64::max) / scale;
+    }
+
+    let solver = IlpSolver {
+        time_budget: budget,
+        initial_incumbent: Some(warm),
+        ..IlpSolver::default()
+    };
+    let solution = solver.solve(&model);
+    match solution.status {
+        SolveStatus::Optimal | SolveStatus::Feasible => {
+            let mut assignment = vec![0usize; n];
+            for (i, xi) in x.iter().enumerate() {
+                let mut best = 0usize;
+                let mut best_val = f64::NEG_INFINITY;
+                for (j, v) in xi.iter().enumerate() {
+                    let val = solution.values[v.index()];
+                    if val > best_val {
+                        best_val = val;
+                        best = j;
+                    }
+                }
+                assignment[i] = best;
+            }
+            Ok((assignment, solution.status))
+        }
+        // Budget ran out with nothing usable: fall back to MBH (the
+        // paper's ILP also degrades to its initial heuristics under
+        // pressure, §6.2.2).
+        SolveStatus::BudgetExhausted => Ok((mbh, solution.status)),
+        SolveStatus::Infeasible | SolveStatus::Unbounded => Err(JoinError::Planning(format!(
+            "join ILP reported {} — model construction bug",
+            solution.status
+        ))),
+    }
+}
+
+/// Coarse ILP (§5.2): group join units that share a center of gravity,
+/// split each group into size-balanced bins (≈ `bins` total), solve the
+/// ILP over bins, and expand back to units.
+fn ilp_coarse(
+    stats: &SliceStats,
+    params: &CostParams,
+    algo: JoinAlgo,
+    budget: Duration,
+    bins: usize,
+) -> Result<(Assignment, SolveStatus)> {
+    let n = stats.n_units();
+    let k = stats.nodes();
+    let bins = bins.max(k).min(n.max(1));
+    if n <= bins {
+        return solve_ilp_over(stats, params, algo, budget);
+    }
+    // Group by center of gravity.
+    let cog = min_bandwidth(stats);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &g) in cog.iter().enumerate() {
+        groups[g].push(i);
+    }
+    // Bins per group, proportional to group cell mass.
+    let total: u64 = stats.total_cells().max(1);
+    let mut bin_members: Vec<Vec<usize>> = Vec::with_capacity(bins);
+    for (g, members) in groups.iter().enumerate() {
+        let _ = g;
+        if members.is_empty() {
+            continue;
+        }
+        let mass: u64 = members.iter().map(|&i| stats.unit_total(i)).sum();
+        let share = ((bins as u64 * mass) / total).max(1) as usize;
+        let share = share.min(members.len());
+        // Sort members by size descending and deal them round-robin into
+        // the group's bins (greedy size balancing).
+        let mut sorted = members.clone();
+        sorted.sort_by_key(|&i| std::cmp::Reverse(stats.unit_total(i)));
+        let mut local_bins: Vec<Vec<usize>> = vec![Vec::new(); share];
+        let mut loads = vec![0u64; share];
+        for i in sorted {
+            let lightest = (0..share).min_by_key(|&b| loads[b]).unwrap_or(0);
+            loads[lightest] += stats.unit_total(i);
+            local_bins[lightest].push(i);
+        }
+        bin_members.extend(local_bins.into_iter().filter(|b| !b.is_empty()));
+    }
+
+    // Aggregate slice stats per bin.
+    let nb = bin_members.len();
+    let mut agg = SliceStats::new(nb, k);
+    for (b, members) in bin_members.iter().enumerate() {
+        for &i in members {
+            for j in 0..k {
+                agg.left[b][j] += stats.left[i][j];
+                agg.right[b][j] += stats.right[i][j];
+            }
+        }
+    }
+    let (bin_assignment, status) = solve_ilp_over(&agg, params, algo, budget)?;
+    let mut assignment = vec![0usize; n];
+    for (b, members) in bin_members.iter().enumerate() {
+        for &i in members {
+            assignment[i] = bin_assignment[b];
+        }
+    }
+    Ok((assignment, status))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams {
+            m: 1.0,
+            b: 2.0,
+            p: 1.0,
+            t: 1.0,
+        }
+    }
+
+    /// 4 units, 2 nodes. Units 0-2 live mostly on node 0; unit 3 on node 1.
+    fn skewed_stats() -> SliceStats {
+        let mut s = SliceStats::new(4, 2);
+        s.left[0][0] = 90;
+        s.right[0][1] = 10;
+        s.left[1][0] = 80;
+        s.right[1][1] = 20;
+        s.left[2][0] = 70;
+        s.right[2][1] = 30;
+        s.left[3][1] = 60;
+        s.right[3][0] = 5;
+        s
+    }
+
+    #[test]
+    fn mbh_places_units_at_center_of_gravity() {
+        let s = skewed_stats();
+        let plan = plan_physical(
+            &PlannerKind::MinBandwidth,
+            &s,
+            &params(),
+            JoinAlgo::Merge,
+            JoinSide::Left,
+        )
+        .unwrap();
+        assert_eq!(plan.assignment, vec![0, 0, 0, 1]);
+        assert_eq!(plan.planner, "MBH");
+    }
+
+    #[test]
+    fn mbh_minimizes_transferred_cells() {
+        let s = skewed_stats();
+        let p = params();
+        let mbh = min_bandwidth(&s);
+        let moved = |asg: &Assignment| -> u64 {
+            (0..s.n_units())
+                .map(|i| s.unit_total(i) - s.s(i, asg[i]))
+                .sum()
+        };
+        let mbh_moved = moved(&mbh);
+        // Exhaustive check over all 16 assignments.
+        for code in 0..16u32 {
+            let asg: Assignment = (0..4).map(|i| ((code >> i) & 1) as usize).collect();
+            assert!(moved(&asg) >= mbh_moved);
+        }
+        let _ = p;
+    }
+
+    #[test]
+    fn baseline_merge_follows_larger_array() {
+        let s = skewed_stats();
+        // Left is larger: units follow left's slices.
+        let plan = plan_physical(
+            &PlannerKind::Baseline,
+            &s,
+            &params(),
+            JoinAlgo::Merge,
+            JoinSide::Left,
+        )
+        .unwrap();
+        assert_eq!(plan.assignment, vec![0, 0, 0, 1]);
+        // Pretend right is larger: every unit follows right's slices.
+        let plan_r = plan_physical(
+            &PlannerKind::Baseline,
+            &s,
+            &params(),
+            JoinAlgo::Merge,
+            JoinSide::Right,
+        )
+        .unwrap();
+        assert_eq!(plan_r.assignment, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn baseline_hash_splits_buckets_contiguously() {
+        let s = SliceStats::new(8, 4);
+        let plan = plan_physical(
+            &PlannerKind::Baseline,
+            &s,
+            &params(),
+            JoinAlgo::Hash,
+            JoinSide::Left,
+        )
+        .unwrap();
+        assert_eq!(plan.assignment, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn tabu_never_worse_than_mbh() {
+        let s = skewed_stats();
+        let p = params();
+        let mbh_cost = plan_cost(&s, &p, JoinAlgo::Hash, &min_bandwidth(&s)).unwrap();
+        let plan =
+            plan_physical(&PlannerKind::Tabu, &s, &p, JoinAlgo::Hash, JoinSide::Left).unwrap();
+        assert!(plan.est_cost <= mbh_cost + 1e-9);
+    }
+
+    #[test]
+    fn tabu_rebalances_hotspots() {
+        // All units' mass on node 0: MBH piles everything there. With a
+        // hash join (whose build cost makes comparison dearer than
+        // transfer per cell), Tabu must offload work to other nodes.
+        let mut s = SliceStats::new(6, 3);
+        for i in 0..6 {
+            s.left[i][0] = 100;
+            s.right[i][0] = 100;
+        }
+        let p = params();
+        let mbh = min_bandwidth(&s);
+        assert!(mbh.iter().all(|&j| j == 0));
+        let tabu_plan =
+            plan_physical(&PlannerKind::Tabu, &s, &p, JoinAlgo::Hash, JoinSide::Left).unwrap();
+        let distinct: HashSet<usize> = tabu_plan.assignment.iter().copied().collect();
+        assert!(distinct.len() > 1, "tabu left everything on one node");
+        assert!(tabu_plan.est_cost < plan_cost(&s, &p, JoinAlgo::Hash, &mbh).unwrap());
+    }
+
+    #[test]
+    fn tabu_leaves_network_bound_merge_alone() {
+        // With merge costs equal to transfer costs (m == t), offloading a
+        // unit trades comparison for an equal amount of network time:
+        // there is no strictly better plan, so Tabu keeps the MBH plan.
+        let mut s = SliceStats::new(6, 3);
+        for i in 0..6 {
+            s.left[i][0] = 100;
+            s.right[i][0] = 100;
+        }
+        let p = params();
+        let tabu_plan =
+            plan_physical(&PlannerKind::Tabu, &s, &p, JoinAlgo::Merge, JoinSide::Left).unwrap();
+        let mbh_cost = plan_cost(&s, &p, JoinAlgo::Merge, &min_bandwidth(&s)).unwrap();
+        assert!(tabu_plan.est_cost <= mbh_cost + 1e-9);
+    }
+
+    #[test]
+    fn ilp_finds_optimal_small_instance() {
+        let s = skewed_stats();
+        let p = params();
+        let plan = plan_physical(
+            &PlannerKind::Ilp {
+                budget: Duration::from_secs(10),
+            },
+            &s,
+            &p,
+            JoinAlgo::Merge,
+            JoinSide::Left,
+        )
+        .unwrap();
+        // Exhaustive optimum over 16 assignments.
+        let mut best = f64::INFINITY;
+        for code in 0..16u32 {
+            let asg: Assignment = (0..4).map(|i| ((code >> i) & 1) as usize).collect();
+            best = best.min(plan_cost(&s, &p, JoinAlgo::Merge, &asg).unwrap());
+        }
+        assert!(
+            (plan.est_cost - best).abs() < 1e-6,
+            "ILP found {} but optimum is {best}",
+            plan.est_cost
+        );
+        assert_eq!(plan.solver_status, Some(SolveStatus::Optimal));
+    }
+
+    #[test]
+    fn ilp_zero_budget_falls_back_to_warm_start() {
+        let s = skewed_stats();
+        let p = params();
+        let plan = plan_physical(
+            &PlannerKind::Ilp {
+                budget: Duration::ZERO,
+            },
+            &s,
+            &p,
+            JoinAlgo::Merge,
+            JoinSide::Left,
+        )
+        .unwrap();
+        // Warm start is feasible, so the solver returns it.
+        let mbh_cost = plan_cost(&s, &p, JoinAlgo::Merge, &min_bandwidth(&s)).unwrap();
+        assert!(plan.est_cost <= mbh_cost + 1e-9);
+    }
+
+    #[test]
+    fn coarse_ilp_groups_and_expands() {
+        // 12 units over 2 nodes; coarse with 4 bins must still cover all.
+        let mut s = SliceStats::new(12, 2);
+        for i in 0..12 {
+            s.left[i][i % 2] = 50 + i as u64;
+            s.right[i][(i + 1) % 2] = 10;
+        }
+        let p = params();
+        let plan = plan_physical(
+            &PlannerKind::IlpCoarse {
+                budget: Duration::from_secs(5),
+                bins: 4,
+            },
+            &s,
+            &p,
+            JoinAlgo::Hash,
+            JoinSide::Left,
+        )
+        .unwrap();
+        assert_eq!(plan.assignment.len(), 12);
+        assert!(plan.assignment.iter().all(|&j| j < 2));
+        // Units sharing a bin share a node — verify it's a sane plan.
+        assert!(plan.est_cost.is_finite());
+    }
+
+    #[test]
+    fn coarse_with_more_bins_than_units_degenerates_to_ilp() {
+        let s = skewed_stats();
+        let p = params();
+        let fine = plan_physical(
+            &PlannerKind::Ilp {
+                budget: Duration::from_secs(5),
+            },
+            &s,
+            &p,
+            JoinAlgo::Merge,
+            JoinSide::Left,
+        )
+        .unwrap();
+        let coarse = plan_physical(
+            &PlannerKind::IlpCoarse {
+                budget: Duration::from_secs(5),
+                bins: 100,
+            },
+            &s,
+            &p,
+            JoinAlgo::Merge,
+            JoinSide::Left,
+        )
+        .unwrap();
+        assert!((fine.est_cost - coarse.est_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn planners_agree_on_uniform_data() {
+        // Uniform slices: every planner should produce near-equal costs.
+        let mut s = SliceStats::new(8, 4);
+        for i in 0..8 {
+            for j in 0..4 {
+                s.left[i][j] = 25;
+                s.right[i][j] = 25;
+            }
+        }
+        let p = params();
+        let costs: Vec<f64> = [
+            PlannerKind::Baseline,
+            PlannerKind::MinBandwidth,
+            PlannerKind::Tabu,
+        ]
+        .iter()
+        .map(|kind| {
+            plan_physical(kind, &s, &p, JoinAlgo::Hash, JoinSide::Left)
+                .unwrap()
+                .est_cost
+        })
+        .collect();
+        let max = costs.iter().copied().fold(0.0, f64::max);
+        let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.5, "uniform costs diverge: {costs:?}");
+    }
+}

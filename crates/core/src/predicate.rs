@@ -1,0 +1,236 @@
+//! Join predicates and their taxonomy (paper §2.2).
+//!
+//! An equi-join predicate is a conjunction of pairs `(l_i, r_i)` where
+//! each `l_i` names a dimension or attribute of the left array and each
+//! `r_i` one of the right array. The pair's *kind* — D:D, A:A, or
+//! A:D/D:A — drives schema inference and plan selection.
+
+use sj_array::{ArraySchema, DataType};
+
+use crate::error::{JoinError, Result};
+
+/// Which operand of the join a column reference belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinSide {
+    /// The left operand (α).
+    Left,
+    /// The right operand (β).
+    Right,
+}
+
+impl JoinSide {
+    /// The other side.
+    pub fn other(&self) -> JoinSide {
+        match self {
+            JoinSide::Left => JoinSide::Right,
+            JoinSide::Right => JoinSide::Left,
+        }
+    }
+}
+
+/// One equi-join pair `(left column, right column)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicatePair {
+    /// Column name in the left schema (dimension or attribute).
+    pub left: String,
+    /// Column name in the right schema (dimension or attribute).
+    pub right: String,
+}
+
+/// Classification of one predicate pair (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairKind {
+    /// Dimension:Dimension — the merge-join-friendly case.
+    DimDim,
+    /// Attribute:Attribute — traditionally forced a cross join.
+    AttrAttr,
+    /// Attribute:Dimension or Dimension:Attribute — unsupported by
+    /// current array databases; enabled by this framework (§4).
+    Mixed,
+}
+
+/// A conjunction of equi-join pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPredicate {
+    /// The pairs, conjoined.
+    pub pairs: Vec<PredicatePair>,
+}
+
+impl JoinPredicate {
+    /// Build a predicate from `(left, right)` name pairs.
+    pub fn new<L: Into<String>, R: Into<String>>(pairs: Vec<(L, R)>) -> Self {
+        JoinPredicate {
+            pairs: pairs
+                .into_iter()
+                .map(|(l, r)| PredicatePair {
+                    left: l.into(),
+                    right: r.into(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Classify each pair against the operand schemas, validating that
+    /// every referenced column exists and the value types are comparable.
+    pub fn classify(&self, left: &ArraySchema, right: &ArraySchema) -> Result<Vec<PairKind>> {
+        if self.pairs.is_empty() {
+            return Err(JoinError::InvalidPredicate(
+                "join predicate must have at least one pair".into(),
+            ));
+        }
+        self.pairs
+            .iter()
+            .map(|p| {
+                let l_dim = left.has_dim(&p.left);
+                let l_attr = left.has_attr(&p.left);
+                let r_dim = right.has_dim(&p.right);
+                let r_attr = right.has_attr(&p.right);
+                if !l_dim && !l_attr {
+                    return Err(JoinError::UnknownColumn(format!(
+                        "{}.{}",
+                        left.name, p.left
+                    )));
+                }
+                if !r_dim && !r_attr {
+                    return Err(JoinError::UnknownColumn(format!(
+                        "{}.{}",
+                        right.name, p.right
+                    )));
+                }
+                let l_type = column_type(left, &p.left);
+                let r_type = column_type(right, &p.right);
+                if !comparable(l_type, r_type) {
+                    return Err(JoinError::InvalidPredicate(format!(
+                        "cannot compare {}.{} ({}) with {}.{} ({})",
+                        left.name,
+                        p.left,
+                        l_type.name(),
+                        right.name,
+                        p.right,
+                        r_type.name()
+                    )));
+                }
+                Ok(match (l_dim, r_dim) {
+                    (true, true) => PairKind::DimDim,
+                    (false, false) => PairKind::AttrAttr,
+                    _ => PairKind::Mixed,
+                })
+            })
+            .collect()
+    }
+
+    /// The dominant class of the whole predicate: D:D only if *every*
+    /// pair is D:D (the merge-join precondition), A:A if no pair touches
+    /// a dimension, otherwise mixed.
+    pub fn overall_kind(&self, left: &ArraySchema, right: &ArraySchema) -> Result<PairKind> {
+        let kinds = self.classify(left, right)?;
+        if kinds.iter().all(|k| *k == PairKind::DimDim) {
+            Ok(PairKind::DimDim)
+        } else if kinds.iter().all(|k| *k == PairKind::AttrAttr) {
+            Ok(PairKind::AttrAttr)
+        } else {
+            Ok(PairKind::Mixed)
+        }
+    }
+}
+
+/// The value type of a named dimension (always int) or attribute.
+pub(crate) fn column_type(schema: &ArraySchema, name: &str) -> DataType {
+    if schema.has_dim(name) {
+        DataType::Int64
+    } else {
+        schema
+            .attrs
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.dtype)
+            .unwrap_or(DataType::Int64)
+    }
+}
+
+fn comparable(l: DataType, r: DataType) -> bool {
+    use DataType::*;
+    matches!(
+        (l, r),
+        (Int64, Int64)
+            | (Int64, Float64)
+            | (Float64, Int64)
+            | (Float64, Float64)
+            | (Bool, Bool)
+            | (Str, Str)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemas() -> (ArraySchema, ArraySchema) {
+        (
+            ArraySchema::parse("A<v:int, s:string>[i=1,100,10, j=1,100,10]").unwrap(),
+            ArraySchema::parse("B<w:float, t:string>[x=1,100,10, y=1,100,10]").unwrap(),
+        )
+    }
+
+    #[test]
+    fn classify_dd_aa_mixed() {
+        let (a, b) = schemas();
+        let dd = JoinPredicate::new(vec![("i", "x"), ("j", "y")]);
+        assert_eq!(
+            dd.classify(&a, &b).unwrap(),
+            vec![PairKind::DimDim, PairKind::DimDim]
+        );
+        assert_eq!(dd.overall_kind(&a, &b).unwrap(), PairKind::DimDim);
+
+        let aa = JoinPredicate::new(vec![("v", "w")]);
+        assert_eq!(aa.classify(&a, &b).unwrap(), vec![PairKind::AttrAttr]);
+        assert_eq!(aa.overall_kind(&a, &b).unwrap(), PairKind::AttrAttr);
+
+        let ad = JoinPredicate::new(vec![("i", "w")]);
+        assert_eq!(ad.classify(&a, &b).unwrap(), vec![PairKind::Mixed]);
+
+        let mixed = JoinPredicate::new(vec![("i", "x"), ("v", "w")]);
+        assert_eq!(mixed.overall_kind(&a, &b).unwrap(), PairKind::Mixed);
+    }
+
+    #[test]
+    fn unknown_columns_rejected() {
+        let (a, b) = schemas();
+        let p = JoinPredicate::new(vec![("nope", "x")]);
+        assert!(matches!(
+            p.classify(&a, &b),
+            Err(JoinError::UnknownColumn(_))
+        ));
+        let p = JoinPredicate::new(vec![("i", "nope")]);
+        assert!(matches!(
+            p.classify(&a, &b),
+            Err(JoinError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn empty_predicate_rejected() {
+        let (a, b) = schemas();
+        let p = JoinPredicate {
+            pairs: Vec::new(),
+        };
+        assert!(p.classify(&a, &b).is_err());
+    }
+
+    #[test]
+    fn incomparable_types_rejected() {
+        let (a, b) = schemas();
+        // string vs float
+        let p = JoinPredicate::new(vec![("s", "w")]);
+        assert!(matches!(
+            p.classify(&a, &b),
+            Err(JoinError::InvalidPredicate(_))
+        ));
+        // string vs string is fine
+        let p = JoinPredicate::new(vec![("s", "t")]);
+        assert!(p.classify(&a, &b).is_ok());
+        // int dim vs float attr is fine (numeric)
+        let p = JoinPredicate::new(vec![("i", "w")]);
+        assert!(p.classify(&a, &b).is_ok());
+    }
+}

@@ -1,0 +1,346 @@
+//! Join units and slices (paper §3.1).
+//!
+//! A *join unit* is a non-overlapping collection of cells grouped by the
+//! join predicate — the granularity at which work is assigned to nodes. A
+//! *slice* is the portion of one join unit stored on one node — the
+//! granularity of network transfer. Cells map to units either by range
+//! partitioning over the join schema's chunk grid (merge-join plans) or
+//! by a hash function (hash-join plans).
+//!
+//! Inside units, cells of both sides are held in a uniform dimension-less
+//! columnar layout ([`UnitLayout`]): the source array's dimensions are
+//! materialized as leading integer columns followed by its attributes, so
+//! any column can be emitted into the output regardless of how the source
+//! was tiled.
+
+use sj_array::{ArraySchema, CellBatch, Chunk, DataType, DimensionDef, Value};
+use sj_array::ops::hash_key;
+
+use crate::error::{JoinError, Result};
+
+/// The column layout of one side's cells inside join units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitLayout {
+    /// Column names: source dimensions first, then source attributes.
+    pub names: Vec<String>,
+    /// Column types (dimensions are `Int64`).
+    pub types: Vec<DataType>,
+    /// Number of leading columns that were source dimensions.
+    pub ndims: usize,
+    /// Indices of the predicate key columns, in predicate-pair order.
+    pub key_cols: Vec<usize>,
+}
+
+impl UnitLayout {
+    /// Build the layout for `schema` with the given key column names.
+    pub fn of_schema(schema: &ArraySchema, keys: &[String]) -> Result<Self> {
+        let mut names: Vec<String> = Vec::with_capacity(schema.ndims() + schema.nattrs());
+        let mut types: Vec<DataType> = Vec::with_capacity(names.capacity());
+        for d in &schema.dims {
+            names.push(d.name.clone());
+            types.push(DataType::Int64);
+        }
+        for a in &schema.attrs {
+            names.push(a.name.clone());
+            types.push(a.dtype);
+        }
+        let key_cols = keys
+            .iter()
+            .map(|k| {
+                names
+                    .iter()
+                    .position(|n| n == k)
+                    .ok_or_else(|| JoinError::UnknownColumn(k.clone()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(UnitLayout {
+            names,
+            types,
+            ndims: schema.ndims(),
+            key_cols,
+        })
+    }
+
+    /// Index of the named column, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// An empty cell batch in this layout (dimension-less).
+    pub fn empty_batch(&self) -> CellBatch {
+        CellBatch::new(0, &self.types)
+    }
+
+    /// Bytes per cell in this layout (for transfer costing).
+    pub fn cell_bytes(&self) -> usize {
+        self.types.iter().map(|t| t.byte_width()).sum()
+    }
+
+    /// Convert one chunk of the source array into this layout, appending
+    /// onto `out` and returning the per-row key values via `keys_of`.
+    pub fn flatten_chunk(&self, chunk: &Chunk, out: &mut CellBatch) -> Result<()> {
+        let cells = &chunk.cells;
+        let mut row_vals: Vec<Value> = Vec::with_capacity(self.names.len());
+        for row in 0..cells.len() {
+            row_vals.clear();
+            for d in 0..self.ndims {
+                row_vals.push(Value::Int(cells.coords[d][row]));
+            }
+            for a in 0..cells.nattrs() {
+                row_vals.push(cells.attrs[a].get(row));
+            }
+            out.push(&[], &row_vals)?;
+        }
+        Ok(())
+    }
+
+    /// Extract the key values of row `row` in a flattened batch.
+    pub fn key_of(&self, batch: &CellBatch, row: usize) -> Vec<Value> {
+        self.key_cols.iter().map(|&c| batch.attrs[c].get(row)).collect()
+    }
+}
+
+/// How cells are grouped into join units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinUnitSpec {
+    /// Range partitioning by the join schema's chunk grid: unit = the
+    /// linear chunk id of the cell's key coordinates under `dims`.
+    /// Used by merge-join plans ("ordered chunks are used as join units
+    /// to merge joins", §3.3).
+    Chunks {
+        /// The join schema's dimensions.
+        dims: Vec<DimensionDef>,
+    },
+    /// Hash partitioning of the key tuple into `n` buckets ("hash
+    /// buckets to hash joins").
+    HashBuckets {
+        /// Number of buckets (= number of join units).
+        n: usize,
+    },
+}
+
+impl JoinUnitSpec {
+    /// Total number of join units this spec produces.
+    pub fn n_units(&self) -> usize {
+        match self {
+            JoinUnitSpec::Chunks { dims } => dims
+                .iter()
+                .map(|d| d.chunk_count())
+                .product::<u64>()
+                .max(1) as usize,
+            JoinUnitSpec::HashBuckets { n } => (*n).max(1),
+        }
+    }
+
+    /// The join unit of a cell with the given predicate key values.
+    ///
+    /// Range partitioning clamps out-of-range coordinates into the edge
+    /// chunks — a monotone map, so equal keys always share a unit and no
+    /// matches are lost.
+    pub fn unit_of(&self, key: &[Value]) -> Result<usize> {
+        match self {
+            JoinUnitSpec::Chunks { dims } => {
+                debug_assert_eq!(key.len(), dims.len());
+                let mut unit = 0u64;
+                for (d, v) in dims.iter().zip(key) {
+                    let coord = v.to_coord().map_err(|e| {
+                        JoinError::InvalidPredicate(format!(
+                            "non-integral key value for join dimension `{}`: {e}",
+                            d.name
+                        ))
+                    })?;
+                    let clamped = coord.clamp(d.start, d.end);
+                    let idx = (clamped - d.start) as u64 / d.chunk_interval;
+                    unit = unit * d.chunk_count() + idx;
+                }
+                Ok(unit as usize)
+            }
+            JoinUnitSpec::HashBuckets { n } => {
+                Ok((hash_key(key) % (*n).max(1) as u64) as usize)
+            }
+        }
+    }
+
+    /// Whether units of this spec carry a dimension-space sort order
+    /// (chunks are ordered; hash buckets are not).
+    pub fn ordered(&self) -> bool {
+        matches!(self, JoinUnitSpec::Chunks { .. })
+    }
+}
+
+/// All slices of one side produced by one node's slice mapping:
+/// `slices[u]` holds the node's local cells of join unit `u`.
+#[derive(Debug, Clone)]
+pub struct SliceSet {
+    /// Per-unit cell batches (dimension-less, in the side's layout).
+    pub slices: Vec<CellBatch>,
+}
+
+impl SliceSet {
+    /// Empty slice set for `n_units` units in `layout`.
+    pub fn new(n_units: usize, layout: &UnitLayout) -> Self {
+        SliceSet {
+            slices: (0..n_units).map(|_| layout.empty_batch()).collect(),
+        }
+    }
+
+    /// Cell counts per unit.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.slices.iter().map(CellBatch::len).collect()
+    }
+
+    /// Total cells across all slices.
+    pub fn cell_count(&self) -> usize {
+        self.slices.iter().map(CellBatch::len).sum()
+    }
+}
+
+/// Map one node's local chunks of an array into per-unit slices — the
+/// "slice function … applied in parallel to their local cells" (§3.3).
+pub fn map_slices<'a>(
+    chunks: impl Iterator<Item = &'a Chunk>,
+    layout: &UnitLayout,
+    spec: &JoinUnitSpec,
+) -> Result<SliceSet> {
+    let mut set = SliceSet::new(spec.n_units(), layout);
+    let mut flat = layout.empty_batch();
+    let mut row_vals: Vec<Value> = Vec::with_capacity(layout.names.len());
+    for chunk in chunks {
+        flat = layout.empty_batch();
+        layout.flatten_chunk(chunk, &mut flat)?;
+        for row in 0..flat.len() {
+            let key = layout.key_of(&flat, row);
+            let unit = spec.unit_of(&key)?;
+            row_vals.clear();
+            for c in 0..flat.nattrs() {
+                row_vals.push(flat.attrs[c].get(row));
+            }
+            set.slices[unit].push(&[], &row_vals)?;
+        }
+    }
+    let _ = flat;
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_array::Array;
+
+    fn schema() -> ArraySchema {
+        ArraySchema::parse("A<v:int, f:float>[i=1,40,10]").unwrap()
+    }
+
+    fn array() -> Array {
+        Array::from_cells(
+            schema(),
+            (1..=40).map(|i| (vec![i], vec![Value::Int(i % 5), Value::Float(i as f64)])),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layout_materializes_dims_first() {
+        let l = UnitLayout::of_schema(&schema(), &["v".to_string()]).unwrap();
+        assert_eq!(l.names, vec!["i", "v", "f"]);
+        assert_eq!(l.ndims, 1);
+        assert_eq!(l.key_cols, vec![1]);
+        assert_eq!(l.column_index("f"), Some(2));
+        assert_eq!(l.cell_bytes(), 24);
+        assert!(UnitLayout::of_schema(&schema(), &["zzz".to_string()]).is_err());
+    }
+
+    #[test]
+    fn flatten_chunk_round_trips_cells() {
+        let a = array();
+        let l = UnitLayout::of_schema(&schema(), &["i".to_string()]).unwrap();
+        let mut out = l.empty_batch();
+        let (_, chunk) = a.chunks().next().unwrap();
+        l.flatten_chunk(chunk, &mut out).unwrap();
+        assert_eq!(out.len(), 10);
+        // Row 0: i=1, v=1, f=1.0
+        assert_eq!(out.attrs[0].get(0), Value::Int(1));
+        assert_eq!(out.attrs[1].get(0), Value::Int(1));
+        assert_eq!(out.attrs[2].get(0), Value::Float(1.0));
+    }
+
+    #[test]
+    fn chunk_spec_units_by_range() {
+        let dims = vec![DimensionDef::new("i", 1, 40, 10).unwrap()];
+        let spec = JoinUnitSpec::Chunks { dims };
+        assert_eq!(spec.n_units(), 4);
+        assert!(spec.ordered());
+        assert_eq!(spec.unit_of(&[Value::Int(1)]).unwrap(), 0);
+        assert_eq!(spec.unit_of(&[Value::Int(10)]).unwrap(), 0);
+        assert_eq!(spec.unit_of(&[Value::Int(11)]).unwrap(), 1);
+        assert_eq!(spec.unit_of(&[Value::Int(40)]).unwrap(), 3);
+        // Out-of-range keys clamp into edge units.
+        assert_eq!(spec.unit_of(&[Value::Int(-5)]).unwrap(), 0);
+        assert_eq!(spec.unit_of(&[Value::Int(99)]).unwrap(), 3);
+        // Non-integral keys rejected.
+        assert!(spec.unit_of(&[Value::Float(1.5)]).is_err());
+    }
+
+    #[test]
+    fn multidim_chunk_spec_linearizes() {
+        let dims = vec![
+            DimensionDef::new("i", 1, 20, 10).unwrap(),
+            DimensionDef::new("j", 1, 20, 10).unwrap(),
+        ];
+        let spec = JoinUnitSpec::Chunks { dims };
+        assert_eq!(spec.n_units(), 4);
+        assert_eq!(spec.unit_of(&[Value::Int(1), Value::Int(1)]).unwrap(), 0);
+        assert_eq!(spec.unit_of(&[Value::Int(1), Value::Int(11)]).unwrap(), 1);
+        assert_eq!(spec.unit_of(&[Value::Int(11), Value::Int(1)]).unwrap(), 2);
+        assert_eq!(spec.unit_of(&[Value::Int(20), Value::Int(20)]).unwrap(), 3);
+    }
+
+    #[test]
+    fn hash_spec_collocates_equal_keys() {
+        let spec = JoinUnitSpec::HashBuckets { n: 8 };
+        assert_eq!(spec.n_units(), 8);
+        assert!(!spec.ordered());
+        let u1 = spec.unit_of(&[Value::Int(42)]).unwrap();
+        let u2 = spec.unit_of(&[Value::Float(42.0)]).unwrap();
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn map_slices_partitions_all_cells() {
+        let a = array();
+        let l = UnitLayout::of_schema(&schema(), &["v".to_string()]).unwrap();
+        let spec = JoinUnitSpec::HashBuckets { n: 4 };
+        let set = map_slices(a.chunks().map(|(_, c)| c), &l, &spec).unwrap();
+        assert_eq!(set.cell_count(), 40);
+        assert_eq!(set.sizes().len(), 4);
+        // All cells with v == 3 share one slice (equal keys collocate).
+        let mut home = None;
+        for (u, slice) in set.slices.iter().enumerate() {
+            for row in 0..slice.len() {
+                if slice.attrs[1].get(row) == Value::Int(3) {
+                    match home {
+                        None => home = Some(u),
+                        Some(h) => assert_eq!(h, u),
+                    }
+                }
+            }
+        }
+        assert!(home.is_some());
+    }
+
+    #[test]
+    fn map_slices_by_chunk_ranges_follows_tiling() {
+        let a = array();
+        let l = UnitLayout::of_schema(&schema(), &["i".to_string()]).unwrap();
+        let dims = vec![DimensionDef::new("i", 1, 40, 10).unwrap()];
+        let spec = JoinUnitSpec::Chunks { dims };
+        let set = map_slices(a.chunks().map(|(_, c)| c), &l, &spec).unwrap();
+        assert_eq!(set.sizes(), vec![10, 10, 10, 10]);
+        // Slice 2 holds exactly i in 21..=30.
+        let s = &set.slices[2];
+        for row in 0..s.len() {
+            let i = s.attrs[0].get(row).as_int().unwrap();
+            assert!((21..=30).contains(&i));
+        }
+    }
+}

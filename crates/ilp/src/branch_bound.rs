@@ -1,0 +1,437 @@
+//! Best-first branch & bound over LP relaxations, with a time budget.
+//!
+//! Mirrors how the paper uses SCIP (§5.2, §6.2): the solver is *anytime* —
+//! given a workload-specific time budget it returns the best incumbent
+//! found so far, and on large or flat instances it may fail to close the
+//! optimality gap (the paper observes exactly this at 1024 join units and
+//! under uniform data).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::model::{Model, Solution, SolveStatus, VarKind};
+use crate::simplex::{solve_relaxation, LpStatus};
+
+const INT_TOL: f64 = 1e-6;
+
+/// Configurable branch-and-bound ILP solver.
+#[derive(Debug, Clone)]
+pub struct IlpSolver {
+    /// Wall-clock budget; the incumbent at expiry is returned.
+    pub time_budget: Duration,
+    /// Stop when `(incumbent - bound) / max(|incumbent|, 1)` is below this.
+    pub gap_tolerance: f64,
+    /// Hard cap on explored nodes.
+    pub max_nodes: usize,
+    /// Optional warm-start solution (checked for feasibility before use).
+    pub initial_incumbent: Option<Vec<f64>>,
+}
+
+impl Default for IlpSolver {
+    fn default() -> Self {
+        IlpSolver {
+            time_budget: Duration::from_secs(60),
+            gap_tolerance: 1e-6,
+            max_nodes: 1_000_000,
+            initial_incumbent: None,
+        }
+    }
+}
+
+struct BbNode {
+    bound: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl PartialEq for BbNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for BbNode {}
+impl Ord for BbNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on bound: best-first search.
+        other.bound.total_cmp(&self.bound)
+    }
+}
+impl PartialOrd for BbNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl IlpSolver {
+    /// A solver with the given time budget.
+    pub fn with_budget(time_budget: Duration) -> Self {
+        IlpSolver {
+            time_budget,
+            ..IlpSolver::default()
+        }
+    }
+
+    /// Solve `model`, minimizing its objective.
+    pub fn solve(&self, model: &Model) -> Solution {
+        let start = Instant::now();
+        let _n = model.num_vars();
+        let root_lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+        let root_upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        if let Some(warm) = &self.initial_incumbent {
+            if model.is_feasible(warm, 1e-6) {
+                let obj = model.objective.eval(warm);
+                incumbent = Some((warm.clone(), obj));
+            }
+        }
+
+        let root = solve_relaxation(model, &root_lower, &root_upper);
+        match root.status {
+            LpStatus::Infeasible => {
+                return Solution {
+                    status: SolveStatus::Infeasible,
+                    values: Vec::new(),
+                    objective: f64::INFINITY,
+                    bound: f64::INFINITY,
+                    nodes_explored: 1,
+                }
+            }
+            LpStatus::Unbounded => {
+                return Solution {
+                    status: SolveStatus::Unbounded,
+                    values: Vec::new(),
+                    objective: f64::NEG_INFINITY,
+                    bound: f64::NEG_INFINITY,
+                    nodes_explored: 1,
+                }
+            }
+            LpStatus::Optimal => {}
+        }
+
+        let mut heap: BinaryHeap<BbNode> = BinaryHeap::new();
+        heap.push(BbNode {
+            bound: root.objective,
+            lower: root_lower,
+            upper: root_upper,
+        });
+
+        let mut nodes_explored = 0usize;
+        let mut best_bound = root.objective;
+
+        while let Some(node) = heap.pop() {
+            best_bound = node.bound;
+            if let Some((_, inc_obj)) = &incumbent {
+                let gap = (inc_obj - node.bound) / inc_obj.abs().max(1.0);
+                if gap <= self.gap_tolerance {
+                    // Everything remaining is no better than the incumbent.
+                    let (values, objective) = incumbent.unwrap();
+                    return Solution {
+                        status: SolveStatus::Optimal,
+                        values,
+                        // The incumbent itself bounds the optimum; simplex
+                        // epsilon can push node bounds marginally above it.
+                        bound: node.bound.min(objective),
+                        objective,
+                        nodes_explored,
+                    };
+                }
+            }
+            if nodes_explored >= self.max_nodes || start.elapsed() >= self.time_budget {
+                break;
+            }
+            nodes_explored += 1;
+
+            let lp = solve_relaxation(model, &node.lower, &node.upper);
+            if lp.status != LpStatus::Optimal {
+                continue; // infeasible subtree
+            }
+            if let Some((_, inc_obj)) = &incumbent {
+                if lp.objective >= inc_obj - 1e-9 {
+                    continue; // dominated subtree
+                }
+            }
+
+            // Most-fractional binary branching.
+            let mut branch_var: Option<usize> = None;
+            let mut most_frac = INT_TOL;
+            for (j, v) in model.vars.iter().enumerate() {
+                if v.kind != VarKind::Binary {
+                    continue;
+                }
+                let frac = (lp.x[j] - lp.x[j].round()).abs();
+                if frac > most_frac {
+                    most_frac = frac;
+                    branch_var = Some(j);
+                }
+            }
+
+            match branch_var {
+                None => {
+                    // Integral: candidate incumbent. Round binaries exactly.
+                    let mut x = lp.x.clone();
+                    for (j, v) in model.vars.iter().enumerate() {
+                        if v.kind == VarKind::Binary {
+                            x[j] = x[j].round();
+                        }
+                    }
+                    let obj = model.objective.eval(&x);
+                    let better = incumbent
+                        .as_ref()
+                        .is_none_or(|(_, inc)| obj < inc - 1e-12);
+                    if better && model.is_feasible(&x, 1e-5) {
+                        incumbent = Some((x, obj));
+                    }
+                }
+                Some(j) => {
+                    let frac_val = lp.x[j];
+                    // Child x_j = 0.
+                    let mut up0 = node.upper.clone();
+                    up0[j] = 0.0;
+                    // Child x_j = 1.
+                    let mut lo1 = node.lower.clone();
+                    lo1[j] = 1.0;
+                    // Use the parent LP objective as the child bound
+                    // (valid: children are restrictions). Explore the
+                    // branch nearer the fractional value first by giving
+                    // it the same bound; heap order handles the rest.
+                    let _ = frac_val;
+                    heap.push(BbNode {
+                        bound: lp.objective,
+                        lower: node.lower.clone(),
+                        upper: up0,
+                    });
+                    heap.push(BbNode {
+                        bound: lp.objective,
+                        lower: lo1,
+                        upper: node.upper.clone(),
+                    });
+                }
+            }
+        }
+
+        match incumbent {
+            Some((values, objective)) => {
+                let proved = heap.is_empty()
+                    || (objective - best_bound) / objective.abs().max(1.0) <= self.gap_tolerance;
+                Solution {
+                    status: if proved {
+                        SolveStatus::Optimal
+                    } else {
+                        SolveStatus::Feasible
+                    },
+                    values,
+                    objective,
+                    // A found solution caps the lower bound (guards against
+                    // simplex epsilon pushing stale node bounds above it).
+                    bound: best_bound.min(objective),
+                    nodes_explored,
+                }
+            }
+            None => Solution {
+                status: SolveStatus::BudgetExhausted,
+                values: Vec::new(),
+                objective: f64::INFINITY,
+                bound: best_bound,
+                nodes_explored,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LinExpr, Model};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 10.0);
+        m.constrain(LinExpr::new().add(x, 1.0), Cmp::Ge, 3.0);
+        m.set_objective(LinExpr::new().add(x, 1.0));
+        let s = IlpSolver::default().solve(&m);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn knapsack_requires_branching() {
+        // max 5a + 4b + 3c s.t. 2a + 3b + c <= 5, binaries.
+        // Optimum: a=1, c=1 (weight 3 ≤ 5... b also fits? 2+3+1=6 > 5).
+        // a=1, b=1 → weight 5, value 9; a=1,c=1 → weight 3, value 8;
+        // best is a=1,b=1 → 9.
+        let mut m = Model::minimize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.constrain(
+            LinExpr::new().add(a, 2.0).add(b, 3.0).add(c, 1.0),
+            Cmp::Le,
+            5.0,
+        );
+        m.set_objective(LinExpr::new().add(a, -5.0).add(b, -4.0).add(c, -3.0));
+        let s = IlpSolver::default().solve(&m);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective, -9.0);
+        assert_close(s.values[a.index()], 1.0);
+        assert_close(s.values[b.index()], 1.0);
+        assert_close(s.values[c.index()], 0.0);
+    }
+
+    #[test]
+    fn assignment_with_min_max_objective() {
+        // 3 units with costs [4, 3, 2] over 2 nodes, minimize the max
+        // node load. Optimum: {4} vs {3,2} → max 5.
+        let costs = [4.0, 3.0, 2.0];
+        let mut m = Model::minimize();
+        let x: Vec<Vec<_>> = (0..3)
+            .map(|i| (0..2).map(|j| m.binary(format!("x{i}{j}"))).collect())
+            .collect();
+        let g = m.continuous("g", 0.0, f64::INFINITY);
+        for xi in x.iter() {
+            let expr = xi.iter().fold(LinExpr::new(), |e, &v| e.add(v, 1.0));
+            m.constrain(expr, Cmp::Eq, 1.0);
+        }
+        for j in 0..2 {
+            let mut expr = LinExpr::new().add(g, 1.0);
+            for (i, xi) in x.iter().enumerate() {
+                expr = expr.add(xi[j], -costs[i]);
+            }
+            m.constrain(expr, Cmp::Ge, 0.0);
+        }
+        m.set_objective(LinExpr::new().add(g, 1.0));
+        let s = IlpSolver::default().solve(&m);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn infeasible_integer_model() {
+        // x + y = 1.5 with x, y binary has LP solutions but no integer one
+        // ... actually x=1,y=0.5 is fractional; integer infeasible.
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.constrain(LinExpr::new().add(x, 1.0).add(y, 1.0), Cmp::Eq, 1.5);
+        m.set_objective(LinExpr::new().add(x, 1.0));
+        let s = IlpSolver::default().solve(&m);
+        // No integral point exists; solver must not fabricate one.
+        assert!(matches!(
+            s.status,
+            SolveStatus::Infeasible | SolveStatus::BudgetExhausted
+        ));
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn lp_infeasible_model() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.constrain(LinExpr::new().add(x, 1.0), Cmp::Ge, 2.0);
+        m.set_objective(LinExpr::new().add(x, 1.0));
+        assert_eq!(IlpSolver::default().solve(&m).status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_incumbent_survives_zero_budget() {
+        // With no time to explore, the warm start is returned.
+        let costs = [4.0, 3.0, 2.0];
+        let mut m = Model::minimize();
+        let x: Vec<Vec<_>> = (0..3)
+            .map(|i| (0..2).map(|j| m.binary(format!("x{i}{j}"))).collect())
+            .collect();
+        let g = m.continuous("g", 0.0, 100.0);
+        for xi in x.iter() {
+            let expr = xi.iter().fold(LinExpr::new(), |e, &v| e.add(v, 1.0));
+            m.constrain(expr, Cmp::Eq, 1.0);
+        }
+        for j in 0..2 {
+            let mut expr = LinExpr::new().add(g, 1.0);
+            for (i, xi) in x.iter().enumerate() {
+                expr = expr.add(xi[j], -costs[i]);
+            }
+            m.constrain(expr, Cmp::Ge, 0.0);
+        }
+        m.set_objective(LinExpr::new().add(g, 1.0));
+        // All units on node 0: g = 9.
+        let mut warm = vec![0.0; m.num_vars()];
+        for (i, xi) in x.iter().enumerate() {
+            let _ = i;
+            warm[xi[0].index()] = 1.0;
+        }
+        warm[g.index()] = 9.0;
+        let solver = IlpSolver {
+            time_budget: Duration::ZERO,
+            initial_incumbent: Some(warm),
+            ..IlpSolver::default()
+        };
+        let s = solver.solve(&m);
+        assert!(matches!(
+            s.status,
+            SolveStatus::Feasible | SolveStatus::Optimal
+        ));
+        assert!(s.objective <= 9.0 + 1e-6);
+        assert!(!s.values.is_empty());
+    }
+
+    #[test]
+    fn infeasible_warm_start_rejected() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        m.constrain(LinExpr::new().add(x, 1.0), Cmp::Eq, 1.0);
+        m.set_objective(LinExpr::new().add(x, 1.0));
+        let solver = IlpSolver {
+            initial_incumbent: Some(vec![0.0]), // violates x = 1
+            ..IlpSolver::default()
+        };
+        let s = solver.solve(&m);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.values[0], 1.0);
+    }
+
+    #[test]
+    fn bound_is_valid_lower_bound() {
+        let mut m = Model::minimize();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        m.constrain(LinExpr::new().add(a, 1.0).add(b, 1.0), Cmp::Ge, 1.0);
+        m.set_objective(LinExpr::new().add(a, 2.0).add(b, 3.0));
+        let s = IlpSolver::default().solve(&m);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective, 2.0);
+        assert!(s.bound <= s.objective + 1e-9);
+    }
+
+    #[test]
+    fn larger_assignment_solves_to_optimality() {
+        // 8 units, 3 nodes, min-max load. Costs sum to 36; best max ≈ 12.
+        let costs = [9.0, 8.0, 7.0, 5.0, 3.0, 2.0, 1.0, 1.0];
+        let k = 3;
+        let mut m = Model::minimize();
+        let x: Vec<Vec<_>> = (0..costs.len())
+            .map(|i| (0..k).map(|j| m.binary(format!("x{i}{j}"))).collect())
+            .collect();
+        let g = m.continuous("g", 0.0, f64::INFINITY);
+        for xi in x.iter() {
+            let expr = xi.iter().fold(LinExpr::new(), |e, &v| e.add(v, 1.0));
+            m.constrain(expr, Cmp::Eq, 1.0);
+        }
+        for j in 0..k {
+            let mut expr = LinExpr::new().add(g, 1.0);
+            for (i, xi) in x.iter().enumerate() {
+                expr = expr.add(xi[j], -costs[i]);
+            }
+            m.constrain(expr, Cmp::Ge, 0.0);
+        }
+        m.set_objective(LinExpr::new().add(g, 1.0));
+        let s = IlpSolver::with_budget(Duration::from_secs(20)).solve(&m);
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective, 12.0);
+    }
+}

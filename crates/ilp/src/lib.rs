@@ -1,0 +1,23 @@
+//! # sj-ilp: a from-scratch integer linear program solver
+//!
+//! The paper's physical join planner formulates its analytical cost model
+//! as an integer linear program and solves it with SCIP (§5.2). This crate
+//! is the in-repo substitute: a [`Model`] builder, a dense two-phase
+//! bounded-variable [simplex](solve_lp) for LP relaxations, and a
+//! time-budgeted best-first [branch & bound](IlpSolver).
+//!
+//! Like the paper's use of SCIP, the solver is *anytime*: it accepts a
+//! warm-start incumbent, honours a wall-clock budget, and returns the best
+//! feasible solution found when the budget expires — including the
+//! possibility of returning nothing on hard instances, which the paper
+//! observes for 1024 join units under slight skew (§6.2.2).
+
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod model;
+mod simplex;
+
+pub use branch_bound::IlpSolver;
+pub use model::{Cmp, Constraint, LinExpr, Model, Solution, SolveStatus, VarId, VarKind, Variable};
+pub use simplex::{solve_lp, solve_relaxation, LpResult, LpStatus};

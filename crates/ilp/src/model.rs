@@ -1,0 +1,304 @@
+//! Model builder for (integer) linear programs.
+//!
+//! The physical join planner formulates its cost model as an integer
+//! linear program (paper §5.2). The paper solves it with SCIP; this crate
+//! is the from-scratch substitute: a model builder, an LP-relaxation
+//! simplex solver, and a time-budgeted branch & bound.
+
+use std::fmt;
+
+/// Identifies one decision variable in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The variable's index in solution vectors.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The integrality class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Must take value 0 or 1 in integer solutions.
+    Binary,
+    /// Any value within its bounds.
+    Continuous,
+}
+
+/// One decision variable.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// Human-readable name for diagnostics.
+    pub name: String,
+    /// Integrality class.
+    pub kind: VarKind,
+    /// Lower bound (inclusive).
+    pub lower: f64,
+    /// Upper bound (inclusive; may be `f64::INFINITY`).
+    pub upper: f64,
+}
+
+/// A linear expression `Σ coeff·var + constant`.
+#[derive(Debug, Clone, Default)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` terms. May contain repeats; they are
+    /// summed when the model is compiled.
+    pub terms: Vec<(VarId, f64)>,
+    /// Additive constant.
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// Add `coeff · var` to the expression (builder style).
+    pub fn add(mut self, var: VarId, coeff: f64) -> Self {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// Add a constant (builder style).
+    pub fn plus(mut self, c: f64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    /// Evaluate at a point.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * x[v.0])
+                .sum::<f64>()
+    }
+}
+
+/// The comparison operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// One linear constraint `expr (≤|≥|=) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization (I)LP.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+}
+
+impl Model {
+    /// An empty minimization model.
+    pub fn minimize() -> Self {
+        Model::default()
+    }
+
+    /// Add a binary (0/1) variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> VarId {
+        self.vars.push(Variable {
+            name: name.into(),
+            kind: VarKind::Binary,
+            lower: 0.0,
+            upper: 1.0,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Add a continuous variable with bounds `[lower, upper]`.
+    pub fn continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        assert!(lower <= upper, "variable bounds crossed");
+        self.vars.push(Variable {
+            name: name.into(),
+            kind: VarKind::Continuous,
+            lower,
+            upper,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Add the constraint `expr cmp rhs`.
+    pub fn constrain(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Set the objective (minimized).
+    pub fn set_objective(&mut self, expr: LinExpr) {
+        self.objective = expr;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Access a variable's metadata.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.0]
+    }
+
+    /// The objective expression (minimized).
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.eval(x)
+    }
+
+    /// Indices of all binary variables.
+    pub fn binary_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Binary)
+            .map(|(i, _)| VarId(i))
+    }
+
+    /// Check a candidate point against every constraint and bound.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if x[i] < v.lower - tol || x[i] > v.upper + tol {
+                return false;
+            }
+            if v.kind == VarKind::Binary && (x[i] - x[i].round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs = c.expr.eval(x);
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Proved optimal (within tolerance).
+    Optimal,
+    /// A feasible integer solution was found but optimality was not
+    /// proved before the budget ran out.
+    Feasible,
+    /// The model has no feasible solution.
+    Infeasible,
+    /// The LP relaxation is unbounded below.
+    Unbounded,
+    /// The budget ran out before any feasible integer solution was found.
+    BudgetExhausted,
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Feasible => "feasible (budget hit)",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::Unbounded => "unbounded",
+            SolveStatus::BudgetExhausted => "budget exhausted, no solution",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A solver result.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Values per variable (empty unless a solution exists).
+    pub values: Vec<f64>,
+    /// Objective at `values` (meaningful when a solution exists).
+    pub objective: f64,
+    /// Best proven lower bound on the optimum.
+    pub bound: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_model() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 10.0);
+        m.constrain(LinExpr::new().add(x, 1.0).add(y, 1.0), Cmp::Le, 5.0);
+        m.set_objective(LinExpr::new().add(x, -1.0).add(y, -1.0));
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.var(x).kind, VarKind::Binary);
+        assert_eq!(m.binary_vars().count(), 1);
+    }
+
+    #[test]
+    fn lin_expr_eval() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 10.0);
+        let e = LinExpr::new().add(x, 2.0).add(y, -1.0).plus(3.0);
+        assert_eq!(e.eval(&[1.0, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 10.0);
+        m.constrain(LinExpr::new().add(x, 1.0).add(y, 1.0), Cmp::Le, 5.0);
+        m.constrain(LinExpr::new().add(y, 1.0), Cmp::Ge, 2.0);
+        assert!(m.is_feasible(&[1.0, 3.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 5.0], 1e-9)); // violates Le
+        assert!(!m.is_feasible(&[1.0, 1.0], 1e-9)); // violates Ge
+        assert!(!m.is_feasible(&[0.5, 3.0], 1e-9)); // fractional binary
+        assert!(!m.is_feasible(&[1.0, 11.0], 1e-9)); // bound
+        assert!(!m.is_feasible(&[1.0], 1e-9)); // arity
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds crossed")]
+    fn crossed_bounds_panic() {
+        let mut m = Model::minimize();
+        m.continuous("bad", 5.0, 1.0);
+    }
+}

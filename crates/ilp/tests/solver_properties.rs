@@ -1,0 +1,118 @@
+//! Property tests: the branch & bound solver against brute-force
+//! enumeration on small random integer programs.
+
+use proptest::prelude::*;
+use sj_ilp::{Cmp, IlpSolver, LinExpr, Model, SolveStatus};
+use std::time::Duration;
+
+/// A small random ILP: `nb` binaries, one knapsack-style ≤ constraint,
+/// one covering ≥ constraint, random objective.
+fn random_model(
+    nb: usize,
+    obj: Vec<i32>,
+    weights: Vec<i32>,
+    cap: i32,
+    cover: Vec<i32>,
+    need: i32,
+) -> Model {
+    let mut m = Model::minimize();
+    let xs: Vec<_> = (0..nb).map(|i| m.binary(format!("x{i}"))).collect();
+    let w = xs
+        .iter()
+        .zip(&weights)
+        .fold(LinExpr::new(), |e, (&v, &c)| e.add(v, c as f64));
+    m.constrain(w, Cmp::Le, cap as f64);
+    let c = xs
+        .iter()
+        .zip(&cover)
+        .fold(LinExpr::new(), |e, (&v, &k)| e.add(v, k as f64));
+    m.constrain(c, Cmp::Ge, need as f64);
+    let o = xs
+        .iter()
+        .zip(&obj)
+        .fold(LinExpr::new(), |e, (&v, &k)| e.add(v, k as f64));
+    m.set_objective(o);
+    m
+}
+
+/// Brute-force optimum over all 2^nb assignments; None if infeasible.
+fn brute_force(m: &Model, nb: usize) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for code in 0u32..(1 << nb) {
+        let x: Vec<f64> = (0..nb).map(|i| ((code >> i) & 1) as f64).collect();
+        if m.is_feasible(&x, 1e-9) {
+            let v = m.objective_value(&x);
+            best = Some(best.map_or(v, |b: f64| b.min(v)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bb_matches_brute_force(
+        nb in 2usize..=8,
+        obj in proptest::collection::vec(-9i32..=9, 8),
+        weights in proptest::collection::vec(0i32..=9, 8),
+        cap in 0i32..=30,
+        cover in proptest::collection::vec(0i32..=9, 8),
+        need in 0i32..=20,
+    ) {
+        let m = random_model(
+            nb,
+            obj[..nb].to_vec(),
+            weights[..nb].to_vec(),
+            cap,
+            cover[..nb].to_vec(),
+            need,
+        );
+        let expected = brute_force(&m, nb);
+        let sol = IlpSolver::with_budget(Duration::from_secs(20)).solve(&m);
+        match expected {
+            None => prop_assert!(
+                matches!(sol.status, SolveStatus::Infeasible),
+                "solver said {:?} on an infeasible model", sol.status
+            ),
+            Some(opt) => {
+                prop_assert_eq!(sol.status, SolveStatus::Optimal);
+                prop_assert!(
+                    (sol.objective - opt).abs() < 1e-6,
+                    "solver found {} but brute force found {opt}", sol.objective
+                );
+                prop_assert!(m.is_feasible(&sol.values, 1e-6));
+                // Reported bound is a valid lower bound.
+                prop_assert!(sol.bound <= sol.objective + 1e-6);
+            }
+        }
+    }
+
+    /// The LP relaxation value never exceeds the integer optimum.
+    #[test]
+    fn lp_relaxation_is_a_lower_bound(
+        nb in 2usize..=6,
+        obj in proptest::collection::vec(-9i32..=9, 6),
+        weights in proptest::collection::vec(0i32..=9, 6),
+        cap in 0i32..=25,
+        cover in proptest::collection::vec(0i32..=9, 6),
+        need in 0i32..=15,
+    ) {
+        let m = random_model(
+            nb,
+            obj[..nb].to_vec(),
+            weights[..nb].to_vec(),
+            cap,
+            cover[..nb].to_vec(),
+            need,
+        );
+        if let Some(opt) = brute_force(&m, nb) {
+            let lp = sj_ilp::solve_lp(&m);
+            prop_assert_eq!(lp.status, sj_ilp::LpStatus::Optimal);
+            prop_assert!(
+                lp.objective <= opt + 1e-6,
+                "LP relaxation {} above integer optimum {opt}", lp.objective
+            );
+        }
+    }
+}

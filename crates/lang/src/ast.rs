@@ -1,0 +1,69 @@
+//! Abstract syntax for AQL statements and AFL operator expressions.
+
+use sj_array::{ArraySchema, Expr};
+
+/// One SELECT-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`
+    Star,
+    /// A scalar expression (a bare column reference or arithmetic over
+    /// columns), with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Output column name: the alias if given, else a rendering of
+        /// the expression.
+        name: String,
+    },
+}
+
+/// The `INTO` target of a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntoTarget {
+    /// A full schema literal: `INTO C<i:int>[v=1,100,10]`.
+    Schema(ArraySchema),
+    /// A bare array name: the engine derives the schema.
+    Name(String),
+}
+
+/// A parsed AQL SELECT statement (paper §2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list.
+    pub projections: Vec<Projection>,
+    /// Optional INTO target.
+    pub into: Option<IntoTarget>,
+    /// FROM arrays (1 = filter/apply query, 2 = join).
+    pub from: Vec<String>,
+    /// WHERE/ON predicates, conjoined.
+    pub predicates: Vec<Expr>,
+}
+
+/// A parsed AFL operator expression (paper §2.2): nested operator calls
+/// over array names, schema literals, and scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AflExpr {
+    /// Reference to a stored array.
+    Array(String),
+    /// An operator application, e.g. `filter(A, v1 > 5)`.
+    Call {
+        /// Operator name (`filter`, `redim`, `merge`, ...).
+        op: String,
+        /// Arguments.
+        args: Vec<AflArg>,
+    },
+}
+
+/// One argument of an AFL operator call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AflArg {
+    /// A nested operator or array reference.
+    Afl(AflExpr),
+    /// A schema literal (`<v:int>[i=1,6,3]` or `B<v:int>[...]`).
+    Schema(ArraySchema),
+    /// A scalar expression (filter predicates, apply expressions).
+    Expr(Expr),
+    /// An integer (e.g. bucket counts).
+    Int(i64),
+}

@@ -1,0 +1,371 @@
+//! Binding: resolve a parsed SELECT against catalog schemas.
+//!
+//! Splits the statement into the executable shapes the engine supports:
+//! single-array filter/apply queries and two-array equi-joins whose
+//! predicates become `(left column, right column)` pairs.
+
+use sj_array::{ArrayError, ArraySchema, BinOp, Expr};
+
+use crate::ast::{IntoTarget, Projection, SelectStmt};
+
+type Result<T> = std::result::Result<T, ArrayError>;
+
+/// A bound, executable query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundSelect {
+    /// `SELECT … FROM A [WHERE filter]`.
+    SingleArray {
+        /// The source array.
+        array: String,
+        /// Conjoined filter predicate, if any.
+        filter: Option<Expr>,
+        /// Projections (`None` = `SELECT *`), with unqualified columns.
+        projections: Option<Vec<(String, Expr)>>,
+        /// Output array name, if INTO was given.
+        into_name: Option<String>,
+    },
+    /// `SELECT … FROM A, B WHERE <equi-pairs>`.
+    Join {
+        /// Left array.
+        left: String,
+        /// Right array.
+        right: String,
+        /// Equi-join pairs as (left column, right column) names.
+        pairs: Vec<(String, String)>,
+        /// Explicit destination schema, if INTO declared one.
+        output: Option<ArraySchema>,
+        /// Projections to apply over the join result (`None` = all).
+        projections: Option<Vec<(String, Expr)>>,
+    },
+}
+
+/// Bind `stmt` against a schema catalog (`lookup` returns the schema of
+/// a stored array by name).
+pub fn bind_select<F>(stmt: &SelectStmt, lookup: F) -> Result<BoundSelect>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    match stmt.from.len() {
+        1 => bind_single(stmt, lookup),
+        2 => bind_join(stmt, lookup),
+        n => Err(ArrayError::Parse(format!(
+            "FROM must name one or two arrays, got {n}"
+        ))),
+    }
+}
+
+fn bind_single<F>(stmt: &SelectStmt, lookup: F) -> Result<BoundSelect>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    let array = stmt.from[0].clone();
+    let schema = lookup(&array)
+        .ok_or_else(|| ArrayError::Parse(format!("unknown array `{array}`")))?;
+    let filter = conjoin(stmt.predicates.clone());
+    if let Some(f) = &filter {
+        // Validate column references (stripping qualifiers).
+        strip_qualifiers(f, &array).bind(&schema)?;
+    }
+    let projections = bind_projections(&stmt.projections, |expr| {
+        let stripped = strip_qualifiers(&expr, &array);
+        stripped.bind(&schema).map(|_| stripped)
+    })?;
+    let into_name = match &stmt.into {
+        None => None,
+        Some(IntoTarget::Name(n)) => Some(n.clone()),
+        Some(IntoTarget::Schema(s)) => Some(s.name.clone()),
+    };
+    Ok(BoundSelect::SingleArray {
+        array,
+        filter: filter.map(|f| strip_qualifiers(&f, &stmt.from[0])),
+        projections,
+        into_name,
+    })
+}
+
+fn bind_join<F>(stmt: &SelectStmt, lookup: F) -> Result<BoundSelect>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    let left = stmt.from[0].clone();
+    let right = stmt.from[1].clone();
+    let lschema = lookup(&left)
+        .ok_or_else(|| ArrayError::Parse(format!("unknown array `{left}`")))?;
+    let rschema = lookup(&right)
+        .ok_or_else(|| ArrayError::Parse(format!("unknown array `{right}`")))?;
+
+    let mut pairs = Vec::new();
+    for pred in &stmt.predicates {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left: l,
+            right: r,
+        } = pred
+        else {
+            return Err(ArrayError::Parse(format!(
+                "join predicates must be equality pairs, got `{pred}`"
+            )));
+        };
+        let (Expr::Column(lc), Expr::Column(rc)) = (l.as_ref(), r.as_ref()) else {
+            return Err(ArrayError::Parse(format!(
+                "join predicates must compare two columns, got `{pred}`"
+            )));
+        };
+        let a = resolve_side(lc, &left, &lschema, &right, &rschema)?;
+        let b = resolve_side(rc, &left, &lschema, &right, &rschema)?;
+        match (a, b) {
+            ((true, lname), (false, rname)) => pairs.push((lname, rname)),
+            ((false, rname), (true, lname)) => pairs.push((lname, rname)),
+            _ => {
+                return Err(ArrayError::Parse(format!(
+                    "predicate `{pred}` does not connect the two arrays"
+                )))
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return Err(ArrayError::Parse(
+            "join query needs at least one equality predicate".into(),
+        ));
+    }
+
+    let output = match &stmt.into {
+        Some(IntoTarget::Schema(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let projections = bind_projections(&stmt.projections, Ok)?;
+    Ok(BoundSelect::Join {
+        left,
+        right,
+        pairs,
+        output,
+        projections,
+    })
+}
+
+fn bind_projections<F>(
+    projections: &[Projection],
+    mut check: F,
+) -> Result<Option<Vec<(String, Expr)>>>
+where
+    F: FnMut(Expr) -> Result<Expr>,
+{
+    if projections.iter().any(|p| matches!(p, Projection::Star)) {
+        return Ok(None);
+    }
+    let mut out = Vec::with_capacity(projections.len());
+    for p in projections {
+        let Projection::Expr { expr, name } = p else {
+            continue;
+        };
+        out.push((name.clone(), check(expr.clone())?));
+    }
+    Ok(Some(out))
+}
+
+/// Determine which side a column reference belongs to. Returns
+/// `(is_left, unqualified_name)`.
+fn resolve_side(
+    name: &str,
+    left: &str,
+    lschema: &ArraySchema,
+    right: &str,
+    rschema: &ArraySchema,
+) -> Result<(bool, String)> {
+    if let Some((array, col)) = name.split_once('.') {
+        if array == left {
+            return has_column(lschema, col).map(|_| (true, col.to_string()));
+        }
+        if array == right {
+            return has_column(rschema, col).map(|_| (false, col.to_string()));
+        }
+        return Err(ArrayError::Parse(format!(
+            "`{name}` references unknown array `{array}`"
+        )));
+    }
+    if lschema.has_dim(name) || lschema.has_attr(name) {
+        return Ok((true, name.to_string()));
+    }
+    if rschema.has_dim(name) || rschema.has_attr(name) {
+        return Ok((false, name.to_string()));
+    }
+    Err(ArrayError::Parse(format!("unknown column `{name}`")))
+}
+
+/// AND-join a list of predicates into one expression.
+fn conjoin(mut predicates: Vec<Expr>) -> Option<Expr> {
+    let first = if predicates.is_empty() {
+        return None;
+    } else {
+        predicates.remove(0)
+    };
+    Some(
+        predicates
+            .into_iter()
+            .fold(first, |acc, p| Expr::binary(BinOp::And, acc, p)),
+    )
+}
+
+fn has_column(schema: &ArraySchema, col: &str) -> Result<()> {
+    if schema.has_dim(col) || schema.has_attr(col) {
+        Ok(())
+    } else {
+        Err(ArrayError::Parse(format!(
+            "array `{}` has no column `{col}`",
+            schema.name
+        )))
+    }
+}
+
+/// Rewrite `Arr.col` references to bare `col` when they refer to `array`
+/// (single-array queries allow qualified self-references).
+fn strip_qualifiers(expr: &Expr, array: &str) -> Expr {
+    match expr {
+        Expr::Column(name) => match name.split_once('.') {
+            Some((a, col)) if a == array => Expr::col(col),
+            _ => expr.clone(),
+        },
+        Expr::Literal(_) => expr.clone(),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(strip_qualifiers(left, array)),
+            right: Box::new(strip_qualifiers(right, array)),
+        },
+        Expr::Neg(e) => Expr::Neg(Box::new(strip_qualifiers(e, array))),
+        Expr::Not(e) => Expr::Not(Box::new(strip_qualifiers(e, array))),
+    }
+}
+
+/// Rewrite a post-join projection so its column references resolve
+/// against the join's output schema: `X.c` stays if the output kept the
+/// qualified name, else falls back to bare `c`.
+pub fn rewrite_for_output(expr: &Expr, output: &ArraySchema) -> Expr {
+    match expr {
+        Expr::Column(name) => {
+            if output.has_dim(name) || output.has_attr(name) {
+                expr.clone()
+            } else if let Some((_, col)) = name.split_once('.') {
+                Expr::col(col)
+            } else {
+                expr.clone()
+            }
+        }
+        Expr::Literal(_) => expr.clone(),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_for_output(left, output)),
+            right: Box::new(rewrite_for_output(right, output)),
+        },
+        Expr::Neg(e) => Expr::Neg(Box::new(rewrite_for_output(e, output))),
+        Expr::Not(e) => Expr::Not(Box::new(rewrite_for_output(e, output))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_aql;
+
+    fn catalog(name: &str) -> Option<ArraySchema> {
+        match name {
+            "A" => Some(ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap()),
+            "B" => Some(ArraySchema::parse("B<w:int>[j=1,100,10]").unwrap()),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn bind_single_array_filter() {
+        let stmt = parse_aql("SELECT * FROM A WHERE v > 5").unwrap();
+        let bound = bind_select(&stmt, catalog).unwrap();
+        match bound {
+            BoundSelect::SingleArray {
+                array,
+                filter,
+                projections,
+                into_name,
+            } => {
+                assert_eq!(array, "A");
+                assert!(filter.is_some());
+                assert!(projections.is_none());
+                assert!(into_name.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_join_orients_pairs() {
+        // Written backwards: B.w = A.v must still orient (A.v, B.w).
+        let stmt = parse_aql("SELECT * FROM A, B WHERE B.w = A.v").unwrap();
+        let BoundSelect::Join { pairs, .. } = bind_select(&stmt, catalog).unwrap() else {
+            panic!()
+        };
+        assert_eq!(pairs, vec![("v".to_string(), "w".to_string())]);
+    }
+
+    #[test]
+    fn bind_join_with_bare_columns() {
+        let stmt = parse_aql("SELECT * FROM A, B WHERE i = j").unwrap();
+        let BoundSelect::Join { pairs, .. } = bind_select(&stmt, catalog).unwrap() else {
+            panic!()
+        };
+        assert_eq!(pairs, vec![("i".to_string(), "j".to_string())]);
+    }
+
+    #[test]
+    fn reject_single_sided_and_non_equi_join_predicates() {
+        let stmt = parse_aql("SELECT * FROM A, B WHERE A.v = A.i").unwrap();
+        assert!(bind_select(&stmt, catalog).is_err());
+        let stmt = parse_aql("SELECT * FROM A, B WHERE A.v > B.w").unwrap();
+        assert!(bind_select(&stmt, catalog).is_err());
+        let stmt = parse_aql("SELECT * FROM A, B").unwrap();
+        assert!(bind_select(&stmt, catalog).is_err());
+    }
+
+    #[test]
+    fn reject_unknown_arrays_and_columns() {
+        let stmt = parse_aql("SELECT * FROM Z WHERE v > 1").unwrap();
+        assert!(bind_select(&stmt, catalog).is_err());
+        let stmt = parse_aql("SELECT * FROM A, B WHERE A.zzz = B.w").unwrap();
+        assert!(bind_select(&stmt, catalog).is_err());
+        let stmt = parse_aql("SELECT * FROM A WHERE zzz > 1").unwrap();
+        assert!(bind_select(&stmt, catalog).is_err());
+    }
+
+    #[test]
+    fn qualified_self_references_stripped_in_single_queries() {
+        let stmt = parse_aql("SELECT A.v FROM A WHERE A.v > 2").unwrap();
+        let BoundSelect::SingleArray {
+            filter, projections, ..
+        } = bind_select(&stmt, catalog).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(filter.unwrap().to_string(), "(v > 2)");
+        assert_eq!(projections.unwrap()[0].1.to_string(), "v");
+    }
+
+    #[test]
+    fn rewrite_for_output_prefers_exact_then_bare() {
+        let out = ArraySchema::parse("C<reflectance:float, B.reflectance:float>[t=1,5,5]")
+            .unwrap();
+        // Band1.reflectance is not in the schema → bare name.
+        let e = rewrite_for_output(&Expr::col("Band1.reflectance"), &out);
+        assert_eq!(e.to_string(), "reflectance");
+        // B.reflectance exists verbatim → kept.
+        let e = rewrite_for_output(&Expr::col("B.reflectance"), &out);
+        assert_eq!(e.to_string(), "B.reflectance");
+    }
+
+    #[test]
+    fn into_schema_captured_for_joins() {
+        let stmt =
+            parse_aql("SELECT * INTO C<i:int, j:int>[v=1,100,10] FROM A, B WHERE A.v = B.w")
+                .unwrap();
+        let BoundSelect::Join { output, .. } = bind_select(&stmt, catalog).unwrap() else {
+            panic!()
+        };
+        assert_eq!(output.unwrap().name, "C");
+    }
+}

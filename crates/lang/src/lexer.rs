@@ -1,0 +1,289 @@
+//! Tokenizer for AQL and AFL (paper §2.2).
+
+use std::fmt;
+
+use sj_array::ArrayError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively at
+    /// parse time). May contain dots (`A.v1`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single-quoted).
+    Str(String),
+    /// A punctuation or operator symbol.
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `:`
+    Colon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Symbol(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Tokenize `input`, or report the byte offset of the first bad char.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ArrayError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::Symbol(Sym::LBracket));
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::Symbol(Sym::RBracket));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Symbol(Sym::Semicolon));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Symbol(Sym::Percent));
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Symbol(Sym::Colon));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Symbol(Sym::Ne));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(&b'=') => {
+                        tokens.push(Token::Symbol(Sym::Le));
+                        i += 2;
+                    }
+                    Some(&b'>') => {
+                        tokens.push(Token::Symbol(Sym::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Symbol(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ArrayError::Parse(format!(
+                        "unterminated string literal at byte {i}"
+                    )));
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.'
+                        && !is_float
+                        && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                    {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|e| {
+                        ArrayError::Parse(format!("bad float `{text}`: {e}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|e| {
+                        ArrayError::Parse(format!("bad integer `{text}`: {e}"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_alphanumeric() || d == '_' || d == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(ArrayError::Parse(format!(
+                    "unexpected character `{other}` at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_query() {
+        let toks = tokenize("SELECT * FROM A WHERE v1 > 5").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[1], Token::Symbol(Sym::Star));
+        assert_eq!(toks[6], Token::Symbol(Sym::Gt));
+        assert_eq!(toks[7], Token::Int(5));
+    }
+
+    #[test]
+    fn qualified_names_keep_dots() {
+        let toks = tokenize("A.v1 = B.w").unwrap();
+        assert_eq!(toks[0], Token::Ident("A.v1".into()));
+        assert_eq!(toks[2], Token::Ident("B.w".into()));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("<= >= <> != < >").unwrap();
+        use Sym::*;
+        let syms: Vec<Sym> = toks
+            .iter()
+            .map(|t| match t {
+                Token::Symbol(s) => *s,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(syms, vec![Le, Ge, Ne, Ne, Lt, Gt]);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = tokenize("3 3.25 10.0").unwrap();
+        assert_eq!(toks[0], Token::Int(3));
+        assert_eq!(toks[1], Token::Float(3.25));
+        assert_eq!(toks[2], Token::Float(10.0));
+    }
+
+    #[test]
+    fn strings_and_errors() {
+        assert_eq!(
+            tokenize("'hi there'").unwrap()[0],
+            Token::Str("hi there".into())
+        );
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a $ b").is_err());
+    }
+
+    #[test]
+    fn schema_literal_tokens() {
+        let toks = tokenize("C<i:int, j:int>[v=1,128,4]").unwrap();
+        assert!(toks.contains(&Token::Symbol(Sym::Colon)));
+        assert!(toks.contains(&Token::Symbol(Sym::LBracket)));
+    }
+}

@@ -1,0 +1,21 @@
+//! # sj-lang: the AQL/AFL query language front-end
+//!
+//! The Array Data Model exposes two query surfaces (paper §2.2): the
+//! declarative **AQL** (`SELECT … INTO … FROM … WHERE …`) and the
+//! compositional **AFL** of nested operator calls
+//! (`merge(A, redim(B, <…>[…]))`). This crate provides a lexer, parsers
+//! for both surfaces, and a binder that resolves a parsed SELECT against
+//! catalog schemas into an executable description (single-array
+//! filter/apply or a two-array equi-join).
+
+#![warn(missing_docs)]
+
+mod ast;
+mod binder;
+mod lexer;
+mod parser;
+
+pub use ast::{AflArg, AflExpr, IntoTarget, Projection, SelectStmt};
+pub use binder::{bind_select, rewrite_for_output, BoundSelect};
+pub use lexer::{tokenize, Sym, Token};
+pub use parser::{parse_afl, parse_aql};

@@ -1,0 +1,577 @@
+//! Recursive-descent parsers for AQL statements and AFL expressions.
+
+use sj_array::{ArrayError, ArraySchema, AttributeDef, BinOp, DataType, DimensionDef, Expr, Value};
+
+use crate::ast::{AflArg, AflExpr, IntoTarget, Projection, SelectStmt};
+use crate::lexer::{tokenize, Sym, Token};
+
+type Result<T> = std::result::Result<T, ArrayError>;
+
+/// Parse one AQL SELECT statement.
+pub fn parse_aql(input: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(&tokens);
+    let stmt = p.select()?;
+    p.eat_symbol_if(Sym::Semicolon);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parse one AFL operator expression.
+pub fn parse_afl(input: &str) -> Result<AflExpr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(&tokens);
+    let expr = p.afl()?;
+    p.eat_symbol_if(Sym::Semicolon);
+    p.expect_end()?;
+    Ok(expr)
+}
+
+/// Split a top-level AND chain into its conjuncts.
+fn flatten_and(expr: Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            flatten_and(*left, out);
+            flatten_and(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> ArrayError {
+        ArrayError::Parse(format!(
+            "{msg} at token {} ({})",
+            self.pos,
+            self.peek().map_or("<end>".to_string(), |t| t.to_string())
+        ))
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.is_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn eat_symbol_if(&mut self, sym: Sym) -> bool {
+        if self.peek() == Some(&Token::Symbol(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Sym) -> Result<()> {
+        if self.eat_symbol_if(sym) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{sym:?}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        let neg = self.eat_symbol_if(Sym::Minus);
+        match self.next() {
+            Some(Token::Int(v)) => Ok(if neg { -v } else { *v }),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected integer"))
+            }
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+
+    // ---- AQL ---------------------------------------------------------
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let projections = self.projection_list()?;
+        let into = if self.eat_keyword("INTO") {
+            Some(self.into_target()?)
+        } else {
+            None
+        };
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.ident()?];
+        loop {
+            if self.eat_symbol_if(Sym::Comma) || self.eat_keyword("JOIN") {
+                from.push(self.ident()?);
+            } else {
+                break;
+            }
+        }
+        if from.len() > 2 {
+            return Err(self.err("at most two arrays may appear in FROM"));
+        }
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") || self.eat_keyword("ON") {
+            // `expr` consumes AND itself; flatten the top-level
+            // conjunction into the predicate list.
+            flatten_and(self.expr()?, &mut predicates);
+        }
+        Ok(SelectStmt {
+            projections,
+            into,
+            from,
+            predicates,
+        })
+    }
+
+    fn projection_list(&mut self) -> Result<Vec<Projection>> {
+        if self.eat_symbol_if(Sym::Star) {
+            return Ok(vec![Projection::Star]);
+        }
+        let mut list = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let name = if self.eat_keyword("AS") {
+                self.ident()?
+            } else if let Expr::Column(c) = &expr {
+                c.clone()
+            } else {
+                expr.to_string()
+            };
+            list.push(Projection::Expr { expr, name });
+            if !self.eat_symbol_if(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(list)
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses an INTO target
+    fn into_target(&mut self) -> Result<IntoTarget> {
+        // A schema literal is NAME `<` ... or NAME `[` ... or `<` ...;
+        // otherwise a bare name.
+        let save = self.pos;
+        match self.try_schema_literal() {
+            Ok(schema) => Ok(IntoTarget::Schema(schema)),
+            Err(_) => {
+                self.pos = save;
+                Ok(IntoTarget::Name(self.ident()?))
+            }
+        }
+    }
+
+    // ---- Schema literals (token-level mirror of ArraySchema::parse) ----
+
+    fn try_schema_literal(&mut self) -> Result<ArraySchema> {
+        let name = if matches!(self.peek(), Some(Token::Ident(_))) {
+            self.ident()?
+        } else {
+            "anonymous".to_string()
+        };
+        let mut attrs = Vec::new();
+        if self.eat_symbol_if(Sym::Lt)
+            && !self.eat_symbol_if(Sym::Gt) {
+                loop {
+                    let attr_name = self.ident()?;
+                    self.expect_symbol(Sym::Colon)?;
+                    let dtype = DataType::parse(&self.ident()?)?;
+                    attrs.push(AttributeDef::new(attr_name, dtype));
+                    if !self.eat_symbol_if(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_symbol(Sym::Gt)?;
+            }
+        self.expect_symbol(Sym::LBracket)?;
+        let mut dims = Vec::new();
+        if !self.eat_symbol_if(Sym::RBracket) {
+            loop {
+                let dim_name = self.ident()?;
+                self.expect_symbol(Sym::Eq)?;
+                let start = self.int()?;
+                self.expect_symbol(Sym::Comma)?;
+                let end = self.int()?;
+                self.expect_symbol(Sym::Comma)?;
+                let interval = self.int()?;
+                if interval <= 0 {
+                    return Err(self.err("chunk interval must be positive"));
+                }
+                dims.push(DimensionDef::new(dim_name, start, end, interval as u64)?);
+                if !self.eat_symbol_if(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RBracket)?;
+        }
+        ArraySchema::new(name, dims, attrs)
+    }
+
+    // ---- Scalar expressions -------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.cmp_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.cmp_expr()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(BinOp::Eq),
+            Some(Token::Symbol(Sym::Ne)) => Some(BinOp::Ne),
+            Some(Token::Symbol(Sym::Lt)) => Some(BinOp::Lt),
+            Some(Token::Symbol(Sym::Le)) => Some(BinOp::Le),
+            Some(Token::Symbol(Sym::Gt)) => Some(BinOp::Gt),
+            Some(Token::Symbol(Sym::Ge)) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            Ok(Expr::binary(op, left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Plus)) => BinOp::Add,
+                Some(Token::Symbol(Sym::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Star)) => BinOp::Mul,
+                Some(Token::Symbol(Sym::Slash)) => BinOp::Div,
+                Some(Token::Symbol(Sym::Percent)) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat_symbol_if(Sym::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_keyword("NOT") {
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next().cloned() {
+            Some(Token::Int(v)) => Ok(Expr::int(v)),
+            Some(Token::Float(v)) => Ok(Expr::float(v)),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("true") {
+                    Ok(Expr::Literal(Value::Bool(true)))
+                } else if name.eq_ignore_ascii_case("false") {
+                    Ok(Expr::Literal(Value::Bool(false)))
+                } else {
+                    Ok(Expr::col(name))
+                }
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                let inner = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(inner)
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected expression"))
+            }
+        }
+    }
+
+    // ---- AFL -----------------------------------------------------------
+
+    fn afl(&mut self) -> Result<AflExpr> {
+        let name = self.ident()?;
+        if self.eat_symbol_if(Sym::LParen) {
+            let mut args = Vec::new();
+            if !self.eat_symbol_if(Sym::RParen) {
+                loop {
+                    args.push(self.afl_arg()?);
+                    if !self.eat_symbol_if(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_symbol(Sym::RParen)?;
+            }
+            Ok(AflExpr::Call { op: name, args })
+        } else {
+            Ok(AflExpr::Array(name))
+        }
+    }
+
+    fn afl_arg(&mut self) -> Result<AflArg> {
+        // Try, in order: schema literal, nested AFL call, integer, scalar
+        // expression. Backtracking keeps the grammar simple.
+        let save = self.pos;
+        if let Ok(schema) = self.try_schema_literal() {
+            return Ok(AflArg::Schema(schema));
+        }
+        self.pos = save;
+        if matches!(self.peek(), Some(Token::Ident(_)))
+            && self.tokens.get(self.pos + 1) == Some(&Token::Symbol(Sym::LParen))
+        {
+            // Looks like a call — but operators and function-less idents
+            // are ambiguous with expressions; calls win.
+            if let Ok(inner) = self.afl() {
+                return Ok(AflArg::Afl(inner));
+            }
+            self.pos = save;
+        }
+        if let Some(Token::Int(v)) = self.peek().cloned() {
+            // A bare integer not followed by an operator is a count arg.
+            let after = self.tokens.get(self.pos + 1);
+            let is_plain = matches!(
+                after,
+                None | Some(Token::Symbol(Sym::Comma)) | Some(Token::Symbol(Sym::RParen))
+            );
+            if is_plain {
+                self.pos += 1;
+                return Ok(AflArg::Int(v));
+            }
+        }
+        // Bare identifier alone → array reference; otherwise expression.
+        if let Some(Token::Ident(name)) = self.peek().cloned() {
+            let after = self.tokens.get(self.pos + 1);
+            let is_plain = matches!(
+                after,
+                None | Some(Token::Symbol(Sym::Comma)) | Some(Token::Symbol(Sym::RParen))
+            );
+            if is_plain {
+                self.pos += 1;
+                return Ok(AflArg::Afl(AflExpr::Array(name)));
+            }
+        }
+        let expr = self.expr()?;
+        Ok(AflArg::Expr(expr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_star_filter_query() {
+        // Paper §2.2: SELECT * FROM A WHERE v1 > 5
+        let q = parse_aql("SELECT * FROM A WHERE v1 > 5").unwrap();
+        assert_eq!(q.projections, vec![Projection::Star]);
+        assert_eq!(q.from, vec!["A"]);
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.predicates[0].to_string(), "(v1 > 5)");
+    }
+
+    #[test]
+    fn parse_join_with_into_schema() {
+        // Paper §6.1's query.
+        let q = parse_aql(
+            "SELECT * INTO C<i:int, j:int>[v=1,128,4] FROM A, B WHERE A.v = B.w;",
+        )
+        .unwrap();
+        assert_eq!(q.from, vec!["A", "B"]);
+        match &q.into {
+            Some(IntoTarget::Schema(s)) => {
+                assert_eq!(s.name, "C");
+                assert_eq!(s.dims[0].name, "v");
+            }
+            other => panic!("expected schema target, got {other:?}"),
+        }
+        assert_eq!(q.predicates[0].to_string(), "(A.v = B.w)");
+    }
+
+    #[test]
+    fn parse_join_keyword_and_multi_predicates() {
+        // Paper §6.2.1's D:D query.
+        let q = parse_aql(
+            "SELECT A.v1 - B.v1, A.v2 - B.v2 FROM A JOIN B \
+             WHERE A.i = B.i AND A.j = B.j",
+        )
+        .unwrap();
+        assert_eq!(q.from, vec!["A", "B"]);
+        assert_eq!(q.projections.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        match &q.projections[0] {
+            Projection::Expr { name, .. } => assert_eq!(name, "(A.v1 - B.v1)"),
+            other => panic!("unexpected projection {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_ndvi_query() {
+        // Paper §6.3.2.
+        let q = parse_aql(
+            "SELECT (Band2.reflectance - Band1.reflectance) \
+             / (Band2.reflectance + Band1.reflectance) \
+             FROM Band1, Band2 \
+             WHERE Band1.time = Band2.time \
+             AND Band1.longitude = Band2.longitude \
+             AND Band1.latitude = Band2.latitude",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert_eq!(q.projections.len(), 1);
+    }
+
+    #[test]
+    fn parse_into_bare_name_and_aliases() {
+        let q = parse_aql("SELECT v AS speed INTO T FROM A").unwrap();
+        assert_eq!(q.into, Some(IntoTarget::Name("T".into())));
+        match &q.projections[0] {
+            Projection::Expr { name, .. } => assert_eq!(name, "speed"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reject_malformed_queries() {
+        assert!(parse_aql("SELECT FROM A").is_err());
+        assert!(parse_aql("* FROM A").is_err());
+        assert!(parse_aql("SELECT * FROM A, B, C").is_err());
+        assert!(parse_aql("SELECT * FROM A WHERE").is_err());
+        assert!(parse_aql("SELECT * FROM A extra tokens").is_err());
+    }
+
+    #[test]
+    fn parse_afl_filter() {
+        // Paper §2.2: filter(A, v1 > 5)
+        let e = parse_afl("filter(A, v1 > 5)").unwrap();
+        match e {
+            AflExpr::Call { op, args } => {
+                assert_eq!(op, "filter");
+                assert_eq!(args[0], AflArg::Afl(AflExpr::Array("A".into())));
+                match &args[1] {
+                    AflArg::Expr(x) => assert_eq!(x.to_string(), "(v1 > 5)"),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_afl_nested_with_schema() {
+        // Paper §2.3.1: merge(A, redim(B, <v1:int, v2:float>[i=1,6,3, j=1,6,3]))
+        let e = parse_afl(
+            "merge(A, redim(B, <v1:int, v2:float>[i=1,6,3, j=1,6,3]))",
+        )
+        .unwrap();
+        let AflExpr::Call { op, args } = e else {
+            panic!()
+        };
+        assert_eq!(op, "merge");
+        assert_eq!(args.len(), 2);
+        let AflArg::Afl(AflExpr::Call { op: inner, args: inner_args }) = &args[1] else {
+            panic!("expected nested call, got {:?}", args[1]);
+        };
+        assert_eq!(inner, "redim");
+        match &inner_args[1] {
+            AflArg::Schema(s) => {
+                assert_eq!(s.nattrs(), 2);
+                assert_eq!(s.ndims(), 2);
+            }
+            other => panic!("expected schema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_afl_with_counts() {
+        let e = parse_afl("hash(A, 64)").unwrap();
+        let AflExpr::Call { args, .. } = e else { panic!() };
+        assert_eq!(args[1], AflArg::Int(64));
+    }
+
+    #[test]
+    fn afl_bare_array() {
+        assert_eq!(parse_afl("A").unwrap(), AflExpr::Array("A".into()));
+        assert!(parse_afl("merge(A").is_err());
+    }
+}

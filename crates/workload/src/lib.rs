@@ -1,0 +1,19 @@
+//! # sj-workload: workload generators for the shuffle-join evaluation
+//!
+//! Synthetic and real-world-like datasets matching the paper's
+//! experimental setup (§6): Zipf-skewed 2-D arrays for the physical
+//! planner sweeps, selectivity-controlled 1-D pairs for the logical
+//! planner study, and MODIS/AIS-like geospatial generators for the
+//! beneficial/adversarial real-data experiments.
+
+#![warn(missing_docs)]
+
+mod realworld;
+mod synthetic;
+mod zipf;
+
+pub use realworld::{ais_broadcasts, modis_band, AisConfig, GeoConfig};
+pub use synthetic::{
+    selectivity_output_schema, selectivity_pair, skewed_array, skewed_pair, SkewedArrayConfig,
+};
+pub use zipf::Zipf;

@@ -1,0 +1,380 @@
+//! Synthetic stand-ins for the paper's real-world datasets (§6.3).
+//!
+//! * **MODIS**: satellite reflectance bands over (time, longitude,
+//!   latitude), near-uniformly distributed with a slight equatorial
+//!   density bump ("the top 5% of its chunks contain only 10% of the
+//!   data"). Two bands share a sensor footprint, so band⋈band chunk
+//!   sizes line up — *adversarial* skew.
+//! * **AIS**: ship-position broadcasts clustered around ports — ~85% of
+//!   the data in ~5% of the chunks — joined against MODIS it produces
+//!   *beneficial* skew.
+//!
+//! Real data is unavailable offline; these generators reproduce the
+//! distributional properties the paper reports, which is what the
+//! planners react to (see DESIGN.md §4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sj_array::{Array, ArraySchema, Value};
+
+/// Geometry shared by the geospatial generators.
+#[derive(Debug, Clone)]
+pub struct GeoConfig {
+    /// Extent of the time dimension (1..=time_extent).
+    pub time_extent: u64,
+    /// Chunk interval of the time dimension.
+    pub time_chunk: u64,
+    /// Number of longitude chunks (each `deg_per_chunk` wide).
+    pub lon_chunks: u64,
+    /// Number of latitude chunks.
+    pub lat_chunks: u64,
+    /// Degrees per chunk (the paper uses 4° × 4° tiles).
+    pub deg_per_chunk: u64,
+    /// Total occupied cells to generate.
+    pub cells: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeoConfig {
+    /// A small configuration for tests: 8×6 geographic chunks.
+    pub fn small(seed: u64) -> Self {
+        GeoConfig {
+            time_extent: 4096,
+            time_chunk: 4096,
+            lon_chunks: 8,
+            lat_chunks: 6,
+            deg_per_chunk: 4,
+            cells: 20_000,
+            seed,
+        }
+    }
+
+    fn lon_extent(&self) -> u64 {
+        self.lon_chunks * self.deg_per_chunk
+    }
+
+    fn lat_extent(&self) -> u64 {
+        self.lat_chunks * self.deg_per_chunk
+    }
+
+    /// Longitude range, centered like real-world coordinates.
+    fn lon_range(&self) -> (i64, i64) {
+        let half = (self.lon_extent() / 2) as i64;
+        (-half, self.lon_extent() as i64 - half - 1)
+    }
+
+    /// Latitude range.
+    fn lat_range(&self) -> (i64, i64) {
+        let half = (self.lat_extent() / 2) as i64;
+        (-half, self.lat_extent() as i64 - half - 1)
+    }
+
+    /// Schema for an array named `name` with the given attribute list
+    /// (rendered in the paper's literal syntax).
+    pub fn schema(&self, name: &str, attrs: &str) -> ArraySchema {
+        let (lon_lo, lon_hi) = self.lon_range();
+        let (lat_lo, lat_hi) = self.lat_range();
+        ArraySchema::parse(&format!(
+            "{name}<{attrs}>[time=1,{},{}, lon={lon_lo},{lon_hi},{d}, lat={lat_lo},{lat_hi},{d}]",
+            self.time_extent,
+            self.time_chunk,
+            d = self.deg_per_chunk
+        ))
+        .expect("generated schema is valid")
+    }
+
+    /// Number of geographic (lon × lat) chunks.
+    pub fn geo_chunks(&self) -> u64 {
+        self.lon_chunks * self.lat_chunks
+    }
+}
+
+/// Per-geo-chunk weights with a slight equatorial bump: the chunk at
+/// latitude φ gets weight `1 + 0.25·cos(φ)` — MODIS's "very slight skew".
+fn modis_weights(cfg: &GeoConfig) -> Vec<f64> {
+    let (lat_lo, _) = cfg.lat_range();
+    let mut w = Vec::with_capacity(cfg.geo_chunks() as usize);
+    for lon_c in 0..cfg.lon_chunks {
+        let _ = lon_c;
+        for lat_c in 0..cfg.lat_chunks {
+            let mid_lat = lat_lo as f64
+                + (lat_c as f64 + 0.5) * cfg.deg_per_chunk as f64;
+            // Map the scaled grid onto ±90° so the bump is gentle.
+            let phi = mid_lat / (cfg.lat_extent() as f64 / 2.0) * std::f64::consts::FRAC_PI_2;
+            w.push(1.0 + 0.25 * phi.cos());
+        }
+    }
+    w
+}
+
+/// Distribute `total` cells over chunks proportionally to `weights`.
+fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| (w / sum * total as f64).floor() as usize)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    let n = counts.len();
+    let mut i = 0usize;
+    while assigned < total {
+        counts[i % n] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    counts
+}
+
+/// Generate one MODIS reflectance band.
+///
+/// All bands of the same `cfg` share a sensor footprint: cell
+/// coordinates depend only on the config, while `band` seeds the values
+/// and drops a ~1.5% random subset (the paper's mean band-to-band chunk
+/// difference is ~1.5% of the mean chunk size).
+pub fn modis_band(cfg: &GeoConfig, name: &str, band: u32) -> Array {
+    let schema = cfg.schema(name, "reflectance:float");
+    let mut coord_rng = StdRng::seed_from_u64(cfg.seed); // shared footprint
+    let mut band_rng = StdRng::seed_from_u64(cfg.seed ^ (band as u64) << 32 | band as u64);
+    let weights = modis_weights(cfg);
+    let counts = apportion(cfg.cells, &weights);
+    let mut array = Array::new(schema);
+    let (lon_lo, _) = cfg.lon_range();
+    let (lat_lo, _) = cfg.lat_range();
+    let box_cells =
+        (cfg.time_extent * cfg.deg_per_chunk * cfg.deg_per_chunk) as usize;
+    for (geo_idx, &count) in counts.iter().enumerate() {
+        let lon_c = geo_idx as u64 / cfg.lat_chunks;
+        let lat_c = geo_idx as u64 % cfg.lat_chunks;
+        let count = count.min(box_cells);
+        for pos in distinct_positions(box_cells, count, &mut coord_rng) {
+            // Keep each band's ~1.5% dropout independent.
+            if band_rng.gen::<f64>() < 0.015 {
+                continue;
+            }
+            let p = pos as u64;
+            let t = (p / (cfg.deg_per_chunk * cfg.deg_per_chunk)) as i64 + 1;
+            let rem = p % (cfg.deg_per_chunk * cfg.deg_per_chunk);
+            let lon = lon_lo + (lon_c * cfg.deg_per_chunk + rem / cfg.deg_per_chunk) as i64;
+            let lat = lat_lo + (lat_c * cfg.deg_per_chunk + rem % cfg.deg_per_chunk) as i64;
+            let reflectance = band_rng.gen_range(0.0..1.0);
+            array
+                .insert(&[t, lon, lat], &[Value::Float(reflectance)])
+                .expect("coordinates in range");
+        }
+    }
+    array.sort_chunks();
+    array
+}
+
+/// Configuration for the AIS ship-track generator.
+#[derive(Debug, Clone)]
+pub struct AisConfig {
+    /// Shared geometry (should match the MODIS config it joins against).
+    pub geo: GeoConfig,
+    /// Fraction of geographic chunks that are "ports" (paper: ~5%).
+    pub port_chunk_fraction: f64,
+    /// Fraction of cells clustered at ports (paper: ~85%).
+    pub port_mass: f64,
+    /// Number of distinct vessels.
+    pub ships: u64,
+    /// Zipf exponent over port sizes (busier ports get more traffic;
+    /// 0 = equal ports).
+    pub port_zipf_alpha: f64,
+}
+
+impl AisConfig {
+    /// Defaults matching the paper's reported distribution.
+    pub fn new(geo: GeoConfig) -> Self {
+        AisConfig {
+            geo,
+            port_chunk_fraction: 0.05,
+            port_mass: 0.85,
+            ships: 1_000,
+            port_zipf_alpha: 1.0,
+        }
+    }
+}
+
+/// Generate AIS-like ship broadcasts: heavy hotspots at a few port
+/// chunks, the remainder spread along shipping lanes.
+pub fn ais_broadcasts(cfg: &AisConfig, name: &str) -> Array {
+    let geo = &cfg.geo;
+    let schema = geo.schema(name, "ship_id:int, speed:float");
+    let mut rng = StdRng::seed_from_u64(geo.seed ^ 0xA15);
+    let n_geo = geo.geo_chunks() as usize;
+    let n_ports = ((n_geo as f64 * cfg.port_chunk_fraction).round() as usize).clamp(1, n_geo);
+    // Pick port chunks.
+    let mut ids: Vec<usize> = (0..n_geo).collect();
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    let ports: Vec<usize> = ids[..n_ports].to_vec();
+    let others: Vec<usize> = ids[n_ports..].to_vec();
+
+    // Mass split: port_mass over ports (Zipf-ish: busier ports exist),
+    // remainder uniform over the rest.
+    let port_cells = (cfg.geo.cells as f64 * cfg.port_mass) as usize;
+    let rest_cells = cfg.geo.cells - port_cells;
+    let port_weights: Vec<f64> = (0..n_ports)
+        .map(|r| 1.0 / (r as f64 + 1.0).powf(cfg.port_zipf_alpha))
+        .collect();
+    let port_counts = apportion(port_cells, &port_weights);
+    let rest_weights = vec![1.0; others.len().max(1)];
+    let rest_counts = apportion(rest_cells, &rest_weights);
+
+    let mut array = Array::new(schema);
+    let box_cells =
+        (geo.time_extent * geo.deg_per_chunk * geo.deg_per_chunk) as usize;
+    let (lon_lo, _) = geo.lon_range();
+    let (lat_lo, _) = geo.lat_range();
+    let emit_chunk = |geo_idx: usize, count: usize, rng: &mut StdRng, array: &mut Array| {
+        let lon_c = geo_idx as u64 / geo.lat_chunks;
+        let lat_c = geo_idx as u64 % geo.lat_chunks;
+        let count = count.min(box_cells);
+        for pos in distinct_positions(box_cells, count, rng) {
+            let p = pos as u64;
+            let t = (p / (geo.deg_per_chunk * geo.deg_per_chunk)) as i64 + 1;
+            let rem = p % (geo.deg_per_chunk * geo.deg_per_chunk);
+            let lon = lon_lo + (lon_c * geo.deg_per_chunk + rem / geo.deg_per_chunk) as i64;
+            let lat = lat_lo + (lat_c * geo.deg_per_chunk + rem % geo.deg_per_chunk) as i64;
+            let ship = rng.gen_range(0..cfg.ships) as i64;
+            let speed = rng.gen_range(0.0..30.0);
+            array
+                .insert(
+                    &[t, lon, lat],
+                    &[Value::Int(ship), Value::Float(speed)],
+                )
+                .expect("coordinates in range");
+        }
+    };
+    for (r, &geo_idx) in ports.iter().enumerate() {
+        emit_chunk(geo_idx, port_counts[r], &mut rng, &mut array);
+    }
+    for (r, &geo_idx) in others.iter().enumerate() {
+        emit_chunk(geo_idx, rest_counts.get(r).copied().unwrap_or(0), &mut rng, &mut array);
+    }
+    array.sort_chunks();
+    array
+}
+
+/// `count` distinct positions in `0..space` via a random full-cycle walk.
+fn distinct_positions(space: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    let count = count.min(space);
+    if count == 0 {
+        return Vec::new();
+    }
+    let stride = loop {
+        let s = rng.gen_range(1..space.max(2));
+        if gcd(s, space) == 1 {
+            break s;
+        }
+    };
+    let start = rng.gen_range(0..space);
+    (0..count).map(|t| (start + t * stride) % space).collect()
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modis_band_is_near_uniform() {
+        let cfg = GeoConfig::small(1);
+        let band = modis_band(&cfg, "Band1", 1);
+        band.validate().unwrap();
+        // ~1.5% dropout from the nominal cell budget.
+        let n = band.cell_count() as f64;
+        assert!((n / cfg.cells as f64 - 0.985).abs() < 0.01);
+        // Top 5% of chunks hold well under 20% of the data.
+        let mut sizes: Vec<usize> = band.chunk_histogram().values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let top = ((sizes.len() as f64 * 0.05).ceil() as usize).max(1);
+        let top_mass: usize = sizes[..top].iter().sum();
+        assert!(
+            (top_mass as f64) < 0.2 * n,
+            "MODIS too skewed: top 5% hold {top_mass} of {n}"
+        );
+    }
+
+    #[test]
+    fn two_bands_are_adversarially_aligned() {
+        let cfg = GeoConfig::small(2);
+        let b1 = modis_band(&cfg, "Band1", 1);
+        let b2 = modis_band(&cfg, "Band2", 2);
+        let h1 = b1.chunk_histogram();
+        let h2 = b2.chunk_histogram();
+        assert_eq!(h1.len(), h2.len());
+        // Chunk-by-chunk sizes are within a few percent of each other.
+        for (id, &c1) in &h1 {
+            let c2 = h2[id];
+            let diff = (c1 as f64 - c2 as f64).abs() / c1.max(c2) as f64;
+            assert!(diff < 0.15, "chunk {id}: {c1} vs {c2}");
+        }
+        // Values differ between bands.
+        assert_ne!(b1.to_batch(), b2.to_batch());
+    }
+
+    #[test]
+    fn ais_concentrates_mass_in_ports() {
+        let cfg = AisConfig::new(GeoConfig {
+            cells: 50_000,
+            ..GeoConfig::small(3)
+        });
+        let ais = ais_broadcasts(&cfg, "Broadcast");
+        ais.validate().unwrap();
+        assert_eq!(ais.cell_count(), 50_000);
+        // Paper: ~85% of the data in ~5% of the chunks. Aggregate by
+        // geographic chunk (the generator may split across time chunks,
+        // but GeoConfig::small has a single time chunk).
+        let mut sizes: Vec<usize> = ais.chunk_histogram().values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let hot = ((cfg.geo.geo_chunks() as f64 * 0.05).ceil() as usize).max(1);
+        let hot_mass: usize = sizes.iter().take(hot).sum();
+        let frac = hot_mass as f64 / ais.cell_count() as f64;
+        assert!(
+            frac > 0.75,
+            "ports hold only {frac:.2} of the data (expected ≈0.85)"
+        );
+    }
+
+    #[test]
+    fn modis_and_ais_schemas_are_join_compatible() {
+        let geo = GeoConfig::small(4);
+        let band = modis_band(&geo, "Band1", 1);
+        let ais = ais_broadcasts(&AisConfig::new(geo), "Broadcast");
+        // Same lon/lat dimension definitions.
+        assert_eq!(band.schema.dims[1], ais.schema.dims[1]);
+        assert_eq!(band.schema.dims[2], ais.schema.dims[2]);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = GeoConfig::small(9);
+        assert_eq!(modis_band(&cfg, "B", 1), modis_band(&cfg, "B", 1));
+        let a = AisConfig::new(cfg);
+        assert_eq!(ais_broadcasts(&a, "X"), ais_broadcasts(&a, "X"));
+    }
+
+    #[test]
+    fn distinct_positions_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pos = distinct_positions(100, 100, &mut rng);
+        let mut sorted = pos.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+        assert!(distinct_positions(10, 0, &mut rng).is_empty());
+        assert_eq!(distinct_positions(10, 50, &mut rng).len(), 10);
+    }
+}

@@ -1,0 +1,296 @@
+//! Synthetic workloads matching the paper's evaluation (§6.1–6.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sj_array::{Array, ArraySchema, Value};
+
+use crate::zipf::Zipf;
+
+/// Configuration for a skewed 2-D array (the §6.2 physical-planning
+/// workload: `A<v1:int, v2:int>[i, j]` on a `grid × grid` chunk grid).
+#[derive(Debug, Clone)]
+pub struct SkewedArrayConfig {
+    /// Array name.
+    pub name: String,
+    /// Chunks per dimension (the paper uses 32 → 1024 join units).
+    pub grid: u64,
+    /// Cells per chunk per dimension.
+    pub chunk_interval: u64,
+    /// Total occupied cells.
+    pub cells: usize,
+    /// Zipf α over *chunk occupancy* — spatial (location) skew driving
+    /// the merge-join experiments.
+    pub spatial_alpha: f64,
+    /// Zipf α over *attribute values* — value-frequency skew driving the
+    /// hash-join experiments (bucket sizes follow value frequencies).
+    pub value_alpha: f64,
+    /// Domain size of the `v1`/`v2` attributes.
+    pub value_domain: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SkewedArrayConfig {
+    /// A small default suitable for tests.
+    pub fn small(name: &str, seed: u64) -> Self {
+        SkewedArrayConfig {
+            name: name.to_string(),
+            grid: 8,
+            chunk_interval: 128,
+            cells: 10_000,
+            spatial_alpha: 0.0,
+            value_alpha: 0.0,
+            value_domain: 10_000,
+            seed,
+        }
+    }
+
+    /// The array schema implied by this configuration.
+    pub fn schema(&self) -> ArraySchema {
+        let extent = self.grid * self.chunk_interval;
+        ArraySchema::parse(&format!(
+            "{}<v1:int, v2:int>[i=1,{extent},{ci}, j=1,{extent},{ci}]",
+            self.name,
+            ci = self.chunk_interval
+        ))
+        .expect("generated schema literal is valid")
+    }
+}
+
+/// Generate one skewed 2-D array.
+///
+/// Chunk occupancies follow `Zipf(spatial_alpha)` over the chunk grid
+/// (with the rank→chunk mapping shuffled so hotspots land at random grid
+/// positions); cell coordinates within a chunk are distinct; attribute
+/// values follow `Zipf(value_alpha)` over `value_domain` (with shuffled
+/// value mapping).
+pub fn skewed_array(cfg: &SkewedArrayConfig) -> Array {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_chunks = (cfg.grid * cfg.grid) as usize;
+    let spatial = Zipf::new(n_chunks, cfg.spatial_alpha);
+    let mut counts = spatial.proportional_counts(cfg.cells);
+    // Shuffle rank→chunk so the heavy chunks are scattered.
+    shuffle(&mut counts, &mut rng);
+
+    let per_chunk_capacity = (cfg.chunk_interval * cfg.chunk_interval) as usize;
+    let values = Zipf::new(cfg.value_domain as usize, cfg.value_alpha);
+    // Permute value ranks so the hot values are arbitrary.
+    let value_perm = permutation(cfg.value_domain as usize, &mut rng);
+
+    let mut array = Array::new(cfg.schema());
+    for (chunk_idx, &count) in counts.iter().enumerate() {
+        let count = count.min(per_chunk_capacity);
+        let (ci, cj) = (
+            chunk_idx as u64 / cfg.grid,
+            chunk_idx as u64 % cfg.grid,
+        );
+        let base_i = 1 + (ci * cfg.chunk_interval) as i64;
+        let base_j = 1 + (cj * cfg.chunk_interval) as i64;
+        // Distinct in-chunk positions via a full-cycle linear walk.
+        let stride = coprime_stride(per_chunk_capacity, &mut rng);
+        let start = rng.gen_range(0..per_chunk_capacity);
+        for t in 0..count {
+            let pos = (start + t * stride) % per_chunk_capacity;
+            let (di, dj) = (
+                (pos as u64 / cfg.chunk_interval) as i64,
+                (pos as u64 % cfg.chunk_interval) as i64,
+            );
+            let v1 = value_perm[values.sample(&mut rng)] as i64;
+            let v2 = value_perm[values.sample(&mut rng)] as i64;
+            array
+                .insert(&[base_i + di, base_j + dj], &[Value::Int(v1), Value::Int(v2)])
+                .expect("generated coordinates are in range");
+        }
+    }
+    array.sort_chunks();
+    array
+}
+
+/// Generate the §6.2 pair: two skewed arrays with the same schema shape
+/// (names `A` and `B`) and independent randomness.
+pub fn skewed_pair(cfg: &SkewedArrayConfig) -> (Array, Array) {
+    let a = skewed_array(&SkewedArrayConfig {
+        name: "A".into(),
+        ..cfg.clone()
+    });
+    let b = skewed_array(&SkewedArrayConfig {
+        name: "B".into(),
+        seed: cfg.seed.wrapping_add(0x9E3779B9),
+        ..cfg.clone()
+    });
+    (a, b)
+}
+
+/// The §6.1 logical-planning workload: two 1-D arrays
+/// `A<v:int>[i=1,n,chunk]` and `B<w:int>[j=1,n,chunk]` whose A:A join on
+/// `v = w` yields approximately `selectivity · 2n` output cells.
+///
+/// Values are drawn uniformly from a domain sized `n / (2·selectivity)`,
+/// so the expected match count `n²/D = 2n·selectivity`.
+pub fn selectivity_pair(
+    n: u64,
+    chunk_interval: u64,
+    selectivity: f64,
+    seed: u64,
+) -> (Array, Array) {
+    assert!(selectivity > 0.0);
+    let domain = ((n as f64 / (2.0 * selectivity)).round() as u64).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema_a =
+        ArraySchema::parse(&format!("A<v:int>[i=1,{n},{chunk_interval}]")).unwrap();
+    let schema_b =
+        ArraySchema::parse(&format!("B<w:int>[j=1,{n},{chunk_interval}]")).unwrap();
+    let mut a = Array::new(schema_a);
+    let mut b = Array::new(schema_b);
+    for i in 1..=n as i64 {
+        let v = rng.gen_range(0..domain) as i64;
+        a.insert(&[i], &[Value::Int(v)]).unwrap();
+        let w = rng.gen_range(0..domain) as i64;
+        b.insert(&[i], &[Value::Int(w)]).unwrap();
+    }
+    a.sort_chunks();
+    b.sort_chunks();
+    (a, b)
+}
+
+/// The destination schema the paper declares for the §6.1 query:
+/// `SELECT * INTO C<i:int, j:int>[v] FROM A, B WHERE A.v = B.w` — the
+/// predicate attribute becomes the output's dimension.
+pub fn selectivity_output_schema(n: u64, _chunk_interval: u64, selectivity: f64) -> ArraySchema {
+    let domain = ((n as f64 / (2.0 * selectivity)).round() as u64).max(1);
+    ArraySchema::parse(&format!(
+        "C<i:int, j:int>[v=0,{},{}]",
+        domain.max(2) - 1,
+        (domain.div_ceil(16)).max(1)
+    ))
+    .unwrap()
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    shuffle(&mut p, rng);
+    p
+}
+
+/// A stride coprime with `modulus`, for full-cycle in-chunk walks.
+fn coprime_stride(modulus: usize, rng: &mut StdRng) -> usize {
+    if modulus <= 2 {
+        return 1;
+    }
+    loop {
+        let s = rng.gen_range(1..modulus);
+        if gcd(s, modulus) == 1 {
+            return s;
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_array_has_exact_cell_count_when_uniform() {
+        let cfg = SkewedArrayConfig::small("A", 42);
+        let a = skewed_array(&cfg);
+        assert_eq!(a.cell_count(), cfg.cells);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn alpha_controls_chunk_skew() {
+        let mut cfg = SkewedArrayConfig::small("A", 7);
+        cfg.spatial_alpha = 0.0;
+        let uniform = skewed_array(&cfg);
+        cfg.spatial_alpha = 2.0;
+        let skewed = skewed_array(&cfg);
+        let max_u = uniform.chunk_histogram().values().copied().max().unwrap();
+        let max_s = skewed.chunk_histogram().values().copied().max().unwrap();
+        assert!(
+            max_s > 3 * max_u,
+            "α=2 max chunk {max_s} vs uniform {max_u}"
+        );
+        skewed.validate().unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SkewedArrayConfig::small("A", 99);
+        assert_eq!(skewed_array(&cfg), skewed_array(&cfg));
+    }
+
+    #[test]
+    fn pair_members_differ() {
+        let cfg = SkewedArrayConfig::small("X", 3);
+        let (a, b) = skewed_pair(&cfg);
+        assert_eq!(a.schema.name, "A");
+        assert_eq!(b.schema.name, "B");
+        assert_ne!(a.to_batch(), b.to_batch());
+    }
+
+    #[test]
+    fn selectivity_pair_hits_target_output() {
+        for sel in [0.1, 1.0, 10.0] {
+            let n = 20_000u64;
+            let (a, b) = selectivity_pair(n, 1_000, sel, 5);
+            assert_eq!(a.cell_count() as u64, n);
+            // Count true matches via a value-frequency product.
+            let mut freq_a = std::collections::HashMap::new();
+            for (_, vals) in a.iter_cells() {
+                *freq_a.entry(vals[0].as_int().unwrap()).or_insert(0u64) += 1;
+            }
+            let mut matches = 0u64;
+            for (_, vals) in b.iter_cells() {
+                matches += freq_a.get(&vals[0].as_int().unwrap()).copied().unwrap_or(0);
+            }
+            let target = (sel * 2.0 * n as f64) as u64;
+            let ratio = matches as f64 / target as f64;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "sel {sel}: got {matches} matches, target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_alpha_skews_value_frequencies() {
+        let mut cfg = SkewedArrayConfig::small("A", 11);
+        cfg.value_domain = 1000;
+        cfg.value_alpha = 1.5;
+        let a = skewed_array(&cfg);
+        let mut freq = std::collections::HashMap::new();
+        for (_, vals) in a.iter_cells() {
+            *freq.entry(vals[0].as_int().unwrap()).or_insert(0u64) += 1;
+        }
+        let max = freq.values().copied().max().unwrap();
+        // With α=1.5 the hottest value takes a large share.
+        assert!(
+            max as f64 > 0.2 * cfg.cells as f64,
+            "hot value only {max} of {}",
+            cfg.cells
+        );
+    }
+
+    #[test]
+    fn output_schema_for_selectivity_query_is_valid() {
+        let s = selectivity_output_schema(10_000, 500, 0.1);
+        assert_eq!(s.dims[0].name, "v");
+        assert_eq!(s.nattrs(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Zipfian sampling.
+//!
+//! The paper's synthetic experiments draw join-unit and slice sizes from
+//! a Zipfian distribution whose skew is controlled by α: "higher α's
+//! denote greater imbalance in the data sizes" (§6.2). α = 0 degenerates
+//! to uniform.
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..n` with exponent `alpha`.
+///
+/// `P(rank = r) ∝ 1 / (r + 1)^alpha`. Sampling is O(log n) via binary
+/// search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a distribution over `n` ranks with exponent `alpha ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Split `total` items into per-rank counts proportional to the pmf,
+    /// deterministically (largest-remainder rounding so the counts sum
+    /// exactly to `total`).
+    #[allow(clippy::needless_range_loop)]
+    pub fn proportional_counts(&self, total: usize) -> Vec<usize> {
+        let n = self.len();
+        let mut counts = vec![0usize; n];
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(n);
+        let mut assigned = 0usize;
+        for r in 0..n {
+            let exact = self.pmf(r) * total as f64;
+            let floor = exact.floor() as usize;
+            counts[r] = floor;
+            assigned += floor;
+            remainders.push((exact - floor as f64, r));
+        }
+        remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, r) in remainders.iter().take(total.saturating_sub(assigned)) {
+            counts[r] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+        let counts = z.proportional_counts(1000);
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_mass() {
+        let z1 = Zipf::new(100, 1.0);
+        let z2 = Zipf::new(100, 2.0);
+        assert!(z2.pmf(0) > z1.pmf(0));
+        assert!(z1.pmf(0) > Zipf::new(100, 0.5).pmf(0));
+        // α = 2 over 100 ranks puts the majority of mass on rank 0.
+        assert!(z2.pmf(0) > 0.5);
+    }
+
+    #[test]
+    fn proportional_counts_sum_exactly() {
+        for alpha in [0.0, 0.5, 1.0, 1.5, 2.0] {
+            for total in [1usize, 7, 1000, 12345] {
+                let z = Zipf::new(64, alpha);
+                let counts = z.proportional_counts(total);
+                assert_eq!(counts.iter().sum::<usize>(), total, "α={alpha} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_tracks_pmf() {
+        let z = Zipf::new(16, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hist = [0usize; 16];
+        let trials = 200_000;
+        for _ in 0..trials {
+            hist[z.sample(&mut rng)] += 1;
+        }
+        for (r, &h) in hist.iter().enumerate() {
+            let expected = z.pmf(r) * trials as f64;
+            let got = h as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt().max(10.0),
+                "rank {r}: expected ≈{expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! An interactive AQL/AFL shell over a demo database.
+//!
+//! Loads two small arrays (`A`, `B`) into a 2-node cluster and reads
+//! queries from stdin. AQL (`SELECT …`) and AFL (`filter(A, v > 5)`)
+//! are both accepted; results print as coordinate → values listings.
+//!
+//! ```sh
+//! echo 'SELECT * FROM A WHERE v > 5' | cargo run --example aql_repl
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use skewjoin::{Array, ArrayDb, ArraySchema, NetworkModel, QueryResult, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = ArrayDb::new(2, NetworkModel::gigabit());
+    let a = Array::from_cells(
+        ArraySchema::parse("A<v:int>[i=1,12,4]")?,
+        (1..=12).map(|i| (vec![i], vec![Value::Int(i % 7)])),
+    )?;
+    let b = Array::from_cells(
+        ArraySchema::parse("B<w:int>[j=1,12,4]")?,
+        (1..=12).map(|j| (vec![j], vec![Value::Int(j % 5)])),
+    )?;
+    db.load_default(a)?;
+    db.load_default(b)?;
+
+    println!("skewjoin AQL/AFL shell — arrays A<v:int>[i=1,12,4], B<w:int>[j=1,12,4]");
+    println!("examples:");
+    println!("  SELECT * FROM A WHERE v > 3");
+    println!("  SELECT i, j FROM A, B WHERE A.v = B.w");
+    println!("  filter(A, v = 0)");
+    println!("  redim(A, <i:int>[v=0,6,3])");
+    println!("type queries, one per line (ctrl-d to exit):\n");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    print!("> ");
+    out.flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.eq_ignore_ascii_case("exit") {
+            if text.eq_ignore_ascii_case("exit") {
+                break;
+            }
+            print!("> ");
+            out.flush()?;
+            continue;
+        }
+        let result = if text.to_ascii_uppercase().starts_with("SELECT") {
+            db.query(text)
+        } else {
+            db.afl(text)
+        };
+        match result {
+            Ok(r) => print_result(&r),
+            Err(e) => println!("error: {e}"),
+        }
+        print!("> ");
+        out.flush()?;
+    }
+    println!("\nbye");
+    Ok(())
+}
+
+fn print_result(result: &QueryResult) {
+    let array = &result.array;
+    println!(
+        "{} — {} cells in {} chunks",
+        array.schema,
+        array.cell_count(),
+        array.chunk_count()
+    );
+    for (i, (coord, values)) in array.iter_cells().enumerate() {
+        if i >= 20 {
+            println!("  … ({} more cells)", array.cell_count() - 20);
+            break;
+        }
+        let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        println!("  {coord:?} -> ({})", vals.join(", "));
+    }
+    if let Some(m) = &result.join_metrics {
+        println!(
+            "  [join: {} via {}, {} matches, {:.2} ms simulated alignment]",
+            m.afl,
+            m.planner,
+            m.matches,
+            m.alignment_seconds * 1e3
+        );
+    }
+}

@@ -1,0 +1,533 @@
+//! High-level engine API: a distributed array database you can load
+//! arrays into and query with AQL or AFL.
+//!
+//! This is the glue between the substrates: the [`sj_array`] storage
+//! engine, the [`sj_cluster`] shared-nothing simulator, the [`sj_lang`]
+//! query front-end, and the [`sj_core`] shuffle-join optimizer.
+
+use std::fmt;
+
+use sj_array::ops::{self, RedimPolicy};
+use sj_array::{Array, ArrayError, ArraySchema, Expr};
+use sj_cluster::{Cluster, ClusterError, NetworkModel, Placement};
+use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinMetrics, JoinQuery};
+use sj_core::predicate::JoinPredicate;
+use sj_core::JoinError;
+use sj_lang::{bind_select, parse_afl, parse_aql, rewrite_for_output, AflArg, AflExpr, BoundSelect};
+
+/// Top-level error type for the engine.
+#[derive(Debug)]
+pub enum Error {
+    /// Storage-layer failure.
+    Array(ArrayError),
+    /// Cluster-layer failure.
+    Cluster(ClusterError),
+    /// Join planning/execution failure.
+    Join(JoinError),
+    /// Query-language failure (parse or bind).
+    Language(String),
+    /// Unsupported operation.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Array(e) => write!(f, "array error: {e}"),
+            Error::Cluster(e) => write!(f, "cluster error: {e}"),
+            Error::Join(e) => write!(f, "join error: {e}"),
+            Error::Language(msg) => write!(f, "language error: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ArrayError> for Error {
+    fn from(e: ArrayError) -> Self {
+        Error::Array(e)
+    }
+}
+impl From<ClusterError> for Error {
+    fn from(e: ClusterError) -> Self {
+        Error::Cluster(e)
+    }
+}
+impl From<JoinError> for Error {
+    fn from(e: JoinError) -> Self {
+        Error::Join(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The result of a query: the output array plus join metrics when the
+/// query ran through the shuffle-join optimizer.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The materialized result.
+    pub array: Array,
+    /// Shuffle-join execution metrics (joins only).
+    pub join_metrics: Option<JoinMetrics>,
+}
+
+/// A distributed array database over a simulated shared-nothing cluster.
+pub struct ArrayDb {
+    cluster: Cluster,
+    exec_config: ExecConfig,
+}
+
+impl ArrayDb {
+    /// A database on a `nodes`-node cluster with the given interconnect.
+    pub fn new(nodes: usize, network: NetworkModel) -> Self {
+        ArrayDb {
+            cluster: Cluster::new(nodes, network),
+            exec_config: ExecConfig::default(),
+        }
+    }
+
+    /// A single-node database (gigabit-class network model).
+    pub fn single_node() -> Self {
+        ArrayDb::new(1, NetworkModel::gigabit())
+    }
+
+    /// Replace the shuffle-join execution configuration (planner choice,
+    /// cost-model parameters, forced algorithm, ...).
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.exec_config = config;
+    }
+
+    /// The current execution configuration.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.exec_config
+    }
+
+    /// Access the underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Load an array with the given chunk placement.
+    pub fn load(&mut self, array: Array, placement: &Placement) -> Result<()> {
+        self.cluster.load_array(array, placement)?;
+        Ok(())
+    }
+
+    /// Load with the engine default placement (round-robin, like SciDB).
+    pub fn load_default(&mut self, array: Array) -> Result<()> {
+        self.load(array, &Placement::RoundRobin)
+    }
+
+    /// Drop an array.
+    pub fn drop_array(&mut self, name: &str) -> Result<()> {
+        self.cluster.drop_array(name)?;
+        Ok(())
+    }
+
+    /// Materialize a stored array at the coordinator.
+    pub fn gather(&self, name: &str) -> Result<Array> {
+        Ok(self.cluster.gather(name)?)
+    }
+
+    /// Run an AQL query (`SELECT … [INTO …] FROM … [WHERE …]`).
+    pub fn query(&self, aql: &str) -> Result<QueryResult> {
+        let stmt = parse_aql(aql).map_err(|e| Error::Language(e.to_string()))?;
+        let catalog = self.cluster.catalog();
+        let bound = bind_select(&stmt, |name| catalog.schema(name).ok().cloned())
+            .map_err(|e| Error::Language(e.to_string()))?;
+        match bound {
+            BoundSelect::SingleArray {
+                array,
+                filter,
+                projections,
+                into_name,
+            } => {
+                let mut result = self.gather(&array)?;
+                if let Some(pred) = &filter {
+                    result = ops::filter(&result, pred)?;
+                }
+                if let Some(projections) = &projections {
+                    result = ops::apply(&result, projections)?;
+                }
+                if let Some(name) = into_name {
+                    result.schema.name = name;
+                }
+                Ok(QueryResult {
+                    array: result,
+                    join_metrics: None,
+                })
+            }
+            BoundSelect::Join {
+                left,
+                right,
+                pairs,
+                output,
+                projections,
+            } => {
+                let mut query = JoinQuery::new(left, right, JoinPredicate::new(pairs));
+                if let Some(out) = output {
+                    query = query.into_schema(out);
+                }
+                let (mut array, metrics) =
+                    execute_shuffle_join(&self.cluster, &query, &self.exec_config)?;
+                if let Some(projections) = &projections {
+                    let rewritten: Vec<(String, Expr)> = projections
+                        .iter()
+                        .map(|(name, expr)| {
+                            (name.clone(), rewrite_for_output(expr, &array.schema))
+                        })
+                        .collect();
+                    array = ops::apply(&array, &rewritten)?;
+                }
+                Ok(QueryResult {
+                    array,
+                    join_metrics: Some(metrics),
+                })
+            }
+        }
+    }
+
+    /// Evaluate an AFL operator expression
+    /// (`filter(A, v > 5)`, `redim(B, <…>[…])`, `merge(A, B)`, …) and
+    /// return the materialized result.
+    pub fn afl(&self, text: &str) -> Result<QueryResult> {
+        let expr = parse_afl(text).map_err(|e| Error::Language(e.to_string()))?;
+        self.eval_afl(&expr)
+    }
+
+    fn eval_afl(&self, expr: &AflExpr) -> Result<QueryResult> {
+        match expr {
+            AflExpr::Array(name) => Ok(QueryResult {
+                array: self.gather(name)?,
+                join_metrics: None,
+            }),
+            AflExpr::Call { op, args } => self.eval_call(op, args),
+        }
+    }
+
+    fn eval_call(&self, op: &str, args: &[AflArg]) -> Result<QueryResult> {
+        let opl = op.to_ascii_lowercase();
+        match opl.as_str() {
+            "scan" => self.unary_array(args, |a| Ok(ops::scan(&a))),
+            "sort" => self.unary_array(args, |a| Ok(ops::sort(&a))),
+            "filter" => {
+                let array = self.arg_array(args, 0)?;
+                let pred = self.arg_expr(args, 1)?;
+                Ok(QueryResult {
+                    array: ops::filter(&array, &pred)?,
+                    join_metrics: None,
+                })
+            }
+            "redim" | "redimension" | "rechunk" => {
+                let array = self.arg_array(args, 0)?;
+                let schema = self.arg_schema(args, 1)?;
+                let out = if opl == "rechunk" {
+                    ops::rechunk(&array, &schema, RedimPolicy::Strict)?
+                } else {
+                    ops::redim(&array, &schema, RedimPolicy::Strict)?
+                };
+                Ok(QueryResult {
+                    array: out,
+                    join_metrics: None,
+                })
+            }
+            "between" => {
+                let array = self.arg_array(args, 0)?;
+                let nd = array.schema.ndims();
+                if args.len() != 1 + 2 * nd {
+                    return Err(Error::Language(format!(
+                        "between needs {nd} low + {nd} high coordinates"
+                    )));
+                }
+                let coord = |idx: usize| -> Result<i64> {
+                    match self.arg_expr(args, idx)? {
+                        Expr::Literal(v) => {
+                            v.to_coord().map_err(Error::Array)
+                        }
+                        Expr::Neg(inner) => match *inner {
+                            Expr::Literal(v) => {
+                                Ok(-v.to_coord().map_err(Error::Array)?)
+                            }
+                            _ => Err(Error::Language("between bounds must be integers".into())),
+                        },
+                        _ => Err(Error::Language("between bounds must be integers".into())),
+                    }
+                };
+                let low: Vec<i64> = (1..=nd).map(coord).collect::<Result<_>>()?;
+                let high: Vec<i64> = (nd + 1..=2 * nd).map(coord).collect::<Result<_>>()?;
+                Ok(QueryResult {
+                    array: ops::between(&array, &low, &high)?,
+                    join_metrics: None,
+                })
+            }
+            "aggregate" | "agg" => {
+                // aggregate(A, sum, v): returns a 1-cell array holding the
+                // scalar result.
+                let array = self.arg_array(args, 0)?;
+                let func_name = match args.get(1) {
+                    Some(AflArg::Afl(AflExpr::Array(n))) => n.clone(),
+                    Some(AflArg::Expr(Expr::Column(n))) => n.clone(),
+                    other => {
+                        return Err(Error::Language(format!(
+                            "aggregate needs a function name, got {other:?}"
+                        )))
+                    }
+                };
+                let func = ops::AggFn::parse(&func_name).map_err(Error::Array)?;
+                let attr = match args.get(2) {
+                    Some(AflArg::Afl(AflExpr::Array(n))) => n.clone(),
+                    Some(AflArg::Expr(Expr::Column(n))) => n.clone(),
+                    None => array
+                        .schema
+                        .attrs
+                        .first()
+                        .map(|a| a.name.clone())
+                        .unwrap_or_default(),
+                    other => {
+                        return Err(Error::Language(format!(
+                            "aggregate needs an attribute name, got {other:?}"
+                        )))
+                    }
+                };
+                let value = ops::aggregate(&array, func, &attr)?;
+                let dtype = value.data_type();
+                let schema = ArraySchema::new(
+                    "agg",
+                    vec![sj_array::DimensionDef::new("r", 0, 0, 1).map_err(Error::Array)?],
+                    vec![sj_array::AttributeDef::new(func_name, dtype)],
+                )
+                .map_err(Error::Array)?;
+                let result = Array::from_cells(schema, vec![(vec![0], vec![value])])
+                    .map_err(Error::Array)?;
+                Ok(QueryResult {
+                    array: result,
+                    join_metrics: None,
+                })
+            }
+            "project" => {
+                let array = self.arg_array(args, 0)?;
+                let mut names: Vec<String> = Vec::new();
+                for a in &args[1..] {
+                    match a {
+                        AflArg::Expr(Expr::Column(c)) => names.push(c.clone()),
+                        AflArg::Afl(AflExpr::Array(c)) => names.push(c.clone()),
+                        other => {
+                            return Err(Error::Unsupported(format!(
+                                "project expects column names, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                Ok(QueryResult {
+                    array: ops::project(&array, &refs)?,
+                    join_metrics: None,
+                })
+            }
+            "merge" | "mergejoin" | "join" => {
+                // A distributed D:D join on the arrays' shared dimensions.
+                // Both operands must be stored arrays (the shuffle join
+                // plans against cluster-resident data).
+                let name_of = |arg: Option<&AflArg>| -> Result<String> {
+                    match arg {
+                        Some(AflArg::Afl(AflExpr::Array(n))) => Ok(n.clone()),
+                        other => Err(Error::Unsupported(format!(
+                            "merge expects stored array names, got {other:?}"
+                        ))),
+                    }
+                };
+                let left = name_of(args.first())?;
+                let right = name_of(args.get(1))?;
+                let catalog = self.cluster.catalog();
+                let ls = catalog.schema(&left).map_err(Error::Cluster)?;
+                let rs = catalog.schema(&right).map_err(Error::Cluster)?;
+                if ls.ndims() != rs.ndims() {
+                    return Err(Error::Unsupported(
+                        "merge requires equal dimensionality".into(),
+                    ));
+                }
+                let pairs: Vec<(String, String)> = ls
+                    .dims
+                    .iter()
+                    .zip(&rs.dims)
+                    .map(|(a, b)| (a.name.clone(), b.name.clone()))
+                    .collect();
+                let query = JoinQuery::new(left, right, JoinPredicate::new(pairs));
+                let (array, metrics) =
+                    execute_shuffle_join(&self.cluster, &query, &self.exec_config)?;
+                Ok(QueryResult {
+                    array,
+                    join_metrics: Some(metrics),
+                })
+            }
+            other => Err(Error::Unsupported(format!("AFL operator `{other}`"))),
+        }
+    }
+
+    fn unary_array<F>(&self, args: &[AflArg], f: F) -> Result<QueryResult>
+    where
+        F: FnOnce(Array) -> Result<Array>,
+    {
+        let array = self.arg_array(args, 0)?;
+        Ok(QueryResult {
+            array: f(array)?,
+            join_metrics: None,
+        })
+    }
+
+    fn arg_array(&self, args: &[AflArg], idx: usize) -> Result<Array> {
+        match args.get(idx) {
+            Some(AflArg::Afl(inner)) => Ok(self.eval_afl(inner)?.array),
+            Some(other) => Err(Error::Unsupported(format!(
+                "argument {idx} must be an array expression, got {other:?}"
+            ))),
+            None => Err(Error::Language(format!("missing argument {idx}"))),
+        }
+    }
+
+    fn arg_expr(&self, args: &[AflArg], idx: usize) -> Result<Expr> {
+        match args.get(idx) {
+            Some(AflArg::Expr(e)) => Ok(e.clone()),
+            Some(AflArg::Afl(AflExpr::Array(name))) => Ok(Expr::col(name.clone())),
+            Some(AflArg::Int(v)) => Ok(Expr::int(*v)),
+            Some(other) => Err(Error::Unsupported(format!(
+                "argument {idx} must be a scalar expression, got {other:?}"
+            ))),
+            None => Err(Error::Language(format!("missing argument {idx}"))),
+        }
+    }
+
+    fn arg_schema(&self, args: &[AflArg], idx: usize) -> Result<ArraySchema> {
+        match args.get(idx) {
+            Some(AflArg::Schema(s)) => Ok(s.clone()),
+            Some(AflArg::Afl(AflExpr::Array(name))) => {
+                // A named array: reuse its schema (redim(B, A) form).
+                Ok(self
+                    .cluster
+                    .catalog()
+                    .schema(name)
+                    .map_err(Error::Cluster)?
+                    .clone())
+            }
+            Some(other) => Err(Error::Unsupported(format!(
+                "argument {idx} must be a schema literal, got {other:?}"
+            ))),
+            None => Err(Error::Language(format!("missing argument {idx}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_array::Value;
+
+    fn db() -> ArrayDb {
+        let mut db = ArrayDb::new(2, NetworkModel::gigabit());
+        let a = Array::from_cells(
+            ArraySchema::parse("A<v:int>[i=1,20,5]").unwrap(),
+            (1..=20).map(|i| (vec![i], vec![Value::Int(i * 10)])),
+        )
+        .unwrap();
+        let b = Array::from_cells(
+            ArraySchema::parse("B<w:int>[i=1,20,5]").unwrap(),
+            (1..=20).map(|i| (vec![i], vec![Value::Int(i)])),
+        )
+        .unwrap();
+        db.load_default(a).unwrap();
+        db.load_default(b).unwrap();
+        db
+    }
+
+    #[test]
+    fn aql_filter_query() {
+        let db = db();
+        let r = db.query("SELECT * FROM A WHERE v > 150").unwrap();
+        assert_eq!(r.array.cell_count(), 5);
+        assert!(r.join_metrics.is_none());
+    }
+
+    #[test]
+    fn aql_join_query_with_metrics() {
+        let db = db();
+        let r = db.query("SELECT * FROM A, B WHERE A.i = B.i").unwrap();
+        assert_eq!(r.array.cell_count(), 20);
+        let m = r.join_metrics.unwrap();
+        assert_eq!(m.matches, 20);
+    }
+
+    #[test]
+    fn aql_join_with_projection_expression() {
+        let db = db();
+        let r = db
+            .query("SELECT A.v - B.w AS delta FROM A, B WHERE A.i = B.i")
+            .unwrap();
+        assert_eq!(r.array.schema.attrs[0].name, "delta");
+        let cell = r.array.get(&[3]).unwrap().unwrap();
+        assert_eq!(cell[0], Value::Int(27)); // 30 - 3
+    }
+
+    #[test]
+    fn afl_filter_and_nesting() {
+        let db = db();
+        let r = db.afl("filter(A, v > 100)").unwrap();
+        assert_eq!(r.array.cell_count(), 10);
+        let r = db.afl("sort(filter(A, v > 100))").unwrap();
+        assert_eq!(r.array.cell_count(), 10);
+    }
+
+    #[test]
+    fn afl_merge_join() {
+        let db = db();
+        let r = db.afl("merge(A, B)").unwrap();
+        assert_eq!(r.array.cell_count(), 20);
+        assert!(r.join_metrics.is_some());
+    }
+
+    #[test]
+    fn afl_redim_with_schema_literal() {
+        let db = db();
+        let r = db.afl("redim(A, <i:int>[v=10,200,50])").unwrap();
+        assert_eq!(r.array.cell_count(), 20);
+        assert_eq!(r.array.schema.dims[0].name, "v");
+    }
+
+    #[test]
+    fn afl_between_and_aggregate() {
+        let db = db();
+        let r = db.afl("between(A, 3, 7)").unwrap();
+        assert_eq!(r.array.cell_count(), 5);
+        let r = db.afl("aggregate(A, count)").unwrap();
+        assert_eq!(r.array.get(&[0]).unwrap().unwrap()[0], Value::Int(20));
+        let r = db.afl("aggregate(A, max, v)").unwrap();
+        assert_eq!(r.array.get(&[0]).unwrap().unwrap()[0], Value::Int(200));
+        // Composition: aggregate over a window.
+        let r = db.afl("aggregate(between(A, 1, 2), sum, v)").unwrap();
+        assert_eq!(
+            r.array.get(&[0]).unwrap().unwrap()[0],
+            Value::Float(30.0)
+        );
+        assert!(db.afl("between(A, 1)").is_err());
+        assert!(db.afl("aggregate(A, median, v)").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let db = db();
+        assert!(db.query("SELECT FROM").is_err());
+        assert!(db.query("SELECT * FROM Missing").is_err());
+        assert!(db.afl("unknownOp(A)").is_err());
+        assert!(db.afl("filter(A)").is_err());
+    }
+
+    #[test]
+    fn load_and_drop_lifecycle() {
+        let mut db = db();
+        assert!(db.gather("A").is_ok());
+        db.drop_array("A").unwrap();
+        assert!(db.gather("A").is_err());
+        assert!(db.drop_array("A").is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! # skewjoin — skew-aware join optimization for array databases
+//!
+//! A from-scratch Rust reproduction of *Skew-Aware Join Optimization for
+//! Array Databases* (Duggan, Papaemmanouil, Battle, Stonebraker —
+//! SIGMOD 2015): a SciDB-like chunked array engine, a shared-nothing
+//! cluster simulator, and the paper's two-phase **shuffle join**
+//! optimizer — a logical planner that picks the join algorithm and join
+//! units via dynamic programming, and a set of skew-aware physical
+//! planners (Minimum Bandwidth, Tabu search, ILP) that assign join units
+//! to cluster nodes under an analytical cost model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use skewjoin::{ArrayDb, Array, ArraySchema, Value};
+//! use skewjoin::cluster::NetworkModel;
+//!
+//! let mut db = ArrayDb::new(4, NetworkModel::gigabit());
+//! let a = Array::from_cells(
+//!     ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap(),
+//!     (1..=100).map(|i| (vec![i], vec![Value::Int(i)])),
+//! ).unwrap();
+//! let b = Array::from_cells(
+//!     ArraySchema::parse("B<w:int>[i=1,100,10]").unwrap(),
+//!     (1..=100).map(|i| (vec![i], vec![Value::Int(2 * i)])),
+//! ).unwrap();
+//! db.load_default(a).unwrap();
+//! db.load_default(b).unwrap();
+//! let result = db.query("SELECT * FROM A, B WHERE A.i = B.i").unwrap();
+//! assert_eq!(result.array.cell_count(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+
+pub use engine::{ArrayDb, Error, QueryResult, Result};
+
+// Re-export the substrate crates under stable names.
+pub use sj_array as array;
+pub use sj_cluster as cluster;
+pub use sj_core as join;
+pub use sj_ilp as ilp;
+pub use sj_lang as lang;
+pub use sj_workload as workload;
+
+// The most common types at the crate root for ergonomic use.
+pub use sj_array::{Array, ArraySchema, AttributeDef, CellBatch, DataType, DimensionDef, Expr, Value};
+pub use sj_cluster::{Cluster, NetworkModel, Placement};
+pub use sj_core::exec::{ExecConfig, JoinMetrics, JoinQuery};
+pub use sj_core::predicate::JoinPredicate;
+pub use sj_core::{JoinAlgo, PlannerKind};

@@ -1,0 +1,281 @@
+//! End-to-end integration tests: AQL in, verified join results out,
+//! across planners, algorithms, and predicate classes.
+
+use std::collections::HashMap;
+
+use skewjoin::join::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use skewjoin::join::predicate::JoinPredicate;
+use skewjoin::{
+    Array, ArrayDb, ArraySchema, Cluster, JoinAlgo, NetworkModel, Placement, PlannerKind, Value,
+};
+use std::time::Duration;
+
+/// Reference implementation: brute-force equi-join over materialized
+/// cells, returning sorted (left column values, right column values)
+/// match pairs keyed by the predicate columns.
+fn brute_force_matches(
+    left: &Array,
+    right: &Array,
+    pairs: &[(&str, &str)],
+) -> usize {
+    let resolve = |schema: &ArraySchema, name: &str, coord: &[i64], values: &[Value]| -> Value {
+        if let Ok(d) = schema.dim_index(name) {
+            Value::Int(coord[d])
+        } else {
+            let a = schema.attr_index(name).unwrap();
+            values[a].clone()
+        }
+    };
+    let mut table: HashMap<Vec<String>, usize> = HashMap::new();
+    for (coord, values) in left.iter_cells() {
+        let key: Vec<String> = pairs
+            .iter()
+            .map(|(l, _)| canonical(resolve(&left.schema, l, &coord, &values)))
+            .collect();
+        *table.entry(key).or_insert(0) += 1;
+    }
+    let mut matches = 0usize;
+    for (coord, values) in right.iter_cells() {
+        let key: Vec<String> = pairs
+            .iter()
+            .map(|(_, r)| canonical(resolve(&right.schema, r, &coord, &values)))
+            .collect();
+        matches += table.get(&key).copied().unwrap_or(0);
+    }
+    matches
+}
+
+fn canonical(v: Value) -> String {
+    match v {
+        Value::Int(i) => format!("{i}"),
+        Value::Float(f) if f.fract() == 0.0 && f.is_finite() => format!("{}", f as i64),
+        other => format!("{other}"),
+    }
+}
+
+fn load_cluster(k: usize, arrays: Vec<(Array, Placement)>) -> Cluster {
+    let mut cluster = Cluster::new(k, NetworkModel::scaled_to_engine());
+    for (array, placement) in arrays {
+        cluster.load_array(array, &placement).unwrap();
+    }
+    cluster
+}
+
+fn deterministic_array(name: &str, n: i64, chunk: u64, modulo: i64) -> Array {
+    let schema =
+        ArraySchema::parse(&format!("{name}<v:int>[i=1,{n},{chunk}]")).unwrap();
+    Array::from_cells(
+        schema,
+        (1..=n).map(|i| (vec![i], vec![Value::Int((i * 7 + 3) % modulo)])),
+    )
+    .unwrap()
+}
+
+#[test]
+fn aa_join_matches_brute_force_for_every_planner_and_algo() {
+    let a = deterministic_array("A", 300, 50, 40);
+    let b = deterministic_array("B", 200, 25, 40);
+    let expected = brute_force_matches(&a, &b, &[("v", "v")]);
+    assert!(expected > 0, "fixture should produce matches");
+    let cluster = load_cluster(
+        3,
+        vec![
+            (a, Placement::HashSalted(1)),
+            (b, Placement::HashSalted(2)),
+        ],
+    );
+    let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "v")]));
+    for planner in [
+        PlannerKind::Baseline,
+        PlannerKind::MinBandwidth,
+        PlannerKind::Tabu,
+        PlannerKind::Ilp {
+            budget: Duration::from_millis(500),
+        },
+        PlannerKind::IlpCoarse {
+            budget: Duration::from_millis(500),
+            bins: 8,
+        },
+    ] {
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
+            let config = ExecConfig {
+                planner: planner.clone(),
+                forced_algo: Some(algo),
+                hash_buckets: Some(16),
+                ..ExecConfig::default()
+            };
+            let (_, metrics) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+            assert_eq!(
+                metrics.matches, expected,
+                "planner {} × algo {:?} diverged from brute force",
+                metrics.planner, algo
+            );
+        }
+    }
+}
+
+#[test]
+fn dd_join_matches_brute_force_under_different_tilings() {
+    // Same dimension space, different chunk intervals: J must reconcile.
+    let a = deterministic_array("A", 240, 40, 1000);
+    let b = deterministic_array("B", 240, 60, 1000);
+    let expected = brute_force_matches(&a, &b, &[("i", "i")]);
+    assert_eq!(expected, 240);
+    let cluster = load_cluster(
+        4,
+        vec![
+            (a, Placement::RoundRobin),
+            (b, Placement::Block),
+        ],
+    );
+    let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i")]));
+    let (out, metrics) =
+        execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    assert_eq!(metrics.matches, expected);
+    assert_eq!(out.cell_count(), expected);
+}
+
+#[test]
+fn ad_join_matches_brute_force() {
+    let a = deterministic_array("A", 100, 20, 1_000_000); // v = 7i+3
+    let b = deterministic_array("B", 80, 16, 90); // v in 0..90
+    // A.i (dim) = B.v (attr)
+    let expected = brute_force_matches(&a, &b, &[("i", "v")]);
+    assert!(expected > 0);
+    let cluster = load_cluster(
+        2,
+        vec![
+            (a, Placement::RoundRobin),
+            (b, Placement::RoundRobin),
+        ],
+    );
+    let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "v")]));
+    let (_, metrics) =
+        execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    assert_eq!(metrics.matches, expected);
+}
+
+#[test]
+fn multi_pair_predicate_joins() {
+    // 2-D D:D on both dimensions.
+    let schema_a = ArraySchema::parse("A<x:int>[i=1,32,8, j=1,32,8]").unwrap();
+    let schema_b = ArraySchema::parse("B<y:int>[i=1,32,8, j=1,32,8]").unwrap();
+    let a = Array::from_cells(
+        schema_a,
+        (1..=32i64).flat_map(|i| (1..=32i64).map(move |j| (vec![i, j], vec![Value::Int(i)]))),
+    )
+    .unwrap();
+    let b = Array::from_cells(
+        schema_b,
+        (1..=32i64)
+            .flat_map(|i| (1..=32i64).filter(move |j| (i + j) % 2 == 0).map(move |j| (vec![i, j], vec![Value::Int(j)]))),
+    )
+    .unwrap();
+    let expected = brute_force_matches(&a, &b, &[("i", "i"), ("j", "j")]);
+    assert_eq!(expected, 512);
+    let cluster = load_cluster(
+        4,
+        vec![
+            (a, Placement::HashSalted(3)),
+            (b, Placement::HashSalted(4)),
+        ],
+    );
+    let query = JoinQuery::new(
+        "A",
+        "B",
+        JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+    );
+    let (_, metrics) =
+        execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    assert_eq!(metrics.matches, expected);
+}
+
+#[test]
+fn aql_to_execution_full_stack() {
+    let mut db = ArrayDb::new(3, NetworkModel::scaled_to_engine());
+    db.load_default(deterministic_array("A", 120, 30, 25)).unwrap();
+    db.load_default(deterministic_array("B", 90, 30, 25)).unwrap();
+    // Join + projection through the whole stack.
+    let r = db
+        .query("SELECT A.v + B.v AS vv FROM A, B WHERE A.v = B.v")
+        .unwrap();
+    assert!(r.join_metrics.is_some());
+    assert_eq!(r.array.schema.attrs[0].name, "vv");
+    // Every output value is even (v + v).
+    for (_, values) in r.array.iter_cells() {
+        let vv = values[0].as_int().unwrap();
+        assert_eq!(vv % 2, 0);
+    }
+}
+
+#[test]
+fn join_on_empty_and_disjoint_inputs() {
+    let a = deterministic_array("A", 50, 10, 7);
+    // B's values 100.. never match A's 0..7.
+    let schema_b = ArraySchema::parse("B<v:int>[i=1,50,10]").unwrap();
+    let b = Array::from_cells(
+        schema_b,
+        (1..=50).map(|i| (vec![i], vec![Value::Int(100 + i)])),
+    )
+    .unwrap();
+    let cluster = load_cluster(
+        2,
+        vec![(a, Placement::RoundRobin), (b, Placement::RoundRobin)],
+    );
+    let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "v")]));
+    let (out, metrics) =
+        execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    assert_eq!(metrics.matches, 0);
+    assert_eq!(out.cell_count(), 0);
+}
+
+#[test]
+fn scale_out_preserves_results() {
+    let a = deterministic_array("A", 256, 32, 64);
+    let b = deterministic_array("B", 256, 32, 64);
+    let expected = brute_force_matches(&a, &b, &[("v", "v")]);
+    let mut match_counts = Vec::new();
+    for k in [1usize, 2, 4, 8] {
+        let cluster = load_cluster(
+            k,
+            vec![
+                (a.clone(), Placement::HashSalted(1)),
+                (b.clone(), Placement::HashSalted(2)),
+            ],
+        );
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "v")]));
+        let (_, metrics) =
+            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        match_counts.push(metrics.matches);
+    }
+    assert!(match_counts.iter().all(|&m| m == expected));
+}
+
+#[test]
+fn metrics_are_internally_consistent() {
+    let a = deterministic_array("A", 200, 25, 50);
+    let b = deterministic_array("B", 200, 25, 50);
+    let cluster = load_cluster(
+        4,
+        vec![
+            (a, Placement::HashSalted(1)),
+            (b, Placement::HashSalted(2)),
+        ],
+    );
+    let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i")]));
+    let (_, m) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    assert!(m.total_seconds() >= m.alignment_seconds);
+    assert!(m.comparison_seconds >= 0.0);
+    assert_eq!(m.per_node_comparison.len(), 4);
+    let max_node = m
+        .per_node_comparison
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    assert!(m.comparison_seconds >= max_node);
+    if m.cells_moved == 0 {
+        assert_eq!(m.network_bytes, 0);
+    } else {
+        assert!(m.network_bytes > 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Scaled-down assertions of the paper's headline experimental claims.
+//!
+//! Each test mirrors one claim from §6 of *Skew-Aware Join Optimization
+//! for Array Databases* at laptop scale. Absolute numbers differ from the
+//! paper's testbed; the *direction* of every claim must hold.
+
+use skewjoin::join::exec::{
+    calibrate_cost_params, execute_shuffle_join, ExecConfig, JoinQuery,
+};
+use skewjoin::join::logical::{plan_join, LogicalStats};
+use skewjoin::join::join_schema::infer_join_schema;
+use skewjoin::join::predicate::JoinPredicate;
+use skewjoin::workload::{
+    ais_broadcasts, modis_band, selectivity_pair, skewed_pair, AisConfig, GeoConfig,
+    SkewedArrayConfig,
+};
+use skewjoin::{Cluster, JoinAlgo, NetworkModel, Placement, PlannerKind};
+
+fn params() -> skewjoin::join::physical::CostParams {
+    calibrate_cost_params(&NetworkModel::scaled_to_engine(), 32)
+}
+
+/// §6.1: "the plan with the minimum cost also had the shortest duration"
+/// — across selectivities, the logical planner's choice is never the
+/// slowest algorithm, and nested loop is never chosen.
+#[test]
+fn logical_planner_never_picks_nested_loop() {
+    for sel in [0.01, 0.1, 1.0, 10.0] {
+        let (a, b) = selectivity_pair(5_000, 500, sel, 99);
+        let out = skewjoin::workload::selectivity_output_schema(5_000, 500, sel);
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        let stats = skewjoin::join::join_schema::stats_for_predicate(&a, &b, &p).unwrap();
+        let js = infer_join_schema(&a.schema, &b.schema, &p, Some(out), &stats).unwrap();
+        let lstats = LogicalStats::for_arrays(&a, &b, sel, 1);
+        let plan = plan_join(&js, &a.schema, &b.schema, &lstats).unwrap();
+        assert_ne!(plan.algo, JoinAlgo::NestedLoop, "sel {sel} picked nested loop");
+    }
+}
+
+/// §6.1 / Figure 6: hash wins at low selectivity, merge at high.
+#[test]
+fn selectivity_crossover_between_hash_and_merge() {
+    let pick = |sel: f64| {
+        let (a, b) = selectivity_pair(5_000, 500, sel, 7);
+        let out = skewjoin::workload::selectivity_output_schema(5_000, 500, sel);
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        let stats = skewjoin::join::join_schema::stats_for_predicate(&a, &b, &p).unwrap();
+        let js = infer_join_schema(&a.schema, &b.schema, &p, Some(out), &stats).unwrap();
+        let lstats = LogicalStats::for_arrays(&a, &b, sel, 1);
+        plan_join(&js, &a.schema, &b.schema, &lstats).unwrap().algo
+    };
+    assert_eq!(pick(0.01), JoinAlgo::Hash);
+    assert_eq!(pick(100.0), JoinAlgo::Merge);
+}
+
+/// §6.3.1 / Figure 9 (beneficial skew): the skew-aware planners beat the
+/// baseline end-to-end and move far less data.
+#[test]
+fn beneficial_skew_speedup_over_baseline() {
+    let geo = GeoConfig {
+        time_extent: 1024,
+        time_chunk: 1024,
+        lon_chunks: 16,
+        lat_chunks: 8,
+        deg_per_chunk: 16,
+        cells: 60_000,
+        seed: 2015,
+    };
+    let band = modis_band(&geo, "Band1", 1);
+    let ais = ais_broadcasts(
+        &AisConfig {
+            port_zipf_alpha: 0.7,
+            ..AisConfig::new(GeoConfig {
+                cells: 40_000,
+                ..geo
+            })
+        },
+        "Broadcast",
+    );
+    let mut cluster = Cluster::new(4, NetworkModel::scaled_to_engine());
+    cluster.load_array(band, &Placement::HashSalted(1)).unwrap();
+    cluster.load_array(ais, &Placement::HashSalted(2)).unwrap();
+    let query = JoinQuery::new(
+        "Band1",
+        "Broadcast",
+        JoinPredicate::new(vec![("lon", "lon"), ("lat", "lat")]),
+    );
+    let shared_params = params();
+    let run = move |planner: PlannerKind| {
+        let config = ExecConfig {
+            planner,
+            forced_algo: Some(JoinAlgo::Merge),
+            cost_params: shared_params,
+            ..ExecConfig::default()
+        };
+        execute_shuffle_join(&cluster, &query, &config).unwrap().1
+    };
+    let base = run(PlannerKind::Baseline);
+    let tabu = run(PlannerKind::Tabu);
+    assert!(
+        tabu.cells_moved * 2 < base.cells_moved,
+        "tabu moved {} vs baseline {}",
+        tabu.cells_moved,
+        base.cells_moved
+    );
+    assert!(
+        tabu.alignment_seconds < base.alignment_seconds,
+        "alignment: tabu {} vs baseline {}",
+        tabu.alignment_seconds,
+        base.alignment_seconds
+    );
+}
+
+/// §6.3.2 / Figure 9 (adversarial skew): with aligned band sizes all
+/// planners produce comparable plans — skew-awareness costs nothing.
+#[test]
+fn adversarial_skew_planners_comparable() {
+    let geo = GeoConfig {
+        time_extent: 512,
+        time_chunk: 512,
+        lon_chunks: 12,
+        lat_chunks: 6,
+        deg_per_chunk: 16,
+        cells: 50_000,
+        seed: 5,
+    };
+    let b1 = modis_band(&geo, "Band1", 1);
+    let b2 = modis_band(&geo, "Band2", 2);
+    let mut cluster = Cluster::new(4, NetworkModel::scaled_to_engine());
+    cluster.load_array(b1, &Placement::HashSalted(1)).unwrap();
+    cluster.load_array(b2, &Placement::HashSalted(2)).unwrap();
+    let query = JoinQuery::new(
+        "Band1",
+        "Band2",
+        JoinPredicate::new(vec![
+            ("time", "time"),
+            ("lon", "lon"),
+            ("lat", "lat"),
+        ]),
+    );
+    let shared_params = params();
+    let mut est_costs = Vec::new();
+    for planner in [PlannerKind::Baseline, PlannerKind::MinBandwidth, PlannerKind::Tabu] {
+        let config = ExecConfig {
+            planner,
+            forced_algo: Some(JoinAlgo::Merge),
+            cost_params: shared_params,
+            ..ExecConfig::default()
+        };
+        let (_, m) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+        est_costs.push(m.est_physical_cost);
+    }
+    let max = est_costs.iter().copied().fold(0.0f64, f64::max);
+    let min = est_costs.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        max / min.max(1e-12) < 2.0,
+        "adversarial estimated costs diverge: {est_costs:?}"
+    );
+}
+
+/// §6.2: under uniform data (α = 0) every planner produces plans of
+/// similar analytical quality.
+#[test]
+fn uniform_data_planners_agree() {
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 8,
+        chunk_interval: 64,
+        cells: 40_000,
+        spatial_alpha: 0.0,
+        value_alpha: 0.0,
+        value_domain: 20_000,
+        seed: 3,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let mut cluster = Cluster::new(4, NetworkModel::scaled_to_engine());
+    cluster.load_array(a, &Placement::HashSalted(1)).unwrap();
+    cluster.load_array(b, &Placement::HashSalted(2)).unwrap();
+    let query = JoinQuery::new(
+        "A",
+        "B",
+        JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+    );
+    let shared_params = params();
+    let mut costs = Vec::new();
+    for planner in [PlannerKind::Baseline, PlannerKind::MinBandwidth, PlannerKind::Tabu] {
+        let config = ExecConfig {
+            planner,
+            forced_algo: Some(JoinAlgo::Merge),
+            cost_params: shared_params,
+            ..ExecConfig::default()
+        };
+        let (_, m) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+        costs.push(m.est_physical_cost);
+    }
+    let max = costs.iter().copied().fold(0.0f64, f64::max);
+    let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(max / min.max(1e-12) < 1.8, "uniform costs diverge: {costs:?}");
+}
+
+/// §5.2: the ILP with a generous budget never produces a plan with a
+/// worse analytical cost than the greedy heuristics (it is seeded with
+/// MBH and only improves).
+#[test]
+fn ilp_never_worse_than_heuristics() {
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 4, // 16 join units: small enough for the ILP to close
+        chunk_interval: 64,
+        cells: 20_000,
+        spatial_alpha: 1.5,
+        value_alpha: 0.0,
+        value_domain: 10_000,
+        seed: 11,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let mut cluster = Cluster::new(3, NetworkModel::scaled_to_engine());
+    cluster.load_array(a, &Placement::HashSalted(1)).unwrap();
+    cluster.load_array(b, &Placement::HashSalted(2)).unwrap();
+    let query = JoinQuery::new(
+        "A",
+        "B",
+        JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+    );
+    // Calibrate once: per-run calibration would cost each planner's plan
+    // under different (timing-noisy) parameters, making them incomparable.
+    let shared_params = params();
+    let run = move |planner: PlannerKind| {
+        let config = ExecConfig {
+            planner,
+            forced_algo: Some(JoinAlgo::Merge),
+            cost_params: shared_params,
+            ..ExecConfig::default()
+        };
+        execute_shuffle_join(&cluster, &query, &config).unwrap().1
+    };
+    let mbh = run(PlannerKind::MinBandwidth).est_physical_cost;
+    let tabu = run(PlannerKind::Tabu).est_physical_cost;
+    let ilp_run = run(PlannerKind::Ilp {
+        budget: std::time::Duration::from_secs(10),
+    });
+    let ilp = ilp_run.est_physical_cost;
+    // The ILP is seeded with the MBH plan, so it can never be
+    // meaningfully worse (tolerance matches the solver's relative gap).
+    let tol = |x: f64| 1e-5 * x.abs().max(1.0);
+    assert!(ilp <= mbh + tol(mbh), "ILP ({ilp}) worse than MBH ({mbh})");
+    // Beating Tabu is only guaranteed when the solver proves optimality
+    // within its budget (in debug builds the LP may time out and return
+    // the warm start — the paper observes the same budget sensitivity).
+    if ilp_run.solver_status == Some(sj_ilp_status_optimal()) {
+        assert!(
+            ilp <= tabu + tol(tabu),
+            "optimal ILP ({ilp}) worse than Tabu ({tabu})"
+        );
+    }
+}
+
+fn sj_ilp_status_optimal() -> skewjoin::ilp::SolveStatus {
+    skewjoin::ilp::SolveStatus::Optimal
+}

@@ -1,0 +1,240 @@
+//! Property-based tests over the core invariants, via proptest.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use skewjoin::join::algorithms::{run_join, Emitter, JoinAlgo};
+use skewjoin::join::join_schema::{infer_join_schema, ColumnStats};
+use skewjoin::join::physical::{plan_cost, plan_physical, CostParams, PlannerKind, SliceStats};
+use skewjoin::join::predicate::{JoinPredicate, JoinSide};
+use skewjoin::array::ops::{redim, RedimPolicy};
+use skewjoin::array::Histogram;
+use skewjoin::cluster::{simulate_shuffle, NetworkModel, Transfer};
+use skewjoin::{Array, ArraySchema, CellBatch, DataType, Value};
+
+// ---------------------------------------------------------------------
+// Array engine invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Sorting a batch into C-order is a permutation: same multiset of
+    /// cells, ordered afterwards, idempotent.
+    #[test]
+    fn sort_c_order_is_permutation(cells in proptest::collection::vec((0i64..20, 0i64..20, any::<i32>()), 0..200)) {
+        let mut batch = CellBatch::new(2, &[DataType::Int64]);
+        for (i, j, v) in &cells {
+            batch.push(&[*i, *j], &[Value::Int(*v as i64)]).unwrap();
+        }
+        let mut sorted = batch.clone();
+        sorted.sort_c_order();
+        prop_assert!(sorted.is_sorted_c_order());
+        prop_assert_eq!(sorted.len(), batch.len());
+        let mut a: Vec<_> = batch.iter_cells().collect();
+        let mut b: Vec<_> = sorted.iter_cells().collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        let snapshot = sorted.clone();
+        sorted.sort_c_order();
+        prop_assert_eq!(sorted, snapshot);
+    }
+
+    /// from_batch and per-cell insertion build identical arrays.
+    #[test]
+    fn bulk_load_equals_incremental(cells in proptest::collection::vec((1i64..=64, any::<i16>()), 1..150)) {
+        let schema = ArraySchema::parse("P<v:int>[i=1,64,16]").unwrap();
+        let mut batch = CellBatch::new(1, &[DataType::Int64]);
+        let mut incremental = Array::new(schema.clone());
+        for (i, v) in &cells {
+            batch.push(&[*i], &[Value::Int(*v as i64)]).unwrap();
+            incremental.insert(&[*i], &[Value::Int(*v as i64)]).unwrap();
+        }
+        let mut bulk = Array::from_batch(schema, &batch).unwrap();
+        bulk.sort_chunks();
+        incremental.sort_chunks();
+        let mut x: Vec<_> = bulk.iter_cells().collect();
+        let mut y: Vec<_> = incremental.iter_cells().collect();
+        x.sort();
+        y.sort();
+        prop_assert_eq!(x, y);
+        prop_assert_eq!(bulk.chunk_count(), incremental.chunk_count());
+    }
+
+    /// redim to a schema with the same columns preserves every cell.
+    #[test]
+    fn redim_preserves_cells(cells in proptest::collection::vec((1i64..=32, 1i64..=32), 1..100)) {
+        let mut dedup = cells.clone();
+        dedup.sort();
+        dedup.dedup();
+        let schema = ArraySchema::parse("R<v:int>[i=1,32,8]").unwrap();
+        let array = Array::from_cells(
+            schema,
+            dedup.iter().map(|(i, v)| (vec![*i], vec![Value::Int(*v)])),
+        ).unwrap();
+        // Swap roles: v becomes the dimension, i the attribute.
+        let target = ArraySchema::parse("R2<i:int>[v=1,32,4]").unwrap();
+        let out = redim(&array, &target, RedimPolicy::Strict).unwrap();
+        prop_assert_eq!(out.cell_count(), array.cell_count());
+        prop_assert!(out.all_sorted());
+        // Round-trip back.
+        let back = redim(&out, &array.schema, RedimPolicy::Strict).unwrap();
+        let mut x: Vec<_> = back.iter_cells().collect();
+        let mut y: Vec<_> = array.iter_cells().collect();
+        x.sort();
+        y.sort();
+        prop_assert_eq!(x, y);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Join algorithm equivalence
+// ---------------------------------------------------------------------
+
+fn join_fixture() -> skewjoin::join::JoinSchema {
+    let a = ArraySchema::parse("A<v:int>[i=1,1000,100]").unwrap();
+    let b = ArraySchema::parse("B<w:int>[j=1,1000,100]").unwrap();
+    let p = JoinPredicate::new(vec![("v", "w")]);
+    let mut stats = ColumnStats::new();
+    for (side, col) in [(JoinSide::Left, "v"), (JoinSide::Right, "w")] {
+        stats.insert(
+            side,
+            col,
+            Histogram::build((0..50).map(Value::Int), 8).unwrap(),
+        );
+    }
+    infer_join_schema(&a, &b, &p, None, &stats).unwrap()
+}
+
+proptest! {
+    /// Hash, merge, and nested-loop joins agree with each other and with
+    /// a brute-force count on arbitrary inputs.
+    #[test]
+    fn all_join_algorithms_agree(
+        left in proptest::collection::vec((1i64..=1000, 0i64..30), 0..120),
+        right in proptest::collection::vec((1i64..=1000, 0i64..30), 0..120),
+    ) {
+        let js = join_fixture();
+        let build = |rows: &[(i64, i64)]| {
+            let mut b = CellBatch::new(0, &[DataType::Int64, DataType::Int64]);
+            for (i, v) in rows {
+                b.push(&[], &[Value::Int(*i), Value::Int(*v)]).unwrap();
+            }
+            b
+        };
+        // Brute-force expected match count.
+        let mut freq: HashMap<i64, usize> = HashMap::new();
+        for (_, v) in &left {
+            *freq.entry(*v).or_insert(0) += 1;
+        }
+        let expected: usize = right.iter().map(|(_, w)| freq.get(w).copied().unwrap_or(0)).sum();
+
+        let mut results = Vec::new();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
+            let mut l = build(&left);
+            let mut r = build(&right);
+            let mut em = Emitter::new(&js);
+            let n = run_join(algo, &mut l, &[1], &mut r, &[1], &mut em).unwrap();
+            prop_assert_eq!(n, em.len());
+            let mut cells: Vec<_> = em.out.iter_cells().collect();
+            cells.sort();
+            results.push((n, cells));
+        }
+        prop_assert_eq!(results[0].0, expected);
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shuffle simulation invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The DES makespan is sandwiched between the per-link lower bound
+    /// (busiest sender/receiver) and the fully-serial upper bound.
+    #[test]
+    fn shuffle_makespan_bounds(
+        transfers in proptest::collection::vec((0usize..4, 0usize..4, 1u64..10_000), 0..60),
+    ) {
+        let net = NetworkModel { bandwidth_bytes_per_sec: 1000.0, latency_sec: 0.0 };
+        let ts: Vec<Transfer> = transfers
+            .iter()
+            .map(|&(src, dst, bytes)| Transfer { src, dst, bytes })
+            .collect();
+        let report = simulate_shuffle(4, &net, &ts).unwrap();
+        let lower = report
+            .sent_bytes
+            .iter()
+            .chain(&report.recv_bytes)
+            .map(|&b| b as f64 / 1000.0)
+            .fold(0.0f64, f64::max);
+        let serial: f64 = report.network_bytes as f64 / 1000.0;
+        prop_assert!(report.makespan >= lower - 1e-9, "makespan {} < lower bound {}", report.makespan, lower);
+        prop_assert!(report.makespan <= serial + 1e-9, "makespan {} > serial bound {}", report.makespan, serial);
+        let sent: u64 = report.sent_bytes.iter().sum();
+        let recv: u64 = report.recv_bytes.iter().sum();
+        prop_assert_eq!(sent, report.network_bytes);
+        prop_assert_eq!(recv, report.network_bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Physical planner invariants
+// ---------------------------------------------------------------------
+
+fn stats_strategy() -> impl Strategy<Value = SliceStats> {
+    (2usize..=12, 2usize..=4).prop_flat_map(|(units, nodes)| {
+        proptest::collection::vec(0u64..500, units * nodes * 2).prop_map(move |vals| {
+            let mut s = SliceStats::new(units, nodes);
+            let mut it = vals.into_iter();
+            for i in 0..units {
+                for j in 0..nodes {
+                    s.left[i][j] = it.next().unwrap();
+                    s.right[i][j] = it.next().unwrap();
+                }
+            }
+            s
+        })
+    })
+}
+
+proptest! {
+    /// Every planner returns a complete, in-range assignment, and Tabu
+    /// never costs more than the MinBandwidth plan it starts from.
+    #[test]
+    fn planners_produce_valid_assignments(stats in stats_strategy()) {
+        let params = CostParams { m: 1.0, b: 2.0, p: 1.0, t: 1.5 };
+        let mut costs = HashMap::new();
+        for kind in [PlannerKind::Baseline, PlannerKind::MinBandwidth, PlannerKind::Tabu] {
+            let plan = plan_physical(&kind, &stats, &params, JoinAlgo::Hash, JoinSide::Left).unwrap();
+            prop_assert_eq!(plan.assignment.len(), stats.n_units());
+            prop_assert!(plan.assignment.iter().all(|&j| j < stats.nodes()));
+            // The reported cost matches an independent recomputation.
+            let recomputed = plan_cost(&stats, &params, JoinAlgo::Hash, &plan.assignment).unwrap();
+            prop_assert!((plan.est_cost - recomputed).abs() < 1e-9);
+            costs.insert(plan.planner, plan.est_cost);
+        }
+        prop_assert!(costs["Tabu"] <= costs["MBH"] + 1e-9,
+            "tabu ({}) regressed below its MBH seed ({})", costs["Tabu"], costs["MBH"]);
+    }
+
+    /// MBH provably minimizes transmitted cells over all assignments
+    /// (checked exhaustively on small instances).
+    #[test]
+    fn mbh_minimizes_transfer(stats in stats_strategy().prop_filter("small", |s| s.n_units() <= 6 && s.nodes() <= 3)) {
+        let params = CostParams { m: 1.0, b: 2.0, p: 1.0, t: 1.5 };
+        let plan = plan_physical(&PlannerKind::MinBandwidth, &stats, &params, JoinAlgo::Merge, JoinSide::Left).unwrap();
+        let moved = |asg: &[usize]| -> u64 {
+            (0..stats.n_units()).map(|i| stats.unit_total(i) - stats.s(i, asg[i])).sum()
+        };
+        let mbh_moved = moved(&plan.assignment);
+        let k = stats.nodes();
+        let n = stats.n_units();
+        let total = k.pow(n as u32);
+        for code in 0..total {
+            let mut c = code;
+            let asg: Vec<usize> = (0..n).map(|_| { let j = c % k; c /= k; j }).collect();
+            prop_assert!(moved(&asg) >= mbh_moved);
+        }
+    }
+}
