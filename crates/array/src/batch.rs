@@ -109,6 +109,70 @@ impl Column {
         }
     }
 
+    /// Remove all values, keeping the allocated capacity (buffer reuse on
+    /// hot per-chunk paths).
+    pub fn clear(&mut self) {
+        match self {
+            Column::Int(v) => v.clear(),
+            Column::Float(v) => v.clear(),
+            Column::Bool(v) => v.clear(),
+            Column::Str(v) => v.clear(),
+        }
+    }
+
+    /// Append the value at `src[i]` directly, without materializing a
+    /// `Value`. Coerces ints into float columns like [`Column::push`].
+    pub fn push_from(&mut self, src: &Column, i: usize) -> Result<()> {
+        match (self, src) {
+            (Column::Int(a), Column::Int(b)) => a.push(b[i]),
+            (Column::Float(a), Column::Float(b)) => a.push(b[i]),
+            (Column::Float(a), Column::Int(b)) => a.push(b[i] as f64),
+            (Column::Bool(a), Column::Bool(b)) => a.push(b[i]),
+            (Column::Str(a), Column::Str(b)) => a.push(b[i].clone()),
+            (a, b) => {
+                return Err(ArrayError::TypeMismatch {
+                    expected: a.dtype().name().into(),
+                    actual: b.dtype().name().into(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a copy of every value of `other` (bulk [`Column::push_from`]).
+    pub fn extend_from(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::Float(a), Column::Float(b)) => a.extend_from_slice(b),
+            (Column::Float(a), Column::Int(b)) => a.extend(b.iter().map(|&x| x as f64)),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend(b.iter().cloned()),
+            (a, b) => {
+                return Err(ArrayError::TypeMismatch {
+                    expected: a.dtype().name().into(),
+                    actual: b.dtype().name().into(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Append raw integer values (coordinate flattening); coerces into
+    /// float columns.
+    pub fn extend_ints(&mut self, xs: &[i64]) -> Result<()> {
+        match self {
+            Column::Int(v) => v.extend_from_slice(xs),
+            Column::Float(v) => v.extend(xs.iter().map(|&x| x as f64)),
+            other => {
+                return Err(ArrayError::TypeMismatch {
+                    expected: other.dtype().name().into(),
+                    actual: DataType::Int64.name().into(),
+                })
+            }
+        }
+        Ok(())
+    }
+
     /// Move all values of `other` onto the end of `self`.
     pub fn append(&mut self, other: &mut Column) -> Result<()> {
         match (self, other) {
@@ -223,6 +287,37 @@ impl CellBatch {
         }
         for (col, v) in self.attrs.iter_mut().zip(values) {
             col.push(v.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Remove all cells, keeping every column's allocated capacity.
+    pub fn clear(&mut self) {
+        for col in &mut self.coords {
+            col.clear();
+        }
+        for col in &mut self.attrs {
+            col.clear();
+        }
+    }
+
+    /// Append row `i` of `src` (same column layout) without materializing
+    /// per-value `Value`s — the hot path for slice/bucket distribution.
+    pub fn push_row_from(&mut self, src: &CellBatch, i: usize) -> Result<()> {
+        if src.ndims() != self.ndims() || src.nattrs() != self.nattrs() {
+            return Err(ArrayError::SchemaMismatch(format!(
+                "cannot copy a row of a {} dim / {} attr batch into one with {} dims / {} attrs",
+                src.ndims(),
+                src.nattrs(),
+                self.ndims(),
+                self.nattrs()
+            )));
+        }
+        for (col, s) in self.coords.iter_mut().zip(&src.coords) {
+            col.push(s[i]);
+        }
+        for (col, s) in self.attrs.iter_mut().zip(&src.attrs) {
+            col.push_from(s, i)?;
         }
         Ok(())
     }

@@ -109,7 +109,6 @@ pub fn hash_partition(
         (0..nbuckets).map(|_| CellBatch::new(0, &column_types)).collect();
 
     let mut key_buf: Vec<Value> = Vec::with_capacity(keys.len());
-    let mut val_buf: Vec<Value> = Vec::with_capacity(column_types.len());
     for (_, chunk) in array.chunks() {
         let cells = &chunk.cells;
         for row in 0..cells.len() {
@@ -121,14 +120,14 @@ pub fn hash_partition(
                 });
             }
             let b = (hash_key(&key_buf) % nbuckets as u64) as usize;
-            val_buf.clear();
+            // Column-to-column row copy: no per-row Value vector.
+            let bucket = &mut buckets[b];
             for d in 0..ndims {
-                val_buf.push(Value::Int(cells.coords[d][row]));
+                bucket.attrs[d].push(Value::Int(cells.coords[d][row]))?;
             }
             for a in 0..cells.nattrs() {
-                val_buf.push(cells.attrs[a].get(row));
+                bucket.attrs[ndims + a].push_from(&cells.attrs[a], row)?;
             }
-            buckets[b].push(&[], &val_buf)?;
         }
     }
 

@@ -48,6 +48,7 @@ fn main() {
                 cost_params: params,
                 hash_buckets: Some(64),
                 forced_algo: Some(algo),
+                ..ExecConfig::default()
             };
             // Paper §6: "executed 3 times. We report the average".
             let mut wall_ms = 0.0;

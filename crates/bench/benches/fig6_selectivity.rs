@@ -48,6 +48,7 @@ fn main() {
                 cost_params: params,
                 hash_buckets: Some(64),
                 forced_algo: Some(*algo),
+                ..ExecConfig::default()
             };
             // 3-run average, discarding one warm-up run.
             let _ = execute_shuffle_join(&cluster, &query, &config).unwrap();

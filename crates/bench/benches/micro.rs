@@ -1,13 +1,14 @@
-//! Criterion micro-benchmarks for the engine's kernels: the three join
+//! Micro-benchmarks for the engine's kernels: the three join
 //! algorithms, the schema-alignment operators, and the physical planners'
 //! planning latency (the "Query Plan" component of Figures 7–10).
-
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Uses the dependency-free harness in `sj_bench::harness` (criterion is
+//! unavailable offline); benchmark ids are unchanged from the criterion
+//! version (`group/name/param`).
 
 use sj_array::ops::{hash_partition, rechunk, redim, ColumnRef, RedimPolicy};
 use sj_array::{ArraySchema, CellBatch, DataType, Histogram, Value};
+use sj_bench::harness::Runner;
 use sj_core::algorithms::{run_join, Emitter, JoinAlgo};
 use sj_core::join_schema::{infer_join_schema, ColumnStats};
 use sj_core::physical::{plan_physical, CostParams, PlannerKind, SliceStats};
@@ -38,51 +39,35 @@ fn unit_batch(n: i64, dup_every: i64) -> CellBatch {
     b
 }
 
-fn bench_join_kernels(c: &mut Criterion) {
+fn bench_join_kernels(runner: &mut Runner) {
     let js = join_fixture();
-    let mut group = c.benchmark_group("join_kernels");
-    group.measurement_time(Duration::from_secs(3));
-    group.warm_up_time(Duration::from_millis(500));
+    let mut group = runner.group("join_kernels");
     for &n in &[1_000i64, 10_000] {
         for algo in [JoinAlgo::Hash, JoinAlgo::Merge] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &n,
-                |bench, &n| {
-                    let left = unit_batch(n, 2);
-                    let right = unit_batch(n, 2);
-                    bench.iter(|| {
-                        let mut l = left.clone();
-                        let mut r = right.clone();
-                        let mut em = Emitter::new(&js);
-                        run_join(algo, &mut l, &[1], &mut r, &[1], &mut em).unwrap()
-                    });
-                },
-            );
+            let left = unit_batch(n, 2);
+            let right = unit_batch(n, 2);
+            group.bench(&format!("{}/{n}", algo.name()), || {
+                let mut l = left.clone();
+                let mut r = right.clone();
+                let mut em = Emitter::new(&js);
+                run_join(algo, &mut l, &[1], &mut r, &[1], &mut em).unwrap()
+            });
         }
         // Nested loop only at the small size (quadratic).
         if n <= 1_000 {
-            group.bench_with_input(
-                BenchmarkId::new("nestedLoopJoin", n),
-                &n,
-                |bench, &n| {
-                    let left = unit_batch(n, 2);
-                    let right = unit_batch(n, 2);
-                    bench.iter(|| {
-                        let mut l = left.clone();
-                        let mut r = right.clone();
-                        let mut em = Emitter::new(&js);
-                        run_join(JoinAlgo::NestedLoop, &mut l, &[1], &mut r, &[1], &mut em)
-                            .unwrap()
-                    });
-                },
-            );
+            let left = unit_batch(n, 2);
+            let right = unit_batch(n, 2);
+            group.bench(&format!("nestedLoopJoin/{n}"), || {
+                let mut l = left.clone();
+                let mut r = right.clone();
+                let mut em = Emitter::new(&js);
+                run_join(JoinAlgo::NestedLoop, &mut l, &[1], &mut r, &[1], &mut em).unwrap()
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_alignment_operators(c: &mut Criterion) {
+fn bench_alignment_operators(runner: &mut Runner) {
     let cfg = SkewedArrayConfig {
         name: "A".into(),
         grid: 8,
@@ -94,23 +79,17 @@ fn bench_alignment_operators(c: &mut Criterion) {
         seed: 1,
     };
     let array = skewed_array(&cfg);
-    let target = ArraySchema::parse(
-        "T<i:int, j:int, v2:int>[v1=0,49999,3200]",
-    )
-    .unwrap();
-    let mut group = c.benchmark_group("alignment_operators");
-    group.measurement_time(Duration::from_secs(3));
-    group.warm_up_time(Duration::from_millis(500));
-    group.bench_function("redim_50k", |b| {
-        b.iter(|| redim(&array, &target, RedimPolicy::Strict).unwrap())
+    let target = ArraySchema::parse("T<i:int, j:int, v2:int>[v1=0,49999,3200]").unwrap();
+    let mut group = runner.group("alignment_operators");
+    group.bench("redim_50k", || {
+        redim(&array, &target, RedimPolicy::Strict).unwrap()
     });
-    group.bench_function("rechunk_50k", |b| {
-        b.iter(|| rechunk(&array, &target, RedimPolicy::Strict).unwrap())
+    group.bench("rechunk_50k", || {
+        rechunk(&array, &target, RedimPolicy::Strict).unwrap()
     });
-    group.bench_function("hash_partition_50k", |b| {
-        b.iter(|| hash_partition(&array, &[ColumnRef::Attr(0)], 256).unwrap())
+    group.bench("hash_partition_50k", || {
+        hash_partition(&array, &[ColumnRef::Attr(0)], 256).unwrap()
     });
-    group.finish();
 }
 
 fn zipf_slice_stats(units: usize, nodes: usize, alpha: f64) -> SliceStats {
@@ -128,45 +107,37 @@ fn zipf_slice_stats(units: usize, nodes: usize, alpha: f64) -> SliceStats {
     s
 }
 
-fn bench_planner_latency(c: &mut Criterion) {
+fn bench_planner_latency(runner: &mut Runner) {
     let params = CostParams::default();
-    let mut group = c.benchmark_group("planner_latency");
-    group.measurement_time(Duration::from_secs(3));
-    group.warm_up_time(Duration::from_millis(500));
+    let mut group = runner.group("planner_latency");
     for &units in &[256usize, 1024] {
         let stats = zipf_slice_stats(units, 4, 1.0);
-        group.bench_with_input(BenchmarkId::new("mbh", units), &units, |b, _| {
-            b.iter(|| {
-                plan_physical(
-                    &PlannerKind::MinBandwidth,
-                    &stats,
-                    &params,
-                    JoinAlgo::Hash,
-                    JoinSide::Left,
-                )
-                .unwrap()
-            })
+        group.bench(&format!("mbh/{units}"), || {
+            plan_physical(
+                &PlannerKind::MinBandwidth,
+                &stats,
+                &params,
+                JoinAlgo::Hash,
+                JoinSide::Left,
+            )
+            .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("tabu", units), &units, |b, _| {
-            b.iter(|| {
-                plan_physical(
-                    &PlannerKind::Tabu,
-                    &stats,
-                    &params,
-                    JoinAlgo::Hash,
-                    JoinSide::Left,
-                )
-                .unwrap()
-            })
+        group.bench(&format!("tabu/{units}"), || {
+            plan_physical(
+                &PlannerKind::Tabu,
+                &stats,
+                &params,
+                JoinAlgo::Hash,
+                JoinSide::Left,
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_join_kernels,
-    bench_alignment_operators,
-    bench_planner_latency
-);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::from_args();
+    bench_join_kernels(&mut runner);
+    bench_alignment_operators(&mut runner);
+    bench_planner_latency(&mut runner);
+}

@@ -1,0 +1,262 @@
+//! Dependency-free micro-benchmark harness.
+//!
+//! A minimal replacement for criterion built on `std::time::Instant`:
+//! warm-up, batch-size calibration (so per-sample timer overhead is
+//! negligible even for nanosecond-scale kernels), and robust summary
+//! statistics. Every benchmark prints one human-readable line and one
+//! machine-readable JSON line:
+//!
+//! ```text
+//! bench join_kernels/hashJoin/1000 ... 123456 iters  mean 8.1µs  p50 8.0µs  min 7.9µs
+//! {"bench":"join_kernels/hashJoin/1000","iters":123456,"mean_ns":8123.4,"p50_ns":8011.0,"min_ns":7903.2}
+//! ```
+//!
+//! Run with `cargo bench --bench <name> [-- <substring filter>]`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches don't need a direct `std::hint` import.
+pub use std::hint::black_box;
+
+/// Timing policy for one runner.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Time spent running the closure before measurement starts.
+    pub warmup: Duration,
+    /// Target measurement time per benchmark.
+    pub measure: Duration,
+    /// Upper bound on collected samples (each sample times one batch).
+    pub max_samples: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_secs(2),
+            max_samples: 200,
+        }
+    }
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Full benchmark id (`group/name`).
+    pub id: String,
+    /// Total timed iterations across all samples.
+    pub iters: u64,
+    /// Mean ns/iter over all samples.
+    pub mean_ns: f64,
+    /// Median ns/iter over samples.
+    pub p50_ns: f64,
+    /// Fastest sample's ns/iter.
+    pub min_ns: f64,
+}
+
+impl Stats {
+    /// Mean seconds per iteration.
+    pub fn mean_secs(&self) -> f64 {
+        self.mean_ns * 1e-9
+    }
+}
+
+/// Top-level harness: holds the timing policy and the CLI filter.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    filter: Option<String>,
+    opts: Options,
+}
+
+impl Runner {
+    /// A runner with the given policy and no filter.
+    pub fn new(opts: Options) -> Self {
+        Runner { filter: None, opts }
+    }
+
+    /// A runner configured from the process arguments: the first
+    /// non-flag argument is a substring filter on benchmark ids
+    /// (matching `cargo bench -- <filter>` behavior).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Runner {
+            filter,
+            opts: Options::default(),
+        }
+    }
+
+    /// Override the timing policy.
+    pub fn with_options(mut self, opts: Options) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Start a named benchmark group (ids become `name/<bench>`).
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            runner: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing an id prefix.
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Measure `f`, printing and returning its stats. Returns `None`
+    /// when the id doesn't match the CLI filter. The closure's return
+    /// value is passed through `black_box` so the optimizer cannot
+    /// discard the computation.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, id: &str, mut f: F) -> Option<Stats> {
+        let full_id = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.runner.filter {
+            if !full_id.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let opts = &self.runner.opts;
+
+        // Warm-up, also yielding a first per-call estimate.
+        let warm_start = Instant::now();
+        let mut warm_calls: u64 = 0;
+        while warm_calls == 0 || warm_start.elapsed() < opts.warmup {
+            black_box(f());
+            warm_calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls as f64;
+
+        // Batch enough calls that one sample takes ~1ms, bounding the
+        // relative cost of the two Instant reads around it.
+        let batch = ((1e-3 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let mut iters: u64 = 0;
+        let run_start = Instant::now();
+        while samples_ns.len() < opts.max_samples
+            && (samples_ns.is_empty() || run_start.elapsed() < opts.measure)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            samples_ns.push(dt.as_nanos() as f64 / batch as f64);
+            iters += batch;
+        }
+
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min_ns = samples_ns[0];
+        let p50_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+        let stats = Stats {
+            id: full_id,
+            iters,
+            mean_ns,
+            p50_ns,
+            min_ns,
+        };
+        println!(
+            "bench {:<44} {:>10} iters  mean {:>10}  p50 {:>10}  min {:>10}",
+            stats.id,
+            stats.iters,
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.p50_ns),
+            fmt_ns(stats.min_ns),
+        );
+        println!(
+            "{{\"bench\":{},\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"min_ns\":{:.1}}}",
+            json_str(&stats.id),
+            stats.iters,
+            stats.mean_ns,
+            stats.p50_ns,
+            stats.min_ns,
+        );
+        Some(stats)
+    }
+}
+
+/// Format nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+/// Minimal JSON string encoding (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        let mut runner = Runner::new(Options {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            max_samples: 16,
+        });
+        let mut group = runner.group("g");
+        let stats = group
+            .bench("spin", || {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                acc
+            })
+            .expect("no filter set");
+        assert_eq!(stats.id, "g/spin");
+        assert!(stats.iters > 0);
+        assert!(stats.min_ns > 0.0);
+        assert!(stats.min_ns <= stats.p50_ns);
+        assert!(stats.p50_ns <= stats.mean_ns * 4.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut runner = Runner::new(Options {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            max_samples: 2,
+        });
+        runner.filter = Some("nope".into());
+        let mut group = runner.group("g");
+        assert!(group.bench("spin", || 1).is_none());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+    }
+}

@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::time::Duration;
 
 use sj_cluster::{Cluster, NetworkModel, Placement};
@@ -72,6 +74,7 @@ pub fn run_join(
         cost_params: params,
         hash_buckets,
         forced_algo: algo,
+        ..ExecConfig::default()
     };
     execute_shuffle_join(cluster, query, &config)
         .expect("benchmark join failed")
@@ -119,6 +122,18 @@ pub fn print_phase_table(title: &str, rows: &[PhaseRow]) {
         println!(
             "{:<16} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
             r.label,
+            r.plan_ms,
+            r.align_ms,
+            r.comp_ms,
+            r.total_ms()
+        );
+    }
+    // Machine-readable mirror of the table, one JSON object per row.
+    for r in rows {
+        println!(
+            "{{\"table\":{},\"series\":{},\"plan_ms\":{:.3},\"align_ms\":{:.3},\"comp_ms\":{:.3},\"total_ms\":{:.3}}}",
+            harness::json_str(title),
+            harness::json_str(&r.label),
             r.plan_ms,
             r.align_ms,
             r.comp_ms,

@@ -114,6 +114,11 @@ impl Cluster {
         self.nodes.get(id).ok_or(ClusterError::NoSuchNode(id))
     }
 
+    /// All nodes, in id order (node `i` is at index `i`).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
     /// The system catalog (coordinator state).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog

@@ -18,15 +18,17 @@
 //! 6. **Output organization** — emitted cells are tiled (and sorted or
 //!    redimensioned) into the destination array.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sj_array::{Array, ArraySchema, CellBatch, Histogram, Value};
-use sj_cluster::{simulate_shuffle, Cluster, Transfer};
+use sj_cluster::{simulate_shuffle, Cluster, ShuffleReport, Transfer};
 
 use crate::algorithms::{run_join, Emitter, JoinAlgo};
 use crate::error::{JoinError, Result};
 use crate::join_schema::{infer_join_schema, ColumnStats, JoinSchema};
 use crate::logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats, OutOp};
+use crate::parallel::{par_map, par_map_weighted, resolve_threads};
 use crate::physical::{plan_physical, CostParams, PlannerKind, SliceStats};
 use crate::predicate::{JoinPredicate, JoinSide};
 use crate::unit::{map_slices, SliceSet};
@@ -88,6 +90,10 @@ pub struct ExecConfig {
     /// Force a specific join algorithm instead of letting the logical
     /// planner choose (used by the evaluation harness, §6.1).
     pub forced_algo: Option<JoinAlgo>,
+    /// Worker threads for the compute phases (slice mapping, unit
+    /// assembly, hash build, probe): `0` = machine parallelism, `1` = the
+    /// exact sequential path. Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for ExecConfig {
@@ -97,8 +103,30 @@ impl Default for ExecConfig {
             cost_params: CostParams::default(),
             hash_buckets: None,
             forced_algo: None,
+            threads: 0,
         }
     }
+}
+
+/// Real-hardware execution profile of one join: resolved worker count,
+/// per-phase wall clock, and per-worker busy time (the spread between
+/// workers in a phase is measurable straggler time under skew).
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Workers the parallel phases were allowed to use.
+    pub threads: usize,
+    /// Wall seconds collecting cluster-wide column statistics.
+    pub stats_wall_seconds: f64,
+    /// Wall seconds of the slice-mapping region (all nodes).
+    pub slice_map_wall_seconds: f64,
+    /// Per-worker busy seconds inside slice mapping.
+    pub slice_map_busy_seconds: Vec<f64>,
+    /// Wall seconds of the cell-comparison region (all join units).
+    pub comparison_wall_seconds: f64,
+    /// Per-worker busy seconds inside cell comparison.
+    pub comparison_busy_seconds: Vec<f64>,
+    /// Wall seconds assembling the destination array.
+    pub output_wall_seconds: f64,
 }
 
 /// Timing and volume metrics for one join execution.
@@ -140,6 +168,10 @@ pub struct JoinMetrics {
     pub planner: &'static str,
     /// ILP solver status, when an ILP planner ran.
     pub solver_status: Option<sj_ilp::SolveStatus>,
+    /// Real per-phase wall clock and per-worker busy time.
+    pub profile: ExecProfile,
+    /// Full shuffle simulation report (per-node sent/recv byte totals).
+    pub shuffle: ShuffleReport,
 }
 
 impl JoinMetrics {
@@ -161,13 +193,19 @@ pub fn execute_shuffle_join(
     config: &ExecConfig,
 ) -> Result<(Array, JoinMetrics)> {
     let k = cluster.node_count();
+    let threads = resolve_threads(config.threads);
+    let mut profile = ExecProfile {
+        threads,
+        ..ExecProfile::default()
+    };
     let catalog = cluster.catalog();
     let left_schema = catalog.schema(&query.left)?.clone();
     let right_schema = catalog.schema(&query.right)?.clone();
 
     // ---- Logical planning. ------------------------------------------------
     let t0 = Instant::now();
-    let stats = cluster_column_stats(cluster, query)?;
+    let stats = cluster_column_stats(cluster, query, threads)?;
+    profile.stats_wall_seconds = t0.elapsed().as_secs_f64();
     let js = infer_join_schema(
         &left_schema,
         &right_schema,
@@ -196,13 +234,13 @@ pub fn execute_shuffle_join(
     let logical_planning = t0.elapsed();
 
     // ---- Slice mapping (per node, both sides). ----------------------------
+    // Every simulated node's slice function is independent, so nodes map
+    // on real worker threads; results are collected in node-id order.
     let unit_spec = logical.unit_spec.clone();
     let n_units = unit_spec.n_units();
-    let mut slice_map_seconds = 0.0f64;
-    let mut left_slices: Vec<SliceSet> = Vec::with_capacity(k);
-    let mut right_slices: Vec<SliceSet> = Vec::with_capacity(k);
-    for node_id in 0..k {
-        let node = cluster.node(node_id)?;
+    let t_sm = Instant::now();
+    let (mapped, sm_pool) = par_map(threads, k, |node_id| -> Result<(SliceSet, SliceSet, f64)> {
+        let node = &cluster.nodes()[node_id];
         let t = Instant::now();
         let ls = map_slices(
             node.chunks_of(&query.left).map(|(_, c)| c),
@@ -214,7 +252,16 @@ pub fn execute_shuffle_join(
             &js.right_layout,
             &unit_spec,
         )?;
-        slice_map_seconds = slice_map_seconds.max(t.elapsed().as_secs_f64());
+        Ok((ls, rs, t.elapsed().as_secs_f64()))
+    });
+    profile.slice_map_wall_seconds = t_sm.elapsed().as_secs_f64();
+    profile.slice_map_busy_seconds = sm_pool.busy_seconds;
+    let mut slice_map_seconds = 0.0f64;
+    let mut left_slices: Vec<SliceSet> = Vec::with_capacity(k);
+    let mut right_slices: Vec<SliceSet> = Vec::with_capacity(k);
+    for result in mapped {
+        let (ls, rs, secs) = result?;
+        slice_map_seconds = slice_map_seconds.max(secs);
         left_slices.push(ls);
         right_slices.push(rs);
     }
@@ -267,43 +314,82 @@ pub fn execute_shuffle_join(
     let shuffle = simulate_shuffle(k, &cluster.network, &transfers)?;
 
     // ---- Cell comparison: assemble units per node and run the join. --------
+    // Transpose node-major slices into per-unit inputs (moves, no copies),
+    // preserving node order j = 0..k inside each unit so the assembled
+    // batches are byte-identical to the sequential append order.
+    let mut per_unit_parts: Vec<(Vec<CellBatch>, Vec<CellBatch>)> = (0..n_units)
+        .map(|_| (Vec::with_capacity(k), Vec::with_capacity(k)))
+        .collect();
+    for j in 0..k {
+        for (i, batch) in left_slices[j].slices.drain(..).enumerate() {
+            per_unit_parts[i].0.push(batch);
+        }
+        for (i, batch) in right_slices[j].slices.drain(..).enumerate() {
+            per_unit_parts[i].1.push(batch);
+        }
+    }
+    // Join units are independent; each runs on a worker with its own
+    // emitter. Heavier units (by total cells, the skew signal the
+    // physical planner already collected) dispatch first so one hot unit
+    // never lands last and serializes the tail.
+    let unit_weights: Vec<u64> = (0..n_units)
+        .map(|i| (0..k).map(|j| sstats.left[i][j] + sstats.right[i][j]).sum())
+        .collect();
+    let unit_inputs: Vec<Mutex<Option<(Vec<CellBatch>, Vec<CellBatch>)>>> =
+        per_unit_parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let t_cmp = Instant::now();
+    let (unit_results, cmp_pool) = par_map_weighted(
+        threads,
+        &unit_weights,
+        |i| -> Result<(CellBatch, usize, f64)> {
+            let (lparts, rparts) = unit_inputs[i]
+                .lock()
+                .expect("unit input poisoned")
+                .take()
+                .expect("each unit is consumed exactly once");
+            let t = Instant::now();
+            let mut left_unit = js.left_layout.empty_batch();
+            let mut right_unit = js.right_layout.empty_batch();
+            for ls in lparts {
+                left_unit.append(ls)?;
+            }
+            for rs in rparts {
+                right_unit.append(rs)?;
+            }
+            let mut emitter = Emitter::new(&js);
+            let mut matches = 0usize;
+            if !left_unit.is_empty() && !right_unit.is_empty() {
+                matches = run_join(
+                    logical.algo,
+                    &mut left_unit,
+                    &js.left_layout.key_cols,
+                    &mut right_unit,
+                    &js.right_layout.key_cols,
+                    &mut emitter,
+                )?;
+            }
+            Ok((emitter.out, matches, t.elapsed().as_secs_f64()))
+        },
+    );
+    profile.comparison_wall_seconds = t_cmp.elapsed().as_secs_f64();
+    profile.comparison_busy_seconds = cmp_pool.busy_seconds;
+
+    // Merge per-unit outputs in unit-id order — identical to the
+    // sequential single-emitter concatenation, whatever the thread count.
     let mut per_node_comparison = vec![0.0f64; k];
-    let mut emitter = Emitter::new(&js);
     let mut matches = 0usize;
-    for i in 0..n_units {
-        let dst = pplan.assignment[i];
-        let t = Instant::now();
-        let mut left_unit = js.left_layout.empty_batch();
-        let mut right_unit = js.right_layout.empty_batch();
-        for j in 0..k {
-            // `take` the slices to avoid double-clone; replace with empty.
-            let ls = std::mem::replace(
-                &mut left_slices[j].slices[i],
-                js.left_layout.empty_batch(),
-            );
-            left_unit.append(ls)?;
-            let rs = std::mem::replace(
-                &mut right_slices[j].slices[i],
-                js.right_layout.empty_batch(),
-            );
-            right_unit.append(rs)?;
-        }
-        if !left_unit.is_empty() && !right_unit.is_empty() {
-            matches += run_join(
-                logical.algo,
-                &mut left_unit,
-                &js.left_layout.key_cols,
-                &mut right_unit,
-                &js.right_layout.key_cols,
-                &mut emitter,
-            )?;
-        }
-        per_node_comparison[dst] += t.elapsed().as_secs_f64();
+    let mut out_cells = Emitter::new(&js).out;
+    for (i, result) in unit_results.into_iter().enumerate() {
+        let (cells, unit_matches, secs) = result?;
+        per_node_comparison[pplan.assignment[i]] += secs;
+        matches += unit_matches;
+        out_cells.append(cells)?;
     }
 
     // ---- Output organization. -----------------------------------------------
     let t_out = Instant::now();
-    let output = assemble_output(&js, emitter.out, logical.out)?;
+    let output = assemble_output(&js, out_cells, logical.out)?;
+    profile.output_wall_seconds = t_out.elapsed().as_secs_f64();
     // Output tiling parallelizes across the cluster; attribute 1/k of the
     // measured wall time to the slowest node's comparison phase.
     let out_seconds = t_out.elapsed().as_secs_f64() / k as f64;
@@ -329,6 +415,8 @@ pub fn execute_shuffle_join(
         matches,
         planner: pplan.planner,
         solver_status: pplan.solver_status,
+        profile,
+        shuffle,
     };
     Ok((output, metrics))
 }
@@ -422,7 +510,15 @@ fn assemble_output(js: &JoinSchema, cells: CellBatch, out_op: OutOp) -> Result<A
 
 /// Collect histograms for predicate attributes by walking every node's
 /// chunks (the engine statistics of §4, computed cluster-wide).
-fn cluster_column_stats(cluster: &Cluster, query: &JoinQuery) -> Result<ColumnStats> {
+///
+/// Nodes scan on worker threads; per-node value vectors are concatenated
+/// in node-id order, so the histogram input order (and thus every bucket
+/// boundary) is independent of the thread count.
+fn cluster_column_stats(
+    cluster: &Cluster,
+    query: &JoinQuery,
+    threads: usize,
+) -> Result<ColumnStats> {
     let mut stats = ColumnStats::new();
     let catalog = cluster.catalog();
     for pair in &query.predicate.pairs {
@@ -435,15 +531,17 @@ fn cluster_column_stats(cluster: &Cluster, query: &JoinQuery) -> Result<ColumnSt
                 continue;
             }
             let idx = schema.attr_index(col).map_err(JoinError::from)?;
-            let mut values: Vec<Value> = Vec::new();
-            for node_id in 0..cluster.node_count() {
-                let node = cluster.node(node_id)?;
+            let (per_node, _) = par_map(threads, cluster.node_count(), |node_id| {
+                let node = &cluster.nodes()[node_id];
+                let mut values: Vec<Value> = Vec::new();
                 for (_, chunk) in node.chunks_of(array_name) {
                     for row in 0..chunk.cells.len() {
                         values.push(chunk.cells.value(row, idx));
                     }
                 }
-            }
+                values
+            });
+            let values: Vec<Value> = per_node.into_iter().flatten().collect();
             if !values.is_empty() {
                 if let Ok(hist) = Histogram::build(values, 64) {
                     stats.insert(side, col.clone(), hist);

@@ -10,6 +10,7 @@ pub mod algorithms;
 mod error;
 pub mod join_schema;
 pub mod logical;
+pub mod parallel;
 pub mod predicate;
 pub mod unit;
 
@@ -17,6 +18,7 @@ pub use algorithms::JoinAlgo;
 pub use error::{JoinError, Result};
 pub use join_schema::{infer_join_schema, ColumnStats, JoinSchema};
 pub use logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats};
+pub use parallel::{par_map, par_map_weighted, resolve_threads, PoolMetrics};
 pub use predicate::{JoinPredicate, JoinSide, PairKind};
 pub use unit::JoinUnitSpec;
 
@@ -24,4 +26,4 @@ pub mod physical;
 pub use physical::{CostParams, PhysicalPlan, PlannerKind, SliceStats};
 
 pub mod exec;
-pub use exec::{execute_shuffle_join, ExecConfig, JoinMetrics, JoinQuery};
+pub use exec::{execute_shuffle_join, ExecConfig, ExecProfile, JoinMetrics, JoinQuery};

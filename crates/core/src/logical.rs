@@ -320,6 +320,13 @@ fn validate(
     if (a == AlignOp::Hash) != (b == AlignOp::Hash) {
         return false;
     }
+    // §3.3 pairs unit kinds with algorithms: "ordered chunks are used as
+    // join units to merge joins, hash buckets to hash joins". Without
+    // this, an equal-cost rechunk plan always ties the hash alignment and
+    // wins by enumeration order, so hash-bucket units never materialize.
+    if (algo == JoinAlgo::Hash) != (a == AlignOp::Hash) {
+        return false;
+    }
     // Merge join requires ordered chunks on both inputs.
     if algo == JoinAlgo::Merge && !(a.ordered_output() && b.ordered_output()) {
         return false;

@@ -77,19 +77,15 @@ impl UnitLayout {
     }
 
     /// Convert one chunk of the source array into this layout, appending
-    /// onto `out` and returning the per-row key values via `keys_of`.
+    /// onto `out`. Column-at-a-time: coordinates and attributes are bulk
+    /// copied without materializing per-cell `Value`s.
     pub fn flatten_chunk(&self, chunk: &Chunk, out: &mut CellBatch) -> Result<()> {
         let cells = &chunk.cells;
-        let mut row_vals: Vec<Value> = Vec::with_capacity(self.names.len());
-        for row in 0..cells.len() {
-            row_vals.clear();
-            for d in 0..self.ndims {
-                row_vals.push(Value::Int(cells.coords[d][row]));
-            }
-            for a in 0..cells.nattrs() {
-                row_vals.push(cells.attrs[a].get(row));
-            }
-            out.push(&[], &row_vals)?;
+        for d in 0..self.ndims {
+            out.attrs[d].extend_ints(&cells.coords[d])?;
+        }
+        for a in 0..cells.nattrs() {
+            out.attrs[self.ndims + a].extend_from(&cells.attrs[a])?;
         }
         Ok(())
     }
@@ -97,6 +93,15 @@ impl UnitLayout {
     /// Extract the key values of row `row` in a flattened batch.
     pub fn key_of(&self, batch: &CellBatch, row: usize) -> Vec<Value> {
         self.key_cols.iter().map(|&c| batch.attrs[c].get(row)).collect()
+    }
+
+    /// [`UnitLayout::key_of`] into a caller-owned buffer (no allocation on
+    /// the per-row path).
+    pub fn key_into(&self, batch: &CellBatch, row: usize, buf: &mut Vec<Value>) {
+        buf.clear();
+        for &c in &self.key_cols {
+            buf.push(batch.attrs[c].get(row));
+        }
     }
 }
 
@@ -203,22 +208,19 @@ pub fn map_slices<'a>(
     spec: &JoinUnitSpec,
 ) -> Result<SliceSet> {
     let mut set = SliceSet::new(spec.n_units(), layout);
+    // One flattening buffer reused across chunks (capacity persists) and
+    // one key buffer reused across rows — no per-chunk/per-row allocation.
     let mut flat = layout.empty_batch();
-    let mut row_vals: Vec<Value> = Vec::with_capacity(layout.names.len());
+    let mut key_buf: Vec<Value> = Vec::with_capacity(layout.key_cols.len());
     for chunk in chunks {
-        flat = layout.empty_batch();
+        flat.clear();
         layout.flatten_chunk(chunk, &mut flat)?;
         for row in 0..flat.len() {
-            let key = layout.key_of(&flat, row);
-            let unit = spec.unit_of(&key)?;
-            row_vals.clear();
-            for c in 0..flat.nattrs() {
-                row_vals.push(flat.attrs[c].get(row));
-            }
-            set.slices[unit].push(&[], &row_vals)?;
+            layout.key_into(&flat, row, &mut key_buf);
+            let unit = spec.unit_of(&key_buf)?;
+            set.slices[unit].push_row_from(&flat, row)?;
         }
     }
-    let _ = flat;
     Ok(set)
 }
 

@@ -119,6 +119,7 @@ impl IlpSolver {
 
         let mut nodes_explored = 0usize;
         let mut best_bound = root.objective;
+        let mut hit_budget = false;
 
         while let Some(node) = heap.pop() {
             best_bound = node.bound;
@@ -139,6 +140,7 @@ impl IlpSolver {
                 }
             }
             if nodes_explored >= self.max_nodes || start.elapsed() >= self.time_budget {
+                hit_budget = true;
                 break;
             }
             nodes_explored += 1;
@@ -230,10 +232,17 @@ impl IlpSolver {
                 }
             }
             None => Solution {
-                status: SolveStatus::BudgetExhausted,
+                // An exhausted tree with no integral point is a *proof* of
+                // infeasibility; only a budget/node-cap break leaves the
+                // question open.
+                status: if hit_budget {
+                    SolveStatus::BudgetExhausted
+                } else {
+                    SolveStatus::Infeasible
+                },
                 values: Vec::new(),
                 objective: f64::INFINITY,
-                bound: best_bound,
+                bound: if hit_budget { best_bound } else { f64::INFINITY },
                 nodes_explored,
             },
         }

@@ -1,6 +1,8 @@
 //! Property tests: the branch & bound solver against brute-force
 //! enumeration on small random integer programs.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use sj_ilp::{Cmp, IlpSolver, LinExpr, Model, SolveStatus};
 use std::time::Duration;

@@ -9,10 +9,12 @@
 #![warn(missing_docs)]
 
 mod realworld;
+pub mod rng;
 mod synthetic;
 mod zipf;
 
 pub use realworld::{ais_broadcasts, modis_band, AisConfig, GeoConfig};
+pub use rng::Rng64;
 pub use synthetic::{
     selectivity_output_schema, selectivity_pair, skewed_array, skewed_pair, SkewedArrayConfig,
 };

@@ -13,10 +13,9 @@
 //! distributional properties the paper reports, which is what the
 //! planners react to (see DESIGN.md §4).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sj_array::{Array, ArraySchema, Value};
+
+use crate::rng::Rng64;
 
 /// Geometry shared by the geospatial generators.
 #[derive(Debug, Clone)]
@@ -135,8 +134,8 @@ fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
 /// difference is ~1.5% of the mean chunk size).
 pub fn modis_band(cfg: &GeoConfig, name: &str, band: u32) -> Array {
     let schema = cfg.schema(name, "reflectance:float");
-    let mut coord_rng = StdRng::seed_from_u64(cfg.seed); // shared footprint
-    let mut band_rng = StdRng::seed_from_u64(cfg.seed ^ (band as u64) << 32 | band as u64);
+    let mut coord_rng = Rng64::seed_from_u64(cfg.seed); // shared footprint
+    let mut band_rng = Rng64::seed_from_u64(cfg.seed ^ (band as u64) << 32 | band as u64);
     let weights = modis_weights(cfg);
     let counts = apportion(cfg.cells, &weights);
     let mut array = Array::new(schema);
@@ -150,7 +149,7 @@ pub fn modis_band(cfg: &GeoConfig, name: &str, band: u32) -> Array {
         let count = count.min(box_cells);
         for pos in distinct_positions(box_cells, count, &mut coord_rng) {
             // Keep each band's ~1.5% dropout independent.
-            if band_rng.gen::<f64>() < 0.015 {
+            if band_rng.gen_f64() < 0.015 {
                 continue;
             }
             let p = pos as u64;
@@ -202,7 +201,7 @@ impl AisConfig {
 pub fn ais_broadcasts(cfg: &AisConfig, name: &str) -> Array {
     let geo = &cfg.geo;
     let schema = geo.schema(name, "ship_id:int, speed:float");
-    let mut rng = StdRng::seed_from_u64(geo.seed ^ 0xA15);
+    let mut rng = Rng64::seed_from_u64(geo.seed ^ 0xA15);
     let n_geo = geo.geo_chunks() as usize;
     let n_ports = ((n_geo as f64 * cfg.port_chunk_fraction).round() as usize).clamp(1, n_geo);
     // Pick port chunks.
@@ -230,7 +229,7 @@ pub fn ais_broadcasts(cfg: &AisConfig, name: &str) -> Array {
         (geo.time_extent * geo.deg_per_chunk * geo.deg_per_chunk) as usize;
     let (lon_lo, _) = geo.lon_range();
     let (lat_lo, _) = geo.lat_range();
-    let emit_chunk = |geo_idx: usize, count: usize, rng: &mut StdRng, array: &mut Array| {
+    let emit_chunk = |geo_idx: usize, count: usize, rng: &mut Rng64, array: &mut Array| {
         let lon_c = geo_idx as u64 / geo.lat_chunks;
         let lat_c = geo_idx as u64 % geo.lat_chunks;
         let count = count.min(box_cells);
@@ -261,7 +260,7 @@ pub fn ais_broadcasts(cfg: &AisConfig, name: &str) -> Array {
 }
 
 /// `count` distinct positions in `0..space` via a random full-cycle walk.
-fn distinct_positions(space: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+fn distinct_positions(space: usize, count: usize, rng: &mut Rng64) -> Vec<usize> {
     let count = count.min(space);
     if count == 0 {
         return Vec::new();
@@ -368,7 +367,7 @@ mod tests {
 
     #[test]
     fn distinct_positions_are_distinct() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         let pos = distinct_positions(100, 100, &mut rng);
         let mut sorted = pos.clone();
         sorted.sort_unstable();

@@ -1,0 +1,222 @@
+//! Vendored pseudo-random number generator.
+//!
+//! The workload generators need reproducible, seedable randomness, but
+//! this workspace builds with no external dependencies (the crates-io
+//! registry is unreachable in the target environment). This module
+//! vendors the standard SplitMix64 + xoshiro256++ combination:
+//! a 64-bit seed is expanded into 256 bits of state with SplitMix64
+//! (the seeding scheme `rand`'s `SeedableRng::seed_from_u64` uses), and
+//! xoshiro256++ generates the stream. Both algorithms are public-domain
+//! (Blackman & Vigna, <https://prng.di.unimi.it/>).
+//!
+//! Seeding behavior matches the previous `StdRng::seed_from_u64` usage:
+//! one `u64` fully determines the stream, and every generator in this
+//! crate remains deterministic per seed (the exact streams differ from
+//! the old `rand`-based ones, which no test or caller depended on).
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: expands a 64-bit seed into a sequence of well-mixed
+/// 64-bit values. Used only for state initialization.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A SplitMix64 stream starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ seeded via SplitMix64 — the crate's workhorse RNG.
+///
+/// Small (32 bytes of state), fast, and statistically strong for
+/// simulation workloads; not cryptographic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Deterministically seed the full 256-bit state from one `u64`,
+    /// mirroring `SeedableRng::seed_from_u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Rng64 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniformly-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `range` (empty ranges panic, like `rand`).
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform `u64` below `bound` (> 0), bias-free via rejection on
+    /// the widening-multiply method (Lemire 2019).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound && low < bound.wrapping_neg() {
+                // Fast accept once the low half can no longer bias.
+                return (m >> 64) as u64;
+            }
+            // Exact threshold check for the rare boundary region.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Ranges the generator can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut Rng64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-domain range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, i64, usize, u32, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(Rng64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        // Mean of U[0,1) ≈ 0.5.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.gen_range(0usize..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 drawn");
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+        }
+        // Single-point inclusive range.
+        assert_eq!(rng.gen_range(3u64..=3), 3);
+    }
+
+    #[test]
+    fn f64_ranges_stay_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(13);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(2.5..30.0);
+            assert!((2.5..30.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = Rng64::seed_from_u64(17);
+        let mut hist = [0usize; 7];
+        let trials = 70_000;
+        for _ in 0..trials {
+            hist[rng.below(7) as usize] += 1;
+        }
+        for &h in &hist {
+            let expected = trials as f64 / 7.0;
+            assert!(
+                (h as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "bucket count {h} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng64::seed_from_u64(1).gen_range(5u64..5);
+    }
+}

@@ -1,10 +1,8 @@
 //! Synthetic workloads matching the paper's evaluation (§6.1–6.2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use sj_array::{Array, ArraySchema, Value};
 
+use crate::rng::Rng64;
 use crate::zipf::Zipf;
 
 /// Configuration for a skewed 2-D array (the §6.2 physical-planning
@@ -66,7 +64,7 @@ impl SkewedArrayConfig {
 /// values follow `Zipf(value_alpha)` over `value_domain` (with shuffled
 /// value mapping).
 pub fn skewed_array(cfg: &SkewedArrayConfig) -> Array {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
     let n_chunks = (cfg.grid * cfg.grid) as usize;
     let spatial = Zipf::new(n_chunks, cfg.spatial_alpha);
     let mut counts = spatial.proportional_counts(cfg.cells);
@@ -136,7 +134,7 @@ pub fn selectivity_pair(
 ) -> (Array, Array) {
     assert!(selectivity > 0.0);
     let domain = ((n as f64 / (2.0 * selectivity)).round() as u64).max(1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let schema_a =
         ArraySchema::parse(&format!("A<v:int>[i=1,{n},{chunk_interval}]")).unwrap();
     let schema_b =
@@ -167,21 +165,21 @@ pub fn selectivity_output_schema(n: u64, _chunk_interval: u64, selectivity: f64)
     .unwrap()
 }
 
-fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+fn shuffle<T>(items: &mut [T], rng: &mut Rng64) {
     for i in (1..items.len()).rev() {
         let j = rng.gen_range(0..=i);
         items.swap(i, j);
     }
 }
 
-fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+fn permutation(n: usize, rng: &mut Rng64) -> Vec<usize> {
     let mut p: Vec<usize> = (0..n).collect();
     shuffle(&mut p, rng);
     p
 }
 
 /// A stride coprime with `modulus`, for full-cycle in-chunk walks.
-fn coprime_stride(modulus: usize, rng: &mut StdRng) -> usize {
+fn coprime_stride(modulus: usize, rng: &mut Rng64) -> usize {
     if modulus <= 2 {
         return 1;
     }

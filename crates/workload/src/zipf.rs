@@ -5,7 +5,7 @@
 //! denote greater imbalance in the data sizes" (§6.2). α = 0 degenerates
 //! to uniform.
 
-use rand::Rng;
+use crate::rng::Rng64;
 
 /// A Zipfian distribution over ranks `0..n` with exponent `alpha`.
 ///
@@ -57,8 +57,8 @@ impl Zipf {
     }
 
     /// Draw one rank.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u: f64 = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
@@ -89,8 +89,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn alpha_zero_is_uniform() {
@@ -126,7 +124,7 @@ mod tests {
     #[test]
     fn sampling_tracks_pmf() {
         let z = Zipf::new(16, 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let mut hist = [0usize; 16];
         let trials = 200_000;
         for _ in 0..trials {

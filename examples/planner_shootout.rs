@@ -73,6 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             forced_algo: Some(JoinAlgo::Hash),
             hash_buckets: Some(256),
             cost_params: params,
+            ..ExecConfig::default()
         };
         let (_, m) = execute_shuffle_join(&cluster, &query, &config)?;
         println!(

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: offline release build, full test suite, and
+# the thread-count determinism check for the parallel executor.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test -q --workspace
+
+echo "==> determinism: identical results at threads = 1, 2, 8"
+cargo test -q --test determinism
+
+echo "verify.sh: all checks passed"

@@ -1,0 +1,127 @@
+//! Thread-count determinism of the parallel executor.
+//!
+//! The executor's contract: `ExecConfig.threads` changes wall-clock time
+//! only, never results. This runs the Figure-8-style hash-skew join on a
+//! 4-node cluster with 1, 2, and 8 worker threads and asserts the
+//! gathered output arrays, match counts, and shuffle transfer totals are
+//! identical — cell for cell, in order, with no sorting applied before
+//! comparison.
+
+use sj_cluster::{Cluster, NetworkModel, Placement};
+use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
+use sj_workload::{skewed_pair, SkewedArrayConfig};
+
+fn skewed_cluster() -> Cluster {
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 16,
+        chunk_interval: 64,
+        cells: 40_000,
+        spatial_alpha: 0.0,
+        value_alpha: 1.5,
+        value_domain: 20_000,
+        seed: 7,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let mut cluster = Cluster::new(4, NetworkModel::scaled_to_engine());
+    cluster.load_array(a, &Placement::HashSalted(1)).unwrap();
+    cluster.load_array(b, &Placement::HashSalted(2)).unwrap();
+    cluster
+}
+
+fn query() -> JoinQuery {
+    JoinQuery::new(
+        "A",
+        "B",
+        JoinPredicate::new(vec![("v1", "v1"), ("v2", "v2")]),
+    )
+    .with_selectivity(0.0001)
+}
+
+#[test]
+fn hash_skew_join_is_identical_across_thread_counts() {
+    let cluster = skewed_cluster();
+    let query = query();
+
+    let run = |threads: usize| {
+        let config = ExecConfig {
+            planner: PlannerKind::Tabu,
+            forced_algo: Some(JoinAlgo::Hash),
+            hash_buckets: Some(64),
+            threads,
+            ..ExecConfig::default()
+        };
+        execute_shuffle_join(&cluster, &query, &config).unwrap()
+    };
+
+    let (ref_out, ref_metrics) = run(1);
+    assert!(ref_metrics.matches > 0, "fixture must produce matches");
+    let ref_cells: Vec<_> = ref_out.iter_cells().collect();
+
+    for threads in [2usize, 8] {
+        let (out, metrics) = run(threads);
+        let cells: Vec<_> = out.iter_cells().collect();
+        assert_eq!(
+            cells, ref_cells,
+            "output cells differ between threads=1 and threads={threads}"
+        );
+        assert_eq!(metrics.matches, ref_metrics.matches);
+        assert_eq!(metrics.cells_moved, ref_metrics.cells_moved);
+        assert_eq!(
+            metrics.shuffle, ref_metrics.shuffle,
+            "shuffle transfer totals differ at threads={threads}"
+        );
+        assert_eq!(metrics.network_bytes, ref_metrics.network_bytes);
+    }
+}
+
+#[test]
+fn merge_join_and_auto_planning_are_thread_invariant() {
+    // Exercise the other unit kind (chunk ranges / merge join) and let the
+    // logical planner choose the algorithm, so both slice-mapping paths
+    // and the histogram statistics are covered.
+    let cluster = skewed_cluster();
+    let query = query();
+
+    let run = |threads: usize| {
+        let config = ExecConfig {
+            planner: PlannerKind::MinBandwidth,
+            forced_algo: Some(JoinAlgo::Merge),
+            threads,
+            ..ExecConfig::default()
+        };
+        execute_shuffle_join(&cluster, &query, &config).unwrap()
+    };
+
+    let (ref_out, ref_metrics) = run(1);
+    let ref_cells: Vec<_> = ref_out.iter_cells().collect();
+    for threads in [2usize, 8] {
+        let (out, metrics) = run(threads);
+        assert_eq!(out.iter_cells().collect::<Vec<_>>(), ref_cells);
+        assert_eq!(metrics.matches, ref_metrics.matches);
+        assert_eq!(metrics.shuffle, ref_metrics.shuffle);
+    }
+}
+
+#[test]
+fn profile_reports_resolved_threads_and_phase_times() {
+    let cluster = skewed_cluster();
+    let (_, metrics) = execute_shuffle_join(
+        &cluster,
+        &query(),
+        &ExecConfig {
+            forced_algo: Some(JoinAlgo::Hash),
+            hash_buckets: Some(64),
+            threads: 2,
+            ..ExecConfig::default()
+        },
+    )
+    .unwrap();
+    let p = &metrics.profile;
+    assert_eq!(p.threads, 2);
+    assert!(p.comparison_wall_seconds > 0.0);
+    assert!(p.slice_map_wall_seconds > 0.0);
+    assert!(!p.comparison_busy_seconds.is_empty());
+    assert!(p.comparison_busy_seconds.len() <= 2);
+}

@@ -1,5 +1,7 @@
 //! Property-based tests over the core invariants, via proptest.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -1,0 +1,191 @@
+//! Minimal, dependency-free shim of the `proptest` property-testing API.
+//!
+//! See `vendor/proptest/README.md` for what is (and is not) covered.
+//! The public module layout mirrors the real crate so the workspace's
+//! test sources compile unchanged against either implementation.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Defines property tests.
+///
+/// Matches the real crate's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0i64..100, v in proptest::collection::vec(any::<i32>(), 0..20)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+///
+/// Each function body runs `config.cases` times against freshly
+/// generated inputs. `prop_assert*` failures abort the whole test with
+/// the offending case's message (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let __strat = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&__strat, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config(
+                <$crate::test_runner::ProptestConfig as ::std::default::Default>::default()
+            )]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (instead of panicking outright) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` specialized to equality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{}` == `{}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(__left == __right, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` specialized to inequality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `{}` != `{}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            __left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(__left != __right, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_stay_in_bounds(
+            x in -5i64..5,
+            y in 0u32..=10,
+            v in crate::collection::vec((0usize..4, any::<i16>()), 0..32),
+        ) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(y <= 10);
+            prop_assert!(v.len() < 32);
+            for (slot, _) in &v {
+                prop_assert!(*slot < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn combinators_compose(
+            pair in (1usize..=4).prop_flat_map(|n| {
+                crate::collection::vec(0i32..100, n).prop_map(move |v| (n, v))
+            }),
+            odd in (0i32..1000).prop_filter("odd", |x| x % 2 == 1),
+        ) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+            prop_assert_ne!(odd % 2, 0);
+        }
+    }
+
+    #[test]
+    fn same_test_name_reproduces_identical_cases() {
+        let mut a = crate::test_runner::TestRng::deterministic("x::y");
+        let mut b = crate::test_runner::TestRng::deterministic("x::y");
+        for _ in 0..64 {
+            assert_eq!(
+                Strategy::generate(&(0u64..1000), &mut a),
+                Strategy::generate(&(0u64..1000), &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Test-loop configuration, failure type, and the deterministic RNG.
+
+use std::fmt;
+
+/// How many cases each `proptest!` function runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64 generator seeded from the test's name, so every run of a
+/// given property replays the same case sequence (no regressions file).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// An RNG whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test path gives a well-spread 64-bit seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// Next 64 random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value below `bound` (> 0), bias-free via widening
+    /// multiply with rejection (Lemire 2019).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
