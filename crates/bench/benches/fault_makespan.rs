@@ -1,0 +1,128 @@
+//! Fault matrix: shuffle makespan and recovery cost under injected
+//! node failures and lossy links.
+//!
+//! Sweeps node-failure count 0..=3 × transfer drop rate {0, 1%, 5%} on
+//! the Figure-8 hash-skew workload (α = 1.5), run on a 6-node cluster
+//! with 3-way chained replication so every crash is recoverable. The
+//! MBH planner (deterministic, unlike the wall-clock-budgeted Tabu
+//! search) and a seeded `FaultPlan` make every point exactly
+//! reproducible run to run. One JSON line per point reports the simulated makespan
+//! next to the fault counters — the "2.5× speedup, but at what
+//! availability cost?" curve.
+
+use sj_bench::{bench_params, harness::json_str};
+use sj_cluster::{Cluster, FaultPlan, NetworkModel, Placement};
+use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
+use sj_workload::{skewed_pair, SkewedArrayConfig};
+
+const NODES: usize = 6;
+const REPLICAS: usize = 3;
+const DROP_RATES: [f64; 3] = [0.0, 0.01, 0.05];
+const MAX_FAILURES: usize = 3;
+/// Crashed in order as the failure count grows; spread across the ring
+/// so chained replicas of a dead node stay alive.
+const CRASH_NODES: [usize; MAX_FAILURES] = [0, 2, 4];
+
+fn fig8_cluster() -> Cluster {
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 16,
+        chunk_interval: 64,
+        cells: 120_000,
+        spatial_alpha: 0.0,
+        value_alpha: 1.5,
+        value_domain: 50_000,
+        seed: 7,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let mut cluster = Cluster::new(NODES, NetworkModel::scaled_to_engine());
+    cluster
+        .load_array_replicated(a, &Placement::HashSalted(1), REPLICAS)
+        .expect("load left");
+    cluster
+        .load_array_replicated(b, &Placement::HashSalted(2), REPLICAS)
+        .expect("load right");
+    cluster
+}
+
+fn main() {
+    let cluster = fig8_cluster();
+    let query = JoinQuery::new(
+        "A",
+        "B",
+        JoinPredicate::new(vec![("v1", "v1"), ("v2", "v2")]),
+    )
+    .with_selectivity(0.0001);
+    let params = bench_params(32);
+    let base_config = |faults: FaultPlan| ExecConfig {
+        planner: PlannerKind::MinBandwidth,
+        cost_params: params,
+        forced_algo: Some(JoinAlgo::Hash),
+        hash_buckets: Some(256),
+        faults,
+        ..ExecConfig::default()
+    };
+
+    // Fault-free reference: fixes the expected output and the clean
+    // makespan the crash schedule is staggered across.
+    let (clean_out, clean) =
+        execute_shuffle_join(&cluster, &query, &base_config(FaultPlan::none()))
+            .expect("clean reference join failed");
+    let mut clean_cells: Vec<_> = clean_out.iter_cells().collect();
+    clean_cells.sort();
+    println!("Fault matrix: fig8 hash-skew join (alpha=1.5), {NODES} nodes, {REPLICAS}-way replication");
+    println!(
+        "clean run: makespan {:.3}s, {} matches",
+        clean.shuffle.makespan, clean.matches
+    );
+    println!(
+        "{:>8} {:>6} {:>12} {:>8} {:>8} {:>14} {:>9}",
+        "failures", "drop", "makespan", "retries", "reroutes", "recovery_bytes", "degraded"
+    );
+
+    for failures in 0..=MAX_FAILURES {
+        for &drop in &DROP_RATES {
+            let mut faults = FaultPlan::seeded(41).with_drop_rate(drop);
+            for (i, &node) in CRASH_NODES.iter().take(failures).enumerate() {
+                // Stagger crashes through the clean schedule's span.
+                let at = clean.shuffle.makespan * (i + 1) as f64 / (failures + 1) as f64;
+                faults = faults.with_crash(node, at);
+            }
+            let (out, m) = execute_shuffle_join(&cluster, &query, &base_config(faults))
+                .expect("join must survive the fault plan");
+            let mut cells: Vec<_> = out.iter_cells().collect();
+            cells.sort();
+            assert_eq!(
+                cells, clean_cells,
+                "faults changed the join answer at failures={failures} drop={drop}"
+            );
+            let s = &m.shuffle;
+            println!(
+                "{:>8} {:>5.0}% {:>11.3}s {:>8} {:>8} {:>14} {:>9}",
+                failures,
+                drop * 100.0,
+                s.makespan,
+                s.retries,
+                s.reroutes,
+                s.recovery_bytes,
+                m.degraded
+            );
+            println!(
+                "{{\"bench\":{},\"failures\":{},\"drop_rate\":{},\"makespan_s\":{:.6},\"retries\":{},\"reroutes\":{},\"recovery_bytes\":{},\"timeouts\":{},\"checksum_failures\":{},\"degraded\":{},\"plan_tier\":{},\"matches\":{}}}",
+                json_str("fault_makespan/fig8"),
+                failures,
+                drop,
+                s.makespan,
+                s.retries,
+                s.reroutes,
+                s.recovery_bytes,
+                s.timeouts,
+                s.checksum_failures,
+                m.degraded,
+                json_str(m.plan_tier.name()),
+                m.matches
+            );
+        }
+    }
+}

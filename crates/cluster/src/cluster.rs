@@ -12,16 +12,20 @@ use std::collections::{BTreeMap, HashMap};
 use sj_array::{Array, ArraySchema, Chunk};
 
 use crate::error::{ClusterError, Result};
+use crate::fault::RecoveryOptions;
 use crate::network::NetworkModel;
 use crate::placement::Placement;
 
 /// One database node: an id plus its local chunk storage, keyed by array
-/// name then linear chunk id.
+/// name then linear chunk id. Replica copies live in a separate store so
+/// primary-only accounting (cell counts, gather) is unchanged by
+/// replication.
 #[derive(Debug, Clone, Default)]
 pub struct Node {
     /// Node id (0-based).
     pub id: usize,
     storage: HashMap<String, BTreeMap<u64, Chunk>>,
+    replicas: HashMap<String, BTreeMap<u64, Chunk>>,
 }
 
 impl Node {
@@ -46,6 +50,13 @@ impl Node {
             .get(array)
             .map_or(0, |m| m.values().map(Chunk::byte_size).sum())
     }
+
+    /// Number of replica (non-primary) cells this node holds for `array`.
+    pub fn replica_cell_count(&self, array: &str) -> usize {
+        self.replicas
+            .get(array)
+            .map_or(0, |m| m.values().map(Chunk::cell_count).sum())
+    }
 }
 
 /// The coordinator's system catalog: schemas plus the chunk → node map
@@ -54,6 +65,7 @@ impl Node {
 pub struct Catalog {
     schemas: HashMap<String, ArraySchema>,
     chunk_homes: HashMap<String, BTreeMap<u64, usize>>,
+    replica_homes: HashMap<String, BTreeMap<u64, Vec<usize>>>,
 }
 
 impl Catalog {
@@ -77,6 +89,15 @@ impl Catalog {
         names.sort_unstable();
         names
     }
+
+    /// The chunk-id → replica-holder map for array `name` (primary
+    /// first). Arrays loaded without replication map each chunk to its
+    /// primary only.
+    pub fn replica_homes(&self, name: &str) -> Result<&BTreeMap<u64, Vec<usize>>> {
+        self.replica_homes
+            .get(name)
+            .ok_or_else(|| ClusterError::NoSuchArray(name.to_string()))
+    }
 }
 
 /// A simulated shared-nothing cluster.
@@ -84,6 +105,7 @@ impl Catalog {
 pub struct Cluster {
     nodes: Vec<Node>,
     catalog: Catalog,
+    alive: Vec<bool>,
     /// The interconnect model used to time shuffles.
     pub network: NetworkModel,
 }
@@ -97,9 +119,11 @@ impl Cluster {
                 .map(|id| Node {
                     id,
                     storage: HashMap::new(),
+                    replicas: HashMap::new(),
                 })
                 .collect(),
             catalog: Catalog::default(),
+            alive: vec![true; k],
             network,
         }
     }
@@ -124,8 +148,23 @@ impl Cluster {
         &self.catalog
     }
 
-    /// Load an array, distributing its chunks per `placement`.
+    /// Load an array, distributing its chunks per `placement` (no
+    /// replication: each chunk's only copy is its primary).
     pub fn load_array(&mut self, array: Array, placement: &Placement) -> Result<()> {
+        self.load_array_replicated(array, placement, 1)
+    }
+
+    /// Load an array with `replicas`-way chained-declustering
+    /// replication: each chunk's primary lands per `placement`, and
+    /// `replicas - 1` copies land on the next nodes mod `k`. Replicas
+    /// are invisible to primary accounting (`per_node_cells`, `gather`)
+    /// until a failure promotes them.
+    pub fn load_array_replicated(
+        &mut self,
+        array: Array,
+        placement: &Placement,
+        replicas: usize,
+    ) -> Result<()> {
         let name = array.schema.name.clone();
         if self.catalog.schemas.contains_key(&name) {
             return Err(ClusterError::ArrayExists(name));
@@ -134,17 +173,28 @@ impl Cluster {
         let k = self.node_count();
         let schema = array.schema.clone();
         let mut homes = BTreeMap::new();
+        let mut replica_map = BTreeMap::new();
         for (id, chunk) in array.into_chunks() {
-            let node = placement.node_for(id, total_chunks, k);
-            homes.insert(id, node);
-            self.nodes[node]
+            let holders = placement.replica_nodes(id, total_chunks, k, replicas);
+            let primary = holders[0];
+            homes.insert(id, primary);
+            for &holder in &holders[1..] {
+                self.nodes[holder]
+                    .replicas
+                    .entry(name.clone())
+                    .or_default()
+                    .insert(id, chunk.clone());
+            }
+            replica_map.insert(id, holders);
+            self.nodes[primary]
                 .storage
                 .entry(name.clone())
                 .or_default()
                 .insert(id, chunk);
         }
         self.catalog.schemas.insert(name.clone(), schema);
-        self.catalog.chunk_homes.insert(name, homes);
+        self.catalog.chunk_homes.insert(name.clone(), homes);
+        self.catalog.replica_homes.insert(name, replica_map);
         Ok(())
     }
 
@@ -154,8 +204,10 @@ impl Cluster {
             return Err(ClusterError::NoSuchArray(name.to_string()));
         }
         self.catalog.chunk_homes.remove(name);
+        self.catalog.replica_homes.remove(name);
         for node in &mut self.nodes {
             node.storage.remove(name);
+            node.replicas.remove(name);
         }
         Ok(())
     }
@@ -199,10 +251,145 @@ impl Cluster {
         Ok(self.nodes.iter().map(|n| n.cell_count(array)).collect())
     }
 
+    /// True while node `id` has not failed.
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.alive.get(id).copied().unwrap_or(false)
+    }
+
+    /// True once any node has failed.
+    pub fn degraded(&self) -> bool {
+        self.alive.iter().any(|&a| !a)
+    }
+
+    /// Node ids that have failed, ascending.
+    pub fn failed_nodes(&self) -> Vec<usize> {
+        (0..self.node_count()).filter(|&j| !self.alive[j]).collect()
+    }
+
+    /// Kill node `id`: its primary and replica chunks are lost, and for
+    /// every chunk it was primary for, the first live replica holder is
+    /// promoted to primary (catalog updated, replica copy becomes the
+    /// stored copy). Fails with [`ClusterError::NoReplica`] if any such
+    /// chunk has no live replica — the cluster is then corrupt and the
+    /// caller should treat the data as gone.
+    pub fn fail_node(&mut self, id: usize) -> Result<()> {
+        if id >= self.node_count() {
+            return Err(ClusterError::NoSuchNode(id));
+        }
+        if !self.alive[id] {
+            return Ok(());
+        }
+        self.alive[id] = false;
+        // Everything the node held — primary or replica — is gone.
+        let lost_primaries: Vec<(String, Vec<u64>)> = self.nodes[id]
+            .storage
+            .iter()
+            .map(|(name, m)| (name.clone(), m.keys().copied().collect()))
+            .collect();
+        self.nodes[id].storage.clear();
+        self.nodes[id].replicas.clear();
+        // Promote a live replica for each orphaned primary chunk.
+        for (array, chunks) in lost_primaries {
+            for chunk_id in chunks {
+                self.promote_replica(&array, chunk_id, id)?;
+            }
+        }
+        // Drop the dead node from every replica-holder list.
+        for homes in self.catalog.replica_homes.values_mut() {
+            for holders in homes.values_mut() {
+                holders.retain(|&h| h != id);
+            }
+        }
+        Ok(())
+    }
+
+    fn promote_replica(&mut self, array: &str, chunk_id: u64, dead: usize) -> Result<()> {
+        let holders = self
+            .catalog
+            .replica_homes
+            .get(array)
+            .and_then(|m| m.get(&chunk_id))
+            .cloned()
+            .unwrap_or_default();
+        let successor = holders
+            .iter()
+            .copied()
+            .find(|&h| h != dead && self.alive[h])
+            .ok_or_else(|| ClusterError::NoReplica {
+                array: array.to_string(),
+                chunk: chunk_id,
+            })?;
+        let chunk = self.nodes[successor]
+            .replicas
+            .get_mut(array)
+            .and_then(|m| m.remove(&chunk_id))
+            .ok_or_else(|| ClusterError::MissingChunk {
+                array: array.to_string(),
+                chunk: chunk_id,
+            })?;
+        self.nodes[successor]
+            .storage
+            .entry(array.to_string())
+            .or_default()
+            .insert(chunk_id, chunk);
+        self.catalog
+            .chunk_homes
+            .get_mut(array)
+            .expect("promoting chunk of uncataloged array")
+            .insert(chunk_id, successor);
+        // The successor moves to the front of the holder list (it is the
+        // primary now).
+        if let Some(holders) = self
+            .catalog
+            .replica_homes
+            .get_mut(array)
+            .and_then(|m| m.get_mut(&chunk_id))
+        {
+            holders.retain(|&h| h != successor);
+            holders.insert(0, successor);
+        }
+        Ok(())
+    }
+
+    /// Recovery routing for the shuffle simulator, derived from the
+    /// catalog's replica holders across all loaded arrays:
+    /// `alt_sources[j]` lists the live nodes that hold replicas of node
+    /// `j`'s primary chunks, ordered by coverage (chunks held, then
+    /// lowest id). Empty for unreplicated nodes.
+    pub fn recovery_options(&self) -> RecoveryOptions {
+        let k = self.node_count();
+        // coverage[j][h] = chunks primared on j with a replica on h.
+        let mut coverage: Vec<HashMap<usize, usize>> = vec![HashMap::new(); k];
+        for (array, homes) in &self.catalog.replica_homes {
+            let primaries = &self.catalog.chunk_homes[array];
+            for (chunk_id, holders) in homes {
+                let primary = primaries[chunk_id];
+                for &h in holders {
+                    if h != primary && self.alive[h] {
+                        *coverage[primary].entry(h).or_default() += 1;
+                    }
+                }
+            }
+        }
+        RecoveryOptions {
+            alt_sources: coverage
+                .into_iter()
+                .map(|cov| {
+                    let mut alts: Vec<(usize, usize)> = cov.into_iter().collect();
+                    alts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    alts.into_iter().map(|(h, _)| h).collect()
+                })
+                .collect(),
+        }
+    }
+
     /// Move one chunk to a different node, updating the catalog.
     pub fn move_chunk(&mut self, array: &str, chunk_id: u64, dst: usize) -> Result<()> {
         if dst >= self.node_count() {
             return Err(ClusterError::NoSuchNode(dst));
+        }
+        if !self.alive[dst] {
+            return Err(ClusterError::NodeDown(dst));
         }
         let homes =
             self.catalog
@@ -323,6 +510,79 @@ mod tests {
         assert!(cluster.gather("A").is_err());
         assert!(cluster.drop_array("A").is_err());
         assert_eq!(cluster.node(0).unwrap().cell_count("A"), 0);
+    }
+
+    #[test]
+    fn replicated_load_keeps_primary_accounting() {
+        let mut cluster = Cluster::new(4, NetworkModel::default());
+        cluster
+            .load_array_replicated(sample_array("A"), &Placement::RoundRobin, 2)
+            .unwrap();
+        // Primary view identical to unreplicated round-robin.
+        assert_eq!(cluster.per_node_cells("A").unwrap(), vec![20, 20, 20, 20]);
+        // Each node additionally mirrors its predecessor's 20 cells.
+        for n in cluster.nodes() {
+            assert_eq!(n.replica_cell_count("A"), 20);
+        }
+        let homes = cluster.catalog().replica_homes("A").unwrap();
+        assert_eq!(homes[&1], vec![1, 2]);
+        // Gather ignores replicas (no double counting).
+        assert_eq!(cluster.gather("A").unwrap().cell_count(), 80);
+    }
+
+    #[test]
+    fn fail_node_promotes_replicas_and_degrades() {
+        let mut cluster = Cluster::new(4, NetworkModel::default());
+        cluster
+            .load_array_replicated(sample_array("A"), &Placement::RoundRobin, 2)
+            .unwrap();
+        assert!(!cluster.degraded());
+        cluster.fail_node(1).unwrap();
+        assert!(cluster.degraded());
+        assert!(!cluster.is_alive(1));
+        assert_eq!(cluster.failed_nodes(), vec![1]);
+        // Node 1's chunks (ids 1 and 5) promoted on node 2.
+        let homes = cluster.catalog().chunk_homes("A").unwrap();
+        assert_eq!(homes[&1], 2);
+        assert_eq!(homes[&5], 2);
+        // No cells lost: gather still reassembles the full array.
+        assert_eq!(cluster.gather("A").unwrap().cell_count(), 80);
+        assert_eq!(cluster.per_node_cells("A").unwrap(), vec![20, 0, 40, 20]);
+        // Failing the same node again is a no-op.
+        cluster.fail_node(1).unwrap();
+        // Moving a chunk onto the dead node is rejected.
+        assert!(matches!(
+            cluster.move_chunk("A", 0, 1),
+            Err(ClusterError::NodeDown(1))
+        ));
+    }
+
+    #[test]
+    fn fail_node_without_replica_reports_lost_chunk() {
+        let mut cluster = Cluster::new(2, NetworkModel::default());
+        cluster
+            .load_array(sample_array("A"), &Placement::RoundRobin)
+            .unwrap();
+        let err = cluster.fail_node(0).unwrap_err();
+        assert!(matches!(err, ClusterError::NoReplica { .. }), "{err}");
+    }
+
+    #[test]
+    fn recovery_options_follow_replica_coverage() {
+        let mut cluster = Cluster::new(4, NetworkModel::default());
+        cluster
+            .load_array_replicated(sample_array("A"), &Placement::RoundRobin, 3)
+            .unwrap();
+        let r = cluster.recovery_options();
+        // Node 0's chunks are mirrored on nodes 1 and 2 equally; ties
+        // break toward the lower id.
+        assert_eq!(r.alt_sources[0], vec![1, 2]);
+        assert_eq!(r.alt_sources[3], vec![0, 1]);
+        // Unreplicated arrays yield no alternates.
+        let mut bare = Cluster::new(4, NetworkModel::default());
+        bare.load_array(sample_array("A"), &Placement::RoundRobin)
+            .unwrap();
+        assert!(bare.recovery_options().alt_sources[0].is_empty());
     }
 
     #[test]

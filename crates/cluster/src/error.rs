@@ -22,6 +22,26 @@ pub enum ClusterError {
     Storage(String),
     /// A simulation invariant was violated (internal bug surface).
     Simulation(String),
+    /// Referenced a node that has failed.
+    NodeDown(usize),
+    /// A transfer exhausted its retry budget.
+    TransferFailed {
+        /// Sending node of the doomed transfer.
+        src: usize,
+        /// Receiving node of the doomed transfer.
+        dst: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A node died and no live replica could take over its data.
+    Unrecoverable(String),
+    /// A chunk lost its primary and has no replica to promote.
+    NoReplica {
+        /// Array the chunk belongs to.
+        array: String,
+        /// Linear chunk id.
+        chunk: u64,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -35,6 +55,16 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Storage(msg) => write!(f, "storage error: {msg}"),
             ClusterError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+            ClusterError::NodeDown(id) => write!(f, "node {id} is down"),
+            ClusterError::TransferFailed { src, dst, attempts } => write!(
+                f,
+                "transfer {src} -> {dst} failed after {attempts} attempts"
+            ),
+            ClusterError::Unrecoverable(msg) => write!(f, "unrecoverable failure: {msg}"),
+            ClusterError::NoReplica { array, chunk } => write!(
+                f,
+                "chunk {chunk} of array `{array}` lost its primary and has no replica"
+            ),
         }
     }
 }

@@ -1,0 +1,310 @@
+//! Deterministic fault injection for the cluster simulator.
+//!
+//! The paper's shuffle framework (§3.4, §5.1) assumes every slice
+//! transfer lands and every node survives the alignment phase. This
+//! module removes that assumption: a [`FaultPlan`] describes node
+//! crashes at virtual timestamps, per-transfer drop and corruption
+//! probabilities, and per-node straggler slowdowns. The plan is seeded
+//! (xoshiro256++ via [`sj_workload::Rng64`]) so that every run with the
+//! same plan replays bit-identically, at any executor thread count —
+//! the fault decisions live entirely inside the single-threaded
+//! discrete-event simulation and are drawn in event order.
+//!
+//! [`RecoveryOptions`] is the coordinator-side half: for each node it
+//! lists the replica nodes able to re-serve that node's slices after a
+//! crash (derived from the catalog's k-replica chunk homes, or from the
+//! chained-declustering layout directly).
+
+use sj_workload::Rng64;
+
+/// A scheduled node crash at a virtual timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCrash {
+    /// Node that dies.
+    pub node: usize,
+    /// Virtual seconds after shuffle start at which it dies.
+    pub at_seconds: f64,
+}
+
+/// A per-node straggler: the node's link runs `factor`× slower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Slowed node.
+    pub node: usize,
+    /// Slowdown multiplier (≥ 1.0; 1.0 means no slowdown).
+    pub factor: f64,
+}
+
+/// A deterministic, replayable fault schedule for one shuffle.
+///
+/// `FaultPlan::none()` is the identity: the simulation takes exactly
+/// the fault-free code path and produces bit-identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-transfer drop/corruption draws.
+    pub seed: u64,
+    /// Node crashes, processed in timestamp order.
+    pub crashes: Vec<NodeCrash>,
+    /// Probability that a transfer is lost in flight.
+    pub drop_rate: f64,
+    /// Probability that a transfer lands with a corrupted payload
+    /// (detected by the receiver's checksum, triggering a retransmit).
+    pub corrupt_rate: f64,
+    /// Per-node link slowdowns.
+    pub stragglers: Vec<Straggler>,
+    /// Per-transfer timeout in virtual seconds: an attempt expected to
+    /// exceed this is aborted and retried (possibly from a faster
+    /// replica). `None` disables timeouts.
+    pub transfer_timeout: Option<f64>,
+    /// Bounded retries per transfer before the shuffle gives up
+    /// (drops/corruption) or accepts the slow path (timeouts).
+    pub max_retries: u32,
+    /// Base retry backoff in virtual seconds; attempt `a` waits
+    /// `retry_backoff · 2^(a-1)` before retransmitting.
+    pub retry_backoff: f64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero overhead.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            stragglers: Vec::new(),
+            transfer_timeout: None,
+            max_retries: 8,
+            retry_backoff: 1e-4,
+        }
+    }
+
+    /// An empty plan with the probabilistic draws seeded by `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// True when the plan injects nothing (the fault-free fast path).
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty()
+            && self.drop_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.stragglers.is_empty()
+            && self.transfer_timeout.is_none()
+    }
+
+    /// Add a node crash at `at_seconds`.
+    pub fn with_crash(mut self, node: usize, at_seconds: f64) -> Self {
+        self.crashes.push(NodeCrash { node, at_seconds });
+        self
+    }
+
+    /// Set the per-transfer drop probability.
+    pub fn with_drop_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop rate must be in [0, 1)");
+        self.drop_rate = p;
+        self
+    }
+
+    /// Set the per-transfer corruption probability.
+    pub fn with_corrupt_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "corrupt rate must be in [0, 1)");
+        self.corrupt_rate = p;
+        self
+    }
+
+    /// Slow node `node`'s link by `factor`.
+    pub fn with_straggler(mut self, node: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler factor must be >= 1");
+        self.stragglers.push(Straggler { node, factor });
+        self
+    }
+
+    /// Set the per-transfer timeout.
+    pub fn with_timeout(mut self, seconds: f64) -> Self {
+        self.transfer_timeout = Some(seconds);
+        self
+    }
+
+    /// Cap retransmission attempts.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Generate a random fault plan for a `k`-node cluster: `failures`
+    /// node crashes at uniform times in `[0, horizon)` on distinct
+    /// uniformly-drawn nodes, plus the given drop rate. Deterministic
+    /// per seed — the same seed always yields the same plan.
+    pub fn random(seed: u64, k: usize, failures: usize, horizon: f64, drop_rate: f64) -> Self {
+        assert!(failures < k, "at least one node must survive");
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut plan = FaultPlan::seeded(seed).with_drop_rate(drop_rate);
+        let mut victims: Vec<usize> = Vec::with_capacity(failures);
+        while victims.len() < failures {
+            let node = rng.gen_range(0..k);
+            if !victims.contains(&node) {
+                victims.push(node);
+            }
+        }
+        for node in victims {
+            let at = rng.gen_range(0.0..horizon.max(f64::MIN_POSITIVE));
+            plan = plan.with_crash(node, at);
+        }
+        plan
+    }
+
+    /// The slowdown multiplier for `node` (1.0 when not a straggler).
+    pub fn slowdown(&self, node: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.node == node)
+            .map(|s| s.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Backoff before retransmission attempt `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        self.retry_backoff * (1u64 << (attempt.saturating_sub(1)).min(20)) as f64
+    }
+
+    /// The plan's crashes sorted by (time, node) — the order the
+    /// simulation processes them in.
+    pub fn sorted_crashes(&self) -> Vec<NodeCrash> {
+        let mut crashes = self.crashes.clone();
+        crashes.sort_by(|a, b| {
+            a.at_seconds
+                .total_cmp(&b.at_seconds)
+                .then(a.node.cmp(&b.node))
+        });
+        crashes
+    }
+
+    /// A fresh RNG for this plan's probabilistic draws.
+    pub(crate) fn rng(&self) -> Rng64 {
+        Rng64::seed_from_u64(self.seed)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Coordinator-side recovery routing: which nodes can stand in for a
+/// dead one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOptions {
+    /// `alt_sources[j]` = nodes able to re-serve node `j`'s slices
+    /// (nodes holding replicas of `j`'s chunks), in preference order.
+    /// Empty when node `j`'s data is unreplicated — a crash of `j`
+    /// while it still has data to send is then unrecoverable.
+    pub alt_sources: Vec<Vec<usize>>,
+}
+
+impl RecoveryOptions {
+    /// No replicas anywhere (crash of a node with pending sends fails
+    /// the shuffle).
+    pub fn none(k: usize) -> Self {
+        RecoveryOptions {
+            alt_sources: vec![Vec::new(); k],
+        }
+    }
+
+    /// Chained declustering with `replicas` total copies: node `j`'s
+    /// data is mirrored on nodes `j+1 … j+replicas-1 (mod k)`.
+    pub fn chained(k: usize, replicas: usize) -> Self {
+        RecoveryOptions {
+            alt_sources: (0..k)
+                .map(|j| (1..replicas.min(k)).map(|i| (j + i) % k).collect())
+                .collect(),
+        }
+    }
+
+    /// The first alternate for `node` that is still alive.
+    pub fn live_alternate(&self, node: usize, dead: &[bool]) -> Option<usize> {
+        self.alt_sources
+            .get(node)?
+            .iter()
+            .copied()
+            .find(|&a| !dead.get(a).copied().unwrap_or(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(FaultPlan::seeded(7).is_none());
+        assert!(!FaultPlan::none().with_drop_rate(0.01).is_none());
+        assert!(!FaultPlan::none().with_crash(0, 1.0).is_none());
+        assert!(!FaultPlan::none().with_straggler(1, 2.0).is_none());
+        assert!(!FaultPlan::none().with_timeout(5.0).is_none());
+    }
+
+    #[test]
+    fn random_plans_replay_per_seed() {
+        let a = FaultPlan::random(42, 8, 3, 100.0, 0.05);
+        let b = FaultPlan::random(42, 8, 3, 100.0, 0.05);
+        assert_eq!(a, b);
+        assert_eq!(a.crashes.len(), 3);
+        let nodes: Vec<usize> = a.crashes.iter().map(|c| c.node).collect();
+        let mut dedup = nodes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "crash nodes must be distinct: {nodes:?}");
+        let c = FaultPlan::random(43, 8, 3, 100.0, 0.05);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn slowdown_takes_worst_factor() {
+        let p = FaultPlan::none()
+            .with_straggler(2, 3.0)
+            .with_straggler(2, 5.0);
+        assert_eq!(p.slowdown(2), 5.0);
+        assert_eq!(p.slowdown(0), 1.0);
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let p = FaultPlan::none();
+        assert!((p.backoff(1) - 1e-4).abs() < 1e-12);
+        assert!((p.backoff(2) - 2e-4).abs() < 1e-12);
+        assert!((p.backoff(3) - 4e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chained_recovery_walks_ring() {
+        let r = RecoveryOptions::chained(4, 3);
+        assert_eq!(r.alt_sources[0], vec![1, 2]);
+        assert_eq!(r.alt_sources[3], vec![0, 1]);
+        let dead = vec![false, true, false, false];
+        assert_eq!(r.live_alternate(0, &dead), Some(2));
+        assert_eq!(r.live_alternate(3, &dead), Some(0));
+        assert_eq!(
+            RecoveryOptions::none(4).live_alternate(0, &dead),
+            None
+        );
+    }
+
+    #[test]
+    fn sorted_crashes_order_by_time_then_node() {
+        let p = FaultPlan::none()
+            .with_crash(3, 5.0)
+            .with_crash(1, 2.0)
+            .with_crash(0, 5.0);
+        let s = p.sorted_crashes();
+        assert_eq!(
+            s.iter().map(|c| c.node).collect::<Vec<_>>(),
+            vec![1, 0, 3]
+        );
+    }
+}

@@ -16,12 +16,14 @@
 
 mod cluster;
 mod error;
+mod fault;
 mod network;
 mod placement;
 mod shuffle;
 
 pub use cluster::{Catalog, Cluster, Node};
 pub use error::{ClusterError, Result};
+pub use fault::{FaultPlan, NodeCrash, RecoveryOptions, Straggler};
 pub use network::NetworkModel;
 pub use placement::Placement;
-pub use shuffle::{simulate_shuffle, ShuffleReport, Transfer};
+pub use shuffle::{simulate_shuffle, simulate_shuffle_with_faults, ShuffleReport, Transfer};

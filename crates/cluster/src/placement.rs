@@ -52,6 +52,24 @@ impl Placement {
                 .min(k - 1),
         }
     }
+
+    /// The nodes that should hold chunk `chunk_id` under `replicas`-way
+    /// replication: the primary (per [`Placement::node_for`]) first,
+    /// then `replicas - 1` chained-declustering copies on the next
+    /// nodes mod `k`. Never returns duplicates; on a cluster smaller
+    /// than the replication factor every node holds a copy.
+    pub fn replica_nodes(
+        &self,
+        chunk_id: u64,
+        total_chunks: u64,
+        k: usize,
+        replicas: usize,
+    ) -> Vec<usize> {
+        let primary = self.node_for(chunk_id, total_chunks, k);
+        (0..replicas.max(1).min(k))
+            .map(|i| (primary + i) % k)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +135,15 @@ mod tests {
         let p = Placement::Explicit(map);
         assert_eq!(p.node_for(3, 8, 4), 2);
         assert_eq!(p.node_for(5, 8, 4), 1); // fallback round-robin
+    }
+
+    #[test]
+    fn replica_nodes_chain_from_primary() {
+        let p = Placement::RoundRobin;
+        assert_eq!(p.replica_nodes(2, 8, 4, 3), vec![2, 3, 0]);
+        assert_eq!(p.replica_nodes(3, 8, 4, 1), vec![3]);
+        // Replication factor clamped to the cluster size, no duplicates.
+        assert_eq!(p.replica_nodes(1, 8, 2, 5), vec![1, 0]);
     }
 
     #[test]

@@ -12,12 +12,47 @@
 //! virtual time at which the last slice lands — plus per-node send and
 //! receive loads, which is exactly what the physical cost model
 //! approximates analytically (paper §5.1).
+//!
+//! # Fault injection
+//!
+//! [`simulate_shuffle_with_faults`] additionally threads a [`FaultPlan`]
+//! through the event loop, which the paper's framework does not model:
+//!
+//! - **Drops and corruption** — every transfer carries a checksum; a
+//!   dropped or corrupted attempt is retransmitted with exponential
+//!   backoff while the sender holds both locks, up to
+//!   `FaultPlan::max_retries` attempts (then the shuffle fails with a
+//!   typed [`ClusterError::TransferFailed`]).
+//! - **Timeouts** — an attempt whose expected duration exceeds
+//!   `transfer_timeout` is aborted at the timeout and retried, re-sourced
+//!   from a faster live replica when [`RecoveryOptions`] knows one.
+//! - **Node crashes** — at the crash timestamp, in-flight transfers
+//!   touching the dead node abort; its unsent slices are re-sourced from
+//!   replica nodes; everything destined for it (including slices that
+//!   had already landed, and its local data) is re-routed to a
+//!   substitute node chosen by the coordinator (least receive load,
+//!   lowest id) and retransmitted from live sources. The substitution
+//!   is recorded in `ShuffleReport::reassigned` so the executor can
+//!   re-home the affected join units.
+//!
+//! With `FaultPlan::none()` the loop takes the exact fault-free
+//! arithmetic path: no RNG draws, slowdown factor 1.0, no recovery
+//! bookkeeping — reports are bit-identical to the plain simulation.
+//!
+//! Accounting under faults: `network_bytes`/`network_transfers` count
+//! the *planned* payload (plus recovery retransmissions of landed data);
+//! `sent_bytes` counts bytes a node actually pushed onto the wire
+//! (each attempt, including retransmissions); `recv_bytes` counts bytes
+//! successfully received; `recovery_bytes` isolates everything moved
+//! *because of* faults.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::error::{ClusterError, Result};
+use crate::fault::{FaultPlan, NodeCrash, RecoveryOptions};
 use crate::network::NetworkModel;
+use sj_workload::Rng64;
 
 /// One slice transfer to schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +80,26 @@ pub struct ShuffleReport {
     pub recv_bytes: Vec<u64>,
     /// Number of network transfers performed.
     pub network_transfers: usize,
+    /// Retransmission attempts (drops, corruption, timeouts).
+    pub retries: u64,
+    /// Transfers moved to a replica source or substitute destination.
+    pub reroutes: u64,
+    /// Extra bytes moved over the network because of faults.
+    pub recovery_bytes: u64,
+    /// Transfers whose payload failed its checksum on arrival.
+    pub checksum_failures: u64,
+    /// Transfers lost in flight.
+    pub dropped_transfers: u64,
+    /// Attempts aborted by the per-transfer timeout.
+    pub timeouts: u64,
+    /// Nodes that died during (or right after) the shuffle, in crash
+    /// order.
+    pub failed_nodes: Vec<usize>,
+    /// Dead destination → substitute node, in crash order. The executor
+    /// re-homes join units through this map.
+    pub reassigned: Vec<(usize, usize)>,
+    /// True when the cluster lost at least one node.
+    pub degraded: bool,
 }
 
 impl ShuffleReport {
@@ -57,15 +112,36 @@ impl ShuffleReport {
             sent_bytes: vec![0; k],
             recv_bytes: vec![0; k],
             network_transfers: 0,
+            retries: 0,
+            reroutes: 0,
+            recovery_bytes: 0,
+            checksum_failures: 0,
+            dropped_transfers: 0,
+            timeouts: 0,
+            failed_nodes: Vec::new(),
+            reassigned: Vec::new(),
+            degraded: false,
         }
     }
+}
+
+/// A transfer in the scheduler: `src` is where it is sourced *now*
+/// (recovery may move it to a replica), `orig_src` the node whose slice
+/// data it carries (the key into `RecoveryOptions::alt_sources`).
+#[derive(Debug, Clone, Copy)]
+struct Pend {
+    src: usize,
+    orig_src: usize,
+    dst: usize,
+    bytes: u64,
+    attempts: u32,
 }
 
 #[derive(Debug, PartialEq)]
 struct Completion {
     finish: f64,
     sender: usize,
-    dst: usize,
+    id: usize,
 }
 
 impl Eq for Completion {}
@@ -73,10 +149,14 @@ impl Eq for Completion {}
 impl Ord for Completion {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on finish time (BinaryHeap is a max-heap): reverse.
+        // Sender uniqueness (one in-flight transfer per sender) makes
+        // the id tiebreak unreachable; it is kept for total-order
+        // hygiene.
         other
             .finish
             .total_cmp(&self.finish)
             .then_with(|| other.sender.cmp(&self.sender))
+            .then_with(|| other.id.cmp(&self.id))
     }
 }
 
@@ -93,114 +173,451 @@ pub fn simulate_shuffle(
     network: &NetworkModel,
     transfers: &[Transfer],
 ) -> Result<ShuffleReport> {
-    let mut report = ShuffleReport::empty(k);
-    // Per-sender queues of pending network transfers, in submission order.
-    let mut pending: Vec<Vec<Transfer>> = vec![Vec::new(); k];
-    for t in transfers {
-        if t.src >= k {
-            return Err(ClusterError::NoSuchNode(t.src));
+    simulate_shuffle_with_faults(
+        k,
+        network,
+        transfers,
+        &FaultPlan::none(),
+        &RecoveryOptions::none(k),
+    )
+}
+
+/// Simulate the shuffle under an injected [`FaultPlan`], recovering via
+/// `recovery` (replica alternates per node). See the module docs for
+/// the full failure/recovery protocol.
+pub fn simulate_shuffle_with_faults(
+    k: usize,
+    network: &NetworkModel,
+    transfers: &[Transfer],
+    faults: &FaultPlan,
+    recovery: &RecoveryOptions,
+) -> Result<ShuffleReport> {
+    let mut sim = Sim::new(k, network, faults, recovery, transfers)?;
+    sim.run()?;
+    Ok(sim.report)
+}
+
+struct Sim<'a> {
+    k: usize,
+    network: &'a NetworkModel,
+    faults: &'a FaultPlan,
+    recovery: &'a RecoveryOptions,
+    rng: Rng64,
+    /// Per-sender queues of pending transfers; the *back* of each Vec is
+    /// the logical front (dispatch scans with `rposition`).
+    pending: Vec<Vec<Pend>>,
+    /// Per-destination log of delivered transfers (includes local data),
+    /// consulted when a destination dies and its inputs must be rebuilt.
+    landed: Vec<Vec<Pend>>,
+    locked: Vec<bool>,
+    busy: Vec<bool>,
+    dead: Vec<bool>,
+    events: BinaryHeap<Completion>,
+    inflight: Vec<Option<(Pend, bool)>>,
+    cancelled: Vec<bool>,
+    crashes: Vec<NodeCrash>,
+    next_crash: usize,
+    now: f64,
+    report: ShuffleReport,
+}
+
+impl<'a> Sim<'a> {
+    fn new(
+        k: usize,
+        network: &'a NetworkModel,
+        faults: &'a FaultPlan,
+        recovery: &'a RecoveryOptions,
+        transfers: &[Transfer],
+    ) -> Result<Self> {
+        let mut report = ShuffleReport::empty(k);
+        let mut pending: Vec<Vec<Pend>> = vec![Vec::new(); k];
+        let mut landed: Vec<Vec<Pend>> = vec![Vec::new(); k];
+        for t in transfers {
+            if t.src >= k {
+                return Err(ClusterError::NoSuchNode(t.src));
+            }
+            if t.dst >= k {
+                return Err(ClusterError::NoSuchNode(t.dst));
+            }
+            let p = Pend {
+                src: t.src,
+                orig_src: t.src,
+                dst: t.dst,
+                bytes: t.bytes,
+                attempts: 0,
+            };
+            if t.src == t.dst {
+                report.local_bytes += t.bytes;
+                // Local data still dies with its node: remember it so a
+                // crash can rebuild it on the substitute from replicas.
+                landed[t.dst].push(p);
+                continue;
+            }
+            report.network_bytes += t.bytes;
+            report.network_transfers += 1;
+            pending[t.src].push(p);
         }
-        if t.dst >= k {
-            return Err(ClusterError::NoSuchNode(t.dst));
+        // Queues are drained front-to-back; reverse so pop-from-back
+        // walks the original order.
+        for q in &mut pending {
+            q.reverse();
         }
-        if t.src == t.dst {
-            report.local_bytes += t.bytes;
-            continue;
+        for c in &faults.crashes {
+            if c.node >= k {
+                return Err(ClusterError::NoSuchNode(c.node));
+            }
         }
-        report.network_bytes += t.bytes;
-        report.sent_bytes[t.src] += t.bytes;
-        report.recv_bytes[t.dst] += t.bytes;
-        report.network_transfers += 1;
-        pending[t.src].push(*t);
-    }
-    // Queues are drained front-to-back; reverse so pop-from-back walks
-    // the original order.
-    for q in &mut pending {
-        q.reverse();
+        Ok(Sim {
+            k,
+            network,
+            faults,
+            recovery,
+            rng: faults.rng(),
+            pending,
+            landed,
+            locked: vec![false; k],
+            busy: vec![false; k],
+            dead: vec![false; k],
+            events: BinaryHeap::new(),
+            inflight: Vec::new(),
+            cancelled: Vec::new(),
+            crashes: faults.sorted_crashes(),
+            next_crash: 0,
+            now: 0.0,
+            report,
+        })
     }
 
-    let mut locked = vec![false; k];
-    let mut sender_busy = vec![false; k];
-    let mut events: BinaryHeap<Completion> = BinaryHeap::new();
-    let mut now = 0.0f64;
+    /// Expected wire time of one attempt, including straggler slowdown.
+    fn effective_time(&self, p: &Pend) -> f64 {
+        self.network.transfer_time(p.bytes)
+            * self
+                .faults
+                .slowdown(p.src)
+                .max(self.faults.slowdown(p.dst))
+    }
 
-    // Try to start one transfer for `sender`: the first pending slice
-    // whose destination lock is free (the greedy "try the next slice"
-    // rule from §3.4).
-    fn try_dispatch(
-        sender: usize,
-        now: f64,
-        pending: &mut [Vec<Transfer>],
-        locked: &mut [bool],
-        sender_busy: &mut [bool],
-        network: &NetworkModel,
-        events: &mut BinaryHeap<Completion>,
-    ) {
-        if sender_busy[sender] {
+    /// Try to start one transfer for `sender`: the first pending slice
+    /// whose destination lock is free (the greedy "try the next slice"
+    /// rule from §3.4).
+    fn try_dispatch(&mut self, sender: usize) {
+        if self.busy[sender] || self.dead[sender] {
             return;
         }
-        let queue = &mut pending[sender];
+        let dead = &self.dead;
+        let locked = &self.locked;
+        let queue = &mut self.pending[sender];
         // Scan from the back (front of the logical queue).
-        let Some(idx) = queue.iter().rposition(|t| !locked[t.dst]) else {
+        let Some(idx) = queue
+            .iter()
+            .rposition(|t| !locked[t.dst] && !dead[t.dst])
+        else {
             return;
         };
-        let t = queue.remove(idx);
-        locked[t.dst] = true;
-        sender_busy[sender] = true;
-        events.push(Completion {
-            finish: now + network.transfer_time(t.bytes),
+        let p = queue.remove(idx);
+        self.locked[p.dst] = true;
+        self.busy[sender] = true;
+        self.report.sent_bytes[p.src] += p.bytes;
+        let eff = self.effective_time(&p);
+        // An attempt that will blow the timeout is aborted early —
+        // unless the retry budget is spent, in which case the slow path
+        // is accepted (degrade gracefully rather than spin forever).
+        let timed_out = match self.faults.transfer_timeout {
+            Some(limit) => eff > limit && p.attempts < self.faults.max_retries,
+            None => false,
+        };
+        let finish = if timed_out {
+            self.now + self.faults.transfer_timeout.unwrap_or(eff)
+        } else {
+            self.now + eff
+        };
+        let id = self.inflight.len();
+        self.inflight.push(Some((p, timed_out)));
+        self.cancelled.push(false);
+        self.events.push(Completion {
+            finish,
             sender,
-            dst: t.dst,
+            id,
         });
     }
 
-    for s in 0..k {
-        try_dispatch(
-            s,
-            now,
-            &mut pending,
-            &mut locked,
-            &mut sender_busy,
-            network,
-            &mut events,
-        );
-    }
-
-    while let Some(done) = events.pop() {
-        now = done.finish;
-        locked[done.dst] = false;
-        sender_busy[done.sender] = false;
-        // The freed lock (and freed sender) may unblock any idle sender;
-        // poll them in node order, completing sender first for fairness.
-        try_dispatch(
-            done.sender,
-            now,
-            &mut pending,
-            &mut locked,
-            &mut sender_busy,
-            network,
-            &mut events,
-        );
-        for s in 0..k {
-            try_dispatch(
-                s,
-                now,
-                &mut pending,
-                &mut locked,
-                &mut sender_busy,
-                network,
-                &mut events,
-            );
+    fn dispatch_all(&mut self) {
+        for s in 0..self.k {
+            self.try_dispatch(s);
         }
     }
 
-    if pending.iter().any(|q| !q.is_empty()) {
-        return Err(ClusterError::Simulation(
-            "shuffle ended with undispatched transfers".into(),
-        ));
+    /// Re-home a transfer whose current source died: the first live
+    /// replica of the node whose slice data it carries takes over.
+    fn resource(&self, p: Pend) -> Result<Pend> {
+        let alt = self
+            .recovery
+            .live_alternate(p.orig_src, &self.dead)
+            .ok_or_else(|| {
+                ClusterError::Unrecoverable(format!(
+                    "node {} died with no live replica for node {}'s slices",
+                    p.src, p.orig_src
+                ))
+            })?;
+        Ok(Pend { src: alt, ..p })
     }
-    report.makespan = now;
-    Ok(report)
+
+    /// The coordinator's substitute for a dead destination: the live
+    /// node with the least receive load (landed + outstanding), lowest
+    /// id on ties.
+    fn pick_substitute(&self) -> Result<usize> {
+        let mut load = self.report.recv_bytes.clone();
+        for q in &self.pending {
+            for p in q {
+                load[p.dst] += p.bytes;
+            }
+        }
+        for (id, slot) in self.inflight.iter().enumerate() {
+            if let Some((p, _)) = slot {
+                if !self.cancelled[id] {
+                    load[p.dst] += p.bytes;
+                }
+            }
+        }
+        (0..self.k)
+            .filter(|&j| !self.dead[j])
+            .min_by_key(|&j| (load[j], j))
+            .ok_or_else(|| {
+                ClusterError::Unrecoverable("every node in the cluster has died".into())
+            })
+    }
+
+    /// Kill node `d` at the current virtual time and re-plan: re-source
+    /// its unsent slices, re-target everything headed to it, and rebuild
+    /// what it had already received (or held locally) on a substitute.
+    fn process_crash(&mut self, d: usize) -> Result<()> {
+        if self.dead[d] {
+            return Ok(());
+        }
+        self.dead[d] = true;
+        self.report.degraded = true;
+        self.report.failed_nodes.push(d);
+
+        // Abort in-flight transfers touching the dead node.
+        let mut orphans: Vec<Pend> = Vec::new();
+        for id in 0..self.inflight.len() {
+            if self.cancelled[id] {
+                continue;
+            }
+            let Some((p, _)) = self.inflight[id] else {
+                continue;
+            };
+            if p.src != d && p.dst != d {
+                continue;
+            }
+            self.cancelled[id] = true;
+            self.inflight[id] = None;
+            self.locked[p.dst] = false;
+            self.busy[p.src] = false;
+            self.report.recovery_bytes += p.bytes;
+            orphans.push(p);
+        }
+
+        // Re-source the dead node's unsent slices from replicas. They
+        // join the front of the replica's queue (recovery first).
+        let unsent: Vec<Pend> = std::mem::take(&mut self.pending[d]);
+        for p in unsent.into_iter().rev() {
+            let r = self.resource(p)?;
+            self.report.reroutes += 1;
+            self.pending[r.src].push(r);
+        }
+        for p in orphans.iter().filter(|p| p.src == d && p.dst != d) {
+            let r = self.resource(*p)?;
+            self.report.reroutes += 1;
+            self.pending[r.src].push(r);
+        }
+
+        // The coordinator re-plans the remaining schedule: everything
+        // destined for the dead node goes to a substitute instead.
+        let sub = self.pick_substitute()?;
+        self.report.reassigned.push((d, sub));
+        for q in &mut self.pending {
+            for p in q.iter_mut() {
+                if p.dst == d {
+                    p.dst = sub;
+                    self.report.reroutes += 1;
+                }
+            }
+        }
+        let mut to_sub: Vec<Pend> = Vec::new();
+        for p in orphans.into_iter().filter(|p| p.dst == d) {
+            to_sub.push(Pend { dst: sub, ..p });
+        }
+        // Slices that had already landed on the dead node (and its local
+        // data) are rebuilt on the substitute from live holders.
+        let lost: Vec<Pend> = std::mem::take(&mut self.landed[d]);
+        for p in lost {
+            to_sub.push(Pend {
+                dst: sub,
+                attempts: 0,
+                ..p
+            });
+        }
+        for p in to_sub.into_iter() {
+            // A dead source (the dead node itself for an orphaned
+            // self-transfer, or an earlier casualty for landed data)
+            // must be re-homed to a live replica before re-queueing —
+            // a dead sender's queue never dispatches.
+            let p = if self.dead[p.src] {
+                self.resource(p)?
+            } else {
+                p
+            };
+            self.report.reroutes += 1;
+            if p.src == p.dst {
+                // The substitute already holds a copy: an instant local
+                // recovery, no wire cost.
+                self.report.local_bytes += p.bytes;
+                self.report.makespan = self.report.makespan.max(self.now);
+                self.landed[p.dst].push(p);
+            } else {
+                self.report.recovery_bytes += p.bytes;
+                self.report.network_bytes += p.bytes;
+                self.report.network_transfers += 1;
+                self.pending[p.src].push(p);
+            }
+        }
+        self.dispatch_all();
+        Ok(())
+    }
+
+    /// Handle one completion event: a successful landing, a detected
+    /// drop/corruption (retransmit with backoff, locks held), or a
+    /// timeout (abort, maybe re-source from a faster replica).
+    fn process_completion(&mut self, done: Completion) -> Result<()> {
+        self.now = done.finish;
+        let (mut p, timed_out) = self.inflight[done.id]
+            .take()
+            .expect("completion for vacated transfer slot");
+
+        if timed_out {
+            self.report.timeouts += 1;
+            self.report.retries += 1;
+            self.report.recovery_bytes += p.bytes;
+            self.locked[p.dst] = false;
+            self.busy[p.src] = false;
+            p.attempts += 1;
+            // Prefer a strictly faster live replica; otherwise retry in
+            // place (the final attempt runs to completion regardless).
+            if let Some(alt) = self.recovery.live_alternate(p.orig_src, &self.dead) {
+                if self.faults.slowdown(alt) < self.faults.slowdown(p.src) {
+                    self.report.reroutes += 1;
+                    p.src = alt;
+                }
+            }
+            self.pending[p.src].push(p);
+            self.try_dispatch(done.sender);
+            self.dispatch_all();
+            return Ok(());
+        }
+
+        // The receiver verifies the payload checksum; a dropped transfer
+        // never arrives, a corrupted one arrives and fails the check.
+        let failed = if self.faults.drop_rate > 0.0 && self.rng.gen_f64() < self.faults.drop_rate
+        {
+            self.report.dropped_transfers += 1;
+            true
+        } else if self.faults.corrupt_rate > 0.0
+            && self.rng.gen_f64() < self.faults.corrupt_rate
+        {
+            self.report.checksum_failures += 1;
+            true
+        } else {
+            false
+        };
+
+        if failed {
+            if p.attempts >= self.faults.max_retries {
+                return Err(ClusterError::TransferFailed {
+                    src: p.src,
+                    dst: p.dst,
+                    attempts: p.attempts + 1,
+                });
+            }
+            p.attempts += 1;
+            self.report.retries += 1;
+            self.report.recovery_bytes += p.bytes;
+            self.report.sent_bytes[p.src] += p.bytes;
+            // Retransmit immediately, locks held, after exponential
+            // backoff; retries run to completion (no timeout re-check).
+            let finish = self.now + self.faults.backoff(p.attempts) + self.effective_time(&p);
+            let id = self.inflight.len();
+            self.inflight.push(Some((p, false)));
+            self.cancelled.push(false);
+            self.events.push(Completion {
+                finish,
+                sender: done.sender,
+                id,
+            });
+            return Ok(());
+        }
+
+        // Delivered.
+        self.locked[p.dst] = false;
+        self.busy[p.src] = false;
+        self.report.recv_bytes[p.dst] += p.bytes;
+        self.report.makespan = self.report.makespan.max(self.now);
+        self.landed[p.dst].push(p);
+        // The freed lock (and freed sender) may unblock any idle sender;
+        // poll them in node order, completing sender first for fairness.
+        self.try_dispatch(done.sender);
+        self.dispatch_all();
+        Ok(())
+    }
+
+    fn run(&mut self) -> Result<()> {
+        self.dispatch_all();
+        loop {
+            // Clear tombstoned events off the top of the heap.
+            while let Some(top) = self.events.peek() {
+                if self.cancelled[top.id] {
+                    self.events.pop();
+                } else {
+                    break;
+                }
+            }
+            let next_finish = self.events.peek().map(|c| c.finish);
+            let crash_due = self.next_crash < self.crashes.len();
+            match (next_finish, crash_due) {
+                (None, false) => break,
+                // A crash fires before the next completion (ties break
+                // toward the crash: the failure preempts the landing).
+                (Some(f), true) if self.crashes[self.next_crash].at_seconds <= f => {
+                    let c = self.crashes[self.next_crash];
+                    self.next_crash += 1;
+                    self.now = self.now.max(c.at_seconds);
+                    self.process_crash(c.node)?;
+                }
+                (Some(_), _) => {
+                    let done = self.events.pop().expect("peeked event vanished");
+                    self.process_completion(done)?;
+                }
+                (None, true) => {
+                    // Crash with the network idle — possibly after the
+                    // last transfer landed. Still re-plans (re-homes the
+                    // dead node's data) and marks the run degraded.
+                    let c = self.crashes[self.next_crash];
+                    self.next_crash += 1;
+                    self.now = self.now.max(c.at_seconds);
+                    self.process_crash(c.node)?;
+                }
+            }
+        }
+        let stuck: Vec<usize> = (0..self.k)
+            .filter(|&s| !self.pending[s].is_empty())
+            .collect();
+        if !stuck.is_empty() {
+            return Err(ClusterError::Simulation(format!(
+                "shuffle ended with undispatched transfers on nodes {stuck:?}"
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -395,5 +812,394 @@ mod tests {
         let max_send = *r.sent_bytes.iter().max().unwrap() as f64;
         let max_recv = *r.recv_bytes.iter().max().unwrap() as f64;
         assert!(r.makespan + 1e-9 >= max_send.max(max_recv));
+    }
+
+    // ---- Scheduler edge cases. -----------------------------------------
+
+    #[test]
+    fn zero_byte_transfers_complete_instantly() {
+        let transfers = [
+            Transfer { src: 0, dst: 1, bytes: 0 },
+            Transfer { src: 1, dst: 2, bytes: 0 },
+            Transfer { src: 2, dst: 0, bytes: 0 },
+            Transfer { src: 0, dst: 2, bytes: 0 },
+        ];
+        let r = simulate_shuffle(3, &net(), &transfers).unwrap();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.network_bytes, 0);
+        assert_eq!(r.network_transfers, 4);
+    }
+
+    #[test]
+    fn single_node_cluster_is_all_local() {
+        let transfers = [
+            Transfer { src: 0, dst: 0, bytes: 100 },
+            Transfer { src: 0, dst: 0, bytes: 200 },
+        ];
+        let r = simulate_shuffle(1, &net(), &transfers).unwrap();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.local_bytes, 300);
+        assert_eq!(r.network_transfers, 0);
+        assert_eq!(r.sent_bytes, vec![0]);
+    }
+
+    #[test]
+    fn all_senders_blocked_on_one_receiver_make_progress() {
+        // Three senders, every slice headed to node 3: the write lock
+        // admits one at a time, the rest poll. The schedule must drain
+        // fully serialized, never deadlocked.
+        let mut transfers = Vec::new();
+        for s in 0..3 {
+            for _ in 0..4 {
+                transfers.push(Transfer { src: s, dst: 3, bytes: 10 });
+            }
+        }
+        let r = simulate_shuffle(4, &net(), &transfers).unwrap();
+        assert!((r.makespan - 120.0).abs() < 1e-9);
+        assert_eq!(r.recv_bytes[3], 120);
+        assert_eq!(r.network_transfers, 12);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_added_transfers() {
+        // Adding a transfer to the workload never shrinks the makespan
+        // under the greedy schedule (checked over growing prefixes of a
+        // deterministic pseudo-random workload).
+        let k = 4;
+        let mut rng = Rng64::seed_from_u64(42);
+        let transfers: Vec<Transfer> = (0..24)
+            .map(|_| {
+                let src = rng.gen_range(0..k);
+                let mut dst = rng.gen_range(0..k);
+                if dst == src {
+                    dst = (dst + 1) % k;
+                }
+                Transfer {
+                    src,
+                    dst,
+                    bytes: rng.gen_range(1u64..=500),
+                }
+            })
+            .collect();
+        let mut prev = 0.0;
+        for len in 0..=transfers.len() {
+            let r = simulate_shuffle(k, &net(), &transfers[..len]).unwrap();
+            assert!(
+                r.makespan + 1e-9 >= prev,
+                "makespan shrank from {prev} to {} at prefix {len}",
+                r.makespan
+            );
+            prev = r.makespan;
+        }
+    }
+
+    // ---- Fault injection. ----------------------------------------------
+
+    fn spread_transfers(k: usize, bytes: u64) -> Vec<Transfer> {
+        let mut transfers = Vec::new();
+        for s in 0..k {
+            for d in 0..k {
+                if s != d {
+                    transfers.push(Transfer { src: s, dst: d, bytes });
+                }
+            }
+        }
+        transfers
+    }
+
+    #[test]
+    fn faultless_plan_is_bit_identical_to_plain_simulation() {
+        // Zero-overhead guarantee: FaultPlan::none() takes the exact
+        // fault-free arithmetic path.
+        let transfers = spread_transfers(4, 137);
+        let plain = simulate_shuffle(4, &net(), &transfers).unwrap();
+        let faulty = simulate_shuffle_with_faults(
+            4,
+            &net(),
+            &transfers,
+            &FaultPlan::none(),
+            &RecoveryOptions::chained(4, 2),
+        )
+        .unwrap();
+        assert_eq!(plain, faulty);
+        assert!(!faulty.degraded);
+        assert_eq!(faulty.retries, 0);
+        assert_eq!(faulty.reroutes, 0);
+        assert_eq!(faulty.recovery_bytes, 0);
+    }
+
+    #[test]
+    fn drop_rate_forces_retries_and_inflates_makespan() {
+        let transfers = spread_transfers(3, 100);
+        let clean = simulate_shuffle(3, &net(), &transfers).unwrap();
+        let plan = FaultPlan::seeded(11).with_drop_rate(0.4);
+        let r = simulate_shuffle_with_faults(
+            3,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::none(3),
+        )
+        .unwrap();
+        assert!(r.retries > 0, "40% drop over 6 transfers must retry");
+        assert_eq!(r.retries, r.dropped_transfers);
+        assert!(r.recovery_bytes >= 100 * r.retries);
+        assert!(r.makespan > clean.makespan);
+        assert!(!r.degraded, "drops alone do not degrade the cluster");
+        // Every payload still arrives exactly once.
+        assert_eq!(r.recv_bytes, clean.recv_bytes);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_retransmitted() {
+        let transfers = spread_transfers(3, 100);
+        let plan = FaultPlan::seeded(5).with_corrupt_rate(0.4);
+        let r = simulate_shuffle_with_faults(
+            3,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::none(3),
+        )
+        .unwrap();
+        assert!(r.checksum_failures > 0);
+        assert_eq!(r.retries, r.checksum_failures);
+        assert_eq!(r.dropped_transfers, 0);
+        assert_eq!(r.recv_bytes.iter().sum::<u64>(), 600);
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_typed_error() {
+        let plan = FaultPlan::seeded(3)
+            .with_drop_rate(0.99)
+            .with_max_retries(2);
+        let err = simulate_shuffle_with_faults(
+            2,
+            &net(),
+            &[Transfer { src: 0, dst: 1, bytes: 10 }],
+            &plan,
+            &RecoveryOptions::none(2),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ClusterError::TransferFailed { src: 0, dst: 1, attempts: 3 }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn sender_crash_resources_from_replica() {
+        // Node 0 has a long queue; it dies mid-shuffle and node 1 (its
+        // chained replica) takes over the unsent slices.
+        let transfers = [
+            Transfer { src: 0, dst: 2, bytes: 100 },
+            Transfer { src: 0, dst: 3, bytes: 100 },
+            Transfer { src: 0, dst: 2, bytes: 100 },
+            Transfer { src: 0, dst: 3, bytes: 100 },
+        ];
+        let plan = FaultPlan::none().with_crash(0, 150.0);
+        let r = simulate_shuffle_with_faults(
+            4,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::chained(4, 2),
+        )
+        .unwrap();
+        assert!(r.degraded);
+        assert_eq!(r.failed_nodes, vec![0]);
+        assert!(r.reroutes > 0, "unsent slices must move to the replica");
+        assert!(r.recovery_bytes > 0, "the aborted in-flight send is re-sent");
+        // All 400 bytes still land on nodes 2 and 3.
+        assert_eq!(r.recv_bytes[2] + r.recv_bytes[3], 400);
+        assert!(r.makespan > 200.0, "recovery costs time");
+    }
+
+    #[test]
+    fn sender_crash_without_replica_is_unrecoverable() {
+        let transfers = [
+            Transfer { src: 0, dst: 1, bytes: 100 },
+            Transfer { src: 0, dst: 2, bytes: 100 },
+        ];
+        let plan = FaultPlan::none().with_crash(0, 50.0);
+        let err = simulate_shuffle_with_faults(
+            3,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::none(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::Unrecoverable(_)), "{err}");
+    }
+
+    #[test]
+    fn dead_destination_gets_a_substitute() {
+        // Node 2 is the hot receiver; it dies halfway. Already-landed
+        // slices are rebuilt on the substitute and the rest re-targeted.
+        let transfers = [
+            Transfer { src: 0, dst: 2, bytes: 100 },
+            Transfer { src: 1, dst: 2, bytes: 100 },
+            Transfer { src: 0, dst: 2, bytes: 100 },
+            Transfer { src: 2, dst: 2, bytes: 40 }, // local data dies too
+        ];
+        let plan = FaultPlan::none().with_crash(2, 150.0);
+        let r = simulate_shuffle_with_faults(
+            4,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::chained(4, 2),
+        )
+        .unwrap();
+        assert!(r.degraded);
+        assert_eq!(r.reassigned.len(), 1);
+        let (dead, sub) = r.reassigned[0];
+        assert_eq!(dead, 2);
+        assert_eq!(sub, 0, "least-loaded live node stands in");
+        // Node 0 originally sent the lost slices, so as substitute it
+        // rebuilds them locally at zero wire cost; only node 1's slice
+        // (100) and node 2's local data (40, re-served by its replica
+        // on node 3) cross the network.
+        assert_eq!(r.recv_bytes[sub], 140);
+        assert_eq!(r.local_bytes, 240, "40 original + 200 rebuilt in place");
+        assert_eq!(r.recovery_bytes, 140, "aborted in-flight + replica re-serve");
+    }
+
+    #[test]
+    fn crash_after_last_transfer_still_degrades_and_reassigns() {
+        let transfers = [Transfer { src: 0, dst: 1, bytes: 10 }];
+        let plan = FaultPlan::none().with_crash(1, 1_000.0);
+        let r = simulate_shuffle_with_faults(
+            3,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::chained(3, 2),
+        )
+        .unwrap();
+        assert!(r.degraded);
+        assert_eq!(r.failed_nodes, vec![1]);
+        assert_eq!(r.reassigned.len(), 1);
+        // The landed payload is rebuilt on the substitute.
+        let (_, sub) = r.reassigned[0];
+        assert!(r.recv_bytes[sub] > 0 || r.local_bytes > 0);
+    }
+
+    #[test]
+    fn orphaned_self_transfer_on_dead_node_is_resourced() {
+        // Two crashes in sequence: the first re-targets node 2's pending
+        // transfer onto node 2 itself (substitute), making it an
+        // in-flight self-send; the second kills node 2 mid-flight. The
+        // orphan's source is the dead node, so it must be re-homed to a
+        // replica (here node 1, which also *is* the substitute — an
+        // instant local recovery). A regression guard: this used to
+        // re-queue the orphan on the dead sender and deadlock the
+        // simulation.
+        let transfers = [
+            Transfer { src: 2, dst: 1, bytes: 50 },
+            Transfer { src: 2, dst: 0, bytes: 100 },
+        ];
+        let plan = FaultPlan::none()
+            .with_crash(0, 5.0)
+            .with_crash(2, 100.0);
+        let r = simulate_shuffle_with_faults(
+            3,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::chained(3, 3),
+        )
+        .unwrap();
+        assert!(r.degraded);
+        assert_eq!(r.failed_nodes, vec![0, 2]);
+        // Crash 1: node 2 is the least-loaded live node (node 1 already
+        // has 50 inbound bytes), so the 100-byte transfer re-targets to
+        // itself. Crash 2: node 1 is the only live node left; it holds
+        // node 2's replica, so the rebuild is local.
+        assert_eq!(r.reassigned, vec![(0, 2), (2, 1)]);
+        assert_eq!(r.recv_bytes[1], 50);
+        assert_eq!(r.local_bytes, 100);
+    }
+
+    #[test]
+    fn straggler_scales_makespan() {
+        let transfers = [Transfer { src: 0, dst: 1, bytes: 100 }];
+        let plan = FaultPlan::none().with_straggler(0, 3.0);
+        let r = simulate_shuffle_with_faults(
+            2,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::none(2),
+        )
+        .unwrap();
+        assert!((r.makespan - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_resources_transfer_from_faster_replica() {
+        // Node 0's link is 10× slow; its data is mirrored on node 1.
+        // With a 150s timeout the 1000s attempt aborts and node 1
+        // re-serves the slice at full speed.
+        let transfers = [Transfer { src: 0, dst: 2, bytes: 100 }];
+        let plan = FaultPlan::none()
+            .with_straggler(0, 10.0)
+            .with_timeout(150.0);
+        let r = simulate_shuffle_with_faults(
+            3,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::chained(3, 2),
+        )
+        .unwrap();
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.reroutes, 1);
+        // 150 (aborted) + 100 (replica resend) — far under the 1000s
+        // straggler path.
+        assert!((r.makespan - 250.0).abs() < 1e-9, "makespan {}", r.makespan);
+        assert_eq!(r.recv_bytes[2], 100);
+    }
+
+    #[test]
+    fn timeout_without_replica_eventually_accepts_slow_path() {
+        let transfers = [Transfer { src: 0, dst: 1, bytes: 100 }];
+        let plan = FaultPlan::none()
+            .with_straggler(0, 10.0)
+            .with_timeout(150.0)
+            .with_max_retries(2);
+        let r = simulate_shuffle_with_faults(
+            2,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::none(2),
+        )
+        .unwrap();
+        // Two aborted attempts, then the full slow send is accepted.
+        assert_eq!(r.timeouts, 2);
+        assert!(r.makespan > 1_000.0);
+        assert_eq!(r.recv_bytes[1], 100);
+    }
+
+    #[test]
+    fn same_fault_seed_replays_identically() {
+        let transfers = spread_transfers(4, 250);
+        let run = || {
+            let plan = FaultPlan::seeded(21)
+                .with_drop_rate(0.1)
+                .with_corrupt_rate(0.05)
+                .with_crash(1, 400.0);
+            simulate_shuffle_with_faults(
+                4,
+                &net(),
+                &transfers,
+                &plan,
+                &RecoveryOptions::chained(4, 3),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -15,8 +15,9 @@ pub enum JoinError {
     InvalidOutputSchema(String),
     /// The underlying array engine failed.
     Storage(String),
-    /// The cluster layer failed.
-    Cluster(String),
+    /// The cluster layer failed; carries the typed cluster cause so
+    /// callers can distinguish, say, a dead node from a lost chunk.
+    Cluster(sj_cluster::ClusterError),
     /// The physical planner failed to produce an assignment.
     Planning(String),
     /// Internal invariant violation.
@@ -31,14 +32,21 @@ impl fmt::Display for JoinError {
             JoinError::NoValidPlan(msg) => write!(f, "no valid logical plan: {msg}"),
             JoinError::InvalidOutputSchema(msg) => write!(f, "invalid output schema: {msg}"),
             JoinError::Storage(msg) => write!(f, "storage error: {msg}"),
-            JoinError::Cluster(msg) => write!(f, "cluster error: {msg}"),
+            JoinError::Cluster(e) => write!(f, "cluster error: {e}"),
             JoinError::Planning(msg) => write!(f, "planning error: {msg}"),
             JoinError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for JoinError {}
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<sj_array::ArrayError> for JoinError {
     fn from(e: sj_array::ArrayError) -> Self {
@@ -48,7 +56,7 @@ impl From<sj_array::ArrayError> for JoinError {
 
 impl From<sj_cluster::ClusterError> for JoinError {
     fn from(e: sj_cluster::ClusterError) -> Self {
-        JoinError::Cluster(e.to_string())
+        JoinError::Cluster(e)
     }
 }
 

@@ -22,14 +22,16 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sj_array::{Array, ArraySchema, CellBatch, Histogram, Value};
-use sj_cluster::{simulate_shuffle, Cluster, ShuffleReport, Transfer};
+use sj_cluster::{
+    simulate_shuffle, simulate_shuffle_with_faults, Cluster, FaultPlan, ShuffleReport, Transfer,
+};
 
 use crate::algorithms::{run_join, Emitter, JoinAlgo};
 use crate::error::{JoinError, Result};
 use crate::join_schema::{infer_join_schema, ColumnStats, JoinSchema};
 use crate::logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats, OutOp};
 use crate::parallel::{par_map, par_map_weighted, resolve_threads};
-use crate::physical::{plan_physical, CostParams, PlannerKind, SliceStats};
+use crate::physical::{plan_physical_resilient, CostParams, PlanTier, PlannerKind, SliceStats};
 use crate::predicate::{JoinPredicate, JoinSide};
 use crate::unit::{map_slices, SliceSet};
 
@@ -94,6 +96,10 @@ pub struct ExecConfig {
     /// assembly, hash build, probe): `0` = machine parallelism, `1` = the
     /// exact sequential path. Results are bit-identical for every value.
     pub threads: usize,
+    /// Fault schedule injected into the data-alignment shuffle.
+    /// `FaultPlan::none()` (the default) takes the exact fault-free code
+    /// path — reports are bit-identical to a build without this field.
+    pub faults: FaultPlan,
 }
 
 impl Default for ExecConfig {
@@ -104,6 +110,7 @@ impl Default for ExecConfig {
             hash_buckets: None,
             forced_algo: None,
             threads: 0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -166,6 +173,12 @@ pub struct JoinMetrics {
     pub matches: usize,
     /// Physical planner used.
     pub planner: &'static str,
+    /// Which tier of the degrade-gracefully chain produced the plan.
+    pub plan_tier: PlanTier,
+    /// True when the cluster lost a node during this join (results are
+    /// still correct — recovered from replicas — but the schedule ran
+    /// degraded).
+    pub degraded: bool,
     /// ILP solver status, when an ILP planner ran.
     pub solver_status: Option<sj_ilp::SolveStatus>,
     /// Real per-phase wall clock and per-worker busy time.
@@ -281,12 +294,15 @@ pub fn execute_shuffle_join(
     } else {
         JoinSide::Right
     };
-    let pplan = plan_physical(
+    // The degrade-gracefully chain: never fail the join because the
+    // requested planner (or the cluster) is having a bad day.
+    let pplan = plan_physical_resilient(
         &config.planner,
         &sstats,
         &config.cost_params,
         logical.algo,
         larger_side,
+        cluster.degraded(),
     )?;
 
     // ---- Data alignment: simulate the shuffle over the real slice sizes. ---
@@ -311,7 +327,27 @@ pub fn execute_shuffle_join(
             });
         }
     }
-    let shuffle = simulate_shuffle(k, &cluster.network, &transfers)?;
+    let shuffle = if config.faults.is_none() {
+        simulate_shuffle(k, &cluster.network, &transfers)?
+    } else {
+        let recovery = cluster.recovery_options();
+        simulate_shuffle_with_faults(k, &cluster.network, &transfers, &config.faults, &recovery)?
+    };
+    // When the shuffle lost nodes, their join units were re-homed onto
+    // substitutes; apply the coordinator's reassignments (in crash
+    // order, so substitution chains resolve) to get the effective
+    // assignment used for comparison attribution.
+    let effective_assignment: Vec<usize> = {
+        let mut asg = pplan.assignment.clone();
+        for &(dead, sub) in &shuffle.reassigned {
+            for slot in asg.iter_mut() {
+                if *slot == dead {
+                    *slot = sub;
+                }
+            }
+        }
+        asg
+    };
 
     // ---- Cell comparison: assemble units per node and run the join. --------
     // Transpose node-major slices into per-unit inputs (moves, no copies),
@@ -335,7 +371,8 @@ pub fn execute_shuffle_join(
     let unit_weights: Vec<u64> = (0..n_units)
         .map(|i| (0..k).map(|j| sstats.left[i][j] + sstats.right[i][j]).sum())
         .collect();
-    let unit_inputs: Vec<Mutex<Option<(Vec<CellBatch>, Vec<CellBatch>)>>> =
+    type UnitInput = Mutex<Option<(Vec<CellBatch>, Vec<CellBatch>)>>;
+    let unit_inputs: Vec<UnitInput> =
         per_unit_parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let t_cmp = Instant::now();
     let (unit_results, cmp_pool) = par_map_weighted(
@@ -381,7 +418,7 @@ pub fn execute_shuffle_join(
     let mut out_cells = Emitter::new(&js).out;
     for (i, result) in unit_results.into_iter().enumerate() {
         let (cells, unit_matches, secs) = result?;
-        per_node_comparison[pplan.assignment[i]] += secs;
+        per_node_comparison[effective_assignment[i]] += secs;
         matches += unit_matches;
         out_cells.append(cells)?;
     }
@@ -414,6 +451,8 @@ pub fn execute_shuffle_join(
         per_node_comparison,
         matches,
         planner: pplan.planner,
+        plan_tier: pplan.tier,
+        degraded: shuffle.degraded || cluster.degraded(),
         solver_status: pplan.solver_status,
         profile,
         shuffle,
@@ -729,6 +768,118 @@ mod tests {
             mbh.network_bytes,
             base.network_bytes
         );
+    }
+
+    #[test]
+    fn explicit_none_faults_are_bit_identical_to_default() {
+        // Zero-overhead acceptance: threading FaultPlan::none() through
+        // the executor must not perturb a single bit of the report or
+        // the joined array.
+        let (a, b) = dd_arrays(512);
+        let cluster = cluster_with(4, vec![a, b]);
+        let query = JoinQuery::new(
+            "A",
+            "B",
+            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+        );
+        let (out_plain, m_plain) =
+            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let config = ExecConfig {
+            faults: FaultPlan::none(),
+            ..ExecConfig::default()
+        };
+        let (out_faultless, m_faultless) =
+            execute_shuffle_join(&cluster, &query, &config).unwrap();
+        assert_eq!(m_plain.shuffle, m_faultless.shuffle);
+        assert!(!m_faultless.degraded);
+        assert_eq!(m_faultless.plan_tier, PlanTier::Primary);
+        let cells_a: Vec<_> = out_plain.iter_cells().collect();
+        let cells_b: Vec<_> = out_faultless.iter_cells().collect();
+        assert_eq!(cells_a, cells_b);
+    }
+
+    #[test]
+    fn join_survives_node_failure_and_lossy_links() {
+        // Replicated load, then a node crash mid-shuffle plus 5% drops:
+        // the join must complete with results cell-for-cell equal to the
+        // fault-free run, flagged degraded, with nonzero recovery work.
+        let (a, b) = dd_arrays(512);
+        let mut cluster = Cluster::new(4, NetworkModel::gigabit());
+        cluster
+            .load_array_replicated(a, &Placement::RoundRobin, 2)
+            .unwrap();
+        cluster
+            .load_array_replicated(b, &Placement::RoundRobin, 2)
+            .unwrap();
+        let query = JoinQuery::new(
+            "A",
+            "B",
+            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+        );
+        let (clean_out, clean) =
+            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let config = ExecConfig {
+            faults: FaultPlan::seeded(17)
+                .with_drop_rate(0.05)
+                .with_crash(1, clean.shuffle.makespan / 2.0),
+            ..ExecConfig::default()
+        };
+        let (out, metrics) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+        assert!(metrics.degraded);
+        assert_eq!(metrics.shuffle.failed_nodes, vec![1]);
+        assert!(metrics.shuffle.reroutes > 0, "dead node's slices must move");
+        assert!(metrics.shuffle.recovery_bytes > 0);
+        assert_eq!(metrics.matches, clean.matches);
+        // The failure changes the schedule, never the answer.
+        let mut clean_cells: Vec<_> = clean_out.iter_cells().collect();
+        let mut cells: Vec<_> = out.iter_cells().collect();
+        clean_cells.sort();
+        cells.sort();
+        assert_eq!(clean_cells, cells);
+        // Nothing lands on (or is attributed to) the dead node.
+        assert_eq!(metrics.per_node_comparison[1], 0.0);
+    }
+
+    #[test]
+    fn zero_budget_ilp_degrades_to_greedy_tier_not_error() {
+        // Hotspot placement (everything on node 0) makes the greedy warm
+        // start suboptimal, so a zero ILP budget cannot prove it optimal:
+        // the join must still run, recording the greedy tier — never an
+        // executor error.
+        let (a, b) = dd_arrays(256);
+        let all_on_zero: std::collections::HashMap<u64, usize> =
+            (0..64u64).map(|c| (c, 0usize)).collect();
+        let mut cluster = Cluster::new(4, NetworkModel::gigabit());
+        cluster
+            .load_array(a, &Placement::Explicit(all_on_zero.clone()))
+            .unwrap();
+        cluster
+            .load_array(b, &Placement::Explicit(all_on_zero))
+            .unwrap();
+        let query = JoinQuery::new(
+            "A",
+            "B",
+            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+        );
+        let config = ExecConfig {
+            planner: PlannerKind::Ilp {
+                budget: Duration::ZERO,
+            },
+            forced_algo: Some(JoinAlgo::Hash),
+            hash_buckets: Some(32),
+            // Comparison-dominant costs: spreading beats hoarding, so
+            // the MBH warm start (everything on node 0) is suboptimal.
+            cost_params: CostParams {
+                m: 1.0,
+                b: 2.0,
+                p: 1.0,
+                t: 1e-9,
+            },
+            ..ExecConfig::default()
+        };
+        let (_, metrics) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+        assert_eq!(metrics.plan_tier, PlanTier::Greedy);
+        assert_eq!(metrics.matches, 256);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub use predicate::{JoinPredicate, JoinSide, PairKind};
 pub use unit::JoinUnitSpec;
 
 pub mod physical;
-pub use physical::{CostParams, PhysicalPlan, PlannerKind, SliceStats};
+pub use physical::{CostParams, PhysicalPlan, PlanTier, PlannerKind, SliceStats};
 
 pub mod exec;
 pub use exec::{execute_shuffle_join, ExecConfig, ExecProfile, JoinMetrics, JoinQuery};

@@ -7,4 +7,4 @@ mod planners;
 pub use cost::{
     plan_cost, plan_loads, Assignment, CostParams, CostState, PlanLoads, SliceStats,
 };
-pub use planners::{plan_physical, PhysicalPlan, PlannerKind};
+pub use planners::{plan_physical, plan_physical_resilient, PhysicalPlan, PlanTier, PlannerKind};

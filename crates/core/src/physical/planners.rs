@@ -50,6 +50,36 @@ impl PlannerKind {
     }
 }
 
+/// Which tier of the degrade-gracefully planner chain produced a plan.
+///
+/// The chain is requested planner → greedy (MinBandwidth) → naive
+/// (Baseline): a correct-if-suboptimal plan always exists, so an ILP
+/// failure or a degraded cluster downgrades the plan instead of failing
+/// the join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanTier {
+    /// The requested planner produced the plan.
+    Primary,
+    /// The requested planner failed (or was skipped on a degraded
+    /// cluster / exhausted ILP budget); the greedy MinBandwidth
+    /// heuristic stood in.
+    Greedy,
+    /// Even the greedy tier failed; the skew-agnostic baseline
+    /// rechunking produced the plan.
+    Naive,
+}
+
+impl PlanTier {
+    /// Short display name for metrics and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanTier::Primary => "primary",
+            PlanTier::Greedy => "greedy",
+            PlanTier::Naive => "naive",
+        }
+    }
+}
+
 /// The result of physical planning.
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan {
@@ -63,6 +93,8 @@ pub struct PhysicalPlan {
     pub planner: &'static str,
     /// For ILP planners: how the solver terminated.
     pub solver_status: Option<SolveStatus>,
+    /// Which tier of the fallback chain produced the assignment.
+    pub tier: PlanTier,
 }
 
 /// Run `kind` on the reported slice statistics.
@@ -91,13 +123,59 @@ pub fn plan_physical(
         }
     };
     let est_cost = plan_cost(stats, params, algo, &assignment)?;
+    // A budget-exhausted ILP returns its MinBandwidth warm start: the
+    // assignment is the greedy tier's, whatever the requested planner.
+    let tier = match status {
+        Some(s) if !s.found_feasible() => PlanTier::Greedy,
+        _ => PlanTier::Primary,
+    };
     Ok(PhysicalPlan {
         assignment,
         planning_time: start.elapsed(),
         est_cost,
         planner: kind.name(),
         solver_status: status,
+        tier,
     })
+}
+
+/// Run the degrade-gracefully planner chain: the requested planner,
+/// then greedy MinBandwidth, then the naive Baseline — so a join is
+/// never failed by its planner while *a* correct plan exists.
+///
+/// With `degraded = true` (the cluster lost a node), expensive ILP
+/// planners are skipped outright: solving a minute-long integer program
+/// against a cluster that is actively failing is worse than shipping a
+/// greedy plan now.
+pub fn plan_physical_resilient(
+    kind: &PlannerKind,
+    stats: &SliceStats,
+    params: &CostParams,
+    algo: JoinAlgo,
+    larger_side: JoinSide,
+    degraded: bool,
+) -> Result<PhysicalPlan> {
+    let skip_primary = degraded
+        && matches!(
+            kind,
+            PlannerKind::Ilp { .. } | PlannerKind::IlpCoarse { .. }
+        );
+    if !skip_primary {
+        if let Ok(plan) = plan_physical(kind, stats, params, algo, larger_side) {
+            return Ok(plan);
+        }
+    }
+    if !matches!(kind, PlannerKind::MinBandwidth) {
+        if let Ok(mut plan) =
+            plan_physical(&PlannerKind::MinBandwidth, stats, params, algo, larger_side)
+        {
+            plan.tier = PlanTier::Greedy;
+            return Ok(plan);
+        }
+    }
+    let mut plan = plan_physical(&PlannerKind::Baseline, stats, params, algo, larger_side)?;
+    plan.tier = PlanTier::Naive;
+    Ok(plan)
 }
 
 /// The skew-agnostic baseline (§6.2).
@@ -656,6 +734,102 @@ mod tests {
         )
         .unwrap();
         assert!((fine.est_cost - coarse.est_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_ilp_reports_greedy_tier() {
+        // Budget exhaustion hands back the MinBandwidth warm start — the
+        // plan is the greedy tier's, and the tier must say so. Uses the
+        // hotspot instance where MBH is *not* optimal, so the root bound
+        // cannot prove the warm start optimal before the budget check.
+        let mut s = SliceStats::new(6, 3);
+        for i in 0..6 {
+            s.left[i][0] = 100;
+            s.right[i][0] = 100;
+        }
+        let plan = plan_physical(
+            &PlannerKind::Ilp {
+                budget: Duration::ZERO,
+            },
+            &s,
+            &params(),
+            JoinAlgo::Hash,
+            JoinSide::Left,
+        )
+        .unwrap();
+        assert_eq!(plan.solver_status, Some(SolveStatus::BudgetExhausted));
+        assert_eq!(plan.tier, PlanTier::Greedy);
+        assert_eq!(plan.assignment, min_bandwidth(&s));
+    }
+
+    #[test]
+    fn healthy_planners_report_primary_tier() {
+        let s = skewed_stats();
+        for kind in [
+            PlannerKind::Baseline,
+            PlannerKind::MinBandwidth,
+            PlannerKind::Tabu,
+            PlannerKind::Ilp {
+                budget: Duration::from_secs(5),
+            },
+        ] {
+            let plan =
+                plan_physical(&kind, &s, &params(), JoinAlgo::Merge, JoinSide::Left).unwrap();
+            assert_eq!(plan.tier, PlanTier::Primary, "planner {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn degraded_cluster_skips_ilp_for_greedy() {
+        let s = skewed_stats();
+        let plan = plan_physical_resilient(
+            &PlannerKind::Ilp {
+                budget: Duration::from_secs(60),
+            },
+            &s,
+            &params(),
+            JoinAlgo::Merge,
+            JoinSide::Left,
+            true,
+        )
+        .unwrap();
+        assert_eq!(plan.tier, PlanTier::Greedy);
+        assert_eq!(plan.assignment, min_bandwidth(&s));
+        // Cheap planners still run as primary on a degraded cluster.
+        let tabu = plan_physical_resilient(
+            &PlannerKind::Tabu,
+            &s,
+            &params(),
+            JoinAlgo::Merge,
+            JoinSide::Left,
+            true,
+        )
+        .unwrap();
+        assert_eq!(tabu.tier, PlanTier::Primary);
+    }
+
+    #[test]
+    fn resilient_chain_matches_primary_when_healthy() {
+        let s = skewed_stats();
+        let direct = plan_physical(
+            &PlannerKind::Tabu,
+            &s,
+            &params(),
+            JoinAlgo::Merge,
+            JoinSide::Left,
+        )
+        .unwrap();
+        let resilient = plan_physical_resilient(
+            &PlannerKind::Tabu,
+            &s,
+            &params(),
+            JoinAlgo::Merge,
+            JoinSide::Left,
+            false,
+        )
+        .unwrap();
+        assert_eq!(direct.assignment, resilient.assignment);
+        assert_eq!(resilient.tier, PlanTier::Primary);
     }
 
     #[test]

@@ -120,6 +120,12 @@ impl IlpSolver {
         let mut nodes_explored = 0usize;
         let mut best_bound = root.objective;
         let mut hit_budget = false;
+        // Whether the *search* produced an incumbent (vs only holding the
+        // caller's warm start): a budget break before any own progress is
+        // reported as BudgetExhausted even when a warm start was supplied,
+        // so callers can tell "the solver planned" from "my warm start
+        // came straight back".
+        let mut improved = false;
 
         while let Some(node) = heap.pop() {
             best_bound = node.bound;
@@ -184,6 +190,7 @@ impl IlpSolver {
                         .is_none_or(|(_, inc)| obj < inc - 1e-12);
                     if better && model.is_feasible(&x, 1e-5) {
                         incumbent = Some((x, obj));
+                        improved = true;
                     }
                 }
                 Some(j) => {
@@ -215,11 +222,17 @@ impl IlpSolver {
 
         match incumbent {
             Some((values, objective)) => {
-                let proved = heap.is_empty()
-                    || (objective - best_bound) / objective.abs().max(1.0) <= self.gap_tolerance;
+                // A budget/node-cap break leaves the popped node's subtree
+                // unexplored, so an empty heap proves nothing then.
+                let proved = !hit_budget
+                    && (heap.is_empty()
+                        || (objective - best_bound) / objective.abs().max(1.0)
+                            <= self.gap_tolerance);
                 Solution {
                     status: if proved {
                         SolveStatus::Optimal
+                    } else if hit_budget && !improved {
+                        SolveStatus::BudgetExhausted
                     } else {
                         SolveStatus::Feasible
                     },
@@ -381,12 +394,12 @@ mod tests {
             ..IlpSolver::default()
         };
         let s = solver.solve(&m);
-        assert!(matches!(
-            s.status,
-            SolveStatus::Feasible | SolveStatus::Optimal
-        ));
+        // No time to explore: the solver reports that its budget expired
+        // before it produced anything of its own, but still hands the
+        // warm start back so anytime callers have a plan to run.
+        assert_eq!(s.status, SolveStatus::BudgetExhausted);
         assert!(s.objective <= 9.0 + 1e-6);
-        assert!(!s.values.is_empty());
+        assert!(!s.values.is_empty(), "warm start is still returned");
     }
 
     #[test]

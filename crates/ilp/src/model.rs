@@ -222,8 +222,21 @@ pub enum SolveStatus {
     Infeasible,
     /// The LP relaxation is unbounded below.
     Unbounded,
-    /// The budget ran out before any feasible integer solution was found.
+    /// The budget ran out before the search found any feasible integer
+    /// solution of its own (a caller-supplied warm start, if any, is
+    /// still returned in `Solution::values`).
     BudgetExhausted,
+}
+
+impl SolveStatus {
+    /// True when the solver itself produced a usable integer assignment
+    /// (`Optimal` or `Feasible`). `BudgetExhausted` answers false even
+    /// though callers may still hold a warm-start incumbent — the
+    /// planner's fallback chain uses this to decide which tier actually
+    /// produced the plan.
+    pub fn found_feasible(&self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
 }
 
 impl fmt::Display for SolveStatus {

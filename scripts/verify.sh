@@ -15,4 +15,10 @@ cargo test -q --workspace
 echo "==> determinism: identical results at threads = 1, 2, 8"
 cargo test -q --test determinism
 
+echo "==> fault matrix: seeded faults replay identically at threads = 1, 2, 8"
+cargo test -q --test fault_determinism
+
+echo "==> lints: cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
 echo "verify.sh: all checks passed"

@@ -1,0 +1,148 @@
+//! Thread-count determinism of the executor under injected faults.
+//!
+//! Companion to `determinism.rs`: the contract that `ExecConfig.threads`
+//! changes wall-clock time only must survive fault injection. A seeded
+//! `FaultPlan` (drops, corruption, a mid-shuffle node crash) is replayed
+//! at 1, 2, and 8 worker threads; every run must produce the identical
+//! `ShuffleReport` — including retry, reroute, and recovery counters —
+//! and identical joined cells, because the fault simulation is driven by
+//! the plan's own PRNG stream, never by host scheduling.
+
+use sj_cluster::{Cluster, FaultPlan, NetworkModel, Placement};
+use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
+use sj_workload::{skewed_pair, SkewedArrayConfig};
+
+/// The Figure-8-style skewed pair on 4 nodes, loaded with 2-way chained
+/// replication so a node crash is recoverable.
+fn replicated_cluster() -> Cluster {
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 16,
+        chunk_interval: 64,
+        cells: 40_000,
+        spatial_alpha: 0.0,
+        value_alpha: 1.5,
+        value_domain: 20_000,
+        seed: 7,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let mut cluster = Cluster::new(4, NetworkModel::scaled_to_engine());
+    cluster
+        .load_array_replicated(a, &Placement::HashSalted(1), 2)
+        .unwrap();
+    cluster
+        .load_array_replicated(b, &Placement::HashSalted(2), 2)
+        .unwrap();
+    cluster
+}
+
+fn query() -> JoinQuery {
+    JoinQuery::new(
+        "A",
+        "B",
+        JoinPredicate::new(vec![("v1", "v1"), ("v2", "v2")]),
+    )
+    .with_selectivity(0.0001)
+}
+
+fn config(threads: usize, faults: FaultPlan) -> ExecConfig {
+    ExecConfig {
+        planner: PlannerKind::Tabu,
+        forced_algo: Some(JoinAlgo::Hash),
+        hash_buckets: Some(64),
+        threads,
+        faults,
+        ..ExecConfig::default()
+    }
+}
+
+#[test]
+fn faulty_join_is_identical_across_thread_counts() {
+    let cluster = replicated_cluster();
+    let query = query();
+
+    // Time the crash off a clean run so it lands mid-shuffle.
+    let (_, clean) =
+        execute_shuffle_join(&cluster, &query, &config(1, FaultPlan::none())).unwrap();
+    let faults = FaultPlan::seeded(23)
+        .with_drop_rate(0.05)
+        .with_corrupt_rate(0.01)
+        .with_crash(2, clean.shuffle.makespan / 2.0);
+
+    let run = |threads: usize| {
+        execute_shuffle_join(&cluster, &query, &config(threads, faults.clone())).unwrap()
+    };
+
+    let (ref_out, ref_metrics) = run(1);
+    assert!(ref_metrics.matches > 0, "fixture must produce matches");
+    assert!(ref_metrics.degraded, "crash must degrade the run");
+    assert_eq!(ref_metrics.shuffle.failed_nodes, vec![2]);
+    assert!(
+        ref_metrics.shuffle.retries > 0,
+        "5% drops over this workload must force at least one retry"
+    );
+    assert!(ref_metrics.shuffle.recovery_bytes > 0);
+    let ref_cells: Vec<_> = ref_out.iter_cells().collect();
+
+    for threads in [2usize, 8] {
+        let (out, metrics) = run(threads);
+        assert_eq!(
+            out.iter_cells().collect::<Vec<_>>(),
+            ref_cells,
+            "output cells differ between threads=1 and threads={threads}"
+        );
+        assert_eq!(metrics.matches, ref_metrics.matches);
+        assert_eq!(
+            metrics.shuffle, ref_metrics.shuffle,
+            "fault counters differ at threads={threads}"
+        );
+        assert_eq!(metrics.degraded, ref_metrics.degraded);
+        assert_eq!(metrics.plan_tier, ref_metrics.plan_tier);
+    }
+}
+
+#[test]
+fn same_seed_replays_identically_different_seed_diverges() {
+    // The fault stream is a pure function of the seed: two runs with the
+    // same plan agree counter-for-counter, and the counters respond to
+    // the seed (otherwise the test would pass with faults ignored).
+    let cluster = replicated_cluster();
+    let query = query();
+    let plan = |seed: u64| FaultPlan::seeded(seed).with_drop_rate(0.08);
+
+    let run = |faults: FaultPlan| {
+        execute_shuffle_join(&cluster, &query, &config(2, faults))
+            .unwrap()
+            .1
+    };
+
+    let a = run(plan(5));
+    let b = run(plan(5));
+    assert_eq!(a.shuffle, b.shuffle);
+    assert!(a.shuffle.retries > 0);
+
+    let c = run(plan(6));
+    assert_ne!(
+        (a.shuffle.retries, a.shuffle.makespan),
+        (c.shuffle.retries, c.shuffle.makespan),
+        "different seeds should draw different drop patterns"
+    );
+}
+
+#[test]
+fn fault_free_plan_has_zero_fault_counters_at_any_thread_count() {
+    // `FaultPlan::none()` must be indistinguishable from the default
+    // config: zero retries/reroutes/recovery and not degraded.
+    let cluster = replicated_cluster();
+    let query = query();
+    for threads in [1usize, 2, 8] {
+        let (_, m) =
+            execute_shuffle_join(&cluster, &query, &config(threads, FaultPlan::none())).unwrap();
+        assert_eq!(m.shuffle.retries, 0);
+        assert_eq!(m.shuffle.reroutes, 0);
+        assert_eq!(m.shuffle.recovery_bytes, 0);
+        assert!(m.shuffle.failed_nodes.is_empty());
+        assert!(!m.degraded);
+    }
+}
