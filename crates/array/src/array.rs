@@ -97,14 +97,7 @@ impl Array {
             let cells = batch.take(&indices);
             let pos = array.schema.chunk_pos_from_id(id);
             let sorted = cells.is_sorted_c_order();
-            array.chunks.insert(
-                id,
-                Chunk {
-                    pos,
-                    cells,
-                    sorted,
-                },
-            );
+            array.chunks.insert(id, Chunk { pos, cells, sorted });
             start = end;
         }
         Ok(array)

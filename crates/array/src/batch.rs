@@ -257,10 +257,9 @@ impl CellBatch {
 
     /// Number of cells in the batch.
     pub fn len(&self) -> usize {
-        self.coords.first().map_or_else(
-            || self.attrs.first().map_or(0, Column::len),
-            Vec::len,
-        )
+        self.coords
+            .first()
+            .map_or_else(|| self.attrs.first().map_or(0, Column::len), Vec::len)
     }
 
     /// Whether the batch holds no cells.
@@ -482,9 +481,12 @@ mod tests {
 
     fn sample_batch() -> CellBatch {
         let mut b = CellBatch::new(2, &[DataType::Int64, DataType::Float64]);
-        b.push(&[2, 1], &[Value::Int(10), Value::Float(0.5)]).unwrap();
-        b.push(&[1, 2], &[Value::Int(20), Value::Float(1.5)]).unwrap();
-        b.push(&[1, 1], &[Value::Int(30), Value::Float(2.5)]).unwrap();
+        b.push(&[2, 1], &[Value::Int(10), Value::Float(0.5)])
+            .unwrap();
+        b.push(&[1, 2], &[Value::Int(20), Value::Float(1.5)])
+            .unwrap();
+        b.push(&[1, 1], &[Value::Int(30), Value::Float(2.5)])
+            .unwrap();
         b
     }
 

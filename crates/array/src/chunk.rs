@@ -52,10 +52,9 @@ impl Chunk {
     pub fn push(&mut self, coord: &[i64], values: &[Value]) -> Result<()> {
         let n = self.cells.len();
         self.cells.push(coord, values)?;
-        if self.sorted && n > 0
-            && self.cells.cmp_coords(n - 1, n) == std::cmp::Ordering::Greater {
-                self.sorted = false;
-            }
+        if self.sorted && n > 0 && self.cells.cmp_coords(n - 1, n) == std::cmp::Ordering::Greater {
+            self.sorted = false;
+        }
         Ok(())
     }
 

@@ -67,7 +67,10 @@ impl fmt::Display for ArrayError {
                 write!(f, "type mismatch: expected {expected}, got {actual}")
             }
             ArrayError::ArityMismatch { expected, actual } => {
-                write!(f, "arity mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} elements, got {actual}"
+                )
             }
             ArrayError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             ArrayError::Parse(msg) => write!(f, "parse error: {msg}"),

@@ -158,6 +158,46 @@ impl Expr {
     pub fn result_type(&self, schema: &ArraySchema) -> Result<DataType> {
         self.bind(schema)?.result_type()
     }
+
+    /// Fold literal-only subtrees into literals, using the same evaluator
+    /// the runtime uses so folded and unfolded plans stay bit-identical.
+    ///
+    /// Subtrees whose folding would error at runtime (e.g. `1 / 0`) are
+    /// left untouched so the error still surfaces during execution.
+    pub fn fold_constants(&self) -> Expr {
+        match self {
+            Expr::Binary { op, left, right } => {
+                let l = left.fold_constants();
+                let r = right.fold_constants();
+                if let (Expr::Literal(lv), Expr::Literal(rv)) = (&l, &r) {
+                    if let Ok(v) = eval_binary(*op, lv, rv) {
+                        return Expr::Literal(v);
+                    }
+                }
+                Expr::Binary {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+            Expr::Neg(inner) => {
+                let i = inner.fold_constants();
+                match i {
+                    Expr::Literal(Value::Int(v)) => Expr::Literal(Value::Int(-v)),
+                    Expr::Literal(Value::Float(v)) => Expr::Literal(Value::Float(-v)),
+                    other => Expr::Neg(Box::new(other)),
+                }
+            }
+            Expr::Not(inner) => {
+                let i = inner.fold_constants();
+                match i {
+                    Expr::Literal(Value::Bool(b)) => Expr::Literal(Value::Bool(!b)),
+                    other => Expr::Not(Box::new(other)),
+                }
+            }
+            Expr::Column(_) | Expr::Literal(_) => self.clone(),
+        }
+    }
 }
 
 impl fmt::Display for Expr {
@@ -326,11 +366,7 @@ pub fn compare_values(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
         _ => {
             let (a, b) = match (l.as_float(), r.as_float()) {
                 (Some(a), Some(b)) => (a, b),
-                _ => {
-                    return Err(ArrayError::Eval(format!(
-                        "cannot compare {l} with {r}"
-                    )))
-                }
+                _ => return Err(ArrayError::Eval(format!("cannot compare {l} with {r}"))),
             };
             Ok(a.total_cmp(&b))
         }
@@ -357,9 +393,51 @@ mod tests {
 
     fn batch() -> CellBatch {
         let mut b = CellBatch::new(2, &[DataType::Int64, DataType::Float64]);
-        b.push(&[1, 2], &[Value::Int(3), Value::Float(1.1)]).unwrap();
-        b.push(&[2, 2], &[Value::Int(7), Value::Float(1.3)]).unwrap();
+        b.push(&[1, 2], &[Value::Int(3), Value::Float(1.1)])
+            .unwrap();
+        b.push(&[2, 2], &[Value::Int(7), Value::Float(1.3)])
+            .unwrap();
         b
+    }
+
+    #[test]
+    fn fold_constants_collapses_literal_subtrees() {
+        // v1 > (2 + 3) folds to v1 > 5; the column side is untouched.
+        let e = Expr::binary(
+            BinOp::Gt,
+            Expr::col("v1"),
+            Expr::binary(BinOp::Add, Expr::int(2), Expr::int(3)),
+        );
+        assert_eq!(
+            e.fold_constants(),
+            Expr::binary(BinOp::Gt, Expr::col("v1"), Expr::int(5))
+        );
+        // -(2 * 2) and NOT(true) fold; an erroring subtree (modulo by
+        // zero) is left intact so the error still surfaces at runtime.
+        let neg = Expr::Neg(Box::new(Expr::binary(
+            BinOp::Mul,
+            Expr::int(2),
+            Expr::int(2),
+        )));
+        assert_eq!(neg.fold_constants(), Expr::int(-4));
+        let not = Expr::Not(Box::new(Expr::Literal(Value::Bool(true))));
+        assert_eq!(not.fold_constants(), Expr::Literal(Value::Bool(false)));
+        let modulo = Expr::binary(BinOp::Mod, Expr::int(1), Expr::int(0));
+        assert_eq!(modulo.fold_constants(), modulo);
+        // Division is always float-valued, so 1/0 folds to +inf — the
+        // same value the runtime evaluator produces.
+        let div = Expr::binary(BinOp::Div, Expr::int(1), Expr::int(0));
+        assert_eq!(
+            div.fold_constants(),
+            Expr::Literal(Value::Float(f64::INFINITY))
+        );
+        // Folding evaluates with the runtime evaluator: same value, bitwise.
+        let b = batch();
+        let folded = e.fold_constants().bind(&schema()).unwrap();
+        let raw = e.bind(&schema()).unwrap();
+        for row in 0..b.len() {
+            assert_eq!(folded.eval(&b, row).unwrap(), raw.eval(&b, row).unwrap());
+        }
     }
 
     #[test]
@@ -419,7 +497,11 @@ mod tests {
 
     #[test]
     fn type_errors_surface_as_eval_errors() {
-        let e = Expr::binary(BinOp::Add, Expr::col("v1"), Expr::Literal(Value::Bool(true)));
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::col("v1"),
+            Expr::Literal(Value::Bool(true)),
+        );
         let bound = e.bind(&schema()).unwrap();
         assert!(bound.eval(&batch(), 0).is_err());
     }
@@ -440,7 +522,10 @@ mod tests {
             Expr::binary(BinOp::Add, Expr::col("v1"), Expr::col("v1")),
             Expr::col("j"),
         );
-        assert_eq!(e.referenced_columns(), vec!["j".to_string(), "v1".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["j".to_string(), "v1".to_string()]
+        );
     }
 
     #[test]

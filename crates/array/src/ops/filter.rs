@@ -1,42 +1,24 @@
 //! `filter`, `apply`, and `project`: cell-level operators.
+//!
+//! Thin whole-array wrappers over the batch kernels in [`super::kernels`];
+//! the streaming pipeline in `sj-core` drives the same kernels per batch.
 
 use crate::array::Array;
 use crate::error::{ArrayError, Result};
 use crate::expr::Expr;
-use crate::schema::{ArraySchema, AttributeDef};
-use crate::value::Value;
+use crate::ops::kernels::{batch_for, organize, ApplyKernel, FilterKernel};
 
 /// Keep only the cells for which `predicate` evaluates to `true`.
 ///
 /// This is the AFL `filter(A, v1 > 5)` from paper §2.2. The output schema
 /// equals the input schema.
 pub fn filter(array: &Array, predicate: &Expr) -> Result<Array> {
-    let bound = predicate.bind(&array.schema)?;
-    let mut out = Array::new(array.schema.clone());
-    let mut values: Vec<Value> = Vec::with_capacity(array.schema.nattrs());
+    let kernel = FilterKernel::compile(&array.schema, predicate)?;
+    let mut out = batch_for(&array.schema);
     for (_, chunk) in array.chunks() {
-        let cells = &chunk.cells;
-        for row in 0..cells.len() {
-            match bound.eval(cells, row)? {
-                Value::Bool(true) => {
-                    values.clear();
-                    for a in 0..cells.nattrs() {
-                        values.push(cells.attrs[a].get(row));
-                    }
-                    let coord = cells.coord(row);
-                    out.insert(&coord, &values)?;
-                }
-                Value::Bool(false) => {}
-                other => {
-                    return Err(ArrayError::Eval(format!(
-                        "filter predicate evaluated to non-boolean {other}"
-                    )))
-                }
-            }
-        }
+        kernel.apply(&chunk.cells, &mut out)?;
     }
-    out.sort_chunks();
-    Ok(out)
+    organize(array.schema.clone(), &out, true)
 }
 
 /// Compute new attributes from expressions, keeping the dimension space.
@@ -45,29 +27,12 @@ pub fn filter(array: &Array, predicate: &Expr) -> Result<Array> {
 /// exactly those attributes (the paper's SELECT lists compute derived
 /// values such as `Band2.reflectance - Band1.reflectance`).
 pub fn apply(array: &Array, outputs: &[(String, Expr)]) -> Result<Array> {
-    let mut attrs = Vec::with_capacity(outputs.len());
-    let mut bound = Vec::with_capacity(outputs.len());
-    for (name, expr) in outputs {
-        let dtype = expr.result_type(&array.schema)?;
-        attrs.push(AttributeDef::new(name.clone(), dtype));
-        bound.push(expr.bind(&array.schema)?);
-    }
-    let schema = ArraySchema::new(array.schema.name.clone(), array.schema.dims.clone(), attrs)?;
-    let mut out = Array::new(schema);
-    let mut values: Vec<Value> = Vec::with_capacity(outputs.len());
+    let kernel = ApplyKernel::compile(&array.schema, outputs, false)?;
+    let mut out = kernel.output_batch();
     for (_, chunk) in array.chunks() {
-        let cells = &chunk.cells;
-        for row in 0..cells.len() {
-            values.clear();
-            for b in &bound {
-                values.push(b.eval(cells, row)?);
-            }
-            let coord = cells.coord(row);
-            out.insert(&coord, &values)?;
-        }
+        kernel.apply(&chunk.cells, &mut out)?;
     }
-    out.sort_chunks();
-    Ok(out)
+    organize(kernel.schema().clone(), &out, true)
 }
 
 /// Keep only the named attributes (vertical projection).
@@ -93,6 +58,8 @@ pub fn project(array: &Array, attr_names: &[&str]) -> Result<Array> {
 mod tests {
     use super::*;
     use crate::expr::BinOp;
+    use crate::schema::ArraySchema;
+    use crate::value::Value;
 
     fn sample() -> Array {
         let schema = ArraySchema::parse("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap();
@@ -147,10 +114,7 @@ mod tests {
         let out = project(&a, &["v2"]).unwrap();
         assert_eq!(out.schema.nattrs(), 1);
         assert_eq!(out.cell_count(), 3);
-        assert_eq!(
-            out.get(&[1, 2]).unwrap(),
-            Some(vec![Value::Float(1.1)])
-        );
+        assert_eq!(out.get(&[1, 2]).unwrap(), Some(vec![Value::Float(1.1)]));
         // Projection shrinks stored bytes (vertical partitioning payoff).
         assert!(out.byte_size() < a.byte_size());
     }

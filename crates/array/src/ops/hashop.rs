@@ -12,7 +12,8 @@ use std::hash::{Hash, Hasher};
 
 use crate::array::Array;
 use crate::batch::CellBatch;
-use crate::error::Result;
+use crate::error::{ArrayError, Result};
+use crate::ops::kernels::{flatten_into, scatter_into};
 use crate::ops::ColumnRef;
 use crate::value::{DataType, Value};
 
@@ -78,11 +79,7 @@ pub fn hash_key(values: &[Value]) -> u64 {
 
 /// Partition every cell of `array` into `nbuckets` buckets keyed by the
 /// given columns.
-pub fn hash_partition(
-    array: &Array,
-    keys: &[ColumnRef],
-    nbuckets: usize,
-) -> Result<BucketSet> {
+pub fn hash_partition(array: &Array, keys: &[ColumnRef], nbuckets: usize) -> Result<BucketSet> {
     let schema = &array.schema;
     let nbuckets = nbuckets.max(1);
     let ndims = schema.ndims();
@@ -105,30 +102,25 @@ pub fn hash_partition(
         })
         .collect();
 
-    let mut buckets: Vec<CellBatch> =
-        (0..nbuckets).map(|_| CellBatch::new(0, &column_types)).collect();
+    let mut buckets: Vec<CellBatch> = (0..nbuckets)
+        .map(|_| CellBatch::new(0, &column_types))
+        .collect();
 
+    // Flatten each chunk into the dimension-less bucket layout, then route
+    // rows by key hash — both steps are the shared kernels the join
+    // executor's slice mapping uses.
+    let mut flat = CellBatch::new(0, &column_types);
     let mut key_buf: Vec<Value> = Vec::with_capacity(keys.len());
     for (_, chunk) in array.chunks() {
-        let cells = &chunk.cells;
-        for row in 0..cells.len() {
+        flat.clear();
+        flatten_into(&chunk.cells, &mut flat)?;
+        scatter_into::<ArrayError>(&flat, &mut buckets, |f, row| {
             key_buf.clear();
-            for k in keys {
-                key_buf.push(match k {
-                    ColumnRef::Dim(d) => Value::Int(cells.coords[*d][row]),
-                    ColumnRef::Attr(a) => cells.attrs[*a].get(row),
-                });
+            for &k in &key_columns {
+                key_buf.push(f.attrs[k].get(row));
             }
-            let b = (hash_key(&key_buf) % nbuckets as u64) as usize;
-            // Column-to-column row copy: no per-row Value vector.
-            let bucket = &mut buckets[b];
-            for d in 0..ndims {
-                bucket.attrs[d].push(Value::Int(cells.coords[d][row]))?;
-            }
-            for a in 0..cells.nattrs() {
-                bucket.attrs[ndims + a].push_from(&cells.attrs[a], row)?;
-            }
-        }
+            Ok((hash_key(&key_buf) % nbuckets as u64) as usize)
+        })?;
     }
 
     Ok(BucketSet {
@@ -204,10 +196,7 @@ mod tests {
 
     #[test]
     fn integral_float_and_int_keys_collide() {
-        assert_eq!(
-            hash_key(&[Value::Int(42)]),
-            hash_key(&[Value::Float(42.0)])
-        );
+        assert_eq!(hash_key(&[Value::Int(42)]), hash_key(&[Value::Float(42.0)]));
         assert_ne!(hash_key(&[Value::Int(42)]), hash_key(&[Value::Int(43)]));
     }
 

@@ -1,0 +1,498 @@
+//! Reusable batch kernels.
+//!
+//! Each kernel is compiled once against a schema and then applied to any
+//! number of [`CellBatch`]es, **appending** its output rows into a
+//! caller-owned buffer. That shape lets three consumers share one
+//! implementation:
+//!
+//! * the whole-array operator functions (`ops::filter`, `ops::apply`,
+//!   `ops::redim`, …), which loop a kernel over an array's chunks and then
+//!   [`organize`] the result;
+//! * the streaming `BatchOperator` pipeline in `sj-core`, which re-applies a
+//!   kernel per pulled batch into a reused buffer (no per-batch allocation);
+//! * the join executor's slice-mapping and output-organization phases
+//!   ([`flatten_into`], [`scatter_into`], [`organize`]).
+
+use crate::array::Array;
+use crate::batch::CellBatch;
+use crate::error::{ArrayError, Result};
+use crate::expr::{BoundExpr, Expr};
+use crate::schema::{ArraySchema, AttributeDef};
+use crate::value::Value;
+
+/// A compiled `filter` predicate: appends the rows of a batch for which the
+/// predicate evaluates to `true`.
+#[derive(Debug)]
+pub struct FilterKernel {
+    bound: BoundExpr,
+}
+
+impl FilterKernel {
+    /// Bind `predicate` against `schema`.
+    pub fn compile(schema: &ArraySchema, predicate: &Expr) -> Result<FilterKernel> {
+        Ok(FilterKernel {
+            bound: predicate.bind(schema)?,
+        })
+    }
+
+    /// Append every passing row of `input` to `out` (same column layout as
+    /// the input schema).
+    pub fn apply(&self, input: &CellBatch, out: &mut CellBatch) -> Result<()> {
+        for row in 0..input.len() {
+            match self.bound.eval(input, row)? {
+                Value::Bool(true) => out.push_row_from(input, row)?,
+                Value::Bool(false) => {}
+                other => {
+                    return Err(ArrayError::Eval(format!(
+                        "filter predicate evaluated to non-boolean {other}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A compiled `apply`/`project` output list: evaluates one expression per
+/// output attribute, keeping the dimension space.
+#[derive(Debug)]
+pub struct ApplyKernel {
+    bound: Vec<BoundExpr>,
+    schema: ArraySchema,
+}
+
+impl ApplyKernel {
+    /// Bind the `(name, expr)` output list against `schema` and derive the
+    /// output schema (input dimensions + computed attributes).
+    ///
+    /// With `lenient` set, qualified column names (`A.v`) that the schema
+    /// does not carry verbatim fall back to their bare suffix (`v`) before
+    /// binding — the resolution rule AQL projection lists need when they run
+    /// over a join output whose schema dropped the qualifiers.
+    pub fn compile(
+        schema: &ArraySchema,
+        outputs: &[(String, Expr)],
+        lenient: bool,
+    ) -> Result<ApplyKernel> {
+        let mut attrs = Vec::with_capacity(outputs.len());
+        let mut bound = Vec::with_capacity(outputs.len());
+        for (name, expr) in outputs {
+            let expr = if lenient {
+                rewrite_for_output(expr, schema)
+            } else {
+                expr.clone()
+            };
+            attrs.push(AttributeDef::new(name.clone(), expr.result_type(schema)?));
+            bound.push(expr.bind(schema)?);
+        }
+        let schema = ArraySchema::new(schema.name.clone(), schema.dims.clone(), attrs)?;
+        Ok(ApplyKernel { bound, schema })
+    }
+
+    /// The output schema (input dimensions, computed attributes).
+    pub fn schema(&self) -> &ArraySchema {
+        &self.schema
+    }
+
+    /// An empty batch shaped like this kernel's output.
+    pub fn output_batch(&self) -> CellBatch {
+        batch_for(&self.schema)
+    }
+
+    /// Evaluate every output expression for each row of `input`, appending
+    /// the results to `out`.
+    pub fn apply(&self, input: &CellBatch, out: &mut CellBatch) -> Result<()> {
+        for row in 0..input.len() {
+            for (d, col) in input.coords.iter().enumerate() {
+                out.coords[d].push(col[row]);
+            }
+            for (a, b) in self.bound.iter().enumerate() {
+                out.attrs[a].push(b.eval(input, row)?)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How `redim`/`rechunk` treat cells that do not fit the target schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedimPolicy {
+    /// Error on the first out-of-bounds coordinate. Duplicate target
+    /// coordinates are permitted (needed when an attribute with repeated
+    /// values becomes a dimension, e.g. while building join units).
+    #[default]
+    Strict,
+    /// Silently drop out-of-bounds cells; duplicates permitted.
+    DropOutOfBounds,
+}
+
+/// Where a target column's data comes from in the source schema.
+enum Source {
+    Dim(usize),
+    Attr(usize),
+}
+
+/// A compiled `redim`/`rechunk` column mapping: rewrites each source row
+/// into the target schema's coordinate space.
+pub struct RedimKernel {
+    /// For each target dimension: where its coordinate comes from.
+    dim_sources: Vec<Source>,
+    /// For each target attribute: where its value comes from.
+    attr_sources: Vec<Source>,
+    target: ArraySchema,
+}
+
+impl RedimKernel {
+    /// Resolve every target dimension/attribute name against the source
+    /// schema (dimensions take precedence over attributes).
+    pub fn compile(source: &ArraySchema, target: &ArraySchema) -> Result<RedimKernel> {
+        let resolve = |name: &str| -> Result<Source> {
+            if let Ok(d) = source.dim_index(name) {
+                Ok(Source::Dim(d))
+            } else if let Ok(a) = source.attr_index(name) {
+                Ok(Source::Attr(a))
+            } else {
+                Err(ArrayError::SchemaMismatch(format!(
+                    "target column `{name}` not found in source schema `{}`",
+                    source.name
+                )))
+            }
+        };
+        Ok(RedimKernel {
+            dim_sources: target
+                .dims
+                .iter()
+                .map(|d| resolve(&d.name))
+                .collect::<Result<_>>()?,
+            attr_sources: target
+                .attrs
+                .iter()
+                .map(|a| resolve(&a.name))
+                .collect::<Result<_>>()?,
+            target: target.clone(),
+        })
+    }
+
+    /// The target schema this kernel maps into.
+    pub fn target(&self) -> &ArraySchema {
+        &self.target
+    }
+
+    /// An empty batch shaped like the target schema.
+    pub fn output_batch(&self) -> CellBatch {
+        batch_for(&self.target)
+    }
+
+    /// Remap each row of `input` into the target coordinate space,
+    /// appending to `out`. Out-of-bounds coordinates follow `policy`.
+    pub fn apply(&self, policy: RedimPolicy, input: &CellBatch, out: &mut CellBatch) -> Result<()> {
+        let mut coord = vec![0i64; self.target.ndims()];
+        'rows: for row in 0..input.len() {
+            for (k, src) in self.dim_sources.iter().enumerate() {
+                let c = match src {
+                    Source::Dim(d) => input.coords[*d][row],
+                    Source::Attr(a) => input.attrs[*a].get(row).to_coord()?,
+                };
+                if !self.target.dims[k].contains(c) {
+                    match policy {
+                        RedimPolicy::Strict => {
+                            return Err(ArrayError::CoordOutOfBounds {
+                                dimension: self.target.dims[k].name.clone(),
+                                value: c,
+                                range: (self.target.dims[k].start, self.target.dims[k].end),
+                            })
+                        }
+                        RedimPolicy::DropOutOfBounds => continue 'rows,
+                    }
+                }
+                coord[k] = c;
+            }
+            for (d, &c) in coord.iter().enumerate() {
+                out.coords[d].push(c);
+            }
+            for (k, src) in self.attr_sources.iter().enumerate() {
+                match src {
+                    Source::Dim(d) => out.attrs[k].push(Value::Int(input.coords[*d][row]))?,
+                    Source::Attr(a) => out.attrs[k].push_from(&input.attrs[*a], row)?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A compiled `between` window: keeps rows inside the inclusive
+/// hyper-rectangle `[low[d], high[d]]` per dimension.
+#[derive(Debug)]
+pub struct WindowKernel {
+    low: Vec<i64>,
+    high: Vec<i64>,
+}
+
+impl WindowKernel {
+    /// Validate the window against `schema` (arity and non-emptiness).
+    pub fn compile(schema: &ArraySchema, low: &[i64], high: &[i64]) -> Result<WindowKernel> {
+        let ndims = schema.ndims();
+        if low.len() != ndims || high.len() != ndims {
+            return Err(ArrayError::ArityMismatch {
+                expected: ndims,
+                actual: low.len().min(high.len()),
+            });
+        }
+        for (d, dim) in schema.dims.iter().enumerate() {
+            if low[d] > high[d] {
+                return Err(ArrayError::InvalidSchema(format!(
+                    "between window is empty on dimension `{}`: {} > {}",
+                    dim.name, low[d], high[d]
+                )));
+            }
+        }
+        Ok(WindowKernel {
+            low: low.to_vec(),
+            high: high.to_vec(),
+        })
+    }
+
+    /// Whether any part of the window intersects the given chunk extents
+    /// (`(chunk_start, chunk_end)` per dimension).
+    pub fn intersects(&self, extents: impl Iterator<Item = (i64, i64)>) -> bool {
+        for (d, (lo, hi)) in extents.enumerate() {
+            if hi < self.low[d] || lo > self.high[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Append every in-window row of `input` to `out`.
+    pub fn apply(&self, input: &CellBatch, out: &mut CellBatch) -> Result<()> {
+        for row in 0..input.len() {
+            let inside = (0..input.ndims()).all(|d| {
+                let c = input.coords[d][row];
+                c >= self.low[d] && c <= self.high[d]
+            });
+            if inside {
+                out.push_row_from(input, row)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An empty [`CellBatch`] shaped like `schema` (one coordinate column per
+/// dimension, one attribute column per attribute).
+pub fn batch_for(schema: &ArraySchema) -> CellBatch {
+    let types: Vec<_> = schema.attrs.iter().map(|a| a.dtype).collect();
+    CellBatch::new(schema.ndims(), &types)
+}
+
+/// Flatten a batch's coordinates into leading integer *attribute* columns
+/// (dimension-less layout), appending to `out`.
+///
+/// `out` must carry `input.ndims() + input.nattrs()` attribute columns and
+/// no coordinate columns. This is the layout join units and hash buckets
+/// share (paper §4: buckets are "unordered and dimension-less").
+pub fn flatten_into(input: &CellBatch, out: &mut CellBatch) -> Result<()> {
+    let ndims = input.ndims();
+    for (d, col) in input.coords.iter().enumerate() {
+        out.attrs[d].extend_ints(col)?;
+    }
+    for (a, col) in input.attrs.iter().enumerate() {
+        out.attrs[ndims + a].extend_from(col)?;
+    }
+    Ok(())
+}
+
+/// Append every row of `src` onto `out` (same column layout), column at a
+/// time — the pipeline sink's accumulation step.
+pub fn extend_into(src: &CellBatch, out: &mut CellBatch) -> Result<()> {
+    for (d, col) in src.coords.iter().enumerate() {
+        out.coords[d].extend_from_slice(col);
+    }
+    for (a, col) in src.attrs.iter().enumerate() {
+        out.attrs[a].extend_from(col)?;
+    }
+    Ok(())
+}
+
+/// Route each row of `flat` to one of `outs` (row copy via
+/// [`CellBatch::push_row_from`]), with the destination chosen by `route`.
+///
+/// Shared by hash partitioning (`route` = key hash modulo bucket count) and
+/// the join executor's slice mapping (`route` = join-unit assignment).
+pub fn scatter_into<E: From<ArrayError>>(
+    flat: &CellBatch,
+    outs: &mut [CellBatch],
+    mut route: impl FnMut(&CellBatch, usize) -> std::result::Result<usize, E>,
+) -> std::result::Result<(), E> {
+    for row in 0..flat.len() {
+        let dst = route(flat, row)?;
+        outs[dst].push_row_from(flat, row)?;
+    }
+    Ok(())
+}
+
+/// Organize a flat batch of cells into a chunked [`Array`] under `schema`,
+/// sorting each chunk into C-order when `ordered` is set.
+///
+/// This is the output-organization phase every materializing consumer ends
+/// with: the whole-array operators, the streaming pipeline's sink, and the
+/// join executor (paper §3.1 phase 6).
+pub fn organize(schema: ArraySchema, cells: &CellBatch, ordered: bool) -> Result<Array> {
+    let mut out = Array::from_batch(schema, cells)?;
+    if ordered {
+        out.sort_chunks();
+    }
+    Ok(out)
+}
+
+/// Rewrite column references in `expr` so it binds against `output`:
+/// names the schema carries verbatim are kept; otherwise a qualified
+/// `Array.col` falls back to its bare suffix `col`.
+pub fn rewrite_for_output(expr: &Expr, output: &ArraySchema) -> Expr {
+    match expr {
+        Expr::Column(name) => {
+            if output.has_dim(name) || output.has_attr(name) {
+                expr.clone()
+            } else if let Some((_, col)) = name.split_once('.') {
+                Expr::col(col)
+            } else {
+                expr.clone()
+            }
+        }
+        Expr::Literal(_) => expr.clone(),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_for_output(left, output)),
+            right: Box::new(rewrite_for_output(right, output)),
+        },
+        Expr::Neg(e) => Expr::Neg(Box::new(rewrite_for_output(e, output))),
+        Expr::Not(e) => Expr::Not(Box::new(rewrite_for_output(e, output))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn sample() -> Array {
+        let schema = ArraySchema::parse("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap();
+        Array::from_cells(
+            schema,
+            vec![
+                (vec![1, 2], vec![Value::Int(3), Value::Float(1.1)]),
+                (vec![2, 2], vec![Value::Int(7), Value::Float(1.3)]),
+                (vec![5, 5], vec![Value::Int(9), Value::Float(2.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_kernel_appends_into_reused_buffer() {
+        let a = sample();
+        let k = FilterKernel::compile(
+            &a.schema,
+            &Expr::binary(BinOp::Gt, Expr::col("v1"), Expr::int(5)),
+        )
+        .unwrap();
+        let mut out = batch_for(&a.schema);
+        for (_, chunk) in a.chunks() {
+            k.apply(&chunk.cells, &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 2);
+        // The buffer is reusable: clear + refill yields the same rows.
+        out.clear();
+        for (_, chunk) in a.chunks() {
+            k.apply(&chunk.cells, &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn apply_kernel_matches_output_schema() {
+        let a = sample();
+        let k = ApplyKernel::compile(
+            &a.schema,
+            &[(
+                "ratio".into(),
+                Expr::binary(BinOp::Div, Expr::col("v2"), Expr::col("v1")),
+            )],
+            false,
+        )
+        .unwrap();
+        assert_eq!(k.schema().attrs.len(), 1);
+        let mut out = k.output_batch();
+        for (_, chunk) in a.chunks() {
+            k.apply(&chunk.cells, &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn lenient_apply_resolves_qualified_names() {
+        let a = sample();
+        // `A.v1` is not a schema column; lenient compile strips to `v1`.
+        assert!(
+            ApplyKernel::compile(&a.schema, &[("x".into(), Expr::col("A.v1"))], false).is_err()
+        );
+        let k = ApplyKernel::compile(&a.schema, &[("x".into(), Expr::col("A.v1"))], true).unwrap();
+        let mut out = k.output_batch();
+        for (_, chunk) in a.chunks() {
+            k.apply(&chunk.cells, &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn rewrite_for_output_prefers_exact_then_bare() {
+        let out = ArraySchema::parse("C<reflectance:float, B.reflectance:float>[t=1,5,5]").unwrap();
+        let e = rewrite_for_output(&Expr::col("Band1.reflectance"), &out);
+        assert_eq!(e, Expr::col("reflectance"));
+        // Exact qualified match wins over suffix-stripping.
+        let e = rewrite_for_output(&Expr::col("B.reflectance"), &out);
+        assert_eq!(e, Expr::col("B.reflectance"));
+    }
+
+    #[test]
+    fn flatten_and_scatter_roundtrip_cells() {
+        let a = sample();
+        let mut flat = CellBatch::new(
+            0,
+            &[
+                crate::value::DataType::Int64,
+                crate::value::DataType::Int64,
+                crate::value::DataType::Int64,
+                crate::value::DataType::Float64,
+            ],
+        );
+        for (_, chunk) in a.chunks() {
+            flatten_into(&chunk.cells, &mut flat).unwrap();
+        }
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat.attrs[0].get(0), Value::Int(1)); // i of first cell
+        let mut outs = vec![flat.take(&[]), flat.take(&[])];
+        for o in &mut outs {
+            o.clear();
+        }
+        scatter_into::<ArrayError>(&flat, &mut outs, |f, row| {
+            Ok((f.attrs[0].get(row).to_coord()? % 2) as usize)
+        })
+        .unwrap();
+        assert_eq!(outs[0].len() + outs[1].len(), 3);
+    }
+
+    #[test]
+    fn organize_sorts_only_when_asked() {
+        let schema = ArraySchema::parse("A<v:int>[i=1,10,10]").unwrap();
+        let mut cells = batch_for(&schema);
+        for i in (1..=10i64).rev() {
+            cells.push(&[i], &[Value::Int(i)]).unwrap();
+        }
+        let sorted = organize(schema.clone(), &cells, true).unwrap();
+        assert!(sorted.all_sorted());
+        let raw = organize(schema, &cells, false).unwrap();
+        assert!(!raw.all_sorted());
+    }
+}

@@ -15,6 +15,7 @@
 
 mod filter;
 mod hashop;
+pub mod kernels;
 mod redim;
 mod sortop;
 mod window;

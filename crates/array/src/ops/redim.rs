@@ -8,63 +8,16 @@
 //! `rechunk` performs the same cell-to-chunk assignment but skips the sort,
 //! producing unordered chunks — profitable when the join is selective and
 //! it is cheaper to sort the (fewer) output cells instead (paper §4).
+//!
+//! Both are thin wrappers over [`RedimKernel`], which the streaming
+//! pipeline applies per batch.
 
 use crate::array::Array;
-use crate::error::{ArrayError, Result};
+use crate::error::Result;
+use crate::ops::kernels::{organize, RedimKernel};
 use crate::schema::ArraySchema;
-use crate::value::Value;
 
-/// How `redim`/`rechunk` treat cells that do not fit the target schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RedimPolicy {
-    /// Error on the first out-of-bounds coordinate. Duplicate target
-    /// coordinates are permitted (needed when an attribute with repeated
-    /// values becomes a dimension, e.g. while building join units).
-    #[default]
-    Strict,
-    /// Silently drop out-of-bounds cells; duplicates permitted.
-    DropOutOfBounds,
-}
-
-/// Per-column source plan for building the target from the source schema.
-struct Mapping {
-    /// For each target dimension: where its coordinate comes from.
-    dim_sources: Vec<Source>,
-    /// For each target attribute: where its value comes from.
-    attr_sources: Vec<Source>,
-}
-
-enum Source {
-    Dim(usize),
-    Attr(usize),
-}
-
-fn build_mapping(source: &ArraySchema, target: &ArraySchema) -> Result<Mapping> {
-    let resolve = |name: &str| -> Result<Source> {
-        if let Ok(d) = source.dim_index(name) {
-            Ok(Source::Dim(d))
-        } else if let Ok(a) = source.attr_index(name) {
-            Ok(Source::Attr(a))
-        } else {
-            Err(ArrayError::SchemaMismatch(format!(
-                "target column `{name}` not found in source schema `{}`",
-                source.name
-            )))
-        }
-    };
-    Ok(Mapping {
-        dim_sources: target
-            .dims
-            .iter()
-            .map(|d| resolve(&d.name))
-            .collect::<Result<_>>()?,
-        attr_sources: target
-            .attrs
-            .iter()
-            .map(|a| resolve(&a.name))
-            .collect::<Result<_>>()?,
-    })
-}
+pub use crate::ops::kernels::RedimPolicy;
 
 /// Redimension `array` to `target`, producing ordered chunks.
 ///
@@ -72,55 +25,26 @@ fn build_mapping(source: &ArraySchema, target: &ArraySchema) -> Result<Mapping> 
 /// dimension or attribute; attributes promoted to dimensions must hold
 /// integral values.
 pub fn redim(array: &Array, target: &ArraySchema, policy: RedimPolicy) -> Result<Array> {
-    let mut out = reassign(array, target, policy)?;
-    out.sort_chunks();
-    Ok(out)
+    reassign(array, target, policy, true)
 }
 
 /// Re-tile `array` to `target`'s chunk intervals without sorting.
 pub fn rechunk(array: &Array, target: &ArraySchema, policy: RedimPolicy) -> Result<Array> {
-    reassign(array, target, policy)
+    reassign(array, target, policy, false)
 }
 
-fn reassign(array: &Array, target: &ArraySchema, policy: RedimPolicy) -> Result<Array> {
-    let mapping = build_mapping(&array.schema, target)?;
-    let mut out = Array::new(target.clone());
-    let mut coord = vec![0i64; target.ndims()];
-    let mut values: Vec<Value> = Vec::with_capacity(target.nattrs());
-
+fn reassign(
+    array: &Array,
+    target: &ArraySchema,
+    policy: RedimPolicy,
+    ordered: bool,
+) -> Result<Array> {
+    let kernel = RedimKernel::compile(&array.schema, target)?;
+    let mut out = kernel.output_batch();
     for (_, chunk) in array.chunks() {
-        let cells = &chunk.cells;
-        'cells: for row in 0..cells.len() {
-            for (k, src) in mapping.dim_sources.iter().enumerate() {
-                let c = match src {
-                    Source::Dim(d) => cells.coords[*d][row],
-                    Source::Attr(a) => cells.attrs[*a].get(row).to_coord()?,
-                };
-                if !target.dims[k].contains(c) {
-                    match policy {
-                        RedimPolicy::Strict => {
-                            return Err(ArrayError::CoordOutOfBounds {
-                                dimension: target.dims[k].name.clone(),
-                                value: c,
-                                range: (target.dims[k].start, target.dims[k].end),
-                            })
-                        }
-                        RedimPolicy::DropOutOfBounds => continue 'cells,
-                    }
-                }
-                coord[k] = c;
-            }
-            values.clear();
-            for src in &mapping.attr_sources {
-                values.push(match src {
-                    Source::Dim(d) => Value::Int(cells.coords[*d][row]),
-                    Source::Attr(a) => cells.attrs[*a].get(row),
-                });
-            }
-            out.insert(&coord, &values)?;
-        }
+        kernel.apply(policy, &chunk.cells, &mut out)?;
     }
-    Ok(out)
+    organize(target.clone(), &out, ordered)
 }
 
 #[cfg(test)]
@@ -132,14 +56,22 @@ mod tests {
     /// redimensioned to <v1:int, v2:float>[i=1,6,3, j=1,6,3] so it can be
     /// merge-joined with A.
     fn source_b() -> Array {
-        let schema =
-            ArraySchema::parse("B<v1:int, v2:float, i:int>[j=1,6,3]").unwrap();
+        let schema = ArraySchema::parse("B<v1:int, v2:float, i:int>[j=1,6,3]").unwrap();
         Array::from_cells(
             schema,
             vec![
-                (vec![1], vec![Value::Int(3), Value::Float(1.1), Value::Int(2)]),
-                (vec![4], vec![Value::Int(1), Value::Float(4.7), Value::Int(5)]),
-                (vec![6], vec![Value::Int(7), Value::Float(0.4), Value::Int(1)]),
+                (
+                    vec![1],
+                    vec![Value::Int(3), Value::Float(1.1), Value::Int(2)],
+                ),
+                (
+                    vec![4],
+                    vec![Value::Int(1), Value::Float(4.7), Value::Int(5)],
+                ),
+                (
+                    vec![6],
+                    vec![Value::Int(7), Value::Float(0.4), Value::Int(1)],
+                ),
             ],
         )
         .unwrap()
@@ -148,8 +80,7 @@ mod tests {
     #[test]
     fn redim_promotes_attribute_to_dimension() {
         let b = source_b();
-        let target =
-            ArraySchema::parse("B2<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap();
+        let target = ArraySchema::parse("B2<v1:int, v2:float>[i=1,6,3, j=1,6,3]").unwrap();
         let out = redim(&b, &target, RedimPolicy::Strict).unwrap();
         assert_eq!(out.cell_count(), 3);
         assert!(out.all_sorted());
@@ -182,8 +113,7 @@ mod tests {
     fn redim_out_of_bounds_strict_errors_drop_drops() {
         let b = source_b();
         // i only ranges to 4 here, so the cell with i=5 is out of bounds.
-        let target =
-            ArraySchema::parse("B4<v1:int, v2:float>[i=1,4,2, j=1,6,3]").unwrap();
+        let target = ArraySchema::parse("B4<v1:int, v2:float>[i=1,4,2, j=1,6,3]").unwrap();
         assert!(redim(&b, &target, RedimPolicy::Strict).is_err());
         let out = redim(&b, &target, RedimPolicy::DropOutOfBounds).unwrap();
         assert_eq!(out.cell_count(), 2);
@@ -199,11 +129,7 @@ mod tests {
     #[test]
     fn redim_rejects_non_integral_dimension_values() {
         let schema = ArraySchema::parse("F<x:float>[k=1,3,3]").unwrap();
-        let f = Array::from_cells(
-            schema,
-            vec![(vec![1], vec![Value::Float(1.5)])],
-        )
-        .unwrap();
+        let f = Array::from_cells(schema, vec![(vec![1], vec![Value::Float(1.5)])]).unwrap();
         let target = ArraySchema::parse("F2<k:int>[x=1,10,5]").unwrap();
         assert!(redim(&f, &target, RedimPolicy::Strict).is_err());
     }

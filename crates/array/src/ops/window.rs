@@ -3,6 +3,7 @@
 
 use crate::array::Array;
 use crate::error::{ArrayError, Result};
+use crate::ops::kernels::{batch_for, organize, WindowKernel};
 use crate::value::Value;
 
 /// Keep only cells inside the inclusive hyper-rectangle
@@ -12,52 +13,22 @@ use crate::value::Value;
 /// the input schema (chunks outside the window simply disappear, chunks
 /// straddling it shrink).
 pub fn between(array: &Array, low: &[i64], high: &[i64]) -> Result<Array> {
-    let ndims = array.schema.ndims();
-    if low.len() != ndims || high.len() != ndims {
-        return Err(ArrayError::ArityMismatch {
-            expected: ndims,
-            actual: low.len().min(high.len()),
-        });
-    }
-    for (d, dim) in array.schema.dims.iter().enumerate() {
-        if low[d] > high[d] {
-            return Err(ArrayError::InvalidSchema(format!(
-                "between window is empty on dimension `{}`: {} > {}",
-                dim.name, low[d], high[d]
-            )));
-        }
-    }
-    let mut out = Array::new(array.schema.clone());
-    let mut values: Vec<Value> = Vec::with_capacity(array.schema.nattrs());
+    let kernel = WindowKernel::compile(&array.schema, low, high)?;
+    let mut out = batch_for(&array.schema);
     for (_, chunk) in array.chunks() {
         // Skip chunks entirely outside the window.
-        let outside = array.schema.dims.iter().enumerate().any(|(d, dim)| {
-            let c_lo = dim.chunk_start(chunk.pos[d]);
-            let c_hi = dim.chunk_end(chunk.pos[d]);
-            c_hi < low[d] || c_lo > high[d]
-        });
-        if outside {
+        let extents = array
+            .schema
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(d, dim)| (dim.chunk_start(chunk.pos[d]), dim.chunk_end(chunk.pos[d])));
+        if !kernel.intersects(extents) {
             continue;
         }
-        let cells = &chunk.cells;
-        for row in 0..cells.len() {
-            let inside = (0..ndims).all(|d| {
-                let c = cells.coords[d][row];
-                c >= low[d] && c <= high[d]
-            });
-            if !inside {
-                continue;
-            }
-            values.clear();
-            for a in 0..cells.nattrs() {
-                values.push(cells.attrs[a].get(row));
-            }
-            let coord = cells.coord(row);
-            out.insert(&coord, &values)?;
-        }
+        kernel.apply(&chunk.cells, &mut out)?;
     }
-    out.sort_chunks();
-    Ok(out)
+    organize(array.schema.clone(), &out, true)
 }
 
 /// An aggregate function over one attribute.
@@ -118,9 +89,7 @@ pub fn aggregate(array: &Array, func: AggFn, attr: &str) -> Result<Value> {
                     min = Some(match min.take() {
                         None => v,
                         Some(m) => {
-                            if crate::expr::compare_values(&v, &m)?
-                                == std::cmp::Ordering::Less
-                            {
+                            if crate::expr::compare_values(&v, &m)? == std::cmp::Ordering::Less {
                                 v
                             } else {
                                 m
@@ -132,9 +101,7 @@ pub fn aggregate(array: &Array, func: AggFn, attr: &str) -> Result<Value> {
                     max = Some(match max.take() {
                         None => v,
                         Some(m) => {
-                            if crate::expr::compare_values(&v, &m)?
-                                == std::cmp::Ordering::Greater
-                            {
+                            if crate::expr::compare_values(&v, &m)? == std::cmp::Ordering::Greater {
                                 v
                             } else {
                                 m

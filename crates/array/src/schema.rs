@@ -265,7 +265,12 @@ impl ArraySchema {
     /// Approximate per-cell stored size in bytes: one coordinate word per
     /// dimension plus the attribute payloads. Used for transfer costing.
     pub fn cell_bytes(&self) -> usize {
-        8 * self.dims.len() + self.attrs.iter().map(|a| a.dtype.byte_width()).sum::<usize>()
+        8 * self.dims.len()
+            + self
+                .attrs
+                .iter()
+                .map(|a| a.dtype.byte_width())
+                .sum::<usize>()
     }
 
     /// Whether two schemas have identical dimension spaces (names may
@@ -324,8 +329,7 @@ mod parse {
         }
 
         fn skip_ws(&mut self) {
-            while self
-                .text[self.pos..]
+            while self.text[self.pos..]
                 .chars()
                 .next()
                 .is_some_and(|c| c.is_whitespace())
@@ -366,9 +370,7 @@ mod parse {
             let rest = &self.text[self.pos..];
             let len = rest
                 .char_indices()
-                .take_while(|(i, c)| {
-                    c.is_alphanumeric() || *c == '_' || (*i > 0 && *c == '.')
-                })
+                .take_while(|(i, c)| c.is_alphanumeric() || *c == '_' || (*i > 0 && *c == '.'))
                 .map(|(i, c)| i + c.len_utf8())
                 .last()
                 .unwrap_or(0);
@@ -417,19 +419,18 @@ mod parse {
         let mut c = Cursor::new(text);
         let name = c.ident()?;
         let mut attrs = Vec::new();
-        if c.try_eat('<')
-            && !c.try_eat('>') {
-                loop {
-                    let attr_name = c.ident()?;
-                    c.eat(':')?;
-                    let dtype = DataType::parse(&c.ident()?)?;
-                    attrs.push(AttributeDef::new(attr_name, dtype));
-                    if !c.try_eat(',') {
-                        break;
-                    }
+        if c.try_eat('<') && !c.try_eat('>') {
+            loop {
+                let attr_name = c.ident()?;
+                c.eat(':')?;
+                let dtype = DataType::parse(&c.ident()?)?;
+                attrs.push(AttributeDef::new(attr_name, dtype));
+                if !c.try_eat(',') {
+                    break;
                 }
-                c.eat('>')?;
             }
+            c.eat('>')?;
+        }
         c.eat('[')?;
         let mut dims = Vec::new();
         if !c.try_eat(']') {

@@ -174,12 +174,8 @@ impl Ord for Value {
             // Mixed numeric comparison: joins may compare int attributes
             // with float attributes; compare numerically, then break the
             // (rare) exact ties by type rank so the order stays total.
-            (Value::Int(a), Value::Float(b)) => {
-                (*a as f64).total_cmp(b).then(Ordering::Less)
-            }
-            (Value::Float(a), Value::Int(b)) => {
-                a.total_cmp(&(*b as f64)).then(Ordering::Greater)
-            }
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (a, b) => a.type_rank().cmp(&b.type_rank()),
@@ -198,7 +194,10 @@ impl Hash for Value {
                 // Hash floats that are exactly integral the same way as the
                 // corresponding integer so `Int(2) == Float(2.0)` implies
                 // equal hashes (required for mixed-type hash joins).
-                if v.fract() == 0.0 && v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64
+                if v.fract() == 0.0
+                    && v.is_finite()
+                    && *v >= i64::MIN as f64
+                    && *v <= i64::MAX as f64
                 {
                     state.write_u8(0);
                     (*v as i64).hash(state);

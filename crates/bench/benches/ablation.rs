@@ -140,10 +140,7 @@ fn main() {
     // against its seed and against the baseline, showing how much the
     // rebalancing loop contributes on top of the greedy start.
     println!("\nAblation 3: Tabu vs its MBH seed vs the skew-agnostic baseline");
-    println!(
-        "{:>10} {:>14} {:>14}",
-        "planner", "model cost", "exec (ms)"
-    );
+    println!("{:>10} {:>14} {:>14}", "planner", "model cost", "exec (ms)");
     for planner in [
         PlannerKind::Baseline,
         PlannerKind::MinBandwidth,

@@ -71,7 +71,9 @@ fn main() {
             .expect("clean reference join failed");
     let mut clean_cells: Vec<_> = clean_out.iter_cells().collect();
     clean_cells.sort();
-    println!("Fault matrix: fig8 hash-skew join (alpha=1.5), {NODES} nodes, {REPLICAS}-way replication");
+    println!(
+        "Fault matrix: fig8 hash-skew join (alpha=1.5), {NODES} nodes, {REPLICAS}-way replication"
+    );
     println!(
         "clean run: makespan {:.3}s, {} matches",
         clean.shuffle.makespan, clean.matches

@@ -37,12 +37,8 @@ fn main() {
     let mut baseline_12node = 0.0f64;
     for &k in &NODES {
         let cluster = cluster_with_pair(k, a.clone(), b.clone());
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        )
-        .with_selectivity(0.0001);
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]))
+            .with_selectivity(0.0001);
         let mut rows = Vec::new();
         for planner in [
             PlannerKind::Baseline,

@@ -72,14 +72,8 @@ fn main() {
             durations.push(wall_ms);
             per_algo.push((algo, m.logical_cost, wall_ms));
         }
-        let min_cost = per_algo
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
-        let min_time = per_algo
-            .iter()
-            .min_by(|a, b| a.2.total_cmp(&b.2))
-            .unwrap();
+        let min_cost = per_algo.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        let min_time = per_algo.iter().min_by(|a, b| a.2.total_cmp(&b.2)).unwrap();
         // Plans within 10% of the fastest count as tied: at low
         // selectivity the hash and merge plans differ by a couple of ms
         // of fixed engine overhead, below run-to-run noise.
@@ -97,6 +91,10 @@ fn main() {
     println!("\npower-law correlation of cost vs duration: r² = {r2:.3} (paper: ≈0.9)");
     println!(
         "minimum-cost plan was the fastest at every selectivity: {}",
-        if min_cost_is_fastest { "yes (matches paper)" } else { "no" }
+        if min_cost_is_fastest {
+            "yes (matches paper)"
+        } else {
+            "no"
+        }
     );
 }

@@ -55,8 +55,8 @@ fn main() {
             let mut avg = 0.0;
             for _ in 0..3 {
                 let (_, m) = execute_shuffle_join(&cluster, &query, &config).unwrap();
-                avg += (m.slice_map_seconds + m.alignment_seconds + m.comparison_seconds) * 1e3
-                    / 3.0;
+                avg +=
+                    (m.slice_map_seconds + m.alignment_seconds + m.comparison_seconds) * 1e3 / 3.0;
             }
             ys.push(avg);
         }

@@ -13,7 +13,9 @@
 
 use std::time::Duration;
 
-use sj_bench::{bench_params, cluster_with_pair, paper_planners, print_phase_table, run_join, PhaseRow};
+use sj_bench::{
+    bench_params, cluster_with_pair, paper_planners, print_phase_table, run_join, PhaseRow,
+};
 use sj_core::exec::JoinQuery;
 use sj_core::{JoinAlgo, JoinPredicate};
 use sj_workload::{skewed_pair, SkewedArrayConfig};
@@ -38,12 +40,8 @@ fn main() {
         };
         let (a, b) = skewed_pair(&cfg);
         let cluster = cluster_with_pair(4, a, b);
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        )
-        .with_selectivity(0.0001);
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]))
+            .with_selectivity(0.0001);
 
         let mut rows = Vec::new();
         for planner in paper_planners(Duration::from_secs(2), 75) {

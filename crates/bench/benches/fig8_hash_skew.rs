@@ -12,7 +12,9 @@
 
 use std::time::Duration;
 
-use sj_bench::{bench_params, cluster_with_pair, paper_planners, print_phase_table, run_join, PhaseRow};
+use sj_bench::{
+    bench_params, cluster_with_pair, paper_planners, print_phase_table, run_join, PhaseRow,
+};
 use sj_core::exec::JoinQuery;
 use sj_core::{JoinAlgo, JoinPredicate};
 use sj_workload::{skewed_pair, SkewedArrayConfig};

@@ -39,7 +39,9 @@ fn main() {
     )
     .with_selectivity(0.0001);
 
-    println!("Parallel executor speedup: fig8 hash-skew join (alpha=1.5, {BUCKETS} buckets, 4 nodes)");
+    println!(
+        "Parallel executor speedup: fig8 hash-skew join (alpha=1.5, {BUCKETS} buckets, 4 nodes)"
+    );
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>10} {:>8}",
         "threads", "slice (ms)", "comp (ms)", "total (ms)", "speedup", "matches"
@@ -61,8 +63,8 @@ fn main() {
                 threads,
                 ..ExecConfig::default()
             };
-            let (_, m) = execute_shuffle_join(&cluster, &query, &config)
-                .expect("speedup bench join failed");
+            let (_, m) =
+                execute_shuffle_join(&cluster, &query, &config).expect("speedup bench join failed");
             let total = (m.profile.slice_map_wall_seconds
                 + m.profile.comparison_wall_seconds
                 + m.profile.output_wall_seconds)

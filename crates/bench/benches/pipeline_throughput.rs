@@ -1,0 +1,96 @@
+//! Streaming-pipeline throughput: an op-chain sweep over array sizes.
+//!
+//! Each point runs a whole plan through `sj_core::run_plan` on a 4-node
+//! cluster and reports one human line plus one machine-readable JSON line
+//! (`{"bench":"pipeline/<chain>/<cells>", ...}`). The `filter_pushed` /
+//! `filter_coordinator` pair measures the same plan with and without the
+//! rewriter's gather pushdown, isolating the coordinator-bottleneck win.
+//!
+//! Run with `cargo bench --bench pipeline_throughput [-- <filter>]`.
+
+use std::time::Duration;
+
+use sj_array::{ArraySchema, BinOp, Expr};
+use sj_bench::harness::{Options, Runner};
+use sj_cluster::{Cluster, NetworkModel, Placement};
+use sj_core::exec::ExecConfig;
+use sj_core::{rewrite, run_plan, PlanNode};
+use sj_workload::{skewed_array, SkewedArrayConfig};
+
+fn cluster_with(cells: usize) -> Cluster {
+    let cfg = SkewedArrayConfig {
+        name: "A".to_string(),
+        grid: 8,
+        chunk_interval: 64,
+        cells,
+        spatial_alpha: 0.0,
+        value_alpha: 0.8,
+        value_domain: 10_000,
+        seed: 11,
+    };
+    let mut cluster = Cluster::new(4, NetworkModel::gigabit());
+    cluster
+        .load_array(skewed_array(&cfg), &Placement::RoundRobin)
+        .unwrap();
+    cluster
+}
+
+fn scan() -> PlanNode {
+    PlanNode::Scan {
+        array: "A".to_string(),
+    }
+}
+
+fn selective_filter() -> Expr {
+    Expr::binary(BinOp::Lt, Expr::col("v1"), Expr::int(1_000))
+}
+
+/// The swept op chains: (name, plan builder). `filter_coordinator`
+/// deliberately skips the rewriter so the predicate runs above `gather`.
+fn chains() -> Vec<(&'static str, PlanNode)> {
+    let filter = PlanNode::Filter {
+        input: Box::new(scan().gathered()),
+        predicate: selective_filter(),
+    };
+    let apply_chain = PlanNode::Apply {
+        input: Box::new(filter.clone()),
+        outputs: vec![(
+            "s".to_string(),
+            Expr::binary(BinOp::Add, Expr::col("v1"), Expr::col("v2")),
+        )],
+        lenient: false,
+    };
+    let between = PlanNode::Between {
+        input: Box::new(scan().gathered()),
+        bounds: vec![1, 1, 256, 256],
+    };
+    let redim = PlanNode::Redim {
+        input: Box::new(scan().gathered()),
+        target: ArraySchema::parse("R<i:int, j:int, v2:int>[v1=0,9999,2048]").unwrap(),
+    };
+    vec![
+        ("gather", scan().gathered()),
+        ("filter_coordinator", filter.clone()),
+        ("filter_pushed", rewrite(filter)),
+        ("filter_apply", rewrite(apply_chain)),
+        ("between", rewrite(between)),
+        ("redim", redim),
+    ]
+}
+
+fn main() {
+    let mut runner = Runner::from_args().with_options(Options {
+        measure: Duration::from_secs(1),
+        ..Options::default()
+    });
+    let config = ExecConfig::default();
+    for &cells in &[5_000usize, 20_000, 80_000] {
+        let cluster = cluster_with(cells);
+        let mut group = runner.group("pipeline");
+        for (name, plan) in chains() {
+            group.bench(&format!("{name}/{cells}"), || {
+                run_plan(&cluster, &plan, &config).unwrap().array
+            });
+        }
+    }
+}

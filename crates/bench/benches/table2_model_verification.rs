@@ -71,8 +71,7 @@ fn main() {
                 );
                 // "the summed data alignment and join execution times".
                 observed +=
-                    (m.alignment_seconds + m.slice_map_seconds + m.comparison_seconds) * 1e3
-                        / 3.0;
+                    (m.alignment_seconds + m.slice_map_seconds + m.comparison_seconds) * 1e3 / 3.0;
                 cost = m.est_physical_cost;
                 name = m.planner;
             }

@@ -78,9 +78,7 @@ impl Runner {
     /// non-flag argument is a substring filter on benchmark ids
     /// (matching `cargo bench -- <filter>` behavior).
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Runner {
             filter,
             opts: Options::default(),

@@ -45,11 +45,7 @@ pub fn bench_network() -> NetworkModel {
 
 /// Build a cluster with two arrays on decorrelated layouts (each array
 /// of a real engine is distributed independently).
-pub fn cluster_with_pair(
-    k: usize,
-    left: sj_array::Array,
-    right: sj_array::Array,
-) -> Cluster {
+pub fn cluster_with_pair(k: usize, left: sj_array::Array, right: sj_array::Array) -> Cluster {
     let mut cluster = Cluster::new(k, bench_network());
     cluster
         .load_array(left, &Placement::HashSalted(1))

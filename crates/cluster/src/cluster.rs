@@ -391,11 +391,11 @@ impl Cluster {
         if !self.alive[dst] {
             return Err(ClusterError::NodeDown(dst));
         }
-        let homes =
-            self.catalog
-                .chunk_homes
-                .get_mut(array)
-                .ok_or_else(|| ClusterError::NoSuchArray(array.to_string()))?;
+        let homes = self
+            .catalog
+            .chunk_homes
+            .get_mut(array)
+            .ok_or_else(|| ClusterError::NoSuchArray(array.to_string()))?;
         let src = *homes.get(&chunk_id).ok_or(ClusterError::MissingChunk {
             array: array.to_string(),
             chunk: chunk_id,
@@ -493,7 +493,10 @@ mod tests {
         let after = cluster.per_node_cells("A").unwrap();
         assert_eq!(before.iter().sum::<usize>(), after.iter().sum::<usize>());
         assert_eq!(after[1], before[1] + 10);
-        assert_eq!(*cluster.catalog().chunk_homes("A").unwrap().get(&0).unwrap(), 1);
+        assert_eq!(
+            *cluster.catalog().chunk_homes("A").unwrap().get(&0).unwrap(),
+            1
+        );
         // Moving to the same node is a no-op.
         cluster.move_chunk("A", 0, 1).unwrap();
         // Bad destination rejected.

@@ -289,10 +289,7 @@ mod tests {
         let dead = vec![false, true, false, false];
         assert_eq!(r.live_alternate(0, &dead), Some(2));
         assert_eq!(r.live_alternate(3, &dead), Some(0));
-        assert_eq!(
-            RecoveryOptions::none(4).live_alternate(0, &dead),
-            None
-        );
+        assert_eq!(RecoveryOptions::none(4).live_alternate(0, &dead), None);
     }
 
     #[test]
@@ -302,9 +299,6 @@ mod tests {
             .with_crash(1, 2.0)
             .with_crash(0, 5.0);
         let s = p.sorted_crashes();
-        assert_eq!(
-            s.iter().map(|c| c.node).collect::<Vec<_>>(),
-            vec![1, 0, 3]
-        );
+        assert_eq!(s.iter().map(|c| c.node).collect::<Vec<_>>(), vec![1, 0, 3]);
     }
 }

@@ -291,10 +291,7 @@ impl<'a> Sim<'a> {
     /// Expected wire time of one attempt, including straggler slowdown.
     fn effective_time(&self, p: &Pend) -> f64 {
         self.network.transfer_time(p.bytes)
-            * self
-                .faults
-                .slowdown(p.src)
-                .max(self.faults.slowdown(p.dst))
+            * self.faults.slowdown(p.src).max(self.faults.slowdown(p.dst))
     }
 
     /// Try to start one transfer for `sender`: the first pending slice
@@ -308,10 +305,7 @@ impl<'a> Sim<'a> {
         let locked = &self.locked;
         let queue = &mut self.pending[sender];
         // Scan from the back (front of the logical queue).
-        let Some(idx) = queue
-            .iter()
-            .rposition(|t| !locked[t.dst] && !dead[t.dst])
-        else {
+        let Some(idx) = queue.iter().rposition(|t| !locked[t.dst] && !dead[t.dst]) else {
             return;
         };
         let p = queue.remove(idx);
@@ -334,11 +328,7 @@ impl<'a> Sim<'a> {
         let id = self.inflight.len();
         self.inflight.push(Some((p, timed_out)));
         self.cancelled.push(false);
-        self.events.push(Completion {
-            finish,
-            sender,
-            id,
-        });
+        self.events.push(Completion { finish, sender, id });
     }
 
     fn dispatch_all(&mut self) {
@@ -382,9 +372,7 @@ impl<'a> Sim<'a> {
         (0..self.k)
             .filter(|&j| !self.dead[j])
             .min_by_key(|&j| (load[j], j))
-            .ok_or_else(|| {
-                ClusterError::Unrecoverable("every node in the cluster has died".into())
-            })
+            .ok_or_else(|| ClusterError::Unrecoverable("every node in the cluster has died".into()))
     }
 
     /// Kill node `d` at the current virtual time and re-plan: re-source
@@ -518,13 +506,10 @@ impl<'a> Sim<'a> {
 
         // The receiver verifies the payload checksum; a dropped transfer
         // never arrives, a corrupted one arrives and fails the check.
-        let failed = if self.faults.drop_rate > 0.0 && self.rng.gen_f64() < self.faults.drop_rate
-        {
+        let failed = if self.faults.drop_rate > 0.0 && self.rng.gen_f64() < self.faults.drop_rate {
             self.report.dropped_transfers += 1;
             true
-        } else if self.faults.corrupt_rate > 0.0
-            && self.rng.gen_f64() < self.faults.corrupt_rate
-        {
+        } else if self.faults.corrupt_rate > 0.0 && self.rng.gen_f64() < self.faults.corrupt_rate {
             self.report.checksum_failures += 1;
             true
         } else {
@@ -680,8 +665,16 @@ mod tests {
             4,
             &net(),
             &[
-                Transfer { src: 0, dst: 1, bytes: 100 },
-                Transfer { src: 2, dst: 3, bytes: 100 },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 100,
+                },
+                Transfer {
+                    src: 2,
+                    dst: 3,
+                    bytes: 100,
+                },
             ],
         )
         .unwrap();
@@ -695,8 +688,16 @@ mod tests {
             3,
             &net(),
             &[
-                Transfer { src: 0, dst: 2, bytes: 100 },
-                Transfer { src: 1, dst: 2, bytes: 100 },
+                Transfer {
+                    src: 0,
+                    dst: 2,
+                    bytes: 100,
+                },
+                Transfer {
+                    src: 1,
+                    dst: 2,
+                    bytes: 100,
+                },
             ],
         )
         .unwrap();
@@ -710,8 +711,16 @@ mod tests {
             3,
             &net(),
             &[
-                Transfer { src: 0, dst: 1, bytes: 100 },
-                Transfer { src: 0, dst: 2, bytes: 100 },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 100,
+                },
+                Transfer {
+                    src: 0,
+                    dst: 2,
+                    bytes: 100,
+                },
             ],
         )
         .unwrap();
@@ -724,9 +733,21 @@ mod tests {
         // sender 1 grabs node 2 first is not deterministic; instead test
         // that total work completes and makespan is within greedy bounds.
         let transfers = [
-            Transfer { src: 0, dst: 2, bytes: 100 },
-            Transfer { src: 0, dst: 1, bytes: 50 },
-            Transfer { src: 1, dst: 2, bytes: 100 },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 100,
+            },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 50,
+            },
+            Transfer {
+                src: 1,
+                dst: 2,
+                bytes: 100,
+            },
         ];
         let r = simulate_shuffle(3, &net(), &transfers).unwrap();
         // Node 2 receives 200 bytes serially => makespan >= 200.
@@ -743,8 +764,16 @@ mod tests {
             2,
             &net(),
             &[
-                Transfer { src: 0, dst: 1, bytes: 100 },
-                Transfer { src: 1, dst: 0, bytes: 100 },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 100,
+                },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    bytes: 100,
+                },
             ],
         )
         .unwrap();
@@ -759,7 +788,11 @@ mod tests {
         let k = 4;
         // All-to-one: nodes 1..3 each send 300 bytes to node 0.
         let to_one: Vec<Transfer> = (1..k)
-            .map(|s| Transfer { src: s, dst: 0, bytes: 300 })
+            .map(|s| Transfer {
+                src: s,
+                dst: 0,
+                bytes: 300,
+            })
             .collect();
         let r1 = simulate_shuffle(k, &net(), &to_one).unwrap();
         // All-to-all: every node sends 100 bytes to every other node
@@ -768,7 +801,11 @@ mod tests {
         for s in 0..k {
             for d in 0..k {
                 if s != d {
-                    all.push(Transfer { src: s, dst: d, bytes: 100 });
+                    all.push(Transfer {
+                        src: s,
+                        dst: d,
+                        bytes: 100,
+                    });
                 }
             }
         }
@@ -787,13 +824,21 @@ mod tests {
         assert!(simulate_shuffle(
             2,
             &net(),
-            &[Transfer { src: 0, dst: 5, bytes: 1 }]
+            &[Transfer {
+                src: 0,
+                dst: 5,
+                bytes: 1
+            }]
         )
         .is_err());
         assert!(simulate_shuffle(
             2,
             &net(),
-            &[Transfer { src: 9, dst: 0, bytes: 1 }]
+            &[Transfer {
+                src: 9,
+                dst: 0,
+                bytes: 1
+            }]
         )
         .is_err());
     }
@@ -803,10 +848,26 @@ mod tests {
         // Analytical lower bound from the paper's cost model: the busiest
         // link bounds the makespan.
         let transfers = [
-            Transfer { src: 0, dst: 1, bytes: 500 },
-            Transfer { src: 0, dst: 2, bytes: 300 },
-            Transfer { src: 3, dst: 1, bytes: 400 },
-            Transfer { src: 2, dst: 3, bytes: 100 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 500,
+            },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 300,
+            },
+            Transfer {
+                src: 3,
+                dst: 1,
+                bytes: 400,
+            },
+            Transfer {
+                src: 2,
+                dst: 3,
+                bytes: 100,
+            },
         ];
         let r = simulate_shuffle(4, &net(), &transfers).unwrap();
         let max_send = *r.sent_bytes.iter().max().unwrap() as f64;
@@ -819,10 +880,26 @@ mod tests {
     #[test]
     fn zero_byte_transfers_complete_instantly() {
         let transfers = [
-            Transfer { src: 0, dst: 1, bytes: 0 },
-            Transfer { src: 1, dst: 2, bytes: 0 },
-            Transfer { src: 2, dst: 0, bytes: 0 },
-            Transfer { src: 0, dst: 2, bytes: 0 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+            },
+            Transfer {
+                src: 1,
+                dst: 2,
+                bytes: 0,
+            },
+            Transfer {
+                src: 2,
+                dst: 0,
+                bytes: 0,
+            },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 0,
+            },
         ];
         let r = simulate_shuffle(3, &net(), &transfers).unwrap();
         assert_eq!(r.makespan, 0.0);
@@ -833,8 +910,16 @@ mod tests {
     #[test]
     fn single_node_cluster_is_all_local() {
         let transfers = [
-            Transfer { src: 0, dst: 0, bytes: 100 },
-            Transfer { src: 0, dst: 0, bytes: 200 },
+            Transfer {
+                src: 0,
+                dst: 0,
+                bytes: 100,
+            },
+            Transfer {
+                src: 0,
+                dst: 0,
+                bytes: 200,
+            },
         ];
         let r = simulate_shuffle(1, &net(), &transfers).unwrap();
         assert_eq!(r.makespan, 0.0);
@@ -851,7 +936,11 @@ mod tests {
         let mut transfers = Vec::new();
         for s in 0..3 {
             for _ in 0..4 {
-                transfers.push(Transfer { src: s, dst: 3, bytes: 10 });
+                transfers.push(Transfer {
+                    src: s,
+                    dst: 3,
+                    bytes: 10,
+                });
             }
         }
         let r = simulate_shuffle(4, &net(), &transfers).unwrap();
@@ -900,7 +989,11 @@ mod tests {
         for s in 0..k {
             for d in 0..k {
                 if s != d {
-                    transfers.push(Transfer { src: s, dst: d, bytes });
+                    transfers.push(Transfer {
+                        src: s,
+                        dst: d,
+                        bytes,
+                    });
                 }
             }
         }
@@ -933,14 +1026,9 @@ mod tests {
         let transfers = spread_transfers(3, 100);
         let clean = simulate_shuffle(3, &net(), &transfers).unwrap();
         let plan = FaultPlan::seeded(11).with_drop_rate(0.4);
-        let r = simulate_shuffle_with_faults(
-            3,
-            &net(),
-            &transfers,
-            &plan,
-            &RecoveryOptions::none(3),
-        )
-        .unwrap();
+        let r =
+            simulate_shuffle_with_faults(3, &net(), &transfers, &plan, &RecoveryOptions::none(3))
+                .unwrap();
         assert!(r.retries > 0, "40% drop over 6 transfers must retry");
         assert_eq!(r.retries, r.dropped_transfers);
         assert!(r.recovery_bytes >= 100 * r.retries);
@@ -954,14 +1042,9 @@ mod tests {
     fn corruption_is_detected_and_retransmitted() {
         let transfers = spread_transfers(3, 100);
         let plan = FaultPlan::seeded(5).with_corrupt_rate(0.4);
-        let r = simulate_shuffle_with_faults(
-            3,
-            &net(),
-            &transfers,
-            &plan,
-            &RecoveryOptions::none(3),
-        )
-        .unwrap();
+        let r =
+            simulate_shuffle_with_faults(3, &net(), &transfers, &plan, &RecoveryOptions::none(3))
+                .unwrap();
         assert!(r.checksum_failures > 0);
         assert_eq!(r.retries, r.checksum_failures);
         assert_eq!(r.dropped_transfers, 0);
@@ -976,13 +1059,24 @@ mod tests {
         let err = simulate_shuffle_with_faults(
             2,
             &net(),
-            &[Transfer { src: 0, dst: 1, bytes: 10 }],
+            &[Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 10,
+            }],
             &plan,
             &RecoveryOptions::none(2),
         )
         .unwrap_err();
         assert!(
-            matches!(err, ClusterError::TransferFailed { src: 0, dst: 1, attempts: 3 }),
+            matches!(
+                err,
+                ClusterError::TransferFailed {
+                    src: 0,
+                    dst: 1,
+                    attempts: 3
+                }
+            ),
             "unexpected error: {err}"
         );
     }
@@ -992,10 +1086,26 @@ mod tests {
         // Node 0 has a long queue; it dies mid-shuffle and node 1 (its
         // chained replica) takes over the unsent slices.
         let transfers = [
-            Transfer { src: 0, dst: 2, bytes: 100 },
-            Transfer { src: 0, dst: 3, bytes: 100 },
-            Transfer { src: 0, dst: 2, bytes: 100 },
-            Transfer { src: 0, dst: 3, bytes: 100 },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 100,
+            },
+            Transfer {
+                src: 0,
+                dst: 3,
+                bytes: 100,
+            },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 100,
+            },
+            Transfer {
+                src: 0,
+                dst: 3,
+                bytes: 100,
+            },
         ];
         let plan = FaultPlan::none().with_crash(0, 150.0);
         let r = simulate_shuffle_with_faults(
@@ -1009,7 +1119,10 @@ mod tests {
         assert!(r.degraded);
         assert_eq!(r.failed_nodes, vec![0]);
         assert!(r.reroutes > 0, "unsent slices must move to the replica");
-        assert!(r.recovery_bytes > 0, "the aborted in-flight send is re-sent");
+        assert!(
+            r.recovery_bytes > 0,
+            "the aborted in-flight send is re-sent"
+        );
         // All 400 bytes still land on nodes 2 and 3.
         assert_eq!(r.recv_bytes[2] + r.recv_bytes[3], 400);
         assert!(r.makespan > 200.0, "recovery costs time");
@@ -1018,18 +1131,21 @@ mod tests {
     #[test]
     fn sender_crash_without_replica_is_unrecoverable() {
         let transfers = [
-            Transfer { src: 0, dst: 1, bytes: 100 },
-            Transfer { src: 0, dst: 2, bytes: 100 },
+            Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 100,
+            },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 100,
+            },
         ];
         let plan = FaultPlan::none().with_crash(0, 50.0);
-        let err = simulate_shuffle_with_faults(
-            3,
-            &net(),
-            &transfers,
-            &plan,
-            &RecoveryOptions::none(3),
-        )
-        .unwrap_err();
+        let err =
+            simulate_shuffle_with_faults(3, &net(), &transfers, &plan, &RecoveryOptions::none(3))
+                .unwrap_err();
         assert!(matches!(err, ClusterError::Unrecoverable(_)), "{err}");
     }
 
@@ -1038,10 +1154,26 @@ mod tests {
         // Node 2 is the hot receiver; it dies halfway. Already-landed
         // slices are rebuilt on the substitute and the rest re-targeted.
         let transfers = [
-            Transfer { src: 0, dst: 2, bytes: 100 },
-            Transfer { src: 1, dst: 2, bytes: 100 },
-            Transfer { src: 0, dst: 2, bytes: 100 },
-            Transfer { src: 2, dst: 2, bytes: 40 }, // local data dies too
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 100,
+            },
+            Transfer {
+                src: 1,
+                dst: 2,
+                bytes: 100,
+            },
+            Transfer {
+                src: 0,
+                dst: 2,
+                bytes: 100,
+            },
+            Transfer {
+                src: 2,
+                dst: 2,
+                bytes: 40,
+            }, // local data dies too
         ];
         let plan = FaultPlan::none().with_crash(2, 150.0);
         let r = simulate_shuffle_with_faults(
@@ -1063,12 +1195,19 @@ mod tests {
         // on node 3) cross the network.
         assert_eq!(r.recv_bytes[sub], 140);
         assert_eq!(r.local_bytes, 240, "40 original + 200 rebuilt in place");
-        assert_eq!(r.recovery_bytes, 140, "aborted in-flight + replica re-serve");
+        assert_eq!(
+            r.recovery_bytes, 140,
+            "aborted in-flight + replica re-serve"
+        );
     }
 
     #[test]
     fn crash_after_last_transfer_still_degrades_and_reassigns() {
-        let transfers = [Transfer { src: 0, dst: 1, bytes: 10 }];
+        let transfers = [Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 10,
+        }];
         let plan = FaultPlan::none().with_crash(1, 1_000.0);
         let r = simulate_shuffle_with_faults(
             3,
@@ -1097,12 +1236,18 @@ mod tests {
         // re-queue the orphan on the dead sender and deadlock the
         // simulation.
         let transfers = [
-            Transfer { src: 2, dst: 1, bytes: 50 },
-            Transfer { src: 2, dst: 0, bytes: 100 },
+            Transfer {
+                src: 2,
+                dst: 1,
+                bytes: 50,
+            },
+            Transfer {
+                src: 2,
+                dst: 0,
+                bytes: 100,
+            },
         ];
-        let plan = FaultPlan::none()
-            .with_crash(0, 5.0)
-            .with_crash(2, 100.0);
+        let plan = FaultPlan::none().with_crash(0, 5.0).with_crash(2, 100.0);
         let r = simulate_shuffle_with_faults(
             3,
             &net(),
@@ -1124,16 +1269,15 @@ mod tests {
 
     #[test]
     fn straggler_scales_makespan() {
-        let transfers = [Transfer { src: 0, dst: 1, bytes: 100 }];
+        let transfers = [Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 100,
+        }];
         let plan = FaultPlan::none().with_straggler(0, 3.0);
-        let r = simulate_shuffle_with_faults(
-            2,
-            &net(),
-            &transfers,
-            &plan,
-            &RecoveryOptions::none(2),
-        )
-        .unwrap();
+        let r =
+            simulate_shuffle_with_faults(2, &net(), &transfers, &plan, &RecoveryOptions::none(2))
+                .unwrap();
         assert!((r.makespan - 300.0).abs() < 1e-9);
     }
 
@@ -1142,7 +1286,11 @@ mod tests {
         // Node 0's link is 10× slow; its data is mirrored on node 1.
         // With a 150s timeout the 1000s attempt aborts and node 1
         // re-serves the slice at full speed.
-        let transfers = [Transfer { src: 0, dst: 2, bytes: 100 }];
+        let transfers = [Transfer {
+            src: 0,
+            dst: 2,
+            bytes: 100,
+        }];
         let plan = FaultPlan::none()
             .with_straggler(0, 10.0)
             .with_timeout(150.0);
@@ -1164,19 +1312,18 @@ mod tests {
 
     #[test]
     fn timeout_without_replica_eventually_accepts_slow_path() {
-        let transfers = [Transfer { src: 0, dst: 1, bytes: 100 }];
+        let transfers = [Transfer {
+            src: 0,
+            dst: 1,
+            bytes: 100,
+        }];
         let plan = FaultPlan::none()
             .with_straggler(0, 10.0)
             .with_timeout(150.0)
             .with_max_retries(2);
-        let r = simulate_shuffle_with_faults(
-            2,
-            &net(),
-            &transfers,
-            &plan,
-            &RecoveryOptions::none(2),
-        )
-        .unwrap();
+        let r =
+            simulate_shuffle_with_faults(2, &net(), &transfers, &plan, &RecoveryOptions::none(2))
+                .unwrap();
         // Two aborted attempts, then the full slow send is accepted.
         assert_eq!(r.timeouts, 2);
         assert!(r.makespan > 1_000.0);

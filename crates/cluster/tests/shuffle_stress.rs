@@ -10,8 +10,7 @@
 //! own dead sender, which deadlocked the event loop.
 
 use sj_cluster::{
-    simulate_shuffle_with_faults, ClusterError, FaultPlan, NetworkModel, RecoveryOptions,
-    Transfer,
+    simulate_shuffle_with_faults, ClusterError, FaultPlan, NetworkModel, RecoveryOptions, Transfer,
 };
 
 /// Small deterministic generator so the sweep never depends on external

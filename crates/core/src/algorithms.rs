@@ -119,7 +119,9 @@ fn normalize(v: Value) -> Value {
 }
 
 fn key_values(batch: &CellBatch, keys: &[usize], row: usize) -> Vec<Value> {
-    keys.iter().map(|&c| normalize(batch.attrs[c].get(row))).collect()
+    keys.iter()
+        .map(|&c| normalize(batch.attrs[c].get(row)))
+        .collect()
 }
 
 fn keys_equal(
@@ -155,14 +157,21 @@ pub fn hash_join(
     };
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
     for row in 0..build.len() {
-        table.entry(key_values(build, bkeys, row)).or_default().push(row);
+        table
+            .entry(key_values(build, bkeys, row))
+            .or_default()
+            .push(row);
     }
     let mut matches = 0usize;
     for prow in 0..probe.len() {
         let key = key_values(probe, pkeys, prow);
         if let Some(rows) = table.get(&key) {
             for &brow in rows {
-                let (lrow, rrow) = if left_is_build { (brow, prow) } else { (prow, brow) };
+                let (lrow, rrow) = if left_is_build {
+                    (brow, prow)
+                } else {
+                    (prow, brow)
+                };
                 emitter.emit(left, lrow, right, rrow)?;
                 matches += 1;
             }
@@ -231,9 +240,7 @@ fn cmp_cross(
     for (&ac, &bc) in akeys.iter().zip(bkeys) {
         let av = a.attrs[ac].get(arow);
         let bv = b.attrs[bc].get(brow);
-        match compare_values(&av, &bv)
-            .map_err(|e| JoinError::InvalidPredicate(e.to_string()))?
-        {
+        match compare_values(&av, &bv).map_err(|e| JoinError::InvalidPredicate(e.to_string()))? {
             std::cmp::Ordering::Equal => continue,
             non_eq => return Ok(non_eq),
         }
@@ -274,9 +281,7 @@ pub fn run_join(
 ) -> Result<usize> {
     match algo {
         JoinAlgo::Hash => hash_join(left, left_keys, right, right_keys, emitter),
-        JoinAlgo::NestedLoop => {
-            nested_loop_join(left, left_keys, right, right_keys, emitter)
-        }
+        JoinAlgo::NestedLoop => nested_loop_join(left, left_keys, right, right_keys, emitter),
         JoinAlgo::Merge => {
             left.sort_by_attr_columns(left_keys);
             right.sort_by_attr_columns(right_keys);
@@ -312,10 +317,7 @@ mod tests {
     }
 
     /// Left batch layout [i, v]; right batch layout [j, w].
-    fn batches(
-        left_rows: &[(i64, i64)],
-        right_rows: &[(i64, i64)],
-    ) -> (CellBatch, CellBatch) {
+    fn batches(left_rows: &[(i64, i64)], right_rows: &[(i64, i64)]) -> (CellBatch, CellBatch) {
         let mut l = CellBatch::new(0, &[DataType::Int64, DataType::Int64]);
         for &(i, v) in left_rows {
             l.push(&[], &[Value::Int(i), Value::Int(v)]).unwrap();
@@ -329,11 +331,7 @@ mod tests {
 
     type Cells = Vec<(Vec<i64>, Vec<Value>)>;
 
-    fn run(
-        algo: JoinAlgo,
-        left_rows: &[(i64, i64)],
-        right_rows: &[(i64, i64)],
-    ) -> (usize, Cells) {
+    fn run(algo: JoinAlgo, left_rows: &[(i64, i64)], right_rows: &[(i64, i64)]) -> (usize, Cells) {
         let js = fixture();
         let (mut l, mut r) = batches(left_rows, right_rows);
         let mut em = Emitter::new(&js);
@@ -429,8 +427,7 @@ mod tests {
         r.push(&[], &[Value::Int(9), Value::Int(5)]).unwrap();
         for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
             let mut em = Emitter::new(&js);
-            let n =
-                run_join(algo, &mut l.clone(), &[1], &mut r.clone(), &[1], &mut em).unwrap();
+            let n = run_join(algo, &mut l.clone(), &[1], &mut r.clone(), &[1], &mut em).unwrap();
             assert_eq!(n, 1, "algo {algo:?} missed the 5.0 == 5 match");
         }
     }
@@ -450,22 +447,11 @@ mod tests {
             );
         }
         let js = infer_join_schema(&a, &b, &p, None, &stats).unwrap();
-        let (mut l, mut r) = batches(
-            &[(1, 5), (2, 5), (3, 6)],
-            &[(1, 5), (2, 6), (3, 6)],
-        );
+        let (mut l, mut r) = batches(&[(1, 5), (2, 5), (3, 6)], &[(1, 5), (2, 6), (3, 6)]);
         // keys: left (v=col1, i=col0), right (w=col1, j=col0)
         for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
             let mut em = Emitter::new(&js);
-            let n = run_join(
-                algo,
-                &mut l,
-                &[1, 0],
-                &mut r,
-                &[1, 0],
-                &mut em,
-            )
-            .unwrap();
+            let n = run_join(algo, &mut l, &[1, 0], &mut r, &[1, 0], &mut em).unwrap();
             // Matches: (1,5)↔(1,5) and (3,6)↔(3,6).
             assert_eq!(n, 2, "algo {algo:?}");
         }

@@ -21,6 +21,7 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use sj_array::ops::kernels;
 use sj_array::{Array, ArraySchema, CellBatch, Histogram, Value};
 use sj_cluster::{
     simulate_shuffle, simulate_shuffle_with_faults, Cluster, FaultPlan, ShuffleReport, Transfer,
@@ -28,7 +29,7 @@ use sj_cluster::{
 
 use crate::algorithms::{run_join, Emitter, JoinAlgo};
 use crate::error::{JoinError, Result};
-use crate::join_schema::{infer_join_schema, ColumnStats, JoinSchema};
+use crate::join_schema::{infer_join_schema, ColumnStats};
 use crate::logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats, OutOp};
 use crate::parallel::{par_map, par_map_weighted, resolve_threads};
 use crate::physical::{plan_physical_resilient, CostParams, PlanTier, PlannerKind, SliceStats};
@@ -320,11 +321,7 @@ pub fn execute_shuffle_join(
             if src != dst {
                 cells_moved += cells;
             }
-            transfers.push(Transfer {
-                src,
-                dst,
-                bytes,
-            });
+            transfers.push(Transfer { src, dst, bytes });
         }
     }
     let shuffle = if config.faults.is_none() {
@@ -372,8 +369,10 @@ pub fn execute_shuffle_join(
         .map(|i| (0..k).map(|j| sstats.left[i][j] + sstats.right[i][j]).sum())
         .collect();
     type UnitInput = Mutex<Option<(Vec<CellBatch>, Vec<CellBatch>)>>;
-    let unit_inputs: Vec<UnitInput> =
-        per_unit_parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let unit_inputs: Vec<UnitInput> = per_unit_parts
+        .into_iter()
+        .map(|p| Mutex::new(Some(p)))
+        .collect();
     let t_cmp = Instant::now();
     let (unit_results, cmp_pool) = par_map_weighted(
         threads,
@@ -424,17 +423,16 @@ pub fn execute_shuffle_join(
     }
 
     // ---- Output organization. -----------------------------------------------
+    // Tile (and order) the emitted cells into the destination schema via the
+    // shared output-organization kernel (also the pipeline's sink).
     let t_out = Instant::now();
-    let output = assemble_output(&js, out_cells, logical.out)?;
+    let ordered = matches!(logical.out, OutOp::Sort | OutOp::Redim);
+    let output = kernels::organize(js.output.clone(), &out_cells, ordered)?;
     profile.output_wall_seconds = t_out.elapsed().as_secs_f64();
     // Output tiling parallelizes across the cluster; attribute 1/k of the
     // measured wall time to the slowest node's comparison phase.
     let out_seconds = t_out.elapsed().as_secs_f64() / k as f64;
-    let comparison_seconds = per_node_comparison
-        .iter()
-        .copied()
-        .fold(0.0, f64::max)
-        + out_seconds;
+    let comparison_seconds = per_node_comparison.iter().copied().fold(0.0, f64::max) + out_seconds;
 
     let metrics = JoinMetrics {
         afl: logical.render_afl(&query.left, &query.right, &js.output.name),
@@ -537,16 +535,6 @@ pub fn calibrate_cost_params(network: &sj_cluster::NetworkModel, cell_bytes: usi
     }
 }
 
-/// Tile (and order) the emitted cells into the destination schema.
-fn assemble_output(js: &JoinSchema, cells: CellBatch, out_op: OutOp) -> Result<Array> {
-    let mut array = Array::from_batch(js.output.clone(), &cells)?;
-    match out_op {
-        OutOp::Scan => {}
-        OutOp::Sort | OutOp::Redim => array.sort_chunks(),
-    }
-    Ok(array)
-}
-
 /// Collect histograms for predicate attributes by walking every node's
 /// chunks (the engine statistics of §4, computed cluster-wide).
 ///
@@ -611,10 +599,7 @@ mod tests {
     use super::*;
     use sj_cluster::{NetworkModel, Placement};
 
-    fn cluster_with(
-        k: usize,
-        arrays: Vec<Array>,
-    ) -> Cluster {
+    fn cluster_with(k: usize, arrays: Vec<Array>) -> Cluster {
         let mut cluster = Cluster::new(k, NetworkModel::gigabit());
         for a in arrays {
             cluster.load_array(a, &Placement::RoundRobin).unwrap();
@@ -647,11 +632,7 @@ mod tests {
         let (a, b) = dd_arrays(512);
         let expect = a.cell_count();
         let cluster = cluster_with(4, vec![a, b]);
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        );
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let (out, metrics) =
             execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
         // Every cell matches its counterpart exactly once.
@@ -679,8 +660,8 @@ mod tests {
         )
         .unwrap();
         let cluster = cluster_with(4, vec![a, b]);
-        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "w")]))
-            .with_selectivity(1.0);
+        let query =
+            JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "w")])).with_selectivity(1.0);
         let config = ExecConfig {
             forced_algo: Some(JoinAlgo::Hash),
             hash_buckets: Some(16),
@@ -699,11 +680,7 @@ mod tests {
     fn all_planners_produce_identical_results() {
         let (a, b) = dd_arrays(256);
         let cluster = cluster_with(3, vec![a, b]);
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        );
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let mut reference: Option<Vec<(Vec<i64>, Vec<Value>)>> = None;
         for planner in [
             PlannerKind::Baseline,
@@ -727,8 +704,7 @@ mod tests {
             match &reference {
                 None => reference = Some(cells),
                 Some(r) => assert_eq!(
-                    r,
-                    &cells,
+                    r, &cells,
                     "planner {} changed the join result",
                     metrics.planner
                 ),
@@ -748,11 +724,7 @@ mod tests {
             .load_array(a, &Placement::Explicit(all_on_zero))
             .unwrap();
         cluster.load_array(b, &Placement::RoundRobin).unwrap();
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        );
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let run = |planner: PlannerKind| {
             let config = ExecConfig {
                 planner,
@@ -777,19 +749,14 @@ mod tests {
         // the joined array.
         let (a, b) = dd_arrays(512);
         let cluster = cluster_with(4, vec![a, b]);
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        );
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let (out_plain, m_plain) =
             execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
         let config = ExecConfig {
             faults: FaultPlan::none(),
             ..ExecConfig::default()
         };
-        let (out_faultless, m_faultless) =
-            execute_shuffle_join(&cluster, &query, &config).unwrap();
+        let (out_faultless, m_faultless) = execute_shuffle_join(&cluster, &query, &config).unwrap();
         assert_eq!(m_plain.shuffle, m_faultless.shuffle);
         assert!(!m_faultless.degraded);
         assert_eq!(m_faultless.plan_tier, PlanTier::Primary);
@@ -811,11 +778,7 @@ mod tests {
         cluster
             .load_array_replicated(b, &Placement::RoundRobin, 2)
             .unwrap();
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        );
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let (clean_out, clean) =
             execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
         let config = ExecConfig {
@@ -856,11 +819,7 @@ mod tests {
         cluster
             .load_array(b, &Placement::Explicit(all_on_zero))
             .unwrap();
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        );
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let config = ExecConfig {
             planner: PlannerKind::Ilp {
                 budget: Duration::ZERO,
@@ -886,11 +845,7 @@ mod tests {
     fn missing_array_is_an_error() {
         let (a, _) = dd_arrays(64);
         let cluster = cluster_with(2, vec![a]);
-        let query = JoinQuery::new(
-            "A",
-            "NOPE",
-            JoinPredicate::new(vec![("i", "i")]),
-        );
+        let query = JoinQuery::new("A", "NOPE", JoinPredicate::new(vec![("i", "i")]));
         assert!(execute_shuffle_join(&cluster, &query, &ExecConfig::default()).is_err());
     }
 
@@ -898,13 +853,8 @@ mod tests {
     fn single_node_cluster_runs_without_network() {
         let (a, b) = dd_arrays(128);
         let cluster = cluster_with(1, vec![a, b]);
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        );
-        let (_, metrics) =
-            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
+        let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
         assert_eq!(metrics.network_bytes, 0);
         assert_eq!(metrics.alignment_seconds, 0.0);
         assert_eq!(metrics.matches, 128);
@@ -914,16 +864,9 @@ mod tests {
     fn explicit_output_schema_is_respected() {
         let (a, b) = dd_arrays(128);
         let cluster = cluster_with(2, vec![a, b]);
-        let out_schema = ArraySchema::parse(
-            "C<A.v1:int, B.w1:int>[i=1,64,8, j=1,64,8]",
-        )
-        .unwrap();
-        let query = JoinQuery::new(
-            "A",
-            "B",
-            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-        )
-        .into_schema(out_schema);
+        let out_schema = ArraySchema::parse("C<A.v1:int, B.w1:int>[i=1,64,8, j=1,64,8]").unwrap();
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]))
+            .into_schema(out_schema);
         let (out, _) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
         assert_eq!(out.schema.name, "C");
         assert_eq!(out.schema.attrs[0].name, "A.v1");
@@ -947,8 +890,7 @@ mod tests {
         .unwrap();
         let cluster = cluster_with(2, vec![a, b]);
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "w")]));
-        let (_, metrics) =
-            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
         // B.w takes even values 2..=40, all within A.i's range 1..=50
         // → 20 matches.
         assert_eq!(metrics.matches, 20);
@@ -966,7 +908,12 @@ mod calibration_tests {
         // Per-cell compute for this interpreted engine: between 10ns and
         // 1ms (very loose sanity bounds; debug builds are slow).
         assert!(p.m > 1e-8 && p.m < 1e-3, "m = {}", p.m);
-        assert!(p.b >= p.p, "build ({}) should cost at least probe ({})", p.b, p.p);
+        assert!(
+            p.b >= p.p,
+            "build ({}) should cost at least probe ({})",
+            p.b,
+            p.p
+        );
         assert!((p.t - 32.0 / 117.0e6).abs() < 1e-12);
     }
 }

@@ -99,8 +99,7 @@ impl JoinSchema {
                 return false;
             }
             let sd = &schema.dims[k];
-            if sd.start != jd.start || sd.end != jd.end || sd.chunk_interval != jd.chunk_interval
-            {
+            if sd.start != jd.start || sd.end != jd.end || sd.chunk_interval != jd.chunk_interval {
                 return false;
             }
         }
@@ -112,16 +111,9 @@ impl JoinSchema {
     /// already tiled for τ and only (at most) a sort is needed.
     pub fn output_matches_j(&self) -> bool {
         self.output.ndims() == self.dims.len()
-            && self
-                .output
-                .dims
-                .iter()
-                .zip(&self.dims)
-                .all(|(o, j)| {
-                    o.start == j.start
-                        && o.end == j.end
-                        && o.chunk_interval == j.chunk_interval
-                })
+            && self.output.dims.iter().zip(&self.dims).all(|(o, j)| {
+                o.start == j.start && o.end == j.end && o.chunk_interval == j.chunk_interval
+            })
     }
 }
 
@@ -389,7 +381,7 @@ mod tests {
         assert_eq!(js.dims[0].start, 1);
         assert_eq!(js.dims[0].end, 200);
         assert_eq!(js.dims[0].chunk_interval, 20); // max of candidates
-        // Neither side matches J exactly now.
+                                                   // Neither side matches J exactly now.
         assert!(!js.side_matches_j(JoinSide::Left, &a));
         assert!(!js.side_matches_j(JoinSide::Right, &b));
     }
@@ -449,8 +441,7 @@ mod tests {
         let a = ArraySchema::parse("A<v1:int>[i=1,64,8, j=1,64,8]").unwrap();
         let b = ArraySchema::parse("B<v1:int>[i=1,64,8, j=1,64,8]").unwrap();
         let p = JoinPredicate::new(vec![("v1", "v1")]);
-        let out =
-            ArraySchema::parse("C<A.j:int, B.i:int, B.j:int>[A.i=1,64,8]").unwrap();
+        let out = ArraySchema::parse("C<A.j:int, B.i:int, B.j:int>[A.i=1,64,8]").unwrap();
         let mut stats = ColumnStats::new();
         stats.insert(
             JoinSide::Left,

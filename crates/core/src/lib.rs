@@ -27,3 +27,9 @@ pub use physical::{CostParams, PhysicalPlan, PlanTier, PlannerKind, SliceStats};
 
 pub mod exec;
 pub use exec::{execute_shuffle_join, ExecConfig, ExecProfile, JoinMetrics, JoinQuery};
+
+pub mod plan;
+pub use plan::{rewrite, PlanNode};
+
+pub mod pipeline;
+pub use pipeline::{run_plan, BatchOperator, PipelineStats, PlanOutput};

@@ -234,14 +234,21 @@ pub fn enumerate_plans(
     right_schema: &ArraySchema,
     stats: &LogicalStats,
 ) -> Vec<LogicalPlan> {
-    let aligns = [AlignOp::Scan, AlignOp::Redim, AlignOp::Rechunk, AlignOp::Hash];
+    let aligns = [
+        AlignOp::Scan,
+        AlignOp::Redim,
+        AlignOp::Rechunk,
+        AlignOp::Hash,
+    ];
     let algos = [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop];
     let outs = [OutOp::Scan, OutOp::Sort, OutOp::Redim];
     let k = stats.nodes as f64;
     let left_matches = js.side_matches_j(JoinSide::Left, left_schema);
     let right_matches = js.side_matches_j(JoinSide::Right, right_schema);
     let out_matches_j = js.output_matches_j();
-    let chunk_units = JoinUnitSpec::Chunks { dims: js.dims.clone() };
+    let chunk_units = JoinUnitSpec::Chunks {
+        dims: js.dims.clone(),
+    };
     let j_chunks = chunk_units.n_units() as f64;
     let out_chunks = js.output.total_chunks() as f64;
 
@@ -250,15 +257,7 @@ pub fn enumerate_plans(
         for &b in &aligns {
             for &algo in &algos {
                 for &out in &outs {
-                    if !validate(
-                        a,
-                        b,
-                        algo,
-                        out,
-                        left_matches,
-                        right_matches,
-                        out_matches_j,
-                    ) {
+                    if !validate(a, b, algo, out, left_matches, right_matches, out_matches_j) {
                         continue;
                     }
                     let unit_spec = if a == AlignOp::Hash {
@@ -275,12 +274,7 @@ pub fn enumerate_plans(
                     let cost = PlanCost {
                         left_align: align_cost(a, stats.n_left as f64, target_chunks, k),
                         right_align: align_cost(b, stats.n_right as f64, target_chunks, k),
-                        compare: compare_cost(
-                            algo,
-                            stats.n_left as f64,
-                            stats.n_right as f64,
-                            k,
-                        ),
+                        compare: compare_cost(algo, stats.n_left as f64, stats.n_right as f64, k),
                         output: out_cost(out, stats.n_out(), out_chunks, k),
                     };
                     plans.push(LogicalPlan {
@@ -372,9 +366,7 @@ pub fn plan_join_with_algo(
         .into_iter()
         .filter(|p| p.algo == algo)
         .min_by(|p, q| p.cost.total().total_cmp(&q.cost.total()))
-        .ok_or_else(|| {
-            JoinError::NoValidPlan(format!("no valid plan uses {}", algo.name()))
-        })
+        .ok_or_else(|| JoinError::NoValidPlan(format!("no valid plan uses {}", algo.name())))
 }
 
 #[cfg(test)]
@@ -517,7 +509,10 @@ mod tests {
         let m = plan_join_with_algo(&js, &a, &b, &st, JoinAlgo::Merge).unwrap();
         // With τ = J (the paper's INTO C[v]), the merge plan front-loads
         // all reordering: no output step is needed.
-        assert_eq!(m.render_afl("A", "B", "C"), "mergeJoin(redim(A, J), redim(B, J))");
+        assert_eq!(
+            m.render_afl("A", "B", "C"),
+            "mergeJoin(redim(A, J), redim(B, J))"
+        );
     }
 
     #[test]

@@ -271,7 +271,13 @@ impl CostState {
 
     /// The cost the plan would have if unit `i` moved to `dst`
     /// (non-mutating what-if).
-    pub fn what_if(&mut self, stats: &SliceStats, params: &CostParams, i: usize, dst: usize) -> f64 {
+    pub fn what_if(
+        &mut self,
+        stats: &SliceStats,
+        params: &CostParams,
+        i: usize,
+        dst: usize,
+    ) -> f64 {
         let src = self.assignment[i];
         self.reassign(stats, i, dst);
         let cost = self.total(params);

@@ -328,7 +328,11 @@ fn solve_ilp_over(
     let mut model = Model::minimize();
     // x[i][j]: unit i assigned to node j.
     let x: Vec<Vec<_>> = (0..n)
-        .map(|i| (0..k).map(|j| model.binary(format!("x{i}_{j}"))).collect::<Vec<_>>())
+        .map(|i| {
+            (0..k)
+                .map(|j| model.binary(format!("x{i}_{j}")))
+                .collect::<Vec<_>>()
+        })
         .collect();
     // d: data-alignment time bound; g: cell-comparison time bound.
     let d = model.continuous("d", 0.0, f64::INFINITY);

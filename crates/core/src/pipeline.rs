@@ -1,0 +1,842 @@
+//! Pull-based streaming execution of [`PlanNode`] plans.
+//!
+//! Every operator implements [`BatchOperator`] — the classic Volcano
+//! `open`/`next_batch`/`close` contract, but over columnar [`CellBatch`]es
+//! instead of single tuples. Transform operators (`filter`, `apply`,
+//! `between`, `redim`, …) re-apply a compiled `sj_array` kernel per pulled
+//! batch into a buffer they own and clear between calls, so a steady-state
+//! pipeline allocates nothing per batch. Pipeline breakers (`aggregate`,
+//! `hash`, `join`) materialize their input with the same
+//! output-organization kernel the sink and the join executor use.
+//!
+//! [`run_plan`] drains the root operator, organizes the cells into a
+//! chunked [`Array`], and reports [`PipelineStats`] — notably
+//! `gathered_bytes`, the bytes that crossed the coordinator boundary
+//! ([`PlanNode::Gather`]). Predicate pushdown (see [`crate::plan::rewrite`])
+//! shrinks exactly that number.
+//!
+//! Determinism: scans stream chunks node-major then chunk-id-minor — the
+//! same order `Cluster::gather` materializes them — and the sink applies
+//! the same final per-chunk sort the whole-array operators use, so results
+//! are bit-identical to the legacy materializing path at any
+//! `ExecConfig.threads`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sj_array::ops::kernels::{
+    self, ApplyKernel, FilterKernel, RedimKernel, RedimPolicy, WindowKernel,
+};
+use sj_array::ops::{self, AggFn, ColumnRef};
+use sj_array::{
+    Array, ArrayError, ArraySchema, AttributeDef, CellBatch, Chunk, DataType, DimensionDef,
+};
+use sj_cluster::Cluster;
+
+use crate::error::{JoinError, Result};
+use crate::exec::{execute_shuffle_join, ExecConfig, JoinMetrics, JoinQuery};
+use crate::plan::PlanNode;
+use crate::predicate::JoinPredicate;
+
+/// A pull-based operator over cell batches.
+///
+/// `next_batch` returns a reference into operator-owned storage; the
+/// borrow ends when the caller pulls again, which is what lets every
+/// operator reuse its output buffer across calls.
+pub trait BatchOperator {
+    /// Schema of the batches this operator produces.
+    fn schema(&self) -> &ArraySchema;
+
+    /// Whether a materialization of this operator's full output should be
+    /// C-order sorted per chunk (mirrors which legacy whole-array
+    /// operators end with a chunk sort).
+    fn ordered(&self) -> bool;
+
+    /// Prepare for pulling (propagates to inputs).
+    fn open(&mut self) -> Result<()>;
+
+    /// Pull the next non-empty batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>>;
+
+    /// Release resources (propagates to inputs).
+    fn close(&mut self) -> Result<()>;
+}
+
+/// A boxed operator borrowing cluster storage for `'a`.
+pub type BoxOperator<'a> = Box<dyn BatchOperator + 'a>;
+
+/// Counters collected while a plan runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Bytes that crossed the coordinator boundary (`gather` nodes).
+    pub gathered_bytes: u64,
+    /// Cells that crossed the coordinator boundary.
+    pub gathered_cells: u64,
+    /// Batches the root operator produced.
+    pub batches: u64,
+}
+
+/// The materialized result of [`run_plan`].
+#[derive(Debug, Clone)]
+pub struct PlanOutput {
+    /// The result array.
+    pub array: Array,
+    /// Execution counters.
+    pub stats: PipelineStats,
+    /// Join metrics, when the plan contained a [`PlanNode::Join`].
+    pub join_metrics: Option<JoinMetrics>,
+}
+
+/// Execute `plan` against `cluster` and materialize the result.
+pub fn run_plan(cluster: &Cluster, plan: &PlanNode, config: &ExecConfig) -> Result<PlanOutput> {
+    let stats = Rc::new(RefCell::new(PipelineStats::default()));
+    let metrics: Rc<RefCell<Option<JoinMetrics>>> = Rc::new(RefCell::new(None));
+    let mut root = build(plan, cluster, config, &stats, &metrics)?;
+
+    root.open()?;
+    let mut acc = kernels::batch_for(root.schema());
+    let mut batches = 0u64;
+    while let Some(batch) = root.next_batch()? {
+        batches += 1;
+        kernels::extend_into(batch, &mut acc)?;
+    }
+    let schema = root.schema().clone();
+    let ordered = root.ordered();
+    root.close()?;
+
+    let array = kernels::organize(schema, &acc, ordered)?;
+    let mut stats = *stats.borrow();
+    stats.batches = batches;
+    let join_metrics = metrics.borrow_mut().take();
+    Ok(PlanOutput {
+        array,
+        stats,
+        join_metrics,
+    })
+}
+
+/// Recursively translate a plan node into its operator.
+fn build<'a>(
+    plan: &PlanNode,
+    cluster: &'a Cluster,
+    config: &ExecConfig,
+    stats: &Rc<RefCell<PipelineStats>>,
+    metrics: &Rc<RefCell<Option<JoinMetrics>>>,
+) -> Result<BoxOperator<'a>> {
+    Ok(match plan {
+        PlanNode::Scan { array } => Box::new(ScanOp::build(cluster, array)?),
+        PlanNode::Gather { input } => Box::new(GatherOp {
+            child: build(input, cluster, config, stats, metrics)?,
+            stats: Rc::clone(stats),
+        }),
+        PlanNode::Filter { input, predicate } => {
+            let child = build(input, cluster, config, stats, metrics)?;
+            let kernel = FilterKernel::compile(child.schema(), predicate)?;
+            let buf = kernels::batch_for(child.schema());
+            Box::new(FilterOp { child, kernel, buf })
+        }
+        PlanNode::Apply {
+            input,
+            outputs,
+            lenient,
+        } => {
+            let child = build(input, cluster, config, stats, metrics)?;
+            let kernel = ApplyKernel::compile(child.schema(), outputs, *lenient)?;
+            let buf = kernel.output_batch();
+            Box::new(ApplyOp { child, kernel, buf })
+        }
+        PlanNode::Project { input, attrs } => {
+            let child = build(input, cluster, config, stats, metrics)?;
+            for name in attrs {
+                if !child.schema().has_attr(name) {
+                    return Err(ArrayError::NoSuchAttribute(name.clone()).into());
+                }
+            }
+            let outputs: Vec<(String, sj_array::Expr)> = attrs
+                .iter()
+                .map(|n| (n.clone(), sj_array::Expr::col(n.clone())))
+                .collect();
+            let kernel = ApplyKernel::compile(child.schema(), &outputs, false)?;
+            let buf = kernel.output_batch();
+            Box::new(ApplyOp { child, kernel, buf })
+        }
+        PlanNode::Redim { input, target } => Box::new(RedimOp::build(
+            input, target, true, cluster, config, stats, metrics,
+        )?),
+        PlanNode::Rechunk { input, target } => Box::new(RedimOp::build(
+            input, target, false, cluster, config, stats, metrics,
+        )?),
+        PlanNode::Sort { input } => Box::new(SortOp {
+            child: build(input, cluster, config, stats, metrics)?,
+        }),
+        PlanNode::Between { input, bounds } => {
+            let child = build(input, cluster, config, stats, metrics)?;
+            let ndims = child.schema().ndims();
+            if bounds.len() != 2 * ndims {
+                return Err(ArrayError::ArityMismatch {
+                    expected: 2 * ndims,
+                    actual: bounds.len(),
+                }
+                .into());
+            }
+            let kernel = WindowKernel::compile(child.schema(), &bounds[..ndims], &bounds[ndims..])?;
+            let buf = kernels::batch_for(child.schema());
+            Box::new(BetweenOp { child, kernel, buf })
+        }
+        PlanNode::Aggregate { input, func, attr } => {
+            let child = build(input, cluster, config, stats, metrics)?;
+            Box::new(AggregateOp::build(child, func, attr.as_deref())?)
+        }
+        PlanNode::Hash { input, buckets } => {
+            let child = build(input, cluster, config, stats, metrics)?;
+            Box::new(HashOp::build(child, *buckets)?)
+        }
+        PlanNode::Join {
+            left,
+            right,
+            pairs,
+            output,
+        } => Box::new(JoinOp::build(
+            cluster, config, metrics, left, right, pairs, output,
+        )?),
+        PlanNode::Rename { input, name } => {
+            let child = build(input, cluster, config, stats, metrics)?;
+            let mut schema = child.schema().clone();
+            schema.name = name.clone();
+            Box::new(RenameOp { child, schema })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Leaf operators.
+
+/// Streams a stored array's chunks node-major then chunk-id-minor — the
+/// exact order `Cluster::gather` inserts them, so downstream results match
+/// the legacy gather-then-operate path bit for bit.
+struct ScanOp<'a> {
+    schema: ArraySchema,
+    chunks: Vec<&'a Chunk>,
+    next: usize,
+}
+
+impl<'a> ScanOp<'a> {
+    fn build(cluster: &'a Cluster, name: &str) -> Result<ScanOp<'a>> {
+        let schema = cluster.catalog().schema(name)?.clone();
+        let mut chunks = Vec::new();
+        for node in cluster.nodes() {
+            chunks.extend(node.chunks_of(name));
+        }
+        // Stream in global chunk-id order: this is the iteration order of
+        // the gathered array (a BTreeMap keyed by chunk id), so every
+        // downstream operator sees cells exactly as the legacy
+        // gather-then-ops path did — bit-identical row order even when
+        // several source chunks fold into one output chunk.
+        chunks.sort_by_key(|(id, _)| *id);
+        Ok(ScanOp {
+            schema,
+            chunks: chunks.into_iter().map(|(_, c)| c).collect(),
+            next: 0,
+        })
+    }
+}
+
+impl BatchOperator for ScanOp<'_> {
+    fn schema(&self) -> &ArraySchema {
+        &self.schema
+    }
+    fn ordered(&self) -> bool {
+        true
+    }
+    fn open(&mut self) -> Result<()> {
+        self.next = 0;
+        Ok(())
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        while self.next < self.chunks.len() {
+            let chunk = self.chunks[self.next];
+            self.next += 1;
+            if !chunk.cells.is_empty() {
+                return Ok(Some(&chunk.cells));
+            }
+        }
+        Ok(None)
+    }
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Pass-through marking the coordinator boundary; accounts the bytes and
+/// cells of every batch that crosses it.
+struct GatherOp<'a> {
+    child: BoxOperator<'a>,
+    stats: Rc<RefCell<PipelineStats>>,
+}
+
+impl BatchOperator for GatherOp<'_> {
+    fn schema(&self) -> &ArraySchema {
+        self.child.schema()
+    }
+    fn ordered(&self) -> bool {
+        self.child.ordered()
+    }
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        let batch = self.child.next_batch()?;
+        if let Some(b) = batch {
+            let mut s = self.stats.borrow_mut();
+            s.gathered_bytes += b.byte_size() as u64;
+            s.gathered_cells += b.len() as u64;
+        }
+        Ok(batch)
+    }
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming transforms: one compiled kernel, one reused output buffer.
+
+macro_rules! streaming_transform {
+    ($name:ident, $kernel:ty, $apply:expr) => {
+        struct $name<'a> {
+            child: BoxOperator<'a>,
+            kernel: $kernel,
+            buf: CellBatch,
+        }
+
+        impl BatchOperator for $name<'_> {
+            fn schema(&self) -> &ArraySchema {
+                self.child.schema()
+            }
+            fn ordered(&self) -> bool {
+                true
+            }
+            fn open(&mut self) -> Result<()> {
+                self.child.open()
+            }
+            fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+                loop {
+                    match self.child.next_batch()? {
+                        None => return Ok(None),
+                        Some(batch) => {
+                            self.buf.clear();
+                            #[allow(clippy::redundant_closure_call)]
+                            ($apply)(&self.kernel, batch, &mut self.buf)?;
+                            if !self.buf.is_empty() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(Some(&self.buf))
+            }
+            fn close(&mut self) -> Result<()> {
+                self.child.close()
+            }
+        }
+    };
+}
+
+streaming_transform!(
+    FilterOp,
+    FilterKernel,
+    |k: &FilterKernel, b: &CellBatch, out: &mut CellBatch| k.apply(b, out)
+);
+streaming_transform!(
+    BetweenOp,
+    WindowKernel,
+    |k: &WindowKernel, b: &CellBatch, out: &mut CellBatch| k.apply(b, out)
+);
+
+/// `apply`/`project`: like the streaming transforms above but with its own
+/// output schema (computed attributes).
+struct ApplyOp<'a> {
+    child: BoxOperator<'a>,
+    kernel: ApplyKernel,
+    buf: CellBatch,
+}
+
+impl BatchOperator for ApplyOp<'_> {
+    fn schema(&self) -> &ArraySchema {
+        self.kernel.schema()
+    }
+    fn ordered(&self) -> bool {
+        true
+    }
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        loop {
+            match self.child.next_batch()? {
+                None => return Ok(None),
+                Some(batch) => {
+                    self.buf.clear();
+                    self.kernel.apply(batch, &mut self.buf)?;
+                    if !self.buf.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(Some(&self.buf))
+    }
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// `redim` / `rechunk`: remap rows into the target coordinate space; the
+/// sink's chunk grouping does the tiling, `ordered` decides the sort.
+struct RedimOp<'a> {
+    child: BoxOperator<'a>,
+    kernel: RedimKernel,
+    buf: CellBatch,
+    ordered: bool,
+}
+
+impl<'a> RedimOp<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        input: &PlanNode,
+        target: &ArraySchema,
+        ordered: bool,
+        cluster: &'a Cluster,
+        config: &ExecConfig,
+        stats: &Rc<RefCell<PipelineStats>>,
+        metrics: &Rc<RefCell<Option<JoinMetrics>>>,
+    ) -> Result<RedimOp<'a>> {
+        let child = build(input, cluster, config, stats, metrics)?;
+        let kernel = RedimKernel::compile(child.schema(), target)?;
+        let buf = kernel.output_batch();
+        Ok(RedimOp {
+            child,
+            kernel,
+            buf,
+            ordered,
+        })
+    }
+}
+
+impl BatchOperator for RedimOp<'_> {
+    fn schema(&self) -> &ArraySchema {
+        self.kernel.target()
+    }
+    fn ordered(&self) -> bool {
+        self.ordered
+    }
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        loop {
+            match self.child.next_batch()? {
+                None => return Ok(None),
+                Some(batch) => {
+                    self.buf.clear();
+                    self.kernel
+                        .apply(RedimPolicy::Strict, batch, &mut self.buf)?;
+                    if !self.buf.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(Some(&self.buf))
+    }
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// `sort` is a pass-through marker: it forces `ordered`, and every
+/// materialization point (the sink, aggregate, hash) honors that flag with
+/// the shared organize kernel — exactly `ops::sort`'s chunk sort.
+struct SortOp<'a> {
+    child: BoxOperator<'a>,
+}
+
+impl BatchOperator for SortOp<'_> {
+    fn schema(&self) -> &ArraySchema {
+        self.child.schema()
+    }
+    fn ordered(&self) -> bool {
+        true
+    }
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        self.child.next_batch()
+    }
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// `INTO name`: pass-through under a renamed schema.
+struct RenameOp<'a> {
+    child: BoxOperator<'a>,
+    schema: ArraySchema,
+}
+
+impl BatchOperator for RenameOp<'_> {
+    fn schema(&self) -> &ArraySchema {
+        &self.schema
+    }
+    fn ordered(&self) -> bool {
+        self.child.ordered()
+    }
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        self.child.next_batch()
+    }
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers.
+
+/// Materialize a child operator's full output the same way the legacy path
+/// would (chunk grouping + conditional sort).
+fn materialize(child: &mut BoxOperator<'_>) -> Result<Array> {
+    let mut acc = kernels::batch_for(child.schema());
+    while let Some(batch) = child.next_batch()? {
+        kernels::extend_into(batch, &mut acc)?;
+    }
+    Ok(kernels::organize(
+        child.schema().clone(),
+        &acc,
+        child.ordered(),
+    )?)
+}
+
+/// Whole-array aggregate: emits the legacy single-cell
+/// `agg<func>[r=0,0,1]` result.
+struct AggregateOp<'a> {
+    child: BoxOperator<'a>,
+    func: AggFn,
+    attr: String,
+    schema: ArraySchema,
+    out: CellBatch,
+    done: bool,
+}
+
+impl<'a> AggregateOp<'a> {
+    fn build(
+        child: BoxOperator<'a>,
+        func_name: &str,
+        attr: Option<&str>,
+    ) -> Result<AggregateOp<'a>> {
+        let func = AggFn::parse(func_name)?;
+        let attr = match attr {
+            Some(a) => a.to_string(),
+            None => child
+                .schema()
+                .attrs
+                .first()
+                .ok_or_else(|| {
+                    JoinError::InvalidOutputSchema(
+                        "aggregate needs an array with at least one attribute".into(),
+                    )
+                })?
+                .name
+                .clone(),
+        };
+        let dtype = match func {
+            AggFn::Count => DataType::Int64,
+            AggFn::Sum | AggFn::Avg => DataType::Float64,
+            AggFn::Min | AggFn::Max => {
+                let idx = child.schema().attr_index(&attr)?;
+                child.schema().attrs[idx].dtype
+            }
+        };
+        let schema = ArraySchema::new(
+            "agg",
+            vec![DimensionDef::new("r", 0, 0, 1)?],
+            vec![AttributeDef::new(func_name, dtype)],
+        )?;
+        let out = kernels::batch_for(&schema);
+        Ok(AggregateOp {
+            child,
+            func,
+            attr,
+            schema,
+            out,
+            done: false,
+        })
+    }
+}
+
+impl BatchOperator for AggregateOp<'_> {
+    fn schema(&self) -> &ArraySchema {
+        &self.schema
+    }
+    fn ordered(&self) -> bool {
+        true
+    }
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let array = materialize(&mut self.child)?;
+        let value = ops::aggregate(&array, self.func, &self.attr)?;
+        self.out.clear();
+        self.out.push(&[0], &[value])?;
+        Ok(Some(&self.out))
+    }
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// Hash partitioning surfaced as an operator: buckets become the single
+/// `bucket` dimension, the source dimensions turn into leading integer
+/// attributes (paper §4's dimension-less buckets).
+struct HashOp<'a> {
+    child: BoxOperator<'a>,
+    buckets: usize,
+    schema: ArraySchema,
+    out: CellBatch,
+    done: bool,
+}
+
+impl<'a> HashOp<'a> {
+    fn build(child: BoxOperator<'a>, buckets: usize) -> Result<HashOp<'a>> {
+        let buckets = buckets.max(1);
+        let src = child.schema();
+        let mut attrs = Vec::with_capacity(src.ndims() + src.nattrs());
+        for d in &src.dims {
+            attrs.push(AttributeDef::new(d.name.clone(), DataType::Int64));
+        }
+        for a in &src.attrs {
+            attrs.push(a.clone());
+        }
+        let schema = ArraySchema::new(
+            src.name.clone(),
+            vec![DimensionDef::new("bucket", 0, buckets as i64 - 1, 1)?],
+            attrs,
+        )?;
+        let out = kernels::batch_for(&schema);
+        Ok(HashOp {
+            child,
+            buckets,
+            schema,
+            out,
+            done: false,
+        })
+    }
+}
+
+impl BatchOperator for HashOp<'_> {
+    fn schema(&self) -> &ArraySchema {
+        &self.schema
+    }
+    fn ordered(&self) -> bool {
+        false
+    }
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let array = materialize(&mut self.child)?;
+        let keys: Vec<ColumnRef> = (0..array.schema.ndims()).map(ColumnRef::Dim).collect();
+        let set = ops::hash_partition(&array, &keys, self.buckets)?;
+        self.out.clear();
+        for (b, bucket) in set.buckets.iter().enumerate() {
+            for row in 0..bucket.len() {
+                self.out.coords[0].push(b as i64);
+                for (a, col) in bucket.attrs.iter().enumerate() {
+                    self.out.attrs[a].push_from(col, row)?;
+                }
+            }
+        }
+        if self.out.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(&self.out))
+    }
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// The six-phase skew-aware shuffle join. Executed eagerly at build (its
+/// inputs are stored arrays, not plan children); streams the result's
+/// chunks and parks the [`JoinMetrics`] in the shared slot.
+struct JoinOp {
+    array: Array,
+    ids: Vec<u64>,
+    next: usize,
+    ordered: bool,
+}
+
+impl JoinOp {
+    fn build(
+        cluster: &Cluster,
+        config: &ExecConfig,
+        metrics: &Rc<RefCell<Option<JoinMetrics>>>,
+        left: &str,
+        right: &str,
+        pairs: &[(String, String)],
+        output: &Option<ArraySchema>,
+    ) -> Result<JoinOp> {
+        let mut query = JoinQuery::new(left, right, JoinPredicate::new(pairs.to_vec()));
+        if let Some(out) = output {
+            query = query.into_schema(out.clone());
+        }
+        let (array, join_metrics) = execute_shuffle_join(cluster, &query, config)?;
+        *metrics.borrow_mut() = Some(join_metrics);
+        let ids: Vec<u64> = array.chunks().map(|(id, _)| id).collect();
+        let ordered = array.all_sorted();
+        Ok(JoinOp {
+            array,
+            ids,
+            next: 0,
+            ordered,
+        })
+    }
+}
+
+impl BatchOperator for JoinOp {
+    fn schema(&self) -> &ArraySchema {
+        &self.array.schema
+    }
+    fn ordered(&self) -> bool {
+        self.ordered
+    }
+    fn open(&mut self) -> Result<()> {
+        self.next = 0;
+        Ok(())
+    }
+    fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        while self.next < self.ids.len() {
+            let id = self.ids[self.next];
+            self.next += 1;
+            let chunk = self
+                .array
+                .chunk(id)
+                .ok_or_else(|| JoinError::Internal("join output chunk vanished".into()))?;
+            if !chunk.cells.is_empty() {
+                return Ok(Some(&chunk.cells));
+            }
+        }
+        Ok(None)
+    }
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::rewrite;
+    use sj_array::{BinOp, Expr, Value};
+    use sj_cluster::{NetworkModel, Placement};
+
+    fn cluster() -> Cluster {
+        let mut c = Cluster::new(3, NetworkModel::gigabit());
+        let schema = ArraySchema::parse("A<v:int>[i=1,60,10]").unwrap();
+        let a =
+            Array::from_cells(schema, (1..=60).map(|i| (vec![i], vec![Value::Int(i)]))).unwrap();
+        c.load_array(a, &Placement::RoundRobin).unwrap();
+        c
+    }
+
+    fn scan_plan(name: &str) -> PlanNode {
+        PlanNode::Scan { array: name.into() }.gathered()
+    }
+
+    #[test]
+    fn scan_matches_gather_bit_for_bit() {
+        let c = cluster();
+        let out = run_plan(&c, &scan_plan("A"), &ExecConfig::default()).unwrap();
+        let gathered = c.gather("A").unwrap();
+        assert_eq!(out.array, gathered);
+        assert_eq!(out.stats.gathered_cells, 60);
+        assert_eq!(out.stats.gathered_bytes, gathered.byte_size() as u64);
+    }
+
+    #[test]
+    fn filter_pipeline_matches_legacy_ops() {
+        let c = cluster();
+        let pred = Expr::binary(BinOp::Gt, Expr::col("v"), Expr::int(40));
+        let plan = PlanNode::Filter {
+            input: Box::new(scan_plan("A")),
+            predicate: pred.clone(),
+        };
+        let out = run_plan(&c, &plan, &ExecConfig::default()).unwrap();
+        let legacy = ops::filter(&c.gather("A").unwrap(), &pred).unwrap();
+        assert_eq!(out.array, legacy);
+    }
+
+    #[test]
+    fn pushdown_shrinks_gathered_bytes_but_not_results() {
+        let c = cluster();
+        let pred = Expr::binary(BinOp::Gt, Expr::col("v"), Expr::int(55));
+        let above = PlanNode::Filter {
+            input: Box::new(scan_plan("A")),
+            predicate: pred.clone(),
+        };
+        let below = rewrite(above.clone());
+        let cfg = ExecConfig::default();
+        let out_above = run_plan(&c, &above, &cfg).unwrap();
+        let out_below = run_plan(&c, &below, &cfg).unwrap();
+        assert_eq!(out_above.array, out_below.array);
+        assert_eq!(out_above.array.cell_count(), 5);
+        // The rewritten plan gathers strictly fewer bytes.
+        assert!(out_below.stats.gathered_bytes < out_above.stats.gathered_bytes);
+    }
+
+    #[test]
+    fn aggregate_and_between_stream() {
+        let c = cluster();
+        let plan = PlanNode::Aggregate {
+            input: Box::new(PlanNode::Between {
+                input: Box::new(scan_plan("A")),
+                bounds: vec![11, 20],
+            }),
+            func: "sum".into(),
+            attr: Some("v".into()),
+        };
+        let out = run_plan(&c, &plan, &ExecConfig::default()).unwrap();
+        let total: i64 = (11..=20).sum();
+        assert_eq!(
+            out.array.get(&[0]).unwrap(),
+            Some(vec![Value::Float(total as f64)])
+        );
+    }
+
+    #[test]
+    fn hash_op_partitions_all_cells() {
+        let c = cluster();
+        let plan = PlanNode::Hash {
+            input: Box::new(scan_plan("A")),
+            buckets: 8,
+        };
+        let out = run_plan(&c, &plan, &ExecConfig::default()).unwrap();
+        assert_eq!(out.array.cell_count(), 60);
+        assert_eq!(out.array.schema.ndims(), 1);
+        assert_eq!(out.array.schema.dims[0].name, "bucket");
+        // Dimension-less layout: i materialized as an attribute.
+        assert_eq!(out.array.schema.attrs[0].name, "i");
+    }
+}

@@ -1,0 +1,390 @@
+//! The logical plan IR shared by AQL and AFL.
+//!
+//! Both front ends (`bind_select` output and parsed AFL call trees) lower
+//! into [`PlanNode`]s; the engine then runs [`rewrite`] and hands the plan
+//! to the streaming pipeline (`crate::pipeline::run_plan`). The node set
+//! mirrors the paper's operator framework (§4, Table 1): `scan`, `redim`,
+//! `rechunk`, `sort`, `hash` plus the everyday `filter`/`apply`/`project`/
+//! `between`/`aggregate`, the shuffle `join`, and an explicit `gather`
+//! marking the coordinator boundary.
+//!
+//! `gather` is what makes the rewriter useful: operators *below* it run
+//! node-local on cluster partitions, operators *above* it run on the
+//! coordinator's materialized copy. Pushing filters and projections below
+//! `gather` shrinks the bytes that cross the boundary.
+
+use sj_array::{ArraySchema, Expr};
+
+/// One node of the logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Stream a stored array's chunks from the nodes that hold them.
+    Scan {
+        /// Catalog name of the array.
+        array: String,
+    },
+    /// The coordinator boundary: everything below streams from storage
+    /// nodes; bytes crossing this node are accounted as gathered.
+    Gather {
+        /// Input plan.
+        input: Box<PlanNode>,
+    },
+    /// Keep rows whose predicate evaluates to `true`.
+    Filter {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Boolean predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Compute one output attribute per `(name, expr)` pair, keeping the
+    /// dimension space.
+    Apply {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Output attribute list.
+        outputs: Vec<(String, Expr)>,
+        /// Resolve qualified column names (`A.v`) against the input
+        /// schema leniently (exact name first, bare suffix fallback) —
+        /// needed for AQL projection lists over join outputs.
+        lenient: bool,
+    },
+    /// Keep only the named attributes (vertical projection).
+    Project {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Attribute names to keep.
+        attrs: Vec<String>,
+    },
+    /// Re-dimension into `target` (ordered chunks).
+    Redim {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Target schema.
+        target: ArraySchema,
+    },
+    /// Re-tile into `target` without sorting (unordered chunks).
+    Rechunk {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Target schema.
+        target: ArraySchema,
+    },
+    /// Sort chunk cells into C-order.
+    Sort {
+        /// Input plan.
+        input: Box<PlanNode>,
+    },
+    /// Inclusive hyper-rectangle window: `bounds` holds the low corner
+    /// followed by the high corner (validated against the input's
+    /// dimensionality at build time).
+    Between {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// `ndims` low coordinates then `ndims` high coordinates.
+        bounds: Vec<i64>,
+    },
+    /// Whole-array aggregate producing a single cell.
+    Aggregate {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Aggregate function name (`count`, `sum`, `avg`, `min`, `max`);
+        /// kept verbatim because it doubles as the output attribute name.
+        func: String,
+        /// Attribute to aggregate; defaults to the input's first.
+        attr: Option<String>,
+    },
+    /// Hash-partition cells into dimension-less buckets keyed by the
+    /// source dimensions (paper §4: "hash buckets … unordered and
+    /// dimension-less").
+    Hash {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Bucket count.
+        buckets: usize,
+    },
+    /// Skew-aware shuffle join of two *stored* arrays (the six-phase
+    /// executor gathers its own inputs node-side).
+    Join {
+        /// Left stored array name.
+        left: String,
+        /// Right stored array name.
+        right: String,
+        /// Equality pairs `(left_col, right_col)`.
+        pairs: Vec<(String, String)>,
+        /// Optional explicit destination schema (`INTO τ<…>[…]`).
+        output: Option<ArraySchema>,
+    },
+    /// Rename the output array (`INTO name`).
+    Rename {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// New array name.
+        name: String,
+    },
+}
+
+impl PlanNode {
+    /// Wrap in a [`PlanNode::Gather`] — the coordinator boundary every
+    /// scan gets at lowering time.
+    pub fn gathered(self) -> PlanNode {
+        PlanNode::Gather {
+            input: Box::new(self),
+        }
+    }
+
+    /// Compact one-line rendering for logs and rewrite tests, e.g.
+    /// `gather(filter(scan(A), (v1 > 5)))`.
+    pub fn render(&self) -> String {
+        match self {
+            PlanNode::Scan { array } => format!("scan({array})"),
+            PlanNode::Gather { input } => format!("gather({})", input.render()),
+            PlanNode::Filter { input, predicate } => {
+                format!("filter({}, {predicate})", input.render())
+            }
+            PlanNode::Apply { input, outputs, .. } => {
+                let outs: Vec<String> =
+                    outputs.iter().map(|(n, e)| format!("{e} AS {n}")).collect();
+                format!("apply({}, {})", input.render(), outs.join(", "))
+            }
+            PlanNode::Project { input, attrs } => {
+                format!("project({}, {})", input.render(), attrs.join(", "))
+            }
+            PlanNode::Redim { input, target } => {
+                format!("redim({}, {})", input.render(), target.name)
+            }
+            PlanNode::Rechunk { input, target } => {
+                format!("rechunk({}, {})", input.render(), target.name)
+            }
+            PlanNode::Sort { input } => format!("sort({})", input.render()),
+            PlanNode::Between { input, bounds } => {
+                let b: Vec<String> = bounds.iter().map(i64::to_string).collect();
+                format!("between({}, {})", input.render(), b.join(", "))
+            }
+            PlanNode::Aggregate { input, func, attr } => match attr {
+                Some(a) => format!("aggregate({}, {func}, {a})", input.render()),
+                None => format!("aggregate({}, {func})", input.render()),
+            },
+            PlanNode::Hash { input, buckets } => {
+                format!("hash({}, {buckets})", input.render())
+            }
+            PlanNode::Join {
+                left, right, pairs, ..
+            } => {
+                let ps: Vec<String> = pairs.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                format!("join({left}, {right}, {})", ps.join(", "))
+            }
+            PlanNode::Rename { input, name } => {
+                format!("rename({}, {name})", input.render())
+            }
+        }
+    }
+}
+
+/// Rewrite a plan: push filters, windows, and projections below `gather`
+/// (so they run node-local and shrink the gathered bytes) and fold
+/// constant expression subtrees with the runtime evaluator.
+pub fn rewrite(plan: PlanNode) -> PlanNode {
+    push_down(fold(plan))
+}
+
+/// Constant folding over every expression the plan carries.
+fn fold(plan: PlanNode) -> PlanNode {
+    map_inputs(plan, fold, |node| match node {
+        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            input,
+            predicate: predicate.fold_constants(),
+        },
+        PlanNode::Apply {
+            input,
+            outputs,
+            lenient,
+        } => PlanNode::Apply {
+            input,
+            outputs: outputs
+                .into_iter()
+                .map(|(n, e)| (n, e.fold_constants()))
+                .collect(),
+            lenient,
+        },
+        other => other,
+    })
+}
+
+/// Predicate/window/projection pushdown below `gather`.
+///
+/// `filter(gather(x))` and `between(gather(x))` never change the schema,
+/// and `project(gather(x))`/`apply(gather(x))` are row-local, so all four
+/// commute with the coordinator boundary; moving them below it means only
+/// surviving (and narrower) cells cross the network.
+fn push_down(plan: PlanNode) -> PlanNode {
+    let plan = map_inputs(plan, push_down, |node| node);
+    match plan {
+        PlanNode::Filter { input, predicate } => match *input {
+            PlanNode::Gather { input } => {
+                push_down(PlanNode::Filter { input, predicate }).gathered()
+            }
+            other => PlanNode::Filter {
+                input: Box::new(other),
+                predicate,
+            },
+        },
+        PlanNode::Between { input, bounds } => match *input {
+            PlanNode::Gather { input } => push_down(PlanNode::Between { input, bounds }).gathered(),
+            other => PlanNode::Between {
+                input: Box::new(other),
+                bounds,
+            },
+        },
+        PlanNode::Project { input, attrs } => match *input {
+            PlanNode::Gather { input } => push_down(PlanNode::Project { input, attrs }).gathered(),
+            other => PlanNode::Project {
+                input: Box::new(other),
+                attrs,
+            },
+        },
+        PlanNode::Apply {
+            input,
+            outputs,
+            lenient,
+        } => match *input {
+            PlanNode::Gather { input } => push_down(PlanNode::Apply {
+                input,
+                outputs,
+                lenient,
+            })
+            .gathered(),
+            other => PlanNode::Apply {
+                input: Box::new(other),
+                outputs,
+                lenient,
+            },
+        },
+        other => other,
+    }
+}
+
+/// Apply `recurse` to every input subtree, then `f` to the node itself.
+fn map_inputs(
+    plan: PlanNode,
+    recurse: impl Fn(PlanNode) -> PlanNode + Copy,
+    f: impl FnOnce(PlanNode) -> PlanNode,
+) -> PlanNode {
+    let mapped = match plan {
+        PlanNode::Scan { .. } | PlanNode::Join { .. } => plan,
+        PlanNode::Gather { input } => PlanNode::Gather {
+            input: Box::new(recurse(*input)),
+        },
+        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            input: Box::new(recurse(*input)),
+            predicate,
+        },
+        PlanNode::Apply {
+            input,
+            outputs,
+            lenient,
+        } => PlanNode::Apply {
+            input: Box::new(recurse(*input)),
+            outputs,
+            lenient,
+        },
+        PlanNode::Project { input, attrs } => PlanNode::Project {
+            input: Box::new(recurse(*input)),
+            attrs,
+        },
+        PlanNode::Redim { input, target } => PlanNode::Redim {
+            input: Box::new(recurse(*input)),
+            target,
+        },
+        PlanNode::Rechunk { input, target } => PlanNode::Rechunk {
+            input: Box::new(recurse(*input)),
+            target,
+        },
+        PlanNode::Sort { input } => PlanNode::Sort {
+            input: Box::new(recurse(*input)),
+        },
+        PlanNode::Between { input, bounds } => PlanNode::Between {
+            input: Box::new(recurse(*input)),
+            bounds,
+        },
+        PlanNode::Aggregate { input, func, attr } => PlanNode::Aggregate {
+            input: Box::new(recurse(*input)),
+            func,
+            attr,
+        },
+        PlanNode::Hash { input, buckets } => PlanNode::Hash {
+            input: Box::new(recurse(*input)),
+            buckets,
+        },
+        PlanNode::Rename { input, name } => PlanNode::Rename {
+            input: Box::new(recurse(*input)),
+            name,
+        },
+    };
+    f(mapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_array::{BinOp, Expr};
+
+    fn scan(name: &str) -> PlanNode {
+        PlanNode::Scan { array: name.into() }
+    }
+
+    #[test]
+    fn filter_pushes_below_gather() {
+        let pred = Expr::binary(BinOp::Gt, Expr::col("v"), Expr::int(5));
+        let plan = PlanNode::Filter {
+            input: Box::new(scan("A").gathered()),
+            predicate: pred,
+        };
+        assert_eq!(rewrite(plan).render(), "gather(filter(scan(A), (v > 5)))");
+    }
+
+    #[test]
+    fn projection_and_window_push_below_gather() {
+        let plan = PlanNode::Project {
+            input: Box::new(PlanNode::Between {
+                input: Box::new(scan("A").gathered()),
+                bounds: vec![1, 5],
+            }),
+            attrs: vec!["v".into()],
+        };
+        assert_eq!(
+            rewrite(plan).render(),
+            "gather(project(between(scan(A), 1, 5), v))"
+        );
+    }
+
+    #[test]
+    fn pushdown_stops_at_non_gather_inputs() {
+        // A filter above a redim stays put: redim changes the schema.
+        let target = ArraySchema::parse("T<i:int>[v=1,10,5]").unwrap();
+        let plan = PlanNode::Filter {
+            input: Box::new(PlanNode::Redim {
+                input: Box::new(scan("A").gathered()),
+                target,
+            }),
+            predicate: Expr::col("b"),
+        };
+        assert_eq!(
+            rewrite(plan).render(),
+            "filter(redim(gather(scan(A)), T), b)"
+        );
+    }
+
+    #[test]
+    fn constants_fold_inside_plans() {
+        let pred = Expr::binary(
+            BinOp::Gt,
+            Expr::col("v"),
+            Expr::binary(BinOp::Add, Expr::int(2), Expr::int(3)),
+        );
+        let plan = PlanNode::Filter {
+            input: Box::new(scan("A").gathered()),
+            predicate: pred,
+        };
+        assert_eq!(rewrite(plan).render(), "gather(filter(scan(A), (v > 5)))");
+    }
+}

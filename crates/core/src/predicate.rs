@@ -211,9 +211,7 @@ mod tests {
     #[test]
     fn empty_predicate_rejected() {
         let (a, b) = schemas();
-        let p = JoinPredicate {
-            pairs: Vec::new(),
-        };
+        let p = JoinPredicate { pairs: Vec::new() };
         assert!(p.classify(&a, &b).is_err());
     }
 

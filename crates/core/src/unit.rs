@@ -13,8 +13,8 @@
 //! any column can be emitted into the output regardless of how the source
 //! was tiled.
 
+use sj_array::ops::{hash_key, kernels};
 use sj_array::{ArraySchema, CellBatch, Chunk, DataType, DimensionDef, Value};
-use sj_array::ops::hash_key;
 
 use crate::error::{JoinError, Result};
 
@@ -78,21 +78,20 @@ impl UnitLayout {
 
     /// Convert one chunk of the source array into this layout, appending
     /// onto `out`. Column-at-a-time: coordinates and attributes are bulk
-    /// copied without materializing per-cell `Value`s.
+    /// copied without materializing per-cell `Value`s (shared
+    /// [`kernels::flatten_into`] kernel, also used by hash partitioning).
     pub fn flatten_chunk(&self, chunk: &Chunk, out: &mut CellBatch) -> Result<()> {
-        let cells = &chunk.cells;
-        for d in 0..self.ndims {
-            out.attrs[d].extend_ints(&cells.coords[d])?;
-        }
-        for a in 0..cells.nattrs() {
-            out.attrs[self.ndims + a].extend_from(&cells.attrs[a])?;
-        }
+        debug_assert_eq!(self.ndims, chunk.cells.ndims());
+        kernels::flatten_into(&chunk.cells, out)?;
         Ok(())
     }
 
     /// Extract the key values of row `row` in a flattened batch.
     pub fn key_of(&self, batch: &CellBatch, row: usize) -> Vec<Value> {
-        self.key_cols.iter().map(|&c| batch.attrs[c].get(row)).collect()
+        self.key_cols
+            .iter()
+            .map(|&c| batch.attrs[c].get(row))
+            .collect()
     }
 
     /// [`UnitLayout::key_of`] into a caller-owned buffer (no allocation on
@@ -128,11 +127,9 @@ impl JoinUnitSpec {
     /// Total number of join units this spec produces.
     pub fn n_units(&self) -> usize {
         match self {
-            JoinUnitSpec::Chunks { dims } => dims
-                .iter()
-                .map(|d| d.chunk_count())
-                .product::<u64>()
-                .max(1) as usize,
+            JoinUnitSpec::Chunks { dims } => {
+                dims.iter().map(|d| d.chunk_count()).product::<u64>().max(1) as usize
+            }
             JoinUnitSpec::HashBuckets { n } => (*n).max(1),
         }
     }
@@ -160,9 +157,7 @@ impl JoinUnitSpec {
                 }
                 Ok(unit as usize)
             }
-            JoinUnitSpec::HashBuckets { n } => {
-                Ok((hash_key(key) % (*n).max(1) as u64) as usize)
-            }
+            JoinUnitSpec::HashBuckets { n } => Ok((hash_key(key) % (*n).max(1) as u64) as usize),
         }
     }
 
@@ -215,11 +210,10 @@ pub fn map_slices<'a>(
     for chunk in chunks {
         flat.clear();
         layout.flatten_chunk(chunk, &mut flat)?;
-        for row in 0..flat.len() {
-            layout.key_into(&flat, row, &mut key_buf);
-            let unit = spec.unit_of(&key_buf)?;
-            set.slices[unit].push_row_from(&flat, row)?;
-        }
+        kernels::scatter_into::<JoinError>(&flat, &mut set.slices, |f, row| {
+            layout.key_into(f, row, &mut key_buf);
+            spec.unit_of(&key_buf)
+        })?;
     }
     Ok(set)
 }

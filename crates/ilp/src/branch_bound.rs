@@ -185,9 +185,7 @@ impl IlpSolver {
                         }
                     }
                     let obj = model.objective.eval(&x);
-                    let better = incumbent
-                        .as_ref()
-                        .is_none_or(|(_, inc)| obj < inc - 1e-12);
+                    let better = incumbent.as_ref().is_none_or(|(_, inc)| obj < inc - 1e-12);
                     if better && model.is_feasible(&x, 1e-5) {
                         incumbent = Some((x, obj));
                         improved = true;
@@ -255,7 +253,11 @@ impl IlpSolver {
                 },
                 values: Vec::new(),
                 objective: f64::INFINITY,
-                bound: if hit_budget { best_bound } else { f64::INFINITY },
+                bound: if hit_budget {
+                    best_bound
+                } else {
+                    f64::INFINITY
+                },
                 nodes_explored,
             },
         }
@@ -357,7 +359,10 @@ mod tests {
         let x = m.binary("x");
         m.constrain(LinExpr::new().add(x, 1.0), Cmp::Ge, 2.0);
         m.set_objective(LinExpr::new().add(x, 1.0));
-        assert_eq!(IlpSolver::default().solve(&m).status, SolveStatus::Infeasible);
+        assert_eq!(
+            IlpSolver::default().solve(&m).status,
+            SolveStatus::Infeasible
+        );
     }
 
     #[test]

@@ -70,12 +70,7 @@ impl LinExpr {
 
     /// Evaluate at a point.
     pub fn eval(&self, x: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|&(v, c)| c * x[v.0])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|&(v, c)| c * x[v.0]).sum::<f64>()
     }
 }
 

@@ -124,10 +124,7 @@ impl Simplex {
 
         // Column layout: structural | slack/surplus (one per row) | artificials.
         let nslack = m;
-        let nart = rows
-            .iter()
-            .filter(|r| !matches!(r.cmp, Cmp::Le))
-            .count();
+        let nart = rows.iter().filter(|r| !matches!(r.cmp, Cmp::Le)).count();
         let ncols = n + nslack + nart;
         let art_start = n + nslack;
 
@@ -212,7 +209,11 @@ impl Simplex {
                 if is_basic[j] || self.banned[j] {
                     continue;
                 }
-                let eligible = if self.at_upper[j] { d[j] > EPS } else { d[j] < -EPS };
+                let eligible = if self.at_upper[j] {
+                    d[j] > EPS
+                } else {
+                    d[j] < -EPS
+                };
                 if !eligible {
                     continue;
                 }
@@ -275,7 +276,11 @@ impl Simplex {
                 }
                 Some(r) => {
                     // Value the entering variable takes after the move.
-                    let e_val = if sigma > 0.0 { tstar } else { self.ub[e] - tstar };
+                    let e_val = if sigma > 0.0 {
+                        tstar
+                    } else {
+                        self.ub[e] - tstar
+                    };
                     for i in 0..m {
                         if i != r {
                             self.xb[i] -= sigma * tstar * self.t[i][e];

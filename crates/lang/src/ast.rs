@@ -2,6 +2,8 @@
 
 use sj_array::{ArraySchema, Expr};
 
+use crate::error::Span;
+
 /// One SELECT-list entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Projection {
@@ -38,6 +40,11 @@ pub struct SelectStmt {
     pub from: Vec<String>,
     /// WHERE/ON predicates, conjoined.
     pub predicates: Vec<Expr>,
+    /// Source span of each FROM array name (parallel to `from`), so the
+    /// binder can point "unknown array" errors at the query text.
+    pub from_spans: Vec<Span>,
+    /// Source span of the whole WHERE/ON clause, when present.
+    pub where_span: Option<Span>,
 }
 
 /// A parsed AFL operator expression (paper §2.2): nested operator calls

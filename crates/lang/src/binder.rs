@@ -2,13 +2,16 @@
 //!
 //! Splits the statement into the executable shapes the engine supports:
 //! single-array filter/apply queries and two-array equi-joins whose
-//! predicates become `(left column, right column)` pairs.
+//! predicates become `(left column, right column)` pairs. Failures are
+//! reported as [`LangError`]s in the `Bind` phase, pointing at the FROM
+//! entry or WHERE clause that caused them.
 
-use sj_array::{ArrayError, ArraySchema, BinOp, Expr};
+use sj_array::{ArraySchema, BinOp, Expr};
 
 use crate::ast::{IntoTarget, Projection, SelectStmt};
+use crate::error::{LangError, Span};
 
-type Result<T> = std::result::Result<T, ArrayError>;
+type Result<T> = std::result::Result<T, LangError>;
 
 /// A bound, executable query.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,10 +51,22 @@ where
     match stmt.from.len() {
         1 => bind_single(stmt, lookup),
         2 => bind_join(stmt, lookup),
-        n => Err(ArrayError::Parse(format!(
+        n => Err(LangError::bind(format!(
             "FROM must name one or two arrays, got {n}"
         ))),
     }
+}
+
+/// Look up the schema of `stmt.from[idx]`, pointing errors at its span.
+fn resolve_from<F>(stmt: &SelectStmt, idx: usize, lookup: &F) -> Result<ArraySchema>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    let name = &stmt.from[idx];
+    lookup(name).ok_or_else(|| {
+        LangError::bind(format!("unknown array `{name}`"))
+            .with_span_opt(stmt.from_spans.get(idx).copied())
+    })
 }
 
 fn bind_single<F>(stmt: &SelectStmt, lookup: F) -> Result<BoundSelect>
@@ -59,16 +74,20 @@ where
     F: Fn(&str) -> Option<ArraySchema>,
 {
     let array = stmt.from[0].clone();
-    let schema = lookup(&array)
-        .ok_or_else(|| ArrayError::Parse(format!("unknown array `{array}`")))?;
+    let schema = resolve_from(stmt, 0, &lookup)?;
     let filter = conjoin(stmt.predicates.clone());
     if let Some(f) = &filter {
         // Validate column references (stripping qualifiers).
-        strip_qualifiers(f, &array).bind(&schema)?;
+        strip_qualifiers(f, &array)
+            .bind(&schema)
+            .map_err(|e| bind_expr_err(e, stmt.where_span))?;
     }
     let projections = bind_projections(&stmt.projections, |expr| {
         let stripped = strip_qualifiers(&expr, &array);
-        stripped.bind(&schema).map(|_| stripped)
+        stripped
+            .bind(&schema)
+            .map(|_| stripped)
+            .map_err(|e| bind_expr_err(e, None))
     })?;
     let into_name = match &stmt.into {
         None => None,
@@ -89,10 +108,8 @@ where
 {
     let left = stmt.from[0].clone();
     let right = stmt.from[1].clone();
-    let lschema = lookup(&left)
-        .ok_or_else(|| ArrayError::Parse(format!("unknown array `{left}`")))?;
-    let rschema = lookup(&right)
-        .ok_or_else(|| ArrayError::Parse(format!("unknown array `{right}`")))?;
+    let lschema = resolve_from(stmt, 0, &lookup)?;
+    let rschema = resolve_from(stmt, 1, &lookup)?;
 
     let mut pairs = Vec::new();
     for pred in &stmt.predicates {
@@ -102,30 +119,33 @@ where
             right: r,
         } = pred
         else {
-            return Err(ArrayError::Parse(format!(
+            return Err(LangError::bind(format!(
                 "join predicates must be equality pairs, got `{pred}`"
-            )));
+            ))
+            .with_span_opt(stmt.where_span));
         };
         let (Expr::Column(lc), Expr::Column(rc)) = (l.as_ref(), r.as_ref()) else {
-            return Err(ArrayError::Parse(format!(
+            return Err(LangError::bind(format!(
                 "join predicates must compare two columns, got `{pred}`"
-            )));
+            ))
+            .with_span_opt(stmt.where_span));
         };
-        let a = resolve_side(lc, &left, &lschema, &right, &rschema)?;
-        let b = resolve_side(rc, &left, &lschema, &right, &rschema)?;
+        let a = resolve_side(lc, &left, &lschema, &right, &rschema, stmt.where_span)?;
+        let b = resolve_side(rc, &left, &lschema, &right, &rschema, stmt.where_span)?;
         match (a, b) {
             ((true, lname), (false, rname)) => pairs.push((lname, rname)),
             ((false, rname), (true, lname)) => pairs.push((lname, rname)),
             _ => {
-                return Err(ArrayError::Parse(format!(
+                return Err(LangError::bind(format!(
                     "predicate `{pred}` does not connect the two arrays"
-                )))
+                ))
+                .with_span_opt(stmt.where_span))
             }
         }
     }
     if pairs.is_empty() {
-        return Err(ArrayError::Parse(
-            "join query needs at least one equality predicate".into(),
+        return Err(LangError::bind(
+            "join query needs at least one equality predicate",
         ));
     }
 
@@ -163,6 +183,13 @@ where
     Ok(Some(out))
 }
 
+/// Wrap a storage-layer expression-binding error as a bind-phase error.
+fn bind_expr_err(e: sj_array::ArrayError, span: Option<Span>) -> LangError {
+    LangError::bind(e.to_string())
+        .with_span_opt(span)
+        .with_source(e)
+}
+
 /// Determine which side a column reference belongs to. Returns
 /// `(is_left, unqualified_name)`.
 fn resolve_side(
@@ -171,17 +198,19 @@ fn resolve_side(
     lschema: &ArraySchema,
     right: &str,
     rschema: &ArraySchema,
+    span: Option<Span>,
 ) -> Result<(bool, String)> {
     if let Some((array, col)) = name.split_once('.') {
         if array == left {
-            return has_column(lschema, col).map(|_| (true, col.to_string()));
+            return has_column(lschema, col, span).map(|_| (true, col.to_string()));
         }
         if array == right {
-            return has_column(rschema, col).map(|_| (false, col.to_string()));
+            return has_column(rschema, col, span).map(|_| (false, col.to_string()));
         }
-        return Err(ArrayError::Parse(format!(
-            "`{name}` references unknown array `{array}`"
-        )));
+        return Err(
+            LangError::bind(format!("`{name}` references unknown array `{array}`"))
+                .with_span_opt(span),
+        );
     }
     if lschema.has_dim(name) || lschema.has_attr(name) {
         return Ok((true, name.to_string()));
@@ -189,7 +218,7 @@ fn resolve_side(
     if rschema.has_dim(name) || rschema.has_attr(name) {
         return Ok((false, name.to_string()));
     }
-    Err(ArrayError::Parse(format!("unknown column `{name}`")))
+    Err(LangError::bind(format!("unknown column `{name}`")).with_span_opt(span))
 }
 
 /// AND-join a list of predicates into one expression.
@@ -206,14 +235,14 @@ fn conjoin(mut predicates: Vec<Expr>) -> Option<Expr> {
     )
 }
 
-fn has_column(schema: &ArraySchema, col: &str) -> Result<()> {
+fn has_column(schema: &ArraySchema, col: &str, span: Option<Span>) -> Result<()> {
     if schema.has_dim(col) || schema.has_attr(col) {
         Ok(())
     } else {
-        Err(ArrayError::Parse(format!(
-            "array `{}` has no column `{col}`",
-            schema.name
-        )))
+        Err(
+            LangError::bind(format!("array `{}` has no column `{col}`", schema.name))
+                .with_span_opt(span),
+        )
     }
 }
 
@@ -236,34 +265,10 @@ fn strip_qualifiers(expr: &Expr, array: &str) -> Expr {
     }
 }
 
-/// Rewrite a post-join projection so its column references resolve
-/// against the join's output schema: `X.c` stays if the output kept the
-/// qualified name, else falls back to bare `c`.
-pub fn rewrite_for_output(expr: &Expr, output: &ArraySchema) -> Expr {
-    match expr {
-        Expr::Column(name) => {
-            if output.has_dim(name) || output.has_attr(name) {
-                expr.clone()
-            } else if let Some((_, col)) = name.split_once('.') {
-                Expr::col(col)
-            } else {
-                expr.clone()
-            }
-        }
-        Expr::Literal(_) => expr.clone(),
-        Expr::Binary { op, left, right } => Expr::Binary {
-            op: *op,
-            left: Box::new(rewrite_for_output(left, output)),
-            right: Box::new(rewrite_for_output(right, output)),
-        },
-        Expr::Neg(e) => Expr::Neg(Box::new(rewrite_for_output(e, output))),
-        Expr::Not(e) => Expr::Not(Box::new(rewrite_for_output(e, output))),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::LangPhase;
     use crate::parser::parse_aql;
 
     fn catalog(name: &str) -> Option<ArraySchema> {
@@ -334,10 +339,31 @@ mod tests {
     }
 
     #[test]
+    fn bind_errors_carry_phase_and_spans() {
+        // Unknown FROM array: span points at `Z` in the query text.
+        let input = "SELECT * FROM Z WHERE v > 1";
+        let stmt = parse_aql(input).unwrap();
+        let err = bind_select(&stmt, catalog).unwrap_err();
+        assert_eq!(err.phase, LangPhase::Bind);
+        let span = err.span.unwrap();
+        assert_eq!(&input[span.start..span.end], "Z");
+        // Unknown column in WHERE: span covers the clause, and the
+        // storage-layer cause is chained through `source()`.
+        let input = "SELECT * FROM A WHERE zzz > 1";
+        let stmt = parse_aql(input).unwrap();
+        let err = bind_select(&stmt, catalog).unwrap_err();
+        let span = err.span.unwrap();
+        assert_eq!(&input[span.start..span.end], "zzz > 1");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
     fn qualified_self_references_stripped_in_single_queries() {
         let stmt = parse_aql("SELECT A.v FROM A WHERE A.v > 2").unwrap();
         let BoundSelect::SingleArray {
-            filter, projections, ..
+            filter,
+            projections,
+            ..
         } = bind_select(&stmt, catalog).unwrap()
         else {
             panic!()
@@ -347,22 +373,9 @@ mod tests {
     }
 
     #[test]
-    fn rewrite_for_output_prefers_exact_then_bare() {
-        let out = ArraySchema::parse("C<reflectance:float, B.reflectance:float>[t=1,5,5]")
-            .unwrap();
-        // Band1.reflectance is not in the schema → bare name.
-        let e = rewrite_for_output(&Expr::col("Band1.reflectance"), &out);
-        assert_eq!(e.to_string(), "reflectance");
-        // B.reflectance exists verbatim → kept.
-        let e = rewrite_for_output(&Expr::col("B.reflectance"), &out);
-        assert_eq!(e.to_string(), "B.reflectance");
-    }
-
-    #[test]
     fn into_schema_captured_for_joins() {
-        let stmt =
-            parse_aql("SELECT * INTO C<i:int, j:int>[v=1,100,10] FROM A, B WHERE A.v = B.w")
-                .unwrap();
+        let stmt = parse_aql("SELECT * INTO C<i:int, j:int>[v=1,100,10] FROM A, B WHERE A.v = B.w")
+            .unwrap();
         let BoundSelect::Join { output, .. } = bind_select(&stmt, catalog).unwrap() else {
             panic!()
         };

@@ -1,0 +1,193 @@
+//! Typed language-layer errors carrying source spans.
+//!
+//! Every front-end phase — lexing, parsing, binding, lowering — reports
+//! failures as a [`LangError`] that says *which* phase failed, *where* in
+//! the query text (when known), and *why*, chaining any underlying
+//! storage-layer error through [`std::error::Error::source`].
+
+use std::fmt;
+
+use sj_array::ArrayError;
+
+/// A half-open byte range `[start, end)` into the original query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at byte `at`.
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn cover(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.end <= self.start + 1 {
+            write!(f, "byte {}", self.start)
+        } else {
+            write!(f, "bytes {}..{}", self.start, self.end)
+        }
+    }
+}
+
+/// The front-end phase that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LangPhase {
+    /// Tokenizing the raw query text.
+    Lex,
+    /// Parsing the token stream.
+    Parse,
+    /// Resolving names against catalog schemas.
+    Bind,
+    /// Lowering to the plan IR.
+    Lower,
+}
+
+impl fmt::Display for LangPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LangPhase::Lex => "lex",
+            LangPhase::Parse => "parse",
+            LangPhase::Bind => "bind",
+            LangPhase::Lower => "lower",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A query-language error: failing phase, message, and optional span
+/// into the original query text.
+#[derive(Debug)]
+pub struct LangError {
+    /// Which phase failed.
+    pub phase: LangPhase,
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Where in the query text, when the phase can localize it.
+    pub span: Option<Span>,
+    /// Underlying storage-layer error, when one triggered this.
+    pub source: Option<ArrayError>,
+}
+
+impl LangError {
+    /// An error in `phase` with no span attached yet.
+    pub fn new(phase: LangPhase, message: impl Into<String>) -> Self {
+        LangError {
+            phase,
+            message: message.into(),
+            span: None,
+            source: None,
+        }
+    }
+
+    /// A lexer error.
+    pub fn lex(message: impl Into<String>) -> Self {
+        LangError::new(LangPhase::Lex, message)
+    }
+
+    /// A parser error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        LangError::new(LangPhase::Parse, message)
+    }
+
+    /// A binder error.
+    pub fn bind(message: impl Into<String>) -> Self {
+        LangError::new(LangPhase::Bind, message)
+    }
+
+    /// A lowering error.
+    pub fn lower(message: impl Into<String>) -> Self {
+        LangError::new(LangPhase::Lower, message)
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach an optional source span (no-op on `None`).
+    pub fn with_span_opt(mut self, span: Option<Span>) -> Self {
+        self.span = self.span.or(span);
+        self
+    }
+
+    /// Attach the storage-layer error that caused this one.
+    pub fn with_source(mut self, source: ArrayError) -> Self {
+        self.source = Some(source);
+        self
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.phase, self.message)?;
+        if let Some(span) = &self.span {
+            write!(f, " (at {span})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_ref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_includes_phase_and_span() {
+        let e = LangError::parse("expected `FROM`").with_span(Span::new(7, 11));
+        assert_eq!(
+            e.to_string(),
+            "parse error: expected `FROM` (at bytes 7..11)"
+        );
+        let e = LangError::lex("unexpected character `$`").with_span(Span::point(3));
+        assert_eq!(
+            e.to_string(),
+            "lex error: unexpected character `$` (at byte 3)"
+        );
+    }
+
+    #[test]
+    fn source_chains_to_array_error() {
+        let cause = ArrayError::Parse("bad dtype".into());
+        let e = LangError::bind("bad schema").with_source(cause);
+        let src = e.source().expect("source should be chained");
+        assert!(src.to_string().contains("bad dtype"));
+        assert!(LangError::bind("no cause").source().is_none());
+    }
+
+    #[test]
+    fn spans_cover_and_compare() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.cover(b), Span::new(2, 9));
+        assert_eq!(b.cover(a), Span::new(2, 9));
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use sj_array::ArrayError;
+use crate::error::{LangError, Span};
 
 /// One lexical token.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,112 +73,119 @@ impl fmt::Display for Token {
     }
 }
 
-/// Tokenize `input`, or report the byte offset of the first bad char.
-pub fn tokenize(input: &str) -> Result<Vec<Token>, ArrayError> {
+/// Tokenize `input`, or report the first bad character with its span.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LangError> {
+    tokenize_spanned(input).map(|(tokens, _)| tokens)
+}
+
+/// Tokenize `input` keeping, for each token, the byte span it came from.
+/// The two vectors are parallel: `spans[i]` locates `tokens[i]`.
+pub fn tokenize_spanned(input: &str) -> Result<(Vec<Token>, Vec<Span>), LangError> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
+    let mut spans = Vec::new();
     let mut i = 0usize;
     while i < bytes.len() {
         let c = bytes[i] as char;
-        match c {
-            c if c.is_whitespace() => i += 1,
-            '(' => {
-                tokens.push(Token::Symbol(Sym::LParen));
+        let start = i;
+        let token = match c {
+            c if c.is_whitespace() => {
                 i += 1;
+                continue;
+            }
+            '(' => {
+                i += 1;
+                Token::Symbol(Sym::LParen)
             }
             ')' => {
-                tokens.push(Token::Symbol(Sym::RParen));
                 i += 1;
+                Token::Symbol(Sym::RParen)
             }
             '[' => {
-                tokens.push(Token::Symbol(Sym::LBracket));
                 i += 1;
+                Token::Symbol(Sym::LBracket)
             }
             ']' => {
-                tokens.push(Token::Symbol(Sym::RBracket));
                 i += 1;
+                Token::Symbol(Sym::RBracket)
             }
             ',' => {
-                tokens.push(Token::Symbol(Sym::Comma));
                 i += 1;
+                Token::Symbol(Sym::Comma)
             }
             ';' => {
-                tokens.push(Token::Symbol(Sym::Semicolon));
                 i += 1;
+                Token::Symbol(Sym::Semicolon)
             }
             '*' => {
-                tokens.push(Token::Symbol(Sym::Star));
                 i += 1;
+                Token::Symbol(Sym::Star)
             }
             '+' => {
-                tokens.push(Token::Symbol(Sym::Plus));
                 i += 1;
+                Token::Symbol(Sym::Plus)
             }
             '-' => {
-                tokens.push(Token::Symbol(Sym::Minus));
                 i += 1;
+                Token::Symbol(Sym::Minus)
             }
             '/' => {
-                tokens.push(Token::Symbol(Sym::Slash));
                 i += 1;
+                Token::Symbol(Sym::Slash)
             }
             '%' => {
-                tokens.push(Token::Symbol(Sym::Percent));
                 i += 1;
+                Token::Symbol(Sym::Percent)
             }
             ':' => {
-                tokens.push(Token::Symbol(Sym::Colon));
                 i += 1;
+                Token::Symbol(Sym::Colon)
             }
             '=' => {
-                tokens.push(Token::Symbol(Sym::Eq));
                 i += 1;
+                Token::Symbol(Sym::Eq)
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token::Symbol(Sym::Ne));
                 i += 2;
+                Token::Symbol(Sym::Ne)
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(&b'=') => {
-                        tokens.push(Token::Symbol(Sym::Le));
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        tokens.push(Token::Symbol(Sym::Ne));
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Symbol(Sym::Lt));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    i += 2;
+                    Token::Symbol(Sym::Le)
                 }
-            }
+                Some(&b'>') => {
+                    i += 2;
+                    Token::Symbol(Sym::Ne)
+                }
+                _ => {
+                    i += 1;
+                    Token::Symbol(Sym::Lt)
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Symbol(Sym::Ge));
                     i += 2;
+                    Token::Symbol(Sym::Ge)
                 } else {
-                    tokens.push(Token::Symbol(Sym::Gt));
                     i += 1;
+                    Token::Symbol(Sym::Gt)
                 }
             }
             '\'' => {
-                let start = i + 1;
-                let mut j = start;
+                let text_start = i + 1;
+                let mut j = text_start;
                 while j < bytes.len() && bytes[j] != b'\'' {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(ArrayError::Parse(format!(
-                        "unterminated string literal at byte {i}"
-                    )));
+                    return Err(LangError::lex("unterminated string literal")
+                        .with_span(Span::new(start, bytes.len())));
                 }
-                tokens.push(Token::Str(input[start..j].to_string()));
                 i = j + 1;
+                Token::Str(input[text_start..j].to_string())
             }
             c if c.is_ascii_digit() => {
-                let start = i;
                 let mut is_float = false;
                 while i < bytes.len() {
                     let d = bytes[i] as char;
@@ -196,17 +203,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ArrayError> {
                 }
                 let text = &input[start..i];
                 if is_float {
-                    tokens.push(Token::Float(text.parse().map_err(|e| {
-                        ArrayError::Parse(format!("bad float `{text}`: {e}"))
-                    })?));
+                    Token::Float(text.parse().map_err(|e| {
+                        LangError::lex(format!("bad float `{text}`: {e}"))
+                            .with_span(Span::new(start, i))
+                    })?)
                 } else {
-                    tokens.push(Token::Int(text.parse().map_err(|e| {
-                        ArrayError::Parse(format!("bad integer `{text}`: {e}"))
-                    })?));
+                    Token::Int(text.parse().map_err(|e| {
+                        LangError::lex(format!("bad integer `{text}`: {e}"))
+                            .with_span(Span::new(start, i))
+                    })?)
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
-                let start = i;
                 while i < bytes.len() {
                     let d = bytes[i] as char;
                     if d.is_alphanumeric() || d == '_' || d == '.' {
@@ -215,16 +223,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ArrayError> {
                         break;
                     }
                 }
-                tokens.push(Token::Ident(input[start..i].to_string()));
+                Token::Ident(input[start..i].to_string())
             }
             other => {
-                return Err(ArrayError::Parse(format!(
-                    "unexpected character `{other}` at byte {i}"
-                )))
+                return Err(LangError::lex(format!("unexpected character `{other}`"))
+                    .with_span(Span::point(start)))
             }
-        }
+        };
+        tokens.push(token);
+        spans.push(Span::new(start, i));
     }
-    Ok(tokens)
+    Ok((tokens, spans))
 }
 
 #[cfg(test)]
@@ -285,5 +294,22 @@ mod tests {
         let toks = tokenize("C<i:int, j:int>[v=1,128,4]").unwrap();
         assert!(toks.contains(&Token::Symbol(Sym::Colon)));
         assert!(toks.contains(&Token::Symbol(Sym::LBracket)));
+    }
+
+    #[test]
+    fn spans_locate_tokens_in_source() {
+        let input = "SELECT * FROM A";
+        let (tokens, spans) = tokenize_spanned(input).unwrap();
+        assert_eq!(tokens.len(), spans.len());
+        assert_eq!(&input[spans[0].start..spans[0].end], "SELECT");
+        assert_eq!(&input[spans[3].start..spans[3].end], "A");
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = tokenize("abc $").unwrap_err();
+        assert_eq!(err.span, Some(Span::point(4)));
+        let err = tokenize("x 'oops").unwrap_err();
+        assert_eq!(err.span, Some(Span::new(2, 7)));
     }
 }

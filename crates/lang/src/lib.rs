@@ -4,18 +4,28 @@
 //! declarative **AQL** (`SELECT … INTO … FROM … WHERE …`) and the
 //! compositional **AFL** of nested operator calls
 //! (`merge(A, redim(B, <…>[…]))`). This crate provides a lexer, parsers
-//! for both surfaces, and a binder that resolves a parsed SELECT against
-//! catalog schemas into an executable description (single-array
-//! filter/apply or a two-array equi-join).
+//! for both surfaces, a binder that resolves a parsed SELECT against
+//! catalog schemas, and a lowering pass that turns both surfaces into the
+//! shared [`sj_core::PlanNode`] IR. Failures in any phase are reported as
+//! [`LangError`]s carrying the failing phase and a source span.
 
 #![warn(missing_docs)]
 
 mod ast;
 mod binder;
+mod error;
 mod lexer;
+mod lower;
 mod parser;
 
 pub use ast::{AflArg, AflExpr, IntoTarget, Projection, SelectStmt};
-pub use binder::{bind_select, rewrite_for_output, BoundSelect};
-pub use lexer::{tokenize, Sym, Token};
+pub use binder::{bind_select, BoundSelect};
+pub use error::{LangError, LangPhase, Span};
+pub use lexer::{tokenize, tokenize_spanned, Sym, Token};
+pub use lower::{lower_afl, lower_select};
 pub use parser::{parse_afl, parse_aql};
+
+/// Re-exported from the storage layer's kernel module: rewrite a
+/// post-join projection so its column references resolve against the
+/// join's output schema.
+pub use sj_array::ops::kernels::rewrite_for_output;

@@ -1,0 +1,363 @@
+//! Lowering: translate both query surfaces into the shared plan IR.
+//!
+//! This is the convergence point of the front-end. A bound AQL SELECT
+//! ([`BoundSelect`]) and a parsed AFL call tree ([`AflExpr`]) both become
+//! [`PlanNode`] trees here, so the engine has exactly one execution path:
+//! `lower → rewrite → run_plan`. Array references lower to
+//! `gather(scan(name))` — the explicit coordinator boundary the rewriter
+//! pushes row-local operators beneath.
+
+use sj_array::{ArraySchema, Expr};
+use sj_core::PlanNode;
+
+use crate::ast::{AflArg, AflExpr};
+use crate::binder::BoundSelect;
+use crate::error::LangError;
+
+type Result<T> = std::result::Result<T, LangError>;
+
+/// Lower a bound SELECT into a plan. Infallible: binding already
+/// validated every name the statement references.
+pub fn lower_select(bound: &BoundSelect) -> PlanNode {
+    match bound {
+        BoundSelect::SingleArray {
+            array,
+            filter,
+            projections,
+            into_name,
+        } => {
+            let mut plan = PlanNode::Scan {
+                array: array.clone(),
+            }
+            .gathered();
+            if let Some(predicate) = filter {
+                plan = PlanNode::Filter {
+                    input: Box::new(plan),
+                    predicate: predicate.clone(),
+                };
+            }
+            if let Some(outputs) = projections {
+                plan = PlanNode::Apply {
+                    input: Box::new(plan),
+                    outputs: outputs.clone(),
+                    lenient: false,
+                };
+            }
+            if let Some(name) = into_name {
+                plan = PlanNode::Rename {
+                    input: Box::new(plan),
+                    name: name.clone(),
+                };
+            }
+            plan
+        }
+        BoundSelect::Join {
+            left,
+            right,
+            pairs,
+            output,
+            projections,
+        } => {
+            let mut plan = PlanNode::Join {
+                left: left.clone(),
+                right: right.clone(),
+                pairs: pairs.clone(),
+                output: output.clone(),
+            };
+            if let Some(outputs) = projections {
+                // Post-join projections reference columns by their
+                // pre-join qualified names; the operator resolves them
+                // leniently against the join's output schema.
+                plan = PlanNode::Apply {
+                    input: Box::new(plan),
+                    outputs: outputs.clone(),
+                    lenient: true,
+                };
+            }
+            plan
+        }
+    }
+}
+
+/// Lower a parsed AFL expression into a plan. `lookup` resolves stored
+/// array names to their schemas (needed for `redim(B, A)` and for
+/// deriving `merge` join pairs from shared dimensions).
+pub fn lower_afl<F>(expr: &AflExpr, lookup: &F) -> Result<PlanNode>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    match expr {
+        AflExpr::Array(name) => Ok(PlanNode::Scan {
+            array: name.clone(),
+        }
+        .gathered()),
+        AflExpr::Call { op, args } => lower_call(op, args, lookup),
+    }
+}
+
+fn lower_call<F>(op: &str, args: &[AflArg], lookup: &F) -> Result<PlanNode>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    let opl = op.to_ascii_lowercase();
+    match opl.as_str() {
+        // `scan(A)` is the identity over its input.
+        "scan" => plan_arg(args, 0, lookup),
+        "sort" => Ok(PlanNode::Sort {
+            input: Box::new(plan_arg(args, 0, lookup)?),
+        }),
+        "filter" => Ok(PlanNode::Filter {
+            input: Box::new(plan_arg(args, 0, lookup)?),
+            predicate: expr_arg(args, 1)?,
+        }),
+        "redim" | "redimension" | "rechunk" => {
+            let input = Box::new(plan_arg(args, 0, lookup)?);
+            let target = schema_arg(args, 1, lookup)?;
+            Ok(if opl == "rechunk" {
+                PlanNode::Rechunk { input, target }
+            } else {
+                PlanNode::Redim { input, target }
+            })
+        }
+        "between" => {
+            // Bounds arity (ndims lows + ndims highs) is validated
+            // against the input schema when the operator is built.
+            let input = Box::new(plan_arg(args, 0, lookup)?);
+            let bounds = (1..args.len())
+                .map(|idx| coord_arg(args, idx))
+                .collect::<Result<Vec<i64>>>()?;
+            Ok(PlanNode::Between { input, bounds })
+        }
+        "aggregate" | "agg" => {
+            let input = Box::new(plan_arg(args, 0, lookup)?);
+            let func = match args.get(1) {
+                Some(AflArg::Afl(AflExpr::Array(n))) => n.clone(),
+                Some(AflArg::Expr(Expr::Column(n))) => n.clone(),
+                other => {
+                    return Err(LangError::lower(format!(
+                        "aggregate needs a function name, got {other:?}"
+                    )))
+                }
+            };
+            let attr = match args.get(2) {
+                Some(AflArg::Afl(AflExpr::Array(n))) => Some(n.clone()),
+                Some(AflArg::Expr(Expr::Column(n))) => Some(n.clone()),
+                None => None,
+                other => {
+                    return Err(LangError::lower(format!(
+                        "aggregate needs an attribute name, got {other:?}"
+                    )))
+                }
+            };
+            Ok(PlanNode::Aggregate { input, func, attr })
+        }
+        "project" => {
+            let input = Box::new(plan_arg(args, 0, lookup)?);
+            let mut attrs = Vec::new();
+            for a in &args[1..] {
+                match a {
+                    AflArg::Expr(Expr::Column(c)) => attrs.push(c.clone()),
+                    AflArg::Afl(AflExpr::Array(c)) => attrs.push(c.clone()),
+                    other => {
+                        return Err(LangError::lower(format!(
+                            "project expects column names, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(PlanNode::Project { input, attrs })
+        }
+        "merge" | "mergejoin" | "join" => {
+            // A distributed D:D join on the arrays' shared dimensions.
+            // Both operands must be stored arrays (the shuffle join
+            // plans against cluster-resident data).
+            let left = stored_name(args, 0)?;
+            let right = stored_name(args, 1)?;
+            let ls =
+                lookup(&left).ok_or_else(|| LangError::lower(format!("unknown array `{left}`")))?;
+            let rs = lookup(&right)
+                .ok_or_else(|| LangError::lower(format!("unknown array `{right}`")))?;
+            if ls.ndims() != rs.ndims() {
+                return Err(LangError::lower("merge requires equal dimensionality"));
+            }
+            let pairs = ls
+                .dims
+                .iter()
+                .zip(&rs.dims)
+                .map(|(a, b)| (a.name.clone(), b.name.clone()))
+                .collect();
+            Ok(PlanNode::Join {
+                left,
+                right,
+                pairs,
+                output: None,
+            })
+        }
+        "hash" => {
+            let input = Box::new(plan_arg(args, 0, lookup)?);
+            let buckets = match args.get(1) {
+                Some(AflArg::Int(v)) if *v > 0 => *v as usize,
+                other => {
+                    return Err(LangError::lower(format!(
+                        "hash needs a positive bucket count, got {other:?}"
+                    )))
+                }
+            };
+            Ok(PlanNode::Hash { input, buckets })
+        }
+        other => Err(LangError::lower(format!(
+            "unsupported AFL operator `{other}`"
+        ))),
+    }
+}
+
+/// Lower argument `idx`, which must be an array-valued AFL expression.
+fn plan_arg<F>(args: &[AflArg], idx: usize, lookup: &F) -> Result<PlanNode>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    match args.get(idx) {
+        Some(AflArg::Afl(inner)) => lower_afl(inner, lookup),
+        Some(other) => Err(LangError::lower(format!(
+            "argument {idx} must be an array expression, got {other:?}"
+        ))),
+        None => Err(LangError::lower(format!("missing argument {idx}"))),
+    }
+}
+
+/// Argument `idx` as a scalar expression.
+fn expr_arg(args: &[AflArg], idx: usize) -> Result<Expr> {
+    match args.get(idx) {
+        Some(AflArg::Expr(e)) => Ok(e.clone()),
+        Some(AflArg::Afl(AflExpr::Array(name))) => Ok(Expr::col(name.clone())),
+        Some(AflArg::Int(v)) => Ok(Expr::int(*v)),
+        Some(other) => Err(LangError::lower(format!(
+            "argument {idx} must be a scalar expression, got {other:?}"
+        ))),
+        None => Err(LangError::lower(format!("missing argument {idx}"))),
+    }
+}
+
+/// Argument `idx` as an integer coordinate (window bounds).
+fn coord_arg(args: &[AflArg], idx: usize) -> Result<i64> {
+    match expr_arg(args, idx)? {
+        Expr::Literal(v) => v
+            .to_coord()
+            .map_err(|e| LangError::lower(e.to_string()).with_source(e)),
+        Expr::Neg(inner) => match *inner {
+            Expr::Literal(v) => Ok(-v
+                .to_coord()
+                .map_err(|e| LangError::lower(e.to_string()).with_source(e))?),
+            _ => Err(LangError::lower("between bounds must be integers")),
+        },
+        _ => Err(LangError::lower("between bounds must be integers")),
+    }
+}
+
+/// Argument `idx` as a target schema: a literal, or a stored array name
+/// whose schema is reused (`redim(B, A)` form).
+fn schema_arg<F>(args: &[AflArg], idx: usize, lookup: &F) -> Result<ArraySchema>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    match args.get(idx) {
+        Some(AflArg::Schema(s)) => Ok(s.clone()),
+        Some(AflArg::Afl(AflExpr::Array(name))) => {
+            lookup(name).ok_or_else(|| LangError::lower(format!("unknown array `{name}`")))
+        }
+        Some(other) => Err(LangError::lower(format!(
+            "argument {idx} must be a schema literal, got {other:?}"
+        ))),
+        None => Err(LangError::lower(format!("missing argument {idx}"))),
+    }
+}
+
+/// Argument `idx` as a stored array name (no nested operators).
+fn stored_name(args: &[AflArg], idx: usize) -> Result<String> {
+    match args.get(idx) {
+        Some(AflArg::Afl(AflExpr::Array(n))) => Ok(n.clone()),
+        other => Err(LangError::lower(format!(
+            "merge expects stored array names, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use crate::parser::{parse_afl, parse_aql};
+
+    fn catalog(name: &str) -> Option<ArraySchema> {
+        match name {
+            "A" => Some(ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap()),
+            "B" => Some(ArraySchema::parse("B<w:int>[i=1,100,10]").unwrap()),
+            _ => None,
+        }
+    }
+
+    fn lower_aql(input: &str) -> PlanNode {
+        let stmt = parse_aql(input).unwrap();
+        lower_select(&bind_select(&stmt, catalog).unwrap())
+    }
+
+    fn lower(input: &str) -> Result<PlanNode> {
+        lower_afl(&parse_afl(input).unwrap(), &catalog)
+    }
+
+    #[test]
+    fn select_lowers_to_filter_apply_chain() {
+        let plan = lower_aql("SELECT v AS x INTO T FROM A WHERE v > 5");
+        assert_eq!(
+            plan.render(),
+            "rename(apply(filter(gather(scan(A)), (v > 5)), v AS x), T)"
+        );
+    }
+
+    #[test]
+    fn select_join_lowers_to_join_node() {
+        let plan = lower_aql("SELECT * FROM A, B WHERE A.v = B.w");
+        assert_eq!(plan.render(), "join(A, B, v = w)");
+    }
+
+    #[test]
+    fn afl_surfaces_converge_on_the_same_ir() {
+        // The AQL filter and the AFL filter produce the same plan.
+        let aql = lower_aql("SELECT * FROM A WHERE v > 5");
+        let afl = lower("filter(A, v > 5)").unwrap();
+        assert_eq!(aql, afl);
+    }
+
+    #[test]
+    fn afl_operators_lower_structurally() {
+        assert_eq!(lower("A").unwrap().render(), "gather(scan(A))");
+        assert_eq!(lower("scan(A)").unwrap().render(), "gather(scan(A))");
+        assert_eq!(
+            lower("sort(between(A, 2, 7))").unwrap().render(),
+            "sort(between(gather(scan(A)), 2, 7))"
+        );
+        assert_eq!(
+            lower("aggregate(A, MAX, v)").unwrap().render(),
+            "aggregate(gather(scan(A)), MAX, v)"
+        );
+        assert_eq!(
+            lower("hash(project(A, v), 8)").unwrap().render(),
+            "hash(project(gather(scan(A)), v), 8)"
+        );
+        assert_eq!(
+            lower("redim(B, A)").unwrap().render(),
+            "redim(gather(scan(B)), A)"
+        );
+        assert_eq!(lower("merge(A, B)").unwrap().render(), "join(A, B, i = i)");
+    }
+
+    #[test]
+    fn lowering_rejects_bad_calls() {
+        assert!(lower("unknownOp(A)").is_err());
+        assert!(lower("filter(A)").is_err());
+        assert!(lower("hash(A, 0)").is_err());
+        assert!(lower("merge(A, filter(B, w > 1))").is_err());
+        assert!(lower("merge(A, Z)").is_err());
+        assert!(lower("between(A, v, 7)").is_err());
+    }
+}

@@ -3,14 +3,15 @@
 use sj_array::{ArrayError, ArraySchema, AttributeDef, BinOp, DataType, DimensionDef, Expr, Value};
 
 use crate::ast::{AflArg, AflExpr, IntoTarget, Projection, SelectStmt};
-use crate::lexer::{tokenize, Sym, Token};
+use crate::error::{LangError, Span};
+use crate::lexer::{tokenize_spanned, Sym, Token};
 
-type Result<T> = std::result::Result<T, ArrayError>;
+type Result<T> = std::result::Result<T, LangError>;
 
 /// Parse one AQL SELECT statement.
 pub fn parse_aql(input: &str) -> Result<SelectStmt> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser::new(&tokens);
+    let (tokens, spans) = tokenize_spanned(input)?;
+    let mut p = Parser::new(&tokens, &spans);
     let stmt = p.select()?;
     p.eat_symbol_if(Sym::Semicolon);
     p.expect_end()?;
@@ -19,8 +20,8 @@ pub fn parse_aql(input: &str) -> Result<SelectStmt> {
 
 /// Parse one AFL operator expression.
 pub fn parse_afl(input: &str) -> Result<AflExpr> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser::new(&tokens);
+    let (tokens, spans) = tokenize_spanned(input)?;
+    let mut p = Parser::new(&tokens, &spans);
     let expr = p.afl()?;
     p.eat_symbol_if(Sym::Semicolon);
     p.expect_end()?;
@@ -44,12 +45,17 @@ fn flatten_and(expr: Expr, out: &mut Vec<Expr>) {
 
 struct Parser<'a> {
     tokens: &'a [Token],
+    spans: &'a [Span],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(tokens: &'a [Token]) -> Self {
-        Parser { tokens, pos: 0 }
+    fn new(tokens: &'a [Token], spans: &'a [Span]) -> Self {
+        Parser {
+            tokens,
+            spans,
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -64,12 +70,29 @@ impl<'a> Parser<'a> {
         t
     }
 
-    fn err(&self, msg: &str) -> ArrayError {
-        ArrayError::Parse(format!(
+    /// The source span of the token at `pos`, or a zero-width span just
+    /// past the last token when `pos` is at the end of input.
+    fn span_at(&self, pos: usize) -> Span {
+        match self.spans.get(pos) {
+            Some(s) => *s,
+            None => Span::point(self.spans.last().map_or(0, |s| s.end)),
+        }
+    }
+
+    fn err(&self, msg: &str) -> LangError {
+        LangError::parse(format!(
             "{msg} at token {} ({})",
             self.pos,
             self.peek().map_or("<end>".to_string(), |t| t.to_string())
         ))
+        .with_span(self.span_at(self.pos))
+    }
+
+    /// Wrap a storage-layer schema error, pointing at the current token.
+    fn schema_err(&self, e: ArrayError) -> LangError {
+        LangError::parse(e.to_string())
+            .with_span(self.span_at(self.pos.saturating_sub(1)))
+            .with_source(e)
     }
 
     fn is_keyword(&self, kw: &str) -> bool {
@@ -150,9 +173,13 @@ impl<'a> Parser<'a> {
             None
         };
         self.expect_keyword("FROM")?;
-        let mut from = vec![self.ident()?];
+        let mut from = Vec::new();
+        let mut from_spans = Vec::new();
+        from_spans.push(self.span_at(self.pos));
+        from.push(self.ident()?);
         loop {
             if self.eat_symbol_if(Sym::Comma) || self.eat_keyword("JOIN") {
+                from_spans.push(self.span_at(self.pos));
                 from.push(self.ident()?);
             } else {
                 break;
@@ -162,16 +189,22 @@ impl<'a> Parser<'a> {
             return Err(self.err("at most two arrays may appear in FROM"));
         }
         let mut predicates = Vec::new();
+        let mut where_span = None;
         if self.eat_keyword("WHERE") || self.eat_keyword("ON") {
+            let start = self.span_at(self.pos);
             // `expr` consumes AND itself; flatten the top-level
             // conjunction into the predicate list.
             flatten_and(self.expr()?, &mut predicates);
+            let end = self.span_at(self.pos.saturating_sub(1));
+            where_span = Some(start.cover(end));
         }
         Ok(SelectStmt {
             projections,
             into,
             from,
             predicates,
+            from_spans,
+            where_span,
         })
     }
 
@@ -220,19 +253,18 @@ impl<'a> Parser<'a> {
             "anonymous".to_string()
         };
         let mut attrs = Vec::new();
-        if self.eat_symbol_if(Sym::Lt)
-            && !self.eat_symbol_if(Sym::Gt) {
-                loop {
-                    let attr_name = self.ident()?;
-                    self.expect_symbol(Sym::Colon)?;
-                    let dtype = DataType::parse(&self.ident()?)?;
-                    attrs.push(AttributeDef::new(attr_name, dtype));
-                    if !self.eat_symbol_if(Sym::Comma) {
-                        break;
-                    }
+        if self.eat_symbol_if(Sym::Lt) && !self.eat_symbol_if(Sym::Gt) {
+            loop {
+                let attr_name = self.ident()?;
+                self.expect_symbol(Sym::Colon)?;
+                let dtype = DataType::parse(&self.ident()?).map_err(|e| self.schema_err(e))?;
+                attrs.push(AttributeDef::new(attr_name, dtype));
+                if !self.eat_symbol_if(Sym::Comma) {
+                    break;
                 }
-                self.expect_symbol(Sym::Gt)?;
             }
+            self.expect_symbol(Sym::Gt)?;
+        }
         self.expect_symbol(Sym::LBracket)?;
         let mut dims = Vec::new();
         if !self.eat_symbol_if(Sym::RBracket) {
@@ -247,14 +279,17 @@ impl<'a> Parser<'a> {
                 if interval <= 0 {
                     return Err(self.err("chunk interval must be positive"));
                 }
-                dims.push(DimensionDef::new(dim_name, start, end, interval as u64)?);
+                dims.push(
+                    DimensionDef::new(dim_name, start, end, interval as u64)
+                        .map_err(|e| self.schema_err(e))?,
+                );
                 if !self.eat_symbol_if(Sym::Comma) {
                     break;
                 }
             }
             self.expect_symbol(Sym::RBracket)?;
         }
-        ArraySchema::new(name, dims, attrs)
+        ArraySchema::new(name, dims, attrs).map_err(|e| self.schema_err(e))
     }
 
     // ---- Scalar expressions -------------------------------------------
@@ -453,10 +488,8 @@ mod tests {
     #[test]
     fn parse_join_with_into_schema() {
         // Paper §6.1's query.
-        let q = parse_aql(
-            "SELECT * INTO C<i:int, j:int>[v=1,128,4] FROM A, B WHERE A.v = B.w;",
-        )
-        .unwrap();
+        let q = parse_aql("SELECT * INTO C<i:int, j:int>[v=1,128,4] FROM A, B WHERE A.v = B.w;")
+            .unwrap();
         assert_eq!(q.from, vec!["A", "B"]);
         match &q.into {
             Some(IntoTarget::Schema(s)) => {
@@ -521,6 +554,29 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_carry_spans() {
+        let err = parse_aql("SELECT * FORM A").unwrap_err();
+        // The error points at `FORM`, where `FROM` was expected.
+        assert_eq!(err.span, Some(Span::new(9, 13)));
+        // A missing expression at end-of-input points at the last token.
+        let input = "SELECT * FROM A WHERE";
+        let err = parse_aql(input).unwrap_err();
+        let span = err.span.unwrap();
+        assert_eq!(&input[span.start..span.end], "WHERE");
+    }
+
+    #[test]
+    fn statement_records_from_and_where_spans() {
+        let input = "SELECT * FROM A, B WHERE A.v = B.w";
+        let q = parse_aql(input).unwrap();
+        assert_eq!(q.from_spans.len(), 2);
+        assert_eq!(&input[q.from_spans[0].start..q.from_spans[0].end], "A");
+        assert_eq!(&input[q.from_spans[1].start..q.from_spans[1].end], "B");
+        let w = q.where_span.unwrap();
+        assert_eq!(&input[w.start..w.end], "A.v = B.w");
+    }
+
+    #[test]
     fn parse_afl_filter() {
         // Paper §2.2: filter(A, v1 > 5)
         let e = parse_afl("filter(A, v1 > 5)").unwrap();
@@ -540,16 +596,17 @@ mod tests {
     #[test]
     fn parse_afl_nested_with_schema() {
         // Paper §2.3.1: merge(A, redim(B, <v1:int, v2:float>[i=1,6,3, j=1,6,3]))
-        let e = parse_afl(
-            "merge(A, redim(B, <v1:int, v2:float>[i=1,6,3, j=1,6,3]))",
-        )
-        .unwrap();
+        let e = parse_afl("merge(A, redim(B, <v1:int, v2:float>[i=1,6,3, j=1,6,3]))").unwrap();
         let AflExpr::Call { op, args } = e else {
             panic!()
         };
         assert_eq!(op, "merge");
         assert_eq!(args.len(), 2);
-        let AflArg::Afl(AflExpr::Call { op: inner, args: inner_args }) = &args[1] else {
+        let AflArg::Afl(AflExpr::Call {
+            op: inner,
+            args: inner_args,
+        }) = &args[1]
+        else {
             panic!("expected nested call, got {:?}", args[1]);
         };
         assert_eq!(inner, "redim");
@@ -565,7 +622,9 @@ mod tests {
     #[test]
     fn parse_afl_with_counts() {
         let e = parse_afl("hash(A, 64)").unwrap();
-        let AflExpr::Call { args, .. } = e else { panic!() };
+        let AflExpr::Call { args, .. } = e else {
+            panic!()
+        };
         assert_eq!(args[1], AflArg::Int(64));
     }
 

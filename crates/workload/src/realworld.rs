@@ -98,8 +98,7 @@ fn modis_weights(cfg: &GeoConfig) -> Vec<f64> {
     for lon_c in 0..cfg.lon_chunks {
         let _ = lon_c;
         for lat_c in 0..cfg.lat_chunks {
-            let mid_lat = lat_lo as f64
-                + (lat_c as f64 + 0.5) * cfg.deg_per_chunk as f64;
+            let mid_lat = lat_lo as f64 + (lat_c as f64 + 0.5) * cfg.deg_per_chunk as f64;
             // Map the scaled grid onto ±90° so the bump is gentle.
             let phi = mid_lat / (cfg.lat_extent() as f64 / 2.0) * std::f64::consts::FRAC_PI_2;
             w.push(1.0 + 0.25 * phi.cos());
@@ -141,8 +140,7 @@ pub fn modis_band(cfg: &GeoConfig, name: &str, band: u32) -> Array {
     let mut array = Array::new(schema);
     let (lon_lo, _) = cfg.lon_range();
     let (lat_lo, _) = cfg.lat_range();
-    let box_cells =
-        (cfg.time_extent * cfg.deg_per_chunk * cfg.deg_per_chunk) as usize;
+    let box_cells = (cfg.time_extent * cfg.deg_per_chunk * cfg.deg_per_chunk) as usize;
     for (geo_idx, &count) in counts.iter().enumerate() {
         let lon_c = geo_idx as u64 / cfg.lat_chunks;
         let lat_c = geo_idx as u64 % cfg.lat_chunks;
@@ -225,8 +223,7 @@ pub fn ais_broadcasts(cfg: &AisConfig, name: &str) -> Array {
     let rest_counts = apportion(rest_cells, &rest_weights);
 
     let mut array = Array::new(schema);
-    let box_cells =
-        (geo.time_extent * geo.deg_per_chunk * geo.deg_per_chunk) as usize;
+    let box_cells = (geo.time_extent * geo.deg_per_chunk * geo.deg_per_chunk) as usize;
     let (lon_lo, _) = geo.lon_range();
     let (lat_lo, _) = geo.lat_range();
     let emit_chunk = |geo_idx: usize, count: usize, rng: &mut Rng64, array: &mut Array| {
@@ -242,10 +239,7 @@ pub fn ais_broadcasts(cfg: &AisConfig, name: &str) -> Array {
             let ship = rng.gen_range(0..cfg.ships) as i64;
             let speed = rng.gen_range(0.0..30.0);
             array
-                .insert(
-                    &[t, lon, lat],
-                    &[Value::Int(ship), Value::Float(speed)],
-                )
+                .insert(&[t, lon, lat], &[Value::Int(ship), Value::Float(speed)])
                 .expect("coordinates in range");
         }
     };
@@ -253,7 +247,12 @@ pub fn ais_broadcasts(cfg: &AisConfig, name: &str) -> Array {
         emit_chunk(geo_idx, port_counts[r], &mut rng, &mut array);
     }
     for (r, &geo_idx) in others.iter().enumerate() {
-        emit_chunk(geo_idx, rest_counts.get(r).copied().unwrap_or(0), &mut rng, &mut array);
+        emit_chunk(
+            geo_idx,
+            rest_counts.get(r).copied().unwrap_or(0),
+            &mut rng,
+            &mut array,
+        );
     }
     array.sort_chunks();
     array

@@ -79,10 +79,7 @@ pub fn skewed_array(cfg: &SkewedArrayConfig) -> Array {
     let mut array = Array::new(cfg.schema());
     for (chunk_idx, &count) in counts.iter().enumerate() {
         let count = count.min(per_chunk_capacity);
-        let (ci, cj) = (
-            chunk_idx as u64 / cfg.grid,
-            chunk_idx as u64 % cfg.grid,
-        );
+        let (ci, cj) = (chunk_idx as u64 / cfg.grid, chunk_idx as u64 % cfg.grid);
         let base_i = 1 + (ci * cfg.chunk_interval) as i64;
         let base_j = 1 + (cj * cfg.chunk_interval) as i64;
         // Distinct in-chunk positions via a full-cycle linear walk.
@@ -97,7 +94,10 @@ pub fn skewed_array(cfg: &SkewedArrayConfig) -> Array {
             let v1 = value_perm[values.sample(&mut rng)] as i64;
             let v2 = value_perm[values.sample(&mut rng)] as i64;
             array
-                .insert(&[base_i + di, base_j + dj], &[Value::Int(v1), Value::Int(v2)])
+                .insert(
+                    &[base_i + di, base_j + dj],
+                    &[Value::Int(v1), Value::Int(v2)],
+                )
                 .expect("generated coordinates are in range");
         }
     }
@@ -135,10 +135,8 @@ pub fn selectivity_pair(
     assert!(selectivity > 0.0);
     let domain = ((n as f64 / (2.0 * selectivity)).round() as u64).max(1);
     let mut rng = Rng64::seed_from_u64(seed);
-    let schema_a =
-        ArraySchema::parse(&format!("A<v:int>[i=1,{n},{chunk_interval}]")).unwrap();
-    let schema_b =
-        ArraySchema::parse(&format!("B<w:int>[j=1,{n},{chunk_interval}]")).unwrap();
+    let schema_a = ArraySchema::parse(&format!("A<v:int>[i=1,{n},{chunk_interval}]")).unwrap();
+    let schema_b = ArraySchema::parse(&format!("B<w:int>[j=1,{n},{chunk_interval}]")).unwrap();
     let mut a = Array::new(schema_a);
     let mut b = Array::new(schema_b);
     for i in 1..=n as i64 {

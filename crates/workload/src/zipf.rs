@@ -116,7 +116,11 @@ mod tests {
             for total in [1usize, 7, 1000, 12345] {
                 let z = Zipf::new(64, alpha);
                 let counts = z.proportional_counts(total);
-                assert_eq!(counts.iter().sum::<usize>(), total, "α={alpha} total={total}");
+                assert_eq!(
+                    counts.iter().sum::<usize>(),
+                    total,
+                    "α={alpha} total={total}"
+                );
             }
         }
     }

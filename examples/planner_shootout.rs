@@ -5,8 +5,8 @@
 //! cargo run --release --example planner_shootout [alpha]
 //! ```
 
-use skewjoin::join::exec::{ExecConfig, JoinQuery};
 use skewjoin::join::exec::execute_shuffle_join;
+use skewjoin::join::exec::{ExecConfig, JoinQuery};
 use skewjoin::workload::{skewed_pair, SkewedArrayConfig};
 use skewjoin::{Cluster, JoinAlgo, JoinPredicate, NetworkModel, Placement, PlannerKind};
 use std::time::Duration;

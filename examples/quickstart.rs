@@ -21,9 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = Array::from_cells(
         schema_a,
         (1..=128i64).flat_map(|i| {
-            (1..=128i64).map(move |j| {
-                (vec![i, j], vec![Value::Float(10.0 + (i + j) as f64 * 0.01)])
-            })
+            (1..=128i64)
+                .map(move |j| (vec![i, j], vec![Value::Float(10.0 + (i + j) as f64 * 0.01)]))
         }),
     )?;
     let b = Array::from_cells(

@@ -67,8 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                WHERE Band1.lon = Broadcast.lon \
                AND Band1.lat = Broadcast.lat";
 
-    println!("\n{:<8} {:>12} {:>14} {:>14} {:>12}",
-        "planner", "plan (ms)", "align (ms)", "compare (ms)", "moved cells");
+    println!(
+        "\n{:<8} {:>12} {:>14} {:>14} {:>12}",
+        "planner", "plan (ms)", "align (ms)", "compare (ms)", "moved cells"
+    );
     let mut baseline_total = None;
     let mut best_total = f64::INFINITY;
     for planner in [

@@ -51,8 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                AND Band1.lon = Band2.lon \
                AND Band1.lat = Band2.lat";
 
-    println!("\n{:<8} {:>12} {:>14} {:>14} {:>10}",
-        "planner", "plan (ms)", "align (ms)", "compare (ms)", "matches");
+    println!(
+        "\n{:<8} {:>12} {:>14} {:>14} {:>10}",
+        "planner", "plan (ms)", "align (ms)", "compare (ms)", "matches"
+    );
     let mut totals = Vec::new();
     for planner in [
         PlannerKind::Baseline,

@@ -18,7 +18,13 @@ cargo test -q --test determinism
 echo "==> fault matrix: seeded faults replay identically at threads = 1, 2, 8"
 cargo test -q --test fault_determinism
 
+echo "==> golden equivalence: pipeline vs legacy ops, threads = 1, 2, 8"
+cargo test -q --features proptest --test golden_equivalence
+
 echo "==> lints: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> formatting: cargo fmt --check"
+cargo fmt --check
 
 echo "verify.sh: all checks passed"

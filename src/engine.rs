@@ -3,17 +3,20 @@
 //!
 //! This is the glue between the substrates: the [`sj_array`] storage
 //! engine, the [`sj_cluster`] shared-nothing simulator, the [`sj_lang`]
-//! query front-end, and the [`sj_core`] shuffle-join optimizer.
+//! query front-end, and the [`sj_core`] shuffle-join optimizer. Both
+//! query surfaces execute through one path: the front-end lowers the
+//! statement into the shared plan IR ([`sj_core::PlanNode`]), the
+//! rewriter pushes row-local operators below the coordinator boundary,
+//! and the streaming batch pipeline ([`sj_core::run_plan`]) produces the
+//! materialized result.
 
 use std::fmt;
 
-use sj_array::ops::{self, RedimPolicy};
-use sj_array::{Array, ArrayError, ArraySchema, Expr};
+use sj_array::{Array, ArrayError};
 use sj_cluster::{Cluster, ClusterError, NetworkModel, Placement};
-use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinMetrics, JoinQuery};
-use sj_core::predicate::JoinPredicate;
-use sj_core::JoinError;
-use sj_lang::{bind_select, parse_afl, parse_aql, rewrite_for_output, AflArg, AflExpr, BoundSelect};
+use sj_core::exec::{ExecConfig, JoinMetrics};
+use sj_core::{rewrite, run_plan, JoinError, PipelineStats, PlanNode};
+use sj_lang::{bind_select, lower_afl, lower_select, parse_afl, parse_aql, LangError};
 
 /// Top-level error type for the engine.
 #[derive(Debug)]
@@ -24,10 +27,9 @@ pub enum Error {
     Cluster(ClusterError),
     /// Join planning/execution failure.
     Join(JoinError),
-    /// Query-language failure (parse or bind).
-    Language(String),
-    /// Unsupported operation.
-    Unsupported(String),
+    /// Query-language failure (lex, parse, bind, or lower), with the
+    /// failing phase and source span.
+    Language(LangError),
 }
 
 impl fmt::Display for Error {
@@ -36,13 +38,21 @@ impl fmt::Display for Error {
             Error::Array(e) => write!(f, "array error: {e}"),
             Error::Cluster(e) => write!(f, "cluster error: {e}"),
             Error::Join(e) => write!(f, "join error: {e}"),
-            Error::Language(msg) => write!(f, "language error: {msg}"),
-            Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            Error::Language(e) => write!(f, "language error: {e}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Array(e) => Some(e),
+            Error::Cluster(e) => Some(e),
+            Error::Join(e) => Some(e),
+            Error::Language(e) => Some(e),
+        }
+    }
+}
 
 impl From<ArrayError> for Error {
     fn from(e: ArrayError) -> Self {
@@ -59,18 +69,26 @@ impl From<JoinError> for Error {
         Error::Join(e)
     }
 }
+impl From<LangError> for Error {
+    fn from(e: LangError) -> Self {
+        Error::Language(e)
+    }
+}
 
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// The result of a query: the output array plus join metrics when the
-/// query ran through the shuffle-join optimizer.
+/// The result of a query: the output array, join metrics when the query
+/// ran through the shuffle-join optimizer, and pipeline statistics.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     /// The materialized result.
     pub array: Array,
     /// Shuffle-join execution metrics (joins only).
     pub join_metrics: Option<JoinMetrics>,
+    /// Streaming-pipeline statistics: bytes/cells that crossed the
+    /// coordinator boundary and the number of batches streamed.
+    pub pipeline: PipelineStats,
 }
 
 /// A distributed array database over a simulated shared-nothing cluster.
@@ -133,296 +151,39 @@ impl ArrayDb {
 
     /// Run an AQL query (`SELECT … [INTO …] FROM … [WHERE …]`).
     pub fn query(&self, aql: &str) -> Result<QueryResult> {
-        let stmt = parse_aql(aql).map_err(|e| Error::Language(e.to_string()))?;
+        let stmt = parse_aql(aql)?;
         let catalog = self.cluster.catalog();
-        let bound = bind_select(&stmt, |name| catalog.schema(name).ok().cloned())
-            .map_err(|e| Error::Language(e.to_string()))?;
-        match bound {
-            BoundSelect::SingleArray {
-                array,
-                filter,
-                projections,
-                into_name,
-            } => {
-                let mut result = self.gather(&array)?;
-                if let Some(pred) = &filter {
-                    result = ops::filter(&result, pred)?;
-                }
-                if let Some(projections) = &projections {
-                    result = ops::apply(&result, projections)?;
-                }
-                if let Some(name) = into_name {
-                    result.schema.name = name;
-                }
-                Ok(QueryResult {
-                    array: result,
-                    join_metrics: None,
-                })
-            }
-            BoundSelect::Join {
-                left,
-                right,
-                pairs,
-                output,
-                projections,
-            } => {
-                let mut query = JoinQuery::new(left, right, JoinPredicate::new(pairs));
-                if let Some(out) = output {
-                    query = query.into_schema(out);
-                }
-                let (mut array, metrics) =
-                    execute_shuffle_join(&self.cluster, &query, &self.exec_config)?;
-                if let Some(projections) = &projections {
-                    let rewritten: Vec<(String, Expr)> = projections
-                        .iter()
-                        .map(|(name, expr)| {
-                            (name.clone(), rewrite_for_output(expr, &array.schema))
-                        })
-                        .collect();
-                    array = ops::apply(&array, &rewritten)?;
-                }
-                Ok(QueryResult {
-                    array,
-                    join_metrics: Some(metrics),
-                })
-            }
-        }
+        let bound = bind_select(&stmt, |name| catalog.schema(name).ok().cloned())?;
+        self.run(lower_select(&bound))
     }
 
     /// Evaluate an AFL operator expression
     /// (`filter(A, v > 5)`, `redim(B, <…>[…])`, `merge(A, B)`, …) and
     /// return the materialized result.
     pub fn afl(&self, text: &str) -> Result<QueryResult> {
-        let expr = parse_afl(text).map_err(|e| Error::Language(e.to_string()))?;
-        self.eval_afl(&expr)
+        let expr = parse_afl(text)?;
+        let catalog = self.cluster.catalog();
+        let plan = lower_afl(&expr, &|name| catalog.schema(name).ok().cloned())?;
+        self.run(plan)
     }
 
-    fn eval_afl(&self, expr: &AflExpr) -> Result<QueryResult> {
-        match expr {
-            AflExpr::Array(name) => Ok(QueryResult {
-                array: self.gather(name)?,
-                join_metrics: None,
-            }),
-            AflExpr::Call { op, args } => self.eval_call(op, args),
-        }
-    }
-
-    fn eval_call(&self, op: &str, args: &[AflArg]) -> Result<QueryResult> {
-        let opl = op.to_ascii_lowercase();
-        match opl.as_str() {
-            "scan" => self.unary_array(args, |a| Ok(ops::scan(&a))),
-            "sort" => self.unary_array(args, |a| Ok(ops::sort(&a))),
-            "filter" => {
-                let array = self.arg_array(args, 0)?;
-                let pred = self.arg_expr(args, 1)?;
-                Ok(QueryResult {
-                    array: ops::filter(&array, &pred)?,
-                    join_metrics: None,
-                })
-            }
-            "redim" | "redimension" | "rechunk" => {
-                let array = self.arg_array(args, 0)?;
-                let schema = self.arg_schema(args, 1)?;
-                let out = if opl == "rechunk" {
-                    ops::rechunk(&array, &schema, RedimPolicy::Strict)?
-                } else {
-                    ops::redim(&array, &schema, RedimPolicy::Strict)?
-                };
-                Ok(QueryResult {
-                    array: out,
-                    join_metrics: None,
-                })
-            }
-            "between" => {
-                let array = self.arg_array(args, 0)?;
-                let nd = array.schema.ndims();
-                if args.len() != 1 + 2 * nd {
-                    return Err(Error::Language(format!(
-                        "between needs {nd} low + {nd} high coordinates"
-                    )));
-                }
-                let coord = |idx: usize| -> Result<i64> {
-                    match self.arg_expr(args, idx)? {
-                        Expr::Literal(v) => {
-                            v.to_coord().map_err(Error::Array)
-                        }
-                        Expr::Neg(inner) => match *inner {
-                            Expr::Literal(v) => {
-                                Ok(-v.to_coord().map_err(Error::Array)?)
-                            }
-                            _ => Err(Error::Language("between bounds must be integers".into())),
-                        },
-                        _ => Err(Error::Language("between bounds must be integers".into())),
-                    }
-                };
-                let low: Vec<i64> = (1..=nd).map(coord).collect::<Result<_>>()?;
-                let high: Vec<i64> = (nd + 1..=2 * nd).map(coord).collect::<Result<_>>()?;
-                Ok(QueryResult {
-                    array: ops::between(&array, &low, &high)?,
-                    join_metrics: None,
-                })
-            }
-            "aggregate" | "agg" => {
-                // aggregate(A, sum, v): returns a 1-cell array holding the
-                // scalar result.
-                let array = self.arg_array(args, 0)?;
-                let func_name = match args.get(1) {
-                    Some(AflArg::Afl(AflExpr::Array(n))) => n.clone(),
-                    Some(AflArg::Expr(Expr::Column(n))) => n.clone(),
-                    other => {
-                        return Err(Error::Language(format!(
-                            "aggregate needs a function name, got {other:?}"
-                        )))
-                    }
-                };
-                let func = ops::AggFn::parse(&func_name).map_err(Error::Array)?;
-                let attr = match args.get(2) {
-                    Some(AflArg::Afl(AflExpr::Array(n))) => n.clone(),
-                    Some(AflArg::Expr(Expr::Column(n))) => n.clone(),
-                    None => array
-                        .schema
-                        .attrs
-                        .first()
-                        .map(|a| a.name.clone())
-                        .unwrap_or_default(),
-                    other => {
-                        return Err(Error::Language(format!(
-                            "aggregate needs an attribute name, got {other:?}"
-                        )))
-                    }
-                };
-                let value = ops::aggregate(&array, func, &attr)?;
-                let dtype = value.data_type();
-                let schema = ArraySchema::new(
-                    "agg",
-                    vec![sj_array::DimensionDef::new("r", 0, 0, 1).map_err(Error::Array)?],
-                    vec![sj_array::AttributeDef::new(func_name, dtype)],
-                )
-                .map_err(Error::Array)?;
-                let result = Array::from_cells(schema, vec![(vec![0], vec![value])])
-                    .map_err(Error::Array)?;
-                Ok(QueryResult {
-                    array: result,
-                    join_metrics: None,
-                })
-            }
-            "project" => {
-                let array = self.arg_array(args, 0)?;
-                let mut names: Vec<String> = Vec::new();
-                for a in &args[1..] {
-                    match a {
-                        AflArg::Expr(Expr::Column(c)) => names.push(c.clone()),
-                        AflArg::Afl(AflExpr::Array(c)) => names.push(c.clone()),
-                        other => {
-                            return Err(Error::Unsupported(format!(
-                                "project expects column names, got {other:?}"
-                            )))
-                        }
-                    }
-                }
-                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                Ok(QueryResult {
-                    array: ops::project(&array, &refs)?,
-                    join_metrics: None,
-                })
-            }
-            "merge" | "mergejoin" | "join" => {
-                // A distributed D:D join on the arrays' shared dimensions.
-                // Both operands must be stored arrays (the shuffle join
-                // plans against cluster-resident data).
-                let name_of = |arg: Option<&AflArg>| -> Result<String> {
-                    match arg {
-                        Some(AflArg::Afl(AflExpr::Array(n))) => Ok(n.clone()),
-                        other => Err(Error::Unsupported(format!(
-                            "merge expects stored array names, got {other:?}"
-                        ))),
-                    }
-                };
-                let left = name_of(args.first())?;
-                let right = name_of(args.get(1))?;
-                let catalog = self.cluster.catalog();
-                let ls = catalog.schema(&left).map_err(Error::Cluster)?;
-                let rs = catalog.schema(&right).map_err(Error::Cluster)?;
-                if ls.ndims() != rs.ndims() {
-                    return Err(Error::Unsupported(
-                        "merge requires equal dimensionality".into(),
-                    ));
-                }
-                let pairs: Vec<(String, String)> = ls
-                    .dims
-                    .iter()
-                    .zip(&rs.dims)
-                    .map(|(a, b)| (a.name.clone(), b.name.clone()))
-                    .collect();
-                let query = JoinQuery::new(left, right, JoinPredicate::new(pairs));
-                let (array, metrics) =
-                    execute_shuffle_join(&self.cluster, &query, &self.exec_config)?;
-                Ok(QueryResult {
-                    array,
-                    join_metrics: Some(metrics),
-                })
-            }
-            other => Err(Error::Unsupported(format!("AFL operator `{other}`"))),
-        }
-    }
-
-    fn unary_array<F>(&self, args: &[AflArg], f: F) -> Result<QueryResult>
-    where
-        F: FnOnce(Array) -> Result<Array>,
-    {
-        let array = self.arg_array(args, 0)?;
+    /// Rewrite a lowered plan and execute it through the streaming
+    /// pipeline — the single execution path behind both query surfaces.
+    fn run(&self, plan: PlanNode) -> Result<QueryResult> {
+        let plan = rewrite(plan);
+        let out = run_plan(&self.cluster, &plan, &self.exec_config)?;
         Ok(QueryResult {
-            array: f(array)?,
-            join_metrics: None,
+            array: out.array,
+            join_metrics: out.join_metrics,
+            pipeline: out.stats,
         })
-    }
-
-    fn arg_array(&self, args: &[AflArg], idx: usize) -> Result<Array> {
-        match args.get(idx) {
-            Some(AflArg::Afl(inner)) => Ok(self.eval_afl(inner)?.array),
-            Some(other) => Err(Error::Unsupported(format!(
-                "argument {idx} must be an array expression, got {other:?}"
-            ))),
-            None => Err(Error::Language(format!("missing argument {idx}"))),
-        }
-    }
-
-    fn arg_expr(&self, args: &[AflArg], idx: usize) -> Result<Expr> {
-        match args.get(idx) {
-            Some(AflArg::Expr(e)) => Ok(e.clone()),
-            Some(AflArg::Afl(AflExpr::Array(name))) => Ok(Expr::col(name.clone())),
-            Some(AflArg::Int(v)) => Ok(Expr::int(*v)),
-            Some(other) => Err(Error::Unsupported(format!(
-                "argument {idx} must be a scalar expression, got {other:?}"
-            ))),
-            None => Err(Error::Language(format!("missing argument {idx}"))),
-        }
-    }
-
-    fn arg_schema(&self, args: &[AflArg], idx: usize) -> Result<ArraySchema> {
-        match args.get(idx) {
-            Some(AflArg::Schema(s)) => Ok(s.clone()),
-            Some(AflArg::Afl(AflExpr::Array(name))) => {
-                // A named array: reuse its schema (redim(B, A) form).
-                Ok(self
-                    .cluster
-                    .catalog()
-                    .schema(name)
-                    .map_err(Error::Cluster)?
-                    .clone())
-            }
-            Some(other) => Err(Error::Unsupported(format!(
-                "argument {idx} must be a schema literal, got {other:?}"
-            ))),
-            None => Err(Error::Language(format!("missing argument {idx}"))),
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sj_array::Value;
+    use sj_array::{ArraySchema, Value};
 
     fn db() -> ArrayDb {
         let mut db = ArrayDb::new(2, NetworkModel::gigabit());
@@ -447,6 +208,18 @@ mod tests {
         let r = db.query("SELECT * FROM A WHERE v > 150").unwrap();
         assert_eq!(r.array.cell_count(), 5);
         assert!(r.join_metrics.is_none());
+    }
+
+    #[test]
+    fn aql_filter_pushdown_shrinks_gathered_bytes() {
+        // The rewriter pushes the WHERE below gather, so only surviving
+        // cells cross the coordinator boundary.
+        let db = db();
+        let all = db.query("SELECT * FROM A").unwrap();
+        let some = db.query("SELECT * FROM A WHERE v > 150").unwrap();
+        assert!(some.pipeline.gathered_bytes < all.pipeline.gathered_bytes);
+        assert_eq!(some.pipeline.gathered_cells, 5);
+        assert_eq!(all.pipeline.gathered_cells, 20);
     }
 
     #[test]
@@ -505,10 +278,7 @@ mod tests {
         assert_eq!(r.array.get(&[0]).unwrap().unwrap()[0], Value::Int(200));
         // Composition: aggregate over a window.
         let r = db.afl("aggregate(between(A, 1, 2), sum, v)").unwrap();
-        assert_eq!(
-            r.array.get(&[0]).unwrap().unwrap()[0],
-            Value::Float(30.0)
-        );
+        assert_eq!(r.array.get(&[0]).unwrap().unwrap()[0], Value::Float(30.0));
         assert!(db.afl("between(A, 1)").is_err());
         assert!(db.afl("aggregate(A, median, v)").is_err());
     }
@@ -520,6 +290,20 @@ mod tests {
         assert!(db.query("SELECT * FROM Missing").is_err());
         assert!(db.afl("unknownOp(A)").is_err());
         assert!(db.afl("filter(A)").is_err());
+    }
+
+    #[test]
+    fn language_errors_are_typed_with_spans() {
+        let db = db();
+        let input = "SELECT * FROM Missing";
+        let err = db.query(input).unwrap_err();
+        let Error::Language(lang) = &err else {
+            panic!("expected a language error, got {err:?}");
+        };
+        let span = lang.span.expect("bind errors carry spans");
+        assert_eq!(&input[span.start..span.end], "Missing");
+        // The error chain is reachable through std::error::Error.
+        assert!(err.to_string().contains("unknown array"));
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub use sj_lang as lang;
 pub use sj_workload as workload;
 
 // The most common types at the crate root for ergonomic use.
-pub use sj_array::{Array, ArraySchema, AttributeDef, CellBatch, DataType, DimensionDef, Expr, Value};
+pub use sj_array::{
+    Array, ArraySchema, AttributeDef, CellBatch, DataType, DimensionDef, Expr, Value,
+};
 pub use sj_cluster::{Cluster, NetworkModel, Placement};
 pub use sj_core::exec::{ExecConfig, JoinMetrics, JoinQuery};
 pub use sj_core::predicate::JoinPredicate;

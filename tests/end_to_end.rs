@@ -13,11 +13,7 @@ use std::time::Duration;
 /// Reference implementation: brute-force equi-join over materialized
 /// cells, returning sorted (left column values, right column values)
 /// match pairs keyed by the predicate columns.
-fn brute_force_matches(
-    left: &Array,
-    right: &Array,
-    pairs: &[(&str, &str)],
-) -> usize {
+fn brute_force_matches(left: &Array, right: &Array, pairs: &[(&str, &str)]) -> usize {
     let resolve = |schema: &ArraySchema, name: &str, coord: &[i64], values: &[Value]| -> Value {
         if let Ok(d) = schema.dim_index(name) {
             Value::Int(coord[d])
@@ -62,8 +58,7 @@ fn load_cluster(k: usize, arrays: Vec<(Array, Placement)>) -> Cluster {
 }
 
 fn deterministic_array(name: &str, n: i64, chunk: u64, modulo: i64) -> Array {
-    let schema =
-        ArraySchema::parse(&format!("{name}<v:int>[i=1,{n},{chunk}]")).unwrap();
+    let schema = ArraySchema::parse(&format!("{name}<v:int>[i=1,{n},{chunk}]")).unwrap();
     Array::from_cells(
         schema,
         (1..=n).map(|i| (vec![i], vec![Value::Int((i * 7 + 3) % modulo)])),
@@ -79,10 +74,7 @@ fn aa_join_matches_brute_force_for_every_planner_and_algo() {
     assert!(expected > 0, "fixture should produce matches");
     let cluster = load_cluster(
         3,
-        vec![
-            (a, Placement::HashSalted(1)),
-            (b, Placement::HashSalted(2)),
-        ],
+        vec![(a, Placement::HashSalted(1)), (b, Placement::HashSalted(2))],
     );
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "v")]));
     for planner in [
@@ -121,16 +113,9 @@ fn dd_join_matches_brute_force_under_different_tilings() {
     let b = deterministic_array("B", 240, 60, 1000);
     let expected = brute_force_matches(&a, &b, &[("i", "i")]);
     assert_eq!(expected, 240);
-    let cluster = load_cluster(
-        4,
-        vec![
-            (a, Placement::RoundRobin),
-            (b, Placement::Block),
-        ],
-    );
+    let cluster = load_cluster(4, vec![(a, Placement::RoundRobin), (b, Placement::Block)]);
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i")]));
-    let (out, metrics) =
-        execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let (out, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
     assert_eq!(metrics.matches, expected);
     assert_eq!(out.cell_count(), expected);
 }
@@ -139,19 +124,15 @@ fn dd_join_matches_brute_force_under_different_tilings() {
 fn ad_join_matches_brute_force() {
     let a = deterministic_array("A", 100, 20, 1_000_000); // v = 7i+3
     let b = deterministic_array("B", 80, 16, 90); // v in 0..90
-    // A.i (dim) = B.v (attr)
+                                                  // A.i (dim) = B.v (attr)
     let expected = brute_force_matches(&a, &b, &[("i", "v")]);
     assert!(expected > 0);
     let cluster = load_cluster(
         2,
-        vec![
-            (a, Placement::RoundRobin),
-            (b, Placement::RoundRobin),
-        ],
+        vec![(a, Placement::RoundRobin), (b, Placement::RoundRobin)],
     );
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "v")]));
-    let (_, metrics) =
-        execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
     assert_eq!(metrics.matches, expected);
 }
 
@@ -167,34 +148,31 @@ fn multi_pair_predicate_joins() {
     .unwrap();
     let b = Array::from_cells(
         schema_b,
-        (1..=32i64)
-            .flat_map(|i| (1..=32i64).filter(move |j| (i + j) % 2 == 0).map(move |j| (vec![i, j], vec![Value::Int(j)]))),
+        (1..=32i64).flat_map(|i| {
+            (1..=32i64)
+                .filter(move |j| (i + j) % 2 == 0)
+                .map(move |j| (vec![i, j], vec![Value::Int(j)]))
+        }),
     )
     .unwrap();
     let expected = brute_force_matches(&a, &b, &[("i", "i"), ("j", "j")]);
     assert_eq!(expected, 512);
     let cluster = load_cluster(
         4,
-        vec![
-            (a, Placement::HashSalted(3)),
-            (b, Placement::HashSalted(4)),
-        ],
+        vec![(a, Placement::HashSalted(3)), (b, Placement::HashSalted(4))],
     );
-    let query = JoinQuery::new(
-        "A",
-        "B",
-        JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-    );
-    let (_, metrics) =
-        execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
+    let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
     assert_eq!(metrics.matches, expected);
 }
 
 #[test]
 fn aql_to_execution_full_stack() {
     let mut db = ArrayDb::new(3, NetworkModel::scaled_to_engine());
-    db.load_default(deterministic_array("A", 120, 30, 25)).unwrap();
-    db.load_default(deterministic_array("B", 90, 30, 25)).unwrap();
+    db.load_default(deterministic_array("A", 120, 30, 25))
+        .unwrap();
+    db.load_default(deterministic_array("B", 90, 30, 25))
+        .unwrap();
     // Join + projection through the whole stack.
     let r = db
         .query("SELECT A.v + B.v AS vv FROM A, B WHERE A.v = B.v")
@@ -223,8 +201,7 @@ fn join_on_empty_and_disjoint_inputs() {
         vec![(a, Placement::RoundRobin), (b, Placement::RoundRobin)],
     );
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "v")]));
-    let (out, metrics) =
-        execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let (out, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
     assert_eq!(metrics.matches, 0);
     assert_eq!(out.cell_count(), 0);
 }
@@ -244,8 +221,7 @@ fn scale_out_preserves_results() {
             ],
         );
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "v")]));
-        let (_, metrics) =
-            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
         match_counts.push(metrics.matches);
     }
     assert!(match_counts.iter().all(|&m| m == expected));
@@ -257,21 +233,14 @@ fn metrics_are_internally_consistent() {
     let b = deterministic_array("B", 200, 25, 50);
     let cluster = load_cluster(
         4,
-        vec![
-            (a, Placement::HashSalted(1)),
-            (b, Placement::HashSalted(2)),
-        ],
+        vec![(a, Placement::HashSalted(1)), (b, Placement::HashSalted(2))],
     );
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i")]));
     let (_, m) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
     assert!(m.total_seconds() >= m.alignment_seconds);
     assert!(m.comparison_seconds >= 0.0);
     assert_eq!(m.per_node_comparison.len(), 4);
-    let max_node = m
-        .per_node_comparison
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let max_node = m.per_node_comparison.iter().copied().fold(0.0f64, f64::max);
     assert!(m.comparison_seconds >= max_node);
     if m.cells_moved == 0 {
         assert_eq!(m.network_bytes, 0);

@@ -63,8 +63,7 @@ fn faulty_join_is_identical_across_thread_counts() {
     let query = query();
 
     // Time the crash off a clean run so it lands mid-shuffle.
-    let (_, clean) =
-        execute_shuffle_join(&cluster, &query, &config(1, FaultPlan::none())).unwrap();
+    let (_, clean) = execute_shuffle_join(&cluster, &query, &config(1, FaultPlan::none())).unwrap();
     let faults = FaultPlan::seeded(23)
         .with_drop_rate(0.05)
         .with_corrupt_rate(0.01)

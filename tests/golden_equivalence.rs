@@ -1,0 +1,235 @@
+//! Golden-equivalence suite for the plan-IR pipeline.
+//!
+//! Every AFL operator and representative AQL queries are executed through
+//! the engine's single path (`lower → rewrite → run_plan`) and compared —
+//! cell for cell, chunk for chunk, **without** sorting before comparison —
+//! against the legacy composition the old interpreters ran: `gather`
+//! followed by the whole-array `ops::*` wrappers (or the shuffle-join
+//! executor directly). Arrays are randomized via the vendored proptest
+//! shim, and every query runs at `ExecConfig.threads` = 1, 2, and 8: the
+//! pipeline's contract is that thread count changes wall-clock time only,
+//! never a single cell.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use skewjoin::array::ops::{self, RedimPolicy};
+use skewjoin::array::BinOp;
+use skewjoin::join::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use skewjoin::join::predicate::JoinPredicate;
+use skewjoin::lang::rewrite_for_output;
+use skewjoin::{Array, ArrayDb, ArraySchema, Expr, NetworkModel, QueryResult, Value};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Random cells for a 2-attribute 2-D array, deduplicated by coordinate.
+type Cells = Vec<(i64, i64, i64, i64)>;
+
+fn dedup(cells: &Cells) -> BTreeMap<(i64, i64), (i64, i64)> {
+    cells.iter().map(|&(i, j, v, w)| ((i, j), (v, w))).collect()
+}
+
+fn build_array(name: &str, cells: &Cells) -> Array {
+    let schema = ArraySchema::parse(&format!("{name}<v:int, w:int>[i=1,12,4, j=1,12,4]")).unwrap();
+    Array::from_cells(
+        schema,
+        dedup(cells)
+            .into_iter()
+            .map(|((i, j), (v, w))| (vec![i, j], vec![Value::Int(v), Value::Int(w)])),
+    )
+    .unwrap()
+}
+
+fn db_with(cells_a: &Cells, cells_b: &Cells) -> ArrayDb {
+    let mut db = ArrayDb::new(3, NetworkModel::gigabit());
+    db.load_default(build_array("A", cells_a)).unwrap();
+    db.load_default(build_array("B", cells_b)).unwrap();
+    db
+}
+
+/// Run `query` through the pipeline at 1, 2, and 8 threads and assert
+/// every run produces exactly `expected`.
+fn assert_pipeline_matches<F>(db: &mut ArrayDb, run: F, expected: &Array)
+where
+    F: Fn(&ArrayDb) -> skewjoin::Result<QueryResult>,
+{
+    for threads in THREADS {
+        db.set_exec_config(ExecConfig {
+            threads,
+            ..ExecConfig::default()
+        });
+        let got = run(db).unwrap();
+        assert_eq!(
+            &got.array, expected,
+            "pipeline result diverged from legacy at threads={threads}"
+        );
+    }
+}
+
+fn gt(col: &str, t: i64) -> Expr {
+    Expr::binary(BinOp::Gt, Expr::col(col), Expr::int(t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// filter / sort(filter) / project / between match the legacy
+    /// gather-then-ops composition bit for bit.
+    #[test]
+    fn afl_row_ops_match_legacy(
+        cells in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..80),
+        t in 1i64..=30,
+        lo in 1i64..=12,
+        span in 0i64..=11,
+    ) {
+        let mut db = db_with(&cells, &cells);
+        let gathered = db.gather("A").unwrap();
+        let hi = (lo + span).min(12);
+
+        let expected = ops::filter(&gathered, &gt("v", t)).unwrap();
+        assert_pipeline_matches(&mut db, |db| db.afl(&format!("filter(A, v > {t})")), &expected);
+
+        let expected = ops::sort(&ops::filter(&gathered, &gt("v", t)).unwrap());
+        assert_pipeline_matches(
+            &mut db,
+            |db| db.afl(&format!("sort(filter(A, v > {t}))")),
+            &expected,
+        );
+
+        let expected = ops::project(&gathered, &["w"]).unwrap();
+        assert_pipeline_matches(&mut db, |db| db.afl("project(A, w)"), &expected);
+
+        let expected = ops::between(&gathered, &[lo, lo], &[hi, hi]).unwrap();
+        assert_pipeline_matches(
+            &mut db,
+            |db| db.afl(&format!("between(A, {lo}, {lo}, {hi}, {hi})")),
+            &expected,
+        );
+    }
+
+    /// redim and rechunk into a schema literal match the legacy wrappers.
+    #[test]
+    fn afl_reorganization_matches_legacy(
+        cells in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..80),
+    ) {
+        let mut db = db_with(&cells, &cells);
+        let gathered = db.gather("A").unwrap();
+        let target = "<i:int, j:int, w:int>[v=1,30,10]";
+        let schema = ArraySchema::parse(&format!("anonymous{target}")).unwrap();
+
+        let expected = ops::redim(&gathered, &schema, RedimPolicy::Strict).unwrap();
+        assert_pipeline_matches(&mut db, |db| db.afl(&format!("redim(A, {target})")), &expected);
+
+        let expected = ops::rechunk(&gathered, &schema, RedimPolicy::Strict).unwrap();
+        assert_pipeline_matches(
+            &mut db,
+            |db| db.afl(&format!("rechunk(A, {target})")),
+            &expected,
+        );
+    }
+
+    /// Every aggregate function reproduces the legacy single-cell result
+    /// (including float-sum evaluation order).
+    #[test]
+    fn afl_aggregates_match_legacy(
+        cells in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..80),
+    ) {
+        let mut db = db_with(&cells, &cells);
+        let gathered = db.gather("A").unwrap();
+        for func in ["count", "sum", "avg", "min", "max"] {
+            let agg = ops::AggFn::parse(func).unwrap();
+            let value = ops::aggregate(&gathered, agg, "v").unwrap();
+            let schema = ArraySchema::new(
+                "agg",
+                vec![skewjoin::DimensionDef::new("r", 0, 0, 1).unwrap()],
+                vec![skewjoin::AttributeDef::new(func, value.data_type())],
+            )
+            .unwrap();
+            let expected = Array::from_cells(schema, vec![(vec![0], vec![value])]).unwrap();
+            assert_pipeline_matches(
+                &mut db,
+                |db| db.afl(&format!("aggregate(A, {func}, v)")),
+                &expected,
+            );
+        }
+    }
+
+    /// merge(A, B) matches running the shuffle-join executor directly.
+    #[test]
+    fn afl_merge_matches_shuffle_join(
+        cells_a in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..60),
+        cells_b in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..60),
+    ) {
+        let mut db = db_with(&cells_a, &cells_b);
+        let query = JoinQuery::new(
+            "A",
+            "B",
+            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+        );
+        let (expected, _) =
+            execute_shuffle_join(db.cluster(), &query, &ExecConfig::default()).unwrap();
+        assert_pipeline_matches(&mut db, |db| db.afl("merge(A, B)"), &expected);
+    }
+
+    /// hash(A, n) — new in the pipeline — partitions every cell into an
+    /// in-range bucket, identically at every thread count.
+    #[test]
+    fn afl_hash_partitions_every_cell(
+        cells in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..80),
+        buckets in 1usize..=16,
+    ) {
+        let mut db = db_with(&cells, &cells);
+        let total = db.gather("A").unwrap().cell_count();
+        let reference = db.afl(&format!("hash(A, {buckets})")).unwrap().array;
+        prop_assert_eq!(reference.cell_count(), total);
+        for (coords, _) in reference.iter_cells() {
+            prop_assert!((0..buckets as i64).contains(&coords[0]));
+        }
+        assert_pipeline_matches(&mut db, |db| db.afl(&format!("hash(A, {buckets})")), &reference);
+    }
+
+    /// Representative AQL queries (filter + projection + INTO, and a
+    /// projected join) match the legacy gather/ops/shuffle composition.
+    #[test]
+    fn aql_queries_match_legacy(
+        cells_a in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..60),
+        cells_b in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..60),
+        t in 1i64..=30,
+    ) {
+        let mut db = db_with(&cells_a, &cells_b);
+
+        // Single-array: gather → filter → apply → rename.
+        let gathered = db.gather("A").unwrap();
+        let filtered = ops::filter(&gathered, &gt("v", t)).unwrap();
+        let mut expected =
+            ops::apply(&filtered, &[("y".to_string(), Expr::col("w"))]).unwrap();
+        expected.schema.name = "T".to_string();
+        assert_pipeline_matches(
+            &mut db,
+            |db| db.query(&format!("SELECT w AS y INTO T FROM A WHERE v > {t}")),
+            &expected,
+        );
+
+        // Join with a projection expression over the output schema.
+        let query = JoinQuery::new(
+            "A",
+            "B",
+            JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
+        );
+        let (joined, _) =
+            execute_shuffle_join(db.cluster(), &query, &ExecConfig::default()).unwrap();
+        let proj = Expr::binary(BinOp::Sub, Expr::col("A.v"), Expr::col("B.v"));
+        let expected = ops::apply(
+            &joined,
+            &[("d".to_string(), rewrite_for_output(&proj, &joined.schema))],
+        )
+        .unwrap();
+        assert_pipeline_matches(
+            &mut db,
+            |db| db.query("SELECT A.v - B.v AS d FROM A, B WHERE A.i = B.i AND A.j = B.j"),
+            &expected,
+        );
+    }
+}

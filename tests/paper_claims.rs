@@ -4,11 +4,9 @@
 //! for Array Databases* at laptop scale. Absolute numbers differ from the
 //! paper's testbed; the *direction* of every claim must hold.
 
-use skewjoin::join::exec::{
-    calibrate_cost_params, execute_shuffle_join, ExecConfig, JoinQuery,
-};
-use skewjoin::join::logical::{plan_join, LogicalStats};
+use skewjoin::join::exec::{calibrate_cost_params, execute_shuffle_join, ExecConfig, JoinQuery};
 use skewjoin::join::join_schema::infer_join_schema;
+use skewjoin::join::logical::{plan_join, LogicalStats};
 use skewjoin::join::predicate::JoinPredicate;
 use skewjoin::workload::{
     ais_broadcasts, modis_band, selectivity_pair, skewed_pair, AisConfig, GeoConfig,
@@ -33,7 +31,11 @@ fn logical_planner_never_picks_nested_loop() {
         let js = infer_join_schema(&a.schema, &b.schema, &p, Some(out), &stats).unwrap();
         let lstats = LogicalStats::for_arrays(&a, &b, sel, 1);
         let plan = plan_join(&js, &a.schema, &b.schema, &lstats).unwrap();
-        assert_ne!(plan.algo, JoinAlgo::NestedLoop, "sel {sel} picked nested loop");
+        assert_ne!(
+            plan.algo,
+            JoinAlgo::NestedLoop,
+            "sel {sel} picked nested loop"
+        );
     }
 }
 
@@ -132,15 +134,15 @@ fn adversarial_skew_planners_comparable() {
     let query = JoinQuery::new(
         "Band1",
         "Band2",
-        JoinPredicate::new(vec![
-            ("time", "time"),
-            ("lon", "lon"),
-            ("lat", "lat"),
-        ]),
+        JoinPredicate::new(vec![("time", "time"), ("lon", "lon"), ("lat", "lat")]),
     );
     let shared_params = params();
     let mut est_costs = Vec::new();
-    for planner in [PlannerKind::Baseline, PlannerKind::MinBandwidth, PlannerKind::Tabu] {
+    for planner in [
+        PlannerKind::Baseline,
+        PlannerKind::MinBandwidth,
+        PlannerKind::Tabu,
+    ] {
         let config = ExecConfig {
             planner,
             forced_algo: Some(JoinAlgo::Merge),
@@ -176,14 +178,14 @@ fn uniform_data_planners_agree() {
     let mut cluster = Cluster::new(4, NetworkModel::scaled_to_engine());
     cluster.load_array(a, &Placement::HashSalted(1)).unwrap();
     cluster.load_array(b, &Placement::HashSalted(2)).unwrap();
-    let query = JoinQuery::new(
-        "A",
-        "B",
-        JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-    );
+    let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
     let shared_params = params();
     let mut costs = Vec::new();
-    for planner in [PlannerKind::Baseline, PlannerKind::MinBandwidth, PlannerKind::Tabu] {
+    for planner in [
+        PlannerKind::Baseline,
+        PlannerKind::MinBandwidth,
+        PlannerKind::Tabu,
+    ] {
         let config = ExecConfig {
             planner,
             forced_algo: Some(JoinAlgo::Merge),
@@ -195,7 +197,10 @@ fn uniform_data_planners_agree() {
     }
     let max = costs.iter().copied().fold(0.0f64, f64::max);
     let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
-    assert!(max / min.max(1e-12) < 1.8, "uniform costs diverge: {costs:?}");
+    assert!(
+        max / min.max(1e-12) < 1.8,
+        "uniform costs diverge: {costs:?}"
+    );
 }
 
 /// §5.2: the ILP with a generous budget never produces a plan with a
@@ -217,11 +222,7 @@ fn ilp_never_worse_than_heuristics() {
     let mut cluster = Cluster::new(3, NetworkModel::scaled_to_engine());
     cluster.load_array(a, &Placement::HashSalted(1)).unwrap();
     cluster.load_array(b, &Placement::HashSalted(2)).unwrap();
-    let query = JoinQuery::new(
-        "A",
-        "B",
-        JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
-    );
+    let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
     // Calibrate once: per-run calibration would cost each planner's plan
     // under different (timing-noisy) parameters, making them incomparable.
     let shared_params = params();

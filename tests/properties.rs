@@ -5,13 +5,13 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 
+use skewjoin::array::ops::{redim, RedimPolicy};
+use skewjoin::array::Histogram;
+use skewjoin::cluster::{simulate_shuffle, NetworkModel, Transfer};
 use skewjoin::join::algorithms::{run_join, Emitter, JoinAlgo};
 use skewjoin::join::join_schema::{infer_join_schema, ColumnStats};
 use skewjoin::join::physical::{plan_cost, plan_physical, CostParams, PlannerKind, SliceStats};
 use skewjoin::join::predicate::{JoinPredicate, JoinSide};
-use skewjoin::array::ops::{redim, RedimPolicy};
-use skewjoin::array::Histogram;
-use skewjoin::cluster::{simulate_shuffle, NetworkModel, Transfer};
 use skewjoin::{Array, ArraySchema, CellBatch, DataType, Value};
 
 // ---------------------------------------------------------------------
