@@ -84,8 +84,13 @@ impl Array {
             }
             ids.push((id, row as u32));
         }
-        ids.sort_unstable();
+        // Stable radix sort by chunk id: rows were appended in ascending
+        // order, so equal-id runs stay in row order — identical grouping
+        // to a comparison sort of (id, row) pairs.
+        let mut pair_tmp: Vec<(u64, u32)> = Vec::new();
+        crate::keys::sort_u64_pairs(&mut ids, &mut pair_tmp);
         let mut array = Array::new(schema);
+        let mut indices: Vec<usize> = Vec::new();
         let mut start = 0usize;
         while start < n {
             let id = ids[start].0;
@@ -93,7 +98,8 @@ impl Array {
             while end < n && ids[end].0 == id {
                 end += 1;
             }
-            let indices: Vec<usize> = ids[start..end].iter().map(|&(_, r)| r as usize).collect();
+            indices.clear();
+            indices.extend(ids[start..end].iter().map(|&(_, r)| r as usize));
             let cells = batch.take(&indices);
             let pos = array.schema.chunk_pos_from_id(id);
             let sorted = cells.is_sorted_c_order();

@@ -10,7 +10,40 @@
 use std::cmp::Ordering;
 
 use crate::error::{ArrayError, Result};
+use crate::keys;
 use crate::value::{DataType, Value};
+
+/// Reusable buffers for columnar gathers: applying a sort permutation
+/// moves each column through the matching buffer here (one pass, no
+/// fresh allocation once the buffers are warm). Shared with the radix
+/// sort kernels via [`keys::SortScratch`].
+#[derive(Debug, Default)]
+pub struct GatherScratch {
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    bools: Vec<bool>,
+    strs: Vec<String>,
+}
+
+/// Row indices accepted by the permutation kernels (`u32` from the radix
+/// sorts, `usize` from comparator sorts).
+trait PermIndex: Copy {
+    fn ix(self) -> usize;
+}
+
+impl PermIndex for u32 {
+    #[inline]
+    fn ix(self) -> usize {
+        self as usize
+    }
+}
+
+impl PermIndex for usize {
+    #[inline]
+    fn ix(self) -> usize {
+        self
+    }
+}
 
 /// A typed column of attribute values.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +140,68 @@ impl Column {
             Column::Bool(v) => v[a].cmp(&v[b]),
             Column::Str(v) => v[a].cmp(&v[b]),
         }
+    }
+
+    /// The value at `i` as a dimension coordinate — the columnar
+    /// counterpart of [`Value::to_coord`] (integers pass through,
+    /// exactly-integral floats convert, everything else errors).
+    pub fn coord_at(&self, i: usize) -> Result<i64> {
+        match self {
+            Column::Int(v) => Ok(v[i]),
+            Column::Float(v) if v[i].fract() == 0.0 && v[i].is_finite() => Ok(v[i] as i64),
+            other => Err(ArrayError::TypeMismatch {
+                expected: "integer coordinate".into(),
+                actual: format!("{}", other.get(i)),
+            }),
+        }
+    }
+
+    /// Reorder in place so position `i` holds the old `perm[i]` value,
+    /// gathering through `scratch`. `perm` must use each index exactly
+    /// once (strings are moved, not cloned).
+    fn permute_impl<I: PermIndex>(&mut self, perm: &[I], scratch: &mut GatherScratch) {
+        match self {
+            Column::Int(v) => {
+                scratch.ints.clear();
+                scratch.ints.extend(perm.iter().map(|&i| v[i.ix()]));
+                std::mem::swap(v, &mut scratch.ints);
+            }
+            Column::Float(v) => {
+                scratch.floats.clear();
+                scratch.floats.extend(perm.iter().map(|&i| v[i.ix()]));
+                std::mem::swap(v, &mut scratch.floats);
+            }
+            Column::Bool(v) => {
+                scratch.bools.clear();
+                scratch.bools.extend(perm.iter().map(|&i| v[i.ix()]));
+                std::mem::swap(v, &mut scratch.bools);
+            }
+            Column::Str(v) => {
+                scratch.strs.clear();
+                scratch
+                    .strs
+                    .extend(perm.iter().map(|&i| std::mem::take(&mut v[i.ix()])));
+                std::mem::swap(v, &mut scratch.strs);
+            }
+        }
+    }
+
+    /// Append `src[i]` for every index in `indices` (bulk columnar
+    /// gather; types must match exactly).
+    pub fn gather_from(&mut self, src: &Column, indices: &[usize]) -> Result<()> {
+        match (self, src) {
+            (Column::Int(a), Column::Int(b)) => a.extend(indices.iter().map(|&i| b[i])),
+            (Column::Float(a), Column::Float(b)) => a.extend(indices.iter().map(|&i| b[i])),
+            (Column::Bool(a), Column::Bool(b)) => a.extend(indices.iter().map(|&i| b[i])),
+            (Column::Str(a), Column::Str(b)) => a.extend(indices.iter().map(|&i| b[i].clone())),
+            (a, b) => {
+                return Err(ArrayError::TypeMismatch {
+                    expected: a.dtype().name().into(),
+                    actual: b.dtype().name().into(),
+                })
+            }
+        }
+        Ok(())
     }
 
     /// Remove all values, keeping the allocated capacity (buffer reuse on
@@ -374,8 +469,23 @@ impl CellBatch {
     ///
     /// Implements the sort invoked by `redim`/`sort` operators
     /// (paper Table 1); stable so attribute order among coordinate ties
-    /// is deterministic.
+    /// is deterministic. Runs as an LSB radix sort over order-preserving
+    /// normalized keys ([`keys`]) when the coordinate key fits the width
+    /// budget, falling back to the comparator sort (bit-identical
+    /// results — both are stable) otherwise.
     pub fn sort_c_order(&mut self) {
+        if self.is_sorted_c_order() {
+            return;
+        }
+        if !keys::radix_sort_c_order(self) {
+            self.sort_c_order_comparator();
+        }
+    }
+
+    /// Comparator-based C-order sort — the radix path's fallback, kept
+    /// independently callable for before/after benchmarking.
+    #[doc(hidden)]
+    pub fn sort_c_order_comparator(&mut self) {
         if self.is_sorted_c_order() {
             return;
         }
@@ -385,27 +495,76 @@ impl CellBatch {
     }
 
     /// Reorder the batch so row `i` of the result is old row `perm[i]`.
+    ///
+    /// `perm` must be a permutation (each row index exactly once):
+    /// strings move rather than clone. One columnar gather pass per
+    /// column through the thread-local scratch buffers.
     pub fn apply_permutation(&mut self, perm: &[usize]) {
+        keys::with_scratch(|s| self.permute_impl(perm, &mut s.gather));
+    }
+
+    /// [`CellBatch::apply_permutation`] for the radix kernels' `u32`
+    /// permutations, gathering through a caller-owned scratch.
+    pub(crate) fn permute_u32(&mut self, perm: &[u32], scratch: &mut GatherScratch) {
+        self.permute_impl(perm, scratch);
+    }
+
+    fn permute_impl<I: PermIndex>(&mut self, perm: &[I], scratch: &mut GatherScratch) {
         debug_assert_eq!(perm.len(), self.len());
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; self.len()];
+            for i in perm {
+                assert!(
+                    !std::mem::replace(&mut seen[i.ix()], true),
+                    "apply_permutation requires each row index exactly once"
+                );
+            }
+        }
         for col in &mut self.coords {
-            let new: Vec<i64> = perm.iter().map(|&i| col[i]).collect();
-            *col = new;
+            scratch.ints.clear();
+            scratch.ints.extend(perm.iter().map(|&i| col[i.ix()]));
+            std::mem::swap(col, &mut scratch.ints);
         }
         for col in &mut self.attrs {
-            *col = col.take(perm);
+            col.permute_impl(perm, scratch);
         }
     }
 
     /// A new batch containing only the rows at `indices` (in that order).
     pub fn take(&self, indices: &[usize]) -> CellBatch {
-        CellBatch {
-            coords: self
-                .coords
+        let mut out = CellBatch {
+            coords: vec![Vec::with_capacity(indices.len()); self.ndims()],
+            attrs: self
+                .attrs
                 .iter()
-                .map(|c| indices.iter().map(|&i| c[i]).collect())
+                .map(|c| Column::with_capacity(c.dtype(), indices.len()))
                 .collect(),
-            attrs: self.attrs.iter().map(|c| c.take(indices)).collect(),
+        };
+        self.take_into(indices, &mut out)
+            .expect("freshly shaped batch matches its source layout");
+        out
+    }
+
+    /// Append the rows at `indices` onto `out` (columnar gather into a
+    /// reusable batch; layouts must match).
+    pub fn take_into(&self, indices: &[usize], out: &mut CellBatch) -> Result<()> {
+        if out.ndims() != self.ndims() || out.nattrs() != self.nattrs() {
+            return Err(ArrayError::SchemaMismatch(format!(
+                "cannot gather rows of a {} dim / {} attr batch into one with {} dims / {} attrs",
+                self.ndims(),
+                self.nattrs(),
+                out.ndims(),
+                out.nattrs()
+            )));
         }
+        for (dst, src) in out.coords.iter_mut().zip(&self.coords) {
+            dst.extend(indices.iter().map(|&i| src[i]));
+        }
+        for (dst, src) in out.attrs.iter_mut().zip(&self.attrs) {
+            dst.gather_from(src, indices)?;
+        }
+        Ok(())
     }
 
     /// Compare rows `a` and `b` lexicographically by the given attribute
@@ -426,7 +585,23 @@ impl CellBatch {
     }
 
     /// Stable-sort rows by the given attribute columns.
+    ///
+    /// Radix sort over normalized keys when every key column normalizes
+    /// ([`keys::key_width`]); comparator fallback (bit-identical, both
+    /// stable) for string keys or keys beyond the width budget.
     pub fn sort_by_attr_columns(&mut self, cols: &[usize]) {
+        if self.is_sorted_by_attr_columns(cols) {
+            return;
+        }
+        if !keys::radix_sort_by_attr_columns(self, cols) {
+            self.sort_by_attr_columns_comparator(cols);
+        }
+    }
+
+    /// Comparator-based key sort — the radix path's fallback, kept
+    /// independently callable for before/after benchmarking.
+    #[doc(hidden)]
+    pub fn sort_by_attr_columns_comparator(&mut self, cols: &[usize]) {
         if self.is_sorted_by_attr_columns(cols) {
             return;
         }

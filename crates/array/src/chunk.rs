@@ -59,6 +59,10 @@ impl Chunk {
     }
 
     /// Sort the chunk's cells into C-order if they are not already.
+    ///
+    /// Delegates to [`CellBatch::sort_c_order`], i.e. the stable radix
+    /// sort over normalized coordinate keys ([`crate::keys`]) with a
+    /// comparator fallback for > 4 dimensions.
     pub fn sort(&mut self) {
         if !self.sorted {
             self.cells.sort_c_order();

@@ -1,0 +1,853 @@
+//! Order-preserving key normalization and the columnar kernels built on
+//! it: LSB radix sort and row hashing.
+//!
+//! Every hot primitive of the join framework — C-order sorts inside
+//! chunks (`sort`/`redim`, paper Table 1), key-order sorts of
+//! dimension-less join units, chunk-id regrouping, and hash routing of
+//! cells to buckets — bottoms out in either *ordering* rows by a small
+//! tuple of fixed-width columns or *hashing* that tuple. This module
+//! packs such a tuple into one order-preserving normalized key so those
+//! primitives become byte-wise kernels instead of per-row virtual
+//! comparisons:
+//!
+//! * `i64` maps to `u64` by flipping the sign bit ([`encode_i64`]), so
+//!   unsigned byte order equals signed integer order.
+//! * `f64` maps to `u64` with the IEEE total-order trick
+//!   ([`encode_f64`]): negative values have all bits inverted, positive
+//!   values only the sign bit. Unsigned order then equals
+//!   `f64::total_cmp` — exactly the comparator [`Column::cmp_at`] uses,
+//!   NaNs and signed zeros included.
+//! * `bool` maps to one byte, `false < true`.
+//!
+//! Multi-column keys concatenate the per-column encodings big-endian
+//! (most significant column first), so lexicographic column order equals
+//! unsigned key order. Before packing, the sort kernels *range-compress*
+//! each column: one sequential scan finds the column's encoded min/max,
+//! the minimum is subtracted (order-preserving on `u64`), and only the
+//! surviving `ceil(log2(max - min + 1))` bits are kept — constant
+//! columns vanish outright. Real coordinate and key domains are narrow,
+//! so most multi-column keys collapse into a single `u64` and the radix
+//! sort touches only the digits that carry entropy. Compressed keys of
+//! ≤ 64 bits pack into one `u64`; wider keys (up to [`MAX_KEY_BYTES`]
+//! after compression) use a row-major byte matrix. String columns — and
+//! keys beyond the compressed-width budget — do not normalize: callers
+//! fall back to the comparator path, which stays bit-compatible (the
+//! radix sort is stable, as is the fallback). The compressed encodings
+//! are per-batch (the bias depends on the data), so they are only used
+//! to order rows *within* one batch; cross-batch keys
+//! ([`encode_rows_u64`]) stay uncompressed.
+//!
+//! The radix sorts produce a permutation of row indices; the batch is
+//! then reordered by one columnar gather pass per column through
+//! reusable [`GatherScratch`] buffers (see
+//! [`CellBatch::apply_permutation`]). All large intermediates live in a
+//! thread-local [`SortScratch`], so steady-state sorting performs no
+//! heap allocation.
+
+use std::cell::RefCell;
+
+use crate::batch::{CellBatch, Column};
+use crate::value::DataType;
+
+/// Maximum *range-compressed* key width in bytes (and maximum key column
+/// count); wider keys fall back to the comparator sort. 32 bytes covers
+/// four full-range `i64` dimensions, or many more narrow-domain ones.
+pub const MAX_KEY_BYTES: usize = 32;
+
+/// Map an `i64` to a `u64` whose unsigned order equals the signed order.
+#[inline]
+pub fn encode_i64(x: i64) -> u64 {
+    (x as u64) ^ (1u64 << 63)
+}
+
+/// Map an `f64` to a `u64` whose unsigned order equals
+/// [`f64::total_cmp`] order (IEEE 754 totalOrder).
+#[inline]
+pub fn encode_f64(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1u64 << 63)
+    }
+}
+
+/// Map a `bool` to a byte preserving `false < true`.
+#[inline]
+pub fn encode_bool(x: bool) -> u64 {
+    x as u64
+}
+
+/// Normalized width in bytes of one key column of the given type, or
+/// `None` if the type does not normalize (strings are unbounded).
+pub fn key_width(dtype: DataType) -> Option<usize> {
+    match dtype {
+        DataType::Int64 | DataType::Float64 => Some(8),
+        DataType::Bool => Some(1),
+        DataType::Str => None,
+    }
+}
+
+/// A borrowed view of one encodable key column.
+enum KeyCol<'a> {
+    Int(&'a [i64]),
+    Float(&'a [f64]),
+    Bool(&'a [bool]),
+}
+
+impl KeyCol<'_> {
+    fn width(&self) -> usize {
+        match self {
+            KeyCol::Int(_) | KeyCol::Float(_) => 8,
+            KeyCol::Bool(_) => 1,
+        }
+    }
+}
+
+/// Reusable buffers for the radix-sort kernels. One instance lives in a
+/// thread-local ([`with_scratch`]); steady-state sorts allocate nothing.
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    /// Packed keys for the single-`u64` path.
+    keys64: Vec<u64>,
+    /// Row-major key bytes for the wide path.
+    key_bytes: Vec<u8>,
+    /// The permutation under construction.
+    perm: Vec<u32>,
+    /// Scatter target, swapped with `perm` each digit pass.
+    tmp: Vec<u32>,
+    /// Per-digit histograms (`digits × 256`).
+    counts: Vec<u32>,
+    /// Column-gather buffers for applying the permutation.
+    pub gather: crate::batch::GatherScratch,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SortScratch> = RefCell::new(SortScratch::default());
+}
+
+/// Run `f` with the thread-local [`SortScratch`]. Falls back to a fresh
+/// scratch if the thread-local is already borrowed (re-entrant use).
+pub fn with_scratch<R>(f: impl FnOnce(&mut SortScratch) -> R) -> R {
+    SCRATCH.with(|c| match c.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut SortScratch::default()),
+    })
+}
+
+/// Collect the coordinate columns of `batch` as key columns.
+fn coord_key_cols(batch: &CellBatch) -> Option<Vec<KeyCol<'_>>> {
+    if batch.ndims() == 0 || batch.ndims() > MAX_KEY_BYTES {
+        return None;
+    }
+    Some(batch.coords.iter().map(|c| KeyCol::Int(c)).collect())
+}
+
+/// Collect the given attribute columns of `batch` as key columns, if
+/// every column normalizes. Also returns the total *uncompressed* width
+/// (what [`encode_rows_u64`] budgets against).
+fn attr_key_cols<'a>(batch: &'a CellBatch, cols: &[usize]) -> Option<(Vec<KeyCol<'a>>, usize)> {
+    if cols.is_empty() || cols.len() > MAX_KEY_BYTES {
+        return None;
+    }
+    let mut out = Vec::with_capacity(cols.len());
+    let mut width = 0usize;
+    for &c in cols {
+        match &batch.attrs[c] {
+            Column::Int(v) => out.push(KeyCol::Int(v)),
+            Column::Float(v) => out.push(KeyCol::Float(v)),
+            Column::Bool(v) => out.push(KeyCol::Bool(v)),
+            Column::Str(_) => return None,
+        }
+        width += out.last().unwrap().width();
+    }
+    Some((out, width))
+}
+
+/// One column's compression parameters: the minimum encoded value (the
+/// bias to subtract) and the bit width of `max - min`. A constant (or
+/// empty) column compresses to zero bits and drops out of the key.
+fn col_range(col: &KeyCol<'_>) -> (u64, u32) {
+    macro_rules! scan {
+        ($v:expr, $enc:expr) => {{
+            let mut min = u64::MAX;
+            let mut max = 0u64;
+            for &x in $v.iter() {
+                let e = $enc(x);
+                min = min.min(e);
+                max = max.max(e);
+            }
+            if min > max {
+                (0, 0)
+            } else {
+                (min, 64 - (max - min).leading_zeros())
+            }
+        }};
+    }
+    match col {
+        KeyCol::Int(v) => scan!(v, encode_i64),
+        KeyCol::Float(v) => scan!(v, encode_f64),
+        KeyCol::Bool(v) => scan!(v, encode_bool),
+    }
+}
+
+/// Pack every row's range-compressed key columns into a single `u64`
+/// (total compressed width ≤ 64 bits).
+fn encode_u64_biased(cols: &[KeyCol<'_>], ranges: &[(u64, u32)], n: usize, keys: &mut Vec<u64>) {
+    keys.clear();
+    keys.resize(n, 0);
+    for (col, &(min, bits)) in cols.iter().zip(ranges) {
+        if bits == 0 {
+            continue;
+        }
+        // Earlier columns are more significant: shift what is already
+        // packed left by the new column's compressed width, then OR the
+        // biased value in. A 64-bit column is necessarily the only
+        // significant one, so it overwrites instead of shifting.
+        macro_rules! fill {
+            ($v:expr, $enc:expr) => {
+                if bits >= 64 {
+                    for (k, &x) in keys.iter_mut().zip($v.iter()) {
+                        *k = $enc(x) - min;
+                    }
+                } else {
+                    for (k, &x) in keys.iter_mut().zip($v.iter()) {
+                        *k = (*k << bits) | ($enc(x) - min);
+                    }
+                }
+            };
+        }
+        match col {
+            KeyCol::Int(v) => fill!(v, encode_i64),
+            KeyCol::Float(v) => fill!(v, encode_f64),
+            KeyCol::Bool(v) => fill!(v, encode_bool),
+        }
+    }
+}
+
+/// Pack every row's range-compressed key columns into `width` big-endian
+/// bytes, row-major; each column occupies its byte-rounded compressed
+/// width.
+fn encode_bytes_biased(
+    cols: &[KeyCol<'_>],
+    ranges: &[(u64, u32)],
+    width: usize,
+    n: usize,
+    bytes: &mut Vec<u8>,
+) {
+    bytes.clear();
+    bytes.resize(n * width, 0);
+    let mut off = 0usize;
+    for (col, &(min, bits)) in cols.iter().zip(ranges) {
+        if bits == 0 {
+            continue;
+        }
+        let nb = bits.div_ceil(8) as usize;
+        macro_rules! fill {
+            ($v:expr, $enc:expr) => {
+                for (row, &x) in $v.iter().enumerate() {
+                    let be = ($enc(x) - min).to_be_bytes();
+                    let at = row * width + off;
+                    bytes[at..at + nb].copy_from_slice(&be[8 - nb..]);
+                }
+            };
+        }
+        match col {
+            KeyCol::Int(v) => fill!(v, encode_i64),
+            KeyCol::Float(v) => fill!(v, encode_f64),
+            KeyCol::Bool(v) => fill!(v, encode_bool),
+        }
+        off += nb;
+    }
+}
+
+/// Stable LSB radix sort of `perm` by `keys[perm[i]]`, 8-bit digits.
+///
+/// Histograms for all eight digit positions are gathered in one pass;
+/// digit positions where every key agrees (one bucket holds all `n`
+/// rows) are skipped entirely — the common case for keys spanning a
+/// small domain.
+fn radix_sort_u64(keys: &[u64], perm: &mut Vec<u32>, tmp: &mut Vec<u32>, counts: &mut Vec<u32>) {
+    let n = keys.len();
+    counts.clear();
+    counts.resize(8 * 256, 0);
+    for &k in keys {
+        for d in 0..8 {
+            counts[(d << 8) + ((k >> (8 * d)) & 0xff) as usize] += 1;
+        }
+    }
+    tmp.clear();
+    tmp.resize(n, 0);
+    for d in 0..8 {
+        let hist = &counts[(d << 8)..(d << 8) + 256];
+        if hist.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        let mut offs = [0u32; 256];
+        let mut sum = 0u32;
+        for (o, &c) in offs.iter_mut().zip(hist) {
+            *o = sum;
+            sum += c;
+        }
+        for &i in perm.iter() {
+            let b = ((keys[i as usize] >> (8 * d)) & 0xff) as usize;
+            tmp[offs[b] as usize] = i;
+            offs[b] += 1;
+        }
+        std::mem::swap(perm, tmp);
+    }
+}
+
+/// Stable LSB radix sort of `perm` over row-major big-endian key bytes:
+/// passes run from the last (least significant) byte to the first.
+fn radix_sort_bytes(
+    bytes: &[u8],
+    width: usize,
+    perm: &mut Vec<u32>,
+    tmp: &mut Vec<u32>,
+    counts: &mut Vec<u32>,
+) {
+    let n = bytes.len().checked_div(width).unwrap_or(0);
+    counts.clear();
+    counts.resize(width * 256, 0);
+    for row in 0..n {
+        let base = row * width;
+        for p in 0..width {
+            counts[(p << 8) + bytes[base + p] as usize] += 1;
+        }
+    }
+    tmp.clear();
+    tmp.resize(n, 0);
+    for p in (0..width).rev() {
+        let hist = &counts[(p << 8)..(p << 8) + 256];
+        if hist.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        let mut offs = [0u32; 256];
+        let mut sum = 0u32;
+        for (o, &c) in offs.iter_mut().zip(hist) {
+            *o = sum;
+            sum += c;
+        }
+        for &i in perm.iter() {
+            let b = bytes[i as usize * width + p] as usize;
+            tmp[offs[b] as usize] = i;
+            offs[b] += 1;
+        }
+        std::mem::swap(perm, tmp);
+    }
+}
+
+/// How [`build_permutation`] resolved a sort request.
+enum RadixPlan {
+    /// Every key is equal: a stable sort is the identity, nothing to do.
+    Identity,
+    /// `s.perm` holds the stable sort permutation.
+    Permuted,
+}
+
+/// Range-compress the key columns, encode them, and (unless the key is
+/// constant) fill `s.perm` with the stable sort permutation. `None` when
+/// the compressed key exceeds the width budget.
+fn build_permutation(cols: &[KeyCol<'_>], n: usize, s: &mut SortScratch) -> Option<RadixPlan> {
+    debug_assert!(cols.len() <= MAX_KEY_BYTES);
+    let mut ranges = [(0u64, 0u32); MAX_KEY_BYTES];
+    let ranges = &mut ranges[..cols.len()];
+    let mut total_bits = 0u32;
+    let mut total_bytes = 0usize;
+    for (r, col) in ranges.iter_mut().zip(cols) {
+        *r = col_range(col);
+        total_bits += r.1;
+        total_bytes += r.1.div_ceil(8) as usize;
+    }
+    if total_bits == 0 {
+        return Some(RadixPlan::Identity);
+    }
+    s.perm.clear();
+    s.perm.extend(0..n as u32);
+    if total_bits <= 64 {
+        encode_u64_biased(cols, ranges, n, &mut s.keys64);
+        radix_sort_u64(&s.keys64, &mut s.perm, &mut s.tmp, &mut s.counts);
+    } else if total_bytes <= MAX_KEY_BYTES {
+        encode_bytes_biased(cols, ranges, total_bytes, n, &mut s.key_bytes);
+        radix_sort_bytes(
+            &s.key_bytes,
+            total_bytes,
+            &mut s.perm,
+            &mut s.tmp,
+            &mut s.counts,
+        );
+    } else {
+        return None;
+    }
+    Some(RadixPlan::Permuted)
+}
+
+/// Radix-sort `batch` into C-style coordinate order. Returns `false`
+/// without touching the batch when the coordinate key does not fit the
+/// width budget even after range compression (the caller falls back to
+/// the comparator sort).
+///
+/// Stable, and therefore bit-identical to the comparator path.
+pub fn radix_sort_c_order(batch: &mut CellBatch) -> bool {
+    with_scratch(|s| {
+        let n = batch.len();
+        let plan = {
+            let Some(cols) = coord_key_cols(batch) else {
+                return false;
+            };
+            match build_permutation(&cols, n, s) {
+                Some(plan) => plan,
+                None => return false,
+            }
+        };
+        if let RadixPlan::Permuted = plan {
+            let SortScratch { perm, gather, .. } = s;
+            batch.permute_u32(perm, gather);
+        }
+        true
+    })
+}
+
+/// Radix-sort `batch` rows by the given attribute columns. Returns
+/// `false` without touching the batch when the key does not normalize
+/// (string column, or compressed width budget exceeded).
+pub fn radix_sort_by_attr_columns(batch: &mut CellBatch, cols: &[usize]) -> bool {
+    with_scratch(|s| {
+        let n = batch.len();
+        let plan = {
+            let Some((kc, _)) = attr_key_cols(batch, cols) else {
+                return false;
+            };
+            match build_permutation(&kc, n, s) {
+                Some(plan) => plan,
+                None => return false,
+            }
+        };
+        if let RadixPlan::Permuted = plan {
+            let SortScratch { perm, gather, .. } = s;
+            batch.permute_u32(perm, gather);
+        }
+        true
+    })
+}
+
+/// Encode the given attribute key columns of every row into one
+/// order-preserving `u64` each, when the combined width fits 8 bytes.
+///
+/// Used by the merge join: equal-key runs and cross-side comparisons
+/// become `u64` equality. `None` when any column is a string or the key
+/// is wider than 8 bytes. Unlike the sort kernels, this encoding is
+/// *not* range-compressed: two batches encoded independently must yield
+/// directly comparable keys.
+pub fn encode_rows_u64(batch: &CellBatch, cols: &[usize]) -> Option<Vec<u64>> {
+    let (kc, width) = attr_key_cols(batch, cols)?;
+    if width > 8 {
+        return None;
+    }
+    let mut keys = vec![0u64; batch.len()];
+    for (ci, col) in kc.iter().enumerate() {
+        // Earlier columns are more significant: shift what is already
+        // packed left by the new column's width, then OR it in. The
+        // first column assigns (its own width may be the full 64 bits).
+        let shift = (8 * col.width()) as u32;
+        macro_rules! fill {
+            ($v:expr, $enc:expr) => {
+                if ci == 0 {
+                    for (k, &x) in keys.iter_mut().zip($v.iter()) {
+                        *k = $enc(x);
+                    }
+                } else {
+                    for (k, &x) in keys.iter_mut().zip($v.iter()) {
+                        *k = (*k << shift) | $enc(x);
+                    }
+                }
+            };
+        }
+        match col {
+            KeyCol::Int(v) => fill!(v, encode_i64),
+            KeyCol::Float(v) => fill!(v, encode_f64),
+            KeyCol::Bool(v) => fill!(v, encode_bool),
+        }
+    }
+    Some(keys)
+}
+
+/// Stable radix sort of `(key, payload)` pairs by key — the chunk-id
+/// regrouping kernel of [`crate::array::Array::from_batch`]. `tmp` is a
+/// caller-owned scatter buffer (reused across calls).
+pub fn sort_u64_pairs(pairs: &mut Vec<(u64, u32)>, tmp: &mut Vec<(u64, u32)>) {
+    let n = pairs.len();
+    if n <= 1 {
+        return;
+    }
+    let mut counts = vec![0u32; 8 * 256];
+    for &(k, _) in pairs.iter() {
+        for d in 0..8 {
+            counts[(d << 8) + ((k >> (8 * d)) & 0xff) as usize] += 1;
+        }
+    }
+    tmp.clear();
+    tmp.resize(n, (0, 0));
+    for d in 0..8 {
+        let hist = &counts[(d << 8)..(d << 8) + 256];
+        if hist.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        let mut offs = [0u32; 256];
+        let mut sum = 0u32;
+        for (o, &c) in offs.iter_mut().zip(hist) {
+            *o = sum;
+            sum += c;
+        }
+        for &(k, p) in pairs.iter() {
+            let b = ((k >> (8 * d)) & 0xff) as usize;
+            tmp[offs[b] as usize] = (k, p);
+            offs[b] += 1;
+        }
+        std::mem::swap(pairs, tmp);
+    }
+}
+
+/// FNV-1a over a raw byte stream — the core of
+/// [`crate::ops::hash_key`], exposed so columnar callers can hash rows
+/// without materializing [`crate::value::Value`]s.
+pub(crate) struct Fnv(pub(crate) u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    #[inline]
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Final avalanche so low bits are well-mixed for `% nbuckets`.
+#[inline]
+pub(crate) fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    x
+}
+
+/// Hash the key columns of one row, reading columns directly.
+///
+/// Produces bit-identical output to [`crate::ops::hash_key`] over the
+/// row's materialized [`crate::value::Value`]s — integral floats within
+/// `i64` range hash like the corresponding integer, exactly as
+/// `Value::hash` normalizes them — so bucket routing is unchanged while
+/// skipping the per-row key allocation.
+pub fn hash_row(batch: &CellBatch, cols: &[usize], row: usize) -> u64 {
+    let mut h = Fnv::new();
+    for &c in cols {
+        match &batch.attrs[c] {
+            Column::Int(v) => {
+                h.write(&[0]);
+                h.write(&v[row].to_ne_bytes());
+            }
+            Column::Float(v) => {
+                let f = v[row];
+                if f.fract() == 0.0 && f.is_finite() && f >= i64::MIN as f64 && f <= i64::MAX as f64
+                {
+                    h.write(&[0]);
+                    h.write(&(f as i64).to_ne_bytes());
+                } else {
+                    h.write(&[1]);
+                    h.write(&f.to_bits().to_ne_bytes());
+                }
+            }
+            Column::Bool(v) => {
+                h.write(&[2]);
+                h.write(&[v[row] as u8]);
+            }
+            Column::Str(v) => {
+                h.write(&[3]);
+                h.write(v[row].as_bytes());
+                h.write(&[0xff]);
+            }
+        }
+    }
+    avalanche(h.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::hash_key;
+    use crate::value::Value;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn i64_encoding_preserves_order() {
+        let xs = [
+            i64::MIN,
+            i64::MIN + 1,
+            -9_000_000_000,
+            -1,
+            0,
+            1,
+            42,
+            i64::MAX - 1,
+            i64::MAX,
+        ];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(encode_i64(a).cmp(&encode_i64(b)), a.cmp(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_encoding_matches_total_cmp() {
+        let xs = [
+            f64::NEG_INFINITY,
+            f64::MIN,
+            -1.5,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.5,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+        ];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(
+                    encode_f64(a).cmp(&encode_f64(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bool_encoding_preserves_order() {
+        assert!(encode_bool(false) < encode_bool(true));
+    }
+
+    /// `CellBatch` equality with floats compared by bit pattern (derived
+    /// `PartialEq` would fail on NaN even for identical batches).
+    fn assert_bit_identical(a: &CellBatch, b: &CellBatch) {
+        assert_eq!(a.coords, b.coords);
+        assert_eq!(a.nattrs(), b.nattrs());
+        for (ca, cb) in a.attrs.iter().zip(&b.attrs) {
+            match (ca, cb) {
+                (Column::Float(x), Column::Float(y)) => {
+                    let xb: Vec<u64> = x.iter().map(|f| f.to_bits()).collect();
+                    let yb: Vec<u64> = y.iter().map(|f| f.to_bits()).collect();
+                    assert_eq!(xb, yb);
+                }
+                _ => assert_eq!(ca, cb),
+            }
+        }
+    }
+
+    fn sample_batch() -> CellBatch {
+        let mut b = CellBatch::new(2, &[DataType::Int64, DataType::Float64]);
+        for (i, j, v, f) in [
+            (2, 1, 10, 0.5),
+            (1, 2, 20, -1.5),
+            (1, 1, 30, f64::NAN),
+            (-3, 7, 40, 0.0),
+            (1, 1, 50, -0.0),
+        ] {
+            b.push(&[i, j], &[Value::Int(v), Value::Float(f)]).unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn radix_c_order_matches_comparator() {
+        let mut radix = sample_batch();
+        let mut cmp = sample_batch();
+        assert!(radix_sort_c_order(&mut radix));
+        cmp.sort_c_order_comparator();
+        assert_bit_identical(&radix, &cmp);
+    }
+
+    #[test]
+    fn radix_attr_sort_matches_comparator() {
+        for cols in [vec![0usize], vec![1], vec![1, 0]] {
+            let mut radix = sample_batch();
+            let mut cmp = sample_batch();
+            assert!(radix_sort_by_attr_columns(&mut radix, &cols));
+            cmp.sort_by_attr_columns_comparator(&cols);
+            assert_bit_identical(&radix, &cmp);
+        }
+    }
+
+    #[test]
+    fn string_keys_fall_back() {
+        let mut b = CellBatch::new(0, &[DataType::Str]);
+        b.push(&[], &[Value::Str("b".into())]).unwrap();
+        b.push(&[], &[Value::Str("a".into())]).unwrap();
+        assert!(!radix_sort_by_attr_columns(&mut b, &[0]));
+        // Untouched on fallback.
+        assert_eq!(b.value(0, 0), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn wide_keys_use_byte_matrix() {
+        // Three full-range columns (64 compressed bits each) exceed the
+        // u64 budget but stay within MAX_KEY_BYTES.
+        let mut b = CellBatch::new(3, &[DataType::Int64]);
+        let mut cmp_b;
+        for (n, (i, j, k)) in [
+            (i64::MAX, 1, i64::MIN),
+            (i64::MIN, i64::MAX, 0),
+            (i64::MAX, 1, -9),
+            (0, i64::MIN, i64::MAX),
+            (i64::MAX, 1, i64::MIN),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            b.push(&[i, j, k], &[Value::Int(n as i64)]).unwrap();
+        }
+        cmp_b = b.clone();
+        assert!(radix_sort_c_order(&mut b));
+        cmp_b.sort_c_order_comparator();
+        assert_eq!(b, cmp_b);
+    }
+
+    #[test]
+    fn five_full_range_dims_fall_back() {
+        // Five 64-bit columns need 40 compressed bytes > MAX_KEY_BYTES.
+        let mut b = CellBatch::new(5, &[]);
+        b.push(&[i64::MIN, i64::MIN, i64::MIN, i64::MIN, i64::MIN], &[])
+            .unwrap();
+        b.push(&[i64::MAX, i64::MAX, i64::MAX, i64::MAX, i64::MAX], &[])
+            .unwrap();
+        b.push(&[0, 0, 0, 0, 0], &[]).unwrap();
+        assert!(!radix_sort_c_order(&mut b));
+        // Untouched on fallback.
+        assert_eq!(b.coords[0][0], i64::MIN);
+    }
+
+    #[test]
+    fn narrow_domains_compress_into_u64() {
+        // Eight small-domain dimensions: 64 uncompressed bytes, but only
+        // a few bits each after range compression — still radix-sortable,
+        // and bit-identical to the comparator.
+        let mut b = CellBatch::new(8, &[DataType::Int64]);
+        let mut cmp_b;
+        for n in 0..200i64 {
+            let c: Vec<i64> = (0..8).map(|d| (n * 37 + d * 11) % 5 - 2).collect();
+            b.push(&c, &[Value::Int(n)]).unwrap();
+        }
+        cmp_b = b.clone();
+        assert!(radix_sort_c_order(&mut b));
+        cmp_b.sort_c_order_comparator();
+        assert_eq!(b, cmp_b);
+    }
+
+    #[test]
+    fn constant_keys_leave_rows_in_place() {
+        let mut b = CellBatch::new(2, &[DataType::Int64]);
+        for n in 0..10 {
+            b.push(&[7, -3], &[Value::Int(n)]).unwrap();
+        }
+        let before = b.clone();
+        assert!(radix_sort_c_order(&mut b));
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn encode_rows_u64_orders_like_comparator() {
+        let b = sample_batch();
+        let keys = encode_rows_u64(&b, &[1]).unwrap();
+        for a in 0..b.len() {
+            for c in 0..b.len() {
+                assert_eq!(
+                    keys[a].cmp(&keys[c]),
+                    b.cmp_by_attr_columns(&[1], a, c),
+                    "rows {a},{c}"
+                );
+            }
+        }
+        // Two 8-byte columns exceed the single-u64 budget.
+        assert!(encode_rows_u64(&b, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn sort_u64_pairs_is_stable() {
+        let mut pairs: Vec<(u64, u32)> = vec![(3, 0), (1, 1), (3, 2), (1, 3), (u64::MAX, 4)];
+        let mut expect = pairs.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        let mut tmp = Vec::new();
+        sort_u64_pairs(&mut pairs, &mut tmp);
+        assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn hash_row_matches_hash_key() {
+        let mut b = CellBatch::new(
+            0,
+            &[
+                DataType::Int64,
+                DataType::Float64,
+                DataType::Bool,
+                DataType::Str,
+            ],
+        );
+        for (i, f, x, s) in [
+            (42, 42.0, true, "hi"),
+            (-1, 0.5, false, ""),
+            (i64::MAX, f64::NAN, true, "ütf8"),
+            (0, -0.0, false, "end"),
+        ] {
+            b.push(
+                &[],
+                &[
+                    Value::Int(i),
+                    Value::Float(f),
+                    Value::Bool(x),
+                    Value::Str(s.into()),
+                ],
+            )
+            .unwrap();
+        }
+        for row in 0..b.len() {
+            for cols in [vec![0usize], vec![1], vec![2], vec![3], vec![0, 1, 2, 3]] {
+                let vals: Vec<Value> = cols.iter().map(|&c| b.value(row, c)).collect();
+                assert_eq!(
+                    hash_row(&b, &cols, row),
+                    hash_key(&vals),
+                    "row {row} cols {cols:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_sorts() {
+        let mut b = CellBatch::new(1, &[DataType::Int64]);
+        assert!(radix_sort_c_order(&mut b));
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn i64_boundary_coordinates_sort() {
+        let mut b = CellBatch::new(1, &[DataType::Int64]);
+        for (c, v) in [(i64::MAX, 1), (i64::MIN, 2), (0, 3), (i64::MIN, 4), (-1, 5)] {
+            b.push(&[c], &[Value::Int(v)]).unwrap();
+        }
+        assert!(radix_sort_c_order(&mut b));
+        let coords: Vec<i64> = (0..b.len()).map(|i| b.coords[0][i]).collect();
+        assert_eq!(coords, vec![i64::MIN, i64::MIN, -1, 0, i64::MAX]);
+        // Stability among the two i64::MIN rows.
+        assert_eq!(b.value(0, 0), Value::Int(2));
+        assert_eq!(b.value(1, 0), Value::Int(4));
+        assert_eq!(b.cmp_coords(0, 1), Ordering::Equal);
+    }
+}

@@ -40,10 +40,11 @@ mod schema;
 mod value;
 
 pub mod expr;
+pub mod keys;
 pub mod ops;
 
 pub use array::Array;
-pub use batch::{CellBatch, Column};
+pub use batch::{CellBatch, Column, GatherScratch};
 pub use chunk::Chunk;
 pub use error::{ArrayError, Result};
 pub use expr::{BinOp, Expr};

@@ -13,6 +13,7 @@ use std::hash::{Hash, Hasher};
 use crate::array::Array;
 use crate::batch::CellBatch;
 use crate::error::{ArrayError, Result};
+use crate::keys;
 use crate::ops::kernels::{flatten_into, scatter_into};
 use crate::ops::ColumnRef;
 use crate::value::{DataType, Value};
@@ -53,28 +54,23 @@ impl BucketSet {
 /// floats to integers), so `Int(2)` and `Float(2.0)` land in the same
 /// bucket — required for mixed-type equi-joins.
 pub fn hash_key(values: &[Value]) -> u64 {
-    struct Fnv(u64);
+    struct Fnv(keys::Fnv);
     impl Hasher for Fnv {
         fn finish(&self) -> u64 {
-            self.0
+            self.0 .0
         }
         fn write(&mut self, bytes: &[u8]) {
-            for &b in bytes {
-                self.0 ^= b as u64;
-                self.0 = self.0.wrapping_mul(0x100000001b3);
-            }
+            self.0.write(bytes);
         }
     }
-    let mut h = Fnv(0xcbf29ce484222325);
+    let mut h = Fnv(keys::Fnv::new());
     for v in values {
         v.hash(&mut h);
     }
     // Final avalanche so low bits are well-mixed for `% nbuckets`.
-    let mut x = h.finish();
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xff51afd7ed558ccd);
-    x ^= x >> 33;
-    x
+    // [`keys::hash_row`] replicates this whole pipeline columnar-side;
+    // the two must stay bit-identical (pinned by a test in `keys`).
+    keys::avalanche(h.finish())
 }
 
 /// Partition every cell of `array` into `nbuckets` buckets keyed by the
@@ -110,16 +106,11 @@ pub fn hash_partition(array: &Array, keys: &[ColumnRef], nbuckets: usize) -> Res
     // rows by key hash — both steps are the shared kernels the join
     // executor's slice mapping uses.
     let mut flat = CellBatch::new(0, &column_types);
-    let mut key_buf: Vec<Value> = Vec::with_capacity(keys.len());
     for (_, chunk) in array.chunks() {
         flat.clear();
         flatten_into(&chunk.cells, &mut flat)?;
         scatter_into::<ArrayError>(&flat, &mut buckets, |f, row| {
-            key_buf.clear();
-            for &k in &key_columns {
-                key_buf.push(f.attrs[k].get(row));
-            }
-            Ok((hash_key(&key_buf) % nbuckets as u64) as usize)
+            Ok((keys::hash_row(f, &key_columns, row) % nbuckets as u64) as usize)
         })?;
     }
 

@@ -12,6 +12,11 @@
 //!   kernel per pulled batch into a reused buffer (no per-batch allocation);
 //! * the join executor's slice-mapping and output-organization phases
 //!   ([`flatten_into`], [`scatter_into`], [`organize`]).
+//!
+//! Row ordering inside [`organize`] — chunk-id regrouping and the final
+//! per-chunk C-order sort — runs on the normalized-key radix kernels of
+//! [`crate::keys`] (comparator fallback for keys beyond the width
+//! budget), so every consumer above gets the columnar sort path.
 
 use crate::array::Array;
 use crate::batch::CellBatch;

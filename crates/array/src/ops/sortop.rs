@@ -3,6 +3,8 @@
 use crate::array::Array;
 
 /// Sort every chunk of `array` into C-order, returning the sorted array.
+/// Each chunk sort is the stable radix sort over normalized coordinate
+/// keys ([`crate::keys`]).
 ///
 /// The logical planner inserts this after a hash/nested-loop join whose
 /// output chunks came from a `rechunk` (paper §4: "sort the output of a

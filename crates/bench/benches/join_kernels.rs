@@ -1,0 +1,192 @@
+//! Before/after microbenchmarks for the normalized-key columnar kernels.
+//!
+//! Each kernel that was rewritten on top of `sj_array::keys` keeps its
+//! predecessor callable (`sort_c_order_comparator`,
+//! `sort_by_attr_columns_comparator`, `hash_join_rowwise`), so a single
+//! run measures both paths on identical inputs:
+//!
+//! - `sort_coords_*`: per-chunk C-order sort — radix over normalized
+//!   coordinate keys vs. the comparator sort. The 1-dim batch exercises
+//!   the single-`u64` key path, the 2-dim batch the 16-byte wide-key
+//!   path.
+//! - `sort_attrs_*`: attribute-column sort (regroup/organize ordering)
+//!   on an integer and on a float key column.
+//! - `hash_join`: the partitioned bucket-chain join vs. the row-wise
+//!   `HashMap<Vec<Value>, _>` join, probe side Zipf(1.0)-skewed.
+//!
+//! Every sort point clones a pristine shuffled batch per iteration; the
+//! matching `clone_baseline` point measures that overhead so it can be
+//! subtracted when comparing absolute kernel times.
+//!
+//! `JOIN_KERNELS_SMOKE=1` shrinks the workload (CI/verify smoke); the
+//! default is the paper-scale 1M-cell workload reported in
+//! EXPERIMENTS.md. Run with `cargo bench --bench join_kernels`.
+
+use std::time::Duration;
+
+use sj_array::{ArraySchema, CellBatch, DataType, Histogram, Value};
+use sj_bench::harness::{Options, Runner};
+use sj_core::algorithms::{hash_join, hash_join_rowwise, Emitter};
+use sj_core::join_schema::{infer_join_schema, ColumnStats};
+use sj_core::predicate::{JoinPredicate, JoinSide};
+use sj_workload::{Rng64, Zipf};
+
+/// Shuffled batch with `ndims` coordinate dimensions and one int attr.
+fn coord_batch(n: usize, ndims: usize, seed: u64) -> CellBatch {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut b = CellBatch::with_capacity(ndims, &[DataType::Int64], n);
+    let mut coord = vec![0i64; ndims];
+    for row in 0..n {
+        for c in coord.iter_mut() {
+            *c = (rng.next_u64() % 1_000_000) as i64 - 500_000;
+        }
+        b.push(&coord, &[Value::Int(row as i64)]).unwrap();
+    }
+    b
+}
+
+/// Dimension-less batch with one key attr (int or float) and one payload.
+fn attr_batch(n: usize, float_key: bool, seed: u64) -> CellBatch {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let key_type = if float_key {
+        DataType::Float64
+    } else {
+        DataType::Int64
+    };
+    let mut b = CellBatch::with_capacity(0, &[key_type, DataType::Int64], n);
+    for row in 0..n {
+        let raw = (rng.next_u64() % 2_000_000) as i64 - 1_000_000;
+        let key = if float_key {
+            Value::Float(raw as f64 * 0.5)
+        } else {
+            Value::Int(raw)
+        };
+        b.push(&[], &[key, Value::Int(row as i64)]).unwrap();
+    }
+    b
+}
+
+/// Join inputs in the join unit's dimension-less layout `[i, v]` /
+/// `[j, w]`: the probe side draws `v` from a Zipf(1.0) over `domain`
+/// ranks, the build side (`n / 4` rows) uniformly.
+fn join_batches(n: usize, domain: usize, seed: u64) -> (CellBatch, CellBatch) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let zipf = Zipf::new(domain, 1.0);
+    let layout = [DataType::Int64, DataType::Int64];
+    let mut probe = CellBatch::with_capacity(0, &layout, n);
+    for row in 0..n {
+        let v = zipf.sample(&mut rng) as i64 + 1;
+        probe
+            .push(&[], &[Value::Int(row as i64), Value::Int(v)])
+            .unwrap();
+    }
+    let mut build = CellBatch::with_capacity(0, &layout, n / 4);
+    for row in 0..n / 4 {
+        let w = (rng.next_u64() % domain as u64) as i64 + 1;
+        build
+            .push(&[], &[Value::Int(row as i64), Value::Int(w)])
+            .unwrap();
+    }
+    (probe, build)
+}
+
+/// The `v = w` join schema for the bench batches (same shape as the
+/// planner would infer for an attribute-attribute equi-join).
+fn join_schema(domain: usize) -> sj_core::join_schema::JoinSchema {
+    let bound = domain as i64;
+    let a = ArraySchema::parse(&format!("A<v:int>[i=1,{bound},8192]")).unwrap();
+    let b = ArraySchema::parse(&format!("B<w:int>[j=1,{bound},8192]")).unwrap();
+    let p = JoinPredicate::new(vec![("v", "w")]);
+    let mut stats = ColumnStats::new();
+    let hist = Histogram::build((1..=bound).map(Value::Int), 16).unwrap();
+    stats.insert(JoinSide::Left, "v", hist.clone());
+    stats.insert(JoinSide::Right, "w", hist);
+    infer_join_schema(&a, &b, &p, None, &stats).unwrap()
+}
+
+fn main() {
+    let smoke = std::env::var("JOIN_KERNELS_SMOKE").is_ok_and(|v| v != "0");
+    let (n, measure) = if smoke {
+        (20_000usize, Duration::from_millis(120))
+    } else {
+        (1_000_000usize, Duration::from_secs(1))
+    };
+    let mut runner = Runner::from_args().with_options(Options {
+        warmup: if smoke {
+            Duration::from_millis(30)
+        } else {
+            Duration::from_millis(300)
+        },
+        measure,
+        ..Options::default()
+    });
+
+    // --- C-order coordinate sorts: u64-key (1-dim) and wide-key (2-dim).
+    for (tag, ndims) in [("1d", 1usize), ("2d", 2usize)] {
+        let pristine = coord_batch(n, ndims, 0xC0FFEE + ndims as u64);
+        let mut group = runner.group("join_kernels");
+        group.bench(&format!("sort_coords_{tag}/clone_baseline/{n}"), || {
+            pristine.clone()
+        });
+        group.bench(&format!("sort_coords_{tag}/radix/{n}"), || {
+            let mut b = pristine.clone();
+            b.sort_c_order();
+            b
+        });
+        group.bench(&format!("sort_coords_{tag}/comparator/{n}"), || {
+            let mut b = pristine.clone();
+            b.sort_c_order_comparator();
+            b
+        });
+    }
+
+    // --- Attribute-column sorts: int key (u64 path) and float key.
+    for (tag, float_key) in [("int", false), ("float", true)] {
+        let pristine = attr_batch(n, float_key, 0xBEEF + float_key as u64);
+        let mut group = runner.group("join_kernels");
+        group.bench(&format!("sort_attrs_{tag}/clone_baseline/{n}"), || {
+            pristine.clone()
+        });
+        group.bench(&format!("sort_attrs_{tag}/radix/{n}"), || {
+            let mut b = pristine.clone();
+            b.sort_by_attr_columns(&[0]);
+            b
+        });
+        group.bench(&format!("sort_attrs_{tag}/comparator/{n}"), || {
+            let mut b = pristine.clone();
+            b.sort_by_attr_columns_comparator(&[0]);
+            b
+        });
+    }
+
+    // --- Hash join: columnar bucket-chain vs. row-wise HashMap.
+    let domain = n;
+    let (probe, build) = join_batches(n, domain, 0xD00D);
+    let js = join_schema(domain);
+    {
+        let mut matches = (0usize, 0usize);
+        let mut group = runner.group("join_kernels");
+        let ran_columnar = group
+            .bench(&format!("hash_join/columnar/{n}"), || {
+                let mut em = Emitter::new(&js);
+                matches.0 = hash_join(&probe, &[1], &build, &[1], &mut em).unwrap();
+                em.len()
+            })
+            .is_some();
+        let ran_rowwise = group
+            .bench(&format!("hash_join/rowwise/{n}"), || {
+                let mut em = Emitter::new(&js);
+                matches.1 = hash_join_rowwise(&probe, &[1], &build, &[1], &mut em).unwrap();
+                em.len()
+            })
+            .is_some();
+        if ran_columnar && ran_rowwise {
+            assert_eq!(matches.0, matches.1, "paths disagree on match count");
+            eprintln!(
+                "# hash_join workload: probe {n} rows (Zipf 1.0), build {} rows, {} matches",
+                build.len(),
+                matches.0
+            );
+        }
+    }
+}

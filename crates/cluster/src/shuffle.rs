@@ -219,6 +219,10 @@ struct Sim<'a> {
     next_crash: usize,
     now: f64,
     report: ShuffleReport,
+    /// Scratch for [`Sim::pick_substitute`]'s per-node load tallies,
+    /// reused across substitute decisions instead of cloning
+    /// `recv_bytes` each time.
+    load_scratch: Vec<u64>,
 }
 
 impl<'a> Sim<'a> {
@@ -285,6 +289,7 @@ impl<'a> Sim<'a> {
             next_crash: 0,
             now: 0.0,
             report,
+            load_scratch: Vec::with_capacity(k),
         })
     }
 
@@ -355,8 +360,10 @@ impl<'a> Sim<'a> {
     /// The coordinator's substitute for a dead destination: the live
     /// node with the least receive load (landed + outstanding), lowest
     /// id on ties.
-    fn pick_substitute(&self) -> Result<usize> {
-        let mut load = self.report.recv_bytes.clone();
+    fn pick_substitute(&mut self) -> Result<usize> {
+        let load = &mut self.load_scratch;
+        load.clear();
+        load.extend_from_slice(&self.report.recv_bytes);
         for q in &self.pending {
             for p in q {
                 load[p.dst] += p.bytes;

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use sj_array::expr::compare_values;
-use sj_array::{CellBatch, Value};
+use sj_array::{keys, CellBatch, Column, Value};
 
 use crate::error::{JoinError, Result};
 use crate::join_schema::{EmitSpec, JoinSchema};
@@ -51,7 +51,6 @@ pub struct Emitter<'a> {
     /// the output dimensions).
     pub out: CellBatch,
     coord_buf: Vec<i64>,
-    val_buf: Vec<Value>,
 }
 
 impl<'a> Emitter<'a> {
@@ -62,11 +61,16 @@ impl<'a> Emitter<'a> {
             spec: &js.emit,
             out: CellBatch::new(js.output.ndims(), &attr_types),
             coord_buf: vec![0; js.output.ndims()],
-            val_buf: Vec::with_capacity(js.output.nattrs()),
         }
     }
 
     /// Emit the output cell for matched rows `(lrow, rrow)`.
+    ///
+    /// Columnar: coordinates come straight off the source columns
+    /// ([`Column::coord_at`]) and attributes are appended column-to-
+    /// column ([`Column::push_from`]) — no per-cell `Value`s. All
+    /// coordinates are validated before anything is pushed, preserving
+    /// the row-wise path's error atomicity.
     pub fn emit(
         &mut self,
         left: &CellBatch,
@@ -75,24 +79,27 @@ impl<'a> Emitter<'a> {
         rrow: usize,
     ) -> Result<()> {
         for (k, src) in self.spec.dims.iter().enumerate() {
-            let v = match src.side {
-                JoinSide::Left => left.attrs[src.column].get(lrow),
-                JoinSide::Right => right.attrs[src.column].get(rrow),
+            let (batch, row) = match src.side {
+                JoinSide::Left => (left, lrow),
+                JoinSide::Right => (right, rrow),
             };
-            self.coord_buf[k] = v.to_coord().map_err(|e| {
+            self.coord_buf[k] = batch.attrs[src.column].coord_at(row).map_err(|e| {
                 JoinError::InvalidOutputSchema(format!(
                     "output dimension {k} received a non-integral value: {e}"
                 ))
             })?;
         }
-        self.val_buf.clear();
-        for src in &self.spec.attrs {
-            self.val_buf.push(match src.side {
-                JoinSide::Left => left.attrs[src.column].get(lrow),
-                JoinSide::Right => right.attrs[src.column].get(rrow),
-            });
+        debug_assert_eq!(self.out.attrs.len(), self.spec.attrs.len());
+        for (col, &c) in self.out.coords.iter_mut().zip(&self.coord_buf) {
+            col.push(c);
         }
-        self.out.push(&self.coord_buf, &self.val_buf)?;
+        for (col, src) in self.out.attrs.iter_mut().zip(&self.spec.attrs) {
+            let (batch, row) = match src.side {
+                JoinSide::Left => (left, lrow),
+                JoinSide::Right => (right, rrow),
+            };
+            col.push_from(&batch.attrs[src.column], row)?;
+        }
         Ok(())
     }
 
@@ -124,7 +131,24 @@ fn key_values(batch: &CellBatch, keys: &[usize], row: usize) -> Vec<Value> {
         .collect()
 }
 
-fn keys_equal(
+/// `normalize` as a columnar predicate: the integral-in-`i64`-range test
+/// applied to a raw float.
+#[inline]
+fn norm_f(f: f64) -> Option<i64> {
+    if f.fract() == 0.0 && f.is_finite() && f.abs() < 9.2e18 {
+        Some(f as i64)
+    } else {
+        None
+    }
+}
+
+/// Columnar replica of the row-wise hash-join equality: `normalize` both
+/// values, then `Value::eq`. Ints match ints and exactly-integral
+/// floats; non-integral floats match only bit-identical floats; every
+/// cross-type pair (post-normalization) is unequal — identical to the
+/// former `HashMap<Vec<Value>, _>` key comparison, without materializing
+/// a `Value`.
+fn rows_hash_equal(
     a: &CellBatch,
     akeys: &[usize],
     arow: usize,
@@ -132,15 +156,35 @@ fn keys_equal(
     bkeys: &[usize],
     brow: usize,
 ) -> bool {
-    akeys.iter().zip(bkeys).all(|(&ac, &bc)| {
-        let av = a.attrs[ac].get(arow);
-        let bv = b.attrs[bc].get(brow);
-        matches!(compare_values(&av, &bv), Ok(std::cmp::Ordering::Equal))
-    })
+    akeys
+        .iter()
+        .zip(bkeys)
+        .all(|(&ac, &bc)| match (&a.attrs[ac], &b.attrs[bc]) {
+            (Column::Int(x), Column::Int(y)) => x[arow] == y[brow],
+            (Column::Int(x), Column::Float(y)) => norm_f(y[brow]) == Some(x[arow]),
+            (Column::Float(x), Column::Int(y)) => norm_f(x[arow]) == Some(y[brow]),
+            (Column::Float(x), Column::Float(y)) => match (norm_f(x[arow]), norm_f(y[brow])) {
+                (Some(xi), Some(yi)) => xi == yi,
+                (None, None) => x[arow].to_bits() == y[brow].to_bits(),
+                _ => false,
+            },
+            (Column::Bool(x), Column::Bool(y)) => x[arow] == y[brow],
+            (Column::Str(x), Column::Str(y)) => x[arow] == y[brow],
+            _ => false,
+        })
 }
 
 /// Hash join over one join unit (paper §3.2): builds on the smaller side
 /// and probes with the larger. Operates on unsorted inputs; linear time.
+///
+/// Two-pass and allocation-light: every build row is hashed once
+/// ([`keys::hash_row`]) into a contiguous hash array, the table is a
+/// bucket-chain over pre-sized `u32` arrays (no per-row heap keys), and
+/// probe rows hash on the fly — equal-hash candidates are verified by a
+/// columnar key compare. Emission order (probe rows ascending, build
+/// rows ascending within a key) is bit-identical to the former
+/// `HashMap<Vec<Value>, Vec<usize>>` implementation, which remains
+/// callable as [`hash_join_rowwise`] for before/after benchmarking.
 pub fn hash_join(
     left: &CellBatch,
     left_keys: &[usize],
@@ -149,6 +193,69 @@ pub fn hash_join(
     emitter: &mut Emitter<'_>,
 ) -> Result<usize> {
     // "This algorithm builds a hash map over the smaller side of the join."
+    let left_is_build = left.len() <= right.len();
+    let (build, bkeys, probe, pkeys) = if left_is_build {
+        (left, left_keys, right, right_keys)
+    } else {
+        (right, right_keys, left, left_keys)
+    };
+    debug_assert!(
+        build.len() <= probe.len(),
+        "hash join must build on the smaller side"
+    );
+    let n = build.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    // Pass 1: hash every build row once, contiguously.
+    let hashes: Vec<u64> = (0..n)
+        .map(|row| keys::hash_row(build, bkeys, row))
+        .collect();
+    // Bucket-chain table at load factor ≤ 0.5: `head[bucket]` is the
+    // first build row of the chain, `next[row]` the following one.
+    // Inserting rows in reverse makes each chain iterate in ascending row
+    // order — the same per-key emission order as the row-wise path.
+    let nbuckets = (n * 2).next_power_of_two();
+    let mask = (nbuckets - 1) as u64;
+    let mut head = vec![u32::MAX; nbuckets];
+    let mut next = vec![u32::MAX; n];
+    for row in (0..n).rev() {
+        let b = (hashes[row] & mask) as usize;
+        next[row] = head[b];
+        head[b] = row as u32;
+    }
+    let mut matches = 0usize;
+    for prow in 0..probe.len() {
+        let h = keys::hash_row(probe, pkeys, prow);
+        let mut cur = head[(h & mask) as usize];
+        while cur != u32::MAX {
+            let brow = cur as usize;
+            if hashes[brow] == h && rows_hash_equal(build, bkeys, brow, probe, pkeys, prow) {
+                let (lrow, rrow) = if left_is_build {
+                    (brow, prow)
+                } else {
+                    (prow, brow)
+                };
+                emitter.emit(left, lrow, right, rrow)?;
+                matches += 1;
+            }
+            cur = next[brow];
+        }
+    }
+    Ok(matches)
+}
+
+/// The pre-kernel row-at-a-time hash join (`Vec<Value>`-keyed map),
+/// kept callable so benches and tests can measure/verify the columnar
+/// rewrite against it.
+#[doc(hidden)]
+pub fn hash_join_rowwise(
+    left: &CellBatch,
+    left_keys: &[usize],
+    right: &CellBatch,
+    right_keys: &[usize],
+    emitter: &mut Emitter<'_>,
+) -> Result<usize> {
     let left_is_build = left.len() <= right.len();
     let (build, bkeys, probe, pkeys) = if left_is_build {
         (left, left_keys, right, right_keys)
@@ -183,6 +290,14 @@ pub fn hash_join(
 /// Merge join over one join unit (paper §3.2): both inputs must be sorted
 /// on their key columns. Handles duplicate-key runs by emitting the cross
 /// product of each equal-key block.
+///
+/// When both sides' key columns have identical, normalizable types and
+/// the key packs into 8 bytes, each side is encoded once into
+/// order-preserving `u64` keys ([`keys::encode_rows_u64`] — the same
+/// normalized keys the radix sort uses) and both the two-cursor advance
+/// and run detection become integer compares. Mixed-type key pairs
+/// (e.g. int vs float) and string/wide keys keep the comparator path —
+/// bit-identical either way, since the loop structure is shared.
 pub fn merge_join(
     left: &CellBatch,
     left_keys: &[usize],
@@ -192,6 +307,82 @@ pub fn merge_join(
 ) -> Result<usize> {
     debug_assert!(left.is_sorted_by_attr_columns(left_keys));
     debug_assert!(right.is_sorted_by_attr_columns(right_keys));
+    if let Some((lk, rk)) = merge_keys_u64(left, left_keys, right, right_keys) {
+        return merge_join_on_keys(left, &lk, right, &rk, emitter);
+    }
+    merge_join_comparator(left, left_keys, right, right_keys, emitter)
+}
+
+/// Normalized `u64` keys for both merge sides, when every key-column
+/// pair has the same normalizable type (so per-side encodings are
+/// directly comparable) and the key fits one `u64`.
+fn merge_keys_u64(
+    left: &CellBatch,
+    left_keys: &[usize],
+    right: &CellBatch,
+    right_keys: &[usize],
+) -> Option<(Vec<u64>, Vec<u64>)> {
+    if left_keys.len() != right_keys.len() {
+        return None;
+    }
+    for (&lc, &rc) in left_keys.iter().zip(right_keys) {
+        if left.attrs[lc].dtype() != right.attrs[rc].dtype() {
+            return None;
+        }
+    }
+    Some((
+        keys::encode_rows_u64(left, left_keys)?,
+        keys::encode_rows_u64(right, right_keys)?,
+    ))
+}
+
+/// The merge loop over pre-encoded normalized keys.
+fn merge_join_on_keys(
+    left: &CellBatch,
+    lk: &[u64],
+    right: &CellBatch,
+    rk: &[u64],
+    emitter: &mut Emitter<'_>,
+) -> Result<usize> {
+    let (nl, nr) = (lk.len(), rk.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut matches = 0usize;
+    while i < nl && j < nr {
+        match lk[i].cmp(&rk[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let mut iend = i + 1;
+                while iend < nl && lk[iend] == lk[i] {
+                    iend += 1;
+                }
+                let mut jend = j + 1;
+                while jend < nr && rk[jend] == rk[j] {
+                    jend += 1;
+                }
+                for li in i..iend {
+                    for rj in j..jend {
+                        emitter.emit(left, li, right, rj)?;
+                        matches += 1;
+                    }
+                }
+                i = iend;
+                j = jend;
+            }
+        }
+    }
+    Ok(matches)
+}
+
+/// The comparator merge loop — fallback for keys that don't normalize.
+fn merge_join_comparator(
+    left: &CellBatch,
+    left_keys: &[usize],
+    right: &CellBatch,
+    right_keys: &[usize],
+    emitter: &mut Emitter<'_>,
+) -> Result<usize> {
     let (nl, nr) = (left.len(), right.len());
     let mut i = 0usize;
     let mut j = 0usize;
@@ -248,6 +439,40 @@ fn cmp_cross(
     Ok(std::cmp::Ordering::Equal)
 }
 
+/// Columnar replica of the predicate equality the nested-loop fallback
+/// used (`compare_values(..) == Ok(Equal)`): exact equality within a
+/// type, numeric comparison across int/float, and `false` where
+/// `compare_values` would error (non-numeric cross-type pairs) — all
+/// without cloning a `Value` per probe.
+fn rows_predicate_equal(
+    a: &CellBatch,
+    akeys: &[usize],
+    arow: usize,
+    b: &CellBatch,
+    bkeys: &[usize],
+    brow: usize,
+) -> bool {
+    fn num(c: &Column, i: usize) -> Option<f64> {
+        match c {
+            Column::Int(v) => Some(v[i] as f64),
+            Column::Float(v) => Some(v[i]),
+            _ => None,
+        }
+    }
+    akeys
+        .iter()
+        .zip(bkeys)
+        .all(|(&ac, &bc)| match (&a.attrs[ac], &b.attrs[bc]) {
+            (Column::Int(x), Column::Int(y)) => x[arow] == y[brow],
+            (Column::Str(x), Column::Str(y)) => x[arow] == y[brow],
+            (Column::Bool(x), Column::Bool(y)) => x[arow] == y[brow],
+            (x, y) => match (num(x, arow), num(y, brow)) {
+                (Some(xf), Some(yf)) => xf.total_cmp(&yf) == std::cmp::Ordering::Equal,
+                _ => false,
+            },
+        })
+}
+
 /// Nested-loop join over one join unit (paper §3.2): quadratic scan with
 /// no sort-order requirements.
 pub fn nested_loop_join(
@@ -260,7 +485,7 @@ pub fn nested_loop_join(
     let mut matches = 0usize;
     for lrow in 0..left.len() {
         for rrow in 0..right.len() {
-            if keys_equal(left, left_keys, lrow, right, right_keys, rrow) {
+            if rows_predicate_equal(left, left_keys, lrow, right, right_keys, rrow) {
                 emitter.emit(left, lrow, right, rrow)?;
                 matches += 1;
             }
@@ -430,6 +655,60 @@ mod tests {
             let n = run_join(algo, &mut l.clone(), &[1], &mut r.clone(), &[1], &mut em).unwrap();
             assert_eq!(n, 1, "algo {algo:?} missed the 5.0 == 5 match");
         }
+    }
+
+    #[test]
+    fn columnar_hash_join_is_bit_identical_to_rowwise() {
+        let js = fixture();
+        // Skewed duplicate keys; asymmetric sizes so each call exercises
+        // a different build side.
+        let big: Vec<(i64, i64)> = (1..=60).map(|i| (i, i % 7)).collect();
+        let small: Vec<(i64, i64)> = (1..=25).map(|j| (j, j % 5)).collect();
+        for (lrows, rrows) in [(&big, &small), (&small, &big)] {
+            let (l, r) = batches(lrows, rrows);
+            let mut em_new = Emitter::new(&js);
+            let mut em_old = Emitter::new(&js);
+            let n_new = hash_join(&l, &[1], &r, &[1], &mut em_new).unwrap();
+            let n_old = hash_join_rowwise(&l, &[1], &r, &[1], &mut em_old).unwrap();
+            assert_eq!(n_new, n_old);
+            // Same cells in the same emission order, not just as a set.
+            assert_eq!(em_new.out, em_old.out);
+        }
+    }
+
+    #[test]
+    fn merge_normalized_keys_match_comparator_path() {
+        // Float keys on both sides take the normalized-u64 merge path;
+        // include signed zeros (distinct under total_cmp) and runs.
+        let a = ArraySchema::parse("A<v:float>[i=1,100,10]").unwrap();
+        let b = ArraySchema::parse("B<w:float>[j=1,100,10]").unwrap();
+        let p = JoinPredicate::new(vec![("v", "w")]);
+        let mut stats = ColumnStats::new();
+        stats.insert(
+            JoinSide::Left,
+            "v",
+            sj_array::Histogram::build((1..=10).map(Value::Int), 4).unwrap(),
+        );
+        let js = infer_join_schema(&a, &b, &p, None, &stats).unwrap();
+        let mk = |rows: &[(i64, f64)]| {
+            let mut c = CellBatch::new(0, &[DataType::Int64, DataType::Float64]);
+            for &(i, v) in rows {
+                c.push(&[], &[Value::Int(i), Value::Float(v)]).unwrap();
+            }
+            c.sort_by_attr_columns(&[1]);
+            c
+        };
+        let l = mk(&[(1, -0.0), (2, 0.0), (3, 2.5), (4, 2.5), (5, -7.0)]);
+        let r = mk(&[(9, 0.0), (8, 2.5), (7, 2.5), (6, -0.0), (5, 3.0)]);
+        let mut em_new = Emitter::new(&js);
+        let mut em_old = Emitter::new(&js);
+        let n_new = merge_join(&l, &[1], &r, &[1], &mut em_new).unwrap();
+        let n_old = merge_join_comparator(&l, &[1], &r, &[1], &mut em_old).unwrap();
+        assert_eq!(n_new, n_old);
+        assert_eq!(em_new.out, em_old.out);
+        // -0.0 matches only -0.0 and 0.0 only 0.0 under total order, plus
+        // the 2×2 cross product of the 2.5 runs.
+        assert_eq!(n_new, 6);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!
 //! Determinism: scans stream chunks node-major then chunk-id-minor — the
 //! same order `Cluster::gather` materializes them — and the sink applies
-//! the same final per-chunk sort the whole-array operators use, so results
+//! the same final per-chunk sort the whole-array operators use — since
+//! the kernel rewrite, the radix sort over normalized coordinate keys
+//! (`sj_array::keys`) for both — so results
 //! are bit-identical to the legacy materializing path at any
 //! `ExecConfig.threads`.
 

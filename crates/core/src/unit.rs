@@ -13,6 +13,7 @@
 //! any column can be emitted into the output regardless of how the source
 //! was tiled.
 
+use sj_array::keys;
 use sj_array::ops::{hash_key, kernels};
 use sj_array::{ArraySchema, CellBatch, Chunk, DataType, DimensionDef, Value};
 
@@ -161,6 +162,34 @@ impl JoinUnitSpec {
         }
     }
 
+    /// [`JoinUnitSpec::unit_of`] reading the key columns of one row
+    /// directly — no per-row `Value` materialization. [`keys::hash_row`]
+    /// is bit-identical to [`hash_key`] over the materialized key, so
+    /// both entry points route cells identically.
+    pub fn unit_of_row(&self, batch: &CellBatch, key_cols: &[usize], row: usize) -> Result<usize> {
+        match self {
+            JoinUnitSpec::Chunks { dims } => {
+                debug_assert_eq!(key_cols.len(), dims.len());
+                let mut unit = 0u64;
+                for (d, &c) in dims.iter().zip(key_cols) {
+                    let coord = batch.attrs[c].coord_at(row).map_err(|e| {
+                        JoinError::InvalidPredicate(format!(
+                            "non-integral key value for join dimension `{}`: {e}",
+                            d.name
+                        ))
+                    })?;
+                    let clamped = coord.clamp(d.start, d.end);
+                    let idx = (clamped - d.start) as u64 / d.chunk_interval;
+                    unit = unit * d.chunk_count() + idx;
+                }
+                Ok(unit as usize)
+            }
+            JoinUnitSpec::HashBuckets { n } => {
+                Ok((keys::hash_row(batch, key_cols, row) % (*n).max(1) as u64) as usize)
+            }
+        }
+    }
+
     /// Whether units of this spec carry a dimension-space sort order
     /// (chunks are ordered; hash buckets are not).
     pub fn ordered(&self) -> bool {
@@ -203,16 +232,14 @@ pub fn map_slices<'a>(
     spec: &JoinUnitSpec,
 ) -> Result<SliceSet> {
     let mut set = SliceSet::new(spec.n_units(), layout);
-    // One flattening buffer reused across chunks (capacity persists) and
-    // one key buffer reused across rows — no per-chunk/per-row allocation.
+    // One flattening buffer reused across chunks (capacity persists);
+    // rows route columnar-ly — no per-chunk/per-row allocation.
     let mut flat = layout.empty_batch();
-    let mut key_buf: Vec<Value> = Vec::with_capacity(layout.key_cols.len());
     for chunk in chunks {
         flat.clear();
         layout.flatten_chunk(chunk, &mut flat)?;
         kernels::scatter_into::<JoinError>(&flat, &mut set.slices, |f, row| {
-            layout.key_into(f, row, &mut key_buf);
-            spec.unit_of(&key_buf)
+            spec.unit_of_row(f, &layout.key_cols, row)
         })?;
     }
     Ok(set)

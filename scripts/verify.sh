@@ -21,6 +21,12 @@ cargo test -q --test fault_determinism
 echo "==> golden equivalence: pipeline vs legacy ops, threads = 1, 2, 8"
 cargo test -q --features proptest --test golden_equivalence
 
+echo "==> join_kernels smoke run (snapshots BENCH_KERNELS.json)"
+smoke_log="target/join_kernels_smoke.log"
+JOIN_KERNELS_SMOKE=1 cargo bench -p sj-bench --bench join_kernels > "$smoke_log"
+grep '^{' "$smoke_log" > BENCH_KERNELS.json
+echo "    $(grep -c '^{' BENCH_KERNELS.json) points -> BENCH_KERNELS.json"
+
 echo "==> lints: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

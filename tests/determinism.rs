@@ -125,3 +125,117 @@ fn profile_reports_resolved_threads_and_phase_times() {
     assert!(!p.comparison_busy_seconds.is_empty());
     assert!(p.comparison_busy_seconds.len() <= 2);
 }
+
+// ---------------------------------------------------------------------
+// Kernel-vs-legacy bit identity on the determinism fixture
+// ---------------------------------------------------------------------
+//
+// The executor above rides the normalized-key kernels (radix sorts, the
+// columnar bucket-chain hash join). Their legacy counterparts are kept
+// callable; these tests pin, on the same skewed fixture data the
+// thread-count tests use, that each kernel is bit-identical to the path
+// it replaced — so the thread-invariance assertions above transitively
+// cover the legacy semantics too.
+
+use sj_array::{Histogram, Value};
+use sj_core::algorithms::{hash_join, hash_join_rowwise, Emitter};
+use sj_core::join_schema::{infer_join_schema, ColumnStats};
+use sj_core::predicate::JoinSide;
+
+#[test]
+fn radix_chunk_sorts_are_bit_identical_to_comparator_on_fixture() {
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 16,
+        chunk_interval: 64,
+        cells: 40_000,
+        spatial_alpha: 0.0,
+        value_alpha: 1.5,
+        value_domain: 20_000,
+        seed: 7,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let mut chunks = 0usize;
+    for array in [&a, &b] {
+        for (_, chunk) in array.chunks() {
+            // Un-sort a copy so the sorts have real work to do.
+            let mut radix = chunk.cells.clone();
+            let n = radix.len();
+            radix.apply_permutation(&(0..n).rev().collect::<Vec<_>>());
+            let mut comparator = radix.clone();
+            radix.sort_c_order();
+            comparator.sort_c_order_comparator();
+            assert_eq!(radix, comparator, "C-order sort diverged from legacy");
+            // Key-order sort on the dimension-less layout (value columns).
+            let mut radix = chunk.cells.clone();
+            radix.apply_permutation(&(0..n).rev().collect::<Vec<_>>());
+            let mut comparator = radix.clone();
+            radix.sort_by_attr_columns(&[0, 1]);
+            comparator.sort_by_attr_columns_comparator(&[0, 1]);
+            assert_eq!(radix, comparator, "attr sort diverged from legacy");
+            chunks += 1;
+        }
+    }
+    assert!(chunks > 8, "fixture should spread over many chunks");
+}
+
+#[test]
+fn columnar_hash_join_is_bit_identical_to_rowwise_on_fixture() {
+    // The exact executor-fixture arrays, joined whole (one unit) so the
+    // two algorithm implementations can be compared emission-for-emission.
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 16,
+        chunk_interval: 64,
+        cells: 40_000,
+        spatial_alpha: 0.0,
+        value_alpha: 1.5,
+        value_domain: 20_000,
+        seed: 7,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let p = sj_core::JoinPredicate::new(vec![("v1", "v1"), ("v2", "v2")]);
+    let mut stats = ColumnStats::new();
+    for (side, array) in [(JoinSide::Left, &a), (JoinSide::Right, &b)] {
+        for attr in ["v1", "v2"] {
+            let idx = array
+                .schema
+                .attrs
+                .iter()
+                .position(|d| d.name == attr)
+                .unwrap();
+            let hist =
+                Histogram::build(array.iter_cells().map(|(_, vs)| vs[idx].clone()), 16).unwrap();
+            stats.insert(side, attr, hist);
+        }
+    }
+    let js = infer_join_schema(&a.schema, &b.schema, &p, None, &stats).unwrap();
+
+    // Flatten both sides into the dimension-less join-unit layout
+    // (dims materialized first, then attributes).
+    let flatten = |array: &sj_array::Array| {
+        let ndims = array.schema.ndims();
+        let mut types: Vec<sj_array::DataType> = vec![sj_array::DataType::Int64; ndims];
+        types.extend(array.schema.attrs.iter().map(|d| d.dtype));
+        let mut flat = sj_array::CellBatch::new(0, &types);
+        let mut row: Vec<Value> = Vec::new();
+        for (coords, values) in array.iter_cells() {
+            row.clear();
+            row.extend(coords.iter().map(|&c| Value::Int(c)));
+            row.extend(values);
+            flat.push(&[], &row).unwrap();
+        }
+        flat
+    };
+    let (l, r) = (flatten(&a), flatten(&b));
+    let keys = [a.schema.ndims(), a.schema.ndims() + 1];
+
+    let mut em_new = Emitter::new(&js);
+    let n_new = hash_join(&l, &keys, &r, &keys, &mut em_new).unwrap();
+    let mut em_old = Emitter::new(&js);
+    let n_old = hash_join_rowwise(&l, &keys, &r, &keys, &mut em_old).unwrap();
+    assert!(n_new > 0, "fixture must produce matches");
+    assert_eq!(n_new, n_old);
+    // Emission order included — not just the match multiset.
+    assert_eq!(em_new.out, em_old.out);
+}

@@ -233,3 +233,97 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Normalized-key kernels vs. the legacy paths they replaced
+// ---------------------------------------------------------------------
+//
+// Everything the suite above runs now rides the radix sorts and the
+// columnar hash join. Their pre-rewrite implementations are kept
+// callable; this pins, on randomized arrays, that each kernel is
+// bit-identical to its legacy counterpart — ordering and emission order
+// included — so the thread-sweep assertions above carry over to the
+// legacy semantics unchanged.
+
+use skewjoin::array::Histogram;
+use skewjoin::join::algorithms::{hash_join, hash_join_rowwise, Emitter};
+use skewjoin::join::join_schema::{infer_join_schema, ColumnStats};
+use skewjoin::join::predicate::JoinSide;
+use skewjoin::{CellBatch, DataType};
+
+/// Flatten an array into the dimension-less join-unit layout
+/// (dimensions materialized as leading attribute columns).
+fn unit_layout(array: &Array) -> CellBatch {
+    let ndims = array.schema.ndims();
+    let mut types: Vec<DataType> = vec![DataType::Int64; ndims];
+    types.extend(array.schema.attrs.iter().map(|d| d.dtype));
+    let mut flat = CellBatch::new(0, &types);
+    let mut row: Vec<Value> = Vec::new();
+    for (coords, values) in array.iter_cells() {
+        row.clear();
+        row.extend(coords.iter().map(|&c| Value::Int(c)));
+        row.extend(values);
+        flat.push(&[], &row).unwrap();
+    }
+    flat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Per-chunk C-order and key-order radix sorts are bit-identical to
+    /// the legacy comparator sorts on randomized arrays.
+    #[test]
+    fn radix_sorts_match_legacy_comparator_sorts(
+        cells in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..80),
+    ) {
+        let a = build_array("A", &cells);
+        for (_, chunk) in a.chunks() {
+            let n = chunk.cells.len();
+            let mut radix = chunk.cells.clone();
+            radix.apply_permutation(&(0..n).rev().collect::<Vec<_>>());
+            let mut comparator = radix.clone();
+            radix.sort_c_order();
+            comparator.sort_c_order_comparator();
+            prop_assert_eq!(&radix, &comparator);
+        }
+        let mut radix = unit_layout(&a);
+        let mut comparator = radix.clone();
+        radix.sort_by_attr_columns(&[2, 3]);
+        comparator.sort_by_attr_columns_comparator(&[2, 3]);
+        prop_assert_eq!(&radix, &comparator);
+    }
+
+    /// The columnar bucket-chain hash join emits exactly what the legacy
+    /// row-wise HashMap join emitted — same matches, same order.
+    #[test]
+    fn columnar_hash_join_matches_rowwise_join(
+        cells_a in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..60),
+        cells_b in proptest::collection::vec((1i64..=12, 1i64..=12, 1i64..=30, 1i64..=30), 1..60),
+    ) {
+        let a = build_array("A", &cells_a);
+        let b = build_array("B", &cells_b);
+        let p = JoinPredicate::new(vec![("v", "v"), ("w", "w")]);
+        let mut stats = ColumnStats::new();
+        for (side, arr) in [(JoinSide::Left, &a), (JoinSide::Right, &b)] {
+            for (idx, attr) in ["v", "w"].iter().enumerate() {
+                let hist = Histogram::build(
+                    arr.iter_cells().map(|(_, vs)| vs[idx].clone()),
+                    8,
+                )
+                .unwrap();
+                stats.insert(side, *attr, hist);
+            }
+        }
+        let js = infer_join_schema(&a.schema, &b.schema, &p, None, &stats).unwrap();
+        let (l, r) = (unit_layout(&a), unit_layout(&b));
+        let keys = [2usize, 3];
+
+        let mut em_new = Emitter::new(&js);
+        let n_new = hash_join(&l, &keys, &r, &keys, &mut em_new).unwrap();
+        let mut em_old = Emitter::new(&js);
+        let n_old = hash_join_rowwise(&l, &keys, &r, &keys, &mut em_old).unwrap();
+        prop_assert_eq!(n_new, n_old);
+        prop_assert_eq!(&em_new.out, &em_old.out);
+    }
+}

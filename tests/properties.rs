@@ -240,3 +240,143 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Normalized-key kernel invariants
+// ---------------------------------------------------------------------
+
+use skewjoin::array::keys::{encode_f64, encode_i64, encode_rows_u64};
+use skewjoin::array::keys::{radix_sort_by_attr_columns, radix_sort_c_order};
+
+/// Integer keys biased toward boundaries and a tiny tie-heavy domain.
+fn key_i64() -> impl Strategy<Value = i64> {
+    (0u8..8, any::<i64>()).prop_map(|(sel, raw)| match sel {
+        0 => i64::MIN,
+        1 => i64::MAX,
+        2 => 0,
+        3 => -1,
+        4 => raw,
+        _ => raw % 5,
+    })
+}
+
+/// Float keys covering NaN, infinities, signed zero, and ties.
+fn key_f64() -> impl Strategy<Value = f64> {
+    (0u8..8, any::<f64>()).prop_map(|(sel, raw)| match sel {
+        0 => f64::NAN,
+        1 => f64::NEG_INFINITY,
+        2 => f64::INFINITY,
+        3 => -0.0,
+        4 => 0.0,
+        5 => raw,
+        _ => ((raw.to_bits() % 7) as f64 - 3.0) * 0.5,
+    })
+}
+
+/// Batch equality with float columns compared by bit pattern (derived
+/// `PartialEq` fails on NaN even for identical batches).
+fn assert_bit_identical(
+    a: &CellBatch,
+    b: &CellBatch,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(&a.coords, &b.coords);
+    prop_assert_eq!(a.nattrs(), b.nattrs());
+    for (ca, cb) in a.attrs.iter().zip(&b.attrs) {
+        match (ca, cb) {
+            (skewjoin::array::Column::Float(x), skewjoin::array::Column::Float(y)) => {
+                let xb: Vec<u64> = x.iter().map(|f| f.to_bits()).collect();
+                let yb: Vec<u64> = y.iter().map(|f| f.to_bits()).collect();
+                prop_assert_eq!(xb, yb);
+            }
+            _ => prop_assert_eq!(ca, cb),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The i64 key encoding is order-preserving across the whole domain,
+    /// including i64::MIN/MAX and ties.
+    #[test]
+    fn encode_i64_preserves_order(a in key_i64(), b in key_i64()) {
+        prop_assert_eq!(encode_i64(a).cmp(&encode_i64(b)), a.cmp(&b));
+    }
+
+    /// The f64 key encoding realizes IEEE totalOrder — the comparator
+    /// the column sorts use — NaNs and signed zeros included.
+    #[test]
+    fn encode_f64_preserves_total_order(a in key_f64(), b in key_f64()) {
+        prop_assert_eq!(encode_f64(a).cmp(&encode_f64(b)), a.total_cmp(&b));
+    }
+
+    /// The radix C-order sort is bit-identical to the comparator sort on
+    /// arbitrary coordinate batches: same order, same tie-breaking.
+    #[test]
+    fn radix_c_order_equals_comparator(
+        cells in proptest::collection::vec((key_i64(), key_i64()), 0..200),
+    ) {
+        let mut radix = CellBatch::new(2, &[DataType::Int64]);
+        for (n, (i, j)) in cells.iter().enumerate() {
+            radix.push(&[*i, *j], &[Value::Int(n as i64)]).unwrap();
+        }
+        let mut comparator = radix.clone();
+        prop_assert!(radix_sort_c_order(&mut radix));
+        comparator.sort_c_order_comparator();
+        // The payload column pins the permutation: stability included.
+        prop_assert_eq!(&radix, &comparator);
+        prop_assert!(radix.is_sorted_c_order());
+    }
+
+    /// The radix attribute sort is bit-identical to the comparator sort
+    /// over mixed int/float/bool keys, for every key-column order.
+    #[test]
+    fn radix_attr_sort_equals_comparator(
+        rows in proptest::collection::vec((key_i64(), key_f64(), any::<bool>()), 0..150),
+    ) {
+        for cols in [vec![0usize], vec![1], vec![2], vec![1, 0], vec![2, 1, 0]] {
+            let mut radix = CellBatch::new(
+                0,
+                &[DataType::Int64, DataType::Float64, DataType::Bool, DataType::Int64],
+            );
+            for (n, (i, f, x)) in rows.iter().enumerate() {
+                radix
+                    .push(&[], &[Value::Int(*i), Value::Float(*f), Value::Bool(*x), Value::Int(n as i64)])
+                    .unwrap();
+            }
+            let mut comparator = radix.clone();
+            prop_assert!(radix_sort_by_attr_columns(&mut radix, &cols));
+            comparator.sort_by_attr_columns_comparator(&cols);
+            assert_bit_identical(&radix, &comparator)?;
+            prop_assert!(radix.is_sorted_by_attr_columns(&cols));
+        }
+    }
+
+    /// The merge join's uncompressed u64 keys order rows exactly like
+    /// the column comparator, ties included.
+    #[test]
+    fn encode_rows_u64_matches_column_comparator(
+        ints in proptest::collection::vec(key_i64(), 0..100),
+        floats in proptest::collection::vec(key_f64(), 0..100),
+    ) {
+        let mut bi = CellBatch::new(0, &[DataType::Int64]);
+        for i in &ints {
+            bi.push(&[], &[Value::Int(*i)]).unwrap();
+        }
+        let keys = encode_rows_u64(&bi, &[0]).unwrap();
+        for a in 0..bi.len() {
+            for b in 0..bi.len() {
+                prop_assert_eq!(keys[a].cmp(&keys[b]), bi.cmp_by_attr_columns(&[0], a, b));
+            }
+        }
+        let mut bf = CellBatch::new(0, &[DataType::Float64]);
+        for f in &floats {
+            bf.push(&[], &[Value::Float(*f)]).unwrap();
+        }
+        let keys = encode_rows_u64(&bf, &[0]).unwrap();
+        for a in 0..bf.len() {
+            for b in 0..bf.len() {
+                prop_assert_eq!(keys[a].cmp(&keys[b]), bf.cmp_by_attr_columns(&[0], a, b));
+            }
+        }
+    }
+}
