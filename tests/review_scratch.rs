@@ -1,0 +1,33 @@
+use sj_array::{ArraySchema, CellBatch, DataType, Histogram, Value};
+use sj_core::algorithms::{hash_join, hash_join_rowwise, Emitter};
+use sj_core::{infer_join_schema, ColumnStats, JoinPredicate, JoinSide};
+
+fn mk(rows: &[(i64, f64)]) -> CellBatch {
+    let mut c = CellBatch::new(0, &[DataType::Int64, DataType::Float64]);
+    for &(i, v) in rows {
+        c.push(&[], &[Value::Int(i), Value::Float(v)]).unwrap();
+    }
+    c
+}
+
+#[test]
+fn signed_zero_hash_join_divergence() {
+    let a = ArraySchema::parse("A<v:float>[i=1,100,10]").unwrap();
+    let b = ArraySchema::parse("B<w:float>[j=1,100,10]").unwrap();
+    let p = JoinPredicate::new(vec![("v", "w")]);
+    let mut stats = ColumnStats::new();
+    stats.insert(
+        JoinSide::Left,
+        "v",
+        Histogram::build((1..=10).map(Value::Int), 4).unwrap(),
+    );
+    let js = infer_join_schema(&a, &b, &p, None, &stats).unwrap();
+    let l = mk(&[(1, -0.0)]);
+    let r = mk(&[(2, 0.0), (3, -0.0)]);
+    let mut em_new = Emitter::new(&js);
+    let mut em_old = Emitter::new(&js);
+    let n_new = hash_join(&l, &[1], &r, &[1], &mut em_new).unwrap();
+    let n_old = hash_join_rowwise(&l, &[1], &r, &[1], &mut em_old).unwrap();
+    println!("columnar={n_new} rowwise={n_old}");
+    assert_eq!(n_new, n_old, "columnar hash join diverges from rowwise on signed zeros");
+}
