@@ -10,10 +10,11 @@
 //! next to the fault counters — the "2.5× speedup, but at what
 //! availability cost?" curve.
 
+use sj_array::Array;
 use sj_bench::{bench_params, harness::json_str};
 use sj_cluster::{Cluster, FaultPlan, NetworkModel, Placement};
-use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
-use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
+use sj_core::exec::{execute_join, ExecConfig, JoinMetrics, JoinQuery};
+use sj_core::{JoinAlgo, JoinPredicate, MetricsView, PlannerKind};
 use sj_workload::{skewed_pair, SkewedArrayConfig};
 
 const NODES: usize = 6;
@@ -55,20 +56,25 @@ fn main() {
     )
     .with_selectivity(0.0001);
     let params = bench_params(32);
-    let base_config = |faults: FaultPlan| ExecConfig {
-        planner: PlannerKind::MinBandwidth,
-        cost_params: params,
-        forced_algo: Some(JoinAlgo::Hash),
-        hash_buckets: Some(256),
-        faults,
-        ..ExecConfig::default()
+    let base_config = |faults: FaultPlan| -> ExecConfig {
+        ExecConfig::builder()
+            .planner(PlannerKind::MinBandwidth)
+            .cost_params(params)
+            .forced_algo(JoinAlgo::Hash)
+            .hash_buckets(256)
+            .faults(faults)
+            .build()
+            .expect("fault bench config invalid")
+    };
+    let run = |config: &ExecConfig| -> (Array, JoinMetrics) {
+        let run = execute_join(&cluster, &query, config).expect("join must survive the fault plan");
+        let m = run.telemetry.join_metrics().expect("join span recorded");
+        (run.array, m)
     };
 
     // Fault-free reference: fixes the expected output and the clean
     // makespan the crash schedule is staggered across.
-    let (clean_out, clean) =
-        execute_shuffle_join(&cluster, &query, &base_config(FaultPlan::none()))
-            .expect("clean reference join failed");
+    let (clean_out, clean) = run(&base_config(FaultPlan::none()));
     let mut clean_cells: Vec<_> = clean_out.iter_cells().collect();
     clean_cells.sort();
     println!(
@@ -91,8 +97,7 @@ fn main() {
                 let at = clean.shuffle.makespan * (i + 1) as f64 / (failures + 1) as f64;
                 faults = faults.with_crash(node, at);
             }
-            let (out, m) = execute_shuffle_join(&cluster, &query, &base_config(faults))
-                .expect("join must survive the fault plan");
+            let (out, m) = run(&base_config(faults));
             let mut cells: Vec<_> = out.iter_cells().collect();
             cells.sort();
             assert_eq!(

@@ -8,9 +8,9 @@
 //! observed latency, with the minimum-cost plan also the fastest at
 //! every selectivity.
 
-use sj_bench::{bench_params, r_squared_loglog};
+use sj_bench::{bench_params, r_squared_loglog, run_join};
 use sj_cluster::{Cluster, Placement};
-use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use sj_core::exec::JoinQuery;
 use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
 use sj_workload::{selectivity_output_schema, selectivity_pair};
 
@@ -43,18 +43,21 @@ fn main() {
 
         let mut per_algo: Vec<(JoinAlgo, f64, f64)> = Vec::new();
         for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
-            let config = ExecConfig {
-                planner: PlannerKind::MinBandwidth,
-                cost_params: params,
-                hash_buckets: Some(64),
-                forced_algo: Some(algo),
-                ..ExecConfig::default()
+            let run = || {
+                run_join(
+                    &cluster,
+                    &query,
+                    PlannerKind::MinBandwidth,
+                    Some(algo),
+                    params,
+                    Some(64),
+                )
             };
             // Paper §6: "executed 3 times. We report the average".
             let mut wall_ms = 0.0;
-            let mut m = execute_shuffle_join(&cluster, &query, &config).unwrap().1;
+            let mut m = run();
             for _ in 0..3 {
-                m = execute_shuffle_join(&cluster, &query, &config).unwrap().1;
+                m = run();
                 // Execution time of the plan itself (slice mapping +
                 // network + comparison + output), excluding the per-query
                 // statistics collection shared by every plan.

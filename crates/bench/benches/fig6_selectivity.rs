@@ -9,9 +9,9 @@
 //!   high selectivity (it front-loads the reordering);
 //! * nested loop is always the worst.
 
-use sj_bench::bench_params;
+use sj_bench::{bench_params, run_join};
 use sj_cluster::{Cluster, Placement};
-use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use sj_core::exec::JoinQuery;
 use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
 use sj_workload::{selectivity_output_schema, selectivity_pair};
 
@@ -43,18 +43,21 @@ fn main() {
             .into_schema(out)
             .with_selectivity(sel);
         for (algo, ys) in &mut series {
-            let config = ExecConfig {
-                planner: PlannerKind::MinBandwidth,
-                cost_params: params,
-                hash_buckets: Some(64),
-                forced_algo: Some(*algo),
-                ..ExecConfig::default()
+            let run = || {
+                run_join(
+                    &cluster,
+                    &query,
+                    PlannerKind::MinBandwidth,
+                    Some(*algo),
+                    params,
+                    Some(64),
+                )
             };
             // 3-run average, discarding one warm-up run.
-            let _ = execute_shuffle_join(&cluster, &query, &config).unwrap();
+            let _ = run();
             let mut avg = 0.0;
             for _ in 0..3 {
-                let (_, m) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+                let m = run();
                 avg +=
                     (m.slice_map_seconds + m.alignment_seconds + m.comparison_seconds) * 1e3 / 3.0;
             }

@@ -29,6 +29,7 @@ use sj_bench::harness::{Options, Runner};
 use sj_core::algorithms::{hash_join, hash_join_rowwise, Emitter};
 use sj_core::join_schema::{infer_join_schema, ColumnStats};
 use sj_core::predicate::{JoinPredicate, JoinSide};
+use sj_telemetry::{TelemetryConfig, Tracer};
 use sj_workload::{Rng64, Zipf};
 
 /// Shuffled batch with `ndims` coordinate dimensions and one int attr.
@@ -186,6 +187,49 @@ fn main() {
                 "# hash_join workload: probe {n} rows (Zipf 1.0), build {} rows, {} matches",
                 build.len(),
                 matches.0
+            );
+        }
+    }
+
+    // --- Disabled-telemetry overhead gate: the executor wraps every join
+    // in spans and fields; with `TelemetryConfig::Off` that wrapping must
+    // cost < 2% of a hash-join batch (the telemetry subsystem's
+    // compile-away contract). Both points run the identical columnar
+    // join; the `off_spans` point adds the executor-style span tree
+    // around it through a disabled tracer.
+    {
+        let mut group = runner.group("join_kernels");
+        let bare = group.bench(&format!("telemetry/no_spans/{n}"), || {
+            let mut em = Emitter::new(&js);
+            hash_join(&probe, &[1], &build, &[1], &mut em).unwrap();
+            em.len()
+        });
+        let tracer = Tracer::new(&TelemetryConfig::Off);
+        let traced = group.bench(&format!("telemetry/off_spans/{n}"), || {
+            let span = tracer.root("join");
+            span.field("algo", "hashJoin");
+            span.field("threads", 1usize);
+            let mut em = Emitter::new(&js);
+            let ex = span.child("execute");
+            let m = hash_join(&probe, &[1], &build, &[1], &mut em).unwrap();
+            drop(ex);
+            span.field("matches", m);
+            tracer.counter("kernel.matches").add(m as u64);
+            em.len()
+        });
+        if let (Some(bare), Some(traced)) = (bare, traced) {
+            let overhead = traced.min_ns / bare.min_ns - 1.0;
+            eprintln!(
+                "# disabled-telemetry overhead: {:+.3}% (gate: < 2%)",
+                overhead * 100.0
+            );
+            assert!(
+                overhead < 0.02,
+                "disabled telemetry costs {:.2}% of a hash-join batch (budget 2%): \
+                 bare {:.0} ns/iter vs traced {:.0} ns/iter",
+                overhead * 100.0,
+                bare.min_ns,
+                traced.min_ns
             );
         }
     }

@@ -10,8 +10,8 @@
 //! LPT schedule keeping workers evenly loaded despite Zipfian skew.
 
 use sj_bench::{bench_params, cluster_with_pair, harness::json_str};
-use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
-use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
+use sj_core::exec::{execute_join, ExecConfig, JoinQuery};
+use sj_core::{JoinAlgo, JoinPredicate, MetricsView, PlannerKind};
 use sj_workload::{skewed_pair, SkewedArrayConfig};
 
 const BUCKETS: usize = 256;
@@ -55,16 +55,19 @@ fn main() {
         let mut matches = 0;
         let mut busy = Vec::new();
         for _ in 0..RUNS {
-            let config = ExecConfig {
-                planner: PlannerKind::Tabu,
-                cost_params: params,
-                forced_algo: Some(JoinAlgo::Hash),
-                hash_buckets: Some(BUCKETS),
-                threads,
-                ..ExecConfig::default()
-            };
-            let (_, m) =
-                execute_shuffle_join(&cluster, &query, &config).expect("speedup bench join failed");
+            let config = ExecConfig::builder()
+                .planner(PlannerKind::Tabu)
+                .cost_params(params)
+                .forced_algo(JoinAlgo::Hash)
+                .hash_buckets(BUCKETS)
+                .threads(threads)
+                .build()
+                .expect("speedup bench config invalid");
+            let m = execute_join(&cluster, &query, &config)
+                .expect("speedup bench join failed")
+                .telemetry
+                .join_metrics()
+                .expect("join span recorded");
             let total = (m.profile.slice_map_wall_seconds
                 + m.profile.comparison_wall_seconds
                 + m.profile.output_wall_seconds)

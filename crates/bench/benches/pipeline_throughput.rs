@@ -14,7 +14,7 @@ use sj_array::{ArraySchema, BinOp, Expr};
 use sj_bench::harness::{Options, Runner};
 use sj_cluster::{Cluster, NetworkModel, Placement};
 use sj_core::exec::ExecConfig;
-use sj_core::{rewrite, run_plan, PlanNode};
+use sj_core::{rewrite, run_plan, PlanNode, TelemetryConfig};
 use sj_workload::{skewed_array, SkewedArrayConfig};
 
 fn cluster_with(cells: usize) -> Cluster {
@@ -83,7 +83,11 @@ fn main() {
         measure: Duration::from_secs(1),
         ..Options::default()
     });
-    let config = ExecConfig::default();
+    // Throughput numbers should measure the pipeline, not trace recording.
+    let config = ExecConfig::builder()
+        .telemetry(TelemetryConfig::Off)
+        .build()
+        .unwrap();
     for &cells in &[5_000usize, 20_000, 80_000] {
         let cluster = cluster_with(cells);
         let mut group = runner.group("pipeline");

@@ -11,11 +11,9 @@ pub mod harness;
 use std::time::Duration;
 
 use sj_cluster::{Cluster, NetworkModel, Placement};
-use sj_core::exec::{
-    calibrate_cost_params, execute_shuffle_join, ExecConfig, JoinMetrics, JoinQuery,
-};
+use sj_core::exec::{calibrate_cost_params, execute_join, ExecConfig, JoinMetrics, JoinQuery};
 use sj_core::physical::CostParams;
-use sj_core::{JoinAlgo, PlannerKind};
+use sj_core::{JoinAlgo, MetricsView, PlannerKind};
 
 /// The five physical planners of §6.2, in the paper's display order,
 /// with the given ILP time budget.
@@ -65,16 +63,19 @@ pub fn run_join(
     params: CostParams,
     hash_buckets: Option<usize>,
 ) -> JoinMetrics {
-    let config = ExecConfig {
-        planner,
-        cost_params: params,
-        hash_buckets,
-        forced_algo: algo,
-        ..ExecConfig::default()
-    };
-    execute_shuffle_join(cluster, query, &config)
+    let mut builder = ExecConfig::builder().planner(planner).cost_params(params);
+    if let Some(buckets) = hash_buckets {
+        builder = builder.hash_buckets(buckets);
+    }
+    if let Some(algo) = algo {
+        builder = builder.forced_algo(algo);
+    }
+    let config = builder.build().expect("benchmark config invalid");
+    execute_join(cluster, query, &config)
         .expect("benchmark join failed")
-        .1
+        .telemetry
+        .join_metrics()
+        .expect("join span missing from benchmark trace")
 }
 
 /// One row of a phase-breakdown table (the stacked bars of Figs 7–10).

@@ -26,4 +26,7 @@ pub use error::{ClusterError, Result};
 pub use fault::{FaultPlan, NodeCrash, RecoveryOptions, Straggler};
 pub use network::NetworkModel;
 pub use placement::Placement;
-pub use shuffle::{simulate_shuffle, simulate_shuffle_with_faults, ShuffleReport, Transfer};
+pub use shuffle::{
+    simulate_shuffle, simulate_shuffle_with_faults, simulate_shuffle_with_faults_traced,
+    ShuffleReport, Transfer,
+};

@@ -197,6 +197,64 @@ pub fn simulate_shuffle_with_faults(
     Ok(sim.report)
 }
 
+/// [`simulate_shuffle_with_faults`], recording the outcome onto `span`
+/// (a `shuffle` telemetry span). The simulation itself is untouched —
+/// recording happens once, after the event loop — so results are
+/// bit-identical to the untraced call. Per-node traffic, crashes, and
+/// destination reassignments become child spans; scalar totals become
+/// fields. The span tree is the single source of truth the legacy
+/// [`ShuffleReport`] view is rebuilt from, so every field is typed
+/// (`u64`/`f64`) and recorded exactly.
+pub fn simulate_shuffle_with_faults_traced(
+    k: usize,
+    network: &NetworkModel,
+    transfers: &[Transfer],
+    faults: &FaultPlan,
+    recovery: &RecoveryOptions,
+    span: &sj_telemetry::SpanGuard,
+) -> Result<ShuffleReport> {
+    let report = simulate_shuffle_with_faults(k, network, transfers, faults, recovery)?;
+    if span.enabled() {
+        record_shuffle_report(&report, faults, span);
+    }
+    Ok(report)
+}
+
+/// Write one [`ShuffleReport`] onto a `shuffle` span.
+fn record_shuffle_report(
+    report: &ShuffleReport,
+    faults: &FaultPlan,
+    span: &sj_telemetry::SpanGuard,
+) {
+    span.field("makespan_seconds", report.makespan);
+    span.field("network_bytes", report.network_bytes);
+    span.field("local_bytes", report.local_bytes);
+    span.field("network_transfers", report.network_transfers);
+    span.field("retries", report.retries);
+    span.field("reroutes", report.reroutes);
+    span.field("recovery_bytes", report.recovery_bytes);
+    span.field("checksum_failures", report.checksum_failures);
+    span.field("dropped_transfers", report.dropped_transfers);
+    span.field("timeouts", report.timeouts);
+    span.field("degraded", report.degraded);
+    span.field("injected", !faults.is_none());
+    for (node, (&sent, &recv)) in report.sent_bytes.iter().zip(&report.recv_bytes).enumerate() {
+        let n = span.child("node");
+        n.field("node", node);
+        n.field("sent_bytes", sent);
+        n.field("recv_bytes", recv);
+    }
+    for &node in &report.failed_nodes {
+        let c = span.child("crash");
+        c.field("node", node);
+    }
+    for &(from, to) in &report.reassigned {
+        let r = span.child("reassign");
+        r.field("from", from);
+        r.field("to", to);
+    }
+}
+
 struct Sim<'a> {
     k: usize,
     network: &'a NetworkModel,

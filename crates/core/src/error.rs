@@ -20,6 +20,9 @@ pub enum JoinError {
     Cluster(sj_cluster::ClusterError),
     /// The physical planner failed to produce an assignment.
     Planning(String),
+    /// An [`crate::exec::ExecConfig`] builder rejected an incoherent
+    /// combination of settings.
+    Config(String),
     /// Internal invariant violation.
     Internal(String),
 }
@@ -34,6 +37,7 @@ impl fmt::Display for JoinError {
             JoinError::Storage(msg) => write!(f, "storage error: {msg}"),
             JoinError::Cluster(e) => write!(f, "cluster error: {e}"),
             JoinError::Planning(msg) => write!(f, "planning error: {msg}"),
+            JoinError::Config(msg) => write!(f, "invalid execution config: {msg}"),
             JoinError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -24,8 +24,10 @@ use std::time::{Duration, Instant};
 use sj_array::ops::kernels;
 use sj_array::{Array, ArraySchema, CellBatch, Histogram, Value};
 use sj_cluster::{
-    simulate_shuffle, simulate_shuffle_with_faults, Cluster, FaultPlan, ShuffleReport, Transfer,
+    simulate_shuffle_with_faults_traced, Cluster, FaultPlan, RecoveryOptions, ShuffleReport,
+    Transfer,
 };
+use sj_telemetry::{encode_f64s, SpanGuard, Telemetry, TelemetryConfig, Tracer};
 
 use crate::algorithms::{run_join, Emitter, JoinAlgo};
 use crate::error::{JoinError, Result};
@@ -35,6 +37,7 @@ use crate::parallel::{par_map, par_map_weighted, resolve_threads};
 use crate::physical::{plan_physical_resilient, CostParams, PlanTier, PlannerKind, SliceStats};
 use crate::predicate::{JoinPredicate, JoinSide};
 use crate::unit::{map_slices, SliceSet};
+use crate::views::{solve_status_token, MetricsView};
 
 /// A join query against two arrays loaded in a cluster.
 #[derive(Debug, Clone)]
@@ -101,6 +104,10 @@ pub struct ExecConfig {
     /// `FaultPlan::none()` (the default) takes the exact fault-free code
     /// path — reports are bit-identical to a build without this field.
     pub faults: FaultPlan,
+    /// Telemetry collection mode. `Tree` (the default) records spans in
+    /// memory; `Json { path }` additionally exports them as JSON lines;
+    /// `Off` compiles the instrumentation down to no-ops.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ExecConfig {
@@ -112,7 +119,115 @@ impl Default for ExecConfig {
             forced_algo: None,
             threads: 0,
             faults: FaultPlan::none(),
+            telemetry: TelemetryConfig::default(),
         }
+    }
+}
+
+impl ExecConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> ExecConfigBuilder {
+        ExecConfigBuilder::default()
+    }
+}
+
+/// Validating builder for [`ExecConfig`]: the only construction path that
+/// rejects incoherent knob combinations (a crash-injecting fault plan
+/// with retries disabled, zero hash buckets, an empty telemetry sink
+/// path, …) instead of failing mysteriously mid-join.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfigBuilder {
+    config: ExecConfig,
+}
+
+impl ExecConfigBuilder {
+    /// Choose the physical planner.
+    pub fn planner(mut self, planner: PlannerKind) -> Self {
+        self.config.planner = planner;
+        self
+    }
+
+    /// Override the analytical cost-model parameters.
+    pub fn cost_params(mut self, params: CostParams) -> Self {
+        self.config.cost_params = params;
+        self
+    }
+
+    /// Override the hash bucket count for hash-partitioned plans.
+    pub fn hash_buckets(mut self, buckets: usize) -> Self {
+        self.config.hash_buckets = Some(buckets);
+        self
+    }
+
+    /// Force a specific join algorithm.
+    pub fn forced_algo(mut self, algo: JoinAlgo) -> Self {
+        self.config.forced_algo = Some(algo);
+        self
+    }
+
+    /// Set the worker-thread count (`0` = machine parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Inject a fault schedule into the shuffle.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Set the telemetry collection mode.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
+    /// Validate the combination and produce the config.
+    ///
+    /// Rejections are [`JoinError::Config`] and name the offending knob.
+    pub fn build(self) -> Result<ExecConfig> {
+        let c = &self.config;
+        if c.hash_buckets == Some(0) {
+            return Err(JoinError::Config("hash_buckets must be at least 1".into()));
+        }
+        let f = &c.faults;
+        if !(0.0..1.0).contains(&f.drop_rate) {
+            return Err(JoinError::Config(format!(
+                "fault drop_rate {} outside [0, 1)",
+                f.drop_rate
+            )));
+        }
+        if !(0.0..1.0).contains(&f.corrupt_rate) {
+            return Err(JoinError::Config(format!(
+                "fault corrupt_rate {} outside [0, 1)",
+                f.corrupt_rate
+            )));
+        }
+        if f.stragglers.iter().any(|s| s.factor < 1.0) {
+            return Err(JoinError::Config(
+                "straggler slowdown factor must be >= 1".into(),
+            ));
+        }
+        if matches!(f.transfer_timeout, Some(t) if t <= 0.0) {
+            return Err(JoinError::Config(
+                "transfer_timeout must be positive".into(),
+            ));
+        }
+        let lossy = !f.crashes.is_empty() || f.drop_rate > 0.0 || f.corrupt_rate > 0.0;
+        if lossy && f.max_retries == 0 {
+            return Err(JoinError::Config(
+                "fault plan injects losses (crashes/drops/corruption) but max_retries is 0: \
+                 no transfer could ever recover"
+                    .into(),
+            ));
+        }
+        if matches!(&c.telemetry, TelemetryConfig::Json { path } if path.is_empty()) {
+            return Err(JoinError::Config(
+                "telemetry JSON sink requires a non-empty path".into(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -199,27 +314,62 @@ impl JoinMetrics {
     }
 }
 
+/// A completed join: the destination array (gathered at the coordinator)
+/// plus the run's [`Telemetry`] — the single source of truth for all
+/// metrics. [`crate::views::MetricsView`] derives the legacy
+/// [`JoinMetrics`] view from it.
+#[derive(Debug, Clone)]
+pub struct JoinRun {
+    /// The joined destination array.
+    pub array: Array,
+    /// Span tree and counters recorded while the join ran.
+    pub telemetry: Telemetry,
+}
+
 /// Execute `query` on `cluster` under `config`, returning the destination
-/// array (gathered at the coordinator) and the run's metrics.
-pub fn execute_shuffle_join(
+/// array and the run's telemetry (exported to `config.telemetry`'s sink,
+/// if one is configured).
+pub fn execute_join(cluster: &Cluster, query: &JoinQuery, config: &ExecConfig) -> Result<JoinRun> {
+    let tracer = Tracer::new(&config.telemetry);
+    let root = tracer.root("query");
+    let array = execute_join_traced(cluster, query, config, &root)?;
+    drop(root);
+    let telemetry = tracer.finish();
+    telemetry
+        .export(&config.telemetry)
+        .map_err(|e| JoinError::Storage(format!("telemetry export failed: {e}")))?;
+    Ok(JoinRun { array, telemetry })
+}
+
+/// Execute `query` inside an existing span tree: records a `join` span
+/// (with `logical_plan`, `slice_map`, `physical_plan`, `shuffle`,
+/// `execute`, and `output` phase children) under `parent` and returns the
+/// destination array.
+///
+/// All span recording happens on the coordinator thread in program order;
+/// per-worker measurements travel as encoded fields, so the span tree's
+/// *structure* is identical for every `threads` setting.
+pub fn execute_join_traced(
     cluster: &Cluster,
     query: &JoinQuery,
     config: &ExecConfig,
-) -> Result<(Array, JoinMetrics)> {
+    parent: &SpanGuard,
+) -> Result<Array> {
+    let span = parent.child("join");
     let k = cluster.node_count();
     let threads = resolve_threads(config.threads);
-    let mut profile = ExecProfile {
-        threads,
-        ..ExecProfile::default()
-    };
+    span.field("threads", threads);
+
+    // ---- Logical planning. ------------------------------------------------
+    let lp = span.child("logical_plan");
     let catalog = cluster.catalog();
     let left_schema = catalog.schema(&query.left)?.clone();
     let right_schema = catalog.schema(&query.right)?.clone();
-
-    // ---- Logical planning. ------------------------------------------------
     let t0 = Instant::now();
+    let cs = lp.child("column_stats");
     let stats = cluster_column_stats(cluster, query, threads)?;
-    profile.stats_wall_seconds = t0.elapsed().as_secs_f64();
+    cs.field("wall_seconds", t0.elapsed().as_secs_f64());
+    drop(cs);
     let js = infer_join_schema(
         &left_schema,
         &right_schema,
@@ -245,13 +395,21 @@ pub fn execute_shuffle_join(
         None => plan_join(&js, &left_schema, &right_schema, &lstats)?,
         Some(algo) => plan_join_with_algo(&js, &left_schema, &right_schema, &lstats, algo)?,
     };
-    let logical_planning = t0.elapsed();
+    lp.field("hash_buckets", lstats.hash_buckets);
+    lp.field("cost", logical.cost.total());
+    drop(lp);
+    span.field("algo", logical.algo.name());
+    if span.enabled() {
+        let afl = logical.render_afl(&query.left, &query.right, &js.output.name);
+        span.field("afl", afl);
+    }
 
     // ---- Slice mapping (per node, both sides). ----------------------------
     // Every simulated node's slice function is independent, so nodes map
     // on real worker threads; results are collected in node-id order.
     let unit_spec = logical.unit_spec.clone();
     let n_units = unit_spec.n_units();
+    let sm = span.child("slice_map");
     let t_sm = Instant::now();
     let (mapped, sm_pool) = par_map(threads, k, |node_id| -> Result<(SliceSet, SliceSet, f64)> {
         let node = &cluster.nodes()[node_id];
@@ -268,17 +426,25 @@ pub fn execute_shuffle_join(
         )?;
         Ok((ls, rs, t.elapsed().as_secs_f64()))
     });
-    profile.slice_map_wall_seconds = t_sm.elapsed().as_secs_f64();
-    profile.slice_map_busy_seconds = sm_pool.busy_seconds;
+    sm.field("wall_seconds", t_sm.elapsed().as_secs_f64());
+    if sm.enabled() {
+        sm.field("busy_seconds", encode_f64s(&sm_pool.busy_seconds));
+    }
     let mut slice_map_seconds = 0.0f64;
     let mut left_slices: Vec<SliceSet> = Vec::with_capacity(k);
     let mut right_slices: Vec<SliceSet> = Vec::with_capacity(k);
-    for result in mapped {
+    for (node, result) in mapped.into_iter().enumerate() {
         let (ls, rs, secs) = result?;
         slice_map_seconds = slice_map_seconds.max(secs);
+        if sm.enabled() {
+            let n = sm.child("node");
+            n.field("node", node);
+            n.field("seconds", secs);
+        }
         left_slices.push(ls);
         right_slices.push(rs);
     }
+    sm.field("max_node_seconds", slice_map_seconds);
 
     // ---- Coordinator collects slice statistics. ----------------------------
     let mut sstats = SliceStats::new(n_units, k);
@@ -288,6 +454,7 @@ pub fn execute_shuffle_join(
             sstats.right[i][j] = right_slices[j].slices[i].len() as u64;
         }
     }
+    drop(sm);
 
     // ---- Physical planning. -------------------------------------------------
     let larger_side = if n_left >= n_right {
@@ -297,6 +464,7 @@ pub fn execute_shuffle_join(
     };
     // The degrade-gracefully chain: never fail the join because the
     // requested planner (or the cluster) is having a bad day.
+    let pp = span.child("physical_plan");
     let pplan = plan_physical_resilient(
         &config.planner,
         &sstats,
@@ -305,8 +473,25 @@ pub fn execute_shuffle_join(
         larger_side,
         cluster.degraded(),
     )?;
+    pp.field("planner", pplan.planner);
+    pp.field("tier", pplan.tier.name());
+    pp.field("est_cost", pplan.est_cost);
+    pp.field("planning_ns", pplan.planning_time.as_nanos() as u64);
+    if let Some(status) = pplan.solver_status {
+        pp.field("solver_status", solve_status_token(status));
+    }
+    if let Some(ilp) = &pplan.ilp {
+        let c = pp.child("ilp");
+        c.field("status", solve_status_token(ilp.status));
+        c.field("nodes_explored", ilp.nodes_explored);
+        c.field("objective", ilp.objective);
+        c.field("bound", ilp.bound);
+        c.field("warm_start_hit", ilp.warm_start_hit);
+    }
+    drop(pp);
 
     // ---- Data alignment: simulate the shuffle over the real slice sizes. ---
+    let sh = span.child("shuffle");
     let lbytes = js.left_layout.cell_bytes() as u64;
     let rbytes = js.right_layout.cell_bytes() as u64;
     let mut transfers: Vec<Transfer> = Vec::new();
@@ -324,12 +509,33 @@ pub fn execute_shuffle_join(
             transfers.push(Transfer { src, dst, bytes });
         }
     }
+    sh.field("cells_moved", cells_moved);
+    // The fault-free path routes through the same traced simulation with
+    // an empty plan and no-op recovery — that is exactly what the old
+    // `simulate_shuffle` delegated to, so reports stay bit-identical.
     let shuffle = if config.faults.is_none() {
-        simulate_shuffle(k, &cluster.network, &transfers)?
+        simulate_shuffle_with_faults_traced(
+            k,
+            &cluster.network,
+            &transfers,
+            &FaultPlan::none(),
+            &RecoveryOptions::none(k),
+            &sh,
+        )?
     } else {
-        let recovery = cluster.recovery_options();
-        simulate_shuffle_with_faults(k, &cluster.network, &transfers, &config.faults, &recovery)?
+        simulate_shuffle_with_faults_traced(
+            k,
+            &cluster.network,
+            &transfers,
+            &config.faults,
+            &cluster.recovery_options(),
+            &sh,
+        )?
     };
+    drop(sh);
+
+    // ---- Cell comparison: assemble units per node and run the join. --------
+    let ex = span.child("execute");
     // When the shuffle lost nodes, their join units were re-homed onto
     // substitutes; apply the coordinator's reassignments (in crash
     // order, so substitution chains resolve) to get the effective
@@ -346,7 +552,6 @@ pub fn execute_shuffle_join(
         asg
     };
 
-    // ---- Cell comparison: assemble units per node and run the join. --------
     // Transpose node-major slices into per-unit inputs (moves, no copies),
     // preserving node order j = 0..k inside each unit so the assembled
     // batches are byte-identical to the sequential append order.
@@ -407,55 +612,90 @@ pub fn execute_shuffle_join(
             Ok((emitter.out, matches, t.elapsed().as_secs_f64()))
         },
     );
-    profile.comparison_wall_seconds = t_cmp.elapsed().as_secs_f64();
-    profile.comparison_busy_seconds = cmp_pool.busy_seconds;
+    ex.field("wall_seconds", t_cmp.elapsed().as_secs_f64());
+    if ex.enabled() {
+        ex.field("busy_seconds", encode_f64s(&cmp_pool.busy_seconds));
+    }
 
     // Merge per-unit outputs in unit-id order — identical to the
     // sequential single-emitter concatenation, whatever the thread count.
     let mut per_node_comparison = vec![0.0f64; k];
     let mut matches = 0usize;
     let mut out_cells = Emitter::new(&js).out;
+    let mut unit_info: Vec<(usize, f64)> = Vec::with_capacity(n_units);
     for (i, result) in unit_results.into_iter().enumerate() {
         let (cells, unit_matches, secs) = result?;
         per_node_comparison[effective_assignment[i]] += secs;
         matches += unit_matches;
+        unit_info.push((unit_matches, secs));
         out_cells.append(cells)?;
     }
+    if ex.enabled() {
+        // Attribution children: one `node` per cluster node (in id order,
+        // even when idle — the view reads per-node comparison time back
+        // from this), with its assigned `unit`s nested in unit-id order.
+        for (node, &node_seconds) in per_node_comparison.iter().enumerate() {
+            let n = ex.child("node");
+            n.field("node", node);
+            n.field("seconds", node_seconds);
+            for (i, &(unit_matches, secs)) in unit_info.iter().enumerate() {
+                if effective_assignment[i] == node {
+                    let u = n.child("unit");
+                    u.field("unit", i);
+                    u.field("cells", unit_weights[i]);
+                    u.field("matches", unit_matches);
+                    u.field("seconds", secs);
+                }
+            }
+        }
+    }
+    drop(ex);
 
     // ---- Output organization. -----------------------------------------------
     // Tile (and order) the emitted cells into the destination schema via the
     // shared output-organization kernel (also the pipeline's sink).
+    let out_span = span.child("output");
     let t_out = Instant::now();
     let ordered = matches!(logical.out, OutOp::Sort | OutOp::Redim);
     let output = kernels::organize(js.output.clone(), &out_cells, ordered)?;
-    profile.output_wall_seconds = t_out.elapsed().as_secs_f64();
+    let out_wall = t_out.elapsed().as_secs_f64();
+    out_span.field("wall_seconds", out_wall);
+    out_span.field("ordered", ordered);
+    out_span.field("cells", output.cell_count());
+    drop(out_span);
     // Output tiling parallelizes across the cluster; attribute 1/k of the
     // measured wall time to the slowest node's comparison phase.
-    let out_seconds = t_out.elapsed().as_secs_f64() / k as f64;
+    let out_seconds = out_wall / k as f64;
     let comparison_seconds = per_node_comparison.iter().copied().fold(0.0, f64::max) + out_seconds;
+    span.field("matches", matches);
+    span.field("comparison_seconds", comparison_seconds);
+    span.field("degraded", shuffle.degraded || cluster.degraded());
+    Ok(output)
+}
 
-    let metrics = JoinMetrics {
-        afl: logical.render_afl(&query.left, &query.right, &js.output.name),
-        algo: logical.algo,
-        logical_cost: logical.cost.total(),
-        logical_planning,
-        slice_map_seconds,
-        physical_planning: pplan.planning_time,
-        est_physical_cost: pplan.est_cost,
-        alignment_seconds: shuffle.makespan,
-        network_bytes: shuffle.network_bytes,
-        cells_moved,
-        comparison_seconds,
-        per_node_comparison,
-        matches,
-        planner: pplan.planner,
-        plan_tier: pplan.tier,
-        degraded: shuffle.degraded || cluster.degraded(),
-        solver_status: pplan.solver_status,
-        profile,
-        shuffle,
-    };
-    Ok((output, metrics))
+/// Execute `query`, returning the array and the legacy [`JoinMetrics`]
+/// report.
+#[deprecated(
+    note = "use `execute_join`; derive `JoinMetrics` from the returned telemetry via \
+                     `crate::views::MetricsView::join_metrics`"
+)]
+pub fn execute_shuffle_join(
+    cluster: &Cluster,
+    query: &JoinQuery,
+    config: &ExecConfig,
+) -> Result<(Array, JoinMetrics)> {
+    // The legacy report is a view over the span tree, so collection must
+    // be on even when the caller asked for `Off`.
+    let mut config = config.clone();
+    if !config.telemetry.enabled() {
+        config.telemetry = TelemetryConfig::Tree;
+    }
+    let run = execute_join(cluster, query, &config)?;
+    let metrics = run
+        .telemetry
+        .join_metrics()
+        .ok_or_else(|| JoinError::Internal("join span missing from telemetry".into()))?;
+    Ok((run.array, metrics))
 }
 
 /// Derive the cost-model parameters `(m, b, p, t)` empirically, as the
@@ -599,6 +839,21 @@ mod tests {
     use super::*;
     use sj_cluster::{NetworkModel, Placement};
 
+    /// Run a join and read back the legacy metrics view from telemetry —
+    /// the test-suite replacement for the deprecated shim.
+    fn run_with_metrics(
+        cluster: &Cluster,
+        query: &JoinQuery,
+        config: &ExecConfig,
+    ) -> Result<(Array, JoinMetrics)> {
+        let run = execute_join(cluster, query, config)?;
+        let metrics = run
+            .telemetry
+            .join_metrics()
+            .expect("telemetry is enabled in tests");
+        Ok((run.array, metrics))
+    }
+
     fn cluster_with(k: usize, arrays: Vec<Array>) -> Cluster {
         let mut cluster = Cluster::new(k, NetworkModel::gigabit());
         for a in arrays {
@@ -633,8 +888,7 @@ mod tests {
         let expect = a.cell_count();
         let cluster = cluster_with(4, vec![a, b]);
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
-        let (out, metrics) =
-            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let (out, metrics) = run_with_metrics(&cluster, &query, &ExecConfig::default()).unwrap();
         // Every cell matches its counterpart exactly once.
         assert_eq!(metrics.matches, expect);
         assert_eq!(out.cell_count(), expect);
@@ -662,12 +916,12 @@ mod tests {
         let cluster = cluster_with(4, vec![a, b]);
         let query =
             JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "w")])).with_selectivity(1.0);
-        let config = ExecConfig {
-            forced_algo: Some(JoinAlgo::Hash),
-            hash_buckets: Some(16),
-            ..ExecConfig::default()
-        };
-        let (out, metrics) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+        let config = ExecConfig::builder()
+            .forced_algo(JoinAlgo::Hash)
+            .hash_buckets(16)
+            .build()
+            .unwrap();
+        let (out, metrics) = run_with_metrics(&cluster, &query, &config).unwrap();
         // Each v in 0..50 appears 4x in A and 2x in B → 50 * 8 = 400.
         assert_eq!(metrics.matches, 400);
         assert_eq!(metrics.algo, JoinAlgo::Hash);
@@ -694,11 +948,8 @@ mod tests {
                 bins: 8,
             },
         ] {
-            let config = ExecConfig {
-                planner,
-                ..ExecConfig::default()
-            };
-            let (out, metrics) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+            let config = ExecConfig::builder().planner(planner).build().unwrap();
+            let (out, metrics) = run_with_metrics(&cluster, &query, &config).unwrap();
             let mut cells: Vec<_> = out.iter_cells().collect();
             cells.sort();
             match &reference {
@@ -726,11 +977,8 @@ mod tests {
         cluster.load_array(b, &Placement::RoundRobin).unwrap();
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let run = |planner: PlannerKind| {
-            let config = ExecConfig {
-                planner,
-                ..ExecConfig::default()
-            };
-            execute_shuffle_join(&cluster, &query, &config).unwrap().1
+            let config = ExecConfig::builder().planner(planner).build().unwrap();
+            run_with_metrics(&cluster, &query, &config).unwrap().1
         };
         let mbh = run(PlannerKind::MinBandwidth);
         let base = run(PlannerKind::Baseline);
@@ -751,12 +999,12 @@ mod tests {
         let cluster = cluster_with(4, vec![a, b]);
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let (out_plain, m_plain) =
-            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
-        let config = ExecConfig {
-            faults: FaultPlan::none(),
-            ..ExecConfig::default()
-        };
-        let (out_faultless, m_faultless) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+            run_with_metrics(&cluster, &query, &ExecConfig::default()).unwrap();
+        let config = ExecConfig::builder()
+            .faults(FaultPlan::none())
+            .build()
+            .unwrap();
+        let (out_faultless, m_faultless) = run_with_metrics(&cluster, &query, &config).unwrap();
         assert_eq!(m_plain.shuffle, m_faultless.shuffle);
         assert!(!m_faultless.degraded);
         assert_eq!(m_faultless.plan_tier, PlanTier::Primary);
@@ -780,14 +1028,16 @@ mod tests {
             .unwrap();
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
         let (clean_out, clean) =
-            execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
-        let config = ExecConfig {
-            faults: FaultPlan::seeded(17)
-                .with_drop_rate(0.05)
-                .with_crash(1, clean.shuffle.makespan / 2.0),
-            ..ExecConfig::default()
-        };
-        let (out, metrics) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+            run_with_metrics(&cluster, &query, &ExecConfig::default()).unwrap();
+        let config = ExecConfig::builder()
+            .faults(
+                FaultPlan::seeded(17)
+                    .with_drop_rate(0.05)
+                    .with_crash(1, clean.shuffle.makespan / 2.0),
+            )
+            .build()
+            .unwrap();
+        let (out, metrics) = run_with_metrics(&cluster, &query, &config).unwrap();
         assert!(metrics.degraded);
         assert_eq!(metrics.shuffle.failed_nodes, vec![1]);
         assert!(metrics.shuffle.reroutes > 0, "dead node's slices must move");
@@ -820,23 +1070,23 @@ mod tests {
             .load_array(b, &Placement::Explicit(all_on_zero))
             .unwrap();
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
-        let config = ExecConfig {
-            planner: PlannerKind::Ilp {
+        let config = ExecConfig::builder()
+            .planner(PlannerKind::Ilp {
                 budget: Duration::ZERO,
-            },
-            forced_algo: Some(JoinAlgo::Hash),
-            hash_buckets: Some(32),
+            })
+            .forced_algo(JoinAlgo::Hash)
+            .hash_buckets(32)
             // Comparison-dominant costs: spreading beats hoarding, so
             // the MBH warm start (everything on node 0) is suboptimal.
-            cost_params: CostParams {
+            .cost_params(CostParams {
                 m: 1.0,
                 b: 2.0,
                 p: 1.0,
                 t: 1e-9,
-            },
-            ..ExecConfig::default()
-        };
-        let (_, metrics) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+            })
+            .build()
+            .unwrap();
+        let (_, metrics) = run_with_metrics(&cluster, &query, &config).unwrap();
         assert_eq!(metrics.plan_tier, PlanTier::Greedy);
         assert_eq!(metrics.matches, 256);
     }
@@ -846,7 +1096,7 @@ mod tests {
         let (a, _) = dd_arrays(64);
         let cluster = cluster_with(2, vec![a]);
         let query = JoinQuery::new("A", "NOPE", JoinPredicate::new(vec![("i", "i")]));
-        assert!(execute_shuffle_join(&cluster, &query, &ExecConfig::default()).is_err());
+        assert!(execute_join(&cluster, &query, &ExecConfig::default()).is_err());
     }
 
     #[test]
@@ -854,7 +1104,7 @@ mod tests {
         let (a, b) = dd_arrays(128);
         let cluster = cluster_with(1, vec![a, b]);
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
-        let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let (_, metrics) = run_with_metrics(&cluster, &query, &ExecConfig::default()).unwrap();
         assert_eq!(metrics.network_bytes, 0);
         assert_eq!(metrics.alignment_seconds, 0.0);
         assert_eq!(metrics.matches, 128);
@@ -867,7 +1117,7 @@ mod tests {
         let out_schema = ArraySchema::parse("C<A.v1:int, B.w1:int>[i=1,64,8, j=1,64,8]").unwrap();
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]))
             .into_schema(out_schema);
-        let (out, _) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let (out, _) = run_with_metrics(&cluster, &query, &ExecConfig::default()).unwrap();
         assert_eq!(out.schema.name, "C");
         assert_eq!(out.schema.attrs[0].name, "A.v1");
         let cell = out.get(&[1, 2]).unwrap().unwrap();
@@ -890,10 +1140,126 @@ mod tests {
         .unwrap();
         let cluster = cluster_with(2, vec![a, b]);
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "w")]));
-        let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let (_, metrics) = run_with_metrics(&cluster, &query, &ExecConfig::default()).unwrap();
         // B.w takes even values 2..=40, all within A.i's range 1..=50
         // → 20 matches.
         assert_eq!(metrics.matches, 20);
+    }
+
+    #[test]
+    fn builder_rejects_incoherent_configs() {
+        assert!(matches!(
+            ExecConfig::builder().hash_buckets(0).build(),
+            Err(JoinError::Config(_))
+        ));
+        // Lossy fault plan with retries disabled could never recover.
+        let lossy = FaultPlan::seeded(1).with_drop_rate(0.1).with_max_retries(0);
+        assert!(matches!(
+            ExecConfig::builder().faults(lossy).build(),
+            Err(JoinError::Config(_))
+        ));
+        // The rate setters assert; a hand-built plan can still smuggle a
+        // bad rate in through the public field — the builder catches it.
+        let mut bad_rate = FaultPlan::seeded(1);
+        bad_rate.drop_rate = 1.5;
+        assert!(ExecConfig::builder().faults(bad_rate).build().is_err());
+        assert!(matches!(
+            ExecConfig::builder()
+                .telemetry(TelemetryConfig::Json {
+                    path: String::new()
+                })
+                .build(),
+            Err(JoinError::Config(_))
+        ));
+        // Coherent combos pass through unchanged.
+        let ok = ExecConfig::builder()
+            .threads(2)
+            .planner(PlannerKind::MinBandwidth)
+            .telemetry(TelemetryConfig::Off)
+            .build()
+            .unwrap();
+        assert_eq!(ok.threads, 2);
+        assert_eq!(ok.telemetry, TelemetryConfig::Off);
+    }
+
+    #[test]
+    fn telemetry_off_disables_views_but_not_results() {
+        let (a, b) = dd_arrays(128);
+        let cluster = cluster_with(2, vec![a, b]);
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
+        let config = ExecConfig::builder()
+            .telemetry(TelemetryConfig::Off)
+            .build()
+            .unwrap();
+        let run = execute_join(&cluster, &query, &config).unwrap();
+        assert!(!run.telemetry.enabled);
+        assert!(run.telemetry.roots.is_empty());
+        assert!(run.telemetry.join_metrics().is_none());
+        assert_eq!(run.array.cell_count(), 128);
+    }
+
+    #[test]
+    fn join_span_covers_the_phases() {
+        let (a, b) = dd_arrays(4096);
+        let cluster = cluster_with(3, vec![a, b]);
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
+        let run = execute_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let join = run.telemetry.find("join").expect("join span recorded");
+        for phase in [
+            "logical_plan",
+            "slice_map",
+            "physical_plan",
+            "shuffle",
+            "execute",
+            "output",
+        ] {
+            assert!(join.child(phase).is_some(), "missing phase span {phase}");
+        }
+        assert_eq!(join.children_named("node").count(), 0);
+        let execute = join.child("execute").unwrap();
+        assert_eq!(execute.children_named("node").count(), 3);
+        let units: usize = execute
+            .children_named("node")
+            .map(|n| n.children_named("unit").count())
+            .sum();
+        assert!(units > 0, "assigned units must appear under their nodes");
+        // The named phases account for (nearly) all of the join's wall
+        // time. The strict 95% acceptance bar is enforced on the
+        // release-build fig8 run (`examples/profile_query.rs`, wired
+        // into verify.sh); this debug-build unit test allows a margin
+        // for the unamortized fixed overhead of a small workload.
+        assert!(
+            join.child_coverage() >= 0.90,
+            "phase coverage {} < 0.90",
+            join.child_coverage()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_view() {
+        let (a, b) = dd_arrays(128);
+        let cluster = cluster_with(2, vec![a, b]);
+        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
+        // The shim must work even when the caller turned telemetry off.
+        let config = ExecConfig::builder()
+            .telemetry(TelemetryConfig::Off)
+            .build()
+            .unwrap();
+        let (out_old, m_old) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+        let run = execute_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let m_new = run.telemetry.join_metrics().unwrap();
+        assert_eq!(m_old.matches, m_new.matches);
+        assert_eq!(m_old.afl, m_new.afl);
+        assert_eq!(m_old.algo, m_new.algo);
+        assert_eq!(m_old.network_bytes, m_new.network_bytes);
+        assert_eq!(m_old.cells_moved, m_new.cells_moved);
+        assert_eq!(m_old.shuffle, m_new.shuffle);
+        assert_eq!(m_old.plan_tier, m_new.plan_tier);
+        assert_eq!(m_old.planner, m_new.planner);
+        let cells_old: Vec<_> = out_old.iter_cells().collect();
+        let cells_new: Vec<_> = run.array.iter_cells().collect();
+        assert_eq!(cells_old, cells_new);
     }
 }
 

@@ -3,6 +3,10 @@
 //! The primary contribution of *Skew-Aware Join Optimization for Array
 //! Databases* (SIGMOD 2015): a two-phase join optimizer for chunked array
 //! databases.
+//!
+//! Observability is unified behind [`telemetry`] (re-exported
+//! `sj-telemetry`): executors record query-scoped spans and counters, and
+//! the legacy report structs are [`views`] computed from that tree.
 
 #![warn(missing_docs)]
 
@@ -23,13 +27,24 @@ pub use predicate::{JoinPredicate, JoinSide, PairKind};
 pub use unit::JoinUnitSpec;
 
 pub mod physical;
-pub use physical::{CostParams, PhysicalPlan, PlanTier, PlannerKind, SliceStats};
+pub use physical::{CostParams, IlpStats, PhysicalPlan, PlanTier, PlannerKind, SliceStats};
 
 pub mod exec;
-pub use exec::{execute_shuffle_join, ExecConfig, ExecProfile, JoinMetrics, JoinQuery};
+#[allow(deprecated)]
+pub use exec::execute_shuffle_join;
+pub use exec::{
+    execute_join, execute_join_traced, ExecConfig, ExecConfigBuilder, ExecProfile, JoinMetrics,
+    JoinQuery, JoinRun,
+};
 
 pub mod plan;
 pub use plan::{rewrite, PlanNode};
 
 pub mod pipeline;
-pub use pipeline::{run_plan, BatchOperator, PipelineStats, PlanOutput};
+pub use pipeline::{run_plan, run_plan_traced, BatchOperator, PipelineStats, PlanOutput};
+
+pub use sj_telemetry as telemetry;
+pub use telemetry::{Telemetry, TelemetryConfig, Tracer};
+
+pub mod views;
+pub use views::MetricsView;

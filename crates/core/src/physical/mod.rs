@@ -5,4 +5,6 @@ mod cost;
 mod planners;
 
 pub use cost::{plan_cost, plan_loads, Assignment, CostParams, CostState, PlanLoads, SliceStats};
-pub use planners::{plan_physical, plan_physical_resilient, PhysicalPlan, PlanTier, PlannerKind};
+pub use planners::{
+    plan_physical, plan_physical_resilient, IlpStats, PhysicalPlan, PlanTier, PlannerKind,
+};

@@ -80,6 +80,23 @@ impl PlanTier {
     }
 }
 
+/// Solve statistics from one branch & bound run — the telemetry the ILP
+/// phase span records (nodes expanded, bound quality, warm-start hits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IlpStats {
+    /// How the solver terminated.
+    pub status: SolveStatus,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: u64,
+    /// Objective of the returned incumbent (scaled model units).
+    pub objective: f64,
+    /// Best proven lower bound on the optimum (scaled model units).
+    pub bound: f64,
+    /// True when the returned assignment is the MinBandwidth warm start
+    /// (the solver never improved on its seed).
+    pub warm_start_hit: bool,
+}
+
 /// The result of physical planning.
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan {
@@ -93,6 +110,8 @@ pub struct PhysicalPlan {
     pub planner: &'static str,
     /// For ILP planners: how the solver terminated.
     pub solver_status: Option<SolveStatus>,
+    /// For ILP planners: full solve statistics.
+    pub ilp: Option<IlpStats>,
     /// Which tier of the fallback chain produced the assignment.
     pub tier: PlanTier,
 }
@@ -109,7 +128,7 @@ pub fn plan_physical(
     larger_side: JoinSide,
 ) -> Result<PhysicalPlan> {
     let start = Instant::now();
-    let (assignment, status) = match kind {
+    let (assignment, ilp_stats) = match kind {
         PlannerKind::Baseline => (baseline(stats, algo, larger_side), None),
         PlannerKind::MinBandwidth => (min_bandwidth(stats), None),
         PlannerKind::Tabu => (tabu(stats, params, algo)?, None),
@@ -125,8 +144,8 @@ pub fn plan_physical(
     let est_cost = plan_cost(stats, params, algo, &assignment)?;
     // A budget-exhausted ILP returns its MinBandwidth warm start: the
     // assignment is the greedy tier's, whatever the requested planner.
-    let tier = match status {
-        Some(s) if !s.found_feasible() => PlanTier::Greedy,
+    let tier = match &ilp_stats {
+        Some(s) if !s.status.found_feasible() => PlanTier::Greedy,
         _ => PlanTier::Primary,
     };
     Ok(PhysicalPlan {
@@ -134,7 +153,8 @@ pub fn plan_physical(
         planning_time: start.elapsed(),
         est_cost,
         planner: kind.name(),
-        solver_status: status,
+        solver_status: ilp_stats.as_ref().map(|s| s.status),
+        ilp: ilp_stats,
         tier,
     })
 }
@@ -312,7 +332,7 @@ fn ilp(
     params: &CostParams,
     algo: JoinAlgo,
     budget: Duration,
-) -> Result<(Assignment, SolveStatus)> {
+) -> Result<(Assignment, IlpStats)> {
     solve_ilp_over(stats, params, algo, budget)
 }
 
@@ -321,7 +341,7 @@ fn solve_ilp_over(
     params: &CostParams,
     algo: JoinAlgo,
     budget: Duration,
-) -> Result<(Assignment, SolveStatus)> {
+) -> Result<(Assignment, IlpStats)> {
     let n = stats.n_units();
     let k = stats.nodes();
     let scale = ilp_scale(stats, params, algo);
@@ -396,6 +416,13 @@ fn solve_ilp_over(
         ..IlpSolver::default()
     };
     let solution = solver.solve(&model);
+    let stats_of = |assignment: &Assignment| IlpStats {
+        status: solution.status,
+        nodes_explored: solution.nodes_explored as u64,
+        objective: solution.objective,
+        bound: solution.bound,
+        warm_start_hit: *assignment == mbh,
+    };
     match solution.status {
         SolveStatus::Optimal | SolveStatus::Feasible => {
             let mut assignment = vec![0usize; n];
@@ -411,12 +438,16 @@ fn solve_ilp_over(
                 }
                 assignment[i] = best;
             }
-            Ok((assignment, solution.status))
+            let stats = stats_of(&assignment);
+            Ok((assignment, stats))
         }
         // Budget ran out with nothing usable: fall back to MBH (the
         // paper's ILP also degrades to its initial heuristics under
         // pressure, §6.2.2).
-        SolveStatus::BudgetExhausted => Ok((mbh, solution.status)),
+        SolveStatus::BudgetExhausted => {
+            let stats = stats_of(&mbh);
+            Ok((mbh, stats))
+        }
         SolveStatus::Infeasible | SolveStatus::Unbounded => Err(JoinError::Planning(format!(
             "join ILP reported {} — model construction bug",
             solution.status
@@ -433,7 +464,7 @@ fn ilp_coarse(
     algo: JoinAlgo,
     budget: Duration,
     bins: usize,
-) -> Result<(Assignment, SolveStatus)> {
+) -> Result<(Assignment, IlpStats)> {
     let n = stats.n_units();
     let k = stats.nodes();
     let bins = bins.max(k).min(n.max(1));

@@ -10,10 +10,13 @@
 //! output-organization kernel the sink and the join executor use.
 //!
 //! [`run_plan`] drains the root operator, organizes the cells into a
-//! chunked [`Array`], and reports [`PipelineStats`] — notably
-//! `gathered_bytes`, the bytes that crossed the coordinator boundary
-//! ([`PlanNode::Gather`]). Predicate pushdown (see [`crate::plan::rewrite`])
-//! shrinks exactly that number.
+//! chunked [`Array`], and records everything it measures into the query's
+//! telemetry: a `pipeline` span plus the `pipeline.gathered_bytes` /
+//! `pipeline.gathered_cells` / `pipeline.batches` counters (bumped from
+//! [`PlanNode::Gather`] with one atomic add per batch). The legacy
+//! [`PipelineStats`] report is a view over those counters
+//! ([`crate::views::MetricsView::pipeline_stats`]). Predicate pushdown
+//! (see [`crate::plan::rewrite`]) shrinks exactly `gathered_bytes`.
 //!
 //! Determinism: scans stream chunks node-major then chunk-id-minor — the
 //! same order `Cluster::gather` materializes them — and the sink applies
@@ -23,9 +26,6 @@
 //! are bit-identical to the legacy materializing path at any
 //! `ExecConfig.threads`.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use sj_array::ops::kernels::{
     self, ApplyKernel, FilterKernel, RedimKernel, RedimPolicy, WindowKernel,
 };
@@ -34,11 +34,13 @@ use sj_array::{
     Array, ArrayError, ArraySchema, AttributeDef, CellBatch, Chunk, DataType, DimensionDef,
 };
 use sj_cluster::Cluster;
+use sj_telemetry::{Counter, SpanGuard, Telemetry, Tracer};
 
 use crate::error::{JoinError, Result};
-use crate::exec::{execute_shuffle_join, ExecConfig, JoinMetrics, JoinQuery};
+use crate::exec::{execute_join_traced, ExecConfig, JoinMetrics, JoinQuery};
 use crate::plan::PlanNode;
 use crate::predicate::JoinPredicate;
+use crate::views::MetricsView;
 
 /// A pull-based operator over cell batches.
 ///
@@ -67,7 +69,10 @@ pub trait BatchOperator {
 /// A boxed operator borrowing cluster storage for `'a`.
 pub type BoxOperator<'a> = Box<dyn BatchOperator + 'a>;
 
-/// Counters collected while a plan runs.
+/// Gather statistics for one plan run — since the telemetry refactor, a
+/// *view* over the `pipeline.*` counters
+/// ([`crate::views::MetricsView::pipeline_stats`]), not a separately
+/// collected struct.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Bytes that crossed the coordinator boundary (`gather` nodes).
@@ -83,17 +88,54 @@ pub struct PipelineStats {
 pub struct PlanOutput {
     /// The result array.
     pub array: Array,
-    /// Execution counters.
-    pub stats: PipelineStats,
-    /// Join metrics, when the plan contained a [`PlanNode::Join`].
-    pub join_metrics: Option<JoinMetrics>,
+    /// Everything measured while the plan ran: the `pipeline` span (with
+    /// any nested `join` spans) plus the `pipeline.*` counters.
+    pub telemetry: Telemetry,
 }
 
-/// Execute `plan` against `cluster` and materialize the result.
+impl PlanOutput {
+    /// Execution counters.
+    #[deprecated(note = "use `crate::views::MetricsView::pipeline_stats` on `telemetry`")]
+    pub fn stats(&self) -> PipelineStats {
+        self.telemetry.pipeline_stats()
+    }
+
+    /// Join metrics, when the plan contained a [`PlanNode::Join`].
+    #[deprecated(note = "use `crate::views::MetricsView::join_metrics` on `telemetry`")]
+    pub fn join_metrics(&self) -> Option<JoinMetrics> {
+        MetricsView::join_metrics(&self.telemetry)
+    }
+}
+
+/// Execute `plan` against `cluster` and materialize the result, with the
+/// run's telemetry (exported to `config.telemetry`'s sink, if any).
 pub fn run_plan(cluster: &Cluster, plan: &PlanNode, config: &ExecConfig) -> Result<PlanOutput> {
-    let stats = Rc::new(RefCell::new(PipelineStats::default()));
-    let metrics: Rc<RefCell<Option<JoinMetrics>>> = Rc::new(RefCell::new(None));
-    let mut root = build(plan, cluster, config, &stats, &metrics)?;
+    let tracer = Tracer::new(&config.telemetry);
+    let root = tracer.root("query");
+    let array = run_plan_traced(cluster, plan, config, &root)?;
+    drop(root);
+    let telemetry = tracer.finish();
+    telemetry
+        .export(&config.telemetry)
+        .map_err(|e| JoinError::Storage(format!("telemetry export failed: {e}")))?;
+    Ok(PlanOutput { array, telemetry })
+}
+
+/// Execute `plan` inside an existing span tree: records a `pipeline` span
+/// under `parent` (joins nest their `join` spans beneath it) and bumps
+/// the `pipeline.*` counters on `parent`'s tracer.
+pub fn run_plan_traced(
+    cluster: &Cluster,
+    plan: &PlanNode,
+    config: &ExecConfig,
+    parent: &SpanGuard,
+) -> Result<Array> {
+    let span = parent.child("pipeline");
+    let gather = GatherCounters {
+        bytes: span.tracer().counter("pipeline.gathered_bytes"),
+        cells: span.tracer().counter("pipeline.gathered_cells"),
+    };
+    let mut root = build(plan, cluster, config, &gather, &span)?;
 
     root.open()?;
     let mut acc = kernels::batch_for(root.schema());
@@ -105,16 +147,19 @@ pub fn run_plan(cluster: &Cluster, plan: &PlanNode, config: &ExecConfig) -> Resu
     let schema = root.schema().clone();
     let ordered = root.ordered();
     root.close()?;
+    span.tracer().counter("pipeline.batches").add(batches);
+    span.field("batches", batches);
 
     let array = kernels::organize(schema, &acc, ordered)?;
-    let mut stats = *stats.borrow();
-    stats.batches = batches;
-    let join_metrics = metrics.borrow_mut().take();
-    Ok(PlanOutput {
-        array,
-        stats,
-        join_metrics,
-    })
+    span.field("output_cells", array.cell_count());
+    Ok(array)
+}
+
+/// The gather-boundary counter handles threaded through operator
+/// construction (cheap clones of two atomic cells).
+struct GatherCounters {
+    bytes: Counter,
+    cells: Counter,
 }
 
 /// Recursively translate a plan node into its operator.
@@ -122,17 +167,18 @@ fn build<'a>(
     plan: &PlanNode,
     cluster: &'a Cluster,
     config: &ExecConfig,
-    stats: &Rc<RefCell<PipelineStats>>,
-    metrics: &Rc<RefCell<Option<JoinMetrics>>>,
+    gather: &GatherCounters,
+    span: &SpanGuard,
 ) -> Result<BoxOperator<'a>> {
     Ok(match plan {
         PlanNode::Scan { array } => Box::new(ScanOp::build(cluster, array)?),
         PlanNode::Gather { input } => Box::new(GatherOp {
-            child: build(input, cluster, config, stats, metrics)?,
-            stats: Rc::clone(stats),
+            child: build(input, cluster, config, gather, span)?,
+            bytes: gather.bytes.clone(),
+            cells: gather.cells.clone(),
         }),
         PlanNode::Filter { input, predicate } => {
-            let child = build(input, cluster, config, stats, metrics)?;
+            let child = build(input, cluster, config, gather, span)?;
             let kernel = FilterKernel::compile(child.schema(), predicate)?;
             let buf = kernels::batch_for(child.schema());
             Box::new(FilterOp { child, kernel, buf })
@@ -142,13 +188,13 @@ fn build<'a>(
             outputs,
             lenient,
         } => {
-            let child = build(input, cluster, config, stats, metrics)?;
+            let child = build(input, cluster, config, gather, span)?;
             let kernel = ApplyKernel::compile(child.schema(), outputs, *lenient)?;
             let buf = kernel.output_batch();
             Box::new(ApplyOp { child, kernel, buf })
         }
         PlanNode::Project { input, attrs } => {
-            let child = build(input, cluster, config, stats, metrics)?;
+            let child = build(input, cluster, config, gather, span)?;
             for name in attrs {
                 if !child.schema().has_attr(name) {
                     return Err(ArrayError::NoSuchAttribute(name.clone()).into());
@@ -163,16 +209,16 @@ fn build<'a>(
             Box::new(ApplyOp { child, kernel, buf })
         }
         PlanNode::Redim { input, target } => Box::new(RedimOp::build(
-            input, target, true, cluster, config, stats, metrics,
+            input, target, true, cluster, config, gather, span,
         )?),
         PlanNode::Rechunk { input, target } => Box::new(RedimOp::build(
-            input, target, false, cluster, config, stats, metrics,
+            input, target, false, cluster, config, gather, span,
         )?),
         PlanNode::Sort { input } => Box::new(SortOp {
-            child: build(input, cluster, config, stats, metrics)?,
+            child: build(input, cluster, config, gather, span)?,
         }),
         PlanNode::Between { input, bounds } => {
-            let child = build(input, cluster, config, stats, metrics)?;
+            let child = build(input, cluster, config, gather, span)?;
             let ndims = child.schema().ndims();
             if bounds.len() != 2 * ndims {
                 return Err(ArrayError::ArityMismatch {
@@ -186,11 +232,11 @@ fn build<'a>(
             Box::new(BetweenOp { child, kernel, buf })
         }
         PlanNode::Aggregate { input, func, attr } => {
-            let child = build(input, cluster, config, stats, metrics)?;
+            let child = build(input, cluster, config, gather, span)?;
             Box::new(AggregateOp::build(child, func, attr.as_deref())?)
         }
         PlanNode::Hash { input, buckets } => {
-            let child = build(input, cluster, config, stats, metrics)?;
+            let child = build(input, cluster, config, gather, span)?;
             Box::new(HashOp::build(child, *buckets)?)
         }
         PlanNode::Join {
@@ -199,10 +245,10 @@ fn build<'a>(
             pairs,
             output,
         } => Box::new(JoinOp::build(
-            cluster, config, metrics, left, right, pairs, output,
+            cluster, config, span, left, right, pairs, output,
         )?),
         PlanNode::Rename { input, name } => {
-            let child = build(input, cluster, config, stats, metrics)?;
+            let child = build(input, cluster, config, gather, span)?;
             let mut schema = child.schema().clone();
             schema.name = name.clone();
             Box::new(RenameOp { child, schema })
@@ -270,10 +316,11 @@ impl BatchOperator for ScanOp<'_> {
 }
 
 /// Pass-through marking the coordinator boundary; accounts the bytes and
-/// cells of every batch that crosses it.
+/// cells of every batch that crosses it with one atomic add each.
 struct GatherOp<'a> {
     child: BoxOperator<'a>,
-    stats: Rc<RefCell<PipelineStats>>,
+    bytes: Counter,
+    cells: Counter,
 }
 
 impl BatchOperator for GatherOp<'_> {
@@ -289,9 +336,8 @@ impl BatchOperator for GatherOp<'_> {
     fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
         let batch = self.child.next_batch()?;
         if let Some(b) = batch {
-            let mut s = self.stats.borrow_mut();
-            s.gathered_bytes += b.byte_size() as u64;
-            s.gathered_cells += b.len() as u64;
+            self.bytes.add(b.byte_size() as u64);
+            self.cells.add(b.len() as u64);
         }
         Ok(batch)
     }
@@ -410,10 +456,10 @@ impl<'a> RedimOp<'a> {
         ordered: bool,
         cluster: &'a Cluster,
         config: &ExecConfig,
-        stats: &Rc<RefCell<PipelineStats>>,
-        metrics: &Rc<RefCell<Option<JoinMetrics>>>,
+        gather: &GatherCounters,
+        span: &SpanGuard,
     ) -> Result<RedimOp<'a>> {
-        let child = build(input, cluster, config, stats, metrics)?;
+        let child = build(input, cluster, config, gather, span)?;
         let kernel = RedimKernel::compile(child.schema(), target)?;
         let buf = kernel.output_batch();
         Ok(RedimOp {
@@ -682,7 +728,8 @@ impl BatchOperator for HashOp<'_> {
 
 /// The six-phase skew-aware shuffle join. Executed eagerly at build (its
 /// inputs are stored arrays, not plan children); streams the result's
-/// chunks and parks the [`JoinMetrics`] in the shared slot.
+/// chunks. Its `join` span nests under the `pipeline` span, so the
+/// query's [`JoinMetrics`] view reads straight from the shared tree.
 struct JoinOp {
     array: Array,
     ids: Vec<u64>,
@@ -694,7 +741,7 @@ impl JoinOp {
     fn build(
         cluster: &Cluster,
         config: &ExecConfig,
-        metrics: &Rc<RefCell<Option<JoinMetrics>>>,
+        span: &SpanGuard,
         left: &str,
         right: &str,
         pairs: &[(String, String)],
@@ -704,8 +751,7 @@ impl JoinOp {
         if let Some(out) = output {
             query = query.into_schema(out.clone());
         }
-        let (array, join_metrics) = execute_shuffle_join(cluster, &query, config)?;
-        *metrics.borrow_mut() = Some(join_metrics);
+        let array = execute_join_traced(cluster, &query, config, span)?;
         let ids: Vec<u64> = array.chunks().map(|(id, _)| id).collect();
         let ordered = array.all_sorted();
         Ok(JoinOp {
@@ -773,8 +819,11 @@ mod tests {
         let out = run_plan(&c, &scan_plan("A"), &ExecConfig::default()).unwrap();
         let gathered = c.gather("A").unwrap();
         assert_eq!(out.array, gathered);
-        assert_eq!(out.stats.gathered_cells, 60);
-        assert_eq!(out.stats.gathered_bytes, gathered.byte_size() as u64);
+        let stats = out.telemetry.pipeline_stats();
+        assert_eq!(stats.gathered_cells, 60);
+        assert_eq!(stats.gathered_bytes, gathered.byte_size() as u64);
+        assert!(stats.batches > 0);
+        assert!(out.telemetry.find("pipeline").is_some());
     }
 
     #[test]
@@ -805,7 +854,10 @@ mod tests {
         assert_eq!(out_above.array, out_below.array);
         assert_eq!(out_above.array.cell_count(), 5);
         // The rewritten plan gathers strictly fewer bytes.
-        assert!(out_below.stats.gathered_bytes < out_above.stats.gathered_bytes);
+        assert!(
+            out_below.telemetry.pipeline_stats().gathered_bytes
+                < out_above.telemetry.pipeline_stats().gathered_bytes
+        );
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Legacy metrics reports as *views* over the telemetry span tree.
+//!
+//! The executor records every measurement exactly once, into typed span
+//! fields (see DESIGN.md §11 for the taxonomy). [`JoinMetrics`],
+//! [`ExecProfile`], [`crate::pipeline::PipelineStats`], and
+//! [`ShuffleReport`] are no longer collected separately — this module
+//! reconstructs them, bit-exact, from the tree. Numeric fields are stored
+//! as native `u64`/`f64` values (never stringified), so round-trips
+//! preserve equality down to float bit patterns.
+
+use std::time::Duration;
+
+use sj_cluster::ShuffleReport;
+use sj_ilp::SolveStatus;
+use sj_telemetry::{decode_f64s, SpanNode, Telemetry};
+
+use crate::algorithms::JoinAlgo;
+use crate::exec::{ExecProfile, JoinMetrics};
+use crate::physical::PlanTier;
+use crate::pipeline::PipelineStats;
+
+/// The token an ILP solve status is recorded under in span fields.
+pub fn solve_status_token(status: SolveStatus) -> &'static str {
+    match status {
+        SolveStatus::Optimal => "optimal",
+        SolveStatus::Feasible => "feasible",
+        SolveStatus::Infeasible => "infeasible",
+        SolveStatus::Unbounded => "unbounded",
+        SolveStatus::BudgetExhausted => "budget_exhausted",
+    }
+}
+
+fn solve_status_from_token(token: &str) -> Option<SolveStatus> {
+    match token {
+        "optimal" => Some(SolveStatus::Optimal),
+        "feasible" => Some(SolveStatus::Feasible),
+        "infeasible" => Some(SolveStatus::Infeasible),
+        "unbounded" => Some(SolveStatus::Unbounded),
+        "budget_exhausted" => Some(SolveStatus::BudgetExhausted),
+        _ => None,
+    }
+}
+
+fn algo_from_token(token: &str) -> Option<JoinAlgo> {
+    match token {
+        "hashJoin" => Some(JoinAlgo::Hash),
+        "mergeJoin" => Some(JoinAlgo::Merge),
+        "nestedLoopJoin" => Some(JoinAlgo::NestedLoop),
+        _ => None,
+    }
+}
+
+fn tier_from_token(token: &str) -> Option<PlanTier> {
+    match token {
+        "primary" => Some(PlanTier::Primary),
+        "greedy" => Some(PlanTier::Greedy),
+        "naive" => Some(PlanTier::Naive),
+        _ => None,
+    }
+}
+
+/// Map a recorded planner label back to the `&'static str` the legacy
+/// report carried (the labels come from [`crate::physical::PlannerKind::name`]).
+fn planner_from_token(token: &str) -> &'static str {
+    match token {
+        "B" => "B",
+        "MBH" => "MBH",
+        "Tabu" => "Tabu",
+        "ILP" => "ILP",
+        "ILP-C" => "ILP-C",
+        _ => "unknown",
+    }
+}
+
+/// Rebuild the full [`ShuffleReport`] from a `shuffle` span: scalar
+/// fields plus per-node `node` children (sent/recv bytes, in node-id
+/// order), `crash` children (failed nodes, in crash order), and
+/// `reassign` children (dead → substitute pairs).
+fn shuffle_report_from_span(sh: &SpanNode) -> ShuffleReport {
+    let mut sent_bytes = Vec::new();
+    let mut recv_bytes = Vec::new();
+    for node in sh.children_named("node") {
+        sent_bytes.push(node.u64_field("sent_bytes").unwrap_or(0));
+        recv_bytes.push(node.u64_field("recv_bytes").unwrap_or(0));
+    }
+    let failed_nodes: Vec<usize> = sh
+        .children_named("crash")
+        .filter_map(|c| c.u64_field("node"))
+        .map(|n| n as usize)
+        .collect();
+    let reassigned: Vec<(usize, usize)> = sh
+        .children_named("reassign")
+        .filter_map(|r| Some((r.u64_field("from")? as usize, r.u64_field("to")? as usize)))
+        .collect();
+    ShuffleReport {
+        makespan: sh.f64_field("makespan_seconds").unwrap_or(0.0),
+        network_bytes: sh.u64_field("network_bytes").unwrap_or(0),
+        local_bytes: sh.u64_field("local_bytes").unwrap_or(0),
+        sent_bytes,
+        recv_bytes,
+        network_transfers: sh.u64_field("network_transfers").unwrap_or(0) as usize,
+        retries: sh.u64_field("retries").unwrap_or(0),
+        reroutes: sh.u64_field("reroutes").unwrap_or(0),
+        recovery_bytes: sh.u64_field("recovery_bytes").unwrap_or(0),
+        checksum_failures: sh.u64_field("checksum_failures").unwrap_or(0),
+        dropped_transfers: sh.u64_field("dropped_transfers").unwrap_or(0),
+        timeouts: sh.u64_field("timeouts").unwrap_or(0),
+        failed_nodes,
+        reassigned,
+        degraded: sh.bool_field("degraded").unwrap_or(false),
+    }
+}
+
+/// Derive the legacy report structs from a [`Telemetry`] tree.
+///
+/// Implemented for `Telemetry` itself, so any holder of a report — a
+/// [`crate::exec::JoinRun`], a [`crate::pipeline::PlanOutput`], an engine
+/// query result — exposes the same views the old ad-hoc structs did.
+pub trait MetricsView {
+    /// The [`JoinMetrics`] of the first `join` span in the tree, if the
+    /// query ran a join (and telemetry was enabled).
+    fn join_metrics(&self) -> Option<JoinMetrics>;
+
+    /// The streaming pipeline's gather statistics, aggregated from the
+    /// `pipeline.*` counters (all-zero when no pipeline ran or telemetry
+    /// was disabled).
+    fn pipeline_stats(&self) -> PipelineStats;
+}
+
+impl MetricsView for Telemetry {
+    fn join_metrics(&self) -> Option<JoinMetrics> {
+        let join = self.find("join")?;
+        let lp = join.child("logical_plan")?;
+        let sm = join.child("slice_map")?;
+        let pp = join.child("physical_plan")?;
+        let sh = join.child("shuffle")?;
+        let ex = join.child("execute")?;
+        let out = join.child("output")?;
+        let per_node_comparison: Vec<f64> = ex
+            .children_named("node")
+            .filter_map(|n| n.f64_field("seconds"))
+            .collect();
+        let profile = ExecProfile {
+            threads: join.u64_field("threads").unwrap_or(0) as usize,
+            stats_wall_seconds: lp
+                .child("column_stats")
+                .and_then(|c| c.f64_field("wall_seconds"))
+                .unwrap_or(0.0),
+            slice_map_wall_seconds: sm.f64_field("wall_seconds").unwrap_or(0.0),
+            slice_map_busy_seconds: decode_f64s(sm.str_field("busy_seconds").unwrap_or("")),
+            comparison_wall_seconds: ex.f64_field("wall_seconds").unwrap_or(0.0),
+            comparison_busy_seconds: decode_f64s(ex.str_field("busy_seconds").unwrap_or("")),
+            output_wall_seconds: out.f64_field("wall_seconds").unwrap_or(0.0),
+        };
+        Some(JoinMetrics {
+            afl: join.str_field("afl").unwrap_or("").to_string(),
+            algo: join.str_field("algo").and_then(algo_from_token)?,
+            logical_cost: lp.f64_field("cost").unwrap_or(0.0),
+            logical_planning: Duration::from_nanos(lp.duration_ns),
+            slice_map_seconds: sm.f64_field("max_node_seconds").unwrap_or(0.0),
+            physical_planning: Duration::from_nanos(pp.u64_field("planning_ns").unwrap_or(0)),
+            est_physical_cost: pp.f64_field("est_cost").unwrap_or(0.0),
+            alignment_seconds: sh.f64_field("makespan_seconds").unwrap_or(0.0),
+            network_bytes: sh.u64_field("network_bytes").unwrap_or(0),
+            cells_moved: sh.u64_field("cells_moved").unwrap_or(0),
+            comparison_seconds: join.f64_field("comparison_seconds").unwrap_or(0.0),
+            per_node_comparison,
+            matches: join.u64_field("matches").unwrap_or(0) as usize,
+            planner: planner_from_token(pp.str_field("planner").unwrap_or("")),
+            plan_tier: pp.str_field("tier").and_then(tier_from_token)?,
+            degraded: join.bool_field("degraded").unwrap_or(false),
+            solver_status: pp
+                .str_field("solver_status")
+                .and_then(solve_status_from_token),
+            profile,
+            shuffle: shuffle_report_from_span(sh),
+        })
+    }
+
+    fn pipeline_stats(&self) -> PipelineStats {
+        PipelineStats {
+            gathered_bytes: self.counter("pipeline.gathered_bytes"),
+            gathered_cells: self.counter("pipeline.gathered_cells"),
+            batches: self.counter("pipeline.batches"),
+        }
+    }
+}

@@ -17,6 +17,7 @@ mod error;
 mod lexer;
 mod lower;
 mod parser;
+pub mod traced;
 
 pub use ast::{AflArg, AflExpr, IntoTarget, Projection, SelectStmt};
 pub use binder::{bind_select, BoundSelect};
@@ -24,6 +25,9 @@ pub use error::{LangError, LangPhase, Span};
 pub use lexer::{tokenize, tokenize_spanned, Sym, Token};
 pub use lower::{lower_afl, lower_select};
 pub use parser::{parse_afl, parse_aql};
+pub use traced::{
+    bind_select_traced, lower_afl_traced, lower_select_traced, parse_afl_traced, parse_aql_traced,
+};
 
 /// Re-exported from the storage layer's kernel module: rewrite a
 /// post-join projection so its column references resolve against the

@@ -1,0 +1,97 @@
+//! Telemetry-instrumented wrappers over the front-end phases.
+//!
+//! Each wrapper runs the plain phase function inside a child span of the
+//! caller's query span (`parse` → `bind` → `lower`), so the front end
+//! contributes to the same span tree the executor fills in. The wrappers
+//! are thin: with telemetry off they cost one `Option` check each.
+
+use sj_array::ArraySchema;
+use sj_core::PlanNode;
+use sj_telemetry::SpanGuard;
+
+use crate::ast::{AflExpr, SelectStmt};
+use crate::binder::{bind_select, BoundSelect};
+use crate::error::LangError;
+use crate::lower::{lower_afl, lower_select};
+use crate::parser::{parse_afl, parse_aql};
+
+type Result<T> = std::result::Result<T, LangError>;
+
+/// Parse an AQL `SELECT` statement under a `parse` span.
+pub fn parse_aql_traced(input: &str, parent: &SpanGuard) -> Result<SelectStmt> {
+    let span = parent.child("parse");
+    span.field("surface", "aql");
+    span.field("source_bytes", input.len());
+    parse_aql(input)
+}
+
+/// Parse an AFL expression under a `parse` span.
+pub fn parse_afl_traced(input: &str, parent: &SpanGuard) -> Result<AflExpr> {
+    let span = parent.child("parse");
+    span.field("surface", "afl");
+    span.field("source_bytes", input.len());
+    parse_afl(input)
+}
+
+/// Bind a parsed `SELECT` against catalog schemas under a `bind` span.
+pub fn bind_select_traced<F>(
+    stmt: &SelectStmt,
+    lookup: F,
+    parent: &SpanGuard,
+) -> Result<BoundSelect>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    let _span = parent.child("bind");
+    bind_select(stmt, lookup)
+}
+
+/// Lower a bound `SELECT` to the plan IR under a `lower` span.
+pub fn lower_select_traced(bound: &BoundSelect, parent: &SpanGuard) -> PlanNode {
+    let _span = parent.child("lower");
+    lower_select(bound)
+}
+
+/// Lower an AFL expression to the plan IR under a `lower` span.
+pub fn lower_afl_traced<F>(expr: &AflExpr, lookup: &F, parent: &SpanGuard) -> Result<PlanNode>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    let _span = parent.child("lower");
+    lower_afl(expr, lookup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_telemetry::{TelemetryConfig, Tracer};
+
+    #[test]
+    fn phases_record_under_the_query_span() {
+        let tracer = Tracer::new(&TelemetryConfig::Tree);
+        {
+            let root = tracer.root("query");
+            let stmt = parse_aql_traced("SELECT * FROM A", &root).unwrap();
+            let schema = ArraySchema::parse("A<v:int>[i=1,10,10]").unwrap();
+            let bound = bind_select_traced(&stmt, |_| Some(schema.clone()), &root).unwrap();
+            let _plan = lower_select_traced(&bound, &root);
+        }
+        let t = tracer.finish();
+        let root = t.root().unwrap();
+        let names: Vec<&str> = root.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["parse", "bind", "lower"]);
+        assert_eq!(root.children[0].str_field("surface"), Some("aql"));
+        assert_eq!(
+            root.children[0].u64_field("source_bytes"),
+            Some("SELECT * FROM A".len() as u64)
+        );
+    }
+
+    #[test]
+    fn disabled_span_still_parses() {
+        let tracer = Tracer::new(&TelemetryConfig::Off);
+        let root = tracer.root("query");
+        assert!(parse_afl_traced("scan(A)", &root).is_ok());
+        assert!(tracer.finish().roots.is_empty());
+    }
+}

@@ -1,0 +1,804 @@
+//! # sj-telemetry: query-scoped tracing for the skewjoin engine
+//!
+//! A std-only, zero-dependency observability layer. One [`Tracer`] lives
+//! for the duration of one query; code under execution opens nested
+//! [`SpanGuard`]s (monotonic timing, parent/child structure, typed
+//! key→value fields) and bumps [`Counter`]s (atomic adds). When the query
+//! finishes, [`Tracer::finish`] folds the flat span arena into a
+//! [`Telemetry`] report — an in-memory tree plus aggregated counters —
+//! which the engine exposes as the single source of truth for *all*
+//! metrics. The legacy report structs (`JoinMetrics`, `ExecProfile`,
+//! `ShuffleReport`, `PipelineStats`) are views computed from this tree.
+//!
+//! ## Disabled path
+//!
+//! `Tracer::new(&TelemetryConfig::Off)` produces a disabled handle: every
+//! span operation is a branch on an `Option` that is `None` — no clock
+//! reads, no locks, no allocation. The `join_kernels` bench pins that a
+//! disabled span open/close costs < 2% of one hash-join probe batch.
+//!
+//! ## Determinism
+//!
+//! Spans are only ever recorded from the coordinator thread, in program
+//! order; per-worker measurements are carried as *fields* (not as
+//! per-worker spans), so the span tree's structure is identical at any
+//! `ExecConfig.threads` and with fault injection disabled. Timings vary
+//! run to run; structure and field keys do not —
+//! [`Telemetry::structure_signature`] and [`Telemetry::schema_signature`]
+//! exist so tests can pin exactly that.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How a query's telemetry is collected and delivered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TelemetryConfig {
+    /// Collect nothing. Span and counter operations compile down to a
+    /// `None` check — the executor's hot loops pay no clock reads.
+    Off,
+    /// Collect the in-memory span tree and counters (the default): the
+    /// metrics views (`JoinMetrics`, `PipelineStats`, …) need it.
+    #[default]
+    Tree,
+    /// Collect the tree *and* write a JSON-lines export to `path` when
+    /// the query finishes (the bench harness / profiling sink).
+    Json {
+        /// Destination file for the JSON-lines export.
+        path: String,
+    },
+}
+
+impl TelemetryConfig {
+    /// True when spans and counters are collected at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, TelemetryConfig::Off)
+    }
+}
+
+/// A typed span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, bytes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (seconds, costs). Stored exactly — views that
+    /// reconstruct legacy reports from fields are bit-identical.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string (names, tokens, encoded lists).
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+    /// The value as `f64`, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+    /// The value as `bool`, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            FieldValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// One recorded span in the flat arena.
+#[derive(Debug, Clone)]
+struct SpanRec {
+    name: &'static str,
+    parent: Option<usize>,
+    start_ns: u64,
+    duration_ns: Option<u64>,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+struct Inner {
+    origin: Instant,
+    spans: Mutex<Vec<SpanRec>>,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A cheap-clone handle to one query's telemetry collection. Disabled
+/// handles (from [`TelemetryConfig::Off`]) carry no allocation and make
+/// every operation a no-op.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// A tracer for `config` (disabled for [`TelemetryConfig::Off`]).
+    pub fn new(config: &TelemetryConfig) -> Tracer {
+        if config.enabled() {
+            Tracer {
+                inner: Some(Arc::new(Inner {
+                    origin: Instant::now(),
+                    spans: Mutex::new(Vec::new()),
+                    counters: Mutex::new(BTreeMap::new()),
+                })),
+            }
+        } else {
+            Tracer::disabled()
+        }
+    }
+
+    /// The no-op tracer.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether this tracer records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a root span (no parent).
+    pub fn root(&self, name: &'static str) -> SpanGuard {
+        self.open(name, None)
+    }
+
+    fn open(&self, name: &'static str, parent: Option<usize>) -> SpanGuard {
+        let idx = match &self.inner {
+            None => usize::MAX,
+            Some(inner) => {
+                let start_ns = inner.now_ns();
+                let mut spans = inner.spans.lock().expect("span arena poisoned");
+                spans.push(SpanRec {
+                    name,
+                    parent,
+                    start_ns,
+                    duration_ns: None,
+                    fields: Vec::new(),
+                });
+                spans.len() - 1
+            }
+        };
+        SpanGuard {
+            tracer: self.clone(),
+            idx,
+        }
+    }
+
+    /// A handle to the named counter, creating it at zero on first use.
+    /// The handle's `add` is a single atomic op — acquire once, bump from
+    /// hot loops. Disabled tracers return a no-op handle.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        match &self.inner {
+            None => Counter { cell: None },
+            Some(inner) => {
+                let mut counters = inner.counters.lock().expect("counter registry poisoned");
+                let cell = counters.entry(name).or_default();
+                Counter {
+                    cell: Some(Arc::clone(cell)),
+                }
+            }
+        }
+    }
+
+    /// Snapshot everything recorded so far into a [`Telemetry`] report.
+    /// Spans still open are given their duration as of this call.
+    pub fn finish(&self) -> Telemetry {
+        let Some(inner) = &self.inner else {
+            return Telemetry::disabled();
+        };
+        let now = inner.now_ns();
+        let spans = inner.spans.lock().expect("span arena poisoned").clone();
+        let counters: BTreeMap<&'static str, u64> = inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.load(Ordering::Relaxed)))
+            .collect();
+
+        // Fold the flat arena into a tree. Children attach in record
+        // order, which is program order on the coordinator thread.
+        let mut nodes: Vec<Option<SpanNode>> = spans
+            .iter()
+            .map(|rec| {
+                Some(SpanNode {
+                    name: rec.name,
+                    start_ns: rec.start_ns,
+                    duration_ns: rec.duration_ns.unwrap_or_else(|| now - rec.start_ns),
+                    fields: rec.fields.clone(),
+                    children: Vec::new(),
+                })
+            })
+            .collect();
+        let mut roots = Vec::new();
+        for idx in (0..spans.len()).rev() {
+            let node = nodes[idx].take().expect("span folded twice");
+            match spans[idx].parent {
+                Some(p) => nodes[p]
+                    .as_mut()
+                    .expect("parent folded before child")
+                    .children
+                    .insert(0, node),
+                None => roots.insert(0, node),
+            }
+        }
+        Telemetry {
+            enabled: true,
+            roots,
+            counters,
+        }
+    }
+}
+
+/// A registered counter: one atomic cell, or a no-op when telemetry is
+/// disabled.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Gauge semantics: overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An open span. Duration is captured when the guard drops (or at
+/// [`Tracer::finish`] for spans still open). All methods are no-ops on a
+/// disabled tracer — including the clock read.
+pub struct SpanGuard {
+    tracer: Tracer,
+    idx: usize,
+}
+
+impl SpanGuard {
+    /// Open a child span under this one.
+    pub fn child(&self, name: &'static str) -> SpanGuard {
+        let parent = if self.tracer.enabled() {
+            Some(self.idx)
+        } else {
+            None
+        };
+        self.tracer.open(name, parent)
+    }
+
+    /// Attach a typed field. Later writes append; readers see the first
+    /// value per key.
+    pub fn field(&self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(inner) = &self.tracer.inner {
+            let mut spans = inner.spans.lock().expect("span arena poisoned");
+            spans[self.idx].fields.push((key, value.into()));
+        }
+    }
+
+    /// Whether this span records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// The tracer this span records into (for counters / nested calls).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Override the duration this span will report, in seconds. Used for
+    /// attribution spans that carry *measured* time (per-node compute,
+    /// simulated makespan) rather than their own open/close interval.
+    pub fn set_duration_seconds(&self, seconds: f64) {
+        if let Some(inner) = &self.tracer.inner {
+            let ns = (seconds.max(0.0) * 1e9) as u64;
+            let mut spans = inner.spans.lock().expect("span arena poisoned");
+            spans[self.idx].duration_ns = Some(ns);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.tracer.inner {
+            let now = inner.now_ns();
+            let mut spans = inner.spans.lock().expect("span arena poisoned");
+            let rec = &mut spans[self.idx];
+            if rec.duration_ns.is_none() {
+                rec.duration_ns = Some(now.saturating_sub(rec.start_ns));
+            }
+        }
+    }
+}
+
+/// One node of the finished span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name (a fixed, documented taxonomy — see DESIGN.md §11).
+    pub name: &'static str,
+    /// Nanoseconds from tracer creation to span open.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (possibly overridden for
+    /// attribution spans).
+    pub duration_ns: u64,
+    /// Typed key→value fields, in record order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Duration in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.duration_ns as f64 / 1e9
+    }
+
+    /// First field with `key`.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// First `u64` field with `key`.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.field(key).and_then(FieldValue::as_u64)
+    }
+    /// First `f64` field with `key`.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(FieldValue::as_f64)
+    }
+    /// First `bool` field with `key`.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        self.field(key).and_then(FieldValue::as_bool)
+    }
+    /// First string field with `key`.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.field(key).and_then(FieldValue::as_str)
+    }
+
+    /// First direct child named `name`.
+    pub fn child(&self, name: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All direct children named `name`, in order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanNode> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Depth-first search for the first descendant (or self) named
+    /// `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Fraction of this span's wall time attributed to its direct
+    /// children: `Σ child durations / own duration` (capped at 1.0; 1.0
+    /// when this span has no duration).
+    pub fn child_coverage(&self) -> f64 {
+        if self.duration_ns == 0 {
+            return 1.0;
+        }
+        let covered: u64 = self.children.iter().map(|c| c.duration_ns).sum();
+        (covered as f64 / self.duration_ns as f64).min(1.0)
+    }
+}
+
+/// The finished report for one query: the span tree plus aggregated
+/// counters. This is the *single* metrics type the engine exposes; the
+/// legacy reports are views computed from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Telemetry {
+    /// False when collection was off ([`TelemetryConfig::Off`]): the
+    /// tree is empty and every view returns its default/`None`.
+    pub enabled: bool,
+    /// Root spans, in open order (queries record exactly one).
+    pub roots: Vec<SpanNode>,
+    /// Final counter values, keyed by registered name.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl Telemetry {
+    /// The report of a disabled tracer.
+    pub fn disabled() -> Telemetry {
+        Telemetry {
+            enabled: false,
+            roots: Vec::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// The first root span, if any.
+    pub fn root(&self) -> Option<&SpanNode> {
+        self.roots.first()
+    }
+
+    /// Depth-first search across all roots for the first span named
+    /// `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        self.roots.iter().find_map(|r| r.find(name))
+    }
+
+    /// A counter's final value (0 when never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The span tree's structure — names, nesting, and sorted field
+    /// keys, *without* timings or values. Identical across thread counts
+    /// and fault-free reruns; the determinism suite pins this.
+    pub fn structure_signature(&self) -> String {
+        let mut out = String::new();
+        fn walk(node: &SpanNode, path: &str, out: &mut String) {
+            let path = if path.is_empty() {
+                node.name.to_string()
+            } else {
+                format!("{path}/{}", node.name)
+            };
+            let mut keys: Vec<&str> = node.fields.iter().map(|(k, _)| *k).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let _ = writeln!(out, "{path} [{}]", keys.join(","));
+            for c in &node.children {
+                walk(c, &path, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, "", &mut out);
+        }
+        for name in self.counters.keys() {
+            let _ = writeln!(out, "counter {name}");
+        }
+        out
+    }
+
+    /// The deduplicated schema of the tree — each distinct span path once
+    /// with the union of its field keys — for golden-file pinning of the
+    /// exported JSON schema.
+    pub fn schema_signature(&self) -> String {
+        let mut acc: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+        fn walk<'a>(node: &'a SpanNode, path: &str, acc: &mut BTreeMap<String, Vec<&'a str>>) {
+            let path = if path.is_empty() {
+                node.name.to_string()
+            } else {
+                format!("{path}/{}", node.name)
+            };
+            let keys = acc.entry(path.clone()).or_default();
+            for (k, _) in &node.fields {
+                if !keys.contains(k) {
+                    keys.push(k);
+                }
+            }
+            for c in &node.children {
+                walk(c, &path, acc);
+            }
+        }
+        for r in &self.roots {
+            walk(r, "", &mut acc);
+        }
+        let mut out = String::new();
+        for (path, mut keys) in acc {
+            keys.sort_unstable();
+            let _ = writeln!(out, "{path}: [{}]", keys.join(","));
+        }
+        for name in self.counters.keys() {
+            let _ = writeln!(out, "counter: {name}");
+        }
+        out
+    }
+
+    /// Render the report as JSON lines: one object per span (depth-first,
+    /// with its path), then one `{"counters": …}` object. The schema —
+    /// span names and field keys — is pinned by a golden test.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        fn walk(node: &SpanNode, path: &str, depth: usize, out: &mut String) {
+            let path = if path.is_empty() {
+                node.name.to_string()
+            } else {
+                format!("{path}/{}", node.name)
+            };
+            let _ = write!(
+                out,
+                "{{\"span\":{},\"path\":{},\"depth\":{},\"start_ns\":{},\"duration_ns\":{},\"fields\":{{",
+                json_str(node.name),
+                json_str(&path),
+                depth,
+                node.start_ns,
+                node.duration_ns
+            );
+            for (i, (k, v)) in node.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), json_value(v));
+            }
+            out.push_str("}}\n");
+            for c in &node.children {
+                walk(c, &path, depth + 1, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, "", 0, &mut out);
+        }
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(k), v);
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Deliver the report to `config`'s sink: writes the JSON-lines
+    /// export for [`TelemetryConfig::Json`], otherwise does nothing.
+    pub fn export(&self, config: &TelemetryConfig) -> std::io::Result<()> {
+        if let TelemetryConfig::Json { path } = config {
+            std::fs::write(path, self.to_json_lines())?;
+        }
+        Ok(())
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_value(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(x) => x.to_string(),
+        FieldValue::I64(x) => x.to_string(),
+        FieldValue::F64(x) if x.is_finite() => format!("{x:?}"),
+        FieldValue::F64(_) => "null".to_string(),
+        FieldValue::Bool(x) => x.to_string(),
+        FieldValue::Str(x) => json_str(x),
+    }
+}
+
+/// Encode a slice of `f64`s as one comma-joined string field value that
+/// round-trips exactly (Rust's shortest-repr float formatting). Used for
+/// per-worker busy times, which must not become per-worker *spans* (that
+/// would make the tree's structure depend on the thread count).
+pub fn encode_f64s(values: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v:?}");
+    }
+    out
+}
+
+/// Decode [`encode_f64s`] output.
+pub fn decode_f64s(s: &str) -> Vec<f64> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    s.split(',').filter_map(|p| p.parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_time() {
+        let tracer = Tracer::new(&TelemetryConfig::Tree);
+        {
+            let root = tracer.root("query");
+            root.field("surface", "aql");
+            {
+                let child = root.child("parse");
+                child.field("tokens", 12u64);
+            }
+            let ex = root.child("execute");
+            ex.set_duration_seconds(1.5);
+        }
+        let t = tracer.finish();
+        assert!(t.enabled);
+        let root = t.root().unwrap();
+        assert_eq!(root.name, "query");
+        assert_eq!(root.str_field("surface"), Some("aql"));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "parse");
+        assert_eq!(root.children[0].u64_field("tokens"), Some(12));
+        assert_eq!(root.child("execute").unwrap().duration_ns, 1_500_000_000);
+        assert!(root.duration_ns > 0);
+        assert!(root.find("parse").is_some());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new(&TelemetryConfig::Off);
+        {
+            let root = tracer.root("query");
+            root.field("x", 1u64);
+            let c = root.child("inner");
+            c.field("y", 2u64);
+            tracer.counter("n").add(5);
+        }
+        let t = tracer.finish();
+        assert!(!t.enabled);
+        assert!(t.roots.is_empty());
+        assert_eq!(t.counter("n"), 0);
+    }
+
+    #[test]
+    fn counters_aggregate() {
+        let tracer = Tracer::new(&TelemetryConfig::Tree);
+        let c = tracer.counter("bytes");
+        c.add(10);
+        c.add(32);
+        tracer.counter("bytes").incr();
+        let t = tracer.finish();
+        assert_eq!(t.counter("bytes"), 43);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn json_lines_escape_and_schema() {
+        let tracer = Tracer::new(&TelemetryConfig::Tree);
+        {
+            let root = tracer.root("query");
+            root.field("text", "say \"hi\"\n");
+            root.field("cost", 1.5f64);
+            root.field("ok", true);
+        }
+        tracer.counter("cells").add(7);
+        let t = tracer.finish();
+        let json = t.to_json_lines();
+        assert!(json.contains("\"span\":\"query\""));
+        assert!(json.contains("\"text\":\"say \\\"hi\\\"\\n\""));
+        assert!(json.contains("\"cost\":1.5"));
+        assert!(json.contains("\"ok\":true"));
+        assert!(json.ends_with("{\"counters\":{\"cells\":7}}\n"));
+    }
+
+    #[test]
+    fn f64_list_round_trips_exactly() {
+        let values = vec![0.1, 1.0 / 3.0, -0.0, 1e-300, f64::MAX];
+        let decoded = decode_f64s(&encode_f64s(&values));
+        assert_eq!(decoded.len(), values.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(decode_f64s("").is_empty());
+    }
+
+    #[test]
+    fn coverage_and_signatures() {
+        let tracer = Tracer::new(&TelemetryConfig::Tree);
+        {
+            let root = tracer.root("join");
+            root.set_duration_seconds(1.0);
+            let a = root.child("plan");
+            a.set_duration_seconds(0.4);
+            drop(a);
+            let b = root.child("execute");
+            b.field("matches", 3u64);
+            b.set_duration_seconds(0.58);
+        }
+        let t = tracer.finish();
+        let root = t.root().unwrap();
+        assert!((root.child_coverage() - 0.98).abs() < 1e-9);
+        let sig = t.structure_signature();
+        assert!(sig.contains("join []"));
+        assert!(sig.contains("join/execute [matches]"));
+        let schema = t.schema_signature();
+        assert!(schema.contains("join/plan: []"));
+    }
+
+    #[test]
+    fn open_spans_get_duration_at_finish() {
+        let tracer = Tracer::new(&TelemetryConfig::Tree);
+        let root = tracer.root("query");
+        let _hold = root.child("running");
+        let t = tracer.finish();
+        assert!(t.root().unwrap().children[0].duration_ns < u64::MAX);
+        drop(root);
+    }
+}

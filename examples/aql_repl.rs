@@ -10,7 +10,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use skewjoin::{Array, ArrayDb, ArraySchema, NetworkModel, QueryResult, Value};
+use skewjoin::{Array, ArrayDb, ArraySchema, MetricsView, NetworkModel, QueryResult, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = ArrayDb::new(2, NetworkModel::gigabit());
@@ -80,7 +80,7 @@ fn print_result(result: &QueryResult) {
         let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
         println!("  {coord:?} -> ({})", vals.join(", "));
     }
-    if let Some(m) = &result.join_metrics {
+    if let Some(m) = result.telemetry.join_metrics() {
         println!(
             "  [join: {} via {}, {} matches, {:.2} ms simulated alignment]",
             m.afl,

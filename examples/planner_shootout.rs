@@ -5,10 +5,11 @@
 //! cargo run --release --example planner_shootout [alpha]
 //! ```
 
-use skewjoin::join::exec::execute_shuffle_join;
-use skewjoin::join::exec::{ExecConfig, JoinQuery};
+use skewjoin::join::exec::{execute_join, ExecConfig, JoinQuery};
 use skewjoin::workload::{skewed_pair, SkewedArrayConfig};
-use skewjoin::{Cluster, JoinAlgo, JoinPredicate, NetworkModel, Placement, PlannerKind};
+use skewjoin::{
+    Cluster, JoinAlgo, JoinPredicate, MetricsView, NetworkModel, Placement, PlannerKind,
+};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -68,14 +69,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PlannerKind::MinBandwidth,
         PlannerKind::Tabu,
     ] {
-        let config = ExecConfig {
-            planner,
-            forced_algo: Some(JoinAlgo::Hash),
-            hash_buckets: Some(256),
-            cost_params: params,
-            ..ExecConfig::default()
-        };
-        let (_, m) = execute_shuffle_join(&cluster, &query, &config)?;
+        let config = ExecConfig::builder()
+            .planner(planner)
+            .forced_algo(JoinAlgo::Hash)
+            .hash_buckets(256)
+            .cost_params(params)
+            .build()?;
+        let run = execute_join(&cluster, &query, &config)?;
+        let m = run.telemetry.join_metrics().expect("join span recorded");
         println!(
             "{:<8} {:>11.2} {:>13.3} {:>13.3} {:>11.2} {:>12.4}",
             m.planner,

@@ -1,0 +1,101 @@
+//! Profile one skewed join end to end through the telemetry subsystem.
+//!
+//! Runs the Figure-8-style hash-skew join (value-Zipf α = 1.5) on a
+//! 4-node cluster with the JSON sink enabled, prints the span tree with
+//! per-phase wall times, and checks the tree accounts for ≥ 95% of the
+//! join's wall clock — the coverage bar DESIGN.md §11 promises.
+//!
+//! ```sh
+//! cargo run --release --example profile_query [trace.jsonl]
+//! ```
+
+use skewjoin::join::exec::{execute_join, ExecConfig, JoinQuery};
+use skewjoin::telemetry::SpanNode;
+use skewjoin::workload::{skewed_pair, SkewedArrayConfig};
+use skewjoin::{
+    Cluster, JoinAlgo, JoinPredicate, NetworkModel, Placement, PlannerKind, TelemetryConfig,
+};
+
+fn print_tree(node: &SpanNode, depth: usize) {
+    let fields: Vec<String> = node
+        .fields
+        .iter()
+        .filter(|(k, _)| !k.ends_with("busy_seconds"))
+        .take(4)
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect();
+    println!(
+        "{:indent$}{:<14} {:>10.3} ms  {}",
+        "",
+        node.name,
+        node.duration_seconds() * 1e3,
+        fields.join(" "),
+        indent = depth * 2
+    );
+    // Per-unit spans are in the JSON trace; the console tree stops at
+    // the per-node level.
+    if depth >= 3 {
+        return;
+    }
+    for child in &node.children {
+        print_tree(child, depth + 1);
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "TRACE_SMOKE.json".to_string());
+
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 16,
+        chunk_interval: 64,
+        cells: 40_000,
+        spatial_alpha: 0.0,
+        value_alpha: 1.5,
+        value_domain: 20_000,
+        seed: 7,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let mut cluster = Cluster::new(4, NetworkModel::scaled_to_engine());
+    cluster.load_array(a, &Placement::HashSalted(1))?;
+    cluster.load_array(b, &Placement::HashSalted(2))?;
+    let query = JoinQuery::new(
+        "A",
+        "B",
+        JoinPredicate::new(vec![("v1", "v1"), ("v2", "v2")]),
+    )
+    .with_selectivity(0.0001);
+    let config = ExecConfig::builder()
+        .planner(PlannerKind::Tabu)
+        .forced_algo(JoinAlgo::Hash)
+        .hash_buckets(64)
+        .threads(2)
+        .telemetry(TelemetryConfig::Json {
+            path: trace_path.clone(),
+        })
+        .build()?;
+
+    let run = execute_join(&cluster, &query, &config)?;
+    println!(
+        "fig8 hash-skew join: {} result cells\n",
+        run.array.cell_count()
+    );
+    let root = run.telemetry.root().expect("query span recorded");
+    print_tree(root, 0);
+
+    let join = run.telemetry.find("join").expect("join span recorded");
+    let coverage = join.child_coverage();
+    println!(
+        "\nphase coverage of join wall time: {:.1}% (bar: >= 95%)",
+        coverage * 100.0
+    );
+    println!("JSON trace written to {trace_path}");
+    assert!(
+        coverage >= 0.95,
+        "named phases cover only {:.1}% of the join span",
+        coverage * 100.0
+    );
+    Ok(())
+}

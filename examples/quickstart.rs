@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use skewjoin::{Array, ArrayDb, ArraySchema, NetworkModel, Value};
+use skewjoin::{Array, ArrayDb, ArraySchema, MetricsView, NetworkModel, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 4-node shared-nothing cluster over a gigabit-class switch.
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          WHERE A.i = B.i AND A.j = B.j",
     )?;
 
-    let metrics = result.join_metrics.as_ref().expect("join ran");
+    let metrics = result.telemetry.join_metrics().expect("join ran");
     println!("\nchosen plan        : {}", metrics.afl);
     println!("join algorithm     : {:?}", metrics.algo);
     println!("physical planner   : {}", metrics.planner);

@@ -13,7 +13,7 @@
 
 use skewjoin::join::exec::ExecConfig;
 use skewjoin::workload::{ais_broadcasts, modis_band, AisConfig, GeoConfig};
-use skewjoin::{ArrayDb, JoinAlgo, NetworkModel, Placement, PlannerKind};
+use skewjoin::{ArrayDb, JoinAlgo, MetricsView, NetworkModel, Placement, PlannerKind};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -82,16 +82,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PlannerKind::MinBandwidth,
         PlannerKind::Tabu,
     ] {
-        db.set_exec_config(ExecConfig {
-            planner: planner.clone(),
-            // The paper's §6.3 experiments run merge joins over sorted
-            // chunk units.
-            forced_algo: Some(JoinAlgo::Merge),
-            cost_params: params,
-            ..ExecConfig::default()
-        });
+        // The paper's §6.3 experiments run merge joins over sorted
+        // chunk units.
+        db.set_exec_config(
+            ExecConfig::builder()
+                .planner(planner.clone())
+                .forced_algo(JoinAlgo::Merge)
+                .cost_params(params)
+                .build()?,
+        );
         let result = db.query(aql)?;
-        let m = result.join_metrics.unwrap();
+        let m = result.telemetry.join_metrics().unwrap();
         println!(
             "{:<8} {:>12.2} {:>14.3} {:>14.3} {:>12}",
             m.planner,

@@ -13,7 +13,7 @@
 
 use skewjoin::join::exec::ExecConfig;
 use skewjoin::workload::{modis_band, GeoConfig};
-use skewjoin::{ArrayDb, JoinAlgo, NetworkModel, Placement, PlannerKind, Value};
+use skewjoin::{ArrayDb, JoinAlgo, MetricsView, NetworkModel, Placement, PlannerKind, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let geo = GeoConfig {
@@ -61,14 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PlannerKind::MinBandwidth,
         PlannerKind::Tabu,
     ] {
-        db.set_exec_config(ExecConfig {
-            planner,
-            forced_algo: Some(JoinAlgo::Merge),
-            cost_params: params,
-            ..ExecConfig::default()
-        });
+        db.set_exec_config(
+            ExecConfig::builder()
+                .planner(planner)
+                .forced_algo(JoinAlgo::Merge)
+                .cost_params(params)
+                .build()?,
+        );
         let result = db.query(aql)?;
-        let m = result.join_metrics.as_ref().unwrap();
+        let m = result.telemetry.join_metrics().unwrap();
         println!(
             "{:<8} {:>12.2} {:>14.3} {:>14.3} {:>10}",
             m.planner,

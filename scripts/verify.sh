@@ -23,9 +23,17 @@ cargo test -q --features proptest --test golden_equivalence
 
 echo "==> join_kernels smoke run (snapshots BENCH_KERNELS.json)"
 smoke_log="target/join_kernels_smoke.log"
-JOIN_KERNELS_SMOKE=1 cargo bench -p sj-bench --bench join_kernels > "$smoke_log"
+JOIN_KERNELS_SMOKE=1 cargo bench -p sj-bench --bench join_kernels > "$smoke_log" 2>&1
 grep '^{' "$smoke_log" > BENCH_KERNELS.json
 echo "    $(grep -c '^{' BENCH_KERNELS.json) points -> BENCH_KERNELS.json"
+
+echo "==> telemetry smoke: fig8 join trace -> TRACE_SMOKE.json, >=95% phase coverage"
+cargo run --release --quiet --example profile_query TRACE_SMOKE.json > target/telemetry_smoke.log
+grep -c '^{' TRACE_SMOKE.json > /dev/null
+tail -2 target/telemetry_smoke.log
+
+echo "==> telemetry overhead gate: disabled path < 2% (asserted inside join_kernels)"
+grep 'disabled-telemetry overhead' "$smoke_log"
 
 echo "==> lints: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -15,8 +15,12 @@ use std::fmt;
 use sj_array::{Array, ArrayError};
 use sj_cluster::{Cluster, ClusterError, NetworkModel, Placement};
 use sj_core::exec::{ExecConfig, JoinMetrics};
-use sj_core::{rewrite, run_plan, JoinError, PipelineStats, PlanNode};
-use sj_lang::{bind_select, lower_afl, lower_select, parse_afl, parse_aql, LangError};
+use sj_core::telemetry::{SpanGuard, Telemetry, Tracer};
+use sj_core::{rewrite, run_plan_traced, JoinError, MetricsView, PipelineStats, PlanNode};
+use sj_lang::{
+    bind_select_traced, lower_afl_traced, lower_select_traced, parse_afl_traced, parse_aql_traced,
+    LangError,
+};
 
 /// Top-level error type for the engine.
 #[derive(Debug)]
@@ -78,17 +82,31 @@ impl From<LangError> for Error {
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// The result of a query: the output array, join metrics when the query
-/// ran through the shuffle-join optimizer, and pipeline statistics.
+/// The result of a query: the output array plus the query's telemetry —
+/// a span tree covering parse → bind → lower → rewrite → pipeline (with
+/// any shuffle-join phases nested inside) and the engine counters.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     /// The materialized result.
     pub array: Array,
+    /// Everything measured while the query ran. The legacy reports are
+    /// views over this tree ([`sj_core::MetricsView`]).
+    pub telemetry: Telemetry,
+}
+
+impl QueryResult {
     /// Shuffle-join execution metrics (joins only).
-    pub join_metrics: Option<JoinMetrics>,
+    #[deprecated(note = "use `sj_core::MetricsView::join_metrics` on `telemetry`")]
+    pub fn join_metrics(&self) -> Option<JoinMetrics> {
+        self.telemetry.join_metrics()
+    }
+
     /// Streaming-pipeline statistics: bytes/cells that crossed the
     /// coordinator boundary and the number of batches streamed.
-    pub pipeline: PipelineStats,
+    #[deprecated(note = "use `sj_core::MetricsView::pipeline_stats` on `telemetry`")]
+    pub fn pipeline(&self) -> PipelineStats {
+        self.telemetry.pipeline_stats()
+    }
 }
 
 /// A distributed array database over a simulated shared-nothing cluster.
@@ -151,32 +169,52 @@ impl ArrayDb {
 
     /// Run an AQL query (`SELECT … [INTO …] FROM … [WHERE …]`).
     pub fn query(&self, aql: &str) -> Result<QueryResult> {
-        let stmt = parse_aql(aql)?;
-        let catalog = self.cluster.catalog();
-        let bound = bind_select(&stmt, |name| catalog.schema(name).ok().cloned())?;
-        self.run(lower_select(&bound))
+        self.traced_query(|root| {
+            let stmt = parse_aql_traced(aql, root)?;
+            let catalog = self.cluster.catalog();
+            let bound = bind_select_traced(&stmt, |name| catalog.schema(name).ok().cloned(), root)?;
+            Ok(lower_select_traced(&bound, root))
+        })
     }
 
     /// Evaluate an AFL operator expression
     /// (`filter(A, v > 5)`, `redim(B, <…>[…])`, `merge(A, B)`, …) and
     /// return the materialized result.
     pub fn afl(&self, text: &str) -> Result<QueryResult> {
-        let expr = parse_afl(text)?;
-        let catalog = self.cluster.catalog();
-        let plan = lower_afl(&expr, &|name| catalog.schema(name).ok().cloned())?;
-        self.run(plan)
+        self.traced_query(|root| {
+            let expr = parse_afl_traced(text, root)?;
+            let catalog = self.cluster.catalog();
+            Ok(lower_afl_traced(
+                &expr,
+                &|name| catalog.schema(name).ok().cloned(),
+                root,
+            )?)
+        })
     }
 
-    /// Rewrite a lowered plan and execute it through the streaming
-    /// pipeline — the single execution path behind both query surfaces.
-    fn run(&self, plan: PlanNode) -> Result<QueryResult> {
-        let plan = rewrite(plan);
-        let out = run_plan(&self.cluster, &plan, &self.exec_config)?;
-        Ok(QueryResult {
-            array: out.array,
-            join_metrics: out.join_metrics,
-            pipeline: out.stats,
-        })
+    /// The single execution path behind both query surfaces: open the
+    /// query's root span, run the front end (`front` records its
+    /// parse/bind/lower children), rewrite, and execute through the
+    /// streaming pipeline — every phase recording into one span tree.
+    fn traced_query<F>(&self, front: F) -> Result<QueryResult>
+    where
+        F: FnOnce(&SpanGuard) -> Result<PlanNode>,
+    {
+        let tracer = Tracer::new(&self.exec_config.telemetry);
+        let root = tracer.root("query");
+        let plan = front(&root)?;
+        let plan = {
+            let _span = root.child("rewrite");
+            rewrite(plan)
+        };
+        let array = run_plan_traced(&self.cluster, &plan, &self.exec_config, &root)?;
+        drop(root);
+        let telemetry = tracer.finish();
+        telemetry
+            .export(&self.exec_config.telemetry)
+            .map_err(|e| JoinError::Storage(format!("telemetry export failed: {e}")))
+            .map_err(Error::Join)?;
+        Ok(QueryResult { array, telemetry })
     }
 }
 
@@ -207,7 +245,13 @@ mod tests {
         let db = db();
         let r = db.query("SELECT * FROM A WHERE v > 150").unwrap();
         assert_eq!(r.array.cell_count(), 5);
-        assert!(r.join_metrics.is_none());
+        assert!(r.telemetry.join_metrics().is_none());
+        // The front-end phases record under the query root span.
+        let root = r.telemetry.root().unwrap();
+        assert_eq!(root.name, "query");
+        for phase in ["parse", "bind", "lower", "rewrite", "pipeline"] {
+            assert!(root.child(phase).is_some(), "missing span {phase}");
+        }
     }
 
     #[test]
@@ -217,9 +261,11 @@ mod tests {
         let db = db();
         let all = db.query("SELECT * FROM A").unwrap();
         let some = db.query("SELECT * FROM A WHERE v > 150").unwrap();
-        assert!(some.pipeline.gathered_bytes < all.pipeline.gathered_bytes);
-        assert_eq!(some.pipeline.gathered_cells, 5);
-        assert_eq!(all.pipeline.gathered_cells, 20);
+        let all_stats = all.telemetry.pipeline_stats();
+        let some_stats = some.telemetry.pipeline_stats();
+        assert!(some_stats.gathered_bytes < all_stats.gathered_bytes);
+        assert_eq!(some_stats.gathered_cells, 5);
+        assert_eq!(all_stats.gathered_cells, 20);
     }
 
     #[test]
@@ -227,8 +273,11 @@ mod tests {
         let db = db();
         let r = db.query("SELECT * FROM A, B WHERE A.i = B.i").unwrap();
         assert_eq!(r.array.cell_count(), 20);
-        let m = r.join_metrics.unwrap();
+        let m = r.telemetry.join_metrics().unwrap();
         assert_eq!(m.matches, 20);
+        // The join's span nests under the pipeline span.
+        let pipeline = r.telemetry.find("pipeline").unwrap();
+        assert!(pipeline.child("join").is_some());
     }
 
     #[test]
@@ -256,7 +305,7 @@ mod tests {
         let db = db();
         let r = db.afl("merge(A, B)").unwrap();
         assert_eq!(r.array.cell_count(), 20);
-        assert!(r.join_metrics.is_some());
+        assert!(r.telemetry.join_metrics().is_some());
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub use sj_array::{
     Array, ArraySchema, AttributeDef, CellBatch, DataType, DimensionDef, Expr, Value,
 };
 pub use sj_cluster::{Cluster, NetworkModel, Placement};
-pub use sj_core::exec::{ExecConfig, JoinMetrics, JoinQuery};
+pub use sj_core::exec::{
+    execute_join, ExecConfig, ExecConfigBuilder, JoinMetrics, JoinQuery, JoinRun,
+};
 pub use sj_core::predicate::JoinPredicate;
-pub use sj_core::{JoinAlgo, PlannerKind};
+pub use sj_core::telemetry;
+pub use sj_core::{JoinAlgo, MetricsView, PlannerKind, Telemetry, TelemetryConfig};

@@ -8,8 +8,8 @@
 //! comparison.
 
 use sj_cluster::{Cluster, NetworkModel, Placement};
-use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
-use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
+use sj_core::exec::{execute_join, ExecConfig, JoinQuery};
+use sj_core::{JoinAlgo, JoinPredicate, MetricsView, PlannerKind};
 use sj_workload::{skewed_pair, SkewedArrayConfig};
 
 fn skewed_cluster() -> Cluster {
@@ -45,23 +45,26 @@ fn hash_skew_join_is_identical_across_thread_counts() {
     let query = query();
 
     let run = |threads: usize| {
-        let config = ExecConfig {
-            planner: PlannerKind::Tabu,
-            forced_algo: Some(JoinAlgo::Hash),
-            hash_buckets: Some(64),
-            threads,
-            ..ExecConfig::default()
-        };
-        execute_shuffle_join(&cluster, &query, &config).unwrap()
+        let config = ExecConfig::builder()
+            .planner(PlannerKind::Tabu)
+            .forced_algo(JoinAlgo::Hash)
+            .hash_buckets(64)
+            .threads(threads)
+            .build()
+            .unwrap();
+        execute_join(&cluster, &query, &config).unwrap()
     };
 
-    let (ref_out, ref_metrics) = run(1);
+    let ref_run = run(1);
+    let ref_metrics = ref_run.telemetry.join_metrics().unwrap();
     assert!(ref_metrics.matches > 0, "fixture must produce matches");
-    let ref_cells: Vec<_> = ref_out.iter_cells().collect();
+    let ref_cells: Vec<_> = ref_run.array.iter_cells().collect();
+    let ref_structure = ref_run.telemetry.structure_signature();
 
     for threads in [2usize, 8] {
-        let (out, metrics) = run(threads);
-        let cells: Vec<_> = out.iter_cells().collect();
+        let thr_run = run(threads);
+        let metrics = thr_run.telemetry.join_metrics().unwrap();
+        let cells: Vec<_> = thr_run.array.iter_cells().collect();
         assert_eq!(
             cells, ref_cells,
             "output cells differ between threads=1 and threads={threads}"
@@ -73,6 +76,14 @@ fn hash_skew_join_is_identical_across_thread_counts() {
             "shuffle transfer totals differ at threads={threads}"
         );
         assert_eq!(metrics.network_bytes, ref_metrics.network_bytes);
+        // The span tree's shape is part of the determinism contract:
+        // worker parallelism must not change which spans exist or their
+        // order, only the timing numbers inside them.
+        assert_eq!(
+            thr_run.telemetry.structure_signature(),
+            ref_structure,
+            "span structure differs at threads={threads}"
+        );
     }
 }
 
@@ -85,39 +96,42 @@ fn merge_join_and_auto_planning_are_thread_invariant() {
     let query = query();
 
     let run = |threads: usize| {
-        let config = ExecConfig {
-            planner: PlannerKind::MinBandwidth,
-            forced_algo: Some(JoinAlgo::Merge),
-            threads,
-            ..ExecConfig::default()
-        };
-        execute_shuffle_join(&cluster, &query, &config).unwrap()
+        let config = ExecConfig::builder()
+            .planner(PlannerKind::MinBandwidth)
+            .forced_algo(JoinAlgo::Merge)
+            .threads(threads)
+            .build()
+            .unwrap();
+        execute_join(&cluster, &query, &config).unwrap()
     };
 
-    let (ref_out, ref_metrics) = run(1);
-    let ref_cells: Vec<_> = ref_out.iter_cells().collect();
+    let ref_run = run(1);
+    let ref_metrics = ref_run.telemetry.join_metrics().unwrap();
+    let ref_cells: Vec<_> = ref_run.array.iter_cells().collect();
     for threads in [2usize, 8] {
-        let (out, metrics) = run(threads);
-        assert_eq!(out.iter_cells().collect::<Vec<_>>(), ref_cells);
+        let thr_run = run(threads);
+        let metrics = thr_run.telemetry.join_metrics().unwrap();
+        assert_eq!(thr_run.array.iter_cells().collect::<Vec<_>>(), ref_cells);
         assert_eq!(metrics.matches, ref_metrics.matches);
         assert_eq!(metrics.shuffle, ref_metrics.shuffle);
+        assert_eq!(
+            thr_run.telemetry.structure_signature(),
+            ref_run.telemetry.structure_signature()
+        );
     }
 }
 
 #[test]
 fn profile_reports_resolved_threads_and_phase_times() {
     let cluster = skewed_cluster();
-    let (_, metrics) = execute_shuffle_join(
-        &cluster,
-        &query(),
-        &ExecConfig {
-            forced_algo: Some(JoinAlgo::Hash),
-            hash_buckets: Some(64),
-            threads: 2,
-            ..ExecConfig::default()
-        },
-    )
-    .unwrap();
+    let config = ExecConfig::builder()
+        .forced_algo(JoinAlgo::Hash)
+        .hash_buckets(64)
+        .threads(2)
+        .build()
+        .unwrap();
+    let run = execute_join(&cluster, &query(), &config).unwrap();
+    let metrics = run.telemetry.join_metrics().unwrap();
     let p = &metrics.profile;
     assert_eq!(p.threads, 2);
     assert!(p.comparison_wall_seconds > 0.0);
@@ -238,4 +252,39 @@ fn columnar_hash_join_is_bit_identical_to_rowwise_on_fixture() {
     assert_eq!(n_new, n_old);
     // Emission order included — not just the match multiset.
     assert_eq!(em_new.out, em_old.out);
+}
+
+#[test]
+fn signed_zero_hash_join_matches_rowwise() {
+    // -0.0 and 0.0 compare equal but have different bit patterns; the
+    // columnar hash join must bucket them together exactly like the
+    // row-wise path does.
+    use sj_array::{ArraySchema, CellBatch, DataType};
+    let mk = |rows: &[(i64, f64)]| {
+        let mut c = CellBatch::new(0, &[DataType::Int64, DataType::Float64]);
+        for &(i, v) in rows {
+            c.push(&[], &[Value::Int(i), Value::Float(v)]).unwrap();
+        }
+        c
+    };
+    let a = ArraySchema::parse("A<v:float>[i=1,100,10]").unwrap();
+    let b = ArraySchema::parse("B<w:float>[j=1,100,10]").unwrap();
+    let p = JoinPredicate::new(vec![("v", "w")]);
+    let mut stats = ColumnStats::new();
+    stats.insert(
+        JoinSide::Left,
+        "v",
+        Histogram::build((1..=10).map(Value::Int), 4).unwrap(),
+    );
+    let js = infer_join_schema(&a, &b, &p, None, &stats).unwrap();
+    let l = mk(&[(1, -0.0)]);
+    let r = mk(&[(2, 0.0), (3, -0.0)]);
+    let mut em_new = Emitter::new(&js);
+    let mut em_old = Emitter::new(&js);
+    let n_new = hash_join(&l, &[1], &r, &[1], &mut em_new).unwrap();
+    let n_old = hash_join_rowwise(&l, &[1], &r, &[1], &mut em_old).unwrap();
+    assert_eq!(
+        n_new, n_old,
+        "columnar hash join diverges from rowwise on signed zeros"
+    );
 }

@@ -3,12 +3,20 @@
 
 use std::collections::HashMap;
 
-use skewjoin::join::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use skewjoin::join::exec::{execute_join, ExecConfig, JoinQuery};
 use skewjoin::join::predicate::JoinPredicate;
 use skewjoin::{
-    Array, ArrayDb, ArraySchema, Cluster, JoinAlgo, NetworkModel, Placement, PlannerKind, Value,
+    Array, ArrayDb, ArraySchema, Cluster, JoinAlgo, JoinMetrics, MetricsView, NetworkModel,
+    Placement, PlannerKind, Value,
 };
 use std::time::Duration;
+
+/// Run a join and return the result plus the metrics view over its trace.
+fn run_join(cluster: &Cluster, query: &JoinQuery, config: &ExecConfig) -> (Array, JoinMetrics) {
+    let run = execute_join(cluster, query, config).unwrap();
+    let metrics = run.telemetry.join_metrics().unwrap();
+    (run.array, metrics)
+}
 
 /// Reference implementation: brute-force equi-join over materialized
 /// cells, returning sorted (left column values, right column values)
@@ -90,13 +98,13 @@ fn aa_join_matches_brute_force_for_every_planner_and_algo() {
         },
     ] {
         for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
-            let config = ExecConfig {
-                planner: planner.clone(),
-                forced_algo: Some(algo),
-                hash_buckets: Some(16),
-                ..ExecConfig::default()
-            };
-            let (_, metrics) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+            let config = ExecConfig::builder()
+                .planner(planner.clone())
+                .forced_algo(algo)
+                .hash_buckets(16)
+                .build()
+                .unwrap();
+            let (_, metrics) = run_join(&cluster, &query, &config);
             assert_eq!(
                 metrics.matches, expected,
                 "planner {} × algo {:?} diverged from brute force",
@@ -115,7 +123,7 @@ fn dd_join_matches_brute_force_under_different_tilings() {
     assert_eq!(expected, 240);
     let cluster = load_cluster(4, vec![(a, Placement::RoundRobin), (b, Placement::Block)]);
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i")]));
-    let (out, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let (out, metrics) = run_join(&cluster, &query, &ExecConfig::default());
     assert_eq!(metrics.matches, expected);
     assert_eq!(out.cell_count(), expected);
 }
@@ -132,7 +140,7 @@ fn ad_join_matches_brute_force() {
         vec![(a, Placement::RoundRobin), (b, Placement::RoundRobin)],
     );
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "v")]));
-    let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let (_, metrics) = run_join(&cluster, &query, &ExecConfig::default());
     assert_eq!(metrics.matches, expected);
 }
 
@@ -162,7 +170,7 @@ fn multi_pair_predicate_joins() {
         vec![(a, Placement::HashSalted(3)), (b, Placement::HashSalted(4))],
     );
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
-    let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let (_, metrics) = run_join(&cluster, &query, &ExecConfig::default());
     assert_eq!(metrics.matches, expected);
 }
 
@@ -177,7 +185,7 @@ fn aql_to_execution_full_stack() {
     let r = db
         .query("SELECT A.v + B.v AS vv FROM A, B WHERE A.v = B.v")
         .unwrap();
-    assert!(r.join_metrics.is_some());
+    assert!(r.telemetry.join_metrics().is_some());
     assert_eq!(r.array.schema.attrs[0].name, "vv");
     // Every output value is even (v + v).
     for (_, values) in r.array.iter_cells() {
@@ -201,7 +209,7 @@ fn join_on_empty_and_disjoint_inputs() {
         vec![(a, Placement::RoundRobin), (b, Placement::RoundRobin)],
     );
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "v")]));
-    let (out, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let (out, metrics) = run_join(&cluster, &query, &ExecConfig::default());
     assert_eq!(metrics.matches, 0);
     assert_eq!(out.cell_count(), 0);
 }
@@ -221,7 +229,7 @@ fn scale_out_preserves_results() {
             ],
         );
         let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("v", "v")]));
-        let (_, metrics) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+        let (_, metrics) = run_join(&cluster, &query, &ExecConfig::default());
         match_counts.push(metrics.matches);
     }
     assert!(match_counts.iter().all(|&m| m == expected));
@@ -236,7 +244,7 @@ fn metrics_are_internally_consistent() {
         vec![(a, Placement::HashSalted(1)), (b, Placement::HashSalted(2))],
     );
     let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i")]));
-    let (_, m) = execute_shuffle_join(&cluster, &query, &ExecConfig::default()).unwrap();
+    let (_, m) = run_join(&cluster, &query, &ExecConfig::default());
     assert!(m.total_seconds() >= m.alignment_seconds);
     assert!(m.comparison_seconds >= 0.0);
     assert_eq!(m.per_node_comparison.len(), 4);

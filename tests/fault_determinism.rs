@@ -8,9 +8,10 @@
 //! and identical joined cells, because the fault simulation is driven by
 //! the plan's own PRNG stream, never by host scheduling.
 
+use sj_array::Array;
 use sj_cluster::{Cluster, FaultPlan, NetworkModel, Placement};
-use sj_core::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
-use sj_core::{JoinAlgo, JoinPredicate, PlannerKind};
+use sj_core::exec::{execute_join, ExecConfig, JoinMetrics, JoinQuery};
+use sj_core::{JoinAlgo, JoinPredicate, MetricsView, PlannerKind};
 use sj_workload::{skewed_pair, SkewedArrayConfig};
 
 /// The Figure-8-style skewed pair on 4 nodes, loaded with 2-way chained
@@ -47,14 +48,20 @@ fn query() -> JoinQuery {
 }
 
 fn config(threads: usize, faults: FaultPlan) -> ExecConfig {
-    ExecConfig {
-        planner: PlannerKind::Tabu,
-        forced_algo: Some(JoinAlgo::Hash),
-        hash_buckets: Some(64),
-        threads,
-        faults,
-        ..ExecConfig::default()
-    }
+    ExecConfig::builder()
+        .planner(PlannerKind::Tabu)
+        .forced_algo(JoinAlgo::Hash)
+        .hash_buckets(64)
+        .threads(threads)
+        .faults(faults)
+        .build()
+        .unwrap()
+}
+
+fn run_join(cluster: &Cluster, query: &JoinQuery, config: &ExecConfig) -> (Array, JoinMetrics) {
+    let run = execute_join(cluster, query, config).unwrap();
+    let metrics = run.telemetry.join_metrics().unwrap();
+    (run.array, metrics)
 }
 
 #[test]
@@ -63,15 +70,13 @@ fn faulty_join_is_identical_across_thread_counts() {
     let query = query();
 
     // Time the crash off a clean run so it lands mid-shuffle.
-    let (_, clean) = execute_shuffle_join(&cluster, &query, &config(1, FaultPlan::none())).unwrap();
+    let (_, clean) = run_join(&cluster, &query, &config(1, FaultPlan::none()));
     let faults = FaultPlan::seeded(23)
         .with_drop_rate(0.05)
         .with_corrupt_rate(0.01)
         .with_crash(2, clean.shuffle.makespan / 2.0);
 
-    let run = |threads: usize| {
-        execute_shuffle_join(&cluster, &query, &config(threads, faults.clone())).unwrap()
-    };
+    let run = |threads: usize| run_join(&cluster, &query, &config(threads, faults.clone()));
 
     let (ref_out, ref_metrics) = run(1);
     assert!(ref_metrics.matches > 0, "fixture must produce matches");
@@ -110,11 +115,7 @@ fn same_seed_replays_identically_different_seed_diverges() {
     let query = query();
     let plan = |seed: u64| FaultPlan::seeded(seed).with_drop_rate(0.08);
 
-    let run = |faults: FaultPlan| {
-        execute_shuffle_join(&cluster, &query, &config(2, faults))
-            .unwrap()
-            .1
-    };
+    let run = |faults: FaultPlan| run_join(&cluster, &query, &config(2, faults)).1;
 
     let a = run(plan(5));
     let b = run(plan(5));
@@ -136,8 +137,7 @@ fn fault_free_plan_has_zero_fault_counters_at_any_thread_count() {
     let cluster = replicated_cluster();
     let query = query();
     for threads in [1usize, 2, 8] {
-        let (_, m) =
-            execute_shuffle_join(&cluster, &query, &config(threads, FaultPlan::none())).unwrap();
+        let (_, m) = run_join(&cluster, &query, &config(threads, FaultPlan::none()));
         assert_eq!(m.shuffle.retries, 0);
         assert_eq!(m.shuffle.reroutes, 0);
         assert_eq!(m.shuffle.recovery_bytes, 0);

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use skewjoin::array::ops::{self, RedimPolicy};
 use skewjoin::array::BinOp;
-use skewjoin::join::exec::{execute_shuffle_join, ExecConfig, JoinQuery};
+use skewjoin::join::exec::{execute_join, ExecConfig, JoinQuery};
 use skewjoin::join::predicate::JoinPredicate;
 use skewjoin::lang::rewrite_for_output;
 use skewjoin::{Array, ArrayDb, ArraySchema, Expr, NetworkModel, QueryResult, Value};
@@ -56,10 +56,7 @@ where
     F: Fn(&ArrayDb) -> skewjoin::Result<QueryResult>,
 {
     for threads in THREADS {
-        db.set_exec_config(ExecConfig {
-            threads,
-            ..ExecConfig::default()
-        });
+        db.set_exec_config(ExecConfig::builder().threads(threads).build().unwrap());
         let got = run(db).unwrap();
         assert_eq!(
             &got.array, expected,
@@ -168,8 +165,9 @@ proptest! {
             "B",
             JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
         );
-        let (expected, _) =
-            execute_shuffle_join(db.cluster(), &query, &ExecConfig::default()).unwrap();
+        let expected = execute_join(db.cluster(), &query, &ExecConfig::default())
+            .unwrap()
+            .array;
         assert_pipeline_matches(&mut db, |db| db.afl("merge(A, B)"), &expected);
     }
 
@@ -218,8 +216,9 @@ proptest! {
             "B",
             JoinPredicate::new(vec![("i", "i"), ("j", "j")]),
         );
-        let (joined, _) =
-            execute_shuffle_join(db.cluster(), &query, &ExecConfig::default()).unwrap();
+        let joined = execute_join(db.cluster(), &query, &ExecConfig::default())
+            .unwrap()
+            .array;
         let proj = Expr::binary(BinOp::Sub, Expr::col("A.v"), Expr::col("B.v"));
         let expected = ops::apply(
             &joined,

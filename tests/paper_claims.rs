@@ -4,7 +4,7 @@
 //! for Array Databases* at laptop scale. Absolute numbers differ from the
 //! paper's testbed; the *direction* of every claim must hold.
 
-use skewjoin::join::exec::{calibrate_cost_params, execute_shuffle_join, ExecConfig, JoinQuery};
+use skewjoin::join::exec::{calibrate_cost_params, execute_join, ExecConfig, JoinQuery};
 use skewjoin::join::join_schema::infer_join_schema;
 use skewjoin::join::logical::{plan_join, LogicalStats};
 use skewjoin::join::predicate::JoinPredicate;
@@ -12,6 +12,7 @@ use skewjoin::workload::{
     ais_broadcasts, modis_band, selectivity_pair, skewed_pair, AisConfig, GeoConfig,
     SkewedArrayConfig,
 };
+use skewjoin::MetricsView;
 use skewjoin::{Cluster, JoinAlgo, NetworkModel, Placement, PlannerKind};
 
 fn params() -> skewjoin::join::physical::CostParams {
@@ -89,13 +90,14 @@ fn beneficial_skew_speedup_over_baseline() {
     );
     let shared_params = params();
     let run = move |planner: PlannerKind| {
-        let config = ExecConfig {
-            planner,
-            forced_algo: Some(JoinAlgo::Merge),
-            cost_params: shared_params,
-            ..ExecConfig::default()
-        };
-        execute_shuffle_join(&cluster, &query, &config).unwrap().1
+        let config = ExecConfig::builder()
+            .planner(planner)
+            .forced_algo(JoinAlgo::Merge)
+            .cost_params(shared_params)
+            .build()
+            .unwrap();
+        let out = execute_join(&cluster, &query, &config).unwrap();
+        out.telemetry.join_metrics().unwrap()
     };
     let base = run(PlannerKind::Baseline);
     let tabu = run(PlannerKind::Tabu);
@@ -143,13 +145,14 @@ fn adversarial_skew_planners_comparable() {
         PlannerKind::MinBandwidth,
         PlannerKind::Tabu,
     ] {
-        let config = ExecConfig {
-            planner,
-            forced_algo: Some(JoinAlgo::Merge),
-            cost_params: shared_params,
-            ..ExecConfig::default()
-        };
-        let (_, m) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+        let config = ExecConfig::builder()
+            .planner(planner)
+            .forced_algo(JoinAlgo::Merge)
+            .cost_params(shared_params)
+            .build()
+            .unwrap();
+        let out = execute_join(&cluster, &query, &config).unwrap();
+        let m = out.telemetry.join_metrics().unwrap();
         est_costs.push(m.est_physical_cost);
     }
     let max = est_costs.iter().copied().fold(0.0f64, f64::max);
@@ -186,13 +189,14 @@ fn uniform_data_planners_agree() {
         PlannerKind::MinBandwidth,
         PlannerKind::Tabu,
     ] {
-        let config = ExecConfig {
-            planner,
-            forced_algo: Some(JoinAlgo::Merge),
-            cost_params: shared_params,
-            ..ExecConfig::default()
-        };
-        let (_, m) = execute_shuffle_join(&cluster, &query, &config).unwrap();
+        let config = ExecConfig::builder()
+            .planner(planner)
+            .forced_algo(JoinAlgo::Merge)
+            .cost_params(shared_params)
+            .build()
+            .unwrap();
+        let out = execute_join(&cluster, &query, &config).unwrap();
+        let m = out.telemetry.join_metrics().unwrap();
         costs.push(m.est_physical_cost);
     }
     let max = costs.iter().copied().fold(0.0f64, f64::max);
@@ -227,13 +231,14 @@ fn ilp_never_worse_than_heuristics() {
     // under different (timing-noisy) parameters, making them incomparable.
     let shared_params = params();
     let run = move |planner: PlannerKind| {
-        let config = ExecConfig {
-            planner,
-            forced_algo: Some(JoinAlgo::Merge),
-            cost_params: shared_params,
-            ..ExecConfig::default()
-        };
-        execute_shuffle_join(&cluster, &query, &config).unwrap().1
+        let config = ExecConfig::builder()
+            .planner(planner)
+            .forced_algo(JoinAlgo::Merge)
+            .cost_params(shared_params)
+            .build()
+            .unwrap();
+        let out = execute_join(&cluster, &query, &config).unwrap();
+        out.telemetry.join_metrics().unwrap()
     };
     let mbh = run(PlannerKind::MinBandwidth).est_physical_cost;
     let tabu = run(PlannerKind::Tabu).est_physical_cost;

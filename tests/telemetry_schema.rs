@@ -1,0 +1,117 @@
+//! Golden-file pinning of the telemetry span schema and JSON sink.
+//!
+//! The span taxonomy (names, nesting, field keys) is a public contract:
+//! the metrics views reconstruct `JoinMetrics`/`PipelineStats` from it
+//! and external tooling parses the JSON-lines export. This suite pins
+//! the deduplicated schema of a full engine-path join query against
+//! `tests/golden/telemetry_schema.txt` (re-bless with
+//! `BLESS_GOLDEN=1 cargo test --test telemetry_schema`), and checks the
+//! schema is identical at 1, 2, and 8 worker threads.
+
+use skewjoin::{
+    Array, ArrayDb, ArraySchema, ExecConfig, JoinAlgo, MetricsView, NetworkModel, PlannerKind,
+    QueryResult, TelemetryConfig, Value,
+};
+
+fn deterministic_array(name: &str, n: i64, chunk: u64, modulo: i64) -> Array {
+    let schema = ArraySchema::parse(&format!("{name}<v:int>[i=1,{n},{chunk}]")).unwrap();
+    Array::from_cells(
+        schema,
+        (1..=n).map(|i| (vec![i], vec![Value::Int((i * 7 + 3) % modulo)])),
+    )
+    .unwrap()
+}
+
+/// A full engine-path join (parse → bind → lower → rewrite → pipeline →
+/// join) with a fixed plan so every span the executor can emit on the
+/// fault-free path appears in the tree.
+fn run_query(threads: usize, telemetry: TelemetryConfig) -> QueryResult {
+    let mut db = ArrayDb::new(4, NetworkModel::scaled_to_engine());
+    db.load_default(deterministic_array("A", 300, 50, 40))
+        .unwrap();
+    db.load_default(deterministic_array("B", 200, 25, 40))
+        .unwrap();
+    db.set_exec_config(
+        ExecConfig::builder()
+            .planner(PlannerKind::Tabu)
+            .forced_algo(JoinAlgo::Hash)
+            .hash_buckets(16)
+            .threads(threads)
+            .telemetry(telemetry)
+            .build()
+            .unwrap(),
+    );
+    db.query("SELECT * FROM A, B WHERE A.v = B.v").unwrap()
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/telemetry_schema.txt"
+);
+
+#[test]
+fn span_schema_matches_golden_file() {
+    let result = run_query(2, TelemetryConfig::Tree);
+    assert!(result.telemetry.join_metrics().is_some());
+    let schema = result.telemetry.schema_signature();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &schema).unwrap();
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_default();
+    assert_eq!(
+        schema, golden,
+        "telemetry span schema changed; if intentional, re-bless with \
+         BLESS_GOLDEN=1 cargo test --test telemetry_schema and document \
+         the change in DESIGN.md §11"
+    );
+}
+
+#[test]
+fn span_schema_is_thread_invariant() {
+    let reference = run_query(1, TelemetryConfig::Tree);
+    for threads in [2usize, 8] {
+        let result = run_query(threads, TelemetryConfig::Tree);
+        assert_eq!(
+            result.telemetry.schema_signature(),
+            reference.telemetry.schema_signature(),
+            "span schema differs at threads={threads}"
+        );
+        assert_eq!(
+            result.telemetry.structure_signature(),
+            reference.telemetry.structure_signature(),
+            "span structure differs at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn json_sink_writes_one_object_per_span() {
+    let path = std::env::temp_dir().join(format!("sj_trace_test_{}.jsonl", std::process::id()));
+    let sink = TelemetryConfig::Json {
+        path: path.to_string_lossy().into_owned(),
+    };
+    let result = run_query(2, sink);
+    let json = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let lines: Vec<&str> = json.lines().collect();
+    assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    // One object per span, then the counters object.
+    fn count_spans(node: &skewjoin::telemetry::SpanNode) -> usize {
+        1 + node.children.iter().map(count_spans).sum::<usize>()
+    }
+    let spans: usize = result.telemetry.roots.iter().map(count_spans).sum();
+    assert_eq!(lines.len(), spans + 1);
+    assert!(lines[0].contains("\"span\":\"query\""));
+    assert!(lines.last().unwrap().starts_with("{\"counters\":{"));
+    assert!(json.contains("\"path\":\"query/pipeline/join/shuffle\""));
+}
+
+#[test]
+fn off_config_keeps_results_and_skips_collection() {
+    let result = run_query(2, TelemetryConfig::Off);
+    assert!(result.array.cell_count() > 0);
+    assert!(!result.telemetry.enabled);
+    assert!(result.telemetry.roots.is_empty());
+    assert!(result.telemetry.join_metrics().is_none());
+}
