@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use crate::batch::CellBatch;
 use crate::chunk::Chunk;
 use crate::error::{ArrayError, Result};
+use crate::keys;
 use crate::schema::ArraySchema;
 use crate::value::Value;
 
@@ -111,9 +112,23 @@ impl Array {
 
     /// Sort the cells of every chunk into C-order.
     pub fn sort_chunks(&mut self) {
+        self.sort_chunks_with(&keys::KernelConfig::default());
+    }
+
+    /// Sort every chunk with explicit dispatch thresholds; returns
+    /// `(kernel, chunks)` counts in [`keys::SortKernel::ALL`] order with
+    /// zero counts omitted — deterministic for a given array and config,
+    /// ready for the `kernel_dispatch` telemetry span.
+    pub fn sort_chunks_with(&mut self, cfg: &keys::KernelConfig) -> Vec<(keys::SortKernel, usize)> {
+        let mut counts = [0usize; keys::SortKernel::ALL.len()];
         for chunk in self.chunks.values_mut() {
-            chunk.sort();
+            counts[chunk.sort_with(cfg) as usize] += 1;
         }
+        keys::SortKernel::ALL
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, n)| n > 0)
+            .collect()
     }
 
     /// Whether every stored chunk is flagged sorted.

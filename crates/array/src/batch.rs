@@ -469,17 +469,29 @@ impl CellBatch {
     ///
     /// Implements the sort invoked by `redim`/`sort` operators
     /// (paper Table 1); stable so attribute order among coordinate ties
-    /// is deterministic. Runs as an LSB radix sort over order-preserving
-    /// normalized keys ([`keys`]) when the coordinate key fits the width
-    /// budget, falling back to the comparator sort (bit-identical
-    /// results — both are stable) otherwise.
+    /// is deterministic. Dispatches among the normalized-key kernels
+    /// ([`keys`]) with the default thresholds; see
+    /// [`sort_c_order_with`](Self::sort_c_order_with).
     pub fn sort_c_order(&mut self) {
+        self.sort_c_order_with(&keys::KernelConfig::default());
+    }
+
+    /// C-order sort with explicit kernel dispatch: comparator below
+    /// `cfg.radix_min_rows` or when the key does not normalize,
+    /// otherwise counting / radix / parallel radix per `cfg` (see
+    /// [`keys::KernelConfig`]). Returns the kernel that ran. Every
+    /// kernel is stable, so the choice never changes results.
+    pub fn sort_c_order_with(&mut self, cfg: &keys::KernelConfig) -> keys::SortKernel {
         if self.is_sorted_c_order() {
-            return;
+            return keys::SortKernel::Identity;
         }
-        if !keys::radix_sort_c_order(self) {
-            self.sort_c_order_comparator();
+        if self.len() >= cfg.radix_min_rows {
+            if let Some(kernel) = keys::sort_c_order_keyed(self, cfg) {
+                return kernel;
+            }
         }
+        self.sort_c_order_comparator();
+        keys::SortKernel::Comparator
     }
 
     /// Comparator-based C-order sort — the radix path's fallback, kept
@@ -584,18 +596,33 @@ impl CellBatch {
         (1..self.len()).all(|i| self.cmp_by_attr_columns(cols, i - 1, i) != Ordering::Greater)
     }
 
-    /// Stable-sort rows by the given attribute columns.
-    ///
-    /// Radix sort over normalized keys when every key column normalizes
-    /// ([`keys::key_width`]); comparator fallback (bit-identical, both
-    /// stable) for string keys or keys beyond the width budget.
+    /// Stable-sort rows by the given attribute columns, dispatching
+    /// among the normalized-key kernels with the default thresholds; see
+    /// [`sort_by_attr_columns_with`](Self::sort_by_attr_columns_with).
     pub fn sort_by_attr_columns(&mut self, cols: &[usize]) {
+        self.sort_by_attr_columns_with(cols, &keys::KernelConfig::default());
+    }
+
+    /// Key sort with explicit kernel dispatch: comparator below
+    /// `cfg.radix_min_rows`, for string keys, or beyond the width
+    /// budget; otherwise counting / radix / parallel radix per `cfg`.
+    /// Returns the kernel that ran. Every kernel is stable, so the
+    /// choice never changes results.
+    pub fn sort_by_attr_columns_with(
+        &mut self,
+        cols: &[usize],
+        cfg: &keys::KernelConfig,
+    ) -> keys::SortKernel {
         if self.is_sorted_by_attr_columns(cols) {
-            return;
+            return keys::SortKernel::Identity;
         }
-        if !keys::radix_sort_by_attr_columns(self, cols) {
-            self.sort_by_attr_columns_comparator(cols);
+        if self.len() >= cfg.radix_min_rows {
+            if let Some(kernel) = keys::sort_by_attr_columns_keyed(self, cols, cfg) {
+                return kernel;
+            }
         }
+        self.sort_by_attr_columns_comparator(cols);
+        keys::SortKernel::Comparator
     }
 
     /// Comparator-based key sort — the radix path's fallback, kept

@@ -6,6 +6,7 @@
 
 use crate::batch::CellBatch;
 use crate::error::{ArrayError, Result};
+use crate::keys::{KernelConfig, SortKernel};
 use crate::schema::ArraySchema;
 use crate::value::Value;
 
@@ -60,14 +61,22 @@ impl Chunk {
 
     /// Sort the chunk's cells into C-order if they are not already.
     ///
-    /// Delegates to [`CellBatch::sort_c_order`], i.e. the stable radix
+    /// Delegates to [`CellBatch::sort_c_order`], i.e. the dispatched
     /// sort over normalized coordinate keys ([`crate::keys`]) with a
     /// comparator fallback for > 4 dimensions.
     pub fn sort(&mut self) {
-        if !self.sorted {
-            self.cells.sort_c_order();
-            self.sorted = true;
+        self.sort_with(&KernelConfig::default());
+    }
+
+    /// Sort with explicit dispatch thresholds; returns the kernel that
+    /// ran (`Identity` when the chunk was already in order).
+    pub fn sort_with(&mut self, cfg: &KernelConfig) -> SortKernel {
+        if self.sorted {
+            return SortKernel::Identity;
         }
+        let kernel = self.cells.sort_c_order_with(cfg);
+        self.sorted = true;
+        kernel
     }
 
     /// Verify that every stored cell lies inside this chunk's region of

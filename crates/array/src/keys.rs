@@ -54,6 +54,110 @@ use crate::value::DataType;
 /// four full-range `i64` dimensions, or many more narrow-domain ones.
 pub const MAX_KEY_BYTES: usize = 32;
 
+/// Below this row count the comparator sort beats every normalized-key
+/// kernel: encoding + histogramming cost ~4 passes over the data before
+/// a single row moves, while `sort_unstable_by`'s branchy inner loop is
+/// already done. Calibrated by `JOIN_KERNELS_CALIBRATE=1 cargo bench
+/// --bench join_kernels` (interleaved radix-vs-comparator sweep: at 16
+/// rows the comparator is 2.4x faster, at 32 they tie within 1%, at 64
+/// radix is 1.9x faster — see DESIGN.md §12); override via
+/// [`KernelConfig::radix_min_rows`].
+pub const RADIX_MIN_ROWS: usize = 32;
+
+/// Maximum compressed key width, in bits, for the counting-sort kernel.
+/// 16 bits caps the count table at 64 K entries (256 KiB) — L2-resident.
+pub const COUNTING_MAX_BITS: u32 = 16;
+
+/// Minimum rows before a sort is split across worker threads. Below
+/// this, thread spawn + barrier overhead (~tens of µs) dwarfs the sort.
+pub const PARALLEL_MIN_ROWS: usize = 1 << 20;
+
+/// Thresholds steering kernel dispatch, plus the intra-sort thread
+/// budget. [`Default`] holds the sweep-calibrated values; construct with
+/// struct-update syntax to override a single knob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Sorts of fewer rows use the comparator path outright.
+    pub radix_min_rows: usize,
+    /// Compressed keys of at most this many bits (when the 2^bits count
+    /// table also does not exceed the row count) use one counting-sort
+    /// pass instead of per-digit radix passes.
+    pub counting_max_bits: u32,
+    /// Sorts of at least this many rows may split across threads.
+    pub parallel_min_rows: usize,
+    /// Worker threads available to one sort/join call (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            radix_min_rows: RADIX_MIN_ROWS,
+            counting_max_bits: COUNTING_MAX_BITS,
+            parallel_min_rows: PARALLEL_MIN_ROWS,
+            threads: 1,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// A config that always picks the plain radix kernels — the exact
+    /// pre-dispatch behavior, used by the forcing entry points
+    /// ([`radix_sort_c_order`]) and as a per-kernel bench baseline.
+    pub fn radix_only() -> Self {
+        KernelConfig {
+            radix_min_rows: 0,
+            counting_max_bits: 0,
+            parallel_min_rows: usize::MAX,
+            threads: 1,
+        }
+    }
+}
+
+/// Which kernel a dispatched sort actually ran — returned to callers so
+/// the executor can report dispatch decisions in telemetry and tests can
+/// pin dispatch-vs-forced bit identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortKernel {
+    /// Rows were already in order (pre-sorted input or constant key).
+    Identity,
+    /// Single counting-sort pass over the compressed key domain.
+    Counting,
+    /// LSB radix over single-`u64` packed keys.
+    RadixU64,
+    /// LSB radix over the row-major byte matrix (keys wider than 64 bits).
+    RadixBytes,
+    /// Multi-threaded MSB partition + per-bucket LSB radix.
+    ParallelRadix,
+    /// Comparator sort (string/wide keys, or below `radix_min_rows`).
+    Comparator,
+}
+
+impl SortKernel {
+    /// Every kernel, in a fixed order — aggregation loops iterate this so
+    /// telemetry fields come out in the same order on every run.
+    pub const ALL: [SortKernel; 6] = [
+        SortKernel::Identity,
+        SortKernel::Counting,
+        SortKernel::RadixU64,
+        SortKernel::RadixBytes,
+        SortKernel::ParallelRadix,
+        SortKernel::Comparator,
+    ];
+
+    /// Stable name used in telemetry fields and bench labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SortKernel::Identity => "identity",
+            SortKernel::Counting => "counting",
+            SortKernel::RadixU64 => "radix_u64",
+            SortKernel::RadixBytes => "radix_bytes",
+            SortKernel::ParallelRadix => "parallel_radix",
+            SortKernel::Comparator => "comparator",
+        }
+    }
+}
+
 /// Map an `i64` to a `u64` whose unsigned order equals the signed order.
 #[inline]
 pub fn encode_i64(x: i64) -> u64 {
@@ -263,22 +367,29 @@ fn encode_bytes_biased(
 
 /// Stable LSB radix sort of `perm` by `keys[perm[i]]`, 8-bit digits.
 ///
-/// Histograms for all eight digit positions are gathered in one pass;
-/// digit positions where every key agrees (one bucket holds all `n`
-/// rows) are skipped entirely — the common case for keys spanning a
-/// small domain.
-fn radix_sort_u64(keys: &[u64], perm: &mut Vec<u32>, tmp: &mut Vec<u32>, counts: &mut Vec<u32>) {
+/// Only the `ceil(total_bits / 8)` digit positions that can carry
+/// entropy are histogrammed (in one pass) and scattered; digit positions
+/// where every key agrees (one bucket holds all `n` rows) are skipped
+/// entirely — the common case for keys spanning a small domain.
+fn radix_sort_u64(
+    keys: &[u64],
+    total_bits: u32,
+    perm: &mut Vec<u32>,
+    tmp: &mut Vec<u32>,
+    counts: &mut Vec<u32>,
+) {
     let n = keys.len();
+    let digits = (total_bits.div_ceil(8) as usize).clamp(1, 8);
     counts.clear();
-    counts.resize(8 * 256, 0);
+    counts.resize(digits * 256, 0);
     for &k in keys {
-        for d in 0..8 {
-            counts[(d << 8) + ((k >> (8 * d)) & 0xff) as usize] += 1;
+        for (d, chunk) in counts.chunks_exact_mut(256).enumerate() {
+            chunk[((k >> (8 * d)) & 0xff) as usize] += 1;
         }
     }
     tmp.clear();
     tmp.resize(n, 0);
-    for d in 0..8 {
+    for d in 0..digits {
         let hist = &counts[(d << 8)..(d << 8) + 256];
         if hist.iter().any(|&c| c as usize == n) {
             continue;
@@ -338,6 +449,216 @@ fn radix_sort_bytes(
     }
 }
 
+/// Stable counting sort of `perm` by compressed keys (< 2^bits): one
+/// histogram over the 2^bits-entry table, one prefix sum, one scatter —
+/// no per-digit passes at all. Dispatch guarantees the table is no
+/// larger than the row count, so the extra table traffic is bounded by
+/// one additional pass over the data.
+fn counting_sort_u64(
+    keys: &[u64],
+    bits: u32,
+    perm: &mut Vec<u32>,
+    tmp: &mut Vec<u32>,
+    counts: &mut Vec<u32>,
+) {
+    let n = keys.len();
+    let buckets = 1usize << bits;
+    counts.clear();
+    counts.resize(buckets, 0);
+    for &k in keys {
+        counts[k as usize] += 1;
+    }
+    let mut sum = 0u32;
+    for c in counts.iter_mut() {
+        let v = *c;
+        *c = sum;
+        sum += v;
+    }
+    tmp.clear();
+    tmp.resize(n, 0);
+    for &i in perm.iter() {
+        let slot = &mut counts[keys[i as usize] as usize];
+        tmp[*slot as usize] = i;
+        *slot += 1;
+    }
+    std::mem::swap(perm, tmp);
+}
+
+/// Stable LSB radix sort of a borrowed `perm` slice by the low `digits`
+/// 8-bit digits of `keys` — the per-bucket finishing pass of
+/// [`radix_sort_u64_parallel`]. Ping-pongs between `perm` and `tmp`,
+/// copying back if the final pass lands in `tmp`.
+fn radix_sort_u32_slice(keys: &[u64], digits: usize, perm: &mut [u32], tmp: &mut Vec<u32>) {
+    let n = perm.len();
+    if n <= 1 {
+        return;
+    }
+    let mut counts = [0u32; 256];
+    tmp.clear();
+    tmp.resize(n, 0);
+    let mut in_tmp = false;
+    for d in 0..digits {
+        counts.fill(0);
+        let src: &[u32] = if in_tmp { tmp } else { perm };
+        for &i in src {
+            counts[((keys[i as usize] >> (8 * d)) & 0xff) as usize] += 1;
+        }
+        if counts.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        let mut offs = [0u32; 256];
+        let mut sum = 0u32;
+        for (o, &c) in offs.iter_mut().zip(&counts) {
+            *o = sum;
+            sum += c;
+        }
+        if in_tmp {
+            for &i in tmp.iter() {
+                let b = ((keys[i as usize] >> (8 * d)) & 0xff) as usize;
+                perm[offs[b] as usize] = i;
+                offs[b] += 1;
+            }
+        } else {
+            for &i in perm.iter() {
+                let b = ((keys[i as usize] >> (8 * d)) & 0xff) as usize;
+                tmp[offs[b] as usize] = i;
+                offs[b] += 1;
+            }
+        }
+        in_tmp = !in_tmp;
+    }
+    if in_tmp {
+        perm.copy_from_slice(tmp);
+    }
+}
+
+/// Deterministic multi-threaded MSB-partition radix sort: fill `perm`
+/// with the stable sort permutation of `keys`, bit-identical to
+/// [`radix_sort_u64`] at any thread count.
+///
+/// Three phases:
+/// 1. The rows are split into `t` contiguous ranges; each worker
+///    histograms its range's most-significant occupied digit and stably
+///    partitions its range into a thread-local buffer (256 buckets,
+///    original order within each bucket).
+/// 2. The coordinator derives global bucket extents and groups the 256
+///    buckets into `t` contiguous, size-balanced runs; each run is a
+///    disjoint `&mut` slice of `perm` (`split_at_mut`).
+/// 3. Each worker merges its buckets' per-range segments *in range
+///    order* — re-establishing original row order within every bucket —
+///    then finishes each bucket with a stable LSB radix sort of the
+///    remaining low digits.
+///
+/// Determinism: within a bucket, concatenating the `t` stable range
+/// partitions in range order yields exactly the order a single stable
+/// partition of the whole array would — contiguous ranges cover rows in
+/// index order. The finishing pass is a stable sort by the low digits,
+/// so the final order within a bucket is (low digits, original index);
+/// globally (top digit, low digits, original index) = the unique stable
+/// sort by the full key, independent of `t`.
+fn radix_sort_u64_parallel(keys: &[u64], total_bits: u32, threads: usize, perm: &mut Vec<u32>) {
+    use crate::parallel::{par_map, split_ranges};
+    let n = keys.len();
+    let digits = (total_bits.div_ceil(8) as usize).clamp(1, 8);
+    let top_shift = 8 * (digits - 1);
+    let low_digits = digits - 1;
+    let t = threads.clamp(1, n.max(1));
+    let ranges = split_ranges(n, t);
+
+    // Phase 1: per-range top-digit histogram + stable local partition.
+    let (locals, _) = par_map(t, t, |w| {
+        let (lo, hi) = ranges[w];
+        let mut hist = [0u32; 256];
+        for &k in &keys[lo..hi] {
+            hist[((k >> top_shift) & 0xff) as usize] += 1;
+        }
+        let mut offs = [0u32; 256];
+        let mut sum = 0u32;
+        for (o, &c) in offs.iter_mut().zip(&hist) {
+            *o = sum;
+            sum += c;
+        }
+        let mut local = vec![0u32; hi - lo];
+        for (i, &k) in keys.iter().enumerate().take(hi).skip(lo) {
+            let b = ((k >> top_shift) & 0xff) as usize;
+            local[offs[b] as usize] = i as u32;
+            offs[b] += 1;
+        }
+        (hist, local)
+    });
+
+    // Start offset of each bucket within each range's local buffer, and
+    // global bucket sizes.
+    let mut local_starts = vec![[0u32; 256]; t];
+    let mut bucket_len = [0usize; 256];
+    for (w, (hist, _)) in locals.iter().enumerate() {
+        let mut sum = 0u32;
+        for b in 0..256 {
+            local_starts[w][b] = sum;
+            sum += hist[b];
+            bucket_len[b] += hist[b] as usize;
+        }
+    }
+
+    // Phase 2: group contiguous buckets into ~n/t-row runs.
+    let target = n.div_ceil(t).max(1);
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut b = 0usize;
+    while b < 256 {
+        let mut hi = b;
+        let mut size = 0usize;
+        while hi < 256 && (size == 0 || size + bucket_len[hi] <= target) {
+            size += bucket_len[hi];
+            hi += 1;
+        }
+        groups.push((b, hi));
+        b = hi;
+    }
+
+    // Phase 3: merge + finish each bucket run on its own thread, writing
+    // into disjoint slices of `perm`.
+    perm.clear();
+    perm.resize(n, 0);
+    let locals = &locals;
+    let local_starts = &local_starts;
+    std::thread::scope(|scope| {
+        let mut rest: &mut [u32] = perm.as_mut_slice();
+        for &(gb_lo, gb_hi) in &groups {
+            let glen: usize = bucket_len[gb_lo..gb_hi].iter().sum();
+            let (slice, next) = rest.split_at_mut(glen);
+            rest = next;
+            scope.spawn(move || {
+                let mut tmp: Vec<u32> = Vec::new();
+                let mut off = 0usize;
+                for b in gb_lo..gb_hi {
+                    let dst = &mut slice[off..off + bucket_len[b]];
+                    let mut at = 0usize;
+                    for (lc, starts) in locals.iter().zip(local_starts.iter()) {
+                        let seg = local_seg(lc, starts, b);
+                        dst[at..at + seg.len()].copy_from_slice(seg);
+                        at += seg.len();
+                    }
+                    if low_digits > 0 {
+                        radix_sort_u32_slice(keys, low_digits, dst, &mut tmp);
+                    }
+                    off += dst.len();
+                }
+            });
+        }
+    });
+}
+
+/// One range's segment of bucket `b`: `local[start..start + len]`.
+#[inline]
+fn local_seg<'a>(
+    (hist, local): &'a ([u32; 256], Vec<u32>),
+    starts: &[u32; 256],
+    b: usize,
+) -> &'a [u32] {
+    let start = starts[b] as usize;
+    &local[start..start + hist[b] as usize]
+}
+
 /// How [`build_permutation`] resolved a sort request.
 enum RadixPlan {
     /// Every key is equal: a stable sort is the identity, nothing to do.
@@ -347,9 +668,18 @@ enum RadixPlan {
 }
 
 /// Range-compress the key columns, encode them, and (unless the key is
-/// constant) fill `s.perm` with the stable sort permutation. `None` when
-/// the compressed key exceeds the width budget.
-fn build_permutation(cols: &[KeyCol<'_>], n: usize, s: &mut SortScratch) -> Option<RadixPlan> {
+/// constant) fill `s.perm` with the stable sort permutation, dispatching
+/// among the normalized-key kernels per `cfg`. `None` when the
+/// compressed key exceeds the width budget.
+///
+/// Every kernel computes the same unique stable-sort permutation, so
+/// the dispatch decision can never change results — only speed.
+fn build_permutation(
+    cols: &[KeyCol<'_>],
+    n: usize,
+    s: &mut SortScratch,
+    cfg: &KernelConfig,
+) -> Option<(RadixPlan, SortKernel)> {
     debug_assert!(cols.len() <= MAX_KEY_BYTES);
     let mut ranges = [(0u64, 0u32); MAX_KEY_BYTES];
     let ranges = &mut ranges[..cols.len()];
@@ -361,13 +691,34 @@ fn build_permutation(cols: &[KeyCol<'_>], n: usize, s: &mut SortScratch) -> Opti
         total_bytes += r.1.div_ceil(8) as usize;
     }
     if total_bits == 0 {
-        return Some(RadixPlan::Identity);
+        return Some((RadixPlan::Identity, SortKernel::Identity));
     }
     s.perm.clear();
     s.perm.extend(0..n as u32);
-    if total_bits <= 64 {
+    let kernel = if total_bits <= 64 {
         encode_u64_biased(cols, ranges, n, &mut s.keys64);
-        radix_sort_u64(&s.keys64, &mut s.perm, &mut s.tmp, &mut s.counts);
+        if total_bits <= cfg.counting_max_bits && (1u64 << total_bits) <= n as u64 {
+            counting_sort_u64(
+                &s.keys64,
+                total_bits,
+                &mut s.perm,
+                &mut s.tmp,
+                &mut s.counts,
+            );
+            SortKernel::Counting
+        } else if cfg.threads > 1 && n >= cfg.parallel_min_rows {
+            radix_sort_u64_parallel(&s.keys64, total_bits, cfg.threads, &mut s.perm);
+            SortKernel::ParallelRadix
+        } else {
+            radix_sort_u64(
+                &s.keys64,
+                total_bits,
+                &mut s.perm,
+                &mut s.tmp,
+                &mut s.counts,
+            );
+            SortKernel::RadixU64
+        }
     } else if total_bytes <= MAX_KEY_BYTES {
         encode_bytes_biased(cols, ranges, total_bytes, n, &mut s.key_bytes);
         radix_sort_bytes(
@@ -377,59 +728,71 @@ fn build_permutation(cols: &[KeyCol<'_>], n: usize, s: &mut SortScratch) -> Opti
             &mut s.tmp,
             &mut s.counts,
         );
+        SortKernel::RadixBytes
     } else {
         return None;
-    }
-    Some(RadixPlan::Permuted)
+    };
+    Some((RadixPlan::Permuted, kernel))
 }
 
-/// Radix-sort `batch` into C-style coordinate order. Returns `false`
-/// without touching the batch when the coordinate key does not fit the
-/// width budget even after range compression (the caller falls back to
-/// the comparator sort).
+/// Sort `batch` into C-style coordinate order with the normalized-key
+/// kernels, dispatching per `cfg`. Returns the kernel that ran, or
+/// `None` without touching the batch when the coordinate key does not
+/// fit the width budget even after range compression (the caller falls
+/// back to the comparator sort).
 ///
-/// Stable, and therefore bit-identical to the comparator path.
-pub fn radix_sort_c_order(batch: &mut CellBatch) -> bool {
+/// Every kernel is stable, and therefore bit-identical to the
+/// comparator path — and to every other kernel.
+pub fn sort_c_order_keyed(batch: &mut CellBatch, cfg: &KernelConfig) -> Option<SortKernel> {
     with_scratch(|s| {
         let n = batch.len();
-        let plan = {
-            let Some(cols) = coord_key_cols(batch) else {
-                return false;
-            };
-            match build_permutation(&cols, n, s) {
-                Some(plan) => plan,
-                None => return false,
-            }
+        let (plan, kernel) = {
+            let cols = coord_key_cols(batch)?;
+            build_permutation(&cols, n, s, cfg)?
         };
         if let RadixPlan::Permuted = plan {
             let SortScratch { perm, gather, .. } = s;
             batch.permute_u32(perm, gather);
         }
-        true
+        Some(kernel)
     })
 }
 
-/// Radix-sort `batch` rows by the given attribute columns. Returns
-/// `false` without touching the batch when the key does not normalize
-/// (string column, or compressed width budget exceeded).
-pub fn radix_sort_by_attr_columns(batch: &mut CellBatch, cols: &[usize]) -> bool {
+/// Sort `batch` rows by the given attribute columns with the
+/// normalized-key kernels, dispatching per `cfg`. Returns the kernel
+/// that ran, or `None` without touching the batch when the key does not
+/// normalize (string column, or compressed width budget exceeded).
+pub fn sort_by_attr_columns_keyed(
+    batch: &mut CellBatch,
+    cols: &[usize],
+    cfg: &KernelConfig,
+) -> Option<SortKernel> {
     with_scratch(|s| {
         let n = batch.len();
-        let plan = {
-            let Some((kc, _)) = attr_key_cols(batch, cols) else {
-                return false;
-            };
-            match build_permutation(&kc, n, s) {
-                Some(plan) => plan,
-                None => return false,
-            }
+        let (plan, kernel) = {
+            let (kc, _) = attr_key_cols(batch, cols)?;
+            build_permutation(&kc, n, s, cfg)?
         };
         if let RadixPlan::Permuted = plan {
             let SortScratch { perm, gather, .. } = s;
             batch.permute_u32(perm, gather);
         }
-        true
+        Some(kernel)
     })
+}
+
+/// Radix-sort `batch` into C-style coordinate order (kernel forced to
+/// the plain radix family). Returns `false` without touching the batch
+/// when the key does not fit the width budget.
+pub fn radix_sort_c_order(batch: &mut CellBatch) -> bool {
+    sort_c_order_keyed(batch, &KernelConfig::radix_only()).is_some()
+}
+
+/// Radix-sort `batch` rows by the given attribute columns (kernel forced
+/// to the plain radix family). Returns `false` without touching the
+/// batch when the key does not normalize.
+pub fn radix_sort_by_attr_columns(batch: &mut CellBatch, cols: &[usize]) -> bool {
+    sort_by_attr_columns_keyed(batch, cols, &KernelConfig::radix_only()).is_some()
 }
 
 /// Encode the given attribute key columns of every row into one
@@ -575,6 +938,111 @@ pub fn hash_row(batch: &CellBatch, cols: &[usize], row: usize) -> u64 {
         }
     }
     avalanche(h.0)
+}
+
+/// FNV-1a over a short, fixed-length byte string. `#[inline]` + constant
+/// length lets the compiler unroll the whole xor/multiply chain, so the
+/// batched hashers below compile to straight-line code per row.
+#[inline]
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[inline]
+fn fnv_tagged_i64(h: u64, x: i64) -> u64 {
+    fnv_bytes(fnv_bytes(h, &[0]), &x.to_ne_bytes())
+}
+
+/// Hash the key columns of rows `lo..hi` into `out`, one `u64` per row,
+/// bit-identical per row to [`hash_row`].
+///
+/// This is the batched (column-outer, row-inner) form: the column-type
+/// dispatch is hoisted out of the row loop and each column's contribution
+/// is folded into a running per-row hash state with a fully unrolled
+/// FNV chain — the chunked inner loop the hash join and hash-bucket
+/// routing run instead of per-row [`hash_row`] calls.
+pub fn hash_rows_range_into(
+    batch: &CellBatch,
+    cols: &[usize],
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<u64>,
+) {
+    debug_assert!(lo <= hi && hi <= batch.len());
+    out.clear();
+    out.resize(hi - lo, 0xcbf29ce484222325);
+    for &c in cols {
+        match &batch.attrs[c] {
+            Column::Int(v) => {
+                for (h, &x) in out.iter_mut().zip(&v[lo..hi]) {
+                    *h = fnv_tagged_i64(*h, x);
+                }
+            }
+            Column::Float(v) => {
+                for (h, &f) in out.iter_mut().zip(&v[lo..hi]) {
+                    if f.fract() == 0.0
+                        && f.is_finite()
+                        && f >= i64::MIN as f64
+                        && f <= i64::MAX as f64
+                    {
+                        *h = fnv_tagged_i64(*h, f as i64);
+                    } else {
+                        *h = fnv_bytes(fnv_bytes(*h, &[1]), &f.to_bits().to_ne_bytes());
+                    }
+                }
+            }
+            Column::Bool(v) => {
+                for (h, &x) in out.iter_mut().zip(&v[lo..hi]) {
+                    *h = fnv_bytes(*h, &[2, x as u8]);
+                }
+            }
+            Column::Str(v) => {
+                for (h, s) in out.iter_mut().zip(&v[lo..hi]) {
+                    *h = fnv_bytes(fnv_bytes(fnv_bytes(*h, &[3]), s.as_bytes()), &[0xff]);
+                }
+            }
+        }
+    }
+    for h in out.iter_mut() {
+        *h = avalanche(*h);
+    }
+}
+
+/// Hash the key columns of every row into `out` — see
+/// [`hash_rows_range_into`].
+pub fn hash_rows_into(batch: &CellBatch, cols: &[usize], out: &mut Vec<u64>) {
+    hash_rows_range_into(batch, cols, 0, batch.len(), out);
+}
+
+/// Length of the run of equal keys starting at `start` (≥ 1 for any
+/// in-bounds `start`).
+///
+/// The scan compares eight keys per iteration with a branch-free
+/// all-equal reduction, so the common long-run case runs at memory
+/// bandwidth instead of one compare-and-branch per element — the merge
+/// join's equal-run detector over normalized `u64` keys.
+pub fn key_run_len(keys: &[u64], start: usize) -> usize {
+    let k = keys[start];
+    let mut i = start + 1;
+    while i + 8 <= keys.len() {
+        let c = &keys[i..i + 8];
+        let mut all = true;
+        for &x in c {
+            all &= x == k;
+        }
+        if !all {
+            break;
+        }
+        i += 8;
+    }
+    while i < keys.len() && keys[i] == k {
+        i += 1;
+    }
+    i - start
 }
 
 #[cfg(test)]
@@ -849,5 +1317,144 @@ mod tests {
         assert_eq!(b.value(0, 0), Value::Int(2));
         assert_eq!(b.value(1, 0), Value::Int(4));
         assert_eq!(b.cmp_coords(0, 1), Ordering::Equal);
+    }
+
+    /// Pseudo-random batch: one coordinate in ±`domain`, attr = row id
+    /// (so stability violations are visible).
+    fn lcg_batch(n: usize, domain: i64, seed: u64) -> CellBatch {
+        let mut b = CellBatch::new(1, &[DataType::Int64]);
+        let mut x = seed | 1;
+        for i in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let c = (x >> 33) as i64 % (domain + 1) - domain / 2;
+            b.push(&[c], &[Value::Int(i as i64)]).unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn counting_sort_matches_comparator_and_is_chosen() {
+        // 6-bit domain over 1000 rows: table (64) « rows, counting fires.
+        let b0 = lcg_batch(1000, 60, 99);
+        let cfg = KernelConfig {
+            counting_max_bits: 16,
+            ..KernelConfig::radix_only()
+        };
+        let mut b = b0.clone();
+        assert_eq!(sort_c_order_keyed(&mut b, &cfg), Some(SortKernel::Counting));
+        let mut cmp = b0.clone();
+        cmp.sort_c_order_comparator();
+        assert_eq!(b, cmp);
+        // Same domain but only 30 rows: the table would exceed the row
+        // count, so dispatch falls back to radix.
+        let mut small = lcg_batch(30, 60, 99);
+        assert_eq!(
+            sort_c_order_keyed(&mut small, &cfg),
+            Some(SortKernel::RadixU64)
+        );
+    }
+
+    #[test]
+    fn parallel_radix_is_bit_identical_across_thread_counts() {
+        for domain in [100i64, 3_000_000] {
+            let b0 = lcg_batch(5000, domain, 7);
+            let mut cmp = b0.clone();
+            cmp.sort_c_order_comparator();
+            for t in [1usize, 2, 3, 8] {
+                let cfg = KernelConfig {
+                    parallel_min_rows: 0,
+                    threads: t,
+                    ..KernelConfig::radix_only()
+                };
+                let mut b = b0.clone();
+                let kernel = sort_c_order_keyed(&mut b, &cfg).unwrap();
+                if t > 1 {
+                    assert_eq!(kernel, SortKernel::ParallelRadix, "threads={t}");
+                }
+                assert_eq!(b, cmp, "threads={t} domain={domain}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_radix_handles_tiny_and_single_digit_keys() {
+        for n in [0usize, 1, 2, 9] {
+            let b0 = lcg_batch(n, 5, 3);
+            let mut cmp = b0.clone();
+            cmp.sort_c_order_comparator();
+            let cfg = KernelConfig {
+                parallel_min_rows: 0,
+                threads: 8,
+                ..KernelConfig::radix_only()
+            };
+            let mut b = b0.clone();
+            assert!(sort_c_order_keyed(&mut b, &cfg).is_some());
+            assert_eq!(b, cmp, "n={n}");
+        }
+    }
+
+    #[test]
+    fn hash_rows_into_matches_hash_row() {
+        let mut b = CellBatch::new(
+            0,
+            &[
+                DataType::Int64,
+                DataType::Float64,
+                DataType::Bool,
+                DataType::Str,
+            ],
+        );
+        for (i, f, x, s) in [
+            (42, 42.0, true, "hi"),
+            (-1, 0.5, false, ""),
+            (i64::MAX, f64::NAN, true, "ütf8"),
+            (0, -0.0, false, "end"),
+            (7, f64::INFINITY, true, "tail"),
+        ] {
+            b.push(
+                &[],
+                &[
+                    Value::Int(i),
+                    Value::Float(f),
+                    Value::Bool(x),
+                    Value::Str(s.into()),
+                ],
+            )
+            .unwrap();
+        }
+        let mut out = Vec::new();
+        for cols in [vec![0usize], vec![1], vec![2], vec![3], vec![0, 1, 2, 3]] {
+            hash_rows_into(&b, &cols, &mut out);
+            for row in 0..b.len() {
+                assert_eq!(
+                    out[row],
+                    hash_row(&b, &cols, row),
+                    "row {row} cols {cols:?}"
+                );
+            }
+            hash_rows_range_into(&b, &cols, 1, 4, &mut out);
+            for (j, row) in (1..4).enumerate() {
+                assert_eq!(out[j], hash_row(&b, &cols, row), "range row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_run_len_matches_scalar_scan() {
+        let mut keys = Vec::new();
+        for (k, len) in [(3u64, 1usize), (5, 9), (1, 20), (9, 8), (2, 3)] {
+            keys.extend(std::iter::repeat_n(k, len));
+        }
+        let mut i = 0;
+        while i < keys.len() {
+            let mut expect = 1;
+            while i + expect < keys.len() && keys[i + expect] == keys[i] {
+                expect += 1;
+            }
+            assert_eq!(key_run_len(&keys, i), expect, "at {i}");
+            i += expect;
+        }
     }
 }

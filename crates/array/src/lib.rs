@@ -42,6 +42,7 @@ mod value;
 pub mod expr;
 pub mod keys;
 pub mod ops;
+pub mod parallel;
 
 pub use array::Array;
 pub use batch::{CellBatch, Column, GatherScratch};

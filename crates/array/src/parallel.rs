@@ -3,7 +3,9 @@
 //! The simulator models a shared-nothing cluster, but on real hardware
 //! each simulated node's compute phases (slice mapping, hash build,
 //! probe) can run on real cores concurrently, the way SciDB instances
-//! would. This module provides the one primitive the executor needs: map
+//! would. It lives in `sj_array` so the kernel layer ([`crate::keys`])
+//! can split one large sort across the same pool the executor uses
+//! (re-exported as `sj_core::parallel`). The core primitive: map
 //! a function over `n` independent work items on up to `threads` OS
 //! threads, with
 //!
@@ -35,6 +37,24 @@ pub fn resolve_threads(threads: usize) -> usize {
     } else {
         threads
     }
+}
+
+/// Split `0..n` into `parts` contiguous, near-equal ranges (earlier
+/// ranges absorb the remainder). Deterministic for a given `(n, parts)`:
+/// the building block of the intra-sort and intra-join partitioning,
+/// whose merge steps rely on ranges covering rows in index order.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
 }
 
 /// Observability for one parallel region.

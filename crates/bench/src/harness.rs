@@ -91,6 +91,13 @@ impl Runner {
         self
     }
 
+    /// Mutable access to the timing policy, for callers that need to
+    /// widen the window for one high-stakes comparison (e.g. a gate
+    /// pair) and then restore it.
+    pub fn opts_mut(&mut self) -> &mut Options {
+        &mut self.opts
+    }
+
     /// Start a named benchmark group (ids become `name/<bench>`).
     pub fn group(&mut self, name: &str) -> Group<'_> {
         Group {
@@ -113,25 +120,11 @@ impl Group<'_> {
     /// discard the computation.
     pub fn bench<R, F: FnMut() -> R>(&mut self, id: &str, mut f: F) -> Option<Stats> {
         let full_id = format!("{}/{}", self.name, id);
-        if let Some(filter) = &self.runner.filter {
-            if !full_id.contains(filter.as_str()) {
-                return None;
-            }
+        if !self.matches(&full_id) {
+            return None;
         }
-        let opts = &self.runner.opts;
-
-        // Warm-up, also yielding a first per-call estimate.
-        let warm_start = Instant::now();
-        let mut warm_calls: u64 = 0;
-        while warm_calls == 0 || warm_start.elapsed() < opts.warmup {
-            black_box(f());
-            warm_calls += 1;
-        }
-        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls as f64;
-
-        // Batch enough calls that one sample takes ~1ms, bounding the
-        // relative cost of the two Instant reads around it.
-        let batch = ((1e-3 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let opts = self.runner.opts.clone();
+        let batch = calibrate(&mut f, &opts);
 
         let mut samples_ns: Vec<f64> = Vec::new();
         let mut iters: u64 = 0;
@@ -139,45 +132,140 @@ impl Group<'_> {
         while samples_ns.len() < opts.max_samples
             && (samples_ns.is_empty() || run_start.elapsed() < opts.measure)
         {
-            let t = Instant::now();
-            for _ in 0..batch {
-                black_box(f());
-            }
-            let dt = t.elapsed();
-            samples_ns.push(dt.as_nanos() as f64 / batch as f64);
+            samples_ns.push(sample_once(&mut f, batch));
             iters += batch;
         }
-
-        samples_ns.sort_by(|a, b| a.total_cmp(b));
-        let min_ns = samples_ns[0];
-        let p50_ns = samples_ns[samples_ns.len() / 2];
-        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
-
-        let stats = Stats {
-            id: full_id,
-            iters,
-            mean_ns,
-            p50_ns,
-            min_ns,
-        };
-        println!(
-            "bench {:<44} {:>10} iters  mean {:>10}  p50 {:>10}  min {:>10}",
-            stats.id,
-            stats.iters,
-            fmt_ns(stats.mean_ns),
-            fmt_ns(stats.p50_ns),
-            fmt_ns(stats.min_ns),
-        );
-        println!(
-            "{{\"bench\":{},\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"min_ns\":{:.1}}}",
-            json_str(&stats.id),
-            stats.iters,
-            stats.mean_ns,
-            stats.p50_ns,
-            stats.min_ns,
-        );
-        Some(stats)
+        Some(report(full_id, samples_ns, iters))
     }
+
+    /// Measure two closures with interleaved samples (A batch, B batch,
+    /// A batch, …) so slow drift — CPU frequency, thermals, a noisy
+    /// neighbor — lands on both sides equally instead of biasing
+    /// whichever ran second. This is the harness to use for overhead
+    /// gates: the *difference* between the two means is trustworthy at
+    /// far smaller margins than two back-to-back [`bench`] runs.
+    ///
+    /// Each side is calibrated to its own batch size. Returns `None`
+    /// when neither id matches the CLI filter.
+    ///
+    /// [`bench`]: Self::bench
+    pub fn bench_pair<RA, RB, FA, FB>(
+        &mut self,
+        id_a: &str,
+        mut a: FA,
+        id_b: &str,
+        mut b: FB,
+    ) -> Option<(Stats, Stats)>
+    where
+        FA: FnMut() -> RA,
+        FB: FnMut() -> RB,
+    {
+        let full_a = format!("{}/{}", self.name, id_a);
+        let full_b = format!("{}/{}", self.name, id_b);
+        if !self.matches(&full_a) && !self.matches(&full_b) {
+            return None;
+        }
+        let opts = self.runner.opts.clone();
+        let batch_a = calibrate(&mut a, &opts);
+        let batch_b = calibrate(&mut b, &opts);
+
+        let mut samples_a: Vec<f64> = Vec::new();
+        let mut samples_b: Vec<f64> = Vec::new();
+        let (mut iters_a, mut iters_b) = (0u64, 0u64);
+        let run_start = Instant::now();
+        while samples_a.len() < opts.max_samples
+            && (samples_a.is_empty() || run_start.elapsed() < opts.measure)
+        {
+            samples_a.push(sample_once(&mut a, batch_a));
+            iters_a += batch_a;
+            samples_b.push(sample_once(&mut b, batch_b));
+            iters_b += batch_b;
+        }
+        Some((
+            report(full_a, samples_a, iters_a),
+            report(full_b, samples_b, iters_b),
+        ))
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.runner
+            .filter
+            .as_ref()
+            .is_none_or(|filter| full_id.contains(filter.as_str()))
+    }
+}
+
+/// Warm `f` up and pick the timed-batch size (enough calls that one
+/// sample takes ~1ms, bounding the relative cost of the two `Instant`
+/// reads around it).
+///
+/// Warm-up runs in doubling batches and the per-call estimate is taken
+/// from the **last completed batch only**: the cold first calls (lazy
+/// allocation, page faults, cache fill) get amortized across later
+/// batches instead of inflating the estimate. The old whole-warmup
+/// average undersized the batch by the cold-start factor, and a batch
+/// of 1 lets single lucky calls pollute `min_ns` (observed: min 7.9µs
+/// under a p50 of 99µs).
+fn calibrate<R>(f: &mut impl FnMut() -> R, opts: &Options) -> u64 {
+    let warm_start = Instant::now();
+    let mut batch: u64 = 1;
+    let per_call = loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let took = t.elapsed().as_secs_f64();
+        if warm_start.elapsed() >= opts.warmup {
+            break took / batch as f64;
+        }
+        if took < 1e-3 {
+            // Still below one sample's worth of work; grow toward it.
+            batch = batch.saturating_mul(2).min(1_000_000);
+        }
+    };
+    ((1e-3 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000)
+}
+
+/// Time one batch of `f`; returns ns per call.
+fn sample_once<R>(f: &mut impl FnMut() -> R, batch: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..batch {
+        black_box(f());
+    }
+    t.elapsed().as_nanos() as f64 / batch as f64
+}
+
+/// Summarize samples into [`Stats`] and print the two report lines.
+fn report(id: String, mut samples_ns: Vec<f64>, iters: u64) -> Stats {
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let min_ns = samples_ns[0];
+    let p50_ns = samples_ns[samples_ns.len() / 2];
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+    let stats = Stats {
+        id,
+        iters,
+        mean_ns,
+        p50_ns,
+        min_ns,
+    };
+    println!(
+        "bench {:<44} {:>10} iters  mean {:>10}  p50 {:>10}  min {:>10}",
+        stats.id,
+        stats.iters,
+        fmt_ns(stats.mean_ns),
+        fmt_ns(stats.p50_ns),
+        fmt_ns(stats.min_ns),
+    );
+    println!(
+        "{{\"bench\":{},\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"min_ns\":{:.1}}}",
+        json_str(&stats.id),
+        stats.iters,
+        stats.mean_ns,
+        stats.p50_ns,
+        stats.min_ns,
+    );
+    stats
 }
 
 /// Format nanoseconds with an adaptive unit.
@@ -238,6 +326,51 @@ mod tests {
         assert!(stats.min_ns > 0.0);
         assert!(stats.min_ns <= stats.p50_ns);
         assert!(stats.p50_ns <= stats.mean_ns * 4.0);
+    }
+
+    #[test]
+    fn bench_pair_reports_both_sides() {
+        let mut runner = Runner::new(Options {
+            warmup: Duration::from_millis(2),
+            measure: Duration::from_millis(10),
+            max_samples: 8,
+        });
+        let mut group = runner.group("g");
+        let (a, b) = group
+            .bench_pair("a", || black_box(1u64) + 1, "b", || black_box(2u64) * 3)
+            .expect("no filter set");
+        assert_eq!(a.id, "g/a");
+        assert_eq!(b.id, "g/b");
+        // Interleaving collects the same sample count on both sides.
+        assert!(a.iters > 0 && b.iters > 0);
+        assert!(a.min_ns > 0.0 && b.min_ns > 0.0);
+    }
+
+    #[test]
+    fn calibration_amortizes_cold_start() {
+        // A closure whose first call is 100x slower than the rest: the
+        // batch size must be driven by the warm cost, not the cold call.
+        let mut cold = true;
+        let mut f = || {
+            let spins = if cold { 100_000u64 } else { 100 };
+            cold = false;
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        };
+        let batch = calibrate(
+            &mut f,
+            &Options {
+                warmup: Duration::from_millis(10),
+                measure: Duration::from_millis(1),
+                max_samples: 1,
+            },
+        );
+        // The warm call is well under 1µs, so a ~1ms sample needs many
+        // calls; the old whole-average calibration picked far fewer.
+        assert!(batch > 100, "batch {batch} sized by the cold first call");
     }
 
     #[test]

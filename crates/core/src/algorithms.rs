@@ -112,6 +112,38 @@ impl<'a> Emitter<'a> {
     pub fn is_empty(&self) -> bool {
         self.out.is_empty()
     }
+
+    /// An empty emitter sharing this one's spec and output layout — one
+    /// per worker range in the parallel probe. Forked outputs are glued
+    /// back with [`Emitter::absorb`] in range order, so the merged
+    /// emission stream is bit-identical to a sequential probe.
+    pub fn fork(&self) -> Emitter<'a> {
+        Emitter {
+            spec: self.spec,
+            out: self.out.take(&[]),
+            coord_buf: vec![0; self.coord_buf.len()],
+        }
+    }
+
+    /// Append a forked emitter's cells onto this one.
+    pub fn absorb(&mut self, fork: Emitter<'_>) -> Result<()> {
+        self.out.append(fork.out).map_err(JoinError::from)
+    }
+}
+
+/// Which kernels one [`run_join_with`] call actually ran — surfaced so
+/// the executor can aggregate dispatch decisions into the
+/// `kernel_dispatch` telemetry span and tests can pin
+/// dispatch-vs-forced bit identity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinKernelInfo {
+    /// Sort kernel used on the left input (merge join only).
+    pub left_sort: Option<keys::SortKernel>,
+    /// Sort kernel used on the right input (merge join only).
+    pub right_sort: Option<keys::SortKernel>,
+    /// Worker ranges the hash probe was split into (1 = sequential
+    /// probe, 0 = not a hash join).
+    pub probe_chunks: usize,
 }
 
 /// Normalize a key value so numerically-equal ints and floats compare and
@@ -174,17 +206,15 @@ fn rows_hash_equal(
         })
 }
 
+/// Probe-side block size: probe hashes are computed in reusable blocks
+/// of this many rows ([`keys::hash_rows_range_into`]), bounding scratch
+/// memory while keeping the batched (column-outer) hash loop.
+const PROBE_BLOCK: usize = 4096;
+
 /// Hash join over one join unit (paper §3.2): builds on the smaller side
 /// and probes with the larger. Operates on unsorted inputs; linear time.
-///
-/// Two-pass and allocation-light: every build row is hashed once
-/// ([`keys::hash_row`]) into a contiguous hash array, the table is a
-/// bucket-chain over pre-sized `u32` arrays (no per-row heap keys), and
-/// probe rows hash on the fly — equal-hash candidates are verified by a
-/// columnar key compare. Emission order (probe rows ascending, build
-/// rows ascending within a key) is bit-identical to the former
-/// `HashMap<Vec<Value>, Vec<usize>>` implementation, which remains
-/// callable as [`hash_join_rowwise`] for before/after benchmarking.
+/// Sequential with the default [`keys::KernelConfig`]; see
+/// [`hash_join_with`].
 pub fn hash_join(
     left: &CellBatch,
     left_keys: &[usize],
@@ -192,6 +222,43 @@ pub fn hash_join(
     right_keys: &[usize],
     emitter: &mut Emitter<'_>,
 ) -> Result<usize> {
+    hash_join_with(
+        left,
+        left_keys,
+        right,
+        right_keys,
+        emitter,
+        &keys::KernelConfig::default(),
+    )
+    .map(|(matches, _)| matches)
+}
+
+/// Hash join with explicit kernel config. Returns the match count and
+/// the number of probe ranges used (1 = sequential).
+///
+/// Two-pass and allocation-light: build rows are hashed in one batched
+/// columnar pass ([`keys::hash_rows_into`]), the table is a bucket-chain
+/// over pre-sized `u32` arrays (no per-row heap keys), and probe rows
+/// hash in reusable blocks — equal-hash candidates are verified by a
+/// columnar key compare. Emission order (probe rows ascending, build
+/// rows ascending within a key) is bit-identical to the former
+/// `HashMap<Vec<Value>, Vec<usize>>` implementation, which remains
+/// callable as [`hash_join_rowwise`] for before/after benchmarking.
+///
+/// With `cfg.threads > 1` and a probe side of at least
+/// `cfg.parallel_min_rows` rows, the probe splits into contiguous row
+/// ranges, one forked [`Emitter`] each, re-absorbed in range order —
+/// the concatenation of per-range emissions in range order *is* the
+/// sequential emission order, so results are bit-identical at any
+/// thread count.
+pub fn hash_join_with(
+    left: &CellBatch,
+    left_keys: &[usize],
+    right: &CellBatch,
+    right_keys: &[usize],
+    emitter: &mut Emitter<'_>,
+    cfg: &keys::KernelConfig,
+) -> Result<(usize, usize)> {
     // "This algorithm builds a hash map over the smaller side of the join."
     let left_is_build = left.len() <= right.len();
     let (build, bkeys, probe, pkeys) = if left_is_build {
@@ -205,12 +272,11 @@ pub fn hash_join(
     );
     let n = build.len();
     if n == 0 {
-        return Ok(0);
+        return Ok((0, 0));
     }
-    // Pass 1: hash every build row once, contiguously.
-    let hashes: Vec<u64> = (0..n)
-        .map(|row| keys::hash_row(build, bkeys, row))
-        .collect();
+    // Pass 1: hash every build row once, contiguously (batched).
+    let mut hashes = Vec::new();
+    keys::hash_rows_into(build, bkeys, &mut hashes);
     // Bucket-chain table at load factor ≤ 0.5: `head[bucket]` is the
     // first build row of the chain, `next[row]` the following one.
     // Inserting rows in reverse makes each chain iterate in ascending row
@@ -224,23 +290,109 @@ pub fn hash_join(
         next[row] = head[b];
         head[b] = row as u32;
     }
-    let mut matches = 0usize;
-    for prow in 0..probe.len() {
-        let h = keys::hash_row(probe, pkeys, prow);
-        let mut cur = head[(h & mask) as usize];
-        while cur != u32::MAX {
-            let brow = cur as usize;
-            if hashes[brow] == h && rows_hash_equal(build, bkeys, brow, probe, pkeys, prow) {
-                let (lrow, rrow) = if left_is_build {
-                    (brow, prow)
-                } else {
-                    (prow, brow)
-                };
-                emitter.emit(left, lrow, right, rrow)?;
-                matches += 1;
-            }
-            cur = next[brow];
+    let table = ChainTable {
+        hashes: &hashes,
+        head: &head,
+        next: &next,
+        mask,
+    };
+    let threads = cfg.threads.max(1);
+    if threads > 1 && probe.len() >= cfg.parallel_min_rows {
+        let template: &Emitter<'_> = emitter;
+        let ranges = crate::parallel::split_ranges(probe.len(), threads);
+        let (results, _) = crate::parallel::par_map(threads, ranges.len(), |w| {
+            let (lo, hi) = ranges[w];
+            let mut em = template.fork();
+            let matches = probe_range(
+                &table,
+                build,
+                bkeys,
+                probe,
+                pkeys,
+                left,
+                right,
+                left_is_build,
+                lo,
+                hi,
+                &mut em,
+            )?;
+            Ok::<_, JoinError>((em.out, matches))
+        });
+        let chunks = results.len();
+        let mut matches = 0usize;
+        for r in results {
+            let (out, m) = r?;
+            emitter.out.append(out)?;
+            matches += m;
         }
+        return Ok((matches, chunks));
+    }
+    let matches = probe_range(
+        &table,
+        build,
+        bkeys,
+        probe,
+        pkeys,
+        left,
+        right,
+        left_is_build,
+        0,
+        probe.len(),
+        emitter,
+    )?;
+    Ok((matches, 1))
+}
+
+/// The build-side bucket-chain table, borrowed by probe workers.
+struct ChainTable<'a> {
+    hashes: &'a [u64],
+    head: &'a [u32],
+    next: &'a [u32],
+    mask: u64,
+}
+
+/// Probe rows `lo..hi` against the chain table, emitting matches in
+/// probe-row order. Probe hashes are computed in reusable
+/// [`PROBE_BLOCK`]-row batches.
+#[allow(clippy::too_many_arguments)]
+fn probe_range(
+    table: &ChainTable<'_>,
+    build: &CellBatch,
+    bkeys: &[usize],
+    probe: &CellBatch,
+    pkeys: &[usize],
+    left: &CellBatch,
+    right: &CellBatch,
+    left_is_build: bool,
+    lo: usize,
+    hi: usize,
+    emitter: &mut Emitter<'_>,
+) -> Result<usize> {
+    let mut matches = 0usize;
+    let mut phashes = Vec::new();
+    let mut block = lo;
+    while block < hi {
+        let bend = (block + PROBE_BLOCK).min(hi);
+        keys::hash_rows_range_into(probe, pkeys, block, bend, &mut phashes);
+        for (prow, &h) in (block..bend).zip(&phashes) {
+            let mut cur = table.head[(h & table.mask) as usize];
+            while cur != u32::MAX {
+                let brow = cur as usize;
+                if table.hashes[brow] == h
+                    && rows_hash_equal(build, bkeys, brow, probe, pkeys, prow)
+                {
+                    let (lrow, rrow) = if left_is_build {
+                        (brow, prow)
+                    } else {
+                        (prow, brow)
+                    };
+                    emitter.emit(left, lrow, right, rrow)?;
+                    matches += 1;
+                }
+                cur = table.next[brow];
+            }
+        }
+        block = bend;
     }
     Ok(matches)
 }
@@ -353,14 +505,9 @@ fn merge_join_on_keys(
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                let mut iend = i + 1;
-                while iend < nl && lk[iend] == lk[i] {
-                    iend += 1;
-                }
-                let mut jend = j + 1;
-                while jend < nr && rk[jend] == rk[j] {
-                    jend += 1;
-                }
+                // Chunked 8-wide run detection over the normalized keys.
+                let iend = i + keys::key_run_len(lk, i);
+                let jend = j + keys::key_run_len(rk, j);
                 for li in i..iend {
                     for rj in j..jend {
                         emitter.emit(left, li, right, rj)?;
@@ -494,8 +641,9 @@ pub fn nested_loop_join(
     Ok(matches)
 }
 
-/// Dispatch on [`JoinAlgo`]. Sorts inputs first when the algorithm
-/// requires it and they are not already sorted.
+/// Dispatch on [`JoinAlgo`] with the default kernel config. Sorts
+/// inputs first when the algorithm requires it and they are not already
+/// sorted.
 pub fn run_join(
     algo: JoinAlgo,
     left: &mut CellBatch,
@@ -504,13 +652,56 @@ pub fn run_join(
     right_keys: &[usize],
     emitter: &mut Emitter<'_>,
 ) -> Result<usize> {
+    run_join_with(
+        algo,
+        left,
+        left_keys,
+        right,
+        right_keys,
+        emitter,
+        &keys::KernelConfig::default(),
+    )
+    .map(|(matches, _)| matches)
+}
+
+/// [`run_join`] with explicit kernel dispatch config, reporting which
+/// kernels ran. The config steers speed only — every kernel choice and
+/// thread count produces bit-identical emissions.
+pub fn run_join_with(
+    algo: JoinAlgo,
+    left: &mut CellBatch,
+    left_keys: &[usize],
+    right: &mut CellBatch,
+    right_keys: &[usize],
+    emitter: &mut Emitter<'_>,
+    cfg: &keys::KernelConfig,
+) -> Result<(usize, JoinKernelInfo)> {
     match algo {
-        JoinAlgo::Hash => hash_join(left, left_keys, right, right_keys, emitter),
-        JoinAlgo::NestedLoop => nested_loop_join(left, left_keys, right, right_keys, emitter),
+        JoinAlgo::Hash => {
+            let (matches, probe_chunks) =
+                hash_join_with(left, left_keys, right, right_keys, emitter, cfg)?;
+            Ok((
+                matches,
+                JoinKernelInfo {
+                    probe_chunks,
+                    ..JoinKernelInfo::default()
+                },
+            ))
+        }
+        JoinAlgo::NestedLoop => nested_loop_join(left, left_keys, right, right_keys, emitter)
+            .map(|matches| (matches, JoinKernelInfo::default())),
         JoinAlgo::Merge => {
-            left.sort_by_attr_columns(left_keys);
-            right.sort_by_attr_columns(right_keys);
-            merge_join(left, left_keys, right, right_keys, emitter)
+            let left_sort = left.sort_by_attr_columns_with(left_keys, cfg);
+            let right_sort = right.sort_by_attr_columns_with(right_keys, cfg);
+            let matches = merge_join(left, left_keys, right, right_keys, emitter)?;
+            Ok((
+                matches,
+                JoinKernelInfo {
+                    left_sort: Some(left_sort),
+                    right_sort: Some(right_sort),
+                    probe_chunks: 0,
+                },
+            ))
         }
     }
 }
@@ -674,6 +865,66 @@ mod tests {
             // Same cells in the same emission order, not just as a set.
             assert_eq!(em_new.out, em_old.out);
         }
+    }
+
+    #[test]
+    fn parallel_probe_is_bit_identical_to_sequential() {
+        let js = fixture();
+        // Skewed keys, both build directions, match-heavy.
+        let big: Vec<(i64, i64)> = (1..=4000).map(|i| (i, i % 37)).collect();
+        let small: Vec<(i64, i64)> = (1..=500).map(|j| (j, j % 23)).collect();
+        for (lrows, rrows) in [(&big, &small), (&small, &big)] {
+            let (l, r) = batches(lrows, rrows);
+            let mut em_seq = Emitter::new(&js);
+            let (n_seq, chunks) = hash_join_with(
+                &l,
+                &[1],
+                &r,
+                &[1],
+                &mut em_seq,
+                &keys::KernelConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(chunks, 1);
+            assert!(n_seq > 0);
+            for t in [2usize, 3, 8] {
+                let cfg = keys::KernelConfig {
+                    threads: t,
+                    parallel_min_rows: 0,
+                    ..keys::KernelConfig::default()
+                };
+                let mut em_par = Emitter::new(&js);
+                let (n_par, chunks) =
+                    hash_join_with(&l, &[1], &r, &[1], &mut em_par, &cfg).unwrap();
+                assert_eq!(n_par, n_seq, "threads={t}");
+                assert_eq!(chunks, t, "threads={t}");
+                // Emission order included — not just the match multiset.
+                assert_eq!(em_par.out, em_seq.out, "threads={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_join_with_reports_kernels() {
+        let js = fixture();
+        let rows: Vec<(i64, i64)> = (1..=100).map(|i| (i, (i * 7) % 50)).collect();
+        let (mut l, mut r) = batches(&rows, &rows);
+        let cfg = keys::KernelConfig {
+            radix_min_rows: 0,
+            ..keys::KernelConfig::default()
+        };
+        let mut em = Emitter::new(&js);
+        let (_, info) =
+            run_join_with(JoinAlgo::Merge, &mut l, &[1], &mut r, &[1], &mut em, &cfg).unwrap();
+        // 50-value domain over 100 rows: counting sort qualifies.
+        assert_eq!(info.left_sort, Some(keys::SortKernel::Counting));
+        assert_eq!(info.right_sort, Some(keys::SortKernel::Counting));
+        assert_eq!(info.probe_chunks, 0);
+        let mut em = Emitter::new(&js);
+        let (_, info) =
+            run_join_with(JoinAlgo::Hash, &mut l, &[1], &mut r, &[1], &mut em, &cfg).unwrap();
+        assert_eq!(info.left_sort, None);
+        assert_eq!(info.probe_chunks, 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use sj_array::keys::{KernelConfig, SortKernel};
 use sj_array::ops::kernels;
 use sj_array::{Array, ArraySchema, CellBatch, Histogram, Value};
 use sj_cluster::{
@@ -29,7 +30,7 @@ use sj_cluster::{
 };
 use sj_telemetry::{encode_f64s, SpanGuard, Telemetry, TelemetryConfig, Tracer};
 
-use crate::algorithms::{run_join, Emitter, JoinAlgo};
+use crate::algorithms::{run_join_with, Emitter, JoinAlgo, JoinKernelInfo};
 use crate::error::{JoinError, Result};
 use crate::join_schema::{infer_join_schema, ColumnStats};
 use crate::logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats, OutOp};
@@ -108,6 +109,12 @@ pub struct ExecConfig {
     /// memory; `Json { path }` additionally exports them as JSON lines;
     /// `Off` compiles the instrumentation down to no-ops.
     pub telemetry: TelemetryConfig,
+    /// Sort/hash kernel dispatch thresholds for the per-unit join
+    /// kernels. The `threads` field is ignored here: the executor sets
+    /// each unit's intra-unit budget from the leftover worker threads
+    /// (`threads / n_units`). Every setting is bit-identical in output;
+    /// the knobs only move the crossover points.
+    pub kernels: KernelConfig,
 }
 
 impl Default for ExecConfig {
@@ -120,6 +127,7 @@ impl Default for ExecConfig {
             threads: 0,
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::default(),
+            kernels: KernelConfig::default(),
         }
     }
 }
@@ -183,6 +191,12 @@ impl ExecConfigBuilder {
         self
     }
 
+    /// Override the sort/hash kernel dispatch thresholds.
+    pub fn kernels(mut self, kernels: KernelConfig) -> Self {
+        self.config.kernels = kernels;
+        self
+    }
+
     /// Validate the combination and produce the config.
     ///
     /// Rejections are [`JoinError::Config`] and name the offending knob.
@@ -226,6 +240,13 @@ impl ExecConfigBuilder {
             return Err(JoinError::Config(
                 "telemetry JSON sink requires a non-empty path".into(),
             ));
+        }
+        if c.kernels.counting_max_bits > 26 {
+            return Err(JoinError::Config(format!(
+                "kernels.counting_max_bits {} exceeds 26: a counting table that wide \
+                 (>64M entries) dwarfs any batch it could sort",
+                c.kernels.counting_max_bits
+            )));
         }
         Ok(self.config)
     }
@@ -578,11 +599,16 @@ pub fn execute_join_traced(
         .into_iter()
         .map(|p| Mutex::new(Some(p)))
         .collect();
+    // Leftover worker budget for intra-unit parallelism: when there are
+    // fewer units than threads, the spare workers split one unit's sort
+    // or probe instead of idling. Bit-identical at every value.
+    let mut unit_kernels = config.kernels.clone();
+    unit_kernels.threads = (threads / n_units.max(1)).max(1);
     let t_cmp = Instant::now();
     let (unit_results, cmp_pool) = par_map_weighted(
         threads,
         &unit_weights,
-        |i| -> Result<(CellBatch, usize, f64)> {
+        |i| -> Result<(CellBatch, usize, f64, JoinKernelInfo)> {
             let (lparts, rparts) = unit_inputs[i]
                 .lock()
                 .expect("unit input poisoned")
@@ -599,17 +625,19 @@ pub fn execute_join_traced(
             }
             let mut emitter = Emitter::new(&js);
             let mut matches = 0usize;
+            let mut info = JoinKernelInfo::default();
             if !left_unit.is_empty() && !right_unit.is_empty() {
-                matches = run_join(
+                (matches, info) = run_join_with(
                     logical.algo,
                     &mut left_unit,
                     &js.left_layout.key_cols,
                     &mut right_unit,
                     &js.right_layout.key_cols,
                     &mut emitter,
+                    &unit_kernels,
                 )?;
             }
-            Ok((emitter.out, matches, t.elapsed().as_secs_f64()))
+            Ok((emitter.out, matches, t.elapsed().as_secs_f64(), info))
         },
     );
     ex.field("wall_seconds", t_cmp.elapsed().as_secs_f64());
@@ -623,12 +651,32 @@ pub fn execute_join_traced(
     let mut matches = 0usize;
     let mut out_cells = Emitter::new(&js).out;
     let mut unit_info: Vec<(usize, f64)> = Vec::with_capacity(n_units);
+    let mut kernel_infos: Vec<JoinKernelInfo> = Vec::with_capacity(n_units);
     for (i, result) in unit_results.into_iter().enumerate() {
-        let (cells, unit_matches, secs) = result?;
+        let (cells, unit_matches, secs, kinfo) = result?;
         per_node_comparison[effective_assignment[i]] += secs;
         matches += unit_matches;
         unit_info.push((unit_matches, secs));
+        kernel_infos.push(kinfo);
         out_cells.append(cells)?;
+    }
+    // Aggregate per-unit dispatch decisions (in unit-id order, so the
+    // span is identical at every thread count) into one child span.
+    {
+        let kd = ex.child("kernel_dispatch");
+        kd.field("intra_threads", unit_kernels.threads);
+        for k in SortKernel::ALL {
+            let count = kernel_infos
+                .iter()
+                .flat_map(|info| [info.left_sort, info.right_sort])
+                .filter(|&s| s == Some(k))
+                .count();
+            if count > 0 {
+                kd.field(k.name(), count as u64);
+            }
+        }
+        let probe_chunks: usize = kernel_infos.iter().map(|info| info.probe_chunks).sum();
+        kd.field("probe_chunks", probe_chunks as u64);
     }
     if ex.enabled() {
         // Attribution children: one `node` per cluster node (in id order,
@@ -657,11 +705,15 @@ pub fn execute_join_traced(
     let out_span = span.child("output");
     let t_out = Instant::now();
     let ordered = matches!(logical.out, OutOp::Sort | OutOp::Redim);
-    let output = kernels::organize(js.output.clone(), &out_cells, ordered)?;
+    let (output, out_sorts) =
+        kernels::organize_with(js.output.clone(), &out_cells, ordered, &config.kernels)?;
     let out_wall = t_out.elapsed().as_secs_f64();
     out_span.field("wall_seconds", out_wall);
     out_span.field("ordered", ordered);
     out_span.field("cells", output.cell_count());
+    for (kernel, chunk_count) in out_sorts {
+        out_span.field(kernel.name(), chunk_count as u64);
+    }
     drop(out_span);
     // Output tiling parallelizes across the cluster; attribute 1/k of the
     // measured wall time to the slowest node's comparison phase.

@@ -14,7 +14,6 @@ pub mod algorithms;
 mod error;
 pub mod join_schema;
 pub mod logical;
-pub mod parallel;
 pub mod predicate;
 pub mod unit;
 
@@ -22,8 +21,9 @@ pub use algorithms::JoinAlgo;
 pub use error::{JoinError, Result};
 pub use join_schema::{infer_join_schema, ColumnStats, JoinSchema};
 pub use logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats};
-pub use parallel::{par_map, par_map_weighted, resolve_threads, PoolMetrics};
 pub use predicate::{JoinPredicate, JoinSide, PairKind};
+pub use sj_array::parallel;
+pub use sj_array::parallel::{par_map, par_map_weighted, resolve_threads, PoolMetrics};
 pub use unit::JoinUnitSpec;
 
 pub mod physical;

@@ -150,7 +150,15 @@ pub fn run_plan_traced(
     span.tracer().counter("pipeline.batches").add(batches);
     span.field("batches", batches);
 
-    let array = kernels::organize(schema, &acc, ordered)?;
+    let (array, sort_kernels) = kernels::organize_with(schema, &acc, ordered, &config.kernels)?;
+    if !sort_kernels.is_empty() {
+        // Which sort kernels the sink's chunk ordering dispatched to —
+        // same shape as the join executor's `kernel_dispatch` span.
+        let kd = span.child("kernel_dispatch");
+        for (kernel, chunks) in sort_kernels {
+            kd.field(kernel.name(), chunks as u64);
+        }
+    }
     span.field("output_cells", array.cell_count());
     Ok(array)
 }

@@ -235,12 +235,28 @@ pub fn map_slices<'a>(
     // One flattening buffer reused across chunks (capacity persists);
     // rows route columnar-ly — no per-chunk/per-row allocation.
     let mut flat = layout.empty_batch();
+    // Hash buffer for the batched bucket-routing path, likewise reused.
+    let mut hashes: Vec<u64> = Vec::new();
     for chunk in chunks {
         flat.clear();
         layout.flatten_chunk(chunk, &mut flat)?;
-        kernels::scatter_into::<JoinError>(&flat, &mut set.slices, |f, row| {
-            spec.unit_of_row(f, &layout.key_cols, row)
-        })?;
+        match spec {
+            // Hash routing: one batched columnar hash pass per chunk
+            // ([`keys::hash_rows_into`], bit-identical per row to
+            // [`keys::hash_row`]) instead of a per-row hash call.
+            JoinUnitSpec::HashBuckets { n } => {
+                let m = (*n).max(1) as u64;
+                keys::hash_rows_into(&flat, &layout.key_cols, &mut hashes);
+                kernels::scatter_into::<JoinError>(&flat, &mut set.slices, |_, row| {
+                    Ok((hashes[row] % m) as usize)
+                })?;
+            }
+            JoinUnitSpec::Chunks { .. } => {
+                kernels::scatter_into::<JoinError>(&flat, &mut set.slices, |f, row| {
+                    spec.unit_of_row(f, &layout.key_cols, row)
+                })?;
+            }
+        }
     }
     Ok(set)
 }

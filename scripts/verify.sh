@@ -35,6 +35,9 @@ tail -2 target/telemetry_smoke.log
 echo "==> telemetry overhead gate: disabled path < 2% (asserted inside join_kernels)"
 grep 'disabled-telemetry overhead' "$smoke_log"
 
+echo "==> kernel dispatch gate: dispatched <= 1.1x best single kernel at 20k and 1M (asserted inside join_kernels)"
+grep 'dispatch gate' "$smoke_log"
+
 echo "==> lints: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -255,6 +255,148 @@ fn columnar_hash_join_is_bit_identical_to_rowwise_on_fixture() {
 }
 
 #[test]
+fn dispatched_sorts_are_bit_identical_to_every_forced_kernel() {
+    // Sizes straddle RADIX_MIN_ROWS (32) and, on the narrow domain,
+    // the counting-sort table<=rows guard; the wide domain keeps radix
+    // territory. Every forced config — parallel included at threads
+    // 2 and 8 — must reproduce the comparator order bit for bit.
+    use sj_array::keys::{KernelConfig, SortKernel};
+    use sj_array::{CellBatch, DataType};
+    let mk = |n: usize, domain: i64, seed: u64| -> CellBatch {
+        let mut x = seed | 1;
+        let mut b = CellBatch::new(1, &[DataType::Int64]);
+        for row in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let c = ((x >> 33) as i64).rem_euclid(domain);
+            b.push(&[c], &[Value::Int(row as i64)]).unwrap();
+        }
+        b
+    };
+    let forced = [
+        KernelConfig::radix_only(),
+        KernelConfig {
+            radix_min_rows: 0,
+            counting_max_bits: 26,
+            parallel_min_rows: usize::MAX,
+            threads: 1,
+        },
+        KernelConfig {
+            parallel_min_rows: 0,
+            threads: 2,
+            ..KernelConfig::default()
+        },
+        KernelConfig {
+            parallel_min_rows: 0,
+            threads: 8,
+            ..KernelConfig::default()
+        },
+    ];
+    for n in [0usize, 1, 8, 31, 32, 33, 100, 700, 5_000] {
+        for domain in [50i64, 4_000_000_000] {
+            let pristine = mk(n, domain, 0x5EED ^ n as u64);
+            let mut comparator = pristine.clone();
+            comparator.sort_c_order_comparator();
+            let mut dispatched = pristine.clone();
+            dispatched.sort_c_order();
+            assert_eq!(
+                dispatched, comparator,
+                "dispatched sort diverged at n={n} domain={domain}"
+            );
+            for cfg in &forced {
+                let mut b = pristine.clone();
+                b.sort_c_order_with(cfg);
+                assert_eq!(
+                    b, comparator,
+                    "forced config {cfg:?} diverged at n={n} domain={domain}"
+                );
+            }
+        }
+    }
+    // Pin the dispatch decisions at the threshold edges.
+    let pick = |n: usize, domain: i64| {
+        let mut b = mk(n, domain, 1);
+        b.sort_c_order_with(&KernelConfig::default())
+    };
+    assert_eq!(pick(31, 4_000_000_000), SortKernel::Comparator);
+    assert_eq!(pick(33, 4_000_000_000), SortKernel::RadixU64);
+    assert_eq!(pick(700, 50), SortKernel::Counting);
+    assert_eq!(
+        pick(33, 50),
+        SortKernel::RadixU64,
+        "table > rows: no counting"
+    );
+}
+
+#[test]
+fn executor_results_are_invariant_to_kernel_config() {
+    // The executor's dispatch knobs — forced comparator, forced radix,
+    // counting-eager, parallel-eager with spare worker threads — may
+    // change only wall-clock time, never the output array or metrics.
+    use sj_array::keys::KernelConfig;
+    let cluster = skewed_cluster();
+    let query = query();
+    let run = |kernels: KernelConfig, threads: usize| {
+        let config = ExecConfig::builder()
+            .planner(PlannerKind::Tabu)
+            .forced_algo(JoinAlgo::Merge)
+            .threads(threads)
+            .kernels(kernels)
+            .build()
+            .unwrap();
+        execute_join(&cluster, &query, &config).unwrap()
+    };
+    let reference = run(KernelConfig::default(), 1);
+    let ref_cells: Vec<_> = reference.array.iter_cells().collect();
+    let ref_matches = reference.telemetry.join_metrics().unwrap().matches;
+    assert!(ref_matches > 0, "fixture must produce matches");
+    let configs = [
+        // Comparator-only: dispatch always falls through.
+        (
+            KernelConfig {
+                radix_min_rows: usize::MAX,
+                ..KernelConfig::default()
+            },
+            1,
+        ),
+        (KernelConfig::radix_only(), 1),
+        // Counting-eager on the narrow value domain.
+        (
+            KernelConfig {
+                radix_min_rows: 0,
+                counting_max_bits: 26,
+                parallel_min_rows: usize::MAX,
+                threads: 1,
+            },
+            1,
+        ),
+        // Parallel-eager: every sort/probe splits across the intra-unit
+        // budget (threads=8 over few units leaves spare workers).
+        (
+            KernelConfig {
+                parallel_min_rows: 0,
+                ..KernelConfig::default()
+            },
+            8,
+        ),
+    ];
+    for (kernels, threads) in configs {
+        let alt = run(kernels.clone(), threads);
+        assert_eq!(
+            alt.array.iter_cells().collect::<Vec<_>>(),
+            ref_cells,
+            "output differs under kernel config {kernels:?} threads={threads}"
+        );
+        assert_eq!(
+            alt.telemetry.join_metrics().unwrap().matches,
+            ref_matches,
+            "match count differs under kernel config {kernels:?}"
+        );
+    }
+}
+
+#[test]
 fn signed_zero_hash_join_matches_rowwise() {
     // -0.0 and 0.0 compare equal but have different bit patterns; the
     // columnar hash join must bucket them together exactly like the

@@ -351,6 +351,47 @@ proptest! {
         }
     }
 
+    /// Dispatch is invisible in results: the dispatched entry point and
+    /// every forced kernel config — thresholds drawn to straddle the
+    /// input size, threads 1..8 so the parallel MSB kernel comes up —
+    /// produce batches bit-identical to the comparator sort, for single
+    /// u64-path keys, float keys, and wide multi-column keys alike.
+    #[test]
+    fn dispatched_sort_is_bit_identical_for_every_kernel_config(
+        rows in proptest::collection::vec((key_i64(), key_f64()), 0..250),
+        radix_min in 0usize..64,
+        counting_bits in 0u32..20,
+        parallel_min in 0usize..512,
+        threads in 1usize..9,
+    ) {
+        use skewjoin::array::keys::KernelConfig;
+        let mut pristine = CellBatch::new(
+            0,
+            &[DataType::Int64, DataType::Float64, DataType::Int64],
+        );
+        for (n, (i, f)) in rows.iter().enumerate() {
+            pristine
+                .push(&[], &[Value::Int(*i), Value::Float(*f), Value::Int(n as i64)])
+                .unwrap();
+        }
+        let cfg = KernelConfig {
+            radix_min_rows: radix_min,
+            counting_max_bits: counting_bits,
+            parallel_min_rows: parallel_min,
+            threads,
+        };
+        for cols in [vec![0usize], vec![1], vec![0, 1]] {
+            let mut comparator = pristine.clone();
+            comparator.sort_by_attr_columns_comparator(&cols);
+            let mut dispatched = pristine.clone();
+            dispatched.sort_by_attr_columns(&cols);
+            assert_bit_identical(&dispatched, &comparator)?;
+            let mut forced = pristine.clone();
+            forced.sort_by_attr_columns_with(&cols, &cfg);
+            assert_bit_identical(&forced, &comparator)?;
+        }
+    }
+
     /// The merge join's uncompressed u64 keys order rows exactly like
     /// the column comparator, ties included.
     #[test]
