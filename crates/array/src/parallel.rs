@@ -86,7 +86,29 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let order: Vec<usize> = (0..n).collect();
-    run_pool(threads, order, n, f)
+    let (out, metrics) = run_pool_until(threads, order, n, f, &|| false);
+    (unwrap_complete(out), metrics)
+}
+
+/// [`par_map`] with a cooperative stop probe: before claiming each
+/// item, every worker (and the inline path, between items) polls
+/// `stop()`; once it returns true no further items start, and items
+/// never claimed come back as `None`. Items already running finish
+/// normally — nothing is interrupted mid-item, so outputs that do
+/// exist are complete and the pool always joins cleanly (no leaked
+/// threads, no poisoned locks).
+pub fn par_map_until<T, F>(
+    threads: usize,
+    n: usize,
+    f: F,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> (Vec<Option<T>>, PoolMetrics)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let order: Vec<usize> = (0..n).collect();
+    run_pool_until(threads, order, n, f, stop)
 }
 
 /// Map `f` over `0..weights.len()`, dispatching heavier items first
@@ -100,13 +122,43 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let (out, metrics) = par_map_weighted_until(threads, weights, f, &|| false);
+    (unwrap_complete(out), metrics)
+}
+
+/// [`par_map_weighted`] with a cooperative stop probe; see
+/// [`par_map_until`] for the stop semantics.
+pub fn par_map_weighted_until<T, F>(
+    threads: usize,
+    weights: &[u64],
+    f: F,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> (Vec<Option<T>>, PoolMetrics)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let n = weights.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
-    run_pool(threads, order, n, f)
+    run_pool_until(threads, order, n, f, stop)
 }
 
-fn run_pool<T, F>(threads: usize, order: Vec<usize>, n: usize, f: F) -> (Vec<T>, PoolMetrics)
+/// Unwrap a never-stopped pool run (stop probe was `|| false`, so every
+/// slot is filled).
+fn unwrap_complete<T>(out: Vec<Option<T>>) -> Vec<T> {
+    out.into_iter()
+        .map(|v| v.expect("worker pool completed without filling every slot"))
+        .collect()
+}
+
+fn run_pool_until<T, F>(
+    threads: usize,
+    order: Vec<usize>,
+    n: usize,
+    f: F,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> (Vec<Option<T>>, PoolMetrics)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -115,9 +167,17 @@ where
     let wall = Instant::now();
 
     if workers <= 1 || n <= 1 {
-        // Exact sequential path: index order, caller's thread.
+        // Exact sequential path: index order, caller's thread, polling
+        // the stop probe between items like a worker would.
         let t = Instant::now();
-        let out: Vec<T> = (0..n).map(&f).collect();
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        for i in 0..n {
+            if stop() {
+                out.resize_with(n, || None);
+                break;
+            }
+            out.push(Some(f(i)));
+        }
         let busy = t.elapsed().as_secs_f64();
         return (
             out,
@@ -139,6 +199,12 @@ where
                 s.spawn(|| {
                     let mut busy = 0.0f64;
                     loop {
+                        // The between-units lifecycle checkpoint: a
+                        // tripped probe stops this worker before it
+                        // claims another item.
+                        if stop() {
+                            break;
+                        }
                         let pos = cursor.fetch_add(1, Ordering::Relaxed);
                         if pos >= order.len() {
                             break;
@@ -161,13 +227,9 @@ where
         }
     });
 
-    let out: Vec<T> = slots
+    let out: Vec<Option<T>> = slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker pool completed without filling every slot")
-        })
+        .map(|m| m.into_inner().expect("result slot poisoned"))
         .collect();
     (
         out,
@@ -233,6 +295,48 @@ mod tests {
         let (ids, m) = par_map(1, 8, |_| std::thread::current().id());
         assert!(ids.iter().all(|&id| id == main_id));
         assert_eq!(m.workers, 1);
+    }
+
+    #[test]
+    fn stop_probe_leaves_unclaimed_items_none() {
+        for threads in [1, 2, 8] {
+            let done = AtomicU64::new(0);
+            // Stop after 10 items have finished: whatever is already
+            // claimed completes, nothing new starts.
+            let (out, _) = par_map_until(
+                threads,
+                1000,
+                |i| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                    i
+                },
+                &|| done.load(Ordering::Relaxed) >= 10,
+            );
+            assert_eq!(out.len(), 1000);
+            let filled = out.iter().flatten().count();
+            assert!(
+                filled < 1000,
+                "threads={threads}: the probe must stop the pool early"
+            );
+            // Every filled slot holds its own index (completed items
+            // are whole, not torn).
+            for (i, v) in out.iter().enumerate() {
+                if let Some(v) = v {
+                    assert_eq!(*v, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_stopping_probe_matches_plain_map() {
+        let (plain, _) = par_map(4, 64, |i| i * 3);
+        let (until, _) = par_map_until(4, 64, |i| i * 3, &|| false);
+        assert_eq!(until.into_iter().flatten().collect::<Vec<_>>(), plain);
+        let weights: Vec<u64> = (0..64).map(|i| (i as u64 * 31) % 17).collect();
+        let (wplain, _) = par_map_weighted(4, &weights, |i| i * 3);
+        let (wuntil, _) = par_map_weighted_until(4, &weights, |i| i * 3, &|| false);
+        assert_eq!(wuntil.into_iter().flatten().collect::<Vec<_>>(), wplain);
     }
 
     #[test]

@@ -9,10 +9,17 @@
 //! reproducible run to run. One JSON line per point reports the simulated makespan
 //! next to the fault counters — the "2.5× speedup, but at what
 //! availability cost?" curve.
+//!
+//! A second sweep measures mid-shuffle straggler re-planning: straggler
+//! severity {2x, 5x, 10x} × re-planning {off, on}, with a greppable
+//! `replan gate` line asserting the 10x point is cut by >= 1.5x. Set
+//! `FAULT_MAKESPAN_SMOKE=1` for a smaller workload suited to CI
+//! snapshots (`scripts/verify.sh` redirects the JSON lines into
+//! `BENCH_SHUFFLE.json`).
 
 use sj_array::Array;
 use sj_bench::{bench_params, harness::json_str};
-use sj_cluster::{Cluster, FaultPlan, NetworkModel, Placement};
+use sj_cluster::{Cluster, FaultPlan, NetworkModel, Placement, ReplanPolicy};
 use sj_core::exec::{execute_join, ExecConfig, JoinMetrics, JoinQuery};
 use sj_core::{JoinAlgo, JoinPredicate, MetricsView, PlannerKind};
 use sj_workload::{skewed_pair, SkewedArrayConfig};
@@ -24,13 +31,17 @@ const MAX_FAILURES: usize = 3;
 /// Crashed in order as the failure count grows; spread across the ring
 /// so chained replicas of a dead node stay alive.
 const CRASH_NODES: [usize; MAX_FAILURES] = [0, 2, 4];
+/// Straggler sweep: slowdown factors applied to one node's links.
+const SEVERITIES: [f64; 3] = [2.0, 5.0, 10.0];
+const STRAGGLER_NODE: usize = 1;
 
 fn fig8_cluster() -> Cluster {
+    let smoke = std::env::var_os("FAULT_MAKESPAN_SMOKE").is_some();
     let cfg = SkewedArrayConfig {
         name: String::new(),
         grid: 16,
         chunk_interval: 64,
-        cells: 120_000,
+        cells: if smoke { 60_000 } else { 120_000 },
         spatial_alpha: 0.0,
         value_alpha: 1.5,
         value_domain: 50_000,
@@ -132,4 +143,74 @@ fn main() {
             );
         }
     }
+
+    // ---- Straggler severity × re-planning sweep. ---------------------------
+    // One node's links run `severity`x slow; with re-planning on, the
+    // progress monitor (barriers every quarter of the clean makespan)
+    // re-routes the remaining slices onto healthy substitutes.
+    let policy = ReplanPolicy::enabled(2.0, clean.shuffle.makespan / 4.0, 2);
+    let straggler_config = |severity: f64, replan: ReplanPolicy| -> ExecConfig {
+        ExecConfig::builder()
+            .planner(PlannerKind::MinBandwidth)
+            .cost_params(params)
+            .forced_algo(JoinAlgo::Hash)
+            .hash_buckets(256)
+            .faults(FaultPlan::seeded(11).with_straggler(STRAGGLER_NODE, severity))
+            .replan(replan)
+            .build()
+            .expect("straggler bench config invalid")
+    };
+    println!(
+        "Straggler sweep: node {STRAGGLER_NODE} slowed, re-plan barriers at clean makespan / 4"
+    );
+    println!(
+        "{:>8} {:>7} {:>12} {:>8} {:>15}",
+        "severity", "replan", "makespan", "replans", "replanned_bytes"
+    );
+    let mut gate: Option<(f64, f64)> = None;
+    for &severity in &SEVERITIES {
+        let mut makespans = [0.0f64; 2];
+        for (i, enabled) in [false, true].into_iter().enumerate() {
+            let replan = if enabled {
+                policy.clone()
+            } else {
+                ReplanPolicy::disabled()
+            };
+            let (out, m) = run(&straggler_config(severity, replan));
+            let mut cells: Vec<_> = out.iter_cells().collect();
+            cells.sort();
+            assert_eq!(
+                cells, clean_cells,
+                "straggler changed the join answer at severity={severity} replan={enabled}"
+            );
+            let s = &m.shuffle;
+            makespans[i] = s.makespan;
+            println!(
+                "{:>7}x {:>7} {:>11.3}s {:>8} {:>15}",
+                severity, enabled, s.makespan, s.replans, s.replanned_bytes
+            );
+            println!(
+                "{{\"bench\":{},\"severity\":{},\"replan\":{},\"makespan_s\":{:.6},\"replans\":{},\"replanned_bytes\":{},\"reroutes\":{},\"degraded\":{},\"matches\":{}}}",
+                json_str("fault_makespan/straggler"),
+                severity,
+                enabled,
+                s.makespan,
+                s.replans,
+                s.replanned_bytes,
+                s.reroutes,
+                m.degraded,
+                m.matches
+            );
+        }
+        if severity == 10.0 {
+            gate = Some((makespans[0], makespans[1]));
+        }
+    }
+    let (off, on) = gate.expect("10x severity point must run");
+    let cut = off / on;
+    println!("replan gate: 10x straggler makespan cut {cut:.2}x ({off:.3}s -> {on:.3}s, >= 1.5x required)");
+    assert!(
+        cut >= 1.5,
+        "re-planning must cut the 10x-straggler makespan by >= 1.5x, got {cut:.2}x"
+    );
 }

@@ -42,6 +42,9 @@ pub enum ClusterError {
         /// Linear chunk id.
         chunk: u64,
     },
+    /// The query's lifecycle context interrupted the operation
+    /// (cooperative cancellation or deadline expiry).
+    Interrupted(sj_telemetry::Interrupt),
 }
 
 impl fmt::Display for ClusterError {
@@ -65,6 +68,7 @@ impl fmt::Display for ClusterError {
                 f,
                 "chunk {chunk} of array `{array}` lost its primary and has no replica"
             ),
+            ClusterError::Interrupted(cause) => write!(f, "interrupted: {cause}"),
         }
     }
 }

@@ -195,6 +195,62 @@ impl Default for FaultPlan {
     }
 }
 
+/// Mid-shuffle straggler re-planning policy.
+///
+/// When enabled, the shuffle simulation pauses at deterministic
+/// *re-plan barriers* (multiples of `check_interval` in virtual time),
+/// estimates each node's delivered throughput from the simulation's own
+/// per-node accounting, and — when a node's observed per-byte time
+/// exceeds `slowdown_factor` × the cluster median — drains that node's
+/// remaining traffic onto a substitute via the crash-recovery
+/// reassignment path (without marking the node dead). Decisions are
+/// functions of simulation state only, so they replay bit-identically
+/// at any executor thread count and per seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanPolicy {
+    /// A node is flagged when its measured per-byte wire time exceeds
+    /// this multiple of the cluster-median per-byte time (> 1.0).
+    pub slowdown_factor: f64,
+    /// Virtual seconds between re-plan barriers (> 0 when enabled).
+    pub check_interval: f64,
+    /// Maximum number of re-plan actions per shuffle; 0 disables
+    /// re-planning entirely.
+    pub max_replans: u32,
+}
+
+impl ReplanPolicy {
+    /// Re-planning off: the simulation takes exactly the legacy code
+    /// path and produces bit-identical reports.
+    pub fn disabled() -> Self {
+        ReplanPolicy {
+            slowdown_factor: 2.0,
+            check_interval: 0.0,
+            max_replans: 0,
+        }
+    }
+
+    /// Re-planning on with the given detection threshold and barrier
+    /// spacing, allowing up to `max_replans` migrations.
+    pub fn enabled(slowdown_factor: f64, check_interval: f64, max_replans: u32) -> Self {
+        ReplanPolicy {
+            slowdown_factor,
+            check_interval,
+            max_replans,
+        }
+    }
+
+    /// True when barriers should be scheduled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.max_replans > 0 && self.check_interval > 0.0
+    }
+}
+
+impl Default for ReplanPolicy {
+    fn default() -> Self {
+        ReplanPolicy::disabled()
+    }
+}
+
 /// Coordinator-side recovery routing: which nodes can stand in for a
 /// dead one.
 #[derive(Debug, Clone, PartialEq)]

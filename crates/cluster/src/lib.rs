@@ -23,10 +23,11 @@ mod shuffle;
 
 pub use cluster::{Catalog, Cluster, Node};
 pub use error::{ClusterError, Result};
-pub use fault::{FaultPlan, NodeCrash, RecoveryOptions, Straggler};
+pub use fault::{FaultPlan, NodeCrash, RecoveryOptions, ReplanPolicy, Straggler};
 pub use network::NetworkModel;
 pub use placement::Placement;
 pub use shuffle::{
-    simulate_shuffle, simulate_shuffle_with_faults, simulate_shuffle_with_faults_traced,
-    ShuffleReport, Transfer,
+    simulate_shuffle, simulate_shuffle_guarded, simulate_shuffle_guarded_traced,
+    simulate_shuffle_with_faults, simulate_shuffle_with_faults_traced, ReplanEvent, ShuffleReport,
+    Transfer,
 };

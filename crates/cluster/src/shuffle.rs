@@ -50,8 +50,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::error::{ClusterError, Result};
-use crate::fault::{FaultPlan, NodeCrash, RecoveryOptions};
+use crate::fault::{FaultPlan, NodeCrash, RecoveryOptions, ReplanPolicy};
 use crate::network::NetworkModel;
+use sj_telemetry::QueryContext;
 use sj_workload::Rng64;
 
 /// One slice transfer to schedule.
@@ -100,6 +101,30 @@ pub struct ShuffleReport {
     pub reassigned: Vec<(usize, usize)>,
     /// True when the cluster lost at least one node.
     pub degraded: bool,
+    /// Mid-shuffle straggler re-plan actions taken (see [`ReplanPolicy`]).
+    pub replans: u64,
+    /// Bytes re-routed away from flagged stragglers by re-planning.
+    pub replanned_bytes: u64,
+    /// One record per re-plan action, in decision order.
+    pub replan_events: Vec<ReplanEvent>,
+}
+
+/// One mid-shuffle straggler re-plan decision, taken at a deterministic
+/// re-plan barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanEvent {
+    /// Virtual time of the barrier that took the decision.
+    pub at_seconds: f64,
+    /// The flagged straggler (donor) node.
+    pub node: usize,
+    /// The substitute (recipient) node its remaining traffic moved to.
+    pub substitute: usize,
+    /// Bytes re-routed by this decision.
+    pub moved_bytes: u64,
+    /// Slices (transfers) re-routed by this decision.
+    pub moved_slices: u64,
+    /// Why the node was flagged (e.g. `"straggler"`).
+    pub cause: String,
 }
 
 impl ShuffleReport {
@@ -121,6 +146,9 @@ impl ShuffleReport {
             failed_nodes: Vec::new(),
             reassigned: Vec::new(),
             degraded: false,
+            replans: 0,
+            replanned_bytes: 0,
+            replan_events: Vec::new(),
         }
     }
 }
@@ -192,9 +220,72 @@ pub fn simulate_shuffle_with_faults(
     faults: &FaultPlan,
     recovery: &RecoveryOptions,
 ) -> Result<ShuffleReport> {
-    let mut sim = Sim::new(k, network, faults, recovery, transfers)?;
+    simulate_shuffle_guarded(
+        k,
+        network,
+        transfers,
+        faults,
+        recovery,
+        &ReplanPolicy::disabled(),
+        &QueryContext::unbounded(),
+    )
+}
+
+/// The full-control entry point: [`simulate_shuffle_with_faults`] plus
+/// a query-lifecycle guard and mid-shuffle straggler re-planning.
+///
+/// `ctx` is polled once per simulation event (and advanced by the
+/// event's virtual-time delta when it runs on a virtual clock), so a
+/// cancellation or deadline expiry surfaces as
+/// [`ClusterError::Interrupted`] at the next event boundary — at a
+/// deterministic virtual instant, independent of executor threads.
+///
+/// When `replan.is_enabled()`, the simulation also pauses at barriers
+/// every `replan.check_interval` virtual seconds, estimates per-node
+/// per-byte wire time from its own delivered-traffic accounting (plus
+/// an elapsed-time lower bound for in-flight transfers, so a stalled
+/// node is caught even before it delivers anything), and drains the
+/// worst node exceeding `replan.slowdown_factor` × the cluster median
+/// onto a substitute via the crash-recovery machinery — without marking
+/// the node dead. The substitution lands in `ShuffleReport::reassigned`
+/// (re-homing join units exactly like a crash) and is itemized in
+/// `ShuffleReport::replan_events`.
+///
+/// With `replan` disabled and an unbounded `ctx`, reports are
+/// bit-identical to [`simulate_shuffle_with_faults`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_shuffle_guarded(
+    k: usize,
+    network: &NetworkModel,
+    transfers: &[Transfer],
+    faults: &FaultPlan,
+    recovery: &RecoveryOptions,
+    replan: &ReplanPolicy,
+    ctx: &QueryContext,
+) -> Result<ShuffleReport> {
+    let mut sim = Sim::new(k, network, faults, recovery, replan, ctx, transfers)?;
     sim.run()?;
     Ok(sim.report)
+}
+
+/// [`simulate_shuffle_guarded`], recording the outcome onto `span`
+/// exactly like [`simulate_shuffle_with_faults_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_shuffle_guarded_traced(
+    k: usize,
+    network: &NetworkModel,
+    transfers: &[Transfer],
+    faults: &FaultPlan,
+    recovery: &RecoveryOptions,
+    replan: &ReplanPolicy,
+    ctx: &QueryContext,
+    span: &sj_telemetry::SpanGuard,
+) -> Result<ShuffleReport> {
+    let report = simulate_shuffle_guarded(k, network, transfers, faults, recovery, replan, ctx)?;
+    if span.enabled() {
+        record_shuffle_report(&report, faults, span);
+    }
+    Ok(report)
 }
 
 /// [`simulate_shuffle_with_faults`], recording the outcome onto `span`
@@ -238,6 +329,8 @@ fn record_shuffle_report(
     span.field("timeouts", report.timeouts);
     span.field("degraded", report.degraded);
     span.field("injected", !faults.is_none());
+    span.field("replans", report.replans);
+    span.field("replanned_bytes", report.replanned_bytes);
     for (node, (&sent, &recv)) in report.sent_bytes.iter().zip(&report.recv_bytes).enumerate() {
         let n = span.child("node");
         n.field("node", node);
@@ -253,6 +346,15 @@ fn record_shuffle_report(
         r.field("from", from);
         r.field("to", to);
     }
+    for ev in &report.replan_events {
+        let r = span.child("replan");
+        r.field("at_seconds", ev.at_seconds);
+        r.field("from", ev.node);
+        r.field("to", ev.substitute);
+        r.field("moved_bytes", ev.moved_bytes);
+        r.field("moved_slices", ev.moved_slices);
+        r.field("cause", ev.cause.as_str());
+    }
 }
 
 struct Sim<'a> {
@@ -260,6 +362,8 @@ struct Sim<'a> {
     network: &'a NetworkModel,
     faults: &'a FaultPlan,
     recovery: &'a RecoveryOptions,
+    replan: &'a ReplanPolicy,
+    ctx: &'a QueryContext,
     rng: Rng64,
     /// Per-sender queues of pending transfers; the *back* of each Vec is
     /// the logical front (dispatch scans with `rposition`).
@@ -271,7 +375,10 @@ struct Sim<'a> {
     busy: Vec<bool>,
     dead: Vec<bool>,
     events: BinaryHeap<Completion>,
-    inflight: Vec<Option<(Pend, bool)>>,
+    /// In-flight slots: the transfer, its timed-out flag, and the
+    /// virtual time its current attempt started (progress-monitor
+    /// input for the straggler detector).
+    inflight: Vec<Option<(Pend, bool, f64)>>,
     cancelled: Vec<bool>,
     crashes: Vec<NodeCrash>,
     next_crash: usize,
@@ -281,6 +388,18 @@ struct Sim<'a> {
     /// reused across substitute decisions instead of cloning
     /// `recv_bytes` each time.
     load_scratch: Vec<u64>,
+    /// Per-node best (minimum) observed per-byte wire time over
+    /// delivered attempts, attributed to both endpoints. The *minimum*
+    /// is what makes the signal robust: a transfer's wire time reflects
+    /// the slower endpoint, so a fast node partnered with a straggler
+    /// still shows its true speed on its other transfers — only a node
+    /// whose every transfer is slow looks slow. `f64::INFINITY` until
+    /// the node's first delivery.
+    best_per_byte: Vec<f64>,
+    /// Virtual time of the next re-plan barrier.
+    next_barrier: f64,
+    /// Re-plan actions taken so far (bounded by `replan.max_replans`).
+    replans_done: u32,
 }
 
 impl<'a> Sim<'a> {
@@ -289,6 +408,8 @@ impl<'a> Sim<'a> {
         network: &'a NetworkModel,
         faults: &'a FaultPlan,
         recovery: &'a RecoveryOptions,
+        replan: &'a ReplanPolicy,
+        ctx: &'a QueryContext,
         transfers: &[Transfer],
     ) -> Result<Self> {
         let mut report = ShuffleReport::empty(k);
@@ -334,6 +455,8 @@ impl<'a> Sim<'a> {
             network,
             faults,
             recovery,
+            replan,
+            ctx,
             rng: faults.rng(),
             pending,
             landed,
@@ -348,7 +471,20 @@ impl<'a> Sim<'a> {
             now: 0.0,
             report,
             load_scratch: Vec::with_capacity(k),
+            best_per_byte: vec![f64::INFINITY; k],
+            next_barrier: replan.check_interval,
+            replans_done: 0,
         })
+    }
+
+    /// Advance virtual time to `t`, mirroring the delta onto the query
+    /// context's virtual clock (a no-op under the real clock) so
+    /// deadlines measured in simulated seconds fire deterministically.
+    fn advance_now(&mut self, t: f64) {
+        if t > self.now {
+            self.ctx.advance_virtual(t - self.now);
+            self.now = t;
+        }
     }
 
     /// Expected wire time of one attempt, including straggler slowdown.
@@ -389,7 +525,7 @@ impl<'a> Sim<'a> {
             self.now + eff
         };
         let id = self.inflight.len();
-        self.inflight.push(Some((p, timed_out)));
+        self.inflight.push(Some((p, timed_out, self.now)));
         self.cancelled.push(false);
         self.events.push(Completion { finish, sender, id });
     }
@@ -415,10 +551,11 @@ impl<'a> Sim<'a> {
         Ok(Pend { src: alt, ..p })
     }
 
-    /// The coordinator's substitute for a dead destination: the live
-    /// node with the least receive load (landed + outstanding), lowest
-    /// id on ties.
-    fn pick_substitute(&mut self) -> Result<usize> {
+    /// The coordinator's substitute for a dead (or drained) destination:
+    /// the live node with the least receive load (landed + outstanding),
+    /// lowest id on ties; `exclude` bars the straggler being drained
+    /// from substituting for itself.
+    fn pick_substitute(&mut self, exclude: Option<usize>) -> Result<usize> {
         let load = &mut self.load_scratch;
         load.clear();
         load.extend_from_slice(&self.report.recv_bytes);
@@ -428,16 +565,43 @@ impl<'a> Sim<'a> {
             }
         }
         for (id, slot) in self.inflight.iter().enumerate() {
-            if let Some((p, _)) = slot {
+            if let Some((p, _, _)) = slot {
                 if !self.cancelled[id] {
                     load[p.dst] += p.bytes;
                 }
             }
         }
         (0..self.k)
-            .filter(|&j| !self.dead[j])
+            .filter(|&j| !self.dead[j] && Some(j) != exclude)
             .min_by_key(|&j| (load[j], j))
-            .ok_or_else(|| ClusterError::Unrecoverable("every node in the cluster has died".into()))
+            .ok_or_else(|| {
+                ClusterError::Unrecoverable("no live node can substitute for the lost one".into())
+            })
+    }
+
+    /// Abort every in-flight transfer touching `node`, freeing its
+    /// locks and counting the wasted attempts as recovery traffic.
+    /// Shared by crash recovery and straggler draining.
+    fn abort_inflight_touching(&mut self, node: usize) -> Vec<Pend> {
+        let mut orphans: Vec<Pend> = Vec::new();
+        for id in 0..self.inflight.len() {
+            if self.cancelled[id] {
+                continue;
+            }
+            let Some((p, _, _)) = self.inflight[id] else {
+                continue;
+            };
+            if p.src != node && p.dst != node {
+                continue;
+            }
+            self.cancelled[id] = true;
+            self.inflight[id] = None;
+            self.locked[p.dst] = false;
+            self.busy[p.src] = false;
+            self.report.recovery_bytes += p.bytes;
+            orphans.push(p);
+        }
+        orphans
     }
 
     /// Kill node `d` at the current virtual time and re-plan: re-source
@@ -452,24 +616,7 @@ impl<'a> Sim<'a> {
         self.report.failed_nodes.push(d);
 
         // Abort in-flight transfers touching the dead node.
-        let mut orphans: Vec<Pend> = Vec::new();
-        for id in 0..self.inflight.len() {
-            if self.cancelled[id] {
-                continue;
-            }
-            let Some((p, _)) = self.inflight[id] else {
-                continue;
-            };
-            if p.src != d && p.dst != d {
-                continue;
-            }
-            self.cancelled[id] = true;
-            self.inflight[id] = None;
-            self.locked[p.dst] = false;
-            self.busy[p.src] = false;
-            self.report.recovery_bytes += p.bytes;
-            orphans.push(p);
-        }
+        let orphans = self.abort_inflight_touching(d);
 
         // Re-source the dead node's unsent slices from replicas. They
         // join the front of the replica's queue (recovery first).
@@ -487,7 +634,7 @@ impl<'a> Sim<'a> {
 
         // The coordinator re-plans the remaining schedule: everything
         // destined for the dead node goes to a substitute instead.
-        let sub = self.pick_substitute()?;
+        let sub = self.pick_substitute(None)?;
         self.report.reassigned.push((d, sub));
         for q in &mut self.pending {
             for p in q.iter_mut() {
@@ -539,12 +686,214 @@ impl<'a> Sim<'a> {
         Ok(())
     }
 
+    /// True when `node` still has traffic a re-plan could move: unsent
+    /// slices of its own, pending or in-flight transfers headed to it,
+    /// or landed inputs a re-homed join unit would need forwarded.
+    fn node_has_remaining(&self, node: usize) -> bool {
+        if !self.pending[node].is_empty() {
+            return true;
+        }
+        if self.pending.iter().any(|q| q.iter().any(|p| p.dst == node)) {
+            return true;
+        }
+        self.inflight.iter().enumerate().any(|(id, slot)| {
+            !self.cancelled[id] && matches!(slot, Some((p, _, _)) if p.src == node || p.dst == node)
+        })
+    }
+
+    /// One deterministic re-plan barrier: estimate per-node per-byte
+    /// wire time from the simulation's own accounting and drain the
+    /// worst straggler onto a substitute. Pure function of simulation
+    /// state — no wall clocks, no RNG — so every run replays it
+    /// bit-identically.
+    fn maybe_replan(&mut self) -> Result<()> {
+        if self.replans_done >= self.replan.max_replans {
+            return Ok(());
+        }
+        // Measured per-byte time per live node: the best delivered
+        // sample where one exists, else an elapsed-time lower bound
+        // from the node's in-flight attempts (a badly stalled node may
+        // have delivered nothing by the first barrier — its in-flight
+        // elapsed time is evidence all the same).
+        let mut per_byte: Vec<Option<f64>> = vec![None; self.k];
+        for (j, slot_out) in per_byte.iter_mut().enumerate() {
+            if self.dead[j] {
+                continue;
+            }
+            if self.best_per_byte[j].is_finite() {
+                *slot_out = Some(self.best_per_byte[j]);
+                continue;
+            }
+            let mut bound: Option<f64> = None;
+            for (id, slot) in self.inflight.iter().enumerate() {
+                if self.cancelled[id] {
+                    continue;
+                }
+                let Some((p, _, started)) = slot else {
+                    continue;
+                };
+                if (p.src == j || p.dst == j) && p.bytes > 0 {
+                    let lower = (self.now - started) / p.bytes as f64;
+                    bound = Some(bound.map_or(lower, |b: f64| b.max(lower)));
+                }
+            }
+            *slot_out = bound.filter(|&b| b > 0.0);
+        }
+        let mut known: Vec<f64> = per_byte.iter().flatten().copied().collect();
+        if known.len() < 2 {
+            return Ok(());
+        }
+        known.sort_by(f64::total_cmp);
+        // Lower-middle median: with half the cluster entangled with a
+        // straggler (its counterparties inherit its wire times), the
+        // upper middle would drift toward the straggler's rate and mask
+        // it.
+        let median = known[(known.len() - 1) / 2];
+        if median <= 0.0 {
+            return Ok(());
+        }
+        let mut worst: Option<(usize, f64)> = None;
+        for (j, rate) in per_byte.iter().enumerate() {
+            let Some(rate) = rate else { continue };
+            if *rate > self.replan.slowdown_factor * median && self.node_has_remaining(j) {
+                let factor = *rate / median;
+                if worst.is_none_or(|(_, w)| factor > w) {
+                    worst = Some((j, factor));
+                }
+            }
+        }
+        let Some((slow, factor)) = worst else {
+            return Ok(());
+        };
+        self.replan_node(slow, factor)
+    }
+
+    /// Drain the flagged straggler: abort its in-flight transfers,
+    /// re-source its unsent slices onto faster live replicas where one
+    /// exists, re-target its remaining inbound traffic to a substitute,
+    /// and forward its landed inputs there — the crash-recovery drain,
+    /// minus the death. The `(straggler, substitute)` pair lands in
+    /// `reassigned` so the executor re-homes join units exactly as it
+    /// would after a crash.
+    fn replan_node(&mut self, slow: usize, factor: f64) -> Result<()> {
+        let sub = self.pick_substitute(Some(slow))?;
+        let mut moved_bytes: u64 = 0;
+        let mut moved_slices: u64 = 0;
+
+        let orphans = self.abort_inflight_touching(slow);
+
+        // Outbound: the straggler is alive, so its slices only move when
+        // a strictly faster live replica can serve them.
+        let unsent: Vec<Pend> = std::mem::take(&mut self.pending[slow]);
+        let mut keep: Vec<Pend> = Vec::with_capacity(unsent.len());
+        for p in unsent {
+            match self.recovery.live_alternate(p.orig_src, &self.dead) {
+                Some(alt)
+                    if alt != slow && self.faults.slowdown(alt) < self.faults.slowdown(p.src) =>
+                {
+                    self.report.reroutes += 1;
+                    moved_bytes += p.bytes;
+                    moved_slices += 1;
+                    self.pending[alt].push(Pend { src: alt, ..p });
+                }
+                _ => keep.push(p),
+            }
+        }
+        self.pending[slow] = keep;
+
+        // Inbound: everything still headed to the straggler goes to the
+        // substitute instead.
+        for q in &mut self.pending {
+            for p in q.iter_mut() {
+                if p.dst == slow {
+                    p.dst = sub;
+                    self.report.reroutes += 1;
+                    moved_bytes += p.bytes;
+                    moved_slices += 1;
+                }
+            }
+        }
+        let mut to_sub: Vec<Pend> = Vec::new();
+        for p in orphans {
+            if p.dst == slow {
+                to_sub.push(Pend { dst: sub, ..p });
+            } else {
+                // Aborted outbound attempt: prefer a faster live
+                // replica, else the straggler re-sends it itself.
+                let mut p = p;
+                if let Some(alt) = self.recovery.live_alternate(p.orig_src, &self.dead) {
+                    if alt != slow && self.faults.slowdown(alt) < self.faults.slowdown(p.src) {
+                        self.report.reroutes += 1;
+                        moved_bytes += p.bytes;
+                        moved_slices += 1;
+                        p.src = alt;
+                    }
+                }
+                self.pending[p.src].push(p);
+            }
+        }
+        // Landed inputs (and the straggler's local data) are forwarded
+        // to the substitute so the re-homed join units find their inputs
+        // there; replicas of the original source serve the copy when
+        // they are faster than the straggler.
+        let lost: Vec<Pend> = std::mem::take(&mut self.landed[slow]);
+        for p in lost {
+            to_sub.push(Pend {
+                dst: sub,
+                attempts: 0,
+                ..p
+            });
+        }
+        for p in to_sub.into_iter() {
+            let mut p = p;
+            if self.dead[p.src] {
+                // An earlier casualty held this copy; a live replica
+                // must serve it (exactly the crash-recovery rule).
+                p = self.resource(p)?;
+            } else if let Some(alt) = self.recovery.live_alternate(p.orig_src, &self.dead) {
+                if self.faults.slowdown(alt) < self.faults.slowdown(p.src) {
+                    p.src = alt;
+                }
+            }
+            self.report.reroutes += 1;
+            moved_bytes += p.bytes;
+            moved_slices += 1;
+            if p.src == p.dst {
+                // The substitute already holds a copy: an instant local
+                // hand-off, no wire cost.
+                self.report.local_bytes += p.bytes;
+                self.report.makespan = self.report.makespan.max(self.now);
+                self.landed[p.dst].push(p);
+            } else {
+                self.report.recovery_bytes += p.bytes;
+                self.report.network_bytes += p.bytes;
+                self.report.network_transfers += 1;
+                self.pending[p.src].push(p);
+            }
+        }
+
+        self.replans_done += 1;
+        self.report.replans += 1;
+        self.report.replanned_bytes += moved_bytes;
+        self.report.reassigned.push((slow, sub));
+        self.report.replan_events.push(ReplanEvent {
+            at_seconds: self.now,
+            node: slow,
+            substitute: sub,
+            moved_bytes,
+            moved_slices,
+            cause: format!("straggler x{factor:.2}"),
+        });
+        self.dispatch_all();
+        Ok(())
+    }
+
     /// Handle one completion event: a successful landing, a detected
     /// drop/corruption (retransmit with backoff, locks held), or a
     /// timeout (abort, maybe re-source from a faster replica).
     fn process_completion(&mut self, done: Completion) -> Result<()> {
-        self.now = done.finish;
-        let (mut p, timed_out) = self.inflight[done.id]
+        self.advance_now(done.finish);
+        let (mut p, timed_out, started) = self.inflight[done.id]
             .take()
             .expect("completion for vacated transfer slot");
 
@@ -597,7 +946,7 @@ impl<'a> Sim<'a> {
             // backoff; retries run to completion (no timeout re-check).
             let finish = self.now + self.faults.backoff(p.attempts) + self.effective_time(&p);
             let id = self.inflight.len();
-            self.inflight.push(Some((p, false)));
+            self.inflight.push(Some((p, false, self.now)));
             self.cancelled.push(false);
             self.events.push(Completion {
                 finish,
@@ -612,6 +961,13 @@ impl<'a> Sim<'a> {
         self.busy[p.src] = false;
         self.report.recv_bytes[p.dst] += p.bytes;
         self.report.makespan = self.report.makespan.max(self.now);
+        if self.replan.is_enabled() && p.bytes > 0 {
+            // Progress-monitor accounting: this attempt's per-byte wire
+            // time is a speed sample for both endpoints.
+            let rate = (self.now - started) / p.bytes as f64;
+            self.best_per_byte[p.src] = self.best_per_byte[p.src].min(rate);
+            self.best_per_byte[p.dst] = self.best_per_byte[p.dst].min(rate);
+        }
         self.landed[p.dst].push(p);
         // The freed lock (and freed sender) may unblock any idle sender;
         // poll them in node order, completing sender first for fairness.
@@ -623,6 +979,10 @@ impl<'a> Sim<'a> {
     fn run(&mut self) -> Result<()> {
         self.dispatch_all();
         loop {
+            // The per-transfer lifecycle checkpoint: cancellation or
+            // deadline expiry unwinds here, between events, with no
+            // locks held and nothing half-applied.
+            self.ctx.check().map_err(ClusterError::Interrupted)?;
             // Clear tombstoned events off the top of the heap.
             while let Some(top) = self.events.peek() {
                 if self.cancelled[top.id] {
@@ -633,6 +993,22 @@ impl<'a> Sim<'a> {
             }
             let next_finish = self.events.peek().map(|c| c.finish);
             let crash_due = self.next_crash < self.crashes.len();
+            // A re-plan barrier fires strictly before the next
+            // completion and no later than the next crash; barriers
+            // only matter while transfers are still in flight and the
+            // re-plan budget lasts.
+            if self.replan.is_enabled() && self.replans_done < self.replan.max_replans {
+                if let Some(f) = next_finish {
+                    let b = self.next_barrier;
+                    let beats_crash = !crash_due || b < self.crashes[self.next_crash].at_seconds;
+                    if b < f && beats_crash {
+                        self.advance_now(b);
+                        self.next_barrier += self.replan.check_interval;
+                        self.maybe_replan()?;
+                        continue;
+                    }
+                }
+            }
             match (next_finish, crash_due) {
                 (None, false) => break,
                 // A crash fires before the next completion (ties break
@@ -640,7 +1016,7 @@ impl<'a> Sim<'a> {
                 (Some(f), true) if self.crashes[self.next_crash].at_seconds <= f => {
                     let c = self.crashes[self.next_crash];
                     self.next_crash += 1;
-                    self.now = self.now.max(c.at_seconds);
+                    self.advance_now(c.at_seconds);
                     self.process_crash(c.node)?;
                 }
                 (Some(_), _) => {
@@ -653,7 +1029,7 @@ impl<'a> Sim<'a> {
                     // dead node's data) and marks the run degraded.
                     let c = self.crashes[self.next_crash];
                     self.next_crash += 1;
-                    self.now = self.now.max(c.at_seconds);
+                    self.advance_now(c.at_seconds);
                     self.process_crash(c.node)?;
                 }
             }
@@ -1413,5 +1789,174 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    use sj_telemetry::{CancelHandle, ClockSource, Interrupt, VirtualClock};
+
+    #[test]
+    fn disabled_replan_and_unbounded_ctx_are_bit_identical_to_legacy() {
+        let transfers = spread_transfers(4, 137);
+        let plan = FaultPlan::seeded(9).with_drop_rate(0.1).with_crash(2, 50.0);
+        let recovery = RecoveryOptions::chained(4, 3);
+        let legacy = simulate_shuffle_with_faults(4, &net(), &transfers, &plan, &recovery).unwrap();
+        let guarded = simulate_shuffle_guarded(
+            4,
+            &net(),
+            &transfers,
+            &plan,
+            &recovery,
+            &ReplanPolicy::disabled(),
+            &QueryContext::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(legacy, guarded);
+        assert_eq!(guarded.replans, 0);
+        assert!(guarded.replan_events.is_empty());
+    }
+
+    #[test]
+    fn replan_drains_straggler_onto_substitute_and_cuts_makespan() {
+        // Node 0's link is 10× slow, everyone sends it a slice, and its
+        // chunks are mirrored on node 1. Without re-planning the whole
+        // inbound load pays the 10× factor; with barriers every 50s the
+        // monitor flags node 0 and re-routes its remaining traffic.
+        let k = 4;
+        let mut transfers = spread_transfers(k, 100);
+        transfers.push(Transfer {
+            src: 0,
+            dst: 0,
+            bytes: 100,
+        });
+        let plan = FaultPlan::none().with_straggler(0, 10.0);
+        let recovery = RecoveryOptions::chained(k, 3);
+        let slow = simulate_shuffle_with_faults(k, &net(), &transfers, &plan, &recovery).unwrap();
+        let replanned = simulate_shuffle_guarded(
+            k,
+            &net(),
+            &transfers,
+            &plan,
+            &recovery,
+            &ReplanPolicy::enabled(2.0, 50.0, 2),
+            &QueryContext::unbounded(),
+        )
+        .unwrap();
+        assert!(replanned.replans >= 1, "monitor must flag the straggler");
+        assert_eq!(replanned.replan_events.len(), replanned.replans as usize);
+        let ev = &replanned.replan_events[0];
+        assert_eq!(ev.node, 0, "node 0 is the straggler");
+        assert_ne!(ev.substitute, 0);
+        assert!(ev.moved_bytes > 0);
+        assert!(ev.cause.starts_with("straggler"));
+        assert!(
+            replanned
+                .reassigned
+                .iter()
+                .any(|&(from, to)| from == 0 && to == ev.substitute),
+            "re-plan must ride the unit-reassignment path"
+        );
+        assert!(
+            replanned.makespan * 1.5 < slow.makespan,
+            "re-planning must cut the straggled makespan >= 1.5x: {} vs {}",
+            replanned.makespan,
+            slow.makespan
+        );
+        // Same seed, same policy: the decision replays bit-identically.
+        let again = simulate_shuffle_guarded(
+            k,
+            &net(),
+            &transfers,
+            &plan,
+            &recovery,
+            &ReplanPolicy::enabled(2.0, 50.0, 2),
+            &QueryContext::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(replanned, again);
+    }
+
+    #[test]
+    fn replan_without_straggler_changes_nothing() {
+        // Barriers fire but the monitor sees uniform rates: no action,
+        // and the report matches the legacy run bit-for-bit.
+        let transfers = spread_transfers(4, 137);
+        let legacy = simulate_shuffle(4, &net(), &transfers).unwrap();
+        let guarded = simulate_shuffle_guarded(
+            4,
+            &net(),
+            &transfers,
+            &FaultPlan::none(),
+            &RecoveryOptions::chained(4, 2),
+            &ReplanPolicy::enabled(2.0, 40.0, 3),
+            &QueryContext::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(legacy, guarded);
+    }
+
+    #[test]
+    fn replan_budget_is_bounded() {
+        let mut plan = FaultPlan::none();
+        for node in 0..2 {
+            plan = plan.with_straggler(node, 10.0);
+        }
+        let transfers = spread_transfers(4, 100);
+        let r = simulate_shuffle_guarded(
+            4,
+            &net(),
+            &transfers,
+            &plan,
+            &RecoveryOptions::chained(4, 3),
+            &ReplanPolicy::enabled(1.5, 20.0, 1),
+            &QueryContext::unbounded(),
+        )
+        .unwrap();
+        assert!(r.replans <= 1, "max_replans must bound the actions");
+    }
+
+    #[test]
+    fn cancellation_interrupts_mid_shuffle() {
+        let transfers = spread_transfers(4, 1_000);
+        let ctx = QueryContext::unbounded();
+        ctx.cancel_handle().cancel_after(3);
+        let err = simulate_shuffle_guarded(
+            4,
+            &net(),
+            &transfers,
+            &FaultPlan::none(),
+            &RecoveryOptions::none(4),
+            &ReplanPolicy::disabled(),
+            &ctx,
+        )
+        .unwrap_err();
+        assert_eq!(err, ClusterError::Interrupted(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn virtual_deadline_interrupts_at_deterministic_sim_instant() {
+        // 12 spread transfers of 1000 bytes: the clean makespan is
+        // thousands of seconds, so a 1500s virtual deadline must fire
+        // mid-shuffle — at the same event regardless of anything
+        // outside the single-threaded simulation.
+        let transfers = spread_transfers(4, 1_000);
+        let run = || {
+            let clock = VirtualClock::new();
+            let ctx = QueryContext::new(
+                CancelHandle::new(),
+                Some(1_500.0),
+                ClockSource::Virtual(clock),
+            );
+            simulate_shuffle_guarded(
+                4,
+                &net(),
+                &transfers,
+                &FaultPlan::none(),
+                &RecoveryOptions::none(4),
+                &ReplanPolicy::disabled(),
+                &ctx,
+            )
+        };
+        let err = run().unwrap_err();
+        assert_eq!(err, ClusterError::Interrupted(Interrupt::DeadlineExceeded));
+        assert_eq!(run().unwrap_err(), err);
     }
 }

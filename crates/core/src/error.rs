@@ -25,6 +25,12 @@ pub enum JoinError {
     Config(String),
     /// Internal invariant violation.
     Internal(String),
+    /// The query was cancelled via its [`sj_telemetry::CancelHandle`]
+    /// before it finished.
+    Cancelled,
+    /// The query's deadline elapsed before it finished (and the
+    /// configured policy did not allow it to run to completion).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for JoinError {
@@ -39,6 +45,8 @@ impl fmt::Display for JoinError {
             JoinError::Planning(msg) => write!(f, "planning error: {msg}"),
             JoinError::Config(msg) => write!(f, "invalid execution config: {msg}"),
             JoinError::Internal(msg) => write!(f, "internal error: {msg}"),
+            JoinError::Cancelled => write!(f, "query cancelled"),
+            JoinError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -60,7 +68,21 @@ impl From<sj_array::ArrayError> for JoinError {
 
 impl From<sj_cluster::ClusterError> for JoinError {
     fn from(e: sj_cluster::ClusterError) -> Self {
-        JoinError::Cluster(e)
+        // Lifecycle interruptions surface as their own typed variants so
+        // callers never have to dig through the cluster layer for them.
+        match e {
+            sj_cluster::ClusterError::Interrupted(cause) => JoinError::from(cause),
+            other => JoinError::Cluster(other),
+        }
+    }
+}
+
+impl From<sj_telemetry::Interrupt> for JoinError {
+    fn from(cause: sj_telemetry::Interrupt) -> Self {
+        match cause {
+            sj_telemetry::Interrupt::Cancelled => JoinError::Cancelled,
+            sj_telemetry::Interrupt::DeadlineExceeded => JoinError::DeadlineExceeded,
+        }
     }
 }
 

@@ -25,16 +25,19 @@ use sj_array::keys::{KernelConfig, SortKernel};
 use sj_array::ops::kernels;
 use sj_array::{Array, ArraySchema, CellBatch, Histogram, Value};
 use sj_cluster::{
-    simulate_shuffle_with_faults_traced, Cluster, FaultPlan, RecoveryOptions, ShuffleReport,
-    Transfer,
+    simulate_shuffle_guarded_traced, Cluster, FaultPlan, RecoveryOptions, ReplanPolicy,
+    ShuffleReport, Transfer,
 };
-use sj_telemetry::{encode_f64s, SpanGuard, Telemetry, TelemetryConfig, Tracer};
+use sj_telemetry::{
+    encode_f64s, CancelHandle, ClockSource, QueryContext, SpanGuard, Telemetry, TelemetryConfig,
+    Tracer,
+};
 
 use crate::algorithms::{run_join_with, Emitter, JoinAlgo, JoinKernelInfo};
 use crate::error::{JoinError, Result};
 use crate::join_schema::{infer_join_schema, ColumnStats};
 use crate::logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats, OutOp};
-use crate::parallel::{par_map, par_map_weighted, resolve_threads};
+use crate::parallel::{par_map, par_map_until, par_map_weighted_until, resolve_threads};
 use crate::physical::{plan_physical_resilient, CostParams, PlanTier, PlannerKind, SliceStats};
 use crate::predicate::{JoinPredicate, JoinSide};
 use crate::unit::{map_slices, SliceSet};
@@ -85,6 +88,69 @@ impl JoinQuery {
     }
 }
 
+/// What the executor does when the query deadline expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnDeadline {
+    /// Unwind with [`JoinError::DeadlineExceeded`] at the next lifecycle
+    /// checkpoint (batch boundary, shuffle event, or worker-pool item
+    /// boundary). The default.
+    #[default]
+    Abort,
+    /// Enforce the deadline through the planning phases, but once data
+    /// alignment begins commit to finishing the work in flight: the
+    /// shuffle, cell comparison, and output run under cancellation-only
+    /// enforcement, so the query still returns a full (bit-identical)
+    /// result — flagged `deadline_degraded` in the `lifecycle` span
+    /// when the deadline lapsed along the way. A deadline that expires
+    /// before alignment starts still aborts: nothing has moved yet, so
+    /// there is nothing worth finishing.
+    FinishCurrentUnit,
+}
+
+impl OnDeadline {
+    /// Stable lowercase token recorded in the `lifecycle` span.
+    pub fn name(self) -> &'static str {
+        match self {
+            OnDeadline::Abort => "abort",
+            OnDeadline::FinishCurrentUnit => "finish_current_unit",
+        }
+    }
+}
+
+/// Query-lifecycle guardrails: deadline, cooperative cancellation, and
+/// mid-shuffle straggler re-planning.
+///
+/// The default is fully unbounded: no deadline, a fresh (untripped)
+/// cancel handle, the real clock, and re-planning disabled — the exact
+/// legacy execution path.
+#[derive(Debug, Clone, Default)]
+pub struct LifecycleConfig {
+    /// Query deadline in seconds (measured on `clock`); `None` = no
+    /// deadline.
+    pub deadline: Option<f64>,
+    /// Degradation policy when the deadline expires.
+    pub on_deadline: OnDeadline,
+    /// Cooperative cancellation handle. Clone it before starting the
+    /// query and call [`CancelHandle::cancel`] from any thread; the
+    /// executor unwinds with [`JoinError::Cancelled`] at the next
+    /// checkpoint.
+    pub cancel: CancelHandle,
+    /// Clock the deadline is measured on. `Real` for wall-clock
+    /// production deadlines; `Virtual` couples the deadline to the
+    /// shuffle simulation's event time, which makes deadline tests
+    /// deterministic at every thread count.
+    pub clock: ClockSource,
+    /// Mid-shuffle straggler re-planning policy (disabled by default).
+    pub replan: ReplanPolicy,
+}
+
+impl LifecycleConfig {
+    /// Build the per-query context threaded through the executor.
+    pub fn context(&self) -> QueryContext {
+        QueryContext::new(self.cancel.clone(), self.deadline, self.clock.clone())
+    }
+}
+
 /// Execution knobs.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -115,6 +181,10 @@ pub struct ExecConfig {
     /// (`threads / n_units`). Every setting is bit-identical in output;
     /// the knobs only move the crossover points.
     pub kernels: KernelConfig,
+    /// Query-lifecycle guardrails: deadline, cancellation handle, clock
+    /// source, and mid-shuffle re-planning. The default is unbounded and
+    /// takes the exact legacy execution path.
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for ExecConfig {
@@ -128,6 +198,7 @@ impl Default for ExecConfig {
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::default(),
             kernels: KernelConfig::default(),
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -197,6 +268,37 @@ impl ExecConfigBuilder {
         self
     }
 
+    /// Set the query deadline in seconds (measured on the configured
+    /// clock source).
+    pub fn deadline(mut self, seconds: f64) -> Self {
+        self.config.lifecycle.deadline = Some(seconds);
+        self
+    }
+
+    /// Choose what happens when the deadline expires.
+    pub fn on_deadline(mut self, policy: OnDeadline) -> Self {
+        self.config.lifecycle.on_deadline = policy;
+        self
+    }
+
+    /// Attach a cancellation handle (clone it to cancel from elsewhere).
+    pub fn cancel(mut self, handle: CancelHandle) -> Self {
+        self.config.lifecycle.cancel = handle;
+        self
+    }
+
+    /// Choose the clock the deadline is measured on.
+    pub fn clock(mut self, clock: ClockSource) -> Self {
+        self.config.lifecycle.clock = clock;
+        self
+    }
+
+    /// Set the mid-shuffle straggler re-planning policy.
+    pub fn replan(mut self, policy: ReplanPolicy) -> Self {
+        self.config.lifecycle.replan = policy;
+        self
+    }
+
     /// Validate the combination and produce the config.
     ///
     /// Rejections are [`JoinError::Config`] and name the offending knob.
@@ -227,6 +329,34 @@ impl ExecConfigBuilder {
             return Err(JoinError::Config(
                 "transfer_timeout must be positive".into(),
             ));
+        }
+        let lc = &c.lifecycle;
+        if matches!(lc.deadline, Some(d) if d <= 0.0 || d.is_nan()) {
+            return Err(JoinError::Config("deadline must be positive".into()));
+        }
+        if let (Some(d), Some(t)) = (lc.deadline, f.transfer_timeout) {
+            if d < t {
+                return Err(JoinError::Config(format!(
+                    "deadline {d} is shorter than faults.transfer_timeout {t}: \
+                     every retried transfer would outlive the query"
+                )));
+            }
+        }
+        if lc.replan.max_replans > 0 {
+            let r = &lc.replan;
+            if r.slowdown_factor <= 1.0 || r.slowdown_factor.is_nan() {
+                return Err(JoinError::Config(format!(
+                    "replan slowdown_factor {} must exceed 1.0: at or below parity \
+                     every node is a straggler",
+                    r.slowdown_factor
+                )));
+            }
+            if r.check_interval <= 0.0 || r.check_interval.is_nan() {
+                return Err(JoinError::Config(format!(
+                    "replan check_interval {} must be positive when max_replans > 0",
+                    r.check_interval
+                )));
+            }
         }
         let lossy = !f.crashes.is_empty() || f.drop_rate > 0.0 || f.corrupt_rate > 0.0;
         if lossy && f.max_retries == 0 {
@@ -376,6 +506,36 @@ pub fn execute_join_traced(
     config: &ExecConfig,
     parent: &SpanGuard,
 ) -> Result<Array> {
+    execute_join_guarded(cluster, query, config, parent, &config.lifecycle.context())
+}
+
+/// Classify a worker-pool stop into the typed interrupt that caused it.
+/// Cancellation wins over the deadline, matching [`QueryContext::check`].
+fn interrupt_error(ctx: &QueryContext) -> JoinError {
+    if ctx.deadline_exceeded() && !ctx.cancel_handle().is_cancelled() {
+        JoinError::DeadlineExceeded
+    } else {
+        JoinError::Cancelled
+    }
+}
+
+/// [`execute_join_traced`] under an explicit [`QueryContext`] — the
+/// pipeline executor builds one context per query and threads it through
+/// every join so a single cancel (or deadline) covers the whole plan.
+///
+/// Lifecycle checkpoints: between phases on the coordinator thread, per
+/// simulated event inside the shuffle, and between items in the worker
+/// pool (slice mapping and cell comparison). Workers never stop
+/// mid-item, so an unwind leaves no torn outputs, no poisoned locks, and
+/// — the pool being scoped — no leaked threads.
+pub fn execute_join_guarded(
+    cluster: &Cluster,
+    query: &JoinQuery,
+    config: &ExecConfig,
+    parent: &SpanGuard,
+    ctx: &QueryContext,
+) -> Result<Array> {
+    ctx.check()?;
     let span = parent.child("join");
     let k = cluster.node_count();
     let threads = resolve_threads(config.threads);
@@ -428,25 +588,31 @@ pub fn execute_join_traced(
     // ---- Slice mapping (per node, both sides). ----------------------------
     // Every simulated node's slice function is independent, so nodes map
     // on real worker threads; results are collected in node-id order.
+    ctx.check()?;
     let unit_spec = logical.unit_spec.clone();
     let n_units = unit_spec.n_units();
     let sm = span.child("slice_map");
     let t_sm = Instant::now();
-    let (mapped, sm_pool) = par_map(threads, k, |node_id| -> Result<(SliceSet, SliceSet, f64)> {
-        let node = &cluster.nodes()[node_id];
-        let t = Instant::now();
-        let ls = map_slices(
-            node.chunks_of(&query.left).map(|(_, c)| c),
-            &js.left_layout,
-            &unit_spec,
-        )?;
-        let rs = map_slices(
-            node.chunks_of(&query.right).map(|(_, c)| c),
-            &js.right_layout,
-            &unit_spec,
-        )?;
-        Ok((ls, rs, t.elapsed().as_secs_f64()))
-    });
+    let (mapped, sm_pool) = par_map_until(
+        threads,
+        k,
+        |node_id| -> Result<(SliceSet, SliceSet, f64)> {
+            let node = &cluster.nodes()[node_id];
+            let t = Instant::now();
+            let ls = map_slices(
+                node.chunks_of(&query.left).map(|(_, c)| c),
+                &js.left_layout,
+                &unit_spec,
+            )?;
+            let rs = map_slices(
+                node.chunks_of(&query.right).map(|(_, c)| c),
+                &js.right_layout,
+                &unit_spec,
+            )?;
+            Ok((ls, rs, t.elapsed().as_secs_f64()))
+        },
+        &|| ctx.check().is_err(),
+    );
     sm.field("wall_seconds", t_sm.elapsed().as_secs_f64());
     if sm.enabled() {
         sm.field("busy_seconds", encode_f64s(&sm_pool.busy_seconds));
@@ -455,6 +621,9 @@ pub fn execute_join_traced(
     let mut left_slices: Vec<SliceSet> = Vec::with_capacity(k);
     let mut right_slices: Vec<SliceSet> = Vec::with_capacity(k);
     for (node, result) in mapped.into_iter().enumerate() {
+        let Some(result) = result else {
+            return Err(interrupt_error(ctx));
+        };
         let (ls, rs, secs) = result?;
         slice_map_seconds = slice_map_seconds.max(secs);
         if sm.enabled() {
@@ -478,6 +647,7 @@ pub fn execute_join_traced(
     drop(sm);
 
     // ---- Physical planning. -------------------------------------------------
+    ctx.check()?;
     let larger_side = if n_left >= n_right {
         JoinSide::Left
     } else {
@@ -534,28 +704,51 @@ pub fn execute_join_traced(
     // The fault-free path routes through the same traced simulation with
     // an empty plan and no-op recovery — that is exactly what the old
     // `simulate_shuffle` delegated to, so reports stay bit-identical.
+    // The guardrails ride along in both branches: the simulator checks
+    // the context per event (advancing the virtual clock with simulated
+    // time) and runs the straggler re-planning barriers when the policy
+    // is enabled; the default disabled policy is the exact legacy
+    // schedule. Alignment is the `FinishCurrentUnit` commit point: under
+    // that policy the shuffle (and everything after it) runs on a
+    // deadline-stripped view of the context — same cancel flag, same
+    // clock — so expiry degrades the run instead of aborting it.
+    let enforce_deadline = config.lifecycle.on_deadline == OnDeadline::Abort;
+    let committed_ctx = if enforce_deadline {
+        ctx.clone()
+    } else {
+        ctx.without_deadline()
+    };
+    let replan = &config.lifecycle.replan;
     let shuffle = if config.faults.is_none() {
-        simulate_shuffle_with_faults_traced(
+        simulate_shuffle_guarded_traced(
             k,
             &cluster.network,
             &transfers,
             &FaultPlan::none(),
             &RecoveryOptions::none(k),
+            replan,
+            &committed_ctx,
             &sh,
         )?
     } else {
-        simulate_shuffle_with_faults_traced(
+        simulate_shuffle_guarded_traced(
             k,
             &cluster.network,
             &transfers,
             &config.faults,
             &cluster.recovery_options(),
+            replan,
+            &committed_ctx,
             &sh,
         )?
     };
     drop(sh);
 
     // ---- Cell comparison: assemble units per node and run the join. --------
+    // Past the alignment commit point `committed_ctx` carries the whole
+    // policy: under `Abort` it still enforces the deadline, under
+    // `FinishCurrentUnit` it is deadline-free and only honours cancel.
+    committed_ctx.check()?;
     let ex = span.child("execute");
     // When the shuffle lost nodes, their join units were re-homed onto
     // substitutes; apply the coordinator's reassignments (in crash
@@ -605,7 +798,7 @@ pub fn execute_join_traced(
     let mut unit_kernels = config.kernels.clone();
     unit_kernels.threads = (threads / n_units.max(1)).max(1);
     let t_cmp = Instant::now();
-    let (unit_results, cmp_pool) = par_map_weighted(
+    let (unit_results, cmp_pool) = par_map_weighted_until(
         threads,
         &unit_weights,
         |i| -> Result<(CellBatch, usize, f64, JoinKernelInfo)> {
@@ -639,6 +832,7 @@ pub fn execute_join_traced(
             }
             Ok((emitter.out, matches, t.elapsed().as_secs_f64(), info))
         },
+        &|| committed_ctx.check().is_err(),
     );
     ex.field("wall_seconds", t_cmp.elapsed().as_secs_f64());
     if ex.enabled() {
@@ -653,6 +847,9 @@ pub fn execute_join_traced(
     let mut unit_info: Vec<(usize, f64)> = Vec::with_capacity(n_units);
     let mut kernel_infos: Vec<JoinKernelInfo> = Vec::with_capacity(n_units);
     for (i, result) in unit_results.into_iter().enumerate() {
+        let Some(result) = result else {
+            return Err(interrupt_error(ctx));
+        };
         let (cells, unit_matches, secs, kinfo) = result?;
         per_node_comparison[effective_assignment[i]] += secs;
         matches += unit_matches;
@@ -702,6 +899,9 @@ pub fn execute_join_traced(
     // ---- Output organization. -----------------------------------------------
     // Tile (and order) the emitted cells into the destination schema via the
     // shared output-organization kernel (also the pipeline's sink).
+    // Past the comparison phase, `FinishCurrentUnit` commits to emitting
+    // the (complete) result even when the deadline has lapsed.
+    committed_ctx.check()?;
     let out_span = span.child("output");
     let t_out = Instant::now();
     let ordered = matches!(logical.out, OutOp::Sort | OutOp::Redim);
@@ -722,6 +922,24 @@ pub fn execute_join_traced(
     span.field("matches", matches);
     span.field("comparison_seconds", comparison_seconds);
     span.field("degraded", shuffle.degraded || cluster.degraded());
+    // Lifecycle record: always present on a run that produced output, so
+    // the span schema is stable. `deadline_degraded` can only appear
+    // under `FinishCurrentUnit` — the `Abort` policy unwinds instead.
+    {
+        let lc = span.child("lifecycle");
+        let deadline_hit = ctx.deadline_exceeded();
+        lc.field(
+            "state",
+            if deadline_hit {
+                "deadline_degraded"
+            } else {
+                "complete"
+            },
+        );
+        lc.field("on_deadline", config.lifecycle.on_deadline.name());
+        lc.field("deadline_exceeded", deadline_hit);
+        lc.field("replans", shuffle.replans);
+    }
     Ok(output)
 }
 

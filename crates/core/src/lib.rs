@@ -23,7 +23,9 @@ pub use join_schema::{infer_join_schema, ColumnStats, JoinSchema};
 pub use logical::{plan_join, plan_join_with_algo, LogicalPlan, LogicalStats};
 pub use predicate::{JoinPredicate, JoinSide, PairKind};
 pub use sj_array::parallel;
-pub use sj_array::parallel::{par_map, par_map_weighted, resolve_threads, PoolMetrics};
+pub use sj_array::parallel::{
+    par_map, par_map_until, par_map_weighted, par_map_weighted_until, resolve_threads, PoolMetrics,
+};
 pub use unit::JoinUnitSpec;
 
 pub mod physical;
@@ -33,9 +35,11 @@ pub mod exec;
 #[allow(deprecated)]
 pub use exec::execute_shuffle_join;
 pub use exec::{
-    execute_join, execute_join_traced, ExecConfig, ExecConfigBuilder, ExecProfile, JoinMetrics,
-    JoinQuery, JoinRun,
+    execute_join, execute_join_guarded, execute_join_traced, ExecConfig, ExecConfigBuilder,
+    ExecProfile, JoinMetrics, JoinQuery, JoinRun, LifecycleConfig, OnDeadline,
 };
+pub use sj_cluster::ReplanPolicy;
+pub use telemetry::{CancelHandle, ClockSource, Interrupt, QueryContext, VirtualClock};
 
 pub mod plan;
 pub use plan::{rewrite, PlanNode};

@@ -34,10 +34,10 @@ use sj_array::{
     Array, ArrayError, ArraySchema, AttributeDef, CellBatch, Chunk, DataType, DimensionDef,
 };
 use sj_cluster::Cluster;
-use sj_telemetry::{Counter, SpanGuard, Telemetry, Tracer};
+use sj_telemetry::{Counter, QueryContext, SpanGuard, Telemetry, Tracer};
 
 use crate::error::{JoinError, Result};
-use crate::exec::{execute_join_traced, ExecConfig, JoinMetrics, JoinQuery};
+use crate::exec::{execute_join_guarded, ExecConfig, JoinMetrics, JoinQuery};
 use crate::plan::PlanNode;
 use crate::predicate::JoinPredicate;
 use crate::views::MetricsView;
@@ -130,17 +130,23 @@ pub fn run_plan_traced(
     config: &ExecConfig,
     parent: &SpanGuard,
 ) -> Result<Array> {
+    // One lifecycle context for the whole plan: a single cancel (or
+    // deadline) covers every operator and every nested join.
+    let ctx = config.lifecycle.context();
     let span = parent.child("pipeline");
     let gather = GatherCounters {
         bytes: span.tracer().counter("pipeline.gathered_bytes"),
         cells: span.tracer().counter("pipeline.gathered_cells"),
     };
-    let mut root = build(plan, cluster, config, &gather, &span)?;
+    let mut root = build(plan, cluster, config, &gather, &span, &ctx)?;
 
     root.open()?;
     let mut acc = kernels::batch_for(root.schema());
     let mut batches = 0u64;
     while let Some(batch) = root.next_batch()? {
+        // Batch-boundary lifecycle checkpoint: the drain loop is the
+        // spine every streamed batch passes through.
+        ctx.check()?;
         batches += 1;
         kernels::extend_into(batch, &mut acc)?;
     }
@@ -177,16 +183,18 @@ fn build<'a>(
     config: &ExecConfig,
     gather: &GatherCounters,
     span: &SpanGuard,
+    ctx: &QueryContext,
 ) -> Result<BoxOperator<'a>> {
     Ok(match plan {
         PlanNode::Scan { array } => Box::new(ScanOp::build(cluster, array)?),
         PlanNode::Gather { input } => Box::new(GatherOp {
-            child: build(input, cluster, config, gather, span)?,
+            child: build(input, cluster, config, gather, span, ctx)?,
             bytes: gather.bytes.clone(),
             cells: gather.cells.clone(),
+            ctx: ctx.clone(),
         }),
         PlanNode::Filter { input, predicate } => {
-            let child = build(input, cluster, config, gather, span)?;
+            let child = build(input, cluster, config, gather, span, ctx)?;
             let kernel = FilterKernel::compile(child.schema(), predicate)?;
             let buf = kernels::batch_for(child.schema());
             Box::new(FilterOp { child, kernel, buf })
@@ -196,13 +204,13 @@ fn build<'a>(
             outputs,
             lenient,
         } => {
-            let child = build(input, cluster, config, gather, span)?;
+            let child = build(input, cluster, config, gather, span, ctx)?;
             let kernel = ApplyKernel::compile(child.schema(), outputs, *lenient)?;
             let buf = kernel.output_batch();
             Box::new(ApplyOp { child, kernel, buf })
         }
         PlanNode::Project { input, attrs } => {
-            let child = build(input, cluster, config, gather, span)?;
+            let child = build(input, cluster, config, gather, span, ctx)?;
             for name in attrs {
                 if !child.schema().has_attr(name) {
                     return Err(ArrayError::NoSuchAttribute(name.clone()).into());
@@ -217,16 +225,16 @@ fn build<'a>(
             Box::new(ApplyOp { child, kernel, buf })
         }
         PlanNode::Redim { input, target } => Box::new(RedimOp::build(
-            input, target, true, cluster, config, gather, span,
+            input, target, true, cluster, config, gather, span, ctx,
         )?),
         PlanNode::Rechunk { input, target } => Box::new(RedimOp::build(
-            input, target, false, cluster, config, gather, span,
+            input, target, false, cluster, config, gather, span, ctx,
         )?),
         PlanNode::Sort { input } => Box::new(SortOp {
-            child: build(input, cluster, config, gather, span)?,
+            child: build(input, cluster, config, gather, span, ctx)?,
         }),
         PlanNode::Between { input, bounds } => {
-            let child = build(input, cluster, config, gather, span)?;
+            let child = build(input, cluster, config, gather, span, ctx)?;
             let ndims = child.schema().ndims();
             if bounds.len() != 2 * ndims {
                 return Err(ArrayError::ArityMismatch {
@@ -240,11 +248,11 @@ fn build<'a>(
             Box::new(BetweenOp { child, kernel, buf })
         }
         PlanNode::Aggregate { input, func, attr } => {
-            let child = build(input, cluster, config, gather, span)?;
+            let child = build(input, cluster, config, gather, span, ctx)?;
             Box::new(AggregateOp::build(child, func, attr.as_deref())?)
         }
         PlanNode::Hash { input, buckets } => {
-            let child = build(input, cluster, config, gather, span)?;
+            let child = build(input, cluster, config, gather, span, ctx)?;
             Box::new(HashOp::build(child, *buckets)?)
         }
         PlanNode::Join {
@@ -253,10 +261,10 @@ fn build<'a>(
             pairs,
             output,
         } => Box::new(JoinOp::build(
-            cluster, config, span, left, right, pairs, output,
+            cluster, config, span, ctx, left, right, pairs, output,
         )?),
         PlanNode::Rename { input, name } => {
-            let child = build(input, cluster, config, gather, span)?;
+            let child = build(input, cluster, config, gather, span, ctx)?;
             let mut schema = child.schema().clone();
             schema.name = name.clone();
             Box::new(RenameOp { child, schema })
@@ -324,11 +332,15 @@ impl BatchOperator for ScanOp<'_> {
 }
 
 /// Pass-through marking the coordinator boundary; accounts the bytes and
-/// cells of every batch that crosses it with one atomic add each.
+/// cells of every batch that crosses it with one atomic add each, and —
+/// being the choke point every gathered batch crosses — polls the
+/// query's lifecycle context so cancellation lands within one batch even
+/// when downstream operators buffer.
 struct GatherOp<'a> {
     child: BoxOperator<'a>,
     bytes: Counter,
     cells: Counter,
+    ctx: QueryContext,
 }
 
 impl BatchOperator for GatherOp<'_> {
@@ -342,6 +354,7 @@ impl BatchOperator for GatherOp<'_> {
         self.child.open()
     }
     fn next_batch(&mut self) -> Result<Option<&CellBatch>> {
+        self.ctx.check()?;
         let batch = self.child.next_batch()?;
         if let Some(b) = batch {
             self.bytes.add(b.byte_size() as u64);
@@ -466,8 +479,9 @@ impl<'a> RedimOp<'a> {
         config: &ExecConfig,
         gather: &GatherCounters,
         span: &SpanGuard,
+        ctx: &QueryContext,
     ) -> Result<RedimOp<'a>> {
-        let child = build(input, cluster, config, gather, span)?;
+        let child = build(input, cluster, config, gather, span, ctx)?;
         let kernel = RedimKernel::compile(child.schema(), target)?;
         let buf = kernel.output_batch();
         Ok(RedimOp {
@@ -746,10 +760,12 @@ struct JoinOp {
 }
 
 impl JoinOp {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         cluster: &Cluster,
         config: &ExecConfig,
         span: &SpanGuard,
+        ctx: &QueryContext,
         left: &str,
         right: &str,
         pairs: &[(String, String)],
@@ -759,7 +775,7 @@ impl JoinOp {
         if let Some(out) = output {
             query = query.into_schema(out.clone());
         }
-        let array = execute_join_traced(cluster, &query, config, span)?;
+        let array = execute_join_guarded(cluster, &query, config, span, ctx)?;
         let ids: Vec<u64> = array.chunks().map(|(id, _)| id).collect();
         let ordered = array.all_sorted();
         Ok(JoinOp {

@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use sj_cluster::ShuffleReport;
+use sj_cluster::{ReplanEvent, ShuffleReport};
 use sj_ilp::SolveStatus;
 use sj_telemetry::{decode_f64s, SpanNode, Telemetry};
 
@@ -92,6 +92,19 @@ fn shuffle_report_from_span(sh: &SpanNode) -> ShuffleReport {
         .children_named("reassign")
         .filter_map(|r| Some((r.u64_field("from")? as usize, r.u64_field("to")? as usize)))
         .collect();
+    let replan_events: Vec<ReplanEvent> = sh
+        .children_named("replan")
+        .filter_map(|r| {
+            Some(ReplanEvent {
+                at_seconds: r.f64_field("at_seconds")?,
+                node: r.u64_field("from")? as usize,
+                substitute: r.u64_field("to")? as usize,
+                moved_bytes: r.u64_field("moved_bytes").unwrap_or(0),
+                moved_slices: r.u64_field("moved_slices").unwrap_or(0),
+                cause: r.str_field("cause").unwrap_or("").to_string(),
+            })
+        })
+        .collect();
     ShuffleReport {
         makespan: sh.f64_field("makespan_seconds").unwrap_or(0.0),
         network_bytes: sh.u64_field("network_bytes").unwrap_or(0),
@@ -108,6 +121,9 @@ fn shuffle_report_from_span(sh: &SpanNode) -> ShuffleReport {
         failed_nodes,
         reassigned,
         degraded: sh.bool_field("degraded").unwrap_or(false),
+        replans: sh.u64_field("replans").unwrap_or(0),
+        replanned_bytes: sh.u64_field("replanned_bytes").unwrap_or(0),
+        replan_events,
     }
 }
 

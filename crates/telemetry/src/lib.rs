@@ -29,6 +29,10 @@
 
 #![warn(missing_docs)]
 
+pub mod lifecycle;
+
+pub use lifecycle::{CancelHandle, ClockSource, Interrupt, QueryContext, VirtualClock};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};

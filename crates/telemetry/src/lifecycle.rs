@@ -1,0 +1,378 @@
+//! Query-lifecycle primitives: cooperative cancellation, deadlines, and
+//! the virtual clock that makes deadline tests deterministic.
+//!
+//! A [`QueryContext`] travels with one query through every execution
+//! layer — the batch pipeline, the worker pool, and the shuffle
+//! simulation — and is *polled* at safe points (batch boundaries,
+//! between work units, per simulated transfer). Nothing is preempted:
+//! when `check()` reports an [`Interrupt`], the layer that observed it
+//! unwinds through its normal `Result` path, so no locks are poisoned
+//! and no partially-written output escapes.
+//!
+//! Deadlines can run off the real monotonic clock or off a
+//! [`VirtualClock`] that execution layers advance explicitly (the
+//! shuffle simulation advances it by simulated seconds per event).
+//! Virtual time makes "the deadline fires mid-shuffle at event N"
+//! reproducible bit-for-bit at any worker-thread count.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a query was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The user (or a test harness) cancelled the query explicitly.
+    Cancelled,
+    /// The query's deadline elapsed before it finished.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "query cancelled"),
+            Interrupt::DeadlineExceeded => write!(f, "query deadline exceeded"),
+        }
+    }
+}
+
+/// Shared state behind a [`CancelHandle`].
+#[derive(Debug)]
+struct CancelState {
+    cancelled: AtomicBool,
+    /// Cancel-after fuse: when >= 0, each lifecycle check decrements it
+    /// and the check that drives it below zero trips the cancel flag.
+    /// Negative means "no fuse armed". Used by tests to inject a cancel
+    /// at an arbitrary cooperative checkpoint.
+    fuse: AtomicI64,
+}
+
+/// A cloneable cancellation token for one query.
+///
+/// Cheap to clone (an `Arc` bump); every clone observes the same flag.
+/// Cancellation is cooperative: setting the flag does nothing until an
+/// execution layer polls [`QueryContext::check`] at its next safe point.
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    inner: Arc<CancelState>,
+}
+
+impl Default for CancelHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelHandle {
+    /// A fresh, un-cancelled handle.
+    pub fn new() -> Self {
+        CancelHandle {
+            inner: Arc::new(CancelState {
+                cancelled: AtomicBool::new(false),
+                fuse: AtomicI64::new(-1),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the query's
+    /// next cooperative checkpoint.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Arm a fuse that trips the cancel flag on the `n`-th subsequent
+    /// lifecycle check (0 trips on the very next check). Test harnesses
+    /// use this to land a cancellation at an arbitrary cooperative
+    /// checkpoint deep inside the pipeline or shuffle.
+    pub fn cancel_after(&self, n: u64) {
+        self.inner.fuse.store(n as i64, Ordering::SeqCst);
+    }
+
+    /// True once [`cancel`](Self::cancel) was called or an armed fuse
+    /// tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Clear the cancel flag and disarm any fuse so the same session
+    /// can run a follow-up query.
+    pub fn reset(&self) {
+        self.inner.cancelled.store(false, Ordering::SeqCst);
+        self.inner.fuse.store(-1, Ordering::SeqCst);
+    }
+
+    /// One checkpoint's worth of fuse bookkeeping: burn one unit off an
+    /// armed fuse and trip the flag when it runs out.
+    fn burn_fuse(&self) {
+        if self.inner.fuse.load(Ordering::SeqCst) < 0 {
+            return;
+        }
+        if self.inner.fuse.fetch_sub(1, Ordering::SeqCst) == 0 {
+            self.inner.cancelled.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A monotonically advancing clock driven explicitly by the execution
+/// layers, for deterministic deadline tests.
+///
+/// Time is an `f64` second count stored as its bit pattern in an atomic
+/// word and advanced with a CAS loop, so deltas accumulate with full
+/// float precision (no per-delta truncation) and concurrent advancers
+/// never lose an update.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    bits: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `seconds` (negative or non-finite deltas
+    /// are ignored).
+    pub fn advance_seconds(&self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            let _ = self
+                .bits
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                    Some((f64::from_bits(cur) + seconds).to_bits())
+                });
+        }
+    }
+
+    /// Current virtual time in seconds since the clock's origin.
+    pub fn now_seconds(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::SeqCst))
+    }
+}
+
+/// Where a [`QueryContext`] reads "now" from when checking deadlines.
+#[derive(Debug, Clone, Default)]
+pub enum ClockSource {
+    /// The process monotonic clock ([`Instant`]); production default.
+    #[default]
+    Real,
+    /// An explicitly advanced [`VirtualClock`]; deterministic tests.
+    Virtual(VirtualClock),
+}
+
+/// The lifecycle context carried by one running query.
+///
+/// Cheap to clone; all clones share the same cancellation flag and
+/// clock. `check()` is the single cooperative checkpoint primitive:
+/// cancellation wins over deadline expiry when both hold, so an
+/// explicit cancel always reports as [`Interrupt::Cancelled`].
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    cancel: CancelHandle,
+    /// Deadline in seconds from the context's start instant; `None`
+    /// means unbounded.
+    deadline_seconds: Option<f64>,
+    clock: ClockSource,
+    started: Instant,
+}
+
+impl Default for QueryContext {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl QueryContext {
+    /// A context with no deadline and a fresh cancel handle.
+    pub fn unbounded() -> Self {
+        QueryContext {
+            cancel: CancelHandle::new(),
+            deadline_seconds: None,
+            clock: ClockSource::Real,
+            started: Instant::now(),
+        }
+    }
+
+    /// A context with an explicit cancel handle, optional deadline (in
+    /// seconds from now), and clock source.
+    pub fn new(cancel: CancelHandle, deadline_seconds: Option<f64>, clock: ClockSource) -> Self {
+        QueryContext {
+            cancel,
+            deadline_seconds,
+            clock,
+            started: Instant::now(),
+        }
+    }
+
+    /// The cancellation handle shared by this context's clones.
+    pub fn cancel_handle(&self) -> &CancelHandle {
+        &self.cancel
+    }
+
+    /// A view of this context with the deadline stripped: same cancel
+    /// flag, same clock, same start instant. Degradation policies use it
+    /// to run a phase they have committed to finishing under
+    /// cancellation-only enforcement, while the original context still
+    /// reports [`deadline_exceeded`](Self::deadline_exceeded) truthfully
+    /// for flagging.
+    pub fn without_deadline(&self) -> QueryContext {
+        QueryContext {
+            cancel: self.cancel.clone(),
+            deadline_seconds: None,
+            clock: self.clock.clone(),
+            started: self.started,
+        }
+    }
+
+    /// The configured deadline in seconds, if any.
+    pub fn deadline_seconds(&self) -> Option<f64> {
+        self.deadline_seconds
+    }
+
+    /// Seconds elapsed on this context's clock source.
+    pub fn elapsed_seconds(&self) -> f64 {
+        match &self.clock {
+            ClockSource::Real => self.started.elapsed().as_secs_f64(),
+            ClockSource::Virtual(v) => v.now_seconds(),
+        }
+    }
+
+    /// Advance the context's virtual clock by `seconds` of simulated
+    /// time. A no-op under the real clock — the shuffle simulation
+    /// calls this unconditionally per event.
+    pub fn advance_virtual(&self, seconds: f64) {
+        if let ClockSource::Virtual(v) = &self.clock {
+            v.advance_seconds(seconds);
+        }
+    }
+
+    /// True once the deadline (if any) has elapsed. Does not burn the
+    /// cancel fuse; policy layers use this to flag degraded completion
+    /// without consuming a checkpoint.
+    pub fn deadline_exceeded(&self) -> bool {
+        match self.deadline_seconds {
+            Some(d) => self.elapsed_seconds() >= d,
+            None => false,
+        }
+    }
+
+    /// The cooperative checkpoint: returns `Err(Interrupt)` when the
+    /// query should stop. Explicit cancellation wins over deadline
+    /// expiry so callers get the cause they asked for.
+    pub fn check(&self) -> Result<(), Interrupt> {
+        self.cancel.burn_fuse();
+        if self.cancel.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        if self.deadline_exceeded() {
+            return Err(Interrupt::DeadlineExceeded);
+        }
+        Ok(())
+    }
+
+    /// `check()` restricted to explicit cancellation — used by phases
+    /// running under `OnDeadline::FinishCurrentUnit`, which ignore the
+    /// deadline once committed to finishing the unit in progress.
+    pub fn check_cancel_only(&self) -> Result<(), Interrupt> {
+        self.cancel.burn_fuse();
+        if self.cancel.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_context_never_interrupts() {
+        let ctx = QueryContext::unbounded();
+        for _ in 0..100 {
+            assert_eq!(ctx.check(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn explicit_cancel_trips_next_check() {
+        let ctx = QueryContext::unbounded();
+        assert_eq!(ctx.check(), Ok(()));
+        ctx.cancel_handle().cancel();
+        assert_eq!(ctx.check(), Err(Interrupt::Cancelled));
+        // Idempotent until reset.
+        assert_eq!(ctx.check(), Err(Interrupt::Cancelled));
+        ctx.cancel_handle().reset();
+        assert_eq!(ctx.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_after_fuse_trips_on_nth_check() {
+        let ctx = QueryContext::unbounded();
+        ctx.cancel_handle().cancel_after(2);
+        assert_eq!(ctx.check(), Ok(())); // burns 2 -> 1
+        assert_eq!(ctx.check(), Ok(())); // burns 1 -> 0
+        assert_eq!(ctx.check(), Err(Interrupt::Cancelled)); // 0 trips
+    }
+
+    #[test]
+    fn cancel_after_zero_trips_immediately() {
+        let ctx = QueryContext::unbounded();
+        ctx.cancel_handle().cancel_after(0);
+        assert_eq!(ctx.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn virtual_deadline_fires_exactly_when_advanced_past() {
+        let clock = VirtualClock::new();
+        let ctx = QueryContext::new(
+            CancelHandle::new(),
+            Some(1.0),
+            ClockSource::Virtual(clock.clone()),
+        );
+        assert_eq!(ctx.check(), Ok(()));
+        clock.advance_seconds(0.5);
+        assert_eq!(ctx.check(), Ok(()));
+        clock.advance_seconds(0.6);
+        assert_eq!(ctx.check(), Err(Interrupt::DeadlineExceeded));
+        // Cancel-only checks ignore the deadline.
+        assert_eq!(ctx.check_cancel_only(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_wins_over_expired_deadline() {
+        let clock = VirtualClock::new();
+        let ctx = QueryContext::new(
+            CancelHandle::new(),
+            Some(1.0),
+            ClockSource::Virtual(clock.clone()),
+        );
+        clock.advance_seconds(2.0);
+        ctx.cancel_handle().cancel();
+        assert_eq!(ctx.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_cancellation_and_clock() {
+        let clock = VirtualClock::new();
+        let ctx = QueryContext::new(
+            CancelHandle::new(),
+            Some(1.0),
+            ClockSource::Virtual(clock.clone()),
+        );
+        let other = ctx.clone();
+        other.advance_virtual(2.0);
+        assert!(ctx.deadline_exceeded());
+        ctx.cancel_handle().cancel();
+        assert_eq!(other.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn real_clock_deadline_is_checked_against_elapsed() {
+        let ctx = QueryContext::new(CancelHandle::new(), Some(3600.0), ClockSource::Real);
+        assert_eq!(ctx.check(), Ok(()));
+        // advance_virtual is a no-op under the real clock.
+        ctx.advance_virtual(1e9);
+        assert_eq!(ctx.check(), Ok(()));
+    }
+}

@@ -27,6 +27,20 @@ JOIN_KERNELS_SMOKE=1 cargo bench -p sj-bench --bench join_kernels > "$smoke_log"
 grep '^{' "$smoke_log" > BENCH_KERNELS.json
 echo "    $(grep -c '^{' BENCH_KERNELS.json) points -> BENCH_KERNELS.json"
 
+echo "==> fault_makespan smoke run (snapshots BENCH_SHUFFLE.json)"
+shuffle_log="target/fault_makespan_smoke.log"
+FAULT_MAKESPAN_SMOKE=1 cargo bench -p sj-bench --bench fault_makespan > "$shuffle_log" 2>&1
+grep '^{' "$shuffle_log" > BENCH_SHUFFLE.json
+echo "    $(grep -c '^{' BENCH_SHUFFLE.json) points -> BENCH_SHUFFLE.json"
+
+echo "==> straggler re-plan gate: >= 1.5x makespan cut at 10x severity (asserted inside fault_makespan)"
+grep 'replan gate' "$shuffle_log"
+
+echo "==> cancellation stress: fuse sweep drains scoped pools, zero leaked workers"
+cancel_log="target/cancellation_stress.log"
+cargo test -q --test lifecycle -- --nocapture > "$cancel_log" 2>&1
+grep 'leaked workers: 0' "$cancel_log"
+
 echo "==> telemetry smoke: fig8 join trace -> TRACE_SMOKE.json, >=95% phase coverage"
 cargo run --release --quiet --example profile_query TRACE_SMOKE.json > target/telemetry_smoke.log
 grep -c '^{' TRACE_SMOKE.json > /dev/null

@@ -140,6 +140,16 @@ impl ArrayDb {
         &self.exec_config
     }
 
+    /// The cancellation handle queries on this database run under: clone
+    /// it, hand the clone to another thread (or a signal handler), and
+    /// call [`sj_core::CancelHandle::cancel`] to make the in-flight query
+    /// unwind with `JoinError::Cancelled` at its next lifecycle
+    /// checkpoint. Call [`sj_core::CancelHandle::reset`] before the next
+    /// query to reuse the handle.
+    pub fn cancel_handle(&self) -> sj_core::CancelHandle {
+        self.exec_config.lifecycle.cancel.clone()
+    }
+
     /// Access the underlying cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster

@@ -48,10 +48,14 @@ pub use sj_workload as workload;
 pub use sj_array::{
     Array, ArraySchema, AttributeDef, CellBatch, DataType, DimensionDef, Expr, Value,
 };
-pub use sj_cluster::{Cluster, NetworkModel, Placement};
+pub use sj_cluster::{Cluster, NetworkModel, Placement, ReplanPolicy};
 pub use sj_core::exec::{
-    execute_join, ExecConfig, ExecConfigBuilder, JoinMetrics, JoinQuery, JoinRun,
+    execute_join, ExecConfig, ExecConfigBuilder, JoinMetrics, JoinQuery, JoinRun, LifecycleConfig,
+    OnDeadline,
 };
 pub use sj_core::predicate::JoinPredicate;
 pub use sj_core::telemetry;
-pub use sj_core::{JoinAlgo, MetricsView, PlannerKind, Telemetry, TelemetryConfig};
+pub use sj_core::{
+    CancelHandle, ClockSource, Interrupt, JoinAlgo, MetricsView, PlannerKind, QueryContext,
+    Telemetry, TelemetryConfig, VirtualClock,
+};

@@ -9,9 +9,11 @@
 //! the plan's own PRNG stream, never by host scheduling.
 
 use sj_array::Array;
-use sj_cluster::{Cluster, FaultPlan, NetworkModel, Placement};
-use sj_core::exec::{execute_join, ExecConfig, JoinMetrics, JoinQuery};
-use sj_core::{JoinAlgo, JoinPredicate, MetricsView, PlannerKind};
+use sj_cluster::{Cluster, FaultPlan, NetworkModel, Placement, ReplanPolicy};
+use sj_core::exec::{execute_join, ExecConfig, JoinMetrics, JoinQuery, OnDeadline};
+use sj_core::{
+    ClockSource, JoinAlgo, JoinError, JoinPredicate, MetricsView, PlannerKind, VirtualClock,
+};
 use sj_workload::{skewed_pair, SkewedArrayConfig};
 
 /// The Figure-8-style skewed pair on 4 nodes, loaded with 2-way chained
@@ -144,4 +146,142 @@ fn fault_free_plan_has_zero_fault_counters_at_any_thread_count() {
         assert!(m.shuffle.failed_nodes.is_empty());
         assert!(!m.degraded);
     }
+}
+
+/// A 10x straggler plan plus a config that enables mid-shuffle
+/// re-planning with the given policy and thread count.
+fn straggler_config(threads: usize, policy: ReplanPolicy) -> ExecConfig {
+    ExecConfig::builder()
+        .planner(PlannerKind::Tabu)
+        .forced_algo(JoinAlgo::Hash)
+        .hash_buckets(64)
+        .threads(threads)
+        .faults(FaultPlan::seeded(11).with_straggler(1, 10.0))
+        .replan(policy)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn replanned_straggler_run_is_identical_across_thread_counts() {
+    let cluster = replicated_cluster();
+    let query = query();
+
+    // Size the re-plan barrier off the clean makespan so several
+    // barriers land inside the straggled shuffle.
+    let (_, clean) = run_join(&cluster, &query, &config(1, FaultPlan::none()));
+    let interval = clean.shuffle.makespan / 4.0;
+    let policy = ReplanPolicy::enabled(2.0, interval, 2);
+
+    let (_, slow) = run_join(
+        &cluster,
+        &query,
+        &straggler_config(1, ReplanPolicy::disabled()),
+    );
+    let (ref_out, ref_m) = run_join(&cluster, &query, &straggler_config(1, policy.clone()));
+    assert!(
+        ref_m.shuffle.replans > 0,
+        "a 10x straggler must trip the re-planner"
+    );
+    assert!(
+        ref_m.shuffle.makespan < slow.shuffle.makespan,
+        "re-planning must beat the straggled schedule: {} vs {}",
+        ref_m.shuffle.makespan,
+        slow.shuffle.makespan
+    );
+    assert_eq!(ref_m.matches, clean.matches, "results survive re-routing");
+    let ref_cells: Vec<_> = ref_out.iter_cells().collect();
+
+    for threads in [2usize, 8] {
+        let (out, m) = run_join(&cluster, &query, &straggler_config(threads, policy.clone()));
+        assert_eq!(
+            out.iter_cells().collect::<Vec<_>>(),
+            ref_cells,
+            "output cells differ between threads=1 and threads={threads}"
+        );
+        assert_eq!(
+            m.shuffle, ref_m.shuffle,
+            "re-planned shuffle report differs at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn virtual_deadline_under_straggler_is_deterministic_across_thread_counts() {
+    let cluster = replicated_cluster();
+    let query = query();
+
+    // A deadline halfway into the straggled shuffle expires at a
+    // deterministic virtual instant (the simulation clock is driven by
+    // event completion times, never host scheduling), making it the
+    // divergence point between the two policies: `Abort` trips an
+    // in-shuffle checkpoint, while `FinishCurrentUnit` committed at the
+    // start of alignment and runs the shuffle deadline-free.
+    let (_, slow) = run_join(
+        &cluster,
+        &query,
+        &straggler_config(1, ReplanPolicy::disabled()),
+    );
+    let deadline = slow.shuffle.makespan * 0.5;
+
+    let cfg = |threads: usize, policy: OnDeadline| {
+        ExecConfig::builder()
+            .planner(PlannerKind::Tabu)
+            .forced_algo(JoinAlgo::Hash)
+            .hash_buckets(64)
+            .threads(threads)
+            .faults(FaultPlan::seeded(11).with_straggler(1, 10.0))
+            .deadline(deadline)
+            .on_deadline(policy)
+            .clock(ClockSource::Virtual(VirtualClock::new()))
+            .build()
+            .unwrap()
+    };
+
+    // Abort: the expired deadline unwinds as a typed error, at every
+    // thread count.
+    for threads in [1usize, 2, 8] {
+        let err = execute_join(&cluster, &query, &cfg(threads, OnDeadline::Abort)).unwrap_err();
+        assert!(
+            matches!(err, JoinError::DeadlineExceeded),
+            "threads={threads}: expected DeadlineExceeded, got {err:?}"
+        );
+    }
+
+    // FinishCurrentUnit: the run committed when alignment began, so the
+    // mid-shuffle expiry degrades instead of aborting — the result is
+    // complete, bit-identical, and flagged in the lifecycle span.
+    let (ref_out, _) = run_join(
+        &cluster,
+        &query,
+        &straggler_config(1, ReplanPolicy::disabled()),
+    );
+    for threads in [1usize, 2, 8] {
+        let run = execute_join(
+            &cluster,
+            &query,
+            &cfg(threads, OnDeadline::FinishCurrentUnit),
+        )
+        .unwrap_or_else(|e| panic!("threads={threads}: FinishCurrentUnit must complete: {e}"));
+        assert_eq!(
+            run.array.iter_cells().collect::<Vec<_>>(),
+            ref_out.iter_cells().collect::<Vec<_>>(),
+            "threads={threads}: degraded completion must still be bit-identical"
+        );
+        let lifecycle = run
+            .telemetry
+            .find("lifecycle")
+            .expect("lifecycle span must be recorded on completed runs");
+        assert_eq!(lifecycle.str_field("state"), Some("deadline_degraded"));
+        assert_eq!(lifecycle.bool_field("deadline_exceeded"), Some(true));
+    }
+
+    // A comfortably longer deadline completes cleanly under both
+    // policies with the lifecycle span reporting `complete`.
+    let mut roomy = cfg(2, OnDeadline::Abort);
+    roomy.lifecycle.deadline = Some(deadline * 4.0);
+    let run = execute_join(&cluster, &query, &roomy).unwrap();
+    let lifecycle = run.telemetry.find("lifecycle").unwrap();
+    assert_eq!(lifecycle.str_field("state"), Some("complete"));
+    assert_eq!(lifecycle.bool_field("deadline_exceeded"), Some(false));
 }

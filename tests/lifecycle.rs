@@ -1,0 +1,182 @@
+//! Query-lifecycle guardrails: cancellation stress, worker hygiene, and
+//! deadline policy edges that don't need the fault simulator.
+//!
+//! The centerpiece sweeps a cancel-after fuse across every cooperative
+//! checkpoint of a real join and proves the executor unwinds cleanly
+//! each time: a typed `Cancelled` error, an immediately reusable
+//! session, and — measured off `/proc/self/status` — zero leaked worker
+//! threads (the pools are scoped, so cancellation can't orphan them).
+
+use sj_cluster::{Cluster, NetworkModel, Placement};
+use sj_core::exec::{execute_join, ExecConfig, JoinQuery, OnDeadline};
+use sj_core::{CancelHandle, ClockSource, JoinError, JoinPredicate};
+use sj_workload::{skewed_pair, SkewedArrayConfig};
+
+fn small_cluster() -> Cluster {
+    let cfg = SkewedArrayConfig {
+        name: String::new(),
+        grid: 16,
+        chunk_interval: 64,
+        cells: 12_000,
+        spatial_alpha: 0.0,
+        value_alpha: 1.5,
+        value_domain: 6_000,
+        seed: 7,
+    };
+    let (a, b) = skewed_pair(&cfg);
+    let mut cluster = Cluster::new(4, NetworkModel::gigabit());
+    cluster.load_array(a, &Placement::HashSalted(1)).unwrap();
+    cluster.load_array(b, &Placement::HashSalted(2)).unwrap();
+    cluster
+}
+
+fn query() -> JoinQuery {
+    JoinQuery::new("A", "B", JoinPredicate::new(vec![("v1", "v1")]))
+}
+
+/// The process's OS thread count, from `/proc/self/status`.
+fn os_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("read /proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .map(|v| v.trim().parse().expect("Threads: value"))
+        .expect("Threads: line present")
+}
+
+/// Wait (bounded) for the thread count to settle back to `baseline`;
+/// other tests in this binary may have transient scoped pools in
+/// flight when we sample.
+fn settled_thread_count(baseline: usize) -> usize {
+    let mut latest = os_thread_count();
+    for _ in 0..100 {
+        if latest <= baseline {
+            return latest;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        latest = os_thread_count();
+    }
+    latest
+}
+
+#[test]
+fn cancellation_stress_leaves_no_leaked_workers() {
+    let cluster = small_cluster();
+    let query = query();
+    let handle = CancelHandle::new();
+    let config = ExecConfig::builder()
+        .threads(8)
+        .cancel(handle.clone())
+        .build()
+        .unwrap();
+
+    let expected = execute_join(&cluster, &query, &config).unwrap();
+    let expected_cells: Vec<_> = expected.array.iter_cells().collect();
+    assert!(!expected_cells.is_empty(), "fixture must produce matches");
+
+    let baseline = os_thread_count();
+    let (mut cancelled, mut completed) = (0u32, 0u32);
+    for fuse in (0..300).step_by(3) {
+        handle.reset();
+        handle.cancel_after(fuse);
+        match execute_join(&cluster, &query, &config) {
+            Ok(run) => {
+                completed += 1;
+                assert_eq!(
+                    run.array.iter_cells().collect::<Vec<_>>(),
+                    expected_cells,
+                    "a fuse that outlives the query must not perturb the answer (fuse={fuse})"
+                );
+            }
+            Err(JoinError::Cancelled) => cancelled += 1,
+            Err(e) => panic!("fuse={fuse}: expected Cancelled or success, got {e:?}"),
+        }
+    }
+    assert!(cancelled > 0, "sweep never landed a cancellation");
+    assert!(completed > 0, "sweep never outlived the query");
+
+    // The session stays usable: reset once more and run to completion.
+    handle.reset();
+    let rerun = execute_join(&cluster, &query, &config).expect("follow-up query after stress");
+    assert_eq!(rerun.array.iter_cells().collect::<Vec<_>>(), expected_cells);
+
+    let after = settled_thread_count(baseline);
+    let leaked = after.saturating_sub(baseline);
+    println!(
+        "cancellation stress: {cancelled} cancelled, {completed} completed, leaked workers: {leaked}"
+    );
+    assert_eq!(
+        leaked, 0,
+        "scoped worker pools must not survive cancellation ({baseline} threads before, {after} after)"
+    );
+}
+
+#[test]
+fn pre_expired_real_deadline_aborts_under_both_policies() {
+    // A deadline that lapses before planning even starts aborts no
+    // matter the degradation policy: `FinishCurrentUnit` only commits
+    // once data alignment begins.
+    let cluster = small_cluster();
+    let query = query();
+    for policy in [OnDeadline::Abort, OnDeadline::FinishCurrentUnit] {
+        let config = ExecConfig::builder()
+            .threads(2)
+            .deadline(1e-12)
+            .on_deadline(policy)
+            .clock(ClockSource::Real)
+            .build()
+            .unwrap();
+        let err = execute_join(&cluster, &query, &config).unwrap_err();
+        assert!(
+            matches!(err, JoinError::DeadlineExceeded),
+            "policy {policy:?}: expected DeadlineExceeded, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn explicit_cancel_wins_over_expired_deadline() {
+    let cluster = small_cluster();
+    let query = query();
+    let handle = CancelHandle::new();
+    handle.cancel();
+    let config = ExecConfig::builder()
+        .deadline(1e-12)
+        .cancel(handle)
+        .build()
+        .unwrap();
+    let err = execute_join(&cluster, &query, &config).unwrap_err();
+    assert!(
+        matches!(err, JoinError::Cancelled),
+        "explicit cancel must shadow the expired deadline, got {err:?}"
+    );
+}
+
+#[test]
+fn engine_cancel_handle_cancels_and_resets() {
+    use skewjoin::{Array, ArrayDb, ArraySchema, Value};
+
+    let mut db = ArrayDb::new(2, NetworkModel::gigabit());
+    let mk = |name: &str| {
+        Array::from_cells(
+            ArraySchema::parse(&format!("{name}<v:int>[i=1,100,10]")).unwrap(),
+            (1..=100).map(|i| (vec![i], vec![Value::Int(i % 7)])),
+        )
+        .unwrap()
+    };
+    db.load_default(mk("A")).unwrap();
+    db.load_default(mk("B")).unwrap();
+    let sql = "SELECT * FROM A, B WHERE A.v = B.v";
+
+    db.cancel_handle().cancel_after(0);
+    let err = db.query(sql).unwrap_err();
+    assert!(
+        matches!(err, skewjoin::Error::Join(JoinError::Cancelled)),
+        "engine query must surface the typed cancellation, got {err:?}"
+    );
+
+    // The database stays usable after a reset.
+    db.cancel_handle().reset();
+    let result = db.query(sql).expect("follow-up query after reset");
+    assert!(result.array.cell_count() > 0);
+}

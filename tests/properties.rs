@@ -421,3 +421,91 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Query-lifecycle invariants
+// ---------------------------------------------------------------------
+
+use std::sync::OnceLock;
+
+use skewjoin::cluster::Cluster;
+use skewjoin::join::exec::{execute_join, ExecConfig, JoinQuery};
+use skewjoin::join::{JoinError, MetricsView};
+use skewjoin::workload::{skewed_pair, SkewedArrayConfig};
+use skewjoin::CancelHandle;
+
+/// A small 4-node skewed-join fixture shared across proptest cases (the
+/// cluster is immutable; every query reads it).
+fn lifecycle_cluster() -> &'static Cluster {
+    static CLUSTER: OnceLock<Cluster> = OnceLock::new();
+    CLUSTER.get_or_init(|| {
+        let cfg = SkewedArrayConfig {
+            name: String::new(),
+            grid: 16,
+            chunk_interval: 64,
+            cells: 8_000,
+            spatial_alpha: 0.0,
+            value_alpha: 1.5,
+            value_domain: 4_000,
+            seed: 7,
+        };
+        let (a, b) = skewed_pair(&cfg);
+        let mut cluster = Cluster::new(4, skewjoin::cluster::NetworkModel::gigabit());
+        cluster
+            .load_array(a, &skewjoin::Placement::HashSalted(1))
+            .unwrap();
+        cluster
+            .load_array(b, &skewjoin::Placement::HashSalted(2))
+            .unwrap();
+        cluster
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A cancellation injected at an *arbitrary* cooperative checkpoint
+    /// either lands before the query finishes (typed `Cancelled` error,
+    /// no panic, no poisoned state) or the query completes with the
+    /// exact uncancelled answer. Either way the same handle, reset,
+    /// immediately runs a follow-up query to completion — the pool
+    /// drained cleanly.
+    #[test]
+    fn injected_cancellation_unwinds_cleanly(fuse in 0u64..400, threads in 1usize..9) {
+        let cluster = lifecycle_cluster();
+        let query = JoinQuery::new(
+            "A",
+            "B",
+            JoinPredicate::new(vec![("v1", "v1")]),
+        );
+        let handle = CancelHandle::new();
+        let config = ExecConfig::builder()
+            .threads(threads)
+            .cancel(handle.clone())
+            .build()
+            .unwrap();
+        let reference = ExecConfig::builder().threads(threads).build().unwrap();
+        let expected = execute_join(cluster, &query, &reference).unwrap();
+        let expected_cells: Vec<_> = expected.array.iter_cells().collect();
+
+        handle.cancel_after(fuse);
+        match execute_join(cluster, &query, &config) {
+            Ok(run) => {
+                // Fuse outlived the query: the answer must be untouched.
+                prop_assert_eq!(run.array.iter_cells().collect::<Vec<_>>(), expected_cells.clone());
+            }
+            Err(e) => prop_assert!(
+                matches!(e, JoinError::Cancelled),
+                "injected cancel must surface as Cancelled, got {:?}", e
+            ),
+        }
+
+        // The same handle, reset, runs a follow-up query to completion.
+        handle.reset();
+        let rerun = execute_join(cluster, &query, &config);
+        prop_assert!(rerun.is_ok(), "follow-up query after reset failed: {:?}", rerun.err());
+        let rerun = rerun.unwrap();
+        prop_assert_eq!(rerun.array.iter_cells().collect::<Vec<_>>(), expected_cells);
+        prop_assert!(rerun.telemetry.join_metrics().unwrap().matches > 0, "fixture must produce matches");
+    }
+}
