@@ -131,6 +131,23 @@ impl Expr {
         }
     }
 
+    /// Rebuild the expression with every column name passed through `f`
+    /// (used by the plan rewriter to strip `Rel.` qualifiers when pushing
+    /// predicates into join inputs).
+    pub fn map_columns(&self, f: &impl Fn(&str) -> String) -> Expr {
+        match self {
+            Expr::Column(name) => Expr::Column(f(name)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.map_columns(f)),
+                right: Box::new(right.map_columns(f)),
+            },
+            Expr::Neg(inner) => Expr::Neg(Box::new(inner.map_columns(f))),
+            Expr::Not(inner) => Expr::Not(Box::new(inner.map_columns(f))),
+        }
+    }
+
     /// Bind column names against `schema`, producing an evaluable form.
     pub fn bind(&self, schema: &ArraySchema) -> Result<BoundExpr> {
         match self {

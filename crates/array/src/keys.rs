@@ -1427,12 +1427,8 @@ mod tests {
         let mut out = Vec::new();
         for cols in [vec![0usize], vec![1], vec![2], vec![3], vec![0, 1, 2, 3]] {
             hash_rows_into(&b, &cols, &mut out);
-            for row in 0..b.len() {
-                assert_eq!(
-                    out[row],
-                    hash_row(&b, &cols, row),
-                    "row {row} cols {cols:?}"
-                );
+            for (row, h) in out.iter().enumerate().take(b.len()) {
+                assert_eq!(*h, hash_row(&b, &cols, row), "row {row} cols {cols:?}");
             }
             hash_rows_range_into(&b, &cols, 1, 4, &mut out);
             for (j, row) in (1..4).enumerate() {

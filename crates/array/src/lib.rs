@@ -49,6 +49,6 @@ pub use batch::{CellBatch, Column, GatherScratch};
 pub use chunk::Chunk;
 pub use error::{ArrayError, Result};
 pub use expr::{BinOp, Expr};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, DISTINCT_REGISTERS};
 pub use schema::{ArraySchema, AttributeDef, DimensionDef};
 pub use value::{DataType, Value};

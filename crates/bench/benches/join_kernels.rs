@@ -174,13 +174,16 @@ fn assert_gate(label: &str, n: usize, best_name: &str, dispatched_ns: f64, best_
 /// path is then re-measured **interleaved** against whichever forced
 /// kernel won (two back-to-back `bench` runs of identical code can
 /// drift past 10% on a busy machine; interleaving cancels that).
+/// A labeled in-place sort to race against the dispatcher.
+type ForcedSort<'a> = (&'a str, &'a dyn Fn(&mut CellBatch));
+
 fn sort_group(
     runner: &mut Runner,
     label: &str,
     n: usize,
     pristine: &CellBatch,
     dispatched: &dyn Fn(&mut CellBatch),
-    forced: &[(&str, &dyn Fn(&mut CellBatch))],
+    forced: &[ForcedSort],
 ) {
     let mut stats: Vec<(&str, Option<Stats>)> = Vec::new();
     let disp = {

@@ -66,6 +66,7 @@ pub struct Catalog {
     schemas: HashMap<String, ArraySchema>,
     chunk_homes: HashMap<String, BTreeMap<u64, usize>>,
     replica_homes: HashMap<String, BTreeMap<u64, Vec<usize>>>,
+    epoch: u64,
 }
 
 impl Catalog {
@@ -74,6 +75,14 @@ impl Catalog {
         self.schemas
             .get(name)
             .ok_or_else(|| ClusterError::NoSuchArray(name.to_string()))
+    }
+
+    /// Monotonic catalog version, bumped whenever an array is loaded or
+    /// dropped. Derived state computed from stored data (cached
+    /// optimizer statistics, most importantly) keys its validity on
+    /// this: a matching epoch means no array has come or gone since.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The chunk-id → node map for array `name`.
@@ -195,6 +204,7 @@ impl Cluster {
         self.catalog.schemas.insert(name.clone(), schema);
         self.catalog.chunk_homes.insert(name.clone(), homes);
         self.catalog.replica_homes.insert(name, replica_map);
+        self.catalog.epoch += 1;
         Ok(())
     }
 
@@ -209,6 +219,7 @@ impl Cluster {
             node.storage.remove(name);
             node.replicas.remove(name);
         }
+        self.catalog.epoch += 1;
         Ok(())
     }
 

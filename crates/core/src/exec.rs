@@ -41,7 +41,7 @@ use crate::parallel::{par_map, par_map_until, par_map_weighted_until, resolve_th
 use crate::physical::{plan_physical_resilient, CostParams, PlanTier, PlannerKind, SliceStats};
 use crate::predicate::{JoinPredicate, JoinSide};
 use crate::unit::{map_slices, SliceSet};
-use crate::views::{solve_status_token, MetricsView};
+use crate::views::solve_status_token;
 
 /// A join query against two arrays loaded in a cluster.
 #[derive(Debug, Clone)]
@@ -185,6 +185,18 @@ pub struct ExecConfig {
     /// source, and mid-shuffle re-planning. The default is unbounded and
     /// takes the exact legacy execution path.
     pub lifecycle: LifecycleConfig,
+    /// Join-order optimization mode for plans with 3+ relations. `Dp`
+    /// (the default) runs the Selinger-style dynamic program over the
+    /// join graph; `Off` executes the join tree exactly as written
+    /// (tests and benches use it to pin a specific order).
+    pub optimizer: crate::optimizer::OptimizerMode,
+    /// Cached per-column statistics the join-order optimizer costs plans
+    /// from, shared by every query running under this configuration.
+    /// Entries are validated against the catalog epoch, so loading or
+    /// dropping arrays invalidates them automatically. Stale statistics
+    /// can only mislead the planner towards a slower order — never
+    /// change a result.
+    pub stats: std::sync::Arc<crate::optimizer::StatsCache>,
 }
 
 impl Default for ExecConfig {
@@ -199,6 +211,8 @@ impl Default for ExecConfig {
             telemetry: TelemetryConfig::default(),
             kernels: KernelConfig::default(),
             lifecycle: LifecycleConfig::default(),
+            optimizer: crate::optimizer::OptimizerMode::default(),
+            stats: std::sync::Arc::new(crate::optimizer::StatsCache::default()),
         }
     }
 }
@@ -223,6 +237,12 @@ impl ExecConfigBuilder {
     /// Choose the physical planner.
     pub fn planner(mut self, planner: PlannerKind) -> Self {
         self.config.planner = planner;
+        self
+    }
+
+    /// Choose the join-order optimization mode.
+    pub fn optimizer(mut self, mode: crate::optimizer::OptimizerMode) -> Self {
+        self.config.optimizer = mode;
         self
     }
 
@@ -943,31 +963,6 @@ pub fn execute_join_guarded(
     Ok(output)
 }
 
-/// Execute `query`, returning the array and the legacy [`JoinMetrics`]
-/// report.
-#[deprecated(
-    note = "use `execute_join`; derive `JoinMetrics` from the returned telemetry via \
-                     `crate::views::MetricsView::join_metrics`"
-)]
-pub fn execute_shuffle_join(
-    cluster: &Cluster,
-    query: &JoinQuery,
-    config: &ExecConfig,
-) -> Result<(Array, JoinMetrics)> {
-    // The legacy report is a view over the span tree, so collection must
-    // be on even when the caller asked for `Off`.
-    let mut config = config.clone();
-    if !config.telemetry.enabled() {
-        config.telemetry = TelemetryConfig::Tree;
-    }
-    let run = execute_join(cluster, query, &config)?;
-    let metrics = run
-        .telemetry
-        .join_metrics()
-        .ok_or_else(|| JoinError::Internal("join span missing from telemetry".into()))?;
-    Ok((run.array, metrics))
-}
-
 /// Derive the cost-model parameters `(m, b, p, t)` empirically, as the
 /// paper does (§5.1: "we derive the cost model's parameters … empirically
 /// using the database's performance").
@@ -1107,10 +1102,10 @@ fn array_size(cluster: &Cluster, name: &str) -> Result<(u64, u64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::views::MetricsView;
     use sj_cluster::{NetworkModel, Placement};
 
-    /// Run a join and read back the legacy metrics view from telemetry —
-    /// the test-suite replacement for the deprecated shim.
+    /// Run a join and read back the legacy metrics view from telemetry.
     fn run_with_metrics(
         cluster: &Cluster,
         query: &JoinQuery,
@@ -1503,33 +1498,6 @@ mod tests {
             "phase coverage {} < 0.90",
             join.child_coverage()
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_view() {
-        let (a, b) = dd_arrays(128);
-        let cluster = cluster_with(2, vec![a, b]);
-        let query = JoinQuery::new("A", "B", JoinPredicate::new(vec![("i", "i"), ("j", "j")]));
-        // The shim must work even when the caller turned telemetry off.
-        let config = ExecConfig::builder()
-            .telemetry(TelemetryConfig::Off)
-            .build()
-            .unwrap();
-        let (out_old, m_old) = execute_shuffle_join(&cluster, &query, &config).unwrap();
-        let run = execute_join(&cluster, &query, &ExecConfig::default()).unwrap();
-        let m_new = run.telemetry.join_metrics().unwrap();
-        assert_eq!(m_old.matches, m_new.matches);
-        assert_eq!(m_old.afl, m_new.afl);
-        assert_eq!(m_old.algo, m_new.algo);
-        assert_eq!(m_old.network_bytes, m_new.network_bytes);
-        assert_eq!(m_old.cells_moved, m_new.cells_moved);
-        assert_eq!(m_old.shuffle, m_new.shuffle);
-        assert_eq!(m_old.plan_tier, m_new.plan_tier);
-        assert_eq!(m_old.planner, m_new.planner);
-        let cells_old: Vec<_> = out_old.iter_cells().collect();
-        let cells_new: Vec<_> = run.array.iter_cells().collect();
-        assert_eq!(cells_old, cells_new);
     }
 }
 

@@ -222,6 +222,20 @@ fn key_names(predicate: &JoinPredicate, side: JoinSide) -> Vec<String> {
         .collect()
 }
 
+/// The default (natural-join) destination schema for `left ⋈ right` on
+/// equality `pairs` — Equation 3 without running full join-schema
+/// inference. Used by AFL lowering (nested `join(join(A,B),C)` needs the
+/// inner join's schema to derive the outer pairs) and by the plan
+/// rewriter when it re-derives a join's output after pushing a
+/// projection into its inputs.
+pub fn natural_join_schema(
+    left: &ArraySchema,
+    right: &ArraySchema,
+    pairs: &[(String, String)],
+) -> Result<ArraySchema> {
+    default_output_schema(left, right, &JoinPredicate::new(pairs.to_vec()))
+}
+
 /// The default destination schema of Equation 3:
 /// `D_τ = D_α ∪ D_β − (D_β ∩ D_P)`, `A_τ = A_α ∪ A_β − (A_β ∩ A_P)` —
 /// the right side's predicate columns are merged away, everything else
@@ -261,9 +275,11 @@ fn default_output_schema(
         .map_err(|e| JoinError::InvalidOutputSchema(e.to_string()))
 }
 
-/// Resolve each output column to a `(side, column)` source. Qualified
-/// names (`A.v1`) bind to the named array; bare names search the left
-/// layout first, then the right.
+/// Resolve each output column to a `(side, column)` source. An exact
+/// full-name match wins first (canonical multi-join intermediates carry
+/// already-qualified column names like `A.v1` *as* column names); then
+/// qualified names (`A.v1`) bind to the named array; bare names search
+/// the left layout first, then the right.
 fn build_emit_spec(
     output: &ArraySchema,
     left: &ArraySchema,
@@ -272,6 +288,20 @@ fn build_emit_spec(
     right_layout: &UnitLayout,
 ) -> Result<EmitSpec> {
     let resolve = |name: &str| -> Result<EmitSource> {
+        if name.contains('.') {
+            if let Some(column) = left_layout.column_index(name) {
+                return Ok(EmitSource {
+                    side: JoinSide::Left,
+                    column,
+                });
+            }
+            if let Some(column) = right_layout.column_index(name) {
+                return Ok(EmitSource {
+                    side: JoinSide::Right,
+                    column,
+                });
+            }
+        }
         if let Some((array, col)) = name.split_once('.') {
             let (side, layout) = if array == left.name {
                 (JoinSide::Left, left_layout)
@@ -296,6 +326,22 @@ fn build_emit_spec(
                 side: JoinSide::Right,
                 column,
             });
+        }
+        // Canonical multi-join intermediates carry every surviving column
+        // fully qualified (`A.v`); a bare name in the user-facing output
+        // schema then binds to its qualified survivor. Join-key classes
+        // may expose several (equal-valued) qualified members — side then
+        // layout order picks one deterministically.
+        if !name.contains('.') {
+            let suffix = format!(".{name}");
+            for (side, layout) in [
+                (JoinSide::Left, left_layout),
+                (JoinSide::Right, right_layout),
+            ] {
+                if let Some(column) = layout.names.iter().position(|n| n.ends_with(&suffix)) {
+                    return Ok(EmitSource { side, column });
+                }
+            }
         }
         Err(JoinError::UnknownColumn(name.to_string()))
     };

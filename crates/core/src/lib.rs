@@ -32,8 +32,6 @@ pub mod physical;
 pub use physical::{CostParams, IlpStats, PhysicalPlan, PlanTier, PlannerKind, SliceStats};
 
 pub mod exec;
-#[allow(deprecated)]
-pub use exec::execute_shuffle_join;
 pub use exec::{
     execute_join, execute_join_guarded, execute_join_traced, ExecConfig, ExecConfigBuilder,
     ExecProfile, JoinMetrics, JoinQuery, JoinRun, LifecycleConfig, OnDeadline,
@@ -41,8 +39,11 @@ pub use exec::{
 pub use sj_cluster::ReplanPolicy;
 pub use telemetry::{CancelHandle, ClockSource, Interrupt, QueryContext, VirtualClock};
 
+pub mod optimizer;
+pub use optimizer::{JoinGraph, OptimizerMode};
+
 pub mod plan;
-pub use plan::{rewrite, PlanNode};
+pub use plan::{rewrite, rewrite_with, PlanNode};
 
 pub mod pipeline;
 pub use pipeline::{run_plan, run_plan_traced, BatchOperator, PipelineStats, PlanOutput};

@@ -1,0 +1,1201 @@
+//! Selinger-style join-order optimization over an n-way join graph.
+//!
+//! The IR's [`PlanNode::Join`] holds plan subtrees, so `A ⋈ B ⋈ C` is a
+//! tree of binary joins — and the tree *shape* the front end happens to
+//! emit is rarely the cheapest one. This module flattens a join tree
+//! into a [`JoinGraph`] (relations, equality edges, per-relation
+//! filters), saturates the edge set with transitively-implied equalities,
+//! estimates per-subset cardinalities from per-column [`Histogram`]s
+//! (row counts, distinct-value sketches, filter selectivities), and runs
+//! the classic bottom-up dynamic program over connected subsets
+//! (bitset-keyed memo, bushy trees allowed, cross products never
+//! considered). The chosen order and every memoized subset estimate are
+//! recorded in an `optimizer` telemetry span.
+//!
+//! Canonical intermediate schemas: every join node the optimizer emits
+//! carries an explicit output schema whose dimensions are the union of
+//! all base relations' dimensions (qualified `Rel.dim`) and whose
+//! attributes are the surviving qualified columns, one representative
+//! per join-key equivalence class. Since a row's coordinates concatenate
+//! the coordinates of every base cell it came from, rows keep distinct
+//! coordinates under any join order — which is what makes results
+//! bit-identical across every tree shape (and thread count).
+
+use std::collections::HashMap;
+
+use sj_array::{ArraySchema, BinOp, Expr, Histogram, Value};
+use sj_cluster::Cluster;
+use sj_telemetry::SpanGuard;
+
+use crate::exec::ExecConfig;
+use crate::join_schema::natural_join_schema;
+use crate::plan::PlanNode;
+
+/// Join-order optimization mode (see [`ExecConfig::optimizer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerMode {
+    /// Execute join trees exactly as written.
+    Off,
+    /// Selinger bottom-up DP over connected subsets (the default).
+    #[default]
+    Dp,
+}
+
+/// One relation of the join graph: a stored array, the plan subtree that
+/// scans (and possibly filters) it, and the conjunction of filters
+/// attached to it.
+#[derive(Debug, Clone)]
+pub struct JoinRelation {
+    /// Stored-array name.
+    pub name: String,
+    /// The relation's leaf subtree (`Scan`, possibly under `Filter`s).
+    pub plan: PlanNode,
+    /// Base schema of the stored array.
+    pub schema: ArraySchema,
+    /// Conjunction of single-relation filters, in base column names.
+    pub filter: Option<Expr>,
+}
+
+/// One equality edge: `relations[left].pairs[i].0 = relations[right].pairs[i].1`.
+#[derive(Debug, Clone)]
+pub struct JoinEdge {
+    /// Left relation index.
+    pub left: usize,
+    /// Right relation index.
+    pub right: usize,
+    /// Base-column equality pairs.
+    pub pairs: Vec<(String, String)>,
+}
+
+/// The flattened join graph of one join tree.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// Relations, in the order they appear left-to-right in the tree.
+    pub relations: Vec<JoinRelation>,
+    /// Explicit equality edges recovered from the tree's join predicates.
+    pub edges: Vec<JoinEdge>,
+    /// The user's `INTO τ<…>[…]` on the root join, if any.
+    pub output: Option<ArraySchema>,
+    /// Saturated join-key equivalence classes over `(relation, column)`,
+    /// each sorted; the list is sorted by first member. Includes
+    /// transitively-implied equalities (`A.x = B.x ∧ B.x = C.x ⇒
+    /// A.x = C.x`), which is what lets the DP join `A` to `C` directly.
+    classes: Vec<Vec<(usize, String)>>,
+}
+
+/// Per-relation statistics the cost model runs on.
+#[derive(Debug, Clone)]
+pub struct RelEstimate {
+    /// Estimated rows after the relation's filter.
+    pub rows: f64,
+    /// Distinct-value estimates for the relation's join columns
+    /// (post-filter, from the histogram's mergeable sketch).
+    pub ndv: HashMap<String, f64>,
+    /// Estimated selectivity of the relation's filter (1.0 if none).
+    pub selectivity: f64,
+}
+
+/// One memoized DP subset.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Sum of estimated intermediate cardinalities beneath (and
+    /// including) this subset.
+    cost: f64,
+    /// Estimated cardinality of the subset's join result.
+    rows: f64,
+    /// The chosen `(left, right)` partition, `None` for singletons.
+    split: Option<(u64, u64)>,
+}
+
+/// The DP's output: the memo plus the full-set mask.
+#[derive(Debug, Clone)]
+pub struct DpPlan {
+    memo: HashMap<u64, Entry>,
+    full: u64,
+}
+
+impl DpPlan {
+    /// Estimated result cardinality of the whole join.
+    pub fn root_rows(&self) -> f64 {
+        self.memo[&self.full].rows
+    }
+
+    /// Total cost (sum of intermediate cardinalities) of the chosen plan.
+    pub fn root_cost(&self) -> f64 {
+        self.memo[&self.full].cost
+    }
+}
+
+impl JoinGraph {
+    /// Flatten a `Join`-rooted plan subtree into a graph. Returns `None`
+    /// for shapes the optimizer cannot reason about (unknown arrays,
+    /// duplicate relations, unresolvable pair columns, non-leaf inputs
+    /// it doesn't recognize) — the caller then executes the tree as
+    /// written.
+    pub fn from_plan(
+        plan: &PlanNode,
+        catalog: &dyn Fn(&str) -> Option<ArraySchema>,
+    ) -> Option<JoinGraph> {
+        let mut graph = JoinGraph {
+            relations: Vec::new(),
+            edges: Vec::new(),
+            output: None,
+            classes: Vec::new(),
+        };
+        let root_output = match plan {
+            PlanNode::Join { output, .. } => output.clone(),
+            _ => return None,
+        };
+        let root = collect(plan, catalog, &mut graph, true)?;
+        // The user-facing output schema: the explicit `INTO` when given,
+        // the natural schema of the tree as written otherwise — so
+        // reordering never changes what the query returns.
+        graph.output = root_output.or(Some(root.schema));
+        graph.classes = saturate(&graph.edges);
+        Some(graph)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the graph has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The saturated join-key equivalence classes.
+    pub fn classes(&self) -> &[Vec<(usize, String)>] {
+        &self.classes
+    }
+
+    /// Whether every relation is reachable from relation 0 through the
+    /// (saturated) equality edges.
+    pub fn is_connected(&self) -> bool {
+        let n = self.relations.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut frontier = vec![0usize];
+        while let Some(r) = frontier.pop() {
+            for class in &self.classes {
+                if class.iter().any(|(m, _)| *m == r) {
+                    for (m, _) in class {
+                        if !seen[*m] {
+                            seen[*m] = true;
+                            frontier.push(*m);
+                        }
+                    }
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Whether a saturated equality links the two (disjoint) subsets —
+    /// the cross-product-avoidance test.
+    fn crossing(&self, a: u64, b: u64) -> bool {
+        self.classes.iter().any(|class| {
+            class.iter().any(|(r, _)| a & (1 << r) != 0)
+                && class.iter().any(|(r, _)| b & (1 << r) != 0)
+        })
+    }
+
+    /// All left-deep join orders whose every prefix is connected (the
+    /// enumeration the golden-equivalence tests and the `multi_join`
+    /// bench execute exhaustively).
+    pub fn enumerate_left_deep(&self) -> Vec<Vec<usize>> {
+        let n = self.relations.len();
+        let mut orders = Vec::new();
+        let mut current = Vec::with_capacity(n);
+        self.left_deep_rec(&mut current, 0, &mut orders);
+        orders
+    }
+
+    fn left_deep_rec(&self, current: &mut Vec<usize>, mask: u64, out: &mut Vec<Vec<usize>>) {
+        let n = self.relations.len();
+        if current.len() == n {
+            out.push(current.clone());
+            return;
+        }
+        for r in 0..n {
+            let bit = 1u64 << r;
+            if mask & bit != 0 {
+                continue;
+            }
+            if mask != 0 && !self.crossing(mask, bit) {
+                continue;
+            }
+            current.push(r);
+            self.left_deep_rec(current, mask | bit, out);
+            current.pop();
+        }
+    }
+
+    /// The canonical output schema of a relation subset: dimensions are
+    /// the union of the members' dimensions (qualified `Rel.dim`, same
+    /// shapes), attributes are the members' attributes (qualified
+    /// `Rel.attr`) minus non-representative join-key duplicates.
+    pub fn subset_schema(&self, mask: u64) -> Option<ArraySchema> {
+        let rels: Vec<usize> = (0..self.relations.len())
+            .filter(|r| mask & (1 << r) != 0)
+            .collect();
+        if rels.len() < 2 {
+            return Some(self.relations[*rels.first()?].schema.clone());
+        }
+        let name = rels
+            .iter()
+            .map(|&r| self.relations[r].name.as_str())
+            .collect::<Vec<_>>()
+            .join("_");
+        let mut dims = Vec::new();
+        let mut attrs = Vec::new();
+        for &r in &rels {
+            let rel = &self.relations[r];
+            for d in &rel.schema.dims {
+                let mut def = d.clone();
+                def.name = format!("{}.{}", rel.name, d.name);
+                dims.push(def);
+            }
+        }
+        for &r in &rels {
+            let rel = &self.relations[r];
+            for a in &rel.schema.attrs {
+                if !self.keeps_attr(mask, r, &a.name) {
+                    continue;
+                }
+                let mut def = a.clone();
+                def.name = format!("{}.{}", rel.name, a.name);
+                attrs.push(def);
+            }
+        }
+        ArraySchema::new(name, dims, attrs).ok()
+    }
+
+    /// Whether attribute `(rel, col)` survives into the subset's
+    /// canonical schema: it does unless it is a non-representative
+    /// member of a join-key equivalence class (another member of the
+    /// class in the subset is a dimension, or a lower-ordered attribute).
+    fn keeps_attr(&self, mask: u64, rel: usize, col: &str) -> bool {
+        for class in &self.classes {
+            if !class.iter().any(|(r, c)| *r == rel && c == col) {
+                continue;
+            }
+            let members: Vec<&(usize, String)> =
+                class.iter().filter(|(r, _)| mask & (1 << r) != 0).collect();
+            if members.len() < 2 {
+                return true;
+            }
+            // Any dimension member representing the class means every
+            // attribute member is redundant.
+            if members
+                .iter()
+                .any(|(r, c)| self.relations[*r].schema.dims.iter().any(|d| &d.name == c))
+            {
+                return false;
+            }
+            // Otherwise the first attribute member represents the class.
+            return members[0] == &(rel, col.to_string());
+        }
+        true
+    }
+
+    /// The name column `(rel, col)` goes by in the canonical schema of
+    /// `mask` — its own qualified name, or its class representative's.
+    fn canonical_key_name(&self, mask: u64, class: &[(usize, String)]) -> Option<String> {
+        let members: Vec<&(usize, String)> =
+            class.iter().filter(|(r, _)| mask & (1 << r) != 0).collect();
+        let single = mask.count_ones() == 1;
+        // Prefer a dimension member (always present in the schema).
+        let repr = members
+            .iter()
+            .find(|(r, c)| self.relations[*r].schema.dims.iter().any(|d| &d.name == c))
+            .or_else(|| members.first())?;
+        if single {
+            Some(repr.1.clone())
+        } else {
+            Some(format!("{}.{}", self.relations[repr.0].name, repr.1))
+        }
+    }
+
+    /// The equality pairs joining two subsets, one per crossing
+    /// equivalence class, named in each side's canonical namespace.
+    fn pairs_between(&self, left: u64, right: u64) -> Vec<(String, String)> {
+        let mut pairs = Vec::new();
+        for class in &self.classes {
+            let crosses = class.iter().any(|(r, _)| left & (1 << r) != 0)
+                && class.iter().any(|(r, _)| right & (1 << r) != 0);
+            if !crosses {
+                continue;
+            }
+            if let (Some(l), Some(r)) = (
+                self.canonical_key_name(left, class),
+                self.canonical_key_name(right, class),
+            ) {
+                pairs.push((l, r));
+            }
+        }
+        pairs
+    }
+
+    /// Build the join tree for one left-deep order, every node carrying
+    /// its canonical subset schema. All orders over the same graph share
+    /// the root schema, so their results are directly comparable (and,
+    /// for workloads with unique row coordinates, bit-identical).
+    pub fn tree_for_order(&self, order: &[usize]) -> Option<PlanNode> {
+        let mut mask = 1u64 << order[0];
+        let mut tree = self.relations[order[0]].plan.clone();
+        for &r in &order[1..] {
+            let bit = 1u64 << r;
+            let pairs = self.pairs_between(mask, bit);
+            if pairs.is_empty() {
+                return None;
+            }
+            let new_mask = mask | bit;
+            tree = PlanNode::Join {
+                left: Box::new(tree),
+                right: Box::new(self.relations[r].plan.clone()),
+                pairs,
+                output: Some(self.root_schema_for(new_mask, order.len())?),
+            };
+            mask = new_mask;
+        }
+        Some(tree)
+    }
+
+    /// The schema a subset-rooted join emits: the user's `INTO` for the
+    /// full set (when declared), the canonical subset schema otherwise.
+    fn root_schema_for(&self, mask: u64, n: usize) -> Option<ArraySchema> {
+        if mask.count_ones() as usize == n {
+            if let Some(out) = &self.output {
+                return Some(out.clone());
+            }
+        }
+        self.subset_schema(mask)
+    }
+
+    /// Emit the DP-chosen join tree (bushy in general), every node
+    /// carrying its canonical subset schema.
+    pub fn tree_for_plan(&self, plan: &DpPlan) -> Option<PlanNode> {
+        self.emit(plan, plan.full)
+    }
+
+    /// Order a memoized split for emission: the executor runs
+    /// measurably faster with the smaller input as the left (build)
+    /// side, so put the half with fewer estimated rows first.
+    /// Deterministic — estimates are a pure function of stored data.
+    fn sides(&self, plan: &DpPlan, lm: u64, rm: u64) -> (u64, u64) {
+        let rows = |m: u64| plan.memo.get(&m).map_or(f64::INFINITY, |e| e.rows);
+        if rows(rm) < rows(lm) {
+            (rm, lm)
+        } else {
+            (lm, rm)
+        }
+    }
+
+    fn emit(&self, plan: &DpPlan, mask: u64) -> Option<PlanNode> {
+        let entry = plan.memo.get(&mask)?;
+        let Some((lm, rm)) = entry.split else {
+            let r = mask.trailing_zeros() as usize;
+            return Some(self.relations[r].plan.clone());
+        };
+        let (lm, rm) = self.sides(plan, lm, rm);
+        let left = self.emit(plan, lm)?;
+        let right = self.emit(plan, rm)?;
+        let pairs = self.pairs_between(lm, rm);
+        if pairs.is_empty() {
+            return None;
+        }
+        Some(PlanNode::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            pairs,
+            output: Some(self.root_schema_for(mask, self.relations.len())?),
+        })
+    }
+
+    /// Human-readable description of a memoized subset's tree shape,
+    /// e.g. `((A ⋈ B) ⋈ C)`.
+    pub fn describe(&self, plan: &DpPlan, mask: u64) -> String {
+        match plan.memo.get(&mask).and_then(|e| e.split) {
+            None => {
+                let r = mask.trailing_zeros() as usize;
+                self.relations[r].name.clone()
+            }
+            Some((lm, rm)) => {
+                let (lm, rm) = self.sides(plan, lm, rm);
+                format!(
+                    "({} ⋈ {})",
+                    self.describe(plan, lm),
+                    self.describe(plan, rm)
+                )
+            }
+        }
+    }
+
+    /// Comma-joined relation names of a subset mask.
+    pub fn subset_names(&self, mask: u64) -> String {
+        (0..self.relations.len())
+            .filter(|r| mask & (1 << r) != 0)
+            .map(|r| self.relations[r].name.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Estimated cardinality of a subset's join result: the product of
+    /// member row counts, divided once per extra relation sharing each
+    /// crossing equivalence class by the class's largest distinct count
+    /// (the textbook containment assumption).
+    pub fn subset_rows(&self, mask: u64, ests: &[RelEstimate]) -> f64 {
+        let mut rows: f64 = (0..self.relations.len())
+            .filter(|r| mask & (1 << r) != 0)
+            .map(|r| ests[r].rows.max(1.0))
+            .product();
+        for class in &self.classes {
+            let mut member_rels: Vec<usize> = class
+                .iter()
+                .filter(|(r, _)| mask & (1 << r) != 0)
+                .map(|(r, _)| *r)
+                .collect();
+            member_rels.sort_unstable();
+            member_rels.dedup();
+            if member_rels.len() < 2 {
+                continue;
+            }
+            let max_ndv = class
+                .iter()
+                .filter(|(r, _)| mask & (1 << r) != 0)
+                .map(|(r, c)| ests[*r].ndv.get(c).copied().unwrap_or(1.0))
+                .fold(1.0f64, f64::max);
+            rows /= max_ndv.powi(member_rels.len() as i32 - 1);
+        }
+        rows.max(1e-6)
+    }
+
+    /// Run the bottom-up DP: bitset-keyed memo over connected subsets,
+    /// bushy partitions, cross products never enumerated. Deterministic:
+    /// masks ascend, submask enumeration order is fixed, and only a
+    /// strictly cheaper partition replaces the incumbent.
+    pub fn optimize(&self, ests: &[RelEstimate]) -> Option<DpPlan> {
+        let n = self.relations.len();
+        if n == 0 || n > 63 {
+            return None;
+        }
+        let full = (1u64 << n) - 1;
+        let mut memo: HashMap<u64, Entry> = HashMap::new();
+        for (r, est) in ests.iter().enumerate().take(n) {
+            memo.insert(
+                1 << r,
+                Entry {
+                    cost: 0.0,
+                    rows: est.rows.max(1.0),
+                    split: None,
+                },
+            );
+        }
+        for mask in 3..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let lowest = mask & mask.wrapping_neg();
+            let mut best: Option<Entry> = None;
+            let mut rows_cache: Option<f64> = None;
+            let mut sub = (mask - 1) & mask;
+            while sub > 0 {
+                // Canonical partition: the half holding the lowest set
+                // bit is the left input, so each split is seen once.
+                if sub & lowest != 0 {
+                    let other = mask ^ sub;
+                    if let (Some(l), Some(r)) = (memo.get(&sub), memo.get(&other)) {
+                        if self.crossing(sub, other) {
+                            let rows =
+                                *rows_cache.get_or_insert_with(|| self.subset_rows(mask, ests));
+                            let cost = l.cost + r.cost + rows;
+                            if best.is_none_or(|b| cost < b.cost) {
+                                best = Some(Entry {
+                                    cost,
+                                    rows,
+                                    split: Some((sub, other)),
+                                });
+                            }
+                        }
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+            if let Some(b) = best {
+                memo.insert(mask, b);
+            }
+        }
+        memo.contains_key(&full).then_some(DpPlan { memo, full })
+    }
+}
+
+/// Recursive flattening of a join tree. Returns the side's output
+/// schema plus a map from its output column names to `(relation, base
+/// column)` sources; pushes relations and edges into `graph`.
+struct Side {
+    schema: ArraySchema,
+    colmap: HashMap<String, (usize, String)>,
+}
+
+fn collect(
+    node: &PlanNode,
+    catalog: &dyn Fn(&str) -> Option<ArraySchema>,
+    graph: &mut JoinGraph,
+    _root: bool,
+) -> Option<Side> {
+    match node {
+        PlanNode::Scan { array } => {
+            if graph.relations.iter().any(|r| &r.name == array) {
+                return None; // self-joins need aliases the language lacks
+            }
+            let schema = catalog(array)?;
+            let rel = graph.relations.len();
+            let mut colmap = HashMap::new();
+            for d in &schema.dims {
+                colmap.insert(d.name.clone(), (rel, d.name.clone()));
+            }
+            for a in &schema.attrs {
+                colmap.insert(a.name.clone(), (rel, a.name.clone()));
+            }
+            graph.relations.push(JoinRelation {
+                name: array.clone(),
+                plan: node.clone(),
+                schema: schema.clone(),
+                filter: None,
+            });
+            Some(Side { schema, colmap })
+        }
+        PlanNode::Filter { input, predicate } => {
+            let before = graph.relations.len();
+            let side = collect(input, catalog, graph, false)?;
+            // Only single-relation filters attach to a relation; a
+            // filter over a nested join is a shape the rewriter should
+            // have pushed down — bail and execute as written.
+            if graph.relations.len() != before + 1 {
+                return None;
+            }
+            let rel = &mut graph.relations[before];
+            if !predicate
+                .referenced_columns()
+                .iter()
+                .all(|c| side.colmap.contains_key(c))
+            {
+                return None;
+            }
+            rel.filter = Some(match rel.filter.take() {
+                None => predicate.clone(),
+                Some(f) => Expr::binary(BinOp::And, f, predicate.clone()),
+            });
+            rel.plan = node.clone();
+            Some(side)
+        }
+        PlanNode::Join {
+            left,
+            right,
+            pairs,
+            output,
+        } => {
+            let l = collect(left, catalog, graph, false)?;
+            let r = collect(right, catalog, graph, false)?;
+            let mut edge_pairs = Vec::with_capacity(pairs.len());
+            for (lp, rp) in pairs {
+                let (lrel, lcol) = l.colmap.get(lp)?.clone();
+                let (rrel, rcol) = r.colmap.get(rp)?.clone();
+                graph.edges.push(JoinEdge {
+                    left: lrel,
+                    right: rrel,
+                    pairs: vec![(lcol.clone(), rcol.clone())],
+                });
+                edge_pairs.push((lp.clone(), rp.clone()));
+            }
+            let schema = match output {
+                Some(s) => s.clone(),
+                None => natural_join_schema(&l.schema, &r.schema, pairs).ok()?,
+            };
+            // Map the join's output columns back to base sources: exact
+            // name in either side first, then the Equation-3 collision
+            // qualification `{right_name}.{col}`.
+            let mut colmap = HashMap::new();
+            for name in schema
+                .dims
+                .iter()
+                .map(|d| &d.name)
+                .chain(schema.attrs.iter().map(|a| &a.name))
+            {
+                let src = l
+                    .colmap
+                    .get(name)
+                    .or_else(|| r.colmap.get(name))
+                    .cloned()
+                    .or_else(|| {
+                        let (prefix, col) = name.split_once('.')?;
+                        if prefix == r.schema.name {
+                            r.colmap.get(col).cloned()
+                        } else if prefix == l.schema.name {
+                            l.colmap.get(col).cloned()
+                        } else {
+                            None
+                        }
+                    })?;
+                colmap.insert(name.clone(), src);
+            }
+            Some(Side { schema, colmap })
+        }
+        _ => None,
+    }
+}
+
+/// Union-find saturation of the edge pairs into equivalence classes over
+/// `(relation, column)` — the transitive-equality inference.
+fn saturate(edges: &[JoinEdge]) -> Vec<Vec<(usize, String)>> {
+    let mut nodes: Vec<(usize, String)> = Vec::new();
+    let mut index = HashMap::new();
+    let id_of = |nodes: &mut Vec<(usize, String)>,
+                 index: &mut HashMap<(usize, String), usize>,
+                 key: (usize, String)| {
+        *index.entry(key.clone()).or_insert_with(|| {
+            nodes.push(key);
+            nodes.len() - 1
+        })
+    };
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    for e in edges {
+        for (lc, rc) in &e.pairs {
+            let a = id_of(&mut nodes, &mut index, (e.left, lc.clone()));
+            let b = id_of(&mut nodes, &mut index, (e.right, rc.clone()));
+            links.push((a, b));
+        }
+    }
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for (a, b) in links {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+    let mut groups: HashMap<usize, Vec<(usize, String)>> = HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(node.clone());
+    }
+    let mut classes: Vec<Vec<(usize, String)>> = groups
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .map(|mut g| {
+            g.sort();
+            g
+        })
+        .collect();
+    classes.sort();
+    classes
+}
+
+/// Estimated selectivity of a filter predicate against per-column
+/// histograms: range predicates interpolate bucket mass, equalities use
+/// the distinct sketch, conjunction/disjunction combine independently,
+/// and anything else falls back to the classic 1/4 guess.
+pub fn estimate_selectivity(expr: &Expr, hists: &HashMap<String, Histogram>) -> f64 {
+    let sel = selectivity_rec(expr, hists);
+    sel.clamp(1e-4, 1.0)
+}
+
+fn selectivity_rec(expr: &Expr, hists: &HashMap<String, Histogram>) -> f64 {
+    match expr {
+        Expr::Binary { op, left, right } => match op {
+            BinOp::And => selectivity_rec(left, hists) * selectivity_rec(right, hists),
+            BinOp::Or => {
+                let (a, b) = (selectivity_rec(left, hists), selectivity_rec(right, hists));
+                (a + b - a * b).min(1.0)
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                match comparison_parts(left, right) {
+                    Some((col, v, flipped)) => match hists.get(col) {
+                        Some(h) => comparison_selectivity(h, *op, v, flipped),
+                        None => 0.25,
+                    },
+                    None => 0.25,
+                }
+            }
+            _ => 0.25,
+        },
+        Expr::Not(inner) => 1.0 - selectivity_rec(inner, hists),
+        _ => 0.25,
+    }
+}
+
+/// Extract `(column, literal, flipped)` from a comparison's operands.
+fn comparison_parts<'a>(left: &'a Expr, right: &'a Expr) -> Option<(&'a str, f64, bool)> {
+    match (left, right) {
+        (Expr::Column(c), Expr::Literal(v)) => Some((c.as_str(), v.as_float()?, false)),
+        (Expr::Literal(v), Expr::Column(c)) => Some((c.as_str(), v.as_float()?, true)),
+        _ => None,
+    }
+}
+
+fn comparison_selectivity(h: &Histogram, op: BinOp, v: f64, flipped: bool) -> f64 {
+    // `5 < col` is `col > 5`.
+    let op = if flipped {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    } else {
+        op
+    };
+    let below = cdf(h, v);
+    match op {
+        BinOp::Lt | BinOp::Le => below,
+        BinOp::Gt | BinOp::Ge => 1.0 - below,
+        BinOp::Eq => 1.0 / h.distinct(),
+        BinOp::Ne => 1.0 - 1.0 / h.distinct(),
+        _ => 0.25,
+    }
+}
+
+/// Fraction of observed values below `v`, interpolating linearly within
+/// the covering bucket.
+fn cdf(h: &Histogram, v: f64) -> f64 {
+    if v <= h.min {
+        return 0.0;
+    }
+    if v >= h.max {
+        return 1.0;
+    }
+    let width = (h.max - h.min) / h.buckets.len() as f64;
+    if width == 0.0 {
+        return 0.5;
+    }
+    let pos = (v - h.min) / width;
+    let idx = (pos as usize).min(h.buckets.len() - 1);
+    let frac_in_bucket = pos - idx as f64;
+    let below: u64 = h.buckets[..idx].iter().sum();
+    (below as f64 + h.buckets[idx] as f64 * frac_in_bucket) / h.count as f64
+}
+
+/// Epoch-validated per-column statistics for one stored array.
+#[derive(Debug, Clone)]
+struct CachedStats {
+    /// Catalog epoch the statistics were computed under.
+    epoch: u64,
+    /// Stored cells (pre-filter).
+    rows: f64,
+    /// Per-column histograms (with distinct sketches), built lazily for
+    /// the columns queries have actually asked about.
+    hists: HashMap<String, Histogram>,
+}
+
+/// Per-column statistics cache shared by every query of one
+/// [`ExecConfig`] — the engine-resident "statistics in the database
+/// engine" of §4, so each query pays DP bookkeeping, not a full
+/// statistics rescan. Entries are keyed by array name and validated
+/// against the catalog epoch: loading or dropping any array bumps the
+/// epoch and invalidates every cached entry on its next use. A stale
+/// entry (e.g. on a diverged `Cluster` clone) can only steer the DP to
+/// a slower order — plan choice never changes results.
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    inner: std::sync::Mutex<HashMap<String, CachedStats>>,
+}
+
+impl StatsCache {
+    /// Row count and histograms for `cols` of stored array `name`,
+    /// computed on first use (or after a catalog change) by streaming
+    /// the array's chunks — no coordinator gather, no materialization.
+    fn relation_stats(
+        &self,
+        cluster: &Cluster,
+        schema: &ArraySchema,
+        name: &str,
+        cols: &[String],
+    ) -> Option<(f64, HashMap<String, Histogram>)> {
+        let epoch = cluster.catalog().epoch();
+        let mut cache = self.inner.lock().ok()?;
+        let entry = match cache.get_mut(name) {
+            Some(e) if e.epoch == epoch => e,
+            _ => {
+                let rows: usize = cluster
+                    .catalog()
+                    .chunk_homes(name)
+                    .ok()?
+                    .keys()
+                    .map(|&id| cluster.chunk(name, id).map_or(0, |c| c.cell_count()))
+                    .sum();
+                cache.insert(
+                    name.to_string(),
+                    CachedStats {
+                        epoch,
+                        rows: rows as f64,
+                        hists: HashMap::new(),
+                    },
+                );
+                cache.get_mut(name)?
+            }
+        };
+        for col in cols {
+            if entry.hists.contains_key(col) {
+                continue;
+            }
+            let chunk_ids: Vec<u64> = cluster
+                .catalog()
+                .chunk_homes(name)
+                .ok()?
+                .keys()
+                .copied()
+                .collect();
+            let chunks = chunk_ids
+                .iter()
+                .filter_map(|&id| cluster.chunk(name, id).ok());
+            let hist = if let Some(d) = schema.dims.iter().position(|d| &d.name == col) {
+                Histogram::build(
+                    chunks.flat_map(|c| c.cells.coords[d].iter().map(|&v| Value::Int(v))),
+                    64,
+                )
+                .ok()
+            } else if let Some(a) = schema.attrs.iter().position(|a| &a.name == col) {
+                Histogram::build(
+                    chunks.flat_map(|c| (0..c.cells.len()).map(move |i| c.cells.value(i, a))),
+                    64,
+                )
+                .ok()
+            } else {
+                None
+            };
+            if let Some(h) = hist {
+                entry.hists.insert(col.clone(), h);
+            }
+        }
+        Some((entry.rows, entry.hists.clone()))
+    }
+}
+
+/// Gather per-relation statistics for the cost model: row counts,
+/// histograms (with distinct sketches) for every join and filter column,
+/// and filter selectivities. Column statistics come from `cache`
+/// (computed by streaming stored chunks on first use, reused until the
+/// catalog changes).
+pub fn gather_stats(
+    cluster: &Cluster,
+    graph: &JoinGraph,
+    cache: &StatsCache,
+) -> Option<Vec<RelEstimate>> {
+    let mut out = Vec::with_capacity(graph.relations.len());
+    for (r, rel) in graph.relations.iter().enumerate() {
+        // Columns the cost model needs: this relation's members of every
+        // equivalence class, plus anything its filter references.
+        let mut cols: Vec<String> = graph
+            .classes
+            .iter()
+            .flat_map(|class| class.iter())
+            .filter(|(cr, _)| *cr == r)
+            .map(|(_, c)| c.clone())
+            .collect();
+        if let Some(f) = &rel.filter {
+            cols.extend(f.referenced_columns());
+        }
+        cols.sort();
+        cols.dedup();
+        let (rows, hists) = cache.relation_stats(cluster, &rel.schema, &rel.name, &cols)?;
+        let selectivity = match &rel.filter {
+            Some(f) => estimate_selectivity(f, &hists),
+            None => 1.0,
+        };
+        let est_rows = (rows * selectivity).max(1.0);
+        let mut ndv = HashMap::new();
+        for col in &cols {
+            let base = match hists.get(col) {
+                Some(h) => h.distinct(),
+                None => rows.max(1.0),
+            };
+            ndv.insert(col.clone(), base.min(est_rows).max(1.0));
+        }
+        out.push(RelEstimate {
+            rows: est_rows,
+            ndv,
+            selectivity,
+        });
+    }
+    Some(out)
+}
+
+/// Optimize every join subtree of `plan`: flatten to a [`JoinGraph`],
+/// estimate, run the DP, record the `optimizer` span (chosen order plus
+/// per-subset cardinality estimates), and — for three or more relations
+/// — replace the subtree with the DP-chosen tree carrying canonical
+/// schemas. Two-relation joins keep their original tree (and output
+/// schema) so existing binary-join behavior is untouched. Returns `None`
+/// when the plan is unchanged.
+pub fn optimize_plan(
+    cluster: &Cluster,
+    plan: &PlanNode,
+    config: &ExecConfig,
+    parent: &SpanGuard,
+) -> Option<PlanNode> {
+    if config.optimizer == OptimizerMode::Off {
+        return None;
+    }
+    let changed = std::cell::Cell::new(false);
+    let rewritten = optimize_rec(cluster, plan, config, parent, &changed);
+    changed.get().then_some(rewritten)
+}
+
+fn optimize_rec(
+    cluster: &Cluster,
+    plan: &PlanNode,
+    config: &ExecConfig,
+    parent: &SpanGuard,
+    changed: &std::cell::Cell<bool>,
+) -> PlanNode {
+    if let PlanNode::Join { .. } = plan {
+        if let Some(opt) = optimize_join(cluster, plan, config, parent) {
+            changed.set(true);
+            return opt;
+        }
+        return plan.clone();
+    }
+    crate::plan::map_children(plan.clone(), &|child| {
+        optimize_rec(cluster, &child, config, parent, changed)
+    })
+}
+
+fn optimize_join(
+    cluster: &Cluster,
+    plan: &PlanNode,
+    config: &ExecConfig,
+    parent: &SpanGuard,
+) -> Option<PlanNode> {
+    let catalog = |name: &str| cluster.catalog().schema(name).ok().cloned();
+    let graph = JoinGraph::from_plan(plan, &catalog)?;
+    if !graph.is_connected() {
+        return None;
+    }
+    let ests = gather_stats(cluster, &graph, &config.stats)?;
+    let dp = graph.optimize(&ests)?;
+    let span = parent.child("optimizer");
+    span.field("relations", graph.len() as u64);
+    span.field("edges", graph.edges.len() as u64);
+    span.field("chosen", graph.describe(&dp, dp.full));
+    span.field("est_rows", dp.root_rows());
+    span.field("cost", dp.root_cost());
+    // Per-subset estimates, smallest subsets first, masks ascending.
+    let mut masks: Vec<u64> = dp.memo.keys().copied().collect();
+    masks.sort_by_key(|m| (m.count_ones(), *m));
+    for mask in masks {
+        let entry = dp.memo[&mask];
+        let sub = span.child("subset");
+        sub.field("rels", graph.subset_names(mask));
+        sub.field("rows", entry.rows);
+        sub.field("cost", entry.cost);
+    }
+    if graph.len() < 3 {
+        // Binary joins keep their tree and default output schema; the
+        // span above still surfaces the estimates.
+        span.field("reordered", false);
+        return None;
+    }
+    let tree = graph.tree_for_plan(&dp)?;
+    let reordered = &tree != plan;
+    span.field("reordered", reordered);
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(name: &str) -> PlanNode {
+        PlanNode::Scan {
+            array: name.to_string(),
+        }
+    }
+
+    fn join(l: PlanNode, r: PlanNode, pairs: &[(&str, &str)]) -> PlanNode {
+        PlanNode::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            pairs: pairs
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            output: None,
+        }
+    }
+
+    fn star_catalog() -> impl Fn(&str) -> Option<ArraySchema> {
+        |name: &str| {
+            let text = match name {
+                "F" => "F<d1:int, d2:int, m:int>[i=0,9999,1000]",
+                "D1" => "D1<x:int>[j=0,99,100]",
+                "D2" => "D2<y:int>[k=0,99,100]",
+                _ => return None,
+            };
+            Some(ArraySchema::parse(text).unwrap())
+        }
+    }
+
+    fn star_graph() -> JoinGraph {
+        let plan = join(
+            join(scan("F"), scan("D1"), &[("d1", "j")]),
+            scan("D2"),
+            &[("d2", "k")],
+        );
+        JoinGraph::from_plan(&plan, &star_catalog()).unwrap()
+    }
+
+    fn star_ests(graph: &JoinGraph) -> Vec<RelEstimate> {
+        graph
+            .relations
+            .iter()
+            .map(|rel| {
+                let (rows, ndv): (f64, Vec<(&str, f64)>) = match rel.name.as_str() {
+                    "F" => (10_000.0, vec![("d1", 100.0), ("d2", 100.0)]),
+                    "D1" => (100.0, vec![("j", 100.0)]),
+                    "D2" => (4.0, vec![("k", 4.0)]),
+                    _ => unreachable!(),
+                };
+                RelEstimate {
+                    rows,
+                    ndv: ndv.into_iter().map(|(c, v)| (c.to_string(), v)).collect(),
+                    selectivity: 1.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_plan_flattens_relations_and_edges() {
+        let g = star_graph();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edges.len(), 2);
+        assert!(g.is_connected());
+        let names: Vec<&str> = g.relations.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["F", "D1", "D2"]);
+    }
+
+    #[test]
+    fn transitive_edges_saturate() {
+        // A.x = B.x, B.x = C.x ⇒ one class {A.x, B.x, C.x}; A and C are
+        // directly joinable even though no explicit edge links them.
+        let catalog = |name: &str| {
+            ArraySchema::parse(&format!("{name}<x:int>[i=0,9,10]"))
+                .ok()
+                .map(|mut s| {
+                    s.name = name.to_string();
+                    s
+                })
+        };
+        let plan = join(
+            join(scan("A"), scan("B"), &[("x", "x")]),
+            scan("C"),
+            &[("x", "x")],
+        );
+        let g = JoinGraph::from_plan(&plan, &catalog).unwrap();
+        assert_eq!(g.classes().len(), 1);
+        assert_eq!(g.classes()[0].len(), 3);
+        assert!(g.crossing(0b001, 0b100)); // A—C via transitivity
+    }
+
+    #[test]
+    fn dp_prefers_small_dimension_first() {
+        // D2 shrinks F 25x (ndv 4 vs rows 4 ⇒ N:1, but the class divisor
+        // 100 on d2... rows(F⋈D2) = 10_000*4/100 = 400, rows(F⋈D1) =
+        // 10_000*100/100 = 10_000 — joining D2 first is much cheaper.
+        let g = star_graph();
+        let ests = star_ests(&g);
+        let dp = g.optimize(&ests).unwrap();
+        let chosen = g.describe(&dp, dp.full);
+        // Emission puts the smaller estimated side on the left, so the
+        // 4-row D2 leads its join with the 10k-row F.
+        assert!(
+            chosen.contains("(D2 ⋈ F)"),
+            "expected D2 joined first, got {chosen}"
+        );
+        assert!(dp.root_cost() < 10_000.0 + 400.0 + 1.0);
+    }
+
+    #[test]
+    fn no_cross_products_ever() {
+        let g = star_graph();
+        let ests = star_ests(&g);
+        let dp = g.optimize(&ests).unwrap();
+        // D1 and D2 share no class: the memo must not contain their pair.
+        assert!(!dp.memo.contains_key(&0b110));
+    }
+
+    #[test]
+    fn left_deep_enumeration_respects_connectivity() {
+        let g = star_graph();
+        let orders = g.enumerate_left_deep();
+        // Star: F first (2 orders), or a dimension first then F then the
+        // other (D1,F,D2 and D2,F,D1) — 4 connected orders of 6 total.
+        assert_eq!(orders.len(), 4);
+        for o in &orders {
+            // Every prefix connected: F (index 0) within first two.
+            assert!(o[0] == 0 || o[1] == 0);
+        }
+    }
+
+    #[test]
+    fn canonical_schema_unions_dims_and_qualifies() {
+        let g = star_graph();
+        let s = g.subset_schema(0b111).unwrap();
+        let dim_names: Vec<&str> = s.dims.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(dim_names, vec!["F.i", "D1.j", "D2.k"]);
+        let attr_names: Vec<&str> = s.attrs.iter().map(|a| a.name.as_str()).collect();
+        // Non-key attributes survive, qualified.
+        assert!(attr_names.contains(&"F.m"));
+        assert!(attr_names.contains(&"D1.x"));
+        assert!(attr_names.contains(&"D2.y"));
+        // The join-key attrs F.d1/F.d2 drop: their equivalence classes
+        // are represented by the dimensions D1.j / D2.k.
+        assert!(!attr_names.contains(&"F.d1"));
+        assert!(!attr_names.contains(&"F.d2"));
+    }
+
+    #[test]
+    fn all_orders_share_root_schema() {
+        let g = star_graph();
+        let mut roots = Vec::new();
+        for order in g.enumerate_left_deep() {
+            let tree = g.tree_for_order(&order).unwrap();
+            let PlanNode::Join { output, .. } = &tree else {
+                panic!("root must be a join");
+            };
+            roots.push(output.clone().unwrap());
+        }
+        for r in &roots[1..] {
+            assert_eq!(r, &roots[0]);
+        }
+    }
+
+    #[test]
+    fn selectivity_estimates_ranges_and_equalities() {
+        let mut hists = HashMap::new();
+        hists.insert(
+            "v".to_string(),
+            Histogram::build((0..1000).map(Value::Int), 64).unwrap(),
+        );
+        let lt = Expr::binary(BinOp::Lt, Expr::col("v"), Expr::int(100));
+        let s = estimate_selectivity(&lt, &hists);
+        assert!((s - 0.1).abs() < 0.05, "lt selectivity {s}");
+        let eq = Expr::binary(BinOp::Eq, Expr::col("v"), Expr::int(7));
+        let s = estimate_selectivity(&eq, &hists);
+        assert!(s < 0.01, "eq selectivity {s}");
+        let unknown = Expr::binary(BinOp::Lt, Expr::col("zzz"), Expr::int(1));
+        assert_eq!(estimate_selectivity(&unknown, &hists), 0.25);
+    }
+}

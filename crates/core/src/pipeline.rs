@@ -33,14 +33,13 @@ use sj_array::ops::{self, AggFn, ColumnRef};
 use sj_array::{
     Array, ArrayError, ArraySchema, AttributeDef, CellBatch, Chunk, DataType, DimensionDef,
 };
-use sj_cluster::Cluster;
+use sj_cluster::{Cluster, Placement};
 use sj_telemetry::{Counter, QueryContext, SpanGuard, Telemetry, Tracer};
 
 use crate::error::{JoinError, Result};
-use crate::exec::{execute_join_guarded, ExecConfig, JoinMetrics, JoinQuery};
+use crate::exec::{execute_join_guarded, ExecConfig, JoinQuery};
 use crate::plan::PlanNode;
 use crate::predicate::JoinPredicate;
-use crate::views::MetricsView;
 
 /// A pull-based operator over cell batches.
 ///
@@ -93,20 +92,6 @@ pub struct PlanOutput {
     pub telemetry: Telemetry,
 }
 
-impl PlanOutput {
-    /// Execution counters.
-    #[deprecated(note = "use `crate::views::MetricsView::pipeline_stats` on `telemetry`")]
-    pub fn stats(&self) -> PipelineStats {
-        self.telemetry.pipeline_stats()
-    }
-
-    /// Join metrics, when the plan contained a [`PlanNode::Join`].
-    #[deprecated(note = "use `crate::views::MetricsView::join_metrics` on `telemetry`")]
-    pub fn join_metrics(&self) -> Option<JoinMetrics> {
-        MetricsView::join_metrics(&self.telemetry)
-    }
-}
-
 /// Execute `plan` against `cluster` and materialize the result, with the
 /// run's telemetry (exported to `config.telemetry`'s sink, if any).
 pub fn run_plan(cluster: &Cluster, plan: &PlanNode, config: &ExecConfig) -> Result<PlanOutput> {
@@ -133,6 +118,11 @@ pub fn run_plan_traced(
     // One lifecycle context for the whole plan: a single cancel (or
     // deadline) covers every operator and every nested join.
     let ctx = config.lifecycle.context();
+    // Join-order optimization runs before the pipeline span opens: the
+    // `optimizer` span (chosen order, per-subset estimates) sits beside
+    // `pipeline` under the query root.
+    let optimized = crate::optimizer::optimize_plan(cluster, plan, config, parent);
+    let plan = optimized.as_ref().unwrap_or(plan);
     let span = parent.child("pipeline");
     let gather = GatherCounters {
         bytes: span.tracer().counter("pipeline.gathered_bytes"),
@@ -261,7 +251,7 @@ fn build<'a>(
             pairs,
             output,
         } => Box::new(JoinOp::build(
-            cluster, config, span, ctx, left, right, pairs, output,
+            cluster, config, gather, span, ctx, left, right, pairs, output,
         )?),
         PlanNode::Rename { input, name } => {
             let child = build(input, cluster, config, gather, span, ctx)?;
@@ -748,10 +738,15 @@ impl BatchOperator for HashOp<'_> {
     }
 }
 
-/// The six-phase skew-aware shuffle join. Executed eagerly at build (its
-/// inputs are stored arrays, not plan children); streams the result's
-/// chunks. Its `join` span nests under the `pipeline` span, so the
-/// query's [`JoinMetrics`] view reads straight from the shared tree.
+/// The six-phase skew-aware shuffle join. Executed eagerly at build;
+/// streams the result's chunks. When both inputs are bare `Scan`s the
+/// executor runs directly against the live cluster (the pre-composable
+/// fast path, bit-identical to the old behavior). Composite inputs —
+/// nested joins, filtered scans, any derived subtree — are materialized
+/// and registered as temp arrays on a scratch cluster with the live
+/// cluster's topology, and the same executor runs there. Its `join` span
+/// nests under the `pipeline` span, so the query's [`JoinMetrics`] view
+/// reads straight from the shared tree.
 struct JoinOp {
     array: Array,
     ids: Vec<u64>,
@@ -762,6 +757,27 @@ struct JoinOp {
 impl JoinOp {
     #[allow(clippy::too_many_arguments)]
     fn build(
+        cluster: &Cluster,
+        config: &ExecConfig,
+        gather: &GatherCounters,
+        span: &SpanGuard,
+        ctx: &QueryContext,
+        left: &PlanNode,
+        right: &PlanNode,
+        pairs: &[(String, String)],
+        output: &Option<ArraySchema>,
+    ) -> Result<JoinOp> {
+        if let (PlanNode::Scan { array: l }, PlanNode::Scan { array: r }) = (left, right) {
+            return JoinOp::execute(cluster, config, span, ctx, l, r, pairs, output);
+        }
+        let mut scratch = Cluster::new(cluster.node_count(), cluster.network);
+        let lname = stage_join_side(&mut scratch, cluster, config, gather, span, ctx, left)?;
+        let rname = stage_join_side(&mut scratch, cluster, config, gather, span, ctx, right)?;
+        JoinOp::execute(&scratch, config, span, ctx, &lname, &rname, pairs, output)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
         cluster: &Cluster,
         config: &ExecConfig,
         span: &SpanGuard,
@@ -785,6 +801,53 @@ impl JoinOp {
             ordered,
         })
     }
+}
+
+/// Register one join input as an array on the scratch cluster, returning
+/// the catalog name it landed under.
+///
+/// A stored side keeps its name, cells, and original chunk homes
+/// (explicit placement), so the scratch run sees exactly the distribution
+/// — and skew — the live cluster would. A derived side runs through the
+/// pipeline recursively and lands round-robin, like a fresh load.
+fn stage_join_side(
+    scratch: &mut Cluster,
+    cluster: &Cluster,
+    config: &ExecConfig,
+    gather: &GatherCounters,
+    span: &SpanGuard,
+    ctx: &QueryContext,
+    side: &PlanNode,
+) -> Result<String> {
+    let (mut array, placement) = match side {
+        PlanNode::Scan { array } => {
+            let homes: std::collections::HashMap<u64, usize> = cluster
+                .catalog()
+                .chunk_homes(array)?
+                .iter()
+                .map(|(&id, &node)| (id, node))
+                .collect();
+            (cluster.gather(array)?, Placement::Explicit(homes))
+        }
+        node => {
+            let mut op = build(node, cluster, config, gather, span, ctx)?;
+            op.open()?;
+            let result = materialize(&mut op);
+            op.close()?;
+            (result?, Placement::RoundRobin)
+        }
+    };
+    // Temp names must be unique within the scratch catalog (a derived
+    // intermediate could share its inferred name with the other side).
+    let mut name = array.schema.name.clone();
+    let mut k = 0;
+    while scratch.catalog().schema(&name).is_ok() {
+        k += 1;
+        name = format!("{}__t{k}", array.schema.name);
+    }
+    array.schema.name = name.clone();
+    scratch.load_array(array, &placement)?;
+    Ok(name)
 }
 
 impl BatchOperator for JoinOp {
@@ -821,6 +884,7 @@ impl BatchOperator for JoinOp {
 mod tests {
     use super::*;
     use crate::plan::rewrite;
+    use crate::views::MetricsView;
     use sj_array::{BinOp, Expr, Value};
     use sj_cluster::{NetworkModel, Placement};
 

@@ -102,14 +102,18 @@ pub enum PlanNode {
         /// Bucket count.
         buckets: usize,
     },
-    /// Skew-aware shuffle join of two *stored* arrays (the six-phase
-    /// executor gathers its own inputs node-side).
+    /// Skew-aware shuffle join of two plan subtrees. When both inputs are
+    /// bare `Scan`s the six-phase executor runs directly against the live
+    /// cluster (gathering its own inputs node-side); derived inputs are
+    /// materialized and registered as temp arrays on a scratch cluster
+    /// first, which is what makes joins composable (`A ⋈ B ⋈ C`).
     Join {
-        /// Left stored array name.
-        left: String,
-        /// Right stored array name.
-        right: String,
-        /// Equality pairs `(left_col, right_col)`.
+        /// Left input plan.
+        left: Box<PlanNode>,
+        /// Right input plan.
+        right: Box<PlanNode>,
+        /// Equality pairs `(left_col, right_col)`, named in each side's
+        /// output-column namespace.
         pairs: Vec<(String, String)>,
         /// Optional explicit destination schema (`INTO τ<…>[…]`).
         output: Option<ArraySchema>,
@@ -168,10 +172,22 @@ impl PlanNode {
                 format!("hash({}, {buckets})", input.render())
             }
             PlanNode::Join {
-                left, right, pairs, ..
+                left,
+                right,
+                pairs,
+                output,
             } => {
                 let ps: Vec<String> = pairs.iter().map(|(l, r)| format!("{l} = {r}")).collect();
-                format!("join({left}, {right}, {})", ps.join(", "))
+                let base = format!(
+                    "join({}, {}, {})",
+                    left.render(),
+                    right.render(),
+                    ps.join(", ")
+                );
+                match output {
+                    Some(schema) => format!("{base} into {schema}"),
+                    None => base,
+                }
             }
             PlanNode::Rename { input, name } => {
                 format!("rename({}, {name})", input.render())
@@ -181,10 +197,22 @@ impl PlanNode {
 }
 
 /// Rewrite a plan: push filters, windows, and projections below `gather`
-/// (so they run node-local and shrink the gathered bytes) and fold
-/// constant expression subtrees with the runtime evaluator.
+/// (so they run node-local and shrink the gathered bytes), push
+/// relation-qualified filters and projections *into* join inputs (so
+/// they run before the shuffle), and fold constant expression subtrees
+/// with the runtime evaluator.
+///
+/// Schema-free form: projection-into-join pushdown needs base-array
+/// schemas and is skipped; use [`rewrite_with`] with a catalog lookup to
+/// enable it.
 pub fn rewrite(plan: PlanNode) -> PlanNode {
-    push_down(fold(plan))
+    rewrite_with(plan, &|_| None)
+}
+
+/// [`rewrite`] with a catalog lookup for stored-array schemas, enabling
+/// the schema-dependent rules (projection pushdown into join inputs).
+pub fn rewrite_with(plan: PlanNode, catalog: &dyn Fn(&str) -> Option<ArraySchema>) -> PlanNode {
+    push_down(fold(plan), catalog)
 }
 
 /// Constant folding over every expression the plan carries.
@@ -210,33 +238,43 @@ fn fold(plan: PlanNode) -> PlanNode {
     })
 }
 
-/// Predicate/window/projection pushdown below `gather`.
+/// Predicate/window/projection pushdown below `gather` and into join
+/// inputs.
 ///
 /// `filter(gather(x))` and `between(gather(x))` never change the schema,
 /// and `project(gather(x))`/`apply(gather(x))` are row-local, so all four
 /// commute with the coordinator boundary; moving them below it means only
-/// surviving (and narrower) cells cross the network.
-fn push_down(plan: PlanNode) -> PlanNode {
-    let plan = map_inputs(plan, push_down, |node| node);
+/// surviving (and narrower) cells cross the network. A filter or
+/// projection sitting on a join whose columns are all qualified with one
+/// side's relation names commutes with the join itself — moving it into
+/// that input means it runs *before* the shuffle.
+fn push_down(plan: PlanNode, catalog: &dyn Fn(&str) -> Option<ArraySchema>) -> PlanNode {
+    let plan = map_inputs(plan, |p| push_down(p, catalog), |node| node);
     match plan {
         PlanNode::Filter { input, predicate } => match *input {
             PlanNode::Gather { input } => {
-                push_down(PlanNode::Filter { input, predicate }).gathered()
+                push_down(PlanNode::Filter { input, predicate }, catalog).gathered()
             }
+            join @ PlanNode::Join { .. } => push_filter_into_join(predicate, join, catalog),
             other => PlanNode::Filter {
                 input: Box::new(other),
                 predicate,
             },
         },
         PlanNode::Between { input, bounds } => match *input {
-            PlanNode::Gather { input } => push_down(PlanNode::Between { input, bounds }).gathered(),
+            PlanNode::Gather { input } => {
+                push_down(PlanNode::Between { input, bounds }, catalog).gathered()
+            }
             other => PlanNode::Between {
                 input: Box::new(other),
                 bounds,
             },
         },
         PlanNode::Project { input, attrs } => match *input {
-            PlanNode::Gather { input } => push_down(PlanNode::Project { input, attrs }).gathered(),
+            PlanNode::Gather { input } => {
+                push_down(PlanNode::Project { input, attrs }, catalog).gathered()
+            }
+            join @ PlanNode::Join { .. } => push_project_into_join(attrs, join, catalog),
             other => PlanNode::Project {
                 input: Box::new(other),
                 attrs,
@@ -247,11 +285,14 @@ fn push_down(plan: PlanNode) -> PlanNode {
             outputs,
             lenient,
         } => match *input {
-            PlanNode::Gather { input } => push_down(PlanNode::Apply {
-                input,
-                outputs,
-                lenient,
-            })
+            PlanNode::Gather { input } => push_down(
+                PlanNode::Apply {
+                    input,
+                    outputs,
+                    lenient,
+                },
+                catalog,
+            )
             .gathered(),
             other => PlanNode::Apply {
                 input: Box::new(other),
@@ -263,6 +304,331 @@ fn push_down(plan: PlanNode) -> PlanNode {
     }
 }
 
+/// The stored-relation names visible in a join-input subtree, or `None`
+/// when the subtree contains a node that renames or re-shapes columns
+/// (explicit join output schemas, `Rename`, `Redim`, `Apply`, …), making
+/// qualifier attribution unsafe.
+fn side_relations(plan: &PlanNode) -> Option<Vec<String>> {
+    match plan {
+        PlanNode::Scan { array } => Some(vec![array.clone()]),
+        PlanNode::Gather { input }
+        | PlanNode::Filter { input, .. }
+        | PlanNode::Sort { input }
+        | PlanNode::Between { input, .. }
+        | PlanNode::Project { input, .. } => side_relations(input),
+        PlanNode::Join {
+            left,
+            right,
+            output: None,
+            ..
+        } => {
+            let mut rels = side_relations(left)?;
+            rels.extend(side_relations(right)?);
+            Some(rels)
+        }
+        _ => None,
+    }
+}
+
+/// Attribute qualified column names (`Rel.col`, split at the first dot)
+/// to the join side whose subtree holds `Rel`. Returns `Some(true)` when
+/// every column lands on the left, `Some(false)` when every column lands
+/// on the right, `None` when any column is bare, unknown, ambiguous, or
+/// the set straddles both sides.
+fn attribute_to_one_side(cols: &[String], left: &[String], right: &[String]) -> Option<bool> {
+    let mut on_left = false;
+    let mut on_right = false;
+    for col in cols {
+        let (rel, _) = col.split_once('.')?;
+        match (
+            left.iter().any(|n| n == rel),
+            right.iter().any(|n| n == rel),
+        ) {
+            (true, false) => on_left = true,
+            (false, true) => on_right = true,
+            _ => return None,
+        }
+    }
+    match (on_left, on_right) {
+        (true, false) => Some(true),
+        (false, true) => Some(false),
+        _ => None,
+    }
+}
+
+/// Strip the `Rel.` qualifier from columns whose relation is in `rels`.
+fn strip_side_qualifiers(expr: &Expr, rels: &[String]) -> Expr {
+    expr.map_columns(&|name| match name.split_once('.') {
+        Some((rel, col)) if rels.iter().any(|n| n == rel) => col.to_string(),
+        _ => name.to_string(),
+    })
+}
+
+/// `filter(join(L, R), pred)` where every predicate column is qualified
+/// with relation names from exactly one side: move the filter into that
+/// input. When the target side is itself a join the predicate stays
+/// qualified (recursion attributes it again one level down); otherwise
+/// the qualifiers are stripped so the predicate binds against the base
+/// array's bare column names.
+fn push_filter_into_join(
+    predicate: Expr,
+    join: PlanNode,
+    catalog: &dyn Fn(&str) -> Option<ArraySchema>,
+) -> PlanNode {
+    let PlanNode::Join {
+        left,
+        right,
+        pairs,
+        output,
+    } = join
+    else {
+        unreachable!("caller matched Join");
+    };
+    let fallback = |left: Box<PlanNode>, right: Box<PlanNode>, predicate: Expr| PlanNode::Filter {
+        input: Box::new(PlanNode::Join {
+            left,
+            right,
+            pairs: pairs.clone(),
+            output: output.clone(),
+        }),
+        predicate,
+    };
+    let (Some(lrels), Some(rrels)) = (side_relations(&left), side_relations(&right)) else {
+        return fallback(left, right, predicate);
+    };
+    let cols = predicate.referenced_columns();
+    let Some(goes_left) = attribute_to_one_side(&cols, &lrels, &rrels) else {
+        return fallback(left, right, predicate);
+    };
+    let (side, other, rels) = if goes_left {
+        (*left, *right, lrels)
+    } else {
+        (*right, *left, rrels)
+    };
+    let pred = if matches!(side, PlanNode::Join { .. }) {
+        predicate
+    } else {
+        strip_side_qualifiers(&predicate, &rels)
+    };
+    let side = push_down(
+        PlanNode::Filter {
+            input: Box::new(side),
+            predicate: pred,
+        },
+        catalog,
+    );
+    let (new_left, new_right) = if goes_left {
+        (side, other)
+    } else {
+        (other, side)
+    };
+    PlanNode::Join {
+        left: Box::new(new_left),
+        right: Box::new(new_right),
+        pairs,
+        output,
+    }
+}
+
+/// The output schema a join-input subtree produces, for the chains the
+/// project-pushdown rule accepts: scans (catalog lookup) through
+/// schema-preserving wrappers, plus projections (attribute subset).
+fn side_schema(
+    plan: &PlanNode,
+    catalog: &dyn Fn(&str) -> Option<ArraySchema>,
+) -> Option<ArraySchema> {
+    match plan {
+        PlanNode::Scan { array } => catalog(array),
+        PlanNode::Gather { input }
+        | PlanNode::Filter { input, .. }
+        | PlanNode::Sort { input }
+        | PlanNode::Between { input, .. } => side_schema(input, catalog),
+        PlanNode::Project { input, attrs } => {
+            let mut schema = side_schema(input, catalog)?;
+            let kept: Vec<_> = attrs
+                .iter()
+                .map(|n| schema.attrs.iter().find(|a| &a.name == n).cloned())
+                .collect::<Option<_>>()?;
+            schema.attrs = kept;
+            Some(schema)
+        }
+        _ => None,
+    }
+}
+
+/// `project(join(L, R), attrs)` where every projected column is
+/// qualified: narrow each input to the columns the join and the
+/// projection actually need, re-derive the natural-join output, and keep
+/// a (renamed) outer projection for the final column order. Needs the
+/// catalog: the inner projections may only list base *attributes*
+/// (dimensions survive projection implicitly), and collision
+/// qualification in the new output must be recomputed.
+fn push_project_into_join(
+    attrs: Vec<String>,
+    join: PlanNode,
+    catalog: &dyn Fn(&str) -> Option<ArraySchema>,
+) -> PlanNode {
+    let PlanNode::Join {
+        left,
+        right,
+        pairs,
+        output,
+    } = join
+    else {
+        unreachable!("caller matched Join");
+    };
+    let fallback =
+        |left: Box<PlanNode>, right: Box<PlanNode>, attrs: Vec<String>| PlanNode::Project {
+            input: Box::new(PlanNode::Join {
+                left,
+                right,
+                pairs: pairs.clone(),
+                output: output.clone(),
+            }),
+            attrs,
+        };
+    if output.is_some()
+        || matches!(*left, PlanNode::Join { .. })
+        || matches!(*right, PlanNode::Join { .. })
+    {
+        return fallback(left, right, attrs);
+    }
+    let (Some(lrels), Some(rrels)) = (side_relations(&left), side_relations(&right)) else {
+        return fallback(left, right, attrs);
+    };
+    let (Some(lschema), Some(rschema)) =
+        (side_schema(&left, catalog), side_schema(&right, catalog))
+    else {
+        return fallback(left, right, attrs);
+    };
+    // Partition the projected columns by side; bail on bare/unknown names.
+    let mut lcols: Vec<String> = Vec::new();
+    let mut rcols: Vec<String> = Vec::new();
+    for name in &attrs {
+        let Some((rel, col)) = name.split_once('.') else {
+            return fallback(left, right, attrs);
+        };
+        match (
+            lrels.iter().any(|n| n == rel),
+            rrels.iter().any(|n| n == rel),
+        ) {
+            (true, false) => lcols.push(col.to_string()),
+            (false, true) => rcols.push(col.to_string()),
+            _ => return fallback(left, right, attrs),
+        }
+    }
+    // Build the per-side keep lists: projected columns plus the side's
+    // predicate columns. Projected columns must be attributes (projecting
+    // a dimension is invalid above the join too); predicate columns that
+    // are dimensions survive projection implicitly and are skipped.
+    let keep_list =
+        |schema: &ArraySchema, projected: &[String], keys: &[&String]| -> Option<Vec<String>> {
+            let mut keep: Vec<String> = Vec::new();
+            for col in projected {
+                if !schema.attrs.iter().any(|a| &a.name == col) {
+                    return None;
+                }
+                if !keep.contains(col) {
+                    keep.push(col.clone());
+                }
+            }
+            for key in keys {
+                let is_attr = schema.attrs.iter().any(|a| a.name == key.as_str());
+                let is_dim = schema.dims.iter().any(|d| d.name == key.as_str());
+                if !is_attr && !is_dim {
+                    return None;
+                }
+                if is_attr && !keep.iter().any(|k| k == key.as_str()) {
+                    keep.push((*key).clone());
+                }
+            }
+            Some(keep)
+        };
+    let lkeys: Vec<&String> = pairs.iter().map(|(l, _)| l).collect();
+    let rkeys: Vec<&String> = pairs.iter().map(|(_, r)| r).collect();
+    let (Some(lkeep), Some(rkeep)) = (
+        keep_list(&lschema, &lcols, &lkeys),
+        keep_list(&rschema, &rcols, &rkeys),
+    ) else {
+        return fallback(left, right, attrs);
+    };
+    let narrow =
+        |side: PlanNode, schema: &ArraySchema, keep: &[String]| -> (PlanNode, ArraySchema) {
+            if keep.len() == schema.attrs.len() {
+                return (side, schema.clone());
+            }
+            let node = push_down(
+                PlanNode::Project {
+                    input: Box::new(side),
+                    attrs: keep.to_vec(),
+                },
+                catalog,
+            );
+            let mut narrowed = schema.clone();
+            narrowed.attrs = keep
+                .iter()
+                .map(|n| {
+                    schema
+                        .attrs
+                        .iter()
+                        .find(|a| &a.name == n)
+                        .cloned()
+                        .expect("keep list built from schema attrs")
+                })
+                .collect();
+            (node, narrowed)
+        };
+    let (new_left, new_lschema) = narrow(*left, &lschema, &lkeep);
+    let (new_right, new_rschema) = narrow(*right, &rschema, &rkeep);
+    if new_lschema.attrs.len() == lschema.attrs.len()
+        && new_rschema.attrs.len() == rschema.attrs.len()
+    {
+        // Nothing narrowed — keep the original shape (and avoid renaming
+        // the outer projection for no gain).
+        return fallback(Box::new(new_left), Box::new(new_right), attrs);
+    }
+    // Re-derive the natural-join output of the narrowed inputs so the
+    // outer projection can use the names as they actually appear there
+    // (right-side collisions come out qualified `B.col`).
+    let Ok(new_output) =
+        crate::join_schema::natural_join_schema(&new_lschema, &new_rschema, &pairs)
+    else {
+        return fallback(Box::new(new_left), Box::new(new_right), attrs);
+    };
+    let mapped: Vec<String> = attrs
+        .iter()
+        .map(|name| {
+            let (rel, col) = name.split_once('.').expect("checked qualified above");
+            if lrels.iter().any(|n| n == rel) {
+                col.to_string()
+            } else {
+                let qualified = format!("{}.{col}", new_rschema.name);
+                if new_output.attrs.iter().any(|a| a.name == qualified) {
+                    qualified
+                } else {
+                    col.to_string()
+                }
+            }
+        })
+        .collect();
+    PlanNode::Project {
+        input: Box::new(PlanNode::Join {
+            left: Box::new(new_left),
+            right: Box::new(new_right),
+            pairs,
+            output,
+        }),
+        attrs: mapped,
+    }
+}
+
+/// Rebuild `plan` with `f` applied to each direct input subtree (the
+/// node itself is untouched). Used by passes that drive their own
+/// recursion, like the join-order optimizer.
+pub fn map_children(plan: PlanNode, f: &dyn Fn(PlanNode) -> PlanNode) -> PlanNode {
+    map_inputs(plan, f, |node| node)
+}
+
 /// Apply `recurse` to every input subtree, then `f` to the node itself.
 fn map_inputs(
     plan: PlanNode,
@@ -270,7 +636,18 @@ fn map_inputs(
     f: impl FnOnce(PlanNode) -> PlanNode,
 ) -> PlanNode {
     let mapped = match plan {
-        PlanNode::Scan { .. } | PlanNode::Join { .. } => plan,
+        PlanNode::Scan { .. } => plan,
+        PlanNode::Join {
+            left,
+            right,
+            pairs,
+            output,
+        } => PlanNode::Join {
+            left: Box::new(recurse(*left)),
+            right: Box::new(recurse(*right)),
+            pairs,
+            output,
+        },
         PlanNode::Gather { input } => PlanNode::Gather {
             input: Box::new(recurse(*input)),
         },
@@ -372,6 +749,28 @@ mod tests {
             rewrite(plan).render(),
             "filter(redim(gather(scan(A)), T), b)"
         );
+    }
+
+    #[test]
+    fn join_render_includes_into_schema() {
+        let output = ArraySchema::parse("T<v:int>[i=1,10,5]").unwrap();
+        let plan = PlanNode::Join {
+            left: Box::new(scan("A")),
+            right: Box::new(scan("B")),
+            pairs: vec![("i".into(), "i".into())],
+            output: Some(output),
+        };
+        assert_eq!(
+            plan.render(),
+            "join(scan(A), scan(B), i = i) into T<v:int>[i=1,10,5]"
+        );
+        let bare = PlanNode::Join {
+            left: Box::new(scan("A")),
+            right: Box::new(scan("B")),
+            pairs: vec![("i".into(), "i".into())],
+            output: None,
+        };
+        assert_eq!(bare.render(), "join(scan(A), scan(B), i = i)");
     }
 
     #[test]

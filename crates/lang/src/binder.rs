@@ -1,10 +1,17 @@
 //! Binding: resolve a parsed SELECT against catalog schemas.
 //!
 //! Splits the statement into the executable shapes the engine supports:
-//! single-array filter/apply queries and two-array equi-joins whose
-//! predicates become `(left column, right column)` pairs. Failures are
-//! reported as [`LangError`]s in the `Bind` phase, pointing at the FROM
-//! entry or WHERE clause that caused them.
+//! single-array filter/apply queries and n-way equi-joins. WHERE
+//! conjuncts are classified: a cross-relation equality becomes a join
+//! edge, a predicate touching exactly one relation becomes that
+//! relation's filter, and anything else (a non-equality spanning two
+//! relations) is rejected. The binder checks the resulting join graph
+//! connects every FROM relation, then resolves a left-deep join order
+//! whose per-step pair names are already in each side's output
+//! namespace. Failures are reported as [`LangError`]s in the `Bind`
+//! phase, pointing at the FROM entry or WHERE clause that caused them.
+
+use std::collections::HashMap;
 
 use sj_array::{ArraySchema, BinOp, Expr};
 
@@ -12,6 +19,16 @@ use crate::ast::{IntoTarget, Projection, SelectStmt};
 use crate::error::{LangError, Span};
 
 type Result<T> = std::result::Result<T, LangError>;
+
+/// One relation of a bound n-way join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundRelation {
+    /// Stored-array name.
+    pub name: String,
+    /// Conjunction of this relation's single-relation WHERE conjuncts,
+    /// with column references stripped to base names.
+    pub filter: Option<Expr>,
+}
 
 /// A bound, executable query.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,14 +44,18 @@ pub enum BoundSelect {
         /// Output array name, if INTO was given.
         into_name: Option<String>,
     },
-    /// `SELECT … FROM A, B WHERE <equi-pairs>`.
+    /// `SELECT … FROM A, B, … WHERE <equi-pairs and filters>`.
     Join {
-        /// Left array.
-        left: String,
-        /// Right array.
-        right: String,
-        /// Equi-join pairs as (left column, right column) names.
-        pairs: Vec<(String, String)>,
+        /// Relations in join order: a connected permutation of the FROM
+        /// list (FROM order is kept whenever each prefix stays
+        /// connected).
+        relations: Vec<BoundRelation>,
+        /// Left-deep join steps: `steps[k]` holds the equality pairs
+        /// joining `relations[k+1]` onto the accumulated result of
+        /// `relations[..=k]`, as `(left name, right name)` — the left
+        /// name is in the intermediate's output namespace, the right is
+        /// a base column of `relations[k+1]`.
+        steps: Vec<Vec<(String, String)>>,
         /// Explicit destination schema, if INTO declared one.
         output: Option<ArraySchema>,
         /// Projections to apply over the join result (`None` = all).
@@ -49,11 +70,9 @@ where
     F: Fn(&str) -> Option<ArraySchema>,
 {
     match stmt.from.len() {
+        0 => Err(LangError::bind("FROM must name at least one array")),
         1 => bind_single(stmt, lookup),
-        2 => bind_join(stmt, lookup),
-        n => Err(LangError::bind(format!(
-            "FROM must name one or two arrays, got {n}"
-        ))),
+        _ => bind_join(stmt, lookup),
     }
 }
 
@@ -106,47 +125,127 @@ fn bind_join<F>(stmt: &SelectStmt, lookup: F) -> Result<BoundSelect>
 where
     F: Fn(&str) -> Option<ArraySchema>,
 {
-    let left = stmt.from[0].clone();
-    let right = stmt.from[1].clone();
-    let lschema = resolve_from(stmt, 0, &lookup)?;
-    let rschema = resolve_from(stmt, 1, &lookup)?;
+    let n = stmt.from.len();
+    let schemas: Vec<ArraySchema> = (0..n)
+        .map(|i| resolve_from(stmt, i, &lookup))
+        .collect::<Result<_>>()?;
 
-    let mut pairs = Vec::new();
+    // Classify each WHERE conjunct: a cross-relation column equality is
+    // a join edge; a predicate over one relation is its filter; a
+    // non-equality spanning relations is unsupported.
+    let mut edges: Vec<BoundEdge> = Vec::new();
+    let mut filters: Vec<Option<Expr>> = vec![None; n];
     for pred in &stmt.predicates {
-        let Expr::Binary {
+        if let Expr::Binary {
             op: BinOp::Eq,
             left: l,
             right: r,
         } = pred
-        else {
-            return Err(LangError::bind(format!(
-                "join predicates must be equality pairs, got `{pred}`"
-            ))
-            .with_span_opt(stmt.where_span));
-        };
-        let (Expr::Column(lc), Expr::Column(rc)) = (l.as_ref(), r.as_ref()) else {
-            return Err(LangError::bind(format!(
-                "join predicates must compare two columns, got `{pred}`"
-            ))
-            .with_span_opt(stmt.where_span));
-        };
-        let a = resolve_side(lc, &left, &lschema, &right, &rschema, stmt.where_span)?;
-        let b = resolve_side(rc, &left, &lschema, &right, &rschema, stmt.where_span)?;
-        match (a, b) {
-            ((true, lname), (false, rname)) => pairs.push((lname, rname)),
-            ((false, rname), (true, lname)) => pairs.push((lname, rname)),
-            _ => {
-                return Err(LangError::bind(format!(
-                    "predicate `{pred}` does not connect the two arrays"
-                ))
-                .with_span_opt(stmt.where_span))
+        {
+            if let (Expr::Column(lc), Expr::Column(rc)) = (l.as_ref(), r.as_ref()) {
+                let a = resolve_column(lc, stmt, &schemas)?;
+                let b = resolve_column(rc, stmt, &schemas)?;
+                if a.0 != b.0 {
+                    edges.push((a, b));
+                    continue;
+                }
+                // Same-relation equality falls through to the filter path.
             }
         }
+        // Not an edge: every referenced column must land on one relation.
+        let mut rel = None;
+        for col in pred.referenced_columns() {
+            let (r, _) = resolve_column(&col, stmt, &schemas)?;
+            match rel {
+                None => rel = Some(r),
+                Some(prev) if prev == r => {}
+                Some(_) => {
+                    return Err(LangError::bind(format!(
+                        "join predicates must be equality pairs, got `{pred}`"
+                    ))
+                    .with_span_opt(stmt.where_span))
+                }
+            }
+        }
+        let Some(rel) = rel else {
+            return Err(
+                LangError::bind(format!("predicate `{pred}` references no columns"))
+                    .with_span_opt(stmt.where_span),
+            );
+        };
+        let stripped = strip_to_base(pred, stmt, &schemas, rel)?;
+        filters[rel] = Some(match filters[rel].take() {
+            None => stripped,
+            Some(f) => Expr::binary(BinOp::And, f, stripped),
+        });
     }
-    if pairs.is_empty() {
+    if edges.is_empty() {
         return Err(LangError::bind(
             "join query needs at least one equality predicate",
         ));
+    }
+
+    // The join graph must connect every FROM relation.
+    let order = connected_order(n, &edges).map_err(|stray| {
+        LangError::bind(format!(
+            "disconnected join graph: `{}` is not linked to `{}` by any equality predicate",
+            stmt.from[stray], stmt.from[0]
+        ))
+        .with_span_opt(stmt.from_spans.get(stray).copied().or(stmt.where_span))
+    })?;
+
+    // Resolve the left-deep steps along `order`, tracking each base
+    // column's current name through the chain of natural-join outputs.
+    let mut colmap: HashMap<(usize, String), String> = HashMap::new();
+    let first = order[0];
+    for col in schema_columns(&schemas[first]) {
+        colmap.insert((first, col.clone()), col);
+    }
+    let mut acc = schemas[first].clone();
+    let mut steps = Vec::with_capacity(n - 1);
+    let mut used = vec![false; n];
+    used[first] = true;
+    for &r in &order[1..] {
+        let rschema = &schemas[r];
+        let mut pairs = Vec::new();
+        for ((ar, ac), (br, bc)) in &edges {
+            let (other, ocol, rcol) = if *ar == r && used[*br] {
+                (*br, bc, ac)
+            } else if *br == r && used[*ar] {
+                (*ar, ac, bc)
+            } else {
+                continue;
+            };
+            let left_name = colmap
+                .get(&(other, ocol.clone()))
+                .expect("used relations resolve every column")
+                .clone();
+            let pair = (left_name, rcol.clone());
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        let out = sj_core::join_schema::natural_join_schema(&acc, rschema, &pairs)
+            .map_err(|e| LangError::bind(e.to_string()).with_span_opt(stmt.where_span))?;
+        // Right columns: join keys collapse onto their left pair name,
+        // collisions come out qualified `{right}.{col}`, the rest keep
+        // their base name. Left columns always keep their names.
+        for col in schema_columns(rschema) {
+            let name = if let Some((l, _)) = pairs.iter().find(|(_, rc)| rc == &col) {
+                l.clone()
+            } else {
+                let qualified = format!("{}.{col}", rschema.name);
+                if schema_has(&out, &qualified) {
+                    qualified
+                } else {
+                    col.clone()
+                }
+            };
+            colmap.insert((r, col), name);
+        }
+        steps.push(pairs);
+        acc = out;
+        used[r] = true;
     }
 
     let output = match &stmt.into {
@@ -155,12 +254,85 @@ where
     };
     let projections = bind_projections(&stmt.projections, Ok)?;
     Ok(BoundSelect::Join {
-        left,
-        right,
-        pairs,
+        relations: order
+            .iter()
+            .map(|&i| BoundRelation {
+                name: stmt.from[i].clone(),
+                filter: filters[i].take(),
+            })
+            .collect(),
+        steps,
         output,
         projections,
     })
+}
+
+/// One bound equality edge: `(relation index, column)` on each side.
+type BoundEdge = ((usize, String), (usize, String));
+
+/// Greedy connected join order: start from relation 0, repeatedly append
+/// the lowest-index relation linked to the current prefix (so FROM order
+/// is kept whenever it is already connected). `Err(i)` names a relation
+/// no equality predicate reaches.
+fn connected_order(n: usize, edges: &[BoundEdge]) -> std::result::Result<Vec<usize>, usize> {
+    let mut order = vec![0usize];
+    let mut used = vec![false; n];
+    used[0] = true;
+    while order.len() < n {
+        let next = (0..n).find(|&r| {
+            !used[r]
+                && edges
+                    .iter()
+                    .any(|((a, _), (b, _))| (*a == r && used[*b]) || (*b == r && used[*a]))
+        });
+        match next {
+            Some(r) => {
+                used[r] = true;
+                order.push(r);
+            }
+            None => return Err((0..n).find(|&r| !used[r]).expect("some relation unused")),
+        }
+    }
+    Ok(order)
+}
+
+/// All column names of a schema, dimensions first.
+fn schema_columns(schema: &ArraySchema) -> Vec<String> {
+    schema
+        .dims
+        .iter()
+        .map(|d| d.name.clone())
+        .chain(schema.attrs.iter().map(|a| a.name.clone()))
+        .collect()
+}
+
+fn schema_has(schema: &ArraySchema, name: &str) -> bool {
+    schema.has_dim(name) || schema.has_attr(name)
+}
+
+/// Rewrite a single-relation predicate's column references to base
+/// names, validating each resolves to `rel`.
+fn strip_to_base(
+    pred: &Expr,
+    stmt: &SelectStmt,
+    schemas: &[ArraySchema],
+    rel: usize,
+) -> Result<Expr> {
+    match pred {
+        Expr::Column(name) => {
+            let (r, base) = resolve_column(name, stmt, schemas)?;
+            debug_assert_eq!(r, rel);
+            Ok(Expr::col(base))
+        }
+        Expr::Literal(_) => Ok(pred.clone()),
+        Expr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(strip_to_base(left, stmt, schemas, rel)?),
+            right: Box::new(strip_to_base(right, stmt, schemas, rel)?),
+        }),
+        Expr::Neg(e) => Ok(Expr::Neg(Box::new(strip_to_base(e, stmt, schemas, rel)?))),
+        Expr::Not(e) => Ok(Expr::Not(Box::new(strip_to_base(e, stmt, schemas, rel)?))),
+    }
 }
 
 fn bind_projections<F>(
@@ -190,35 +362,33 @@ fn bind_expr_err(e: sj_array::ArrayError, span: Option<Span>) -> LangError {
         .with_source(e)
 }
 
-/// Determine which side a column reference belongs to. Returns
-/// `(is_left, unqualified_name)`.
-fn resolve_side(
+/// Resolve a (possibly qualified) column reference to `(relation index,
+/// base column name)`. Bare names must be unique across the FROM list.
+fn resolve_column(
     name: &str,
-    left: &str,
-    lschema: &ArraySchema,
-    right: &str,
-    rschema: &ArraySchema,
-    span: Option<Span>,
-) -> Result<(bool, String)> {
+    stmt: &SelectStmt,
+    schemas: &[ArraySchema],
+) -> Result<(usize, String)> {
+    let span = stmt.where_span;
     if let Some((array, col)) = name.split_once('.') {
-        if array == left {
-            return has_column(lschema, col, span).map(|_| (true, col.to_string()));
-        }
-        if array == right {
-            return has_column(rschema, col, span).map(|_| (false, col.to_string()));
-        }
-        return Err(
-            LangError::bind(format!("`{name}` references unknown array `{array}`"))
-                .with_span_opt(span),
-        );
+        let Some(idx) = stmt.from.iter().position(|f| f == array) else {
+            return Err(
+                LangError::bind(format!("`{name}` references unknown array `{array}`"))
+                    .with_span_opt(span),
+            );
+        };
+        return has_column(&schemas[idx], col, span).map(|_| (idx, col.to_string()));
     }
-    if lschema.has_dim(name) || lschema.has_attr(name) {
-        return Ok((true, name.to_string()));
+    let mut hits = (0..schemas.len()).filter(|&i| schema_has(&schemas[i], name));
+    match (hits.next(), hits.next()) {
+        (Some(idx), None) => Ok((idx, name.to_string())),
+        (Some(a), Some(b)) => Err(LangError::bind(format!(
+            "column `{name}` is ambiguous: both `{}` and `{}` have it",
+            stmt.from[a], stmt.from[b]
+        ))
+        .with_span_opt(span)),
+        (None, _) => Err(LangError::bind(format!("unknown column `{name}`")).with_span_opt(span)),
     }
-    if rschema.has_dim(name) || rschema.has_attr(name) {
-        return Ok((false, name.to_string()));
-    }
-    Err(LangError::bind(format!("unknown column `{name}`")).with_span_opt(span))
 }
 
 /// AND-join a list of predicates into one expression.
@@ -301,21 +471,22 @@ mod tests {
 
     #[test]
     fn bind_join_orients_pairs() {
-        // Written backwards: B.w = A.v must still orient (A.v, B.w).
+        // Written backwards: B.w = A.v must still orient (A.v, B.w) in
+        // FROM order.
         let stmt = parse_aql("SELECT * FROM A, B WHERE B.w = A.v").unwrap();
-        let BoundSelect::Join { pairs, .. } = bind_select(&stmt, catalog).unwrap() else {
+        let BoundSelect::Join { steps, .. } = bind_select(&stmt, catalog).unwrap() else {
             panic!()
         };
-        assert_eq!(pairs, vec![("v".to_string(), "w".to_string())]);
+        assert_eq!(steps, vec![vec![("v".to_string(), "w".to_string())]]);
     }
 
     #[test]
     fn bind_join_with_bare_columns() {
         let stmt = parse_aql("SELECT * FROM A, B WHERE i = j").unwrap();
-        let BoundSelect::Join { pairs, .. } = bind_select(&stmt, catalog).unwrap() else {
+        let BoundSelect::Join { steps, .. } = bind_select(&stmt, catalog).unwrap() else {
             panic!()
         };
-        assert_eq!(pairs, vec![("i".to_string(), "j".to_string())]);
+        assert_eq!(steps, vec![vec![("i".to_string(), "j".to_string())]]);
     }
 
     #[test]
@@ -326,6 +497,62 @@ mod tests {
         assert!(bind_select(&stmt, catalog).is_err());
         let stmt = parse_aql("SELECT * FROM A, B").unwrap();
         assert!(bind_select(&stmt, catalog).is_err());
+    }
+
+    fn catalog3(name: &str) -> Option<ArraySchema> {
+        match name {
+            "C" => Some(ArraySchema::parse("C<u:int>[k=1,100,10]").unwrap()),
+            other => catalog(other),
+        }
+    }
+
+    #[test]
+    fn bind_three_way_join_chains_steps() {
+        let stmt = parse_aql("SELECT * FROM A, B, C WHERE A.v = B.w AND B.w = C.u").unwrap();
+        let BoundSelect::Join {
+            relations, steps, ..
+        } = bind_select(&stmt, catalog3).unwrap()
+        else {
+            panic!()
+        };
+        let names: Vec<&str> = relations.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+        // Step 2's left key is `v`: B.w collapsed onto it in the A⋈B
+        // intermediate.
+        assert_eq!(
+            steps,
+            vec![
+                vec![("v".to_string(), "w".to_string())],
+                vec![("v".to_string(), "u".to_string())],
+            ]
+        );
+    }
+
+    #[test]
+    fn disconnected_join_graph_is_a_typed_bind_error() {
+        // C has no equality reaching it: the graph is disconnected, and
+        // the error points at `C` in the query text.
+        let input = "SELECT * FROM A, B, C WHERE A.v = B.w";
+        let stmt = parse_aql(input).unwrap();
+        let err = bind_select(&stmt, catalog3).unwrap_err();
+        assert_eq!(err.phase, LangPhase::Bind);
+        assert!(err.to_string().contains("disconnected join graph"));
+        let span = err.span.unwrap();
+        assert_eq!(&input[span.start..span.end], "C");
+    }
+
+    #[test]
+    fn ambiguous_bare_column_is_rejected() {
+        // Both arrays have dimension `i`; a bare `i` in a join must be
+        // qualified.
+        let cat = |name: &str| match name {
+            "A" => Some(ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap()),
+            "B" => Some(ArraySchema::parse("B<w:int>[i=1,100,10]").unwrap()),
+            _ => None,
+        };
+        let stmt = parse_aql("SELECT * FROM A, B WHERE v = w AND i > 3").unwrap();
+        let err = bind_select(&stmt, cat).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
     }
 
     #[test]

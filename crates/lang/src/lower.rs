@@ -52,18 +52,37 @@ pub fn lower_select(bound: &BoundSelect) -> PlanNode {
             plan
         }
         BoundSelect::Join {
-            left,
-            right,
-            pairs,
+            relations,
+            steps,
             output,
             projections,
         } => {
-            let mut plan = PlanNode::Join {
-                left: left.clone(),
-                right: right.clone(),
-                pairs: pairs.clone(),
-                output: output.clone(),
+            // Left-deep chain in the binder's connected order; each
+            // relation's filters sit inside its leaf so they run before
+            // the shuffle. Only the root join carries the user's INTO
+            // schema — the optimizer may reorder everything beneath it.
+            let leaf = |rel: &crate::binder::BoundRelation| {
+                let scan = PlanNode::Scan {
+                    array: rel.name.clone(),
+                };
+                match &rel.filter {
+                    None => scan,
+                    Some(predicate) => PlanNode::Filter {
+                        input: Box::new(scan),
+                        predicate: predicate.clone(),
+                    },
+                }
             };
+            let mut plan = leaf(&relations[0]);
+            for (k, rel) in relations[1..].iter().enumerate() {
+                let at_root = k + 1 == relations.len() - 1;
+                plan = PlanNode::Join {
+                    left: Box::new(plan),
+                    right: Box::new(leaf(rel)),
+                    pairs: steps[k].clone(),
+                    output: if at_root { output.clone() } else { None },
+                };
+            }
             if let Some(outputs) = projections {
                 // Post-join projections reference columns by their
                 // pre-join qualified names; the operator resolves them
@@ -167,12 +186,12 @@ where
             }
             Ok(PlanNode::Project { input, attrs })
         }
-        "merge" | "mergejoin" | "join" => {
+        "merge" | "mergejoin" => {
             // A distributed D:D join on the arrays' shared dimensions.
-            // Both operands must be stored arrays (the shuffle join
-            // plans against cluster-resident data).
-            let left = stored_name(args, 0)?;
-            let right = stored_name(args, 1)?;
+            // Both operands must be stored arrays (pair derivation needs
+            // their catalog schemas).
+            let left = stored_name(args, 0, "merge")?;
+            let right = stored_name(args, 1, "merge")?;
             let ls =
                 lookup(&left).ok_or_else(|| LangError::lower(format!("unknown array `{left}`")))?;
             let rs = lookup(&right)
@@ -187,8 +206,54 @@ where
                 .map(|(a, b)| (a.name.clone(), b.name.clone()))
                 .collect();
             Ok(PlanNode::Join {
-                left,
-                right,
+                left: Box::new(PlanNode::Scan { array: left }),
+                right: Box::new(PlanNode::Scan { array: right }),
+                pairs,
+                output: None,
+            })
+        }
+        "join" => {
+            // General equi-join over plan subtrees: `join(X, Y, a = b,
+            // …)` where X and Y may themselves be joins (or filters over
+            // arrays). Without explicit pairs, both sides' dimensions
+            // are zipped positionally (merge semantics).
+            let left = join_side(args, 0, lookup)?;
+            let right = join_side(args, 1, lookup)?;
+            let mut pairs = Vec::new();
+            for arg in &args[2..] {
+                let AflArg::Expr(Expr::Binary {
+                    op: sj_array::BinOp::Eq,
+                    left: l,
+                    right: r,
+                }) = arg
+                else {
+                    return Err(LangError::lower(format!(
+                        "join pairs must be `left = right` column equalities, got {arg:?}"
+                    )));
+                };
+                let (Expr::Column(lc), Expr::Column(rc)) = (l.as_ref(), r.as_ref()) else {
+                    return Err(LangError::lower(format!(
+                        "join pairs must compare two columns, got {arg:?}"
+                    )));
+                };
+                pairs.push((lc.clone(), rc.clone()));
+            }
+            if pairs.is_empty() {
+                let ls = afl_schema(&left, lookup)?;
+                let rs = afl_schema(&right, lookup)?;
+                if ls.ndims() != rs.ndims() {
+                    return Err(LangError::lower("join requires equal dimensionality"));
+                }
+                pairs = ls
+                    .dims
+                    .iter()
+                    .zip(&rs.dims)
+                    .map(|(a, b)| (a.name.clone(), b.name.clone()))
+                    .collect();
+            }
+            Ok(PlanNode::Join {
+                left: Box::new(left),
+                right: Box::new(right),
                 pairs,
                 output: None,
             })
@@ -273,11 +338,70 @@ where
 }
 
 /// Argument `idx` as a stored array name (no nested operators).
-fn stored_name(args: &[AflArg], idx: usize) -> Result<String> {
+fn stored_name(args: &[AflArg], idx: usize, op: &str) -> Result<String> {
     match args.get(idx) {
         Some(AflArg::Afl(AflExpr::Array(n))) => Ok(n.clone()),
         other => Err(LangError::lower(format!(
-            "merge expects stored array names, got {other:?}"
+            "{op} expects stored array names, got {other:?}"
+        ))),
+    }
+}
+
+/// Lower argument `idx` as a join input: the subtree executes on the
+/// cluster side of the shuffle, so any coordinator `gather` boundary the
+/// generic lowering inserted is stripped back off.
+fn join_side<F>(args: &[AflArg], idx: usize, lookup: &F) -> Result<PlanNode>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    Ok(strip_gather(plan_arg(args, idx, lookup)?))
+}
+
+fn strip_gather(plan: PlanNode) -> PlanNode {
+    match plan {
+        PlanNode::Gather { input } => strip_gather(*input),
+        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            input: Box::new(strip_gather(*input)),
+            predicate,
+        },
+        PlanNode::Sort { input } => PlanNode::Sort {
+            input: Box::new(strip_gather(*input)),
+        },
+        other => other,
+    }
+}
+
+/// Derive the output schema of a lowered join input, for dimension-zip
+/// pair inference: stored arrays come from the catalog, joins recurse
+/// through Equation 3.
+fn afl_schema<F>(plan: &PlanNode, lookup: &F) -> Result<ArraySchema>
+where
+    F: Fn(&str) -> Option<ArraySchema>,
+{
+    match plan {
+        PlanNode::Scan { array } => {
+            lookup(array).ok_or_else(|| LangError::lower(format!("unknown array `{array}`")))
+        }
+        PlanNode::Gather { input } | PlanNode::Filter { input, .. } | PlanNode::Sort { input } => {
+            afl_schema(input, lookup)
+        }
+        PlanNode::Join {
+            left,
+            right,
+            pairs,
+            output,
+        } => match output {
+            Some(s) => Ok(s.clone()),
+            None => {
+                let ls = afl_schema(left, lookup)?;
+                let rs = afl_schema(right, lookup)?;
+                sj_core::join_schema::natural_join_schema(&ls, &rs, pairs)
+                    .map_err(|e| LangError::lower(e.to_string()))
+            }
+        },
+        other => Err(LangError::lower(format!(
+            "cannot derive join pairs for `{}`; list them explicitly",
+            other.render()
         ))),
     }
 }
@@ -292,6 +416,7 @@ mod tests {
         match name {
             "A" => Some(ArraySchema::parse("A<v:int>[i=1,100,10]").unwrap()),
             "B" => Some(ArraySchema::parse("B<w:int>[i=1,100,10]").unwrap()),
+            "C" => Some(ArraySchema::parse("C<u:int>[i=1,100,10]").unwrap()),
             _ => None,
         }
     }
@@ -317,7 +442,39 @@ mod tests {
     #[test]
     fn select_join_lowers_to_join_node() {
         let plan = lower_aql("SELECT * FROM A, B WHERE A.v = B.w");
-        assert_eq!(plan.render(), "join(A, B, v = w)");
+        assert_eq!(plan.render(), "join(scan(A), scan(B), v = w)");
+    }
+
+    #[test]
+    fn three_way_select_lowers_to_left_deep_chain() {
+        let plan = lower_aql("SELECT * FROM A, B, C WHERE A.v = B.w AND B.w = C.u");
+        // Left-deep in FROM order. The second step's left key is `v`:
+        // B.w was a join key of the first step, so in the A⋈B
+        // intermediate its value lives in the surviving column `v`.
+        assert_eq!(
+            plan.render(),
+            "join(join(scan(A), scan(B), v = w), scan(C), v = u)"
+        );
+    }
+
+    #[test]
+    fn single_relation_conjuncts_become_leaf_filters() {
+        let plan = lower_aql("SELECT * FROM A, B WHERE A.v = B.w AND A.v > 5 AND B.w < 9");
+        assert_eq!(
+            plan.render(),
+            "join(filter(scan(A), (v > 5)), filter(scan(B), (w < 9)), v = w)"
+        );
+    }
+
+    #[test]
+    fn disconnected_from_order_is_reordered() {
+        // B connects to nothing until C arrives; the binder reorders to
+        // A, C, B so every prefix stays connected.
+        let plan = lower_aql("SELECT * FROM A, B, C WHERE A.v = C.u AND C.u = B.w");
+        assert_eq!(
+            plan.render(),
+            "join(join(scan(A), scan(C), v = u), scan(B), v = w)"
+        );
     }
 
     #[test]
@@ -348,7 +505,31 @@ mod tests {
             lower("redim(B, A)").unwrap().render(),
             "redim(gather(scan(B)), A)"
         );
-        assert_eq!(lower("merge(A, B)").unwrap().render(), "join(A, B, i = i)");
+        assert_eq!(
+            lower("merge(A, B)").unwrap().render(),
+            "join(scan(A), scan(B), i = i)"
+        );
+    }
+
+    #[test]
+    fn afl_join_nests_and_takes_explicit_pairs() {
+        // Nested joins with explicit pairs: the outer left key names a
+        // column of the inner join's output.
+        assert_eq!(
+            lower("join(join(A, B, v = w), C, v = u)").unwrap().render(),
+            "join(join(scan(A), scan(B), v = w), scan(C), v = u)"
+        );
+        // Filters stay inside the join input, without a gather boundary.
+        assert_eq!(
+            lower("join(filter(A, v > 5), B, v = w)").unwrap().render(),
+            "join(filter(scan(A), (v > 5)), scan(B), v = w)"
+        );
+        // Without pairs, dimensions zip — including across a nested
+        // join's Equation-3 output.
+        assert_eq!(
+            lower("join(A, B)").unwrap().render(),
+            "join(scan(A), scan(B), i = i)"
+        );
     }
 
     #[test]

@@ -185,9 +185,6 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        if from.len() > 2 {
-            return Err(self.err("at most two arrays may appear in FROM"));
-        }
         let mut predicates = Vec::new();
         let mut where_span = None;
         if self.eat_keyword("WHERE") || self.eat_keyword("ON") {
@@ -548,9 +545,18 @@ mod tests {
     fn reject_malformed_queries() {
         assert!(parse_aql("SELECT FROM A").is_err());
         assert!(parse_aql("* FROM A").is_err());
-        assert!(parse_aql("SELECT * FROM A, B, C").is_err());
         assert!(parse_aql("SELECT * FROM A WHERE").is_err());
         assert!(parse_aql("SELECT * FROM A extra tokens").is_err());
+    }
+
+    #[test]
+    fn parse_multi_array_from() {
+        // N-way joins: any number of FROM entries parses; the binder
+        // checks the join graph connects them.
+        let q = parse_aql("SELECT * FROM A, B, C WHERE A.x = B.x AND B.y = C.y").unwrap();
+        assert_eq!(q.from, vec!["A", "B", "C"]);
+        assert_eq!(q.from_spans.len(), 3);
+        assert_eq!(q.predicates.len(), 2);
     }
 
     #[test]

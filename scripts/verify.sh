@@ -21,6 +21,12 @@ cargo test -q --test fault_determinism
 echo "==> golden equivalence: pipeline vs legacy ops, threads = 1, 2, 8"
 cargo test -q --features proptest --test golden_equivalence
 
+echo "==> multiway equivalence: DP plan vs every left-deep order, threads = 1, 2, 8"
+cargo test -q --features proptest --test multiway_equivalence
+
+echo "==> distinct-count sketch: Zipf 0.5/1.0/1.5 error bounds + exact shard merge"
+cargo test -q --test distinct_estimate
+
 echo "==> join_kernels smoke run (snapshots BENCH_KERNELS.json)"
 smoke_log="target/join_kernels_smoke.log"
 JOIN_KERNELS_SMOKE=1 cargo bench -p sj-bench --bench join_kernels > "$smoke_log" 2>&1
@@ -51,6 +57,15 @@ grep 'disabled-telemetry overhead' "$smoke_log"
 
 echo "==> kernel dispatch gate: dispatched <= 1.1x best single kernel at 20k and 1M (asserted inside join_kernels)"
 grep 'dispatch gate' "$smoke_log"
+
+echo "==> multi_join smoke run (snapshots BENCH_MULTIJOIN.json)"
+mj_log="target/multi_join_smoke.log"
+MULTI_JOIN_SMOKE=1 cargo bench -p sj-bench --bench multi_join > "$mj_log" 2>&1
+grep '^{' "$mj_log" > BENCH_MULTIJOIN.json
+echo "    $(grep -c '^{' BENCH_MULTIJOIN.json) points -> BENCH_MULTIJOIN.json"
+
+echo "==> join ordering gate: DP <= 1.1x best left-deep order, worst >= 1.5x DP at 1M (asserted inside multi_join)"
+grep 'multi_join gate' "$mj_log"
 
 echo "==> lints: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -14,9 +14,9 @@ use std::fmt;
 
 use sj_array::{Array, ArrayError};
 use sj_cluster::{Cluster, ClusterError, NetworkModel, Placement};
-use sj_core::exec::{ExecConfig, JoinMetrics};
+use sj_core::exec::ExecConfig;
 use sj_core::telemetry::{SpanGuard, Telemetry, Tracer};
-use sj_core::{rewrite, run_plan_traced, JoinError, MetricsView, PipelineStats, PlanNode};
+use sj_core::{rewrite_with, run_plan_traced, JoinError, PlanNode};
 use sj_lang::{
     bind_select_traced, lower_afl_traced, lower_select_traced, parse_afl_traced, parse_aql_traced,
     LangError,
@@ -92,21 +92,6 @@ pub struct QueryResult {
     /// Everything measured while the query ran. The legacy reports are
     /// views over this tree ([`sj_core::MetricsView`]).
     pub telemetry: Telemetry,
-}
-
-impl QueryResult {
-    /// Shuffle-join execution metrics (joins only).
-    #[deprecated(note = "use `sj_core::MetricsView::join_metrics` on `telemetry`")]
-    pub fn join_metrics(&self) -> Option<JoinMetrics> {
-        self.telemetry.join_metrics()
-    }
-
-    /// Streaming-pipeline statistics: bytes/cells that crossed the
-    /// coordinator boundary and the number of batches streamed.
-    #[deprecated(note = "use `sj_core::MetricsView::pipeline_stats` on `telemetry`")]
-    pub fn pipeline(&self) -> PipelineStats {
-        self.telemetry.pipeline_stats()
-    }
 }
 
 /// A distributed array database over a simulated shared-nothing cluster.
@@ -215,7 +200,10 @@ impl ArrayDb {
         let plan = front(&root)?;
         let plan = {
             let _span = root.child("rewrite");
-            rewrite(plan)
+            // Schema-aware rewrite: with the catalog available, the
+            // rewriter can also push projections into join inputs.
+            let catalog = self.cluster.catalog();
+            rewrite_with(plan, &|name| catalog.schema(name).ok().cloned())
         };
         let array = run_plan_traced(&self.cluster, &plan, &self.exec_config, &root)?;
         drop(root);
@@ -232,6 +220,7 @@ impl ArrayDb {
 mod tests {
     use super::*;
     use sj_array::{ArraySchema, Value};
+    use sj_core::MetricsView;
 
     fn db() -> ArrayDb {
         let mut db = ArrayDb::new(2, NetworkModel::gigabit());
@@ -299,6 +288,67 @@ mod tests {
         assert_eq!(r.array.schema.attrs[0].name, "delta");
         let cell = r.array.get(&[3]).unwrap().unwrap();
         assert_eq!(cell[0], Value::Int(27)); // 30 - 3
+    }
+
+    /// The `db()` fixture plus a third array so multi-way joins have a
+    /// chain to walk: C shares dimension `i` with A and B.
+    fn db3() -> ArrayDb {
+        let mut db = db();
+        let c = Array::from_cells(
+            ArraySchema::parse("C<u:int>[i=1,20,5]").unwrap(),
+            (1..=20).map(|i| (vec![i], vec![Value::Int(i * 100)])),
+        )
+        .unwrap();
+        db.load_default(c).unwrap();
+        db
+    }
+
+    #[test]
+    fn aql_three_way_join_end_to_end() {
+        let db = db3();
+        let r = db
+            .query("SELECT * FROM A, B, C WHERE A.i = B.i AND B.i = C.i")
+            .unwrap();
+        assert_eq!(r.array.cell_count(), 20);
+        // All three attributes survive, keyed by the shared dimension.
+        let cell = r.array.get(&[3]).unwrap().unwrap();
+        assert_eq!(cell, vec![Value::Int(30), Value::Int(3), Value::Int(300)]);
+        // The optimizer span records the DP run beside the pipeline span.
+        let root = r.telemetry.root().unwrap();
+        let opt = root.child("optimizer").expect("missing optimizer span");
+        assert_eq!(opt.field("relations").and_then(|f| f.as_u64()), Some(3));
+        assert!(opt.field("chosen").is_some());
+        assert!(opt.field("est_rows").is_some());
+        // Per-subset estimates nest beneath it: 3 singletons + joins.
+        assert!(opt.children.iter().filter(|c| c.name == "subset").count() >= 4);
+    }
+
+    #[test]
+    fn aql_three_way_join_with_filter_and_projection() {
+        let db = db3();
+        let r = db
+            .query(
+                "SELECT A.v + C.u AS s FROM A, B, C \
+                 WHERE A.i = B.i AND B.i = C.i AND B.w > 15",
+            )
+            .unwrap();
+        assert_eq!(r.array.cell_count(), 5);
+        assert_eq!(r.array.schema.attrs[0].name, "s");
+        let cell = r.array.get(&[17]).unwrap().unwrap();
+        assert_eq!(cell[0], Value::Int(170 + 1700));
+    }
+
+    #[test]
+    fn aql_disconnected_join_graph_is_rejected() {
+        let db = db3();
+        let input = "SELECT * FROM A, B, C WHERE A.v = B.w";
+        let err = db.query(input).unwrap_err();
+        let Error::Language(lang) = &err else {
+            panic!("expected a language error, got {err:?}");
+        };
+        assert!(lang.to_string().contains("disconnected join graph"));
+        let span = lang.span.expect("disconnected errors carry spans");
+        assert_eq!(&input[span.start..span.end], "C");
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Golden-equivalence suite for n-way join ordering.
+//!
+//! The Selinger DP is only allowed to change *wall-clock*, never a
+//! cell: every join tree over the same join graph must produce the same
+//! array. This suite builds 3- and 4-way join graphs over randomized
+//! arrays, executes the DP-chosen plan and **every** connected left-deep
+//! order, and compares the results bit for bit — without sorting before
+//! comparison — at `ExecConfig.threads` = 1, 2, and 8.
+//!
+//! A second section drives the optimizer itself with randomized
+//! connected graphs and synthetic statistics: the DP must always return
+//! a plan, the plan must always be emittable (which proves no chosen
+//! split is a cross product — `tree_for_plan` refuses edge-less
+//! partitions), and the left-deep enumeration must stay connected.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use skewjoin::join::exec::ExecConfig;
+use skewjoin::join::optimizer::{JoinGraph, OptimizerMode, RelEstimate};
+use skewjoin::join::plan::PlanNode;
+use skewjoin::join::run_plan;
+use skewjoin::{Array, ArrayDb, ArraySchema, NetworkModel, Value};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Random single-attribute 1-D cells, deduplicated by coordinate.
+fn build_1d(name: &str, attr: &str, cells: &[(i64, i64)]) -> Array {
+    let schema = ArraySchema::parse(&format!("{name}<{attr}:int>[i=1,12,4]")).unwrap();
+    let dedup: BTreeMap<i64, i64> = cells.iter().copied().collect();
+    Array::from_cells(
+        schema,
+        dedup
+            .into_iter()
+            .map(|(i, v)| (vec![i], vec![Value::Int(v)])),
+    )
+    .unwrap()
+}
+
+fn scan(name: &str) -> PlanNode {
+    PlanNode::Scan {
+        array: name.to_string(),
+    }
+}
+
+fn join(left: PlanNode, right: PlanNode, pairs: &[(&str, &str)]) -> PlanNode {
+    PlanNode::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        pairs: pairs
+            .iter()
+            .map(|(l, r)| (l.to_string(), r.to_string()))
+            .collect(),
+        output: None,
+    }
+}
+
+/// Execute `plan` at every thread count, asserting all runs agree, and
+/// return the (shared) result.
+fn run_all_threads(db: &ArrayDb, plan: &PlanNode, mode: OptimizerMode) -> Array {
+    let mut result: Option<Array> = None;
+    for threads in THREADS {
+        let config = ExecConfig::builder()
+            .threads(threads)
+            .optimizer(mode)
+            .build()
+            .unwrap();
+        let got = run_plan(db.cluster(), plan, &config).unwrap().array;
+        match &result {
+            None => result = Some(got),
+            Some(first) => assert_eq!(
+                first, &got,
+                "join result diverged between thread counts at threads={threads}"
+            ),
+        }
+    }
+    result.unwrap()
+}
+
+/// Every connected left-deep order and the DP-chosen plan over the same
+/// graph produce bit-identical arrays (threads 1, 2, and 8 each).
+fn assert_all_orders_equivalent(db: &ArrayDb, as_written: &PlanNode, min_orders: usize) {
+    let catalog = |name: &str| db.cluster().catalog().schema(name).ok().cloned();
+    let graph = JoinGraph::from_plan(as_written, &catalog).expect("graph should flatten");
+    let orders = graph.enumerate_left_deep();
+    assert!(
+        orders.len() >= min_orders,
+        "expected at least {min_orders} connected left-deep orders, got {}",
+        orders.len()
+    );
+
+    // The DP path: the as-written tree through the default optimizer.
+    let reference = run_all_threads(db, as_written, OptimizerMode::Dp);
+
+    // Every explicit order, executed exactly as constructed.
+    for order in &orders {
+        let tree = graph
+            .tree_for_order(order)
+            .expect("connected orders always build a tree");
+        let got = run_all_threads(db, &tree, OptimizerMode::Off);
+        assert_eq!(
+            &reference, &got,
+            "order {order:?} diverged from the DP-chosen plan"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// 3-way chain A ⋈ B ⋈ C on a shared dimension: DP plan and all
+    /// left-deep orders are bit-identical at threads 1, 2, and 8.
+    #[test]
+    fn three_way_chain_orders_are_equivalent(
+        cells_a in proptest::collection::vec((1i64..=12, 1i64..=40), 1..40),
+        cells_b in proptest::collection::vec((1i64..=12, 1i64..=40), 1..40),
+        cells_c in proptest::collection::vec((1i64..=12, 1i64..=40), 1..40),
+    ) {
+        let mut db = ArrayDb::new(3, NetworkModel::gigabit());
+        db.load_default(build_1d("A", "v", &cells_a)).unwrap();
+        db.load_default(build_1d("B", "w", &cells_b)).unwrap();
+        db.load_default(build_1d("C", "u", &cells_c)).unwrap();
+        let plan = join(
+            join(scan("A"), scan("B"), &[("i", "i")]),
+            scan("C"),
+            &[("i", "i")],
+        );
+        // Transitive saturation makes the shared-dimension chain a
+        // clique: all 3! = 6 orders are connected.
+        assert_all_orders_equivalent(&db, &plan, 6);
+    }
+
+    /// 4-way star: fact F[i,j] joins D1 on i and D2 on j, with D3
+    /// chained off D2's key. All connected left-deep orders and the DP
+    /// plan agree.
+    #[test]
+    fn four_way_star_orders_are_equivalent(
+        cells_f in proptest::collection::vec((1i64..=8, 1i64..=8, 1i64..=40), 1..50),
+        cells_d1 in proptest::collection::vec((1i64..=8, 1i64..=40), 1..20),
+        cells_d2 in proptest::collection::vec((1i64..=8, 1i64..=40), 1..20),
+        cells_d3 in proptest::collection::vec((1i64..=8, 1i64..=40), 1..20),
+    ) {
+        let mut db = ArrayDb::new(3, NetworkModel::gigabit());
+        let f_schema = ArraySchema::parse("F<m:int>[i=1,8,4, j=1,8,4]").unwrap();
+        let f_cells: BTreeMap<(i64, i64), i64> =
+            cells_f.iter().map(|&(i, j, m)| ((i, j), m)).collect();
+        let f = Array::from_cells(
+            f_schema,
+            f_cells
+                .into_iter()
+                .map(|((i, j), m)| (vec![i, j], vec![Value::Int(m)])),
+        )
+        .unwrap();
+        db.load_default(f).unwrap();
+        let d = |name: &str, attr: &str, dim: &str, cells: &[(i64, i64)]| {
+            let schema =
+                ArraySchema::parse(&format!("{name}<{attr}:int>[{dim}=1,8,4]")).unwrap();
+            let dedup: BTreeMap<i64, i64> = cells.iter().copied().collect();
+            Array::from_cells(
+                schema,
+                dedup.into_iter().map(|(k, v)| (vec![k], vec![Value::Int(v)])),
+            )
+            .unwrap()
+        };
+        db.load_default(d("D1", "x", "i", &cells_d1)).unwrap();
+        db.load_default(d("D2", "y", "j", &cells_d2)).unwrap();
+        db.load_default(d("D3", "z", "j", &cells_d3)).unwrap();
+        let plan = join(
+            join(
+                join(scan("F"), scan("D1"), &[("i", "i")]),
+                scan("D2"),
+                &[("j", "j")],
+            ),
+            scan("D3"),
+            &[("j", "j")],
+        );
+        // D1 only connects through F's `i`, so not all 4! orders are
+        // connected — but F-first alone yields 3! = 6.
+        assert_all_orders_equivalent(&db, &plan, 6);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optimizer robustness on randomized connected graphs
+// ---------------------------------------------------------------------
+
+/// Build an n-relation join graph from a random spanning tree: relation
+/// `k` joins its up-link attribute `b{k}` to its parent's key `a{p}`
+/// (`b{k}` merges away in the natural schema; `a{k}` survives for `k`'s
+/// own children). Dimensions are disjoint, so the only connectivity is
+/// the explicit edges.
+fn random_tree_plan(n: usize, parents: &[usize]) -> (PlanNode, Vec<ArraySchema>) {
+    let schemas: Vec<ArraySchema> = (0..n)
+        .map(|k| ArraySchema::parse(&format!("R{k}<a{k}:int, b{k}:int>[d{k}=1,100,10]")).unwrap())
+        .collect();
+    let mut plan = scan("R0");
+    for k in 1..n {
+        let p = parents[k - 1] % k; // parent among already-joined relations
+        let pair_left = format!("a{p}");
+        let pair_right = format!("b{k}");
+        plan = PlanNode::Join {
+            left: Box::new(plan),
+            right: Box::new(scan(&format!("R{k}"))),
+            pairs: vec![(pair_left, pair_right)],
+            output: None,
+        };
+    }
+    (plan, schemas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On any random connected graph with any positive statistics, the
+    /// DP returns a plan, the plan emits a tree (every chosen split has
+    /// a crossing edge — `tree_for_plan` returns `None` on cross
+    /// products), estimates are finite, and the left-deep enumeration
+    /// only produces connected prefixes.
+    #[test]
+    fn dp_on_random_connected_graphs_never_picks_cross_products(
+        n in 2usize..=6,
+        parents in proptest::collection::vec(0usize..6, 5),
+        rows in proptest::collection::vec(1u32..2_000_000, 6),
+        ndvs in proptest::collection::vec(1u32..50_000, 6),
+    ) {
+        let (plan, schemas) = random_tree_plan(n, &parents);
+        let catalog = move |name: &str| {
+            schemas.iter().find(|s| s.name == name).cloned()
+        };
+        let graph = JoinGraph::from_plan(&plan, &catalog).expect("tree plans flatten");
+        prop_assert!(graph.is_connected());
+
+        let ests: Vec<RelEstimate> = (0..n)
+            .map(|k| {
+                let mut ndv = std::collections::HashMap::new();
+                ndv.insert(format!("a{k}"), f64::from(ndvs[k]).min(f64::from(rows[k])));
+                ndv.insert(format!("b{k}"), f64::from(ndvs[k]).min(f64::from(rows[k])));
+                RelEstimate {
+                    rows: f64::from(rows[k]),
+                    ndv,
+                    selectivity: 1.0,
+                }
+            })
+            .collect();
+
+        let dp = graph.optimize(&ests).expect("connected graphs always plan");
+        prop_assert!(dp.root_rows().is_finite() && dp.root_rows() >= 0.0);
+        prop_assert!(dp.root_cost().is_finite() && dp.root_cost() >= 0.0);
+        let tree = graph.tree_for_plan(&dp);
+        prop_assert!(tree.is_some(), "DP chose a cross-product split");
+
+        // Left-deep enumeration: every order is a permutation whose
+        // every prefix stays connected (tree_for_order succeeds).
+        let orders = graph.enumerate_left_deep();
+        prop_assert!(!orders.is_empty());
+        for order in &orders {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &(0..n).collect::<Vec<_>>());
+            prop_assert!(graph.tree_for_order(order).is_some());
+        }
+    }
+}
